@@ -1,0 +1,70 @@
+//! Agreement metrics between attribution estimators and ground truth.
+
+/// Jaccard-free top-`k` overlap: `|topk(a) ∩ topk(b)| / k` where top-k is by
+/// descending score (the "most influential" sets the paper's attribution
+/// question asks for).
+pub fn topk_overlap(a: &[f32], b: &[f32], k: usize) -> f32 {
+    if a.len() != b.len() || a.is_empty() || k == 0 {
+        return 0.0;
+    }
+    let top = |xs: &[f32]| -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..xs.len()).collect();
+        idx.sort_by(|&i, &j| xs[j].total_cmp(&xs[i]));
+        idx.truncate(k.min(xs.len()));
+        idx
+    };
+    let ta = top(a);
+    let tb = top(b);
+    let inter = ta.iter().filter(|i| tb.contains(i)).count();
+    inter as f32 / k.min(a.len()) as f32
+}
+
+/// Summary of an estimator's agreement with ground truth.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Agreement {
+    /// Pearson correlation (`None` when degenerate).
+    pub pearson: Option<f32>,
+    /// Spearman rank correlation.
+    pub spearman: Option<f32>,
+    /// Top-10 overlap fraction.
+    pub top10: f32,
+}
+
+/// Computes all agreement metrics at once.
+pub fn agreement(truth: &[f32], estimate: &[f32]) -> Agreement {
+    Agreement {
+        pearson: mlake_tensor::stats::pearson(truth, estimate),
+        spearman: mlake_tensor::stats::spearman(truth, estimate),
+        top10: topk_overlap(truth, estimate, 10),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_scores_agree_perfectly() {
+        let xs: Vec<f32> = (0..20).map(|i| (i as f32).sin()).collect();
+        let a = agreement(&xs, &xs);
+        assert!((a.pearson.unwrap() - 1.0).abs() < 1e-5);
+        assert!((a.spearman.unwrap() - 1.0).abs() < 1e-5);
+        assert!((a.top10 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn topk_overlap_edge_cases() {
+        assert_eq!(topk_overlap(&[], &[], 5), 0.0);
+        assert_eq!(topk_overlap(&[1.0], &[1.0, 2.0], 1), 0.0);
+        assert_eq!(topk_overlap(&[1.0, 2.0], &[1.0, 2.0], 0), 0.0);
+        // k longer than vector: normalise by the shorter effective k.
+        assert_eq!(topk_overlap(&[1.0, 2.0], &[2.0, 1.0], 10), 1.0);
+    }
+
+    #[test]
+    fn disjoint_tops_score_zero() {
+        let a = [10.0, 9.0, 0.0, 0.0];
+        let b = [0.0, 0.0, 9.0, 10.0];
+        assert_eq!(topk_overlap(&a, &b, 2), 0.0);
+    }
+}

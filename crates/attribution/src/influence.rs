@@ -1,0 +1,149 @@
+//! Influence functions (Koh & Liang 2017).
+//!
+//! The first-order approximation of leave-one-out:
+//! `ΔL(test) ≈ (1/n) · ∇L(test)ᵀ H⁻¹ ∇L(z_i)`, with the training objective's
+//! Hessian `H` (damped for conditioning) solved once per test point by
+//! conjugate gradients. On the convex carrier this should track exact LOO
+//! closely; experiment E3 quantifies how closely.
+
+use crate::softmax::SoftmaxRegression;
+use mlake_nn::LabeledData;
+use mlake_tensor::{linalg, vector};
+
+/// Influence of every training example on `(test_x, test_y)`, in the same
+/// units and sign convention as [`crate::loo::loo_scores`] (approximate
+/// change in test loss if the example were removed).
+pub fn influence_scores(
+    model: &SoftmaxRegression,
+    data: &LabeledData,
+    test_x: &[f32],
+    test_y: usize,
+    damping: f32,
+) -> mlake_tensor::Result<Vec<f32>> {
+    let h = model.hessian(data)?;
+    let g_test = model.example_gradient(test_x, test_y)?;
+    // s = H⁻¹ ∇L(test), damped.
+    let s = linalg::conjugate_gradient(&h, &g_test, damping.max(0.0), 500, 1e-6)?;
+    let n = data.len() as f32;
+    let mut out = Vec::with_capacity(data.len());
+    for (row, &y) in data.x.rows_iter().zip(&data.y) {
+        let g_i = model.example_gradient(row, y)?;
+        out.push(vector::dot(&s, &g_i) / n);
+    }
+    Ok(out)
+}
+
+/// Influence with an exact dense Hessian solve instead of CG — the numeric
+/// upper bound CG is validated against (small models only).
+pub fn influence_scores_exact(
+    model: &SoftmaxRegression,
+    data: &LabeledData,
+    test_x: &[f32],
+    test_y: usize,
+) -> mlake_tensor::Result<Vec<f32>> {
+    let h = model.hessian(data)?;
+    let g_test = model.example_gradient(test_x, test_y)?;
+    let s = linalg::solve_dense(&h, &g_test)?;
+    let n = data.len() as f32;
+    let mut out = Vec::with_capacity(data.len());
+    for (row, &y) in data.x.rows_iter().zip(&data.y) {
+        let g_i = model.example_gradient(row, y)?;
+        out.push(vector::dot(&s, &g_i) / n);
+    }
+    Ok(out)
+}
+
+/// Gradient-similarity baseline: influence ≈ `∇L(test)·∇L(z_i) / n`
+/// (influence functions with `H = I`). Cheap, and the gap to the full
+/// estimator measures what the curvature correction buys.
+pub fn gradient_dot_scores(
+    model: &SoftmaxRegression,
+    data: &LabeledData,
+    test_x: &[f32],
+    test_y: usize,
+) -> mlake_tensor::Result<Vec<f32>> {
+    let g_test = model.example_gradient(test_x, test_y)?;
+    let n = data.len() as f32;
+    let mut out = Vec::with_capacity(data.len());
+    for (row, &y) in data.x.rows_iter().zip(&data.y) {
+        let g_i = model.example_gradient(row, y)?;
+        out.push(vector::dot(&g_test, &g_i) / n);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loo::loo_scores;
+    use crate::softmax::SoftmaxConfig;
+    use mlake_tensor::{stats, Matrix, Seed};
+
+    fn blobs(n: usize, seed: u64) -> LabeledData {
+        let mut rng = Seed::new(seed).derive("inf-blobs").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let center = if c == 0 { -1.5 } else { 1.5 };
+            rows.push(vec![center + rng.normal() * 0.5, rng.normal() * 0.5]);
+            labels.push(c);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn influence_correlates_with_exact_loo() {
+        let data = blobs(24, 1);
+        let cfg = SoftmaxConfig { l2: 0.05, steps: 400, lr: 0.5 };
+        let model = SoftmaxRegression::train(&data, &cfg).unwrap();
+        let test_x = [1.5f32, 0.0];
+        let loo = loo_scores(&data, &test_x, 1, &cfg).unwrap();
+        let inf = influence_scores(&model, &data, &test_x, 1, 0.0).unwrap();
+        let r = stats::pearson(&loo, &inf).expect("non-constant scores");
+        assert!(r > 0.8, "pearson {r}");
+        let rho = stats::spearman(&loo, &inf).unwrap();
+        assert!(rho > 0.7, "spearman {rho}");
+    }
+
+    #[test]
+    fn cg_matches_exact_solve() {
+        let data = blobs(20, 2);
+        let cfg = SoftmaxConfig { l2: 0.05, steps: 300, lr: 0.5 };
+        let model = SoftmaxRegression::train(&data, &cfg).unwrap();
+        let a = influence_scores(&model, &data, &[1.0, 0.5], 1, 0.0).unwrap();
+        let b = influence_scores_exact(&model, &data, &[1.0, 0.5], 1).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-3, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn curvature_correction_beats_plain_gradients() {
+        let data = blobs(24, 3);
+        let cfg = SoftmaxConfig { l2: 0.05, steps: 400, lr: 0.5 };
+        let model = SoftmaxRegression::train(&data, &cfg).unwrap();
+        let test_x = [1.2f32, 0.3];
+        let loo = loo_scores(&data, &test_x, 1, &cfg).unwrap();
+        let inf = influence_scores(&model, &data, &test_x, 1, 0.0).unwrap();
+        let gd = gradient_dot_scores(&model, &data, &test_x, 1).unwrap();
+        let r_inf = stats::pearson(&loo, &inf).unwrap();
+        let r_gd = stats::pearson(&loo, &gd).unwrap();
+        assert!(
+            r_inf >= r_gd - 0.05,
+            "influence ({r_inf}) should not trail gradient-dot ({r_gd})"
+        );
+    }
+
+    #[test]
+    fn damping_shrinks_scores() {
+        let data = blobs(20, 4);
+        let cfg = SoftmaxConfig::default();
+        let model = SoftmaxRegression::train(&data, &cfg).unwrap();
+        let a = influence_scores(&model, &data, &[1.0, 0.0], 1, 0.0).unwrap();
+        let b = influence_scores(&model, &data, &[1.0, 0.0], 1, 10.0).unwrap();
+        let na = mlake_tensor::vector::l2_norm(&a);
+        let nb = mlake_tensor::vector::l2_norm(&b);
+        assert!(nb < na, "damped norm {nb} !< undamped {na}");
+    }
+}

@@ -1,0 +1,38 @@
+//! # mlake-attribution
+//!
+//! Training-data attribution and membership inference — the paper's **model
+//! attribution** task (§3): "which training data items d ∈ D are most
+//! influential on the decision; which d, if they were not present in the
+//! training data, would cause the decision to change the most?"
+//!
+//! Estimators, ordered by cost and fidelity:
+//! * [`loo`] — exact leave-one-out retraining: the ground truth (computable
+//!   here because the benchmark lake's models are small and convex — the
+//!   evaluation the LLM-scale literature can only approximate);
+//! * [`influence`] — influence functions (Koh & Liang 2017) with a damped
+//!   Hessian solved by conjugate gradients;
+//! * [`tracin`] — TracIn-style gradient tracing over training checkpoints
+//!   (Pruthi et al. 2020);
+//! * [`saliency`] — extrinsic input-sensitivity analysis (gradients and
+//!   occlusion), the attribution fallback when history is unavailable;
+//! * [`membership`] — membership-inference attacks (Shokri et al. 2017):
+//!   loss-threshold and shadow-model variants, answering "was d in D?";
+//! * [`reconstruction`] — training-data extraction probes (Carlini et al.):
+//!   greedy-decoding overlap with a reference corpus as memorisation
+//!   evidence.
+//!
+//! The convex carrier for exact experiments is [`softmax::SoftmaxRegression`].
+
+pub mod eval;
+pub mod influence;
+pub mod loo;
+pub mod membership;
+pub mod reconstruction;
+pub mod saliency;
+pub mod softmax;
+pub mod tracin;
+
+pub use influence::influence_scores;
+pub use loo::loo_scores;
+pub use softmax::SoftmaxRegression;
+pub use tracin::tracin_scores;

@@ -1,0 +1,242 @@
+//! Membership inference (Shokri et al. 2017; Shi et al. 2024): "is a
+//! specific training data item `d` present in the training data `D`?" — the
+//! paper's history-free attribution fallback (§4 Attribution).
+
+use crate::softmax::{SoftmaxConfig, SoftmaxRegression};
+use mlake_nn::LabeledData;
+use mlake_tensor::{Pcg64, Seed, TensorError};
+
+/// A scored membership decision for one example.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MembershipScore {
+    /// Attack score: larger = more likely a member.
+    pub score: f32,
+    /// Ground-truth membership (known in benchmark evaluation).
+    pub is_member: bool,
+}
+
+/// Loss-threshold attack scores: members tend to have lower loss, so the
+/// attack score is the negated example loss.
+pub fn loss_attack_scores(
+    model: &SoftmaxRegression,
+    members: &LabeledData,
+    non_members: &LabeledData,
+) -> mlake_tensor::Result<Vec<MembershipScore>> {
+    let mut out = Vec::with_capacity(members.len() + non_members.len());
+    for (row, &y) in members.x.rows_iter().zip(&members.y) {
+        out.push(MembershipScore {
+            score: -model.example_loss(row, y)?,
+            is_member: true,
+        });
+    }
+    for (row, &y) in non_members.x.rows_iter().zip(&non_members.y) {
+        out.push(MembershipScore {
+            score: -model.example_loss(row, y)?,
+            is_member: false,
+        });
+    }
+    Ok(out)
+}
+
+/// Area under the ROC curve of attack scores (1.0 = perfect attack, 0.5 =
+/// chance — i.e. the model leaks nothing).
+pub fn auc(scores: &[MembershipScore]) -> f32 {
+    let pos: Vec<f32> = scores.iter().filter(|s| s.is_member).map(|s| s.score).collect();
+    let neg: Vec<f32> = scores.iter().filter(|s| !s.is_member).map(|s| s.score).collect();
+    if pos.is_empty() || neg.is_empty() {
+        return 0.5;
+    }
+    // Mann–Whitney U statistic.
+    let mut wins = 0.0f64;
+    for &p in &pos {
+        for &n in &neg {
+            if p > n {
+                wins += 1.0;
+            } else if p == n {
+                wins += 0.5;
+            }
+        }
+    }
+    (wins / (pos.len() as f64 * neg.len() as f64)) as f32
+}
+
+/// Membership advantage `max_τ (TPR(τ) − FPR(τ))` — the standard scalar
+/// summary of attack power.
+pub fn advantage(scores: &[MembershipScore]) -> f32 {
+    let mut sorted: Vec<&MembershipScore> = scores.iter().collect();
+    sorted.sort_by(|a, b| b.score.total_cmp(&a.score));
+    let p = scores.iter().filter(|s| s.is_member).count() as f32;
+    let n = scores.len() as f32 - p;
+    if p == 0.0 || n == 0.0 {
+        return 0.0;
+    }
+    let (mut tp, mut fp, mut best) = (0.0f32, 0.0f32, 0.0f32);
+    for s in sorted {
+        if s.is_member {
+            tp += 1.0;
+        } else {
+            fp += 1.0;
+        }
+        best = best.max(tp / p - fp / n);
+    }
+    best
+}
+
+/// Shadow-model attack: trains `num_shadows` models on random halves of an
+/// auxiliary population, learns the member/non-member loss threshold from
+/// them, then scores the *target* model's candidates against that threshold.
+///
+/// Returns `(threshold, target_scores)`; decide `score >= -threshold` …
+/// i.e. a candidate is predicted member when its loss is below the learned
+/// threshold.
+pub fn shadow_attack(
+    aux: &LabeledData,
+    target: &SoftmaxRegression,
+    candidates_member: &LabeledData,
+    candidates_non_member: &LabeledData,
+    num_shadows: usize,
+    config: &SoftmaxConfig,
+    seed: Seed,
+) -> mlake_tensor::Result<(f32, Vec<MembershipScore>)> {
+    if num_shadows == 0 || aux.len() < 8 {
+        return Err(TensorError::Empty("shadow attack inputs"));
+    }
+    let mut rng: Pcg64 = seed.derive("shadow").rng();
+    let mut shadow_scores: Vec<MembershipScore> = Vec::new();
+    for _ in 0..num_shadows {
+        let (half_in, half_out) = aux.split(0.5, &mut rng)?;
+        let shadow = SoftmaxRegression::train(&half_in, config)?;
+        shadow_scores.extend(loss_attack_scores(&shadow, &half_in, &half_out)?);
+    }
+    // Learn the threshold maximising balanced accuracy on shadow scores.
+    let mut candidates: Vec<f32> = shadow_scores.iter().map(|s| s.score).collect();
+    candidates.sort_by(f32::total_cmp);
+    candidates.dedup();
+    let pos = shadow_scores.iter().filter(|s| s.is_member).count() as f32;
+    let neg = shadow_scores.len() as f32 - pos;
+    let mut best = (f32::NEG_INFINITY, 0.0f32);
+    for &tau in &candidates {
+        let tp = shadow_scores
+            .iter()
+            .filter(|s| s.is_member && s.score >= tau)
+            .count() as f32;
+        let tn = shadow_scores
+            .iter()
+            .filter(|s| !s.is_member && s.score < tau)
+            .count() as f32;
+        let bal = 0.5 * (tp / pos.max(1.0) + tn / neg.max(1.0));
+        if bal > best.1 {
+            best = (tau, bal);
+        }
+    }
+    let threshold = best.0;
+    let target_scores = loss_attack_scores(target, candidates_member, candidates_non_member)?;
+    Ok((threshold, target_scores))
+}
+
+/// Accuracy of threshold decisions on scored candidates.
+pub fn threshold_accuracy(scores: &[MembershipScore], threshold: f32) -> f32 {
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let correct = scores
+        .iter()
+        .filter(|s| (s.score >= threshold) == s.is_member)
+        .count();
+    correct as f32 / scores.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_tensor::Matrix;
+
+    /// Weak-signal, high-dimensional blobs: dimension 0 carries a faint class
+    /// signal, the other 9 dimensions are pure noise a low-regularisation
+    /// linear model will happily memorise — the overfitting regime MIAs need.
+    fn blobs(n: usize, seed: u64, noise: f32) -> LabeledData {
+        let mut rng = Seed::new(seed).derive("mia-blobs").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let center = if c == 0 { -0.5 } else { 0.5 };
+            let mut x = vec![0.0f32; 10];
+            x[0] = center + rng.normal() * noise;
+            for v in x.iter_mut().skip(1) {
+                *v = rng.normal() * noise;
+            }
+            rows.push(x);
+            labels.push(c);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn overfit_model_leaks_membership() {
+        // Small noisy training set + long training = overfitting = leakage.
+        let members = blobs(16, 1, 1.2);
+        let non_members = blobs(16, 2, 1.2);
+        let cfg = SoftmaxConfig { l2: 1e-6, steps: 2000, lr: 1.0 };
+        let model = SoftmaxRegression::train(&members, &cfg).unwrap();
+        let scores = loss_attack_scores(&model, &members, &non_members).unwrap();
+        let a = auc(&scores);
+        assert!(a > 0.6, "AUC {a}");
+        assert!(advantage(&scores) > 0.15);
+    }
+
+    #[test]
+    fn well_regularised_model_leaks_less() {
+        let members = blobs(64, 3, 1.2);
+        let non_members = blobs(64, 4, 1.2);
+        let overfit_cfg = SoftmaxConfig { l2: 1e-6, steps: 2000, lr: 1.0 };
+        let reg_cfg = SoftmaxConfig { l2: 0.5, steps: 400, lr: 0.5 };
+        let overfit = SoftmaxRegression::train(&blobs(16, 3, 1.2), &overfit_cfg).unwrap();
+        let regular = SoftmaxRegression::train(&members, &reg_cfg).unwrap();
+        let auc_overfit = auc(&loss_attack_scores(&overfit, &blobs(16, 3, 1.2), &non_members).unwrap());
+        let auc_regular = auc(&loss_attack_scores(&regular, &members, &non_members).unwrap());
+        assert!(
+            auc_regular < auc_overfit + 0.05,
+            "regularised AUC {auc_regular} vs overfit {auc_overfit}"
+        );
+    }
+
+    #[test]
+    fn auc_edge_cases() {
+        assert_eq!(auc(&[]), 0.5);
+        let only_pos = [MembershipScore { score: 1.0, is_member: true }];
+        assert_eq!(auc(&only_pos), 0.5);
+        // Perfectly separated.
+        let sep = [
+            MembershipScore { score: 1.0, is_member: true },
+            MembershipScore { score: 0.0, is_member: false },
+        ];
+        assert_eq!(auc(&sep), 1.0);
+        assert_eq!(advantage(&sep), 1.0);
+        assert_eq!(advantage(&only_pos), 0.0);
+    }
+
+    #[test]
+    fn shadow_attack_beats_chance_on_overfit_target() {
+        let aux = blobs(64, 5, 1.2);
+        let target_train = blobs(16, 6, 1.2);
+        let target_out = blobs(16, 7, 1.2);
+        let cfg = SoftmaxConfig { l2: 1e-6, steps: 1500, lr: 1.0 };
+        let target = SoftmaxRegression::train(&target_train, &cfg).unwrap();
+        let (tau, scores) =
+            shadow_attack(&aux, &target, &target_train, &target_out, 4, &cfg, Seed::new(8))
+                .unwrap();
+        let acc = threshold_accuracy(&scores, tau);
+        assert!(acc > 0.55, "attack accuracy {acc}");
+    }
+
+    #[test]
+    fn shadow_attack_validation() {
+        let aux = blobs(4, 9, 1.0);
+        let cfg = SoftmaxConfig::default();
+        let model = SoftmaxRegression::train(&aux, &cfg).unwrap();
+        assert!(shadow_attack(&aux, &model, &aux, &aux, 0, &cfg, Seed::new(1)).is_err());
+        assert!(shadow_attack(&aux, &model, &aux, &aux, 2, &cfg, Seed::new(1)).is_err());
+        assert_eq!(threshold_accuracy(&[], 0.0), 0.0);
+    }
+}

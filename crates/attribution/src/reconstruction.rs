@@ -1,0 +1,143 @@
+//! Training-data reconstruction (extraction) probe — Carlini et al.'s
+//! "extracting training data" attack family, instantiated for the lake's
+//! generative models.
+//!
+//! A language model that memorised its corpus will regenerate long verbatim
+//! spans of it under greedy (most-likely) decoding. The probe greedily
+//! decodes continuations from every context and measures the longest
+//! verbatim overlap with a reference corpus; high overlap on the *training*
+//! corpus but not on held-out text is memorisation evidence — attribution of
+//! the model's content back to `D` without any recorded history (§4).
+
+use mlake_nn::NgramLm;
+use mlake_tensor::vector;
+
+/// Greedy (argmax) decoding of `len` tokens after `prompt`.
+pub fn greedy_decode(lm: &NgramLm, prompt: &[usize], len: usize) -> mlake_tensor::Result<Vec<usize>> {
+    let mut seq = prompt.to_vec();
+    for _ in 0..len {
+        let dist = lm.next_dist(&seq)?;
+        let next = vector::argmax(&dist)
+            .ok_or(mlake_tensor::TensorError::Empty("greedy_decode"))?;
+        seq.push(next);
+    }
+    Ok(seq.split_off(prompt.len()))
+}
+
+/// Length of the longest run of `needle` (from its start) found verbatim
+/// anywhere in `haystack`.
+fn longest_prefix_match(needle: &[usize], haystack: &[usize]) -> usize {
+    let mut best = 0usize;
+    for start in 0..haystack.len() {
+        let mut k = 0;
+        while k < needle.len() && start + k < haystack.len() && haystack[start + k] == needle[k] {
+            k += 1;
+        }
+        best = best.max(k);
+        if best == needle.len() {
+            break;
+        }
+    }
+    best
+}
+
+/// Result of an extraction probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExtractionReport {
+    /// Mean verbatim-continuation length over all probed contexts.
+    pub mean_verbatim_len: f32,
+    /// Longest single verbatim continuation found.
+    pub max_verbatim_len: usize,
+    /// Number of contexts probed.
+    pub contexts: usize,
+}
+
+/// Probes `lm` for memorisation of `corpus`: from every distinct starting
+/// token, greedily decode `span` tokens and measure verbatim overlap with
+/// the corpus. Compare the report on the training corpus against one on
+/// held-out text: a gap is memorisation.
+pub fn extraction_probe(
+    lm: &NgramLm,
+    corpus: &[usize],
+    span: usize,
+) -> mlake_tensor::Result<ExtractionReport> {
+    let mut total = 0usize;
+    let mut max_len = 0usize;
+    let mut contexts = 0usize;
+    for start_tok in 0..lm.vocab() {
+        let decoded = greedy_decode(lm, &[start_tok], span)?;
+        let matched = longest_prefix_match(&decoded, corpus);
+        total += matched;
+        max_len = max_len.max(matched);
+        contexts += 1;
+    }
+    Ok(ExtractionReport {
+        mean_verbatim_len: total as f32 / contexts.max(1) as f32,
+        max_verbatim_len: max_len,
+        contexts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_tensor::Pcg64;
+
+    /// A highly structured corpus the bigram model will memorise.
+    fn cyclic_corpus(n: usize) -> Vec<usize> {
+        (0..n).map(|i| i % 6).collect()
+    }
+
+    fn random_corpus(n: usize, seed: u64) -> Vec<usize> {
+        let mut rng = Pcg64::new(seed);
+        (0..n).map(|_| rng.index(6)).collect()
+    }
+
+    #[test]
+    fn greedy_decode_follows_learned_cycle() {
+        let mut lm = NgramLm::new(6, 2, 0.05).unwrap();
+        lm.add_counts(&cyclic_corpus(120), 1.0).unwrap();
+        let out = greedy_decode(&lm, &[2], 6).unwrap();
+        assert_eq!(out, vec![3, 4, 5, 0, 1, 2]);
+    }
+
+    #[test]
+    fn memorised_corpus_extracts_long_spans() {
+        let corpus = cyclic_corpus(200);
+        let mut lm = NgramLm::new(6, 2, 0.05).unwrap();
+        lm.add_counts(&corpus, 1.0).unwrap();
+        let on_train = extraction_probe(&lm, &corpus, 12).unwrap();
+        assert_eq!(on_train.contexts, 6);
+        // Every greedy continuation reproduces the cycle verbatim.
+        assert!(on_train.mean_verbatim_len > 10.0, "{on_train:?}");
+        // Against unrelated held-out text the overlap collapses.
+        let held_out = random_corpus(200, 9);
+        let off_train = extraction_probe(&lm, &held_out, 12).unwrap();
+        assert!(
+            on_train.mean_verbatim_len > off_train.mean_verbatim_len,
+            "{on_train:?} vs {off_train:?}"
+        );
+    }
+
+    #[test]
+    fn unmemorised_model_extracts_little() {
+        // A model trained on high-entropy text has little to regurgitate:
+        // the extraction gap between its training text and fresh random text
+        // is small compared to the memorised case.
+        let corpus = random_corpus(400, 1);
+        let mut lm = NgramLm::new(6, 2, 0.5).unwrap();
+        lm.add_counts(&corpus, 1.0).unwrap();
+        let on_train = extraction_probe(&lm, &corpus, 12).unwrap();
+        let off_train = extraction_probe(&lm, &random_corpus(400, 2), 12).unwrap();
+        let gap = on_train.mean_verbatim_len - off_train.mean_verbatim_len;
+        assert!(gap.abs() < 6.0, "unexpectedly large memorisation gap {gap}");
+    }
+
+    #[test]
+    fn prefix_match_edges() {
+        assert_eq!(longest_prefix_match(&[], &[1, 2, 3]), 0);
+        assert_eq!(longest_prefix_match(&[1, 2], &[]), 0);
+        assert_eq!(longest_prefix_match(&[2, 3], &[1, 2, 3, 4]), 2);
+        assert_eq!(longest_prefix_match(&[9], &[1, 2]), 0);
+    }
+}

@@ -1,0 +1,354 @@
+//! L2-regularised softmax regression — the convex model class on which
+//! influence estimates can be validated against *exact* leave-one-out
+//! ground truth.
+//!
+//! The bias is folded in as a constant-1 feature, so the parameters are a
+//! single `classes × (dim + 1)` matrix, the loss is strictly convex (for
+//! `l2 > 0`), and full-batch gradient descent converges to the unique
+//! optimum — making retraining deterministic and comparable.
+
+use mlake_nn::LabeledData;
+use mlake_tensor::{vector, Matrix, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Softmax (multinomial logistic) regression with L2 regularisation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SoftmaxRegression {
+    classes: usize,
+    dim: usize,
+    /// `classes × (dim + 1)` weights; last column is the bias.
+    w: Matrix,
+    /// L2 strength used at training time (also the Hessian's ridge).
+    l2: f32,
+}
+
+/// Training options for [`SoftmaxRegression::train`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SoftmaxConfig {
+    /// L2 regularisation strength (must be > 0 for a PD Hessian).
+    pub l2: f32,
+    /// Full-batch gradient steps.
+    pub steps: usize,
+    /// Learning rate.
+    pub lr: f32,
+}
+
+impl Default for SoftmaxConfig {
+    fn default() -> Self {
+        SoftmaxConfig {
+            l2: 0.01,
+            steps: 400,
+            lr: 0.5,
+        }
+    }
+}
+
+impl SoftmaxRegression {
+    /// Trains to (near-)convergence with deterministic full-batch descent.
+    pub fn train(data: &LabeledData, config: &SoftmaxConfig) -> mlake_tensor::Result<Self> {
+        if data.is_empty() {
+            return Err(TensorError::Empty("softmax training data"));
+        }
+        let dim = data.dim();
+        let classes = data.num_classes().max(2);
+        let mut model = SoftmaxRegression {
+            classes,
+            dim,
+            w: Matrix::zeros(classes, dim + 1),
+            l2: config.l2.max(1e-6),
+        };
+        for _ in 0..config.steps {
+            let grad = model.mean_gradient(data)?;
+            let mut params = model.w.as_slice().to_vec();
+            vector::axpy(-config.lr, &grad, &mut params);
+            model.w = Matrix::from_vec(classes, dim + 1, params)?;
+        }
+        Ok(model)
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        self.classes
+    }
+
+    /// Feature dimensionality (excluding the folded bias).
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of scalar parameters.
+    pub fn num_params(&self) -> usize {
+        self.classes * (self.dim + 1)
+    }
+
+    /// Flat parameter view.
+    pub fn params(&self) -> &[f32] {
+        self.w.as_slice()
+    }
+
+    fn augmented(&self, x: &[f32]) -> Vec<f32> {
+        let mut a = Vec::with_capacity(self.dim + 1);
+        a.extend_from_slice(x);
+        a.push(1.0);
+        a
+    }
+
+    /// Class logits for an input.
+    pub fn logits(&self, x: &[f32]) -> mlake_tensor::Result<Vec<f32>> {
+        if x.len() != self.dim {
+            return Err(TensorError::ShapeMismatch {
+                op: "softmax_logits",
+                lhs: (self.dim, 1),
+                rhs: (x.len(), 1),
+            });
+        }
+        self.w.matvec(&self.augmented(x))
+    }
+
+    /// Class probabilities.
+    pub fn predict_probs(&self, x: &[f32]) -> mlake_tensor::Result<Vec<f32>> {
+        Ok(vector::softmax(&self.logits(x)?))
+    }
+
+    /// Most likely class.
+    pub fn predict_class(&self, x: &[f32]) -> mlake_tensor::Result<usize> {
+        vector::argmax(&self.logits(x)?).ok_or(TensorError::Empty("predict_class"))
+    }
+
+    /// Cross-entropy loss of one example (without the L2 term — attribution
+    /// asks about data terms).
+    pub fn example_loss(&self, x: &[f32], y: usize) -> mlake_tensor::Result<f32> {
+        let logits = self.logits(x)?;
+        if y >= logits.len() {
+            return Err(TensorError::OutOfBounds {
+                index: (y, 0),
+                shape: (logits.len(), 1),
+            });
+        }
+        Ok(vector::log_sum_exp(&logits) - logits[y])
+    }
+
+    /// Flat gradient of one example's loss w.r.t. the parameters
+    /// (`classes × (dim+1)` layout, row-major; no L2 term).
+    pub fn example_gradient(&self, x: &[f32], y: usize) -> mlake_tensor::Result<Vec<f32>> {
+        let p = self.predict_probs(x)?;
+        let a = self.augmented(x);
+        let mut g = vec![0.0f32; self.num_params()];
+        for c in 0..self.classes {
+            let coeff = p[c] - if c == y { 1.0 } else { 0.0 };
+            let row = &mut g[c * (self.dim + 1)..(c + 1) * (self.dim + 1)];
+            for (gi, &ai) in row.iter_mut().zip(&a) {
+                *gi = coeff * ai;
+            }
+        }
+        Ok(g)
+    }
+
+    /// Mean data gradient plus the L2 term — the training objective's
+    /// gradient.
+    pub fn mean_gradient(&self, data: &LabeledData) -> mlake_tensor::Result<Vec<f32>> {
+        let mut g = vec![0.0f32; self.num_params()];
+        for (row, &y) in data.x.rows_iter().zip(&data.y) {
+            let gi = self.example_gradient(row, y)?;
+            vector::axpy(1.0, &gi, &mut g);
+        }
+        let n = data.len() as f32;
+        vector::scale(&mut g, 1.0 / n);
+        vector::axpy(self.l2, self.params(), &mut g);
+        Ok(g)
+    }
+
+    /// Mean loss over a dataset (data term only).
+    pub fn mean_loss(&self, data: &LabeledData) -> mlake_tensor::Result<f32> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut acc = 0.0f64;
+        for (row, &y) in data.x.rows_iter().zip(&data.y) {
+            acc += f64::from(self.example_loss(row, y)?);
+        }
+        Ok((acc / data.len() as f64) as f32)
+    }
+
+    /// Classification accuracy.
+    pub fn accuracy(&self, data: &LabeledData) -> mlake_tensor::Result<f32> {
+        if data.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for (row, &y) in data.x.rows_iter().zip(&data.y) {
+            if self.predict_class(row)? == y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f32 / data.len() as f32)
+    }
+
+    /// Explicit Hessian of the training objective
+    /// `H = (1/n) Σ_i (diag(p_i) − p_i p_iᵀ) ⊗ a_i a_iᵀ + l2·I`,
+    /// a `num_params × num_params` matrix. Positive definite for `l2 > 0`.
+    pub fn hessian(&self, data: &LabeledData) -> mlake_tensor::Result<Matrix> {
+        let np = self.num_params();
+        let da = self.dim + 1;
+        let mut h = Matrix::zeros(np, np);
+        for (row, _) in data.x.rows_iter().zip(&data.y) {
+            let p = self.predict_probs(row)?;
+            let a = self.augmented(row);
+            for c1 in 0..self.classes {
+                for c2 in 0..self.classes {
+                    let s = p[c1] * (if c1 == c2 { 1.0 } else { 0.0 } - p[c2]);
+                    if s == 0.0 {
+                        continue;
+                    }
+                    for j in 0..da {
+                        let base = (c1 * da + j) * np + c2 * da;
+                        let aj = a[j] * s;
+                        let hrow = &mut h.as_mut_slice()[base..base + da];
+                        for (hv, &ak) in hrow.iter_mut().zip(&a) {
+                            *hv += aj * ak;
+                        }
+                    }
+                }
+            }
+        }
+        let n = data.len() as f32;
+        h.scale_mut(1.0 / n);
+        for i in 0..np {
+            let v = h.at(i, i) + self.l2;
+            h.set_at(i, i, v);
+        }
+        Ok(h)
+    }
+
+    /// L2 regularisation strength.
+    pub fn l2(&self) -> f32 {
+        self.l2
+    }
+
+    /// Returns a copy with replaced flat parameters (same shape contract as
+    /// [`Self::params`]). Used by checkpointed training.
+    pub fn with_params(&self, params: Vec<f32>) -> mlake_tensor::Result<Self> {
+        Ok(SoftmaxRegression {
+            classes: self.classes,
+            dim: self.dim,
+            w: Matrix::from_vec(self.classes, self.dim + 1, params)?,
+            l2: self.l2,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_tensor::Seed;
+
+    pub(crate) fn blobs(n: usize, seed: u64) -> LabeledData {
+        let mut rng = Seed::new(seed).derive("sm-blobs").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 3;
+            let mut x = vec![0.0f32; 4];
+            x[c] = 2.0;
+            for v in &mut x {
+                *v += rng.normal() * 0.4;
+            }
+            rows.push(x);
+            labels.push(c);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn training_learns() {
+        let data = blobs(120, 1);
+        let m = SoftmaxRegression::train(&data, &SoftmaxConfig::default()).unwrap();
+        assert!(m.accuracy(&data).unwrap() > 0.95);
+        assert!(m.mean_loss(&data).unwrap() < 0.3);
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = blobs(60, 2);
+        let a = SoftmaxRegression::train(&data, &SoftmaxConfig::default()).unwrap();
+        let b = SoftmaxRegression::train(&data, &SoftmaxConfig::default()).unwrap();
+        assert_eq!(a.params(), b.params());
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let data = blobs(30, 3);
+        let m = SoftmaxRegression::train(&data, &SoftmaxConfig { steps: 50, ..Default::default() })
+            .unwrap();
+        let x = data.x.row(0);
+        let y = data.y[0];
+        let g = m.example_gradient(x, y).unwrap();
+        let eps = 1e-2f32;
+        for i in (0..m.num_params()).step_by(4) {
+            let mut mp = m.clone();
+            let mut params = m.w.as_slice().to_vec();
+            params[i] += eps;
+            mp.w = Matrix::from_vec(m.classes, m.dim + 1, params.clone()).unwrap();
+            let lp = mp.example_loss(x, y).unwrap();
+            params[i] -= 2.0 * eps;
+            mp.w = Matrix::from_vec(m.classes, m.dim + 1, params).unwrap();
+            let lm = mp.example_loss(x, y).unwrap();
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - g[i]).abs() < 5e-2, "param {i}: fd {fd} vs {}", g[i]);
+        }
+    }
+
+    #[test]
+    fn hessian_matches_finite_difference_of_gradient() {
+        let data = blobs(20, 4);
+        let m = SoftmaxRegression::train(&data, &SoftmaxConfig { steps: 30, ..Default::default() })
+            .unwrap();
+        let h = m.hessian(&data).unwrap();
+        let np = m.num_params();
+        assert_eq!(h.shape(), (np, np));
+        let eps = 1e-2f32;
+        for i in (0..np).step_by(7) {
+            let mut params = m.w.as_slice().to_vec();
+            params[i] += eps;
+            let mut mp = m.clone();
+            mp.w = Matrix::from_vec(m.classes, m.dim + 1, params.clone()).unwrap();
+            let gp = mp.mean_gradient(&data).unwrap();
+            params[i] -= 2.0 * eps;
+            mp.w = Matrix::from_vec(m.classes, m.dim + 1, params).unwrap();
+            let gm = mp.mean_gradient(&data).unwrap();
+            for j in (0..np).step_by(5) {
+                let fd = (gp[j] - gm[j]) / (2.0 * eps);
+                assert!(
+                    (fd - h.at(j, i)).abs() < 5e-2,
+                    "H[{j},{i}] fd {fd} vs {}",
+                    h.at(j, i)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hessian_is_symmetric_and_ridge_dominated() {
+        let data = blobs(25, 5);
+        let m = SoftmaxRegression::train(&data, &SoftmaxConfig { l2: 0.1, ..Default::default() })
+            .unwrap();
+        let h = m.hessian(&data).unwrap();
+        for i in 0..m.num_params() {
+            assert!(h.at(i, i) >= 0.1 - 1e-5);
+            for j in 0..m.num_params() {
+                assert!((h.at(i, j) - h.at(j, i)).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn validation() {
+        let empty = LabeledData::new(Matrix::zeros(0, 4), vec![]).unwrap();
+        assert!(SoftmaxRegression::train(&empty, &SoftmaxConfig::default()).is_err());
+        let data = blobs(10, 6);
+        let m = SoftmaxRegression::train(&data, &SoftmaxConfig { steps: 5, ..Default::default() })
+            .unwrap();
+        assert!(m.logits(&[1.0]).is_err());
+        assert!(m.example_loss(&[0.0; 4], 99).is_err());
+    }
+}

@@ -1,0 +1,123 @@
+//! TracIn-style attribution (Pruthi et al. 2020): trace the influence of a
+//! training example through training checkpoints as
+//! `Σ_t η · ∇L(test; θ_t) · ∇L(z_i; θ_t)`.
+//!
+//! Unlike influence functions this needs no Hessian — only checkpoints kept
+//! during training — which is why lake registries that store checkpoints
+//! enable cheaper attribution (a concrete payoff of recording history §2).
+
+use crate::softmax::{SoftmaxConfig, SoftmaxRegression};
+use mlake_nn::LabeledData;
+use mlake_tensor::{vector, TensorError};
+
+/// Checkpointed training of the convex carrier: returns the final model and
+/// `num_checkpoints` evenly spaced parameter snapshots.
+pub fn train_with_checkpoints(
+    data: &LabeledData,
+    config: &SoftmaxConfig,
+    num_checkpoints: usize,
+) -> mlake_tensor::Result<(SoftmaxRegression, Vec<SoftmaxRegression>)> {
+    if num_checkpoints == 0 {
+        return Err(TensorError::Empty("tracin checkpoints"));
+    }
+    let every = (config.steps / num_checkpoints).max(1);
+    let mut model = SoftmaxRegression::train(
+        data,
+        &SoftmaxConfig {
+            steps: 0,
+            ..*config
+        },
+    )?;
+    let mut checkpoints = Vec::with_capacity(num_checkpoints);
+    for step in 0..config.steps {
+        let grad = model.mean_gradient(data)?;
+        let mut params = model.params().to_vec();
+        vector::axpy(-config.lr, &grad, &mut params);
+        model = model.with_params(params)?;
+        if (step + 1) % every == 0 && checkpoints.len() < num_checkpoints {
+            checkpoints.push(model.clone());
+        }
+    }
+    if checkpoints.is_empty() {
+        checkpoints.push(model.clone());
+    }
+    Ok((model, checkpoints))
+}
+
+/// TracIn scores for `(test_x, test_y)` over the checkpoints.
+pub fn tracin_scores(
+    checkpoints: &[SoftmaxRegression],
+    lr: f32,
+    data: &LabeledData,
+    test_x: &[f32],
+    test_y: usize,
+) -> mlake_tensor::Result<Vec<f32>> {
+    if checkpoints.is_empty() {
+        return Err(TensorError::Empty("tracin checkpoints"));
+    }
+    let mut scores = vec![0.0f32; data.len()];
+    for ckpt in checkpoints {
+        let g_test = ckpt.example_gradient(test_x, test_y)?;
+        for (i, (row, &y)) in data.x.rows_iter().zip(&data.y).enumerate() {
+            let g_i = ckpt.example_gradient(row, y)?;
+            scores[i] += lr * vector::dot(&g_test, &g_i);
+        }
+    }
+    Ok(scores)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loo::loo_scores;
+    use mlake_tensor::{stats, Matrix, Seed};
+
+    fn blobs(n: usize, seed: u64) -> LabeledData {
+        let mut rng = Seed::new(seed).derive("tracin-blobs").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let center = if c == 0 { -1.5 } else { 1.5 };
+            rows.push(vec![center + rng.normal() * 0.5, rng.normal() * 0.5]);
+            labels.push(c);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn checkpointed_training_matches_plain_training() {
+        let data = blobs(30, 1);
+        let cfg = SoftmaxConfig { steps: 100, ..Default::default() };
+        let plain = SoftmaxRegression::train(&data, &cfg).unwrap();
+        let (ckpt_final, checkpoints) = train_with_checkpoints(&data, &cfg, 5).unwrap();
+        assert_eq!(checkpoints.len(), 5);
+        for (a, b) in plain.params().iter().zip(ckpt_final.params()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+        // Final checkpoint equals the final model.
+        for (a, b) in checkpoints[4].params().iter().zip(ckpt_final.params()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn tracin_correlates_with_loo() {
+        let data = blobs(24, 2);
+        let cfg = SoftmaxConfig { steps: 300, ..Default::default() };
+        let (_, checkpoints) = train_with_checkpoints(&data, &cfg, 6).unwrap();
+        let test_x = [1.5f32, 0.0];
+        let tr = tracin_scores(&checkpoints, cfg.lr, &data, &test_x, 1).unwrap();
+        let loo = loo_scores(&data, &test_x, 1, &cfg).unwrap();
+        let r = stats::pearson(&loo, &tr).expect("non-constant");
+        assert!(r > 0.5, "pearson {r}");
+    }
+
+    #[test]
+    fn validation() {
+        let data = blobs(8, 3);
+        let cfg = SoftmaxConfig { steps: 10, ..Default::default() };
+        assert!(train_with_checkpoints(&data, &cfg, 0).is_err());
+        assert!(tracin_scores(&[], 0.1, &data, &[0.0, 0.0], 0).is_err());
+    }
+}

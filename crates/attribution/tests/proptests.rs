@@ -1,0 +1,95 @@
+//! Property-based tests for attribution: gradient consistency, influence
+//! linearity in damping, and MIA score sanity.
+
+use mlake_attribution::eval::topk_overlap;
+use mlake_attribution::influence::influence_scores;
+use mlake_attribution::membership::{advantage, auc, MembershipScore};
+use mlake_attribution::softmax::{SoftmaxConfig, SoftmaxRegression};
+use mlake_nn::LabeledData;
+use mlake_tensor::{vector, Matrix, Pcg64};
+use proptest::prelude::*;
+
+fn arb_data() -> impl Strategy<Value = LabeledData> {
+    (8usize..20, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = Pcg64::new(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % 2;
+            let center = if c == 0 { -1.2 } else { 1.2 };
+            rows.push(vec![center + rng.normal() * 0.6, rng.normal() * 0.6]);
+            labels.push(c);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The mean per-example gradient plus the L2 term equals the training
+    /// objective gradient (the identity `mean_gradient` promises).
+    #[test]
+    fn mean_gradient_is_mean_of_example_gradients(data in arb_data()) {
+        let cfg = SoftmaxConfig { l2: 0.05, steps: 60, lr: 0.5 };
+        let model = SoftmaxRegression::train(&data, &cfg).unwrap();
+        let mut acc = vec![0.0f32; model.num_params()];
+        for (row, &y) in data.x.rows_iter().zip(&data.y) {
+            let g = model.example_gradient(row, y).unwrap();
+            vector::axpy(1.0, &g, &mut acc);
+        }
+        vector::scale(&mut acc, 1.0 / data.len() as f32);
+        vector::axpy(model.l2(), model.params(), &mut acc);
+        let mg = model.mean_gradient(&data).unwrap();
+        for (a, b) in acc.iter().zip(&mg) {
+            prop_assert!((a - b).abs() < 1e-4);
+        }
+    }
+
+    /// At convergence the objective gradient is near zero.
+    #[test]
+    fn training_reaches_stationarity(data in arb_data()) {
+        let cfg = SoftmaxConfig { l2: 0.1, steps: 600, lr: 0.5 };
+        let model = SoftmaxRegression::train(&data, &cfg).unwrap();
+        let g = model.mean_gradient(&data).unwrap();
+        prop_assert!(vector::l2_norm(&g) < 1e-2, "grad norm {}", vector::l2_norm(&g));
+    }
+
+    /// More damping never increases the influence-score norm.
+    #[test]
+    fn damping_is_contractive(data in arb_data()) {
+        let cfg = SoftmaxConfig { l2: 0.05, steps: 150, lr: 0.5 };
+        let model = SoftmaxRegression::train(&data, &cfg).unwrap();
+        let test_x = [0.8f32, -0.3];
+        let lo = influence_scores(&model, &data, &test_x, 1, 0.01).unwrap();
+        let hi = influence_scores(&model, &data, &test_x, 1, 5.0).unwrap();
+        prop_assert!(vector::l2_norm(&hi) <= vector::l2_norm(&lo) + 1e-5);
+    }
+
+    /// AUC respects score monotonicity: applying a strictly increasing map
+    /// to all scores leaves AUC unchanged.
+    #[test]
+    fn auc_invariant_under_monotone_transform(scores in proptest::collection::vec((any::<bool>(), -5.0f32..5.0), 2..30)) {
+        let base: Vec<MembershipScore> = scores
+            .iter()
+            .map(|&(m, s)| MembershipScore { score: s, is_member: m })
+            .collect();
+        let mapped: Vec<MembershipScore> = scores
+            .iter()
+            .map(|&(m, s)| MembershipScore { score: s.exp().min(1e20), is_member: m })
+            .collect();
+        prop_assert!((auc(&base) - auc(&mapped)).abs() < 1e-4);
+        prop_assert!((0.0..=1.0).contains(&auc(&base)));
+        prop_assert!((0.0..=1.0).contains(&advantage(&base)));
+    }
+
+    /// Top-k overlap is symmetric and 1.0 on identical inputs.
+    #[test]
+    fn topk_overlap_properties(xs in proptest::collection::vec(-10.0f32..10.0, 3..20), k in 1usize..8) {
+        prop_assert_eq!(topk_overlap(&xs, &xs, k), 1.0);
+        let ys: Vec<f32> = xs.iter().map(|x| -x).collect();
+        let ab = topk_overlap(&xs, &ys, k);
+        let ba = topk_overlap(&ys, &xs, k);
+        prop_assert!((ab - ba).abs() < 1e-6);
+    }
+}

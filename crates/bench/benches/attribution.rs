@@ -1,0 +1,62 @@
+//! Criterion benches for E3: cost of attribution estimators versus the
+//! exact leave-one-out ground truth.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlake_attribution::influence::{gradient_dot_scores, influence_scores};
+use mlake_attribution::loo::loo_scores;
+use mlake_attribution::softmax::{SoftmaxConfig, SoftmaxRegression};
+use mlake_attribution::tracin::{tracin_scores, train_with_checkpoints};
+use mlake_datagen::{tabular, Domain};
+use mlake_tensor::Seed;
+use std::hint::black_box;
+
+fn setup() -> (
+    mlake_nn::LabeledData,
+    SoftmaxRegression,
+    Vec<SoftmaxRegression>,
+    SoftmaxConfig,
+) {
+    let cfg = SoftmaxConfig {
+        l2: 0.05,
+        steps: 200,
+        lr: 0.5,
+    };
+    let data = tabular::sample_tabular(
+        &Domain::new("legal"),
+        &tabular::TabularSpec {
+            dim: 4,
+            num_classes: 2,
+            separation: 1.6,
+            noise: 0.8,
+        },
+        24,
+        Seed::new(3),
+        Seed::new(4),
+    );
+    let model = SoftmaxRegression::train(&data, &cfg).unwrap();
+    let (_, ckpts) = train_with_checkpoints(&data, &cfg, 6).unwrap();
+    (data, model, ckpts, cfg)
+}
+
+fn bench_estimators(c: &mut Criterion) {
+    let (data, model, ckpts, cfg) = setup();
+    let test_x = [1.0f32, 0.2, -0.1, 0.4];
+    let mut group = c.benchmark_group("attribution");
+    group.sample_size(20);
+    group.bench_function("influence_cg", |b| {
+        b.iter(|| influence_scores(&model, &data, black_box(&test_x), 1, 0.01).unwrap())
+    });
+    group.bench_function("tracin_6ckpt", |b| {
+        b.iter(|| tracin_scores(&ckpts, cfg.lr, &data, black_box(&test_x), 1).unwrap())
+    });
+    group.bench_function("gradient_dot", |b| {
+        b.iter(|| gradient_dot_scores(&model, &data, black_box(&test_x), 1).unwrap())
+    });
+    group.bench_function("exact_loo_n24", |b| {
+        b.iter(|| loo_scores(&data, black_box(&test_x), 1, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_estimators);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion benches for E4: leaderboard evaluation and lifelong-benchmark
+//! incremental accuracy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlake_benchlab::{Benchmark, Leaderboard, LifelongBenchmark};
+use mlake_datagen::{generate_lake, tabular, Domain, LakeSpec};
+use mlake_tensor::Seed;
+use std::hint::black_box;
+
+fn bench_leaderboard(c: &mut Criterion) {
+    let gt = generate_lake(&LakeSpec::tiny(3));
+    let models: Vec<(u64, mlake_nn::Model)> = gt
+        .models
+        .iter()
+        .enumerate()
+        .map(|(i, m)| (i as u64, m.model.clone()))
+        .collect();
+    let holdout = tabular::sample_tabular(
+        &Domain::new("legal"),
+        &tabular::TabularSpec::default(),
+        90,
+        Seed::new(3),
+        Seed::new(99),
+    );
+    let bench = Benchmark::classification("legal-holdout", holdout);
+    c.bench_function("leaderboard_full_lake", |b| {
+        b.iter(|| Leaderboard::run(black_box(&bench), models.iter().map(|(i, m)| (*i, m))).unwrap())
+    });
+}
+
+fn bench_lifelong(c: &mut Criterion) {
+    let gt = generate_lake(&LakeSpec::tiny(3));
+    let model = gt
+        .models
+        .iter()
+        .find(|m| m.model.as_mlp().is_some())
+        .map(|m| m.model.clone())
+        .expect("classifier exists");
+    let probes = tabular::sample_tabular(
+        &Domain::new("legal"),
+        &tabular::TabularSpec::default(),
+        200,
+        Seed::new(3),
+        Seed::new(98),
+    );
+    c.bench_function("lifelong_cached_accuracy", |b| {
+        let mut pool = LifelongBenchmark::new();
+        pool.extend(&probes);
+        pool.accuracy(0, &model).unwrap(); // warm the cache
+        b.iter(|| pool.accuracy(0, black_box(&model)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_leaderboard, bench_lifelong);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches: fingerprint computation cost per viewpoint and CKA.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlake_bench::exp::e1_versioning::lake_probes;
+use mlake_datagen::{generate_lake, LakeSpec};
+use mlake_fingerprint::{cka::linear_cka, FingerprintKind, Fingerprinter};
+use std::hint::black_box;
+
+fn bench_fingerprints(c: &mut Criterion) {
+    let spec = LakeSpec::tiny(3);
+    let gt = generate_lake(&spec);
+    let fp = Fingerprinter::new(64, 7, lake_probes(spec.seed));
+    let model = &gt.models[0].model;
+    let mut group = c.benchmark_group("fingerprint");
+    for kind in FingerprintKind::ALL {
+        group.bench_function(BenchmarkId::new("kind", kind.name()), |b| {
+            b.iter(|| fp.compute(kind, black_box(model)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_cka(c: &mut Criterion) {
+    let spec = LakeSpec::tiny(3);
+    let gt = generate_lake(&spec);
+    let fp = Fingerprinter::new(64, 7, lake_probes(spec.seed));
+    let mlp_idx = gt
+        .models
+        .iter()
+        .position(|m| m.model.as_mlp().is_some())
+        .expect("classifier exists");
+    let rep = fp.representation(&gt.models[mlp_idx].model, 0).unwrap();
+    c.bench_function("linear_cka_32probes", |b| {
+        b.iter(|| linear_cka(black_box(&rep), black_box(&rep)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_fingerprints, bench_cka);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Criterion benches for the ingestion pipeline (Figure 2 left edge):
+//! SHA-256 content addressing, artifact encode/decode, full lake ingest.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mlake_core::hash::sha256;
+use mlake_core::lake::{LakeConfig, ModelLake};
+use mlake_datagen::{generate_lake, LakeSpec};
+use mlake_nn::Model;
+use std::hint::black_box;
+
+fn bench_sha256(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sha256");
+    for &size in &[1_024usize, 65_536] {
+        let data = vec![0xabu8; size];
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_function(format!("{size}B"), |b| {
+            b.iter(|| sha256(black_box(&data)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_artifact_codec(c: &mut Criterion) {
+    let gt = generate_lake(&LakeSpec::tiny(3));
+    let model = gt.models[0].model.clone();
+    let bytes = model.to_bytes();
+    c.bench_function("artifact_encode", |b| b.iter(|| black_box(&model).to_bytes()));
+    c.bench_function("artifact_decode", |b| {
+        b.iter(|| Model::from_bytes(black_box(&bytes)).unwrap())
+    });
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let gt = generate_lake(&LakeSpec::tiny(3));
+    c.bench_function("lake_ingest_one_model", |b| {
+        let mut counter = 0u64;
+        b.iter_batched(
+            || ModelLake::new(LakeConfig::default()),
+            |lake| {
+                counter += 1;
+                lake.ingest_model(&format!("m-{counter}"), &gt.models[0].model, None)
+                    .unwrap();
+                lake
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_sha256, bench_artifact_codec, bench_ingest);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Criterion benches for E10: MLQL parse and execute latency.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlake_core::lake::{LakeConfig, ModelLake};
+use mlake_core::populate::{populate_from_ground_truth, CardPolicy};
+use mlake_datagen::{generate_lake, LakeSpec};
+use std::hint::black_box;
+
+fn bench_parse(c: &mut Criterion) {
+    let q = "FIND MODELS WHERE domain = 'legal' AND (arch LIKE 'mlp%' OR NOT depth > 2) \
+             ORDER BY score('legal-holdout') DESC LIMIT 10";
+    c.bench_function("mlql_parse", |b| {
+        b.iter(|| mlake_query::parse(black_box(q)).unwrap())
+    });
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let gt = generate_lake(&LakeSpec::tiny(3));
+    let lake = ModelLake::new(LakeConfig::default());
+    populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).unwrap();
+    let mut group = c.benchmark_group("mlql_execute");
+    group.bench_function("metadata_filter", |b| {
+        b.iter(|| lake.query(black_box("FIND MODELS WHERE domain = 'legal'")).unwrap())
+    });
+    // Warm the score cache once so the bench measures steady-state cost.
+    lake.query("FIND MODELS ORDER BY score('legal-holdout') DESC LIMIT 5")
+        .unwrap();
+    group.bench_function("score_ranked_cached", |b| {
+        b.iter(|| {
+            lake.query(black_box(
+                "FIND MODELS ORDER BY score('legal-holdout') DESC LIMIT 5",
+            ))
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_parse, bench_execute);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Criterion benches for E2: end-to-end related-model search latency
+//! through the lake (fingerprint + HNSW) per fingerprint kind.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlake_core::lake::{LakeConfig, ModelLake};
+use mlake_core::populate::{populate_from_ground_truth, CardPolicy};
+use mlake_core::ModelId;
+use mlake_datagen::{generate_lake, LakeSpec};
+use mlake_fingerprint::FingerprintKind;
+use std::hint::black_box;
+
+fn bench_similar(c: &mut Criterion) {
+    let gt = generate_lake(&LakeSpec::tiny(3));
+    let lake = ModelLake::new(LakeConfig::default());
+    populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).unwrap();
+    let mut group = c.benchmark_group("lake_similar_top5");
+    for kind in FingerprintKind::ALL {
+        group.bench_function(BenchmarkId::new("kind", kind.name()), |b| {
+            b.iter(|| lake.similar(black_box(ModelId(0)), kind, 5).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_mlql_similarity_query(c: &mut Criterion) {
+    let gt = generate_lake(&LakeSpec::tiny(3));
+    let lake = ModelLake::new(LakeConfig::default());
+    populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).unwrap();
+    let q = format!(
+        "FIND MODELS SIMILAR TO MODEL '{}' USING hybrid TOP 5",
+        gt.models[0].name
+    );
+    c.bench_function("mlql_similarity_query", |b| {
+        b.iter(|| lake.query(black_box(&q)).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_similar, bench_mlql_similarity_query);
+criterion_main!(benches);

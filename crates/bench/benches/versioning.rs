@@ -1,0 +1,50 @@
+//! Criterion benches for E1: version-graph recovery cost (known-roots vs
+//! blind Edmonds) and transform classification.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mlake_bench::exp::e1_versioning::lake_probes;
+use mlake_datagen::{generate_lake, LakeSpec};
+use mlake_versioning::delta::classify_transform;
+use mlake_versioning::recover::{recover_graph, RecoveryOptions};
+use std::hint::black_box;
+
+fn bench_recovery(c: &mut Criterion) {
+    let spec = LakeSpec::tiny(3);
+    let gt = generate_lake(&spec);
+    let models: Vec<_> = gt.models.iter().map(|m| m.model.clone()).collect();
+    let probes = lake_probes(spec.seed);
+    let known: Vec<usize> = (0..gt.models.len())
+        .filter(|&i| gt.models[i].depth == 0)
+        .collect();
+    let mut group = c.benchmark_group("version_recovery");
+    group.sample_size(20);
+    group.bench_function("known_roots", |b| {
+        b.iter(|| {
+            recover_graph(
+                black_box(&models),
+                Some(&probes),
+                &RecoveryOptions {
+                    known_roots: Some(known.clone()),
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    group.bench_function("blind_edmonds", |b| {
+        b.iter(|| recover_graph(black_box(&models), Some(&probes), &RecoveryOptions::default()))
+    });
+    group.finish();
+}
+
+fn bench_classify(c: &mut Criterion) {
+    let gt = generate_lake(&LakeSpec::tiny(3));
+    let edge = gt.edges.first().expect("has edges");
+    let parent = &gt.models[edge.parent].model;
+    let child = &gt.models[edge.child].model;
+    c.bench_function("classify_transform", |b| {
+        b.iter(|| classify_transform(black_box(parent), black_box(child)))
+    });
+}
+
+criterion_group!(benches, bench_recovery, bench_classify);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Experiment driver: regenerates every table in EXPERIMENTS.md.
+//!
+//! ```text
+//! cargo run -p mlake-bench --bin experiments --release -- all
+//! cargo run -p mlake-bench --bin experiments --release -- e1 e5
+//! cargo run -p mlake-bench --bin experiments --release -- --quick all
+//! ```
+
+use mlake_bench::exp;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let requested: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(String::as_str)
+        .collect();
+    let ids: Vec<&str> = if requested.is_empty() || requested.contains(&"all") {
+        exp::ALL.to_vec()
+    } else {
+        requested
+    };
+    let mut unknown = Vec::new();
+    for id in ids {
+        match exp::run(id, quick) {
+            Some(tables) => {
+                for table in tables {
+                    table.print();
+                }
+            }
+            None => unknown.push(id.to_string()),
+        }
+    }
+    if !unknown.is_empty() {
+        eprintln!(
+            "unknown experiment id(s): {} (known: {})",
+            unknown.join(", "),
+            exp::ALL.join(", ")
+        );
+        std::process::exit(2);
+    }
+}

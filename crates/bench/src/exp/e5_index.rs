@@ -1,0 +1,192 @@
+//! E5 — Indexer scaling (§5 Indexer; Malkov & Yashunin). HNSW vs LSH vs
+//! exact flat scan over synthetic model embeddings: recall@10, query
+//! latency, build time — the sublinear-vs-linear crossover the paper's
+//! indexer component banks on — plus the HNSW `ef` recall/latency knob.
+
+use crate::table::{f3, ms, Table};
+use mlake_index::{recall_at_k, FlatIndex, HnswConfig, HnswIndex, LshConfig, LshIndex, VectorIndex};
+use mlake_tensor::Pcg64;
+use std::time::{Duration, Instant};
+
+/// Clustered synthetic "model embeddings": base-family centroids plus
+/// derivation-scale noise — the geometry real fingerprints have.
+pub fn embeddings(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Pcg64::new(seed);
+    let clusters = (n / 16).clamp(4, 64);
+    let centers: Vec<Vec<f32>> = (0..clusters)
+        .map(|_| (0..dim).map(|_| rng.normal() * 3.0).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &centers[i % clusters];
+            c.iter().map(|&x| x + rng.normal() * 0.4).collect()
+        })
+        .collect()
+}
+
+struct IndexRun {
+    build: Duration,
+    query: Duration,
+    recall: f32,
+}
+
+fn run_index(
+    index: &mut dyn VectorIndex,
+    vectors: &[Vec<f32>],
+    queries: &[Vec<f32>],
+    truth: &FlatIndex,
+) -> IndexRun {
+    let t0 = Instant::now();
+    for (i, v) in vectors.iter().enumerate() {
+        index.insert(i as u64, v).expect("insert");
+    }
+    let build = t0.elapsed();
+    let t0 = Instant::now();
+    for q in queries {
+        index.search(q, 10).expect("search");
+    }
+    let query = t0.elapsed() / queries.len().max(1) as u32;
+    let recall = recall_at_k(index, truth, queries, 10).expect("recall");
+    IndexRun {
+        build,
+        query,
+        recall,
+    }
+}
+
+/// Runs E5.
+pub fn run(quick: bool) -> Vec<Table> {
+    let sizes: &[usize] = if quick {
+        &[500, 2_000]
+    } else {
+        &[1_000, 5_000, 20_000, 50_000]
+    };
+    let dim = 64;
+    let num_queries = if quick { 20 } else { 50 };
+
+    let mut t = Table::new(
+        format!("E5a: index scaling (d={dim}, k=10, {num_queries} queries)"),
+        &["n", "index", "build", "query", "recall@10"],
+    );
+    for &n in sizes {
+        let vectors = embeddings(n, dim, 31);
+        let mut qrng = Pcg64::new(32);
+        let queries: Vec<Vec<f32>> = (0..num_queries)
+            .map(|i| {
+                vectors[(i * 37) % n]
+                    .iter()
+                    .map(|&x| x + qrng.normal() * 0.1)
+                    .collect()
+            })
+            .collect();
+        let mut truth = FlatIndex::new();
+        for (i, v) in vectors.iter().enumerate() {
+            truth.insert(i as u64, v).expect("insert");
+        }
+
+        let mut flat = FlatIndex::new();
+        let r = run_index(&mut flat, &vectors, &queries, &truth);
+        t.row(vec![n.to_string(), "flat (exact)".into(), ms(r.build), ms(r.query), f3(r.recall)]);
+
+        let mut hnsw = HnswIndex::new(HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 5,
+        });
+        let r = run_index(&mut hnsw, &vectors, &queries, &truth);
+        t.row(vec![n.to_string(), "hnsw".into(), ms(r.build), ms(r.query), f3(r.recall)]);
+
+        let mut lsh = LshIndex::new(LshConfig {
+            tables: 12,
+            bits: 12,
+            seed: 5,
+        });
+        let r = run_index(&mut lsh, &vectors, &queries, &truth);
+        t.row(vec![n.to_string(), "lsh".into(), ms(r.build), ms(r.query), f3(r.recall)]);
+    }
+
+    // ---- ef sweep --------------------------------------------------------
+    // Unstructured (pure Gaussian) vectors: the hard regime where the beam
+    // width genuinely trades recall for latency. (Clustered embeddings are
+    // easy enough that even ef=8 saturates.)
+    let n = if quick { 2_000 } else { 20_000 };
+    let mut vrng = Pcg64::new(33);
+    let vectors: Vec<Vec<f32>> = (0..n)
+        .map(|_| (0..dim).map(|_| vrng.normal()).collect())
+        .collect();
+    let mut qrng = Pcg64::new(34);
+    let queries: Vec<Vec<f32>> = (0..num_queries)
+        .map(|_| (0..dim).map(|_| qrng.normal()).collect())
+        .collect();
+    let mut truth = FlatIndex::new();
+    for (i, v) in vectors.iter().enumerate() {
+        truth.insert(i as u64, v).expect("insert");
+    }
+    // Precompute the exact answers outside any timed region.
+    let exact: Vec<std::collections::HashSet<u64>> = queries
+        .iter()
+        .map(|q| {
+            truth
+                .search(q, 10)
+                .expect("truth")
+                .iter()
+                .map(|h| h.id)
+                .collect()
+        })
+        .collect();
+    let mut hnsw = HnswIndex::new(HnswConfig {
+        m: 16,
+        ef_construction: 100,
+        ef_search: 8,
+        seed: 5,
+    });
+    for (i, v) in vectors.iter().enumerate() {
+        hnsw.insert(i as u64, v).expect("insert");
+    }
+    let mut t2 = Table::new(
+        format!("E5b: HNSW recall/latency vs ef (n={n}, unstructured vectors)"),
+        &["ef", "query", "recall@10"],
+    );
+    for &ef in &[8usize, 16, 32, 64, 128, 256] {
+        // Time the searches alone; grade recall outside the timed region.
+        let t0 = Instant::now();
+        let results: Vec<Vec<mlake_index::Hit>> = queries
+            .iter()
+            .map(|q| hnsw.search_ef(q, 10, ef).expect("search"))
+            .collect();
+        let per_query = t0.elapsed() / queries.len().max(1) as u32;
+        let mut acc = 0.0f32;
+        for (hits, truth_set) in results.iter().zip(&exact) {
+            acc += hits.iter().filter(|h| truth_set.contains(&h.id)).count() as f32
+                / truth_set.len().max(1) as f32;
+        }
+        t2.row(vec![
+            ef.to_string(),
+            ms(per_query),
+            f3(acc / queries.len() as f32),
+        ]);
+    }
+    vec![t, t2]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e5_hnsw_has_high_recall() {
+        let tables = run(true);
+        let t = &tables[0];
+        // Rows come in triples (flat, hnsw, lsh) per size; hnsw recall high.
+        let hnsw_recall: f32 = t.rows[1][4].parse().unwrap();
+        assert!(hnsw_recall > 0.85, "hnsw recall {hnsw_recall}");
+        let flat_recall: f32 = t.rows[0][4].parse().unwrap();
+        assert!((flat_recall - 1.0).abs() < 1e-6);
+        // ef sweep is monotone-ish: recall at ef=256 >= recall at ef=8.
+        let t2 = &tables[1];
+        let lo: f32 = t2.rows[0][2].parse().unwrap();
+        let hi: f32 = t2.rows[5][2].parse().unwrap();
+        assert!(hi >= lo);
+    }
+}

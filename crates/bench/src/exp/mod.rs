@@ -1,0 +1,39 @@
+//! Experiment implementations, one module per EXPERIMENTS.md entry.
+
+pub mod e1_versioning;
+pub mod e2_search;
+pub mod e3_attribution;
+pub mod e4_benchmarking;
+pub mod e5_index;
+pub mod e6_weightspace;
+pub mod e7_doccards;
+pub mod e8_audit;
+pub mod e9_membership;
+pub mod e10_query;
+pub mod f1_viewpoints;
+
+use crate::table::Table;
+
+/// Runs an experiment by id ("e1".."e10", "f1"), returning its tables.
+/// `quick` shrinks workloads for tests/CI.
+pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
+    match id {
+        "e1" => Some(e1_versioning::run(quick)),
+        "e2" => Some(e2_search::run(quick)),
+        "e3" => Some(e3_attribution::run(quick)),
+        "e4" => Some(e4_benchmarking::run(quick)),
+        "e5" => Some(e5_index::run(quick)),
+        "e6" => Some(e6_weightspace::run(quick)),
+        "e7" => Some(e7_doccards::run(quick)),
+        "e8" => Some(e8_audit::run(quick)),
+        "e9" => Some(e9_membership::run(quick)),
+        "e10" => Some(e10_query::run(quick)),
+        "f1" => Some(f1_viewpoints::run(quick)),
+        _ => None,
+    }
+}
+
+/// All experiment ids in order.
+pub const ALL: [&str; 11] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "f1",
+];

@@ -1,0 +1,12 @@
+//! # mlake-bench
+//!
+//! The experiment harness. Every experiment in DESIGN.md §6 / EXPERIMENTS.md
+//! is a function here returning a [`table::Table`]; the `experiments` binary
+//! prints them, and unit tests run shrunken configurations to keep the
+//! harness itself correct. Criterion benches in `benches/` cover the
+//! latency-shaped measurements.
+
+pub mod exp;
+pub mod table;
+
+pub use table::Table;

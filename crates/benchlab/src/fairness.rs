@@ -1,0 +1,121 @@
+//! Fairness summaries for nutritional-label card sections (§4 "model cards
+//! can and should be augmented with information more similar to nutritional
+//! labels that also include information about fairness and bias").
+
+use mlake_nn::{LabeledData, Mlp};
+use mlake_tensor::TensorError;
+
+/// Per-group evaluation given a binary protected attribute derived from a
+/// feature column (group 1 when `x[attr] >= threshold`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FairnessReport {
+    /// Accuracy on group 0.
+    pub accuracy_g0: f32,
+    /// Accuracy on group 1.
+    pub accuracy_g1: f32,
+    /// `P(pred = positive | g1) − P(pred = positive | g0)` where "positive"
+    /// is class `positive_class`. Zero means demographic parity.
+    pub demographic_parity_gap: f32,
+    /// Group sizes `(n_g0, n_g1)`.
+    pub group_sizes: (usize, usize),
+}
+
+/// Computes the fairness report of `model` on `data` with groups split by
+/// `attr` column at `threshold` and parity measured on `positive_class`.
+pub fn fairness_report(
+    model: &Mlp,
+    data: &LabeledData,
+    attr: usize,
+    threshold: f32,
+    positive_class: usize,
+) -> mlake_tensor::Result<FairnessReport> {
+    if data.is_empty() {
+        return Err(TensorError::Empty("fairness data"));
+    }
+    if attr >= data.dim() {
+        return Err(TensorError::OutOfBounds {
+            index: (0, attr),
+            shape: data.x.shape(),
+        });
+    }
+    let mut stats = [(0usize, 0usize, 0usize); 2]; // (n, correct, positive)
+    for (row, &y) in data.x.rows_iter().zip(&data.y) {
+        let g = usize::from(row[attr] >= threshold);
+        let pred = model.predict_class(row)?;
+        stats[g].0 += 1;
+        if pred == y {
+            stats[g].1 += 1;
+        }
+        if pred == positive_class {
+            stats[g].2 += 1;
+        }
+    }
+    let acc = |g: usize| {
+        if stats[g].0 == 0 {
+            0.0
+        } else {
+            stats[g].1 as f32 / stats[g].0 as f32
+        }
+    };
+    let pos_rate = |g: usize| {
+        if stats[g].0 == 0 {
+            0.0
+        } else {
+            stats[g].2 as f32 / stats[g].0 as f32
+        }
+    };
+    Ok(FairnessReport {
+        accuracy_g0: acc(0),
+        accuracy_g1: acc(1),
+        demographic_parity_gap: pos_rate(1) - pos_rate(0),
+        group_sizes: (stats[0].0, stats[1].0),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_nn::{train_mlp, Activation, TrainConfig};
+    use mlake_tensor::{init::Init, Matrix, Seed};
+
+    /// Dataset where feature 1 is a "protected attribute" correlated with the
+    /// label — a model that uses it will show a parity gap.
+    fn biased_data(n: usize, seed: u64) -> LabeledData {
+        let mut rng = Seed::new(seed).derive("fair-data").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let signal = if c == 0 { -1.5 } else { 1.5 };
+            // Protected attribute strongly correlated with the class.
+            let attr = if c == 0 { -1.0 } else { 1.0 };
+            rows.push(vec![signal + rng.normal() * 0.4, attr + rng.normal() * 0.2]);
+            labels.push(c);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn detects_parity_gap_on_biased_model() {
+        let data = biased_data(120, 1);
+        let mut rng = Seed::new(2).derive("init").rng();
+        let mut m = Mlp::new(vec![2, 8, 2], Activation::Relu, Init::HeNormal, &mut rng).unwrap();
+        train_mlp(&mut m, &data, &TrainConfig { epochs: 20, ..Default::default() }).unwrap();
+        let report = fairness_report(&m, &data, 1, 0.0, 1).unwrap();
+        // Group 1 (attr >= 0) is almost entirely class 1, so its positive
+        // rate dwarfs group 0's.
+        assert!(report.demographic_parity_gap > 0.8, "{report:?}");
+        assert!(report.group_sizes.0 > 0 && report.group_sizes.1 > 0);
+        assert!(report.accuracy_g0 > 0.8);
+    }
+
+    #[test]
+    fn validation() {
+        let data = biased_data(10, 3);
+        let mut rng = Seed::new(4).rng();
+        let m = Mlp::new(vec![2, 4, 2], Activation::Relu, Init::HeNormal, &mut rng).unwrap();
+        assert!(fairness_report(&m, &data, 9, 0.0, 1).is_err());
+        let empty = LabeledData::new(Matrix::zeros(0, 2), vec![]).unwrap();
+        assert!(fairness_report(&m, &empty, 0, 0.0, 1).is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Lifelong benchmarks (Prabhu et al. 2024, cited in §5): benchmarks that
+//! grow over time without re-evaluating every model from scratch.
+//!
+//! The pool holds classification probes in arrival order; per-model results
+//! are cached per probe, so adding probes or models costs only the delta.
+//! A subsampled estimator gives cheap approximate scores with a normal-
+//! approximation confidence interval.
+
+use mlake_nn::{LabeledData, Model};
+use mlake_tensor::{Pcg64, TensorError};
+use std::collections::HashMap;
+
+/// A growing benchmark with cached incremental evaluation.
+#[derive(Debug, Clone, Default)]
+pub struct LifelongBenchmark {
+    /// Probe examples in arrival order.
+    probes: Vec<(Vec<f32>, usize)>,
+    /// `cache[model_id][probe_index] = correct?`
+    cache: HashMap<u64, Vec<bool>>,
+    /// Number of probe evaluations performed (the cost metric E4 reports).
+    evaluations: u64,
+}
+
+impl LifelongBenchmark {
+    /// Creates an empty pool.
+    pub fn new() -> LifelongBenchmark {
+        LifelongBenchmark::default()
+    }
+
+    /// Number of probes currently pooled.
+    pub fn len(&self) -> usize {
+        self.probes.len()
+    }
+
+    /// `true` when no probes are pooled.
+    pub fn is_empty(&self) -> bool {
+        self.probes.is_empty()
+    }
+
+    /// Total probe evaluations performed so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Appends new probes from a labelled dataset.
+    pub fn extend(&mut self, data: &LabeledData) {
+        for (row, &y) in data.x.rows_iter().zip(&data.y) {
+            self.probes.push((row.to_vec(), y));
+        }
+    }
+
+    /// Full (cached) accuracy of `model` under `model_id`: only probes not
+    /// yet evaluated for this model are run.
+    pub fn accuracy(&mut self, model_id: u64, model: &Model) -> mlake_tensor::Result<f32> {
+        if self.probes.is_empty() {
+            return Ok(0.0);
+        }
+        let entry = self.cache.entry(model_id).or_default();
+        for (x, y) in self.probes.iter().skip(entry.len()) {
+            let probs = model.predict_probs(x)?;
+            let pred = mlake_tensor::vector::argmax(&probs)
+                .ok_or(TensorError::Empty("lifelong probe"))?;
+            entry.push(pred == *y);
+            self.evaluations += 1;
+        }
+        let correct = entry.iter().filter(|&&c| c).count();
+        Ok(correct as f32 / self.probes.len() as f32)
+    }
+
+    /// Subsampled accuracy estimate with a 95% normal-approximation
+    /// confidence half-width: `(estimate, half_width)`. Does not populate
+    /// the cache (it deliberately avoids full evaluation).
+    pub fn sampled_accuracy(
+        &mut self,
+        model: &Model,
+        sample_size: usize,
+        rng: &mut Pcg64,
+    ) -> mlake_tensor::Result<(f32, f32)> {
+        if self.probes.is_empty() || sample_size == 0 {
+            return Ok((0.0, 0.0));
+        }
+        let idx = rng.sample_indices(self.probes.len(), sample_size);
+        let mut correct = 0usize;
+        for &i in &idx {
+            let (x, y) = &self.probes[i];
+            let probs = model.predict_probs(x)?;
+            let pred = mlake_tensor::vector::argmax(&probs)
+                .ok_or(TensorError::Empty("lifelong probe"))?;
+            if pred == *y {
+                correct += 1;
+            }
+            self.evaluations += 1;
+        }
+        let n = idx.len() as f32;
+        let p = correct as f32 / n;
+        let half = 1.96 * (p * (1.0 - p) / n).sqrt();
+        Ok((p, half))
+    }
+
+    /// Forgets cached results for a model (e.g. after it was replaced).
+    pub fn invalidate(&mut self, model_id: u64) {
+        self.cache.remove(&model_id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_nn::{train_mlp, Activation, Mlp, TrainConfig};
+    use mlake_tensor::{init::Init, Matrix, Seed};
+
+    fn data(n: usize, seed: u64) -> LabeledData {
+        let mut rng = Seed::new(seed).derive("ll-data").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let center = if c == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![center + rng.normal() * 0.4, center + rng.normal() * 0.4]);
+            labels.push(c);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    fn model() -> Model {
+        let mut rng = Seed::new(1).derive("init").rng();
+        let mut m = Mlp::new(vec![2, 8, 2], Activation::Relu, Init::HeNormal, &mut rng).unwrap();
+        train_mlp(&mut m, &data(100, 1), &TrainConfig { epochs: 20, ..Default::default() })
+            .unwrap();
+        Model::Mlp(m)
+    }
+
+    #[test]
+    fn incremental_evaluation_only_pays_the_delta() {
+        let mut bench = LifelongBenchmark::new();
+        bench.extend(&data(50, 2));
+        let m = model();
+        let a1 = bench.accuracy(7, &m).unwrap();
+        assert_eq!(bench.evaluations(), 50);
+        // Re-asking costs nothing.
+        let a2 = bench.accuracy(7, &m).unwrap();
+        assert_eq!(bench.evaluations(), 50);
+        assert_eq!(a1, a2);
+        // Growing the pool pays only for the new probes.
+        bench.extend(&data(25, 3));
+        bench.accuracy(7, &m).unwrap();
+        assert_eq!(bench.evaluations(), 75);
+        assert_eq!(bench.len(), 75);
+    }
+
+    #[test]
+    fn accuracy_is_high_for_good_model() {
+        let mut bench = LifelongBenchmark::new();
+        bench.extend(&data(60, 4));
+        let acc = bench.accuracy(1, &model()).unwrap();
+        assert!(acc > 0.9, "acc {acc}");
+    }
+
+    #[test]
+    fn sampled_estimate_brackets_truth() {
+        let mut bench = LifelongBenchmark::new();
+        bench.extend(&data(400, 5));
+        let m = model();
+        let truth = bench.accuracy(1, &m).unwrap();
+        let mut rng = Seed::new(6).rng();
+        let (est, half) = bench.sampled_accuracy(&m, 100, &mut rng).unwrap();
+        assert!(
+            (est - truth).abs() <= half + 0.1,
+            "estimate {est}±{half} vs truth {truth}"
+        );
+        assert!(half > 0.0 || est == 1.0 || est == 0.0);
+    }
+
+    #[test]
+    fn invalidation_and_edges() {
+        let mut bench = LifelongBenchmark::new();
+        assert_eq!(bench.accuracy(1, &model()).unwrap(), 0.0);
+        assert!(bench.is_empty());
+        bench.extend(&data(10, 7));
+        bench.accuracy(1, &model()).unwrap();
+        bench.invalidate(1);
+        bench.accuracy(1, &model()).unwrap();
+        assert_eq!(bench.evaluations(), 20);
+        let mut rng = Seed::new(8).rng();
+        assert_eq!(bench.sampled_accuracy(&model(), 0, &mut rng).unwrap(), (0.0, 0.0));
+    }
+}

@@ -1,0 +1,264 @@
+//! Evaluation metrics for classifiers, language models and generative
+//! distributions.
+
+use mlake_nn::{LabeledData, Mlp};
+use mlake_tensor::{linalg, vector, Matrix, TensorError};
+
+/// Confusion matrix with helpers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Confusion {
+    /// `counts[true_class][predicted_class]`.
+    pub counts: Vec<Vec<usize>>,
+}
+
+impl Confusion {
+    /// Builds the confusion matrix of `model` on `data` over `num_classes`.
+    pub fn of(model: &Mlp, data: &LabeledData, num_classes: usize) -> mlake_tensor::Result<Self> {
+        let k = num_classes.max(data.num_classes());
+        let mut counts = vec![vec![0usize; k]; k];
+        for (row, &y) in data.x.rows_iter().zip(&data.y) {
+            let pred = model.predict_class(row)?;
+            if y < k && pred < k {
+                counts[y][pred] += 1;
+            }
+        }
+        Ok(Confusion { counts })
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let total: usize = self.counts.iter().flatten().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let correct: usize = (0..self.counts.len()).map(|i| self.counts[i][i]).sum();
+        correct as f32 / total as f32
+    }
+
+    /// Per-class precision (`None` when the class was never predicted).
+    pub fn precision(&self, class: usize) -> Option<f32> {
+        let predicted: usize = self.counts.iter().map(|row| row[class]).sum();
+        if predicted == 0 {
+            return None;
+        }
+        Some(self.counts[class][class] as f32 / predicted as f32)
+    }
+
+    /// Per-class recall (`None` when the class never occurs).
+    pub fn recall(&self, class: usize) -> Option<f32> {
+        let actual: usize = self.counts[class].iter().sum();
+        if actual == 0 {
+            return None;
+        }
+        Some(self.counts[class][class] as f32 / actual as f32)
+    }
+
+    /// Macro-averaged F1 over classes that occur.
+    pub fn macro_f1(&self) -> f32 {
+        let mut acc = 0.0f32;
+        let mut n = 0usize;
+        for c in 0..self.counts.len() {
+            if let (Some(p), Some(r)) = (self.precision(c), self.recall(c)) {
+                if p + r > 0.0 {
+                    acc += 2.0 * p * r / (p + r);
+                }
+                n += 1;
+            } else if self.recall(c).is_some() {
+                // Class occurs but never predicted: F1 = 0 counts.
+                n += 1;
+            }
+        }
+        if n == 0 {
+            0.0
+        } else {
+            acc / n as f32
+        }
+    }
+}
+
+/// Expected calibration error with equal-width confidence bins: mean
+/// |confidence − accuracy| weighted by bin mass.
+pub fn expected_calibration_error(
+    model: &Mlp,
+    data: &LabeledData,
+    bins: usize,
+) -> mlake_tensor::Result<f32> {
+    if data.is_empty() || bins == 0 {
+        return Ok(0.0);
+    }
+    let mut bin_conf = vec![0.0f64; bins];
+    let mut bin_correct = vec![0.0f64; bins];
+    let mut bin_count = vec![0usize; bins];
+    for (row, &y) in data.x.rows_iter().zip(&data.y) {
+        let probs = model.predict_probs(row)?;
+        let pred = vector::argmax(&probs).ok_or(TensorError::Empty("ece"))?;
+        let conf = probs[pred];
+        let b = ((conf * bins as f32) as usize).min(bins - 1);
+        bin_conf[b] += f64::from(conf);
+        bin_correct[b] += if pred == y { 1.0 } else { 0.0 };
+        bin_count[b] += 1;
+    }
+    let n = data.len() as f64;
+    let mut ece = 0.0f64;
+    for b in 0..bins {
+        if bin_count[b] == 0 {
+            continue;
+        }
+        let c = bin_count[b] as f64;
+        ece += (c / n) * ((bin_conf[b] / c) - (bin_correct[b] / c)).abs();
+    }
+    Ok(ece as f32)
+}
+
+/// Fréchet distance between Gaussian fits of two feature-sample matrices
+/// (rows = samples) — the construction behind FID. Uses the exact matrix
+/// square root via Jacobi eigendecomposition; suitable for the small feature
+/// dimensions used here.
+pub fn frechet_distance(a: &Matrix, b: &Matrix) -> mlake_tensor::Result<f32> {
+    if a.cols() != b.cols() {
+        return Err(TensorError::ShapeMismatch {
+            op: "frechet",
+            lhs: a.shape(),
+            rhs: b.shape(),
+        });
+    }
+    if a.rows() < 2 || b.rows() < 2 {
+        return Err(TensorError::Empty("frechet samples"));
+    }
+    let mu_a = a.col_means();
+    let mu_b = b.col_means();
+    let cov = |m: &Matrix| -> mlake_tensor::Result<Matrix> {
+        let mut c = m.clone();
+        c.center_cols();
+        let ct = c.transpose().matmul(&c)?;
+        Ok(ct.scale(1.0 / (m.rows() - 1) as f32))
+    };
+    let ca = cov(a)?;
+    let cb = cov(b)?;
+    // tr(Ca + Cb − 2·(Ca Cb)^{1/2}); with Ca^{1/2} = Va √Λa Vaᵀ,
+    // (Ca Cb)^{1/2} has the same trace as (Ca^{1/2} Cb Ca^{1/2})^{1/2},
+    // which is symmetric PSD so its eigen square roots sum the trace.
+    let sqrt_ca = matrix_sqrt(&ca)?;
+    let inner = sqrt_ca.matmul(&cb)?.matmul(&sqrt_ca)?;
+    let (eigs, _) = linalg::jacobi_eigen(&inner, 60)?;
+    let tr_sqrt: f32 = eigs.iter().map(|&e| e.max(0.0).sqrt()).sum();
+    let tr_a: f32 = (0..ca.rows()).map(|i| ca.at(i, i)).sum();
+    let tr_b: f32 = (0..cb.rows()).map(|i| cb.at(i, i)).sum();
+    let mean_term = vector::l2_distance_sq(&mu_a, &mu_b);
+    Ok((mean_term + tr_a + tr_b - 2.0 * tr_sqrt).max(0.0))
+}
+
+fn matrix_sqrt(c: &Matrix) -> mlake_tensor::Result<Matrix> {
+    let (eigs, vecs) = linalg::jacobi_eigen(c, 60)?;
+    let n = c.rows();
+    // vecs rows are eigenvectors: C = Σ λ_i v_i v_iᵀ → √C = Σ √λ_i v_i v_iᵀ.
+    let mut out = Matrix::zeros(n, n);
+    for (i, &l) in eigs.iter().enumerate() {
+        let s = l.max(0.0).sqrt();
+        if s == 0.0 {
+            continue;
+        }
+        let v = vecs.row(i);
+        for r in 0..n {
+            for cix in 0..n {
+                let val = out.at(r, cix) + s * v[r] * v[cix];
+                out.set_at(r, cix, val);
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_nn::{train_mlp, Activation, TrainConfig};
+    use mlake_tensor::{init::Init, Pcg64, Seed};
+
+    fn trained() -> (Mlp, LabeledData) {
+        let mut rng = Seed::new(91).derive("init").rng();
+        let mut m = Mlp::new(vec![2, 8, 2], Activation::Relu, Init::HeNormal, &mut rng).unwrap();
+        let mut drng = Seed::new(92).derive("data").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..120 {
+            let c = i % 2;
+            let center = if c == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![center + drng.normal() * 0.4, center + drng.normal() * 0.4]);
+            labels.push(c);
+        }
+        let data = LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap();
+        train_mlp(&mut m, &data, &TrainConfig { epochs: 20, ..Default::default() }).unwrap();
+        (m, data)
+    }
+
+    #[test]
+    fn confusion_on_good_model() {
+        let (m, data) = trained();
+        let conf = Confusion::of(&m, &data, 2).unwrap();
+        assert!(conf.accuracy() > 0.95);
+        assert!(conf.macro_f1() > 0.95);
+        assert!(conf.precision(0).unwrap() > 0.9);
+        assert!(conf.recall(1).unwrap() > 0.9);
+    }
+
+    #[test]
+    fn confusion_edge_cases() {
+        let c = Confusion { counts: vec![vec![0, 0], vec![0, 0]] };
+        assert_eq!(c.accuracy(), 0.0);
+        assert_eq!(c.precision(0), None);
+        assert_eq!(c.recall(1), None);
+        assert_eq!(c.macro_f1(), 0.0);
+        // Never-predicted class drags macro F1 down.
+        let skew = Confusion { counts: vec![vec![5, 0], vec![5, 0]] };
+        assert!(skew.macro_f1() < 0.6);
+    }
+
+    #[test]
+    fn ece_of_confident_correct_model_is_low() {
+        let (m, data) = trained();
+        let ece = expected_calibration_error(&m, &data, 10).unwrap();
+        assert!(ece < 0.2, "ece {ece}");
+        let empty = LabeledData::new(Matrix::zeros(0, 2), vec![]).unwrap();
+        assert_eq!(expected_calibration_error(&m, &empty, 10).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn frechet_identical_sets_is_zero() {
+        let mut rng = Pcg64::new(1);
+        let a = Matrix::randn(200, 4, &mut rng);
+        let d = frechet_distance(&a, &a).unwrap();
+        assert!(d < 1e-2, "distance {d}");
+    }
+
+    #[test]
+    fn frechet_grows_with_mean_shift() {
+        let mut rng = Pcg64::new(2);
+        let a = Matrix::randn(300, 3, &mut rng);
+        let near = a.map(|x| x + 0.1);
+        let far = a.map(|x| x + 2.0);
+        let dn = frechet_distance(&a, &near).unwrap();
+        let df = frechet_distance(&a, &far).unwrap();
+        assert!(dn < df, "{dn} !< {df}");
+        // Mean shift of 2 in 3 dims => FD ≈ 12.
+        assert!((df - 12.0).abs() < 2.0, "df {df}");
+    }
+
+    #[test]
+    fn frechet_detects_covariance_change() {
+        let mut rng = Pcg64::new(3);
+        let a = Matrix::randn(400, 3, &mut rng);
+        let wide = Matrix::randn(400, 3, &mut rng).scale(2.0);
+        let d = frechet_distance(&a, &wide).unwrap();
+        // tr((1-? )..) for σ 1 vs 2: per-dim (1 + 4 − 2·2) = 1, total ≈ 3.
+        assert!((d - 3.0).abs() < 1.0, "d {d}");
+    }
+
+    #[test]
+    fn frechet_validation() {
+        let a = Matrix::zeros(5, 3);
+        let b = Matrix::zeros(5, 4);
+        assert!(frechet_distance(&a, &b).is_err());
+        assert!(frechet_distance(&Matrix::zeros(1, 3), &a).is_err());
+    }
+}

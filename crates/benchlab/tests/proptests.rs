@@ -1,0 +1,126 @@
+//! Property-based tests for benchlab: metric bounds, leaderboard ordering
+//! invariants, lifelong-benchmark cache coherence.
+
+use mlake_benchlab::benchmark::{Benchmark, BenchmarkKind};
+use mlake_benchlab::metrics::{expected_calibration_error, frechet_distance, Confusion};
+use mlake_benchlab::{Leaderboard, LifelongBenchmark};
+use mlake_nn::{Activation, LabeledData, Mlp, Model};
+use mlake_tensor::{init::Init, Matrix, Pcg64};
+use proptest::prelude::*;
+
+fn arb_data(classes: usize) -> impl Strategy<Value = LabeledData> {
+    (4usize..24, any::<u64>()).prop_map(move |(n, seed)| {
+        let mut rng = Pcg64::new(seed);
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let c = i % classes;
+            let mut x = vec![0.0f32; 3];
+            x[c % 3] = 1.5;
+            for v in &mut x {
+                *v += rng.normal() * 0.5;
+            }
+            rows.push(x);
+            labels.push(c);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    })
+}
+
+fn arb_model() -> impl Strategy<Value = Model> {
+    any::<u64>().prop_map(|seed| {
+        let mut rng = Pcg64::new(seed);
+        Model::Mlp(Mlp::new(vec![3, 6, 3], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn confusion_metrics_bounded(data in arb_data(3), model in arb_model()) {
+        let m = model.as_mlp().unwrap();
+        let conf = Confusion::of(m, &data, 3).unwrap();
+        prop_assert!((0.0..=1.0).contains(&conf.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&conf.macro_f1()));
+        for c in 0..3 {
+            if let Some(p) = conf.precision(c) {
+                prop_assert!((0.0..=1.0).contains(&p));
+            }
+            if let Some(r) = conf.recall(c) {
+                prop_assert!((0.0..=1.0).contains(&r));
+            }
+        }
+        let total: usize = conf.counts.iter().flatten().sum();
+        prop_assert_eq!(total, data.len());
+    }
+
+    #[test]
+    fn ece_bounded(data in arb_data(3), model in arb_model()) {
+        let m = model.as_mlp().unwrap();
+        let ece = expected_calibration_error(m, &data, 10).unwrap();
+        prop_assert!((0.0..=1.0 + 1e-5).contains(&ece));
+    }
+
+    #[test]
+    fn frechet_symmetric_nonnegative(seed in any::<u64>()) {
+        let mut rng = Pcg64::new(seed);
+        let a = Matrix::randn(40, 3, &mut rng);
+        let b = Matrix::randn(40, 3, &mut rng).map(|x| x * 1.3 + 0.2);
+        let ab = frechet_distance(&a, &b).unwrap();
+        let ba = frechet_distance(&b, &a).unwrap();
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 0.05 * ab.max(1.0), "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn leaderboard_is_sorted_and_complete(data in arb_data(3), seeds in proptest::collection::vec(any::<u64>(), 1..5)) {
+        let models: Vec<(u64, Model)> = seeds
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let mut rng = Pcg64::new(s);
+                (
+                    i as u64,
+                    Model::Mlp(
+                        Mlp::new(vec![3, 6, 3], Activation::Tanh, Init::XavierNormal, &mut rng)
+                            .unwrap(),
+                    ),
+                )
+            })
+            .collect();
+        let bench = Benchmark::classification("b", data);
+        let lb = Leaderboard::run(&bench, models.iter().map(|(i, m)| (*i, m))).unwrap();
+        prop_assert_eq!(lb.rows.len() + lb.skipped.len(), models.len());
+        for w in lb.rows.windows(2) {
+            prop_assert!(w[0].score.goodness() >= w[1].score.goodness());
+        }
+        // outperformers of the winner is empty; of the loser covers the rest.
+        if let Some(best) = lb.best() {
+            prop_assert!(lb.outperformers(best.model_id).is_empty());
+        }
+        if let Some(last) = lb.rows.last() {
+            let better = lb.outperformers(last.model_id);
+            prop_assert!(better.len() < lb.rows.len());
+        }
+    }
+
+    #[test]
+    fn lifelong_full_matches_fresh_evaluation(data in arb_data(3), model in arb_model()) {
+        let mut pool = LifelongBenchmark::new();
+        pool.extend(&data);
+        let cached = pool.accuracy(1, &model).unwrap();
+        // A brand-new pool over the same probes must agree exactly.
+        let mut fresh = LifelongBenchmark::new();
+        fresh.extend(&data);
+        let direct = fresh.accuracy(9, &model).unwrap();
+        prop_assert_eq!(cached, direct);
+        // And equals the plain benchmark accuracy.
+        let bench = Benchmark {
+            name: "b".into(),
+            kind: BenchmarkKind::Classification(data),
+        };
+        let s = bench.score(&model).unwrap();
+        prop_assert!((s.value - cached).abs() < 1e-6);
+    }
+}

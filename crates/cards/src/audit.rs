@@ -1,0 +1,264 @@
+//! Compliance auditing (§6): "the model document generation application
+//! procedure can be repurposed for auditing by creating a template
+//! questionnaire and using the information from the model lake to generate a
+//! draft response with proof or explanation about how a requirement is
+//! fulfilled."
+
+use crate::card::ModelCard;
+use crate::verify::CardEvidence;
+use serde::{Deserialize, Serialize};
+
+/// An audit question category (mirrors AI-Act-style questionnaires).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AuditCategory {
+    /// Is the training data documented?
+    DataGovernance,
+    /// Is provenance/lineage established?
+    Provenance,
+    /// Are performance claims substantiated?
+    Performance,
+    /// Are fairness properties measured?
+    Fairness,
+    /// Is the documentation itself trustworthy?
+    Transparency,
+}
+
+/// One audit question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditQuestion {
+    /// Stable identifier, e.g. `"DG-1"`.
+    pub id: String,
+    /// Category.
+    pub category: AuditCategory,
+    /// The question text.
+    pub text: String,
+}
+
+/// The audit answer for one question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditAnswer {
+    /// Question id.
+    pub question_id: String,
+    /// Whether the requirement is satisfied by the evidence.
+    pub satisfied: bool,
+    /// Supporting explanation with pointers to the evidence used.
+    pub explanation: String,
+}
+
+/// A complete audit report.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditReport {
+    /// Audited model name.
+    pub model_name: String,
+    /// Answers in questionnaire order.
+    pub answers: Vec<AuditAnswer>,
+}
+
+impl AuditReport {
+    /// Fraction of requirements satisfied.
+    pub fn coverage(&self) -> f32 {
+        if self.answers.is_empty() {
+            return 0.0;
+        }
+        self.answers.iter().filter(|a| a.satisfied).count() as f32 / self.answers.len() as f32
+    }
+
+    /// Ids of unsatisfied requirements.
+    pub fn gaps(&self) -> Vec<&str> {
+        self.answers
+            .iter()
+            .filter(|a| !a.satisfied)
+            .map(|a| a.question_id.as_str())
+            .collect()
+    }
+}
+
+/// The standard questionnaire shipped with the lake.
+pub fn standard_questionnaire() -> Vec<AuditQuestion> {
+    let q = |id: &str, category: AuditCategory, text: &str| AuditQuestion {
+        id: id.into(),
+        category,
+        text: text.into(),
+    };
+    vec![
+        q("DG-1", AuditCategory::DataGovernance, "Is the training data identified?"),
+        q("DG-2", AuditCategory::DataGovernance, "Is the training algorithm documented?"),
+        q("PR-1", AuditCategory::Provenance, "Is the model's base/lineage established?"),
+        q("PR-2", AuditCategory::Provenance, "Does the claimed lineage match lake-recovered lineage?"),
+        q("PF-1", AuditCategory::Performance, "Are evaluation results reported?"),
+        q("PF-2", AuditCategory::Performance, "Do reported results reproduce under lake re-measurement?"),
+        q("FA-1", AuditCategory::Fairness, "Is a fairness/bias analysis present?"),
+        q("TR-1", AuditCategory::Transparency, "Does the card pass verification without contradictions?"),
+    ]
+}
+
+/// Auto-answers the questionnaire from a card plus lake evidence.
+pub fn run_audit(
+    card: &ModelCard,
+    evidence: &CardEvidence,
+    questions: &[AuditQuestion],
+) -> AuditReport {
+    let verification = crate::verify::verify_card(card, evidence);
+    let metric_contradictions = verification
+        .findings
+        .iter()
+        .filter(|f| {
+            f.field.starts_with("metrics/")
+                && f.severity == crate::verify::Severity::Contradicted
+        })
+        .count();
+    let lineage_contradictions = verification
+        .findings
+        .iter()
+        .filter(|f| {
+            f.field.starts_with("lineage/")
+                && f.severity == crate::verify::Severity::Contradicted
+        })
+        .count();
+    let answers = questions
+        .iter()
+        .map(|q| {
+            let (satisfied, explanation) = match q.id.as_str() {
+                "DG-1" => (
+                    !card.training_data.is_empty(),
+                    format!("{} training dataset reference(s) on card", card.training_data.len()),
+                ),
+                "DG-2" => (
+                    card.training_algorithm.is_some(),
+                    card.training_algorithm
+                        .clone()
+                        .unwrap_or_else(|| "training algorithm undocumented".into()),
+                ),
+                "PR-1" => (
+                    card.lineage.base_model.is_some() || evidence.recovered_base.is_some(),
+                    format!(
+                        "card base: {:?}; lake-recovered base: {:?}",
+                        card.lineage.base_model, evidence.recovered_base
+                    ),
+                ),
+                "PR-2" => (
+                    lineage_contradictions == 0,
+                    format!("{lineage_contradictions} lineage contradiction(s) found"),
+                ),
+                "PF-1" => (
+                    !card.metrics.is_empty(),
+                    format!("{} reported metric(s)", card.metrics.len()),
+                ),
+                "PF-2" => (
+                    metric_contradictions == 0 && !evidence.measured_metrics.is_empty(),
+                    format!(
+                        "{} re-measured benchmark(s), {metric_contradictions} contradiction(s)",
+                        evidence.measured_metrics.len()
+                    ),
+                ),
+                "FA-1" => (
+                    card.quantitative
+                        .as_ref()
+                        .is_some_and(|n| n.demographic_parity_gap.is_some()),
+                    "nutritional-label fairness section".into(),
+                ),
+                "TR-1" => (
+                    verification.passes(),
+                    format!("{} contradiction(s) in verification", verification.contradictions()),
+                ),
+                _ => (false, "unknown requirement".into()),
+            };
+            AuditAnswer {
+                question_id: q.id.clone(),
+                satisfied,
+                explanation,
+            }
+        })
+        .collect();
+    AuditReport {
+        model_name: card.model_name.clone(),
+        answers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::card::{Lineage, NutritionalLabel, ReportedMetric, TrainingDataRef};
+
+    fn good_card() -> ModelCard {
+        let mut c = ModelCard::skeleton("m", "mlp:2-2:relu");
+        c.training_algorithm = Some("sgd".into());
+        c.training_data = vec![TrainingDataRef {
+            dataset_name: "d".into(),
+            dataset_id: Some(0),
+        }];
+        c.metrics = vec![ReportedMetric {
+            benchmark: "b".into(),
+            metric: "accuracy".into(),
+            value: 0.9,
+        }];
+        c.quantitative = Some(NutritionalLabel {
+            demographic_parity_gap: Some(0.01),
+            group_accuracies: None,
+            calibration_ece: None,
+            parameter_count: Some(10),
+        });
+        c.lineage = Lineage {
+            base_model: Some("base".into()),
+            transform: Some("finetune".into()),
+            second_parent: None,
+        };
+        c
+    }
+
+    fn good_evidence() -> CardEvidence {
+        CardEvidence {
+            measured_metrics: vec![ReportedMetric {
+                benchmark: "b".into(),
+                metric: "accuracy".into(),
+                value: 0.9,
+            }],
+            recovered_base: Some("base".into()),
+            recovered_transform: Some("finetune".into()),
+            predicted_domain: None,
+        }
+    }
+
+    #[test]
+    fn compliant_model_has_full_coverage() {
+        let report = run_audit(&good_card(), &good_evidence(), &standard_questionnaire());
+        assert_eq!(report.coverage(), 1.0, "gaps: {:?}", report.gaps());
+        assert!(report.gaps().is_empty());
+    }
+
+    #[test]
+    fn undocumented_model_fails_governance() {
+        let bare = ModelCard::skeleton("m", "mlp:2-2:relu");
+        let report = run_audit(&bare, &CardEvidence::default(), &standard_questionnaire());
+        assert!(report.coverage() < 0.5);
+        assert!(report.gaps().contains(&"DG-1"));
+        assert!(report.gaps().contains(&"PF-1"));
+    }
+
+    #[test]
+    fn lying_card_fails_transparency() {
+        let mut card = good_card();
+        card.lineage.base_model = Some("someone-else".into());
+        let report = run_audit(&card, &good_evidence(), &standard_questionnaire());
+        assert!(report.gaps().contains(&"PR-2"));
+        assert!(report.gaps().contains(&"TR-1"));
+    }
+
+    #[test]
+    fn questionnaire_has_distinct_ids() {
+        let qs = standard_questionnaire();
+        let ids: std::collections::HashSet<_> = qs.iter().map(|q| q.id.as_str()).collect();
+        assert_eq!(ids.len(), qs.len());
+        assert_eq!(qs.len(), 8);
+    }
+
+    #[test]
+    fn empty_report_coverage() {
+        let r = AuditReport {
+            model_name: "m".into(),
+            answers: vec![],
+        };
+        assert_eq!(r.coverage(), 0.0);
+    }
+}

@@ -1,0 +1,198 @@
+//! The model-card schema, after Mitchell et al. (2019): model details,
+//! intended use, training data, metrics, quantitative analyses — plus the
+//! lineage fields hubs have recently added (§4: "Hugging Face recently
+//! introduced new metadata fields… enabling users to specify the base model
+//! and explain how it has been modified").
+
+use serde::{Deserialize, Serialize};
+
+/// Reference to a training dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingDataRef {
+    /// Human-readable dataset name.
+    pub dataset_name: String,
+    /// Lake dataset id, when known.
+    pub dataset_id: Option<u64>,
+}
+
+/// A metric value the card claims.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReportedMetric {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Metric name ("accuracy", "perplexity", …).
+    pub metric: String,
+    /// Claimed value.
+    pub value: f32,
+}
+
+/// Nutritional-label style quantitative analysis section.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NutritionalLabel {
+    /// Demographic parity gap measured on the reference fairness probe.
+    pub demographic_parity_gap: Option<f32>,
+    /// Per-group accuracies `(g0, g1)`.
+    pub group_accuracies: Option<(f32, f32)>,
+    /// Expected calibration error.
+    pub calibration_ece: Option<f32>,
+    /// Energy proxy: parameter count (stand-in for the carbon reporting of
+    /// Lacoste et al., which needs hardware telemetry we do not simulate).
+    pub parameter_count: Option<u64>,
+}
+
+/// Lineage section: how this model relates to others.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Lineage {
+    /// Claimed base (parent) model name.
+    pub base_model: Option<String>,
+    /// Claimed derivation operator name ("finetune", "lora", …).
+    pub transform: Option<String>,
+    /// Claimed second parent (stitch/merge).
+    pub second_parent: Option<String>,
+}
+
+/// A model card.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ModelCard {
+    /// Model name the card documents.
+    pub model_name: String,
+    /// Architecture signature (e.g. `mlp:8-16-3:relu`).
+    pub architecture: String,
+    /// Training-algorithm description — the `A` of `(D, A)`.
+    pub training_algorithm: Option<String>,
+    /// Intended task tags (e.g. `"summarization"`, `"classification"`).
+    pub task_tags: Vec<String>,
+    /// Intended domains (e.g. `"legal"`).
+    pub domains: Vec<String>,
+    /// Training data references — the `D` of `(D, A)`.
+    pub training_data: Vec<TrainingDataRef>,
+    /// Claimed evaluation results.
+    pub metrics: Vec<ReportedMetric>,
+    /// Quantitative analysis / nutritional label.
+    pub quantitative: Option<NutritionalLabel>,
+    /// Lineage claims.
+    pub lineage: Lineage,
+    /// Free-form notes.
+    pub notes: String,
+    /// Logical creation timestamp (lake event counter).
+    pub created_at: u64,
+}
+
+impl ModelCard {
+    /// A minimal card with only the mandatory identity fields.
+    pub fn skeleton(model_name: impl Into<String>, architecture: impl Into<String>) -> ModelCard {
+        ModelCard {
+            model_name: model_name.into(),
+            architecture: architecture.into(),
+            training_algorithm: None,
+            task_tags: Vec::new(),
+            domains: Vec::new(),
+            training_data: Vec::new(),
+            metrics: Vec::new(),
+            quantitative: None,
+            lineage: Lineage::default(),
+            notes: String::new(),
+            created_at: 0,
+        }
+    }
+
+    /// Completeness in `[0, 1]`: the fraction of the seven optional card
+    /// sections that are filled (the measurement axis of Liang et al.'s
+    /// 32K-card study, reproduced for E7).
+    pub fn completeness(&self) -> f32 {
+        let sections = [
+            self.training_algorithm.is_some(),
+            !self.task_tags.is_empty(),
+            !self.domains.is_empty(),
+            !self.training_data.is_empty(),
+            !self.metrics.is_empty(),
+            self.quantitative.is_some(),
+            self.lineage.base_model.is_some() || self.lineage.transform.is_some(),
+        ];
+        sections.iter().filter(|&&s| s).count() as f32 / sections.len() as f32
+    }
+
+    /// Serialises to pretty JSON (the hub interchange format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("card serialisation is infallible")
+    }
+
+    /// Parses a JSON card.
+    pub fn from_json(s: &str) -> Result<ModelCard, serde_json::Error> {
+        serde_json::from_str(s)
+    }
+
+    /// Looks up a claimed metric.
+    pub fn claimed_metric(&self, benchmark: &str, metric: &str) -> Option<f32> {
+        self.metrics
+            .iter()
+            .find(|m| m.benchmark == benchmark && m.metric == metric)
+            .map(|m| m.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_card() -> ModelCard {
+        ModelCard {
+            model_name: "legal-mlp16-base-f0".into(),
+            architecture: "mlp:8-16-3:relu".into(),
+            training_algorithm: Some("sgd(lr=0.1) epochs=15".into()),
+            task_tags: vec!["classification".into()],
+            domains: vec!["legal".into()],
+            training_data: vec![TrainingDataRef {
+                dataset_name: "legal-tab-v1".into(),
+                dataset_id: Some(0),
+            }],
+            metrics: vec![ReportedMetric {
+                benchmark: "legal-holdout".into(),
+                metric: "accuracy".into(),
+                value: 0.93,
+            }],
+            quantitative: Some(NutritionalLabel {
+                demographic_parity_gap: Some(0.02),
+                group_accuracies: Some((0.92, 0.94)),
+                calibration_ece: Some(0.05),
+                parameter_count: Some(195),
+            }),
+            lineage: Lineage {
+                base_model: None,
+                transform: None,
+                second_parent: None,
+            },
+            notes: "Foundation model of family 0".into(),
+            created_at: 17,
+        }
+    }
+
+    #[test]
+    fn completeness_scale() {
+        let skeleton = ModelCard::skeleton("m", "mlp:2-2:relu");
+        assert_eq!(skeleton.completeness(), 0.0);
+        let full = full_card();
+        // Six of seven sections filled (no lineage for a base model).
+        assert!((full.completeness() - 6.0 / 7.0).abs() < 1e-6);
+        let mut with_lineage = full.clone();
+        with_lineage.lineage.base_model = Some("x".into());
+        assert!((with_lineage.completeness() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let card = full_card();
+        let json = card.to_json();
+        let back = ModelCard::from_json(&json).unwrap();
+        assert_eq!(card, back);
+        assert!(ModelCard::from_json("{not json").is_err());
+    }
+
+    #[test]
+    fn claimed_metric_lookup() {
+        let card = full_card();
+        assert_eq!(card.claimed_metric("legal-holdout", "accuracy"), Some(0.93));
+        assert_eq!(card.claimed_metric("legal-holdout", "ece"), None);
+        assert_eq!(card.claimed_metric("other", "accuracy"), None);
+    }
+}

@@ -1,0 +1,105 @@
+//! Model citation (§6): "if a particular model is used, the platform would
+//! refer to its versioning graph and generate a citation with the model
+//! version and timestamp of the graph. Upon any updates of the graph, a new
+//! citation would be generated."
+
+use serde::{Deserialize, Serialize};
+
+/// A generated, graph-versioned citation.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Citation {
+    /// Cited model name.
+    pub model_name: String,
+    /// Lineage path from the root, root first (e.g. `["base", "ft", "me"]`).
+    pub version_path: Vec<String>,
+    /// Logical timestamp of the version graph at citation time.
+    pub graph_timestamp: u64,
+    /// Lake identifier.
+    pub lake_name: String,
+}
+
+impl Citation {
+    /// The citation key, stable for a given model + graph state, e.g.
+    /// `lake/legal-ft-7@v42` — changes exactly when the graph changes.
+    pub fn key(&self) -> String {
+        format!(
+            "{}/{}@v{}",
+            self.lake_name, self.model_name, self.graph_timestamp
+        )
+    }
+
+    /// One-line human-readable citation.
+    pub fn text(&self) -> String {
+        let lineage = if self.version_path.len() > 1 {
+            format!(" (derived: {})", self.version_path.join(" → "))
+        } else {
+            String::new()
+        };
+        format!(
+            "Model \"{}\"{}, model lake \"{}\", version graph snapshot v{}.",
+            self.model_name, lineage, self.lake_name, self.graph_timestamp
+        )
+    }
+
+    /// BibTeX-style entry for papers and reports.
+    pub fn bibtex(&self) -> String {
+        let sanitized: String = self
+            .model_name
+            .chars()
+            .map(|c| if c.is_alphanumeric() { c } else { '-' })
+            .collect();
+        format!(
+            "@misc{{{key},\n  title = {{{name}}},\n  howpublished = {{Model lake \"{lake}\"}},\n  note = {{Version graph snapshot v{ts}; lineage: {path}}}\n}}",
+            key = sanitized,
+            name = self.model_name,
+            lake = self.lake_name,
+            ts = self.graph_timestamp,
+            path = self.version_path.join(" -> "),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn citation(ts: u64) -> Citation {
+        Citation {
+            model_name: "legal-ft-7".into(),
+            version_path: vec!["legal-mlp16-base-f0".into(), "legal-ft-7".into()],
+            graph_timestamp: ts,
+            lake_name: "benchmark-lake".into(),
+        }
+    }
+
+    #[test]
+    fn key_changes_with_graph_state() {
+        let a = citation(42);
+        let b = citation(43);
+        assert_eq!(a.key(), "benchmark-lake/legal-ft-7@v42");
+        assert_ne!(a.key(), b.key());
+    }
+
+    #[test]
+    fn text_mentions_lineage() {
+        let c = citation(42);
+        let t = c.text();
+        assert!(t.contains("legal-ft-7"));
+        assert!(t.contains("→"));
+        assert!(t.contains("v42"));
+        // Root model: no lineage clause.
+        let root = Citation {
+            version_path: vec!["base".into()],
+            ..citation(1)
+        };
+        assert!(!root.text().contains("derived"));
+    }
+
+    #[test]
+    fn bibtex_is_well_formed() {
+        let b = citation(7).bibtex();
+        assert!(b.starts_with("@misc{legal-ft-7,"));
+        assert!(b.contains("snapshot v7"));
+        assert!(b.ends_with('}'));
+    }
+}

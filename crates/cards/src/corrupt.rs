@@ -1,0 +1,164 @@
+//! Card-corruption generator: labelled positives for the verification
+//! experiment (E7). Each corruption models a documented hub failure mode —
+//! incompleteness (Liang et al.) or active deception (PoisonGPT).
+
+use crate::card::ModelCard;
+use serde::{Deserialize, Serialize};
+
+/// Ways a card can be wrong.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CardCorruption {
+    /// Training-data section deleted (incompleteness).
+    OmitTrainingData,
+    /// Metrics section deleted (incompleteness).
+    OmitMetrics,
+    /// Every claimed metric inflated (benchmark gaming).
+    InflateMetrics,
+    /// Base-model claim replaced with a false name (provenance laundering).
+    FalseBaseModel,
+    /// Domain claim swapped (mis-tagging, the Example 1.1 search hazard).
+    WrongDomain,
+}
+
+impl CardCorruption {
+    /// All corruption kinds.
+    pub const ALL: [CardCorruption; 5] = [
+        CardCorruption::OmitTrainingData,
+        CardCorruption::OmitMetrics,
+        CardCorruption::InflateMetrics,
+        CardCorruption::FalseBaseModel,
+        CardCorruption::WrongDomain,
+    ];
+
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CardCorruption::OmitTrainingData => "omit-training-data",
+            CardCorruption::OmitMetrics => "omit-metrics",
+            CardCorruption::InflateMetrics => "inflate-metrics",
+            CardCorruption::FalseBaseModel => "false-base-model",
+            CardCorruption::WrongDomain => "wrong-domain",
+        }
+    }
+
+    /// Whether verification can catch this corruption from evidence alone
+    /// (omissions are detectable as incompleteness, not as contradiction).
+    pub fn is_deceptive(self) -> bool {
+        matches!(
+            self,
+            CardCorruption::InflateMetrics
+                | CardCorruption::FalseBaseModel
+                | CardCorruption::WrongDomain
+        )
+    }
+}
+
+/// Applies a corruption to a copy of `card`. `alt_name` supplies the false
+/// base-model claim; `alt_domain` the swapped domain.
+pub fn corrupt_card(
+    card: &ModelCard,
+    corruption: CardCorruption,
+    alt_name: &str,
+    alt_domain: &str,
+) -> ModelCard {
+    let mut c = card.clone();
+    match corruption {
+        CardCorruption::OmitTrainingData => {
+            c.training_data.clear();
+        }
+        CardCorruption::OmitMetrics => {
+            c.metrics.clear();
+        }
+        CardCorruption::InflateMetrics => {
+            for m in &mut c.metrics {
+                // Push accuracy-like metrics toward 1 and cost-like toward 0:
+                // the direction that makes the model look better.
+                if m.metric == "accuracy" {
+                    m.value = (m.value + 0.5).min(0.999);
+                } else {
+                    m.value *= 0.3;
+                }
+            }
+        }
+        CardCorruption::FalseBaseModel => {
+            c.lineage.base_model = Some(alt_name.to_string());
+        }
+        CardCorruption::WrongDomain => {
+            c.domains = vec![alt_domain.to_string()];
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::card::{Lineage, ReportedMetric, TrainingDataRef};
+
+    fn card() -> ModelCard {
+        let mut c = ModelCard::skeleton("legal-model", "mlp:8-16-3:relu");
+        c.domains = vec!["legal".into()];
+        c.training_data = vec![TrainingDataRef {
+            dataset_name: "legal-tab-v1".into(),
+            dataset_id: Some(0),
+        }];
+        c.metrics = vec![
+            ReportedMetric {
+                benchmark: "b".into(),
+                metric: "accuracy".into(),
+                value: 0.8,
+            },
+            ReportedMetric {
+                benchmark: "b".into(),
+                metric: "ece".into(),
+                value: 0.1,
+            },
+        ];
+        c.lineage = Lineage {
+            base_model: Some("true-base".into()),
+            transform: Some("finetune".into()),
+            second_parent: None,
+        };
+        c
+    }
+
+    #[test]
+    fn omissions_reduce_completeness() {
+        let c = card();
+        let before = c.completeness();
+        let omitted = corrupt_card(&c, CardCorruption::OmitTrainingData, "x", "y");
+        assert!(omitted.training_data.is_empty());
+        assert!(omitted.completeness() < before);
+        let no_metrics = corrupt_card(&c, CardCorruption::OmitMetrics, "x", "y");
+        assert!(no_metrics.metrics.is_empty());
+    }
+
+    #[test]
+    fn inflation_moves_in_flattering_direction() {
+        let c = card();
+        let inflated = corrupt_card(&c, CardCorruption::InflateMetrics, "x", "y");
+        assert!(inflated.metrics[0].value > c.metrics[0].value); // accuracy up
+        assert!(inflated.metrics[1].value < c.metrics[1].value); // ece down
+        assert!(inflated.metrics[0].value < 1.0);
+    }
+
+    #[test]
+    fn lineage_and_domain_swaps() {
+        let c = card();
+        let false_base = corrupt_card(&c, CardCorruption::FalseBaseModel, "evil-base", "y");
+        assert_eq!(false_base.lineage.base_model.as_deref(), Some("evil-base"));
+        let wrong = corrupt_card(&c, CardCorruption::WrongDomain, "x", "medical");
+        assert_eq!(wrong.domains, vec!["medical".to_string()]);
+        // Original untouched.
+        assert_eq!(c.domains, vec!["legal".to_string()]);
+    }
+
+    #[test]
+    fn deceptiveness_flags() {
+        assert!(CardCorruption::InflateMetrics.is_deceptive());
+        assert!(!CardCorruption::OmitMetrics.is_deceptive());
+        let names: std::collections::HashSet<_> =
+            CardCorruption::ALL.iter().map(|c| c.name()).collect();
+        assert_eq!(names.len(), 5);
+    }
+}

@@ -1,0 +1,25 @@
+//! # mlake-cards
+//!
+//! Model documentation as data: model cards (Mitchell et al. 2019),
+//! nutritional-label sections (Stoyanovich & Howe 2019), **card
+//! verification** (§4: "there remains a critical gap in the verification of
+//! model cards… people could intentionally misinform model users with
+//! malicious intent" — the PoisonGPT scenario), **citations** (§6 Data and
+//! Model Citation) and **audit questionnaires** (§6 Auditing).
+//!
+//! This crate is deliberately model-free: it defines the document schemas
+//! and the pure logic over them (completeness, corruption, verification,
+//! citation, audit). The evidence that feeds verification — measured
+//! benchmark scores, recovered lineage — is produced by the lake
+//! (`mlake-core`) and passed in, keeping the trust boundary explicit.
+
+pub mod audit;
+pub mod card;
+pub mod citation;
+pub mod corrupt;
+pub mod verify;
+
+pub use card::{Lineage, ModelCard, NutritionalLabel, ReportedMetric, TrainingDataRef};
+pub use citation::Citation;
+pub use corrupt::{corrupt_card, CardCorruption};
+pub use verify::{verify_card, CardEvidence, Finding, Severity, VerificationReport};

@@ -1,0 +1,283 @@
+//! Card verification: check documentation claims against lake-measured
+//! evidence (§4: "the state-of-the-art in verifying the documentation of a
+//! model is notably in its infancy").
+//!
+//! The verifier never trusts the card: reported metrics are compared against
+//! re-measured scores, the lineage claim against the recovered version
+//! graph, and the domain claim against the weight-space domain prediction.
+
+use crate::card::{ModelCard, ReportedMetric};
+use serde::{Deserialize, Serialize};
+
+/// Lake-measured evidence about a model (produced by `mlake-core`).
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CardEvidence {
+    /// Re-measured benchmark results.
+    pub measured_metrics: Vec<ReportedMetric>,
+    /// Parent name recovered by version-graph analysis.
+    pub recovered_base: Option<String>,
+    /// Transform name recovered from the weight delta.
+    pub recovered_transform: Option<String>,
+    /// Domain predicted from behaviour/weights.
+    pub predicted_domain: Option<String>,
+}
+
+/// Severity of a finding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// Section missing — incomplete but not contradicted.
+    Incomplete,
+    /// Claim contradicted by evidence.
+    Contradicted,
+}
+
+/// One verification finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Finding {
+    /// Card field concerned.
+    pub field: String,
+    /// What the card claims.
+    pub claimed: String,
+    /// What the lake observed.
+    pub observed: String,
+    /// Severity.
+    pub severity: Severity,
+}
+
+/// The verification outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationReport {
+    /// All findings, contradictions first.
+    pub findings: Vec<Finding>,
+    /// Card completeness at verification time.
+    pub completeness: f32,
+}
+
+impl VerificationReport {
+    /// `true` when no claim was contradicted (omissions alone still pass).
+    pub fn passes(&self) -> bool {
+        !self
+            .findings
+            .iter()
+            .any(|f| f.severity == Severity::Contradicted)
+    }
+
+    /// Number of contradicted claims.
+    pub fn contradictions(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Contradicted)
+            .count()
+    }
+}
+
+/// Relative tolerance for metric agreement: re-measurement on the lake's
+/// own benchmark should reproduce honest claims within this bound.
+pub const METRIC_TOLERANCE: f32 = 0.05;
+
+/// Verifies `card` against `evidence`.
+pub fn verify_card(card: &ModelCard, evidence: &CardEvidence) -> VerificationReport {
+    let mut findings = Vec::new();
+
+    // Metrics: every claimed metric that the lake re-measured must agree.
+    for claim in &card.metrics {
+        if let Some(measured) = evidence
+            .measured_metrics
+            .iter()
+            .find(|m| m.benchmark == claim.benchmark && m.metric == claim.metric)
+        {
+            let scale = measured.value.abs().max(1e-3);
+            if (claim.value - measured.value).abs() / scale > METRIC_TOLERANCE {
+                findings.push(Finding {
+                    field: format!("metrics/{}/{}", claim.benchmark, claim.metric),
+                    claimed: format!("{:.4}", claim.value),
+                    observed: format!("{:.4}", measured.value),
+                    severity: Severity::Contradicted,
+                });
+            }
+        }
+    }
+    if card.metrics.is_empty() && !evidence.measured_metrics.is_empty() {
+        findings.push(Finding {
+            field: "metrics".into(),
+            claimed: "<missing>".into(),
+            observed: format!("{} measurable benchmarks", evidence.measured_metrics.len()),
+            severity: Severity::Incomplete,
+        });
+    }
+
+    // Lineage: a claimed base must match the recovered parent.
+    if let (Some(claimed), Some(recovered)) =
+        (&card.lineage.base_model, &evidence.recovered_base)
+    {
+        if claimed != recovered {
+            findings.push(Finding {
+                field: "lineage/base_model".into(),
+                claimed: claimed.clone(),
+                observed: recovered.clone(),
+                severity: Severity::Contradicted,
+            });
+        }
+    }
+    if let (Some(claimed), Some(recovered)) =
+        (&card.lineage.transform, &evidence.recovered_transform)
+    {
+        if claimed != recovered {
+            findings.push(Finding {
+                field: "lineage/transform".into(),
+                claimed: claimed.clone(),
+                observed: recovered.clone(),
+                severity: Severity::Contradicted,
+            });
+        }
+    }
+    if card.lineage.base_model.is_none() && evidence.recovered_base.is_some() {
+        findings.push(Finding {
+            field: "lineage/base_model".into(),
+            claimed: "<missing>".into(),
+            observed: evidence.recovered_base.clone().unwrap_or_default(),
+            severity: Severity::Incomplete,
+        });
+    }
+
+    // Domain: claimed domains should include the behaviour-predicted one.
+    if let Some(predicted) = &evidence.predicted_domain {
+        if !card.domains.is_empty() && !card.domains.iter().any(|d| d == predicted) {
+            findings.push(Finding {
+                field: "domains".into(),
+                claimed: card.domains.join(","),
+                observed: predicted.clone(),
+                severity: Severity::Contradicted,
+            });
+        }
+        if card.domains.is_empty() {
+            findings.push(Finding {
+                field: "domains".into(),
+                claimed: "<missing>".into(),
+                observed: predicted.clone(),
+                severity: Severity::Incomplete,
+            });
+        }
+    }
+
+    // Training data omission is an incompleteness finding.
+    if card.training_data.is_empty() {
+        findings.push(Finding {
+            field: "training_data".into(),
+            claimed: "<missing>".into(),
+            observed: "models must document D (§2)".into(),
+            severity: Severity::Incomplete,
+        });
+    }
+
+    findings.sort_by_key(|f| std::cmp::Reverse(f.severity));
+    VerificationReport {
+        findings,
+        completeness: card.completeness(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::card::{Lineage, TrainingDataRef};
+    use crate::corrupt::{corrupt_card, CardCorruption};
+
+    fn honest_card() -> ModelCard {
+        let mut c = ModelCard::skeleton("legal-ft-7", "mlp:8-16-3:relu");
+        c.domains = vec!["legal".into()];
+        c.training_data = vec![TrainingDataRef {
+            dataset_name: "legal-tab-v1".into(),
+            dataset_id: Some(0),
+        }];
+        c.metrics = vec![ReportedMetric {
+            benchmark: "legal-holdout".into(),
+            metric: "accuracy".into(),
+            value: 0.91,
+        }];
+        c.lineage = Lineage {
+            base_model: Some("legal-mlp16-base-f0".into()),
+            transform: Some("finetune".into()),
+            second_parent: None,
+        };
+        c
+    }
+
+    fn evidence() -> CardEvidence {
+        CardEvidence {
+            measured_metrics: vec![ReportedMetric {
+                benchmark: "legal-holdout".into(),
+                metric: "accuracy".into(),
+                value: 0.905,
+            }],
+            recovered_base: Some("legal-mlp16-base-f0".into()),
+            recovered_transform: Some("finetune".into()),
+            predicted_domain: Some("legal".into()),
+        }
+    }
+
+    #[test]
+    fn honest_card_passes() {
+        let report = verify_card(&honest_card(), &evidence());
+        assert!(report.passes(), "{:#?}", report.findings);
+        assert_eq!(report.contradictions(), 0);
+    }
+
+    #[test]
+    fn inflated_metrics_contradicted() {
+        let bad = corrupt_card(&honest_card(), CardCorruption::InflateMetrics, "x", "y");
+        let report = verify_card(&bad, &evidence());
+        assert!(!report.passes());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.field.starts_with("metrics/") && f.severity == Severity::Contradicted));
+    }
+
+    #[test]
+    fn false_base_contradicted() {
+        let bad = corrupt_card(&honest_card(), CardCorruption::FalseBaseModel, "evil-base", "y");
+        let report = verify_card(&bad, &evidence());
+        assert!(!report.passes());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.field == "lineage/base_model"));
+    }
+
+    #[test]
+    fn wrong_domain_contradicted() {
+        let bad = corrupt_card(&honest_card(), CardCorruption::WrongDomain, "x", "medical");
+        let report = verify_card(&bad, &evidence());
+        assert!(!report.passes());
+    }
+
+    #[test]
+    fn omissions_flagged_but_pass() {
+        let bad = corrupt_card(&honest_card(), CardCorruption::OmitTrainingData, "x", "y");
+        let report = verify_card(&bad, &evidence());
+        assert!(report.passes());
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.field == "training_data" && f.severity == Severity::Incomplete));
+        let no_metrics = corrupt_card(&honest_card(), CardCorruption::OmitMetrics, "x", "y");
+        let report = verify_card(&no_metrics, &evidence());
+        assert!(report.passes());
+        assert!(report.findings.iter().any(|f| f.field == "metrics"));
+    }
+
+    #[test]
+    fn contradictions_sort_first() {
+        let mut bad = corrupt_card(&honest_card(), CardCorruption::FalseBaseModel, "evil", "y");
+        bad.training_data.clear();
+        let report = verify_card(&bad, &evidence());
+        assert_eq!(report.findings[0].severity, Severity::Contradicted);
+    }
+
+    #[test]
+    fn no_evidence_no_contradictions() {
+        let report = verify_card(&honest_card(), &CardEvidence::default());
+        assert!(report.passes());
+    }
+}

@@ -1,0 +1,124 @@
+//! Property-based tests for cards: serde round trips with arbitrary
+//! content, completeness monotonicity, verification consistency.
+
+use mlake_cards::audit::{run_audit, standard_questionnaire};
+use mlake_cards::corrupt::{corrupt_card, CardCorruption};
+use mlake_cards::{
+    verify_card, CardEvidence, Citation, ModelCard, ReportedMetric, TrainingDataRef,
+};
+use proptest::prelude::*;
+
+fn arb_card() -> impl Strategy<Value = ModelCard> {
+    (
+        "[a-z0-9-]{1,24}",
+        "[a-z0-9:.-]{1,24}",
+        proptest::option::of("[a-z ()=0-9.]{1,30}"),
+        proptest::collection::vec("[a-z-]{1,12}", 0..3),
+        proptest::collection::vec("[a-z]{1,10}", 0..3),
+        proptest::collection::vec(("[a-z-]{1,14}", 0.0f32..1.0), 0..4),
+        proptest::option::of("[a-z0-9-]{1,20}"),
+        any::<u64>(),
+    )
+        .prop_map(
+            |(name, arch, algo, tags, domains, metrics, base, created)| {
+                let mut c = ModelCard::skeleton(name, arch);
+                c.training_algorithm = algo;
+                c.task_tags = tags;
+                c.domains = domains;
+                c.metrics = metrics
+                    .into_iter()
+                    .map(|(b, v)| ReportedMetric {
+                        benchmark: b,
+                        metric: "accuracy".into(),
+                        value: v,
+                    })
+                    .collect();
+                c.lineage.base_model = base;
+                c.created_at = created;
+                c
+            },
+        )
+}
+
+proptest! {
+    #[test]
+    fn card_json_round_trip(card in arb_card()) {
+        let json = card.to_json();
+        let back = ModelCard::from_json(&json).unwrap();
+        prop_assert_eq!(card, back);
+    }
+
+    #[test]
+    fn completeness_in_unit_interval_and_monotone(card in arb_card()) {
+        let c = card.completeness();
+        prop_assert!((0.0..=1.0).contains(&c));
+        // Adding a training-data reference never lowers completeness.
+        let mut fuller = card.clone();
+        fuller.training_data.push(TrainingDataRef {
+            dataset_name: "extra".into(),
+            dataset_id: None,
+        });
+        prop_assert!(fuller.completeness() >= c);
+    }
+
+    #[test]
+    fn verification_without_evidence_never_contradicts(card in arb_card()) {
+        let report = verify_card(&card, &CardEvidence::default());
+        prop_assert!(report.passes());
+    }
+
+    #[test]
+    fn corruption_never_panics_and_omission_monotone(card in arb_card()) {
+        for kind in CardCorruption::ALL {
+            let bad = corrupt_card(&card, kind, "alt-base", "alt-domain");
+            if matches!(kind, CardCorruption::OmitMetrics | CardCorruption::OmitTrainingData) {
+                prop_assert!(bad.completeness() <= card.completeness());
+            }
+        }
+    }
+
+    #[test]
+    fn audit_coverage_bounded(card in arb_card()) {
+        let report = run_audit(&card, &CardEvidence::default(), &standard_questionnaire());
+        prop_assert!((0.0..=1.0).contains(&report.coverage()));
+        prop_assert_eq!(report.answers.len(), 8);
+    }
+
+    #[test]
+    fn citation_key_is_injective_in_timestamp(name in "[a-z-]{1,16}", t1 in any::<u64>(), t2 in any::<u64>()) {
+        let cite = |t: u64| Citation {
+            model_name: name.clone(),
+            version_path: vec![name.clone()],
+            graph_timestamp: t,
+            lake_name: "lake".into(),
+        };
+        if t1 != t2 {
+            prop_assert_ne!(cite(t1).key(), cite(t2).key());
+        } else {
+            prop_assert_eq!(cite(t1).key(), cite(t2).key());
+        }
+    }
+
+    /// Metric inflation on a card whose claims match the evidence is always
+    /// caught, for any honest metric set.
+    #[test]
+    fn inflation_always_detected_when_remeasured(values in proptest::collection::vec(0.05f32..0.9, 1..4)) {
+        let mut card = ModelCard::skeleton("m", "a");
+        card.metrics = values
+            .iter()
+            .enumerate()
+            .map(|(i, &v)| ReportedMetric {
+                benchmark: format!("b{i}"),
+                metric: "accuracy".into(),
+                value: v,
+            })
+            .collect();
+        let evidence = CardEvidence {
+            measured_metrics: card.metrics.clone(),
+            ..Default::default()
+        };
+        prop_assert!(verify_card(&card, &evidence).passes());
+        let inflated = corrupt_card(&card, CardCorruption::InflateMetrics, "x", "y");
+        prop_assert!(!verify_card(&inflated, &evidence).passes());
+    }
+}

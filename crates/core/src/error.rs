@@ -1,0 +1,95 @@
+//! Error type of the lake API.
+
+use std::fmt;
+
+/// Errors surfaced by [`crate::ModelLake`] operations.
+#[derive(Debug)]
+pub enum LakeError {
+    /// A model/dataset/benchmark name or id did not resolve.
+    NotFound {
+        /// Entity kind.
+        kind: &'static str,
+        /// The name or id used.
+        name: String,
+    },
+    /// A name was already registered (names are unique within a lake).
+    Duplicate {
+        /// Entity kind.
+        kind: &'static str,
+        /// The conflicting name.
+        name: String,
+    },
+    /// Stored artifact failed integrity or decode checks.
+    CorruptArtifact(String),
+    /// A numeric/shape failure bubbled up from the compute layers.
+    Tensor(mlake_tensor::TensorError),
+    /// MLQL parse/execution failure.
+    Query(mlake_query::QueryError),
+    /// Filesystem persistence failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for LakeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LakeError::NotFound { kind, name } => write!(f, "{kind} not found: '{name}'"),
+            LakeError::Duplicate { kind, name } => write!(f, "duplicate {kind}: '{name}'"),
+            LakeError::CorruptArtifact(msg) => write!(f, "corrupt artifact: {msg}"),
+            LakeError::Tensor(e) => write!(f, "compute error: {e}"),
+            LakeError::Query(e) => write!(f, "query error: {e}"),
+            LakeError::Io(e) => write!(f, "io error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LakeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LakeError::Tensor(e) => Some(e),
+            LakeError::Query(e) => Some(e),
+            LakeError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mlake_tensor::TensorError> for LakeError {
+    fn from(e: mlake_tensor::TensorError) -> Self {
+        LakeError::Tensor(e)
+    }
+}
+
+impl From<mlake_query::QueryError> for LakeError {
+    fn from(e: mlake_query::QueryError) -> Self {
+        LakeError::Query(e)
+    }
+}
+
+impl From<std::io::Error> for LakeError {
+    fn from(e: std::io::Error) -> Self {
+        LakeError::Io(e)
+    }
+}
+
+/// Lake result alias.
+pub type Result<T> = std::result::Result<T, LakeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = LakeError::NotFound {
+            kind: "model",
+            name: "ghost".into(),
+        };
+        assert!(e.to_string().contains("model not found"));
+        let t: LakeError = mlake_tensor::TensorError::Empty("x").into();
+        assert!(std::error::Error::source(&t).is_some());
+        let q: LakeError = mlake_query::QueryError::Execution("y".into()).into();
+        assert!(q.to_string().contains("query error"));
+        let d = LakeError::Duplicate { kind: "model", name: "m".into() };
+        assert!(d.to_string().contains("duplicate"));
+    }
+}

@@ -1,0 +1,131 @@
+//! Append-only event log: the lake's logical clock.
+//!
+//! Every mutation appends an event; the sequence number of the latest
+//! version-graph-affecting event is the "timestamp of the graph" that
+//! citations embed (§6: "upon any updates of the graph, a new citation would
+//! be generated with the updated version and timestamp").
+
+use serde::{Deserialize, Serialize};
+
+/// What happened.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A model artifact was ingested.
+    ModelIngested,
+    /// A model card was created or replaced.
+    CardUpdated,
+    /// A dataset was registered.
+    DatasetRegistered,
+    /// A benchmark was registered.
+    BenchmarkRegistered,
+    /// The version graph was (re)built.
+    GraphRebuilt,
+}
+
+impl EventKind {
+    /// Whether this event invalidates previously issued citations.
+    pub fn affects_graph(&self) -> bool {
+        matches!(self, EventKind::ModelIngested | EventKind::GraphRebuilt)
+    }
+}
+
+/// One log entry.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Monotone sequence number (1-based).
+    pub seq: u64,
+    /// Kind.
+    pub kind: EventKind,
+    /// Affected entity name.
+    pub subject: String,
+}
+
+/// The append-only log.
+#[derive(Debug, Default, Clone, Serialize, Deserialize)]
+pub struct EventLog {
+    events: Vec<Event>,
+}
+
+impl EventLog {
+    /// Creates an empty log.
+    pub fn new() -> EventLog {
+        EventLog::default()
+    }
+
+    /// Appends an event, returning its sequence number.
+    pub fn append(&mut self, kind: EventKind, subject: impl Into<String>) -> u64 {
+        let seq = self.events.len() as u64 + 1;
+        self.events.push(Event {
+            seq,
+            kind,
+            subject: subject.into(),
+        });
+        seq
+    }
+
+    /// Latest sequence number (0 when empty).
+    pub fn head(&self) -> u64 {
+        self.events.len() as u64
+    }
+
+    /// Sequence number of the latest graph-affecting event (0 when none).
+    pub fn graph_timestamp(&self) -> u64 {
+        self.events
+            .iter()
+            .rev()
+            .find(|e| e.kind.affects_graph())
+            .map(|e| e.seq)
+            .unwrap_or(0)
+    }
+
+    /// All events, oldest first.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Events concerning a subject (audit trail of one model).
+    pub fn history_of(&self, subject: &str) -> Vec<&Event> {
+        self.events.iter().filter(|e| e.subject == subject).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sequence_is_monotone() {
+        let mut log = EventLog::new();
+        assert_eq!(log.head(), 0);
+        let a = log.append(EventKind::ModelIngested, "m1");
+        let b = log.append(EventKind::CardUpdated, "m1");
+        assert_eq!((a, b), (1, 2));
+        assert_eq!(log.head(), 2);
+    }
+
+    #[test]
+    fn graph_timestamp_tracks_graph_events_only() {
+        let mut log = EventLog::new();
+        assert_eq!(log.graph_timestamp(), 0);
+        log.append(EventKind::DatasetRegistered, "d");
+        assert_eq!(log.graph_timestamp(), 0);
+        log.append(EventKind::ModelIngested, "m1");
+        assert_eq!(log.graph_timestamp(), 2);
+        log.append(EventKind::CardUpdated, "m1");
+        assert_eq!(log.graph_timestamp(), 2);
+        log.append(EventKind::GraphRebuilt, "*");
+        assert_eq!(log.graph_timestamp(), 4);
+    }
+
+    #[test]
+    fn history_filters_by_subject() {
+        let mut log = EventLog::new();
+        log.append(EventKind::ModelIngested, "m1");
+        log.append(EventKind::ModelIngested, "m2");
+        log.append(EventKind::CardUpdated, "m1");
+        let h = log.history_of("m1");
+        assert_eq!(h.len(), 2);
+        assert!(h.iter().all(|e| e.subject == "m1"));
+        assert_eq!(log.events().len(), 3);
+    }
+}

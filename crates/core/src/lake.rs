@@ -1,0 +1,734 @@
+//! The [`ModelLake`]: the unified system of Figure 2.
+//!
+//! One object owns storage, registry, fingerprinting, indexing, the event
+//! log and the cached version graph, and exposes every model-lake task the
+//! paper formalises: ingestion, content-based search, version-graph
+//! recovery, benchmarking, document generation, card verification, auditing,
+//! citation and declarative MLQL querying.
+
+use crate::error::{LakeError, Result};
+use crate::event::{EventKind, EventLog};
+use crate::registry::{BenchmarkEntry, ModelEntry, ModelId, Registry};
+use crate::store::{BlobStore, InMemoryStore};
+use mlake_benchlab::{Benchmark, Leaderboard, Score};
+use mlake_cards::{
+    audit::{run_audit, standard_questionnaire, AuditReport},
+    Citation, ModelCard, ReportedMetric,
+    {verify_card, CardEvidence, VerificationReport},
+};
+use mlake_fingerprint::{extrinsic::ProbeSet, FingerprintKind, Fingerprinter};
+use mlake_index::{HnswConfig, HnswIndex, VectorIndex};
+use mlake_nn::Model;
+use mlake_query::{execute, parse, FieldValue, QueryError, QueryHit, QueryTarget};
+use mlake_versioning::{recover_graph, RecoveredGraph, RecoveryOptions};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+
+/// Lake configuration. Probe parameters must match the model population
+/// (feature dimension, vocabulary) — defaults align with
+/// `mlake_datagen::LakeSpec::default()`.
+#[derive(Debug, Clone)]
+pub struct LakeConfig {
+    /// Lake name (appears in citations).
+    pub name: String,
+    /// Root seed for probes and sketches.
+    pub seed: u64,
+    /// Fingerprint sketch width.
+    pub sketch_dim: usize,
+    /// Classifier probe count / feature dimension / scale.
+    pub probes: (usize, usize, f32),
+    /// LM probe context count / context length / vocabulary.
+    pub lm_probes: (usize, usize, usize),
+    /// HNSW parameters for the three fingerprint indexes.
+    pub hnsw: HnswConfig,
+}
+
+impl Default for LakeConfig {
+    fn default() -> Self {
+        LakeConfig {
+            name: "model-lake".into(),
+            seed: 0,
+            sketch_dim: 64,
+            probes: (32, 8, 2.5),
+            lm_probes: (16, 2, 24),
+            hnsw: HnswConfig::default(),
+        }
+    }
+}
+
+/// The model lake.
+pub struct ModelLake {
+    config: LakeConfig,
+    store: InMemoryStore,
+    registry: RwLock<Registry>,
+    fingerprinter: Fingerprinter,
+    indexes: RwLock<HashMap<FingerprintKind, HnswIndex>>,
+    events: RwLock<EventLog>,
+    graph: RwLock<Option<RecoveredGraph>>,
+    score_cache: RwLock<HashMap<(u64, String), Score>>,
+}
+
+impl ModelLake {
+    /// Creates an empty lake.
+    pub fn new(config: LakeConfig) -> ModelLake {
+        let (n_probe, probe_dim, probe_scale) = config.probes;
+        let (n_ctx, ctx_len, vocab) = config.lm_probes;
+        let probes = ProbeSet::standard(
+            probe_dim,
+            n_probe,
+            probe_scale,
+            vocab,
+            n_ctx,
+            ctx_len,
+            mlake_tensor::Seed::new(config.seed).derive("lake-probes"),
+        );
+        let fingerprinter = Fingerprinter::new(config.sketch_dim, config.seed, probes);
+        let mut indexes = HashMap::new();
+        for kind in FingerprintKind::ALL {
+            indexes.insert(kind, HnswIndex::new(config.hnsw));
+        }
+        ModelLake {
+            config,
+            store: InMemoryStore::new(),
+            registry: RwLock::new(Registry::default()),
+            fingerprinter,
+            indexes: RwLock::new(indexes),
+            events: RwLock::new(EventLog::new()),
+            graph: RwLock::new(None),
+            score_cache: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The lake's configuration.
+    pub fn config(&self) -> &LakeConfig {
+        &self.config
+    }
+
+    /// The shared probe set / fingerprinter.
+    pub fn fingerprinter(&self) -> &Fingerprinter {
+        &self.fingerprinter
+    }
+
+    /// Number of models in the lake.
+    pub fn len(&self) -> usize {
+        self.registry.read().models.len()
+    }
+
+    /// `true` when no models are stored.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    // ------------------------------------------------------------------
+    // Ingestion & catalogue
+    // ------------------------------------------------------------------
+
+    /// Ingests a model: stores the artifact content-addressed, computes and
+    /// indexes all three fingerprints, installs the supplied card (or a
+    /// skeleton), and logs the events. Names must be unique.
+    pub fn ingest_model(
+        &self,
+        name: &str,
+        model: &Model,
+        card: Option<ModelCard>,
+    ) -> Result<ModelId> {
+        {
+            let reg = self.registry.read();
+            if reg.by_name.contains_key(name) {
+                return Err(LakeError::Duplicate {
+                    kind: "model",
+                    name: name.into(),
+                });
+            }
+        }
+        if !model.is_finite() {
+            return Err(LakeError::CorruptArtifact(format!(
+                "model '{name}' contains non-finite parameters"
+            )));
+        }
+        let digest = self.store.put(&model.to_bytes());
+        let arch = model.architecture().signature();
+        let intrinsic = self.fingerprinter.intrinsic(model);
+        let extrinsic = self.fingerprinter.extrinsic(model)?;
+        let hybrid = self.fingerprinter.hybrid(model)?;
+
+        let mut reg = self.registry.write();
+        let id = ModelId(reg.models.len() as u64);
+        {
+            let mut idx = self.indexes.write();
+            idx.get_mut(&FingerprintKind::Intrinsic)
+                .expect("index exists")
+                .insert(id.0, &intrinsic)?;
+            idx.get_mut(&FingerprintKind::Extrinsic)
+                .expect("index exists")
+                .insert(id.0, &extrinsic)?;
+            idx.get_mut(&FingerprintKind::Hybrid)
+                .expect("index exists")
+                .insert(id.0, &hybrid)?;
+        }
+        let card = card.unwrap_or_else(|| ModelCard::skeleton(name, &arch));
+        let tags = card.task_tags.clone();
+        reg.models.push(ModelEntry {
+            id,
+            name: name.into(),
+            arch,
+            digest,
+            params: model.num_params() as u64,
+            card,
+            tags,
+        });
+        reg.by_name.insert(name.into(), id);
+        drop(reg);
+        {
+            let mut ev = self.events.write();
+            ev.append(EventKind::ModelIngested, name);
+            ev.append(EventKind::CardUpdated, name);
+        }
+        // The version graph is stale now.
+        *self.graph.write() = None;
+        Ok(id)
+    }
+
+    /// Decodes a model artifact from the store.
+    pub fn model(&self, id: ModelId) -> Result<Model> {
+        let digest = {
+            let reg = self.registry.read();
+            reg.model(id)
+                .ok_or_else(|| LakeError::NotFound {
+                    kind: "model",
+                    name: id.to_string(),
+                })?
+                .digest
+        };
+        let bytes = self.store.get(&digest)?;
+        Model::from_bytes(&bytes).map_err(|e| LakeError::CorruptArtifact(e.to_string()))
+    }
+
+    /// Resolves a model name to its id.
+    pub fn id_of(&self, name: &str) -> Result<ModelId> {
+        self.registry
+            .read()
+            .id_of(name)
+            .ok_or_else(|| LakeError::NotFound {
+                kind: "model",
+                name: name.into(),
+            })
+    }
+
+    /// Registry entry snapshot of a model.
+    pub fn entry(&self, id: ModelId) -> Result<ModelEntry> {
+        self.registry
+            .read()
+            .model(id)
+            .cloned()
+            .ok_or_else(|| LakeError::NotFound {
+                kind: "model",
+                name: id.to_string(),
+            })
+    }
+
+    /// All model names in id order.
+    pub fn model_names(&self) -> Vec<String> {
+        self.registry
+            .read()
+            .models
+            .iter()
+            .map(|m| m.name.clone())
+            .collect()
+    }
+
+    /// Replaces a model's card.
+    pub fn update_card(&self, id: ModelId, card: ModelCard) -> Result<()> {
+        let mut reg = self.registry.write();
+        let entry = reg.model_mut(id).ok_or_else(|| LakeError::NotFound {
+            kind: "model",
+            name: id.to_string(),
+        })?;
+        entry.tags = card.task_tags.clone();
+        let name = entry.name.clone();
+        entry.card = card;
+        drop(reg);
+        self.events.write().append(EventKind::CardUpdated, name);
+        Ok(())
+    }
+
+    /// Registers a dataset (names unique).
+    pub fn register_dataset(&self, dataset: mlake_datagen::Dataset) -> Result<()> {
+        let mut reg = self.registry.write();
+        if reg.datasets.iter().any(|d| d.name == dataset.name) {
+            return Err(LakeError::Duplicate {
+                kind: "dataset",
+                name: dataset.name,
+            });
+        }
+        let name = dataset.name.clone();
+        reg.datasets.push(dataset);
+        drop(reg);
+        self.events
+            .write()
+            .append(EventKind::DatasetRegistered, name);
+        Ok(())
+    }
+
+    /// Registers a benchmark with an optional domain label (names unique).
+    pub fn register_benchmark(&self, benchmark: Benchmark, domain: Option<String>) -> Result<()> {
+        let mut reg = self.registry.write();
+        if reg.benchmarks.contains_key(&benchmark.name) {
+            return Err(LakeError::Duplicate {
+                kind: "benchmark",
+                name: benchmark.name,
+            });
+        }
+        let name = benchmark.name.clone();
+        reg.benchmarks
+            .insert(name.clone(), BenchmarkEntry { benchmark, domain });
+        drop(reg);
+        self.events
+            .write()
+            .append(EventKind::BenchmarkRegistered, name);
+        Ok(())
+    }
+
+    /// Names of registered benchmarks.
+    pub fn benchmark_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.registry.read().benchmarks.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    // ------------------------------------------------------------------
+    // Search (§3 Model Search)
+    // ------------------------------------------------------------------
+
+    /// Content-based related-model search ("model as query", Lu et al.):
+    /// the `k` models most similar to `id` under fingerprint `kind`.
+    /// Similarity is `1 − cosine distance ∈ [0, 1]`-ish; self is excluded.
+    pub fn similar(
+        &self,
+        id: ModelId,
+        kind: FingerprintKind,
+        k: usize,
+    ) -> Result<Vec<(ModelId, f32)>> {
+        let model = self.model(id)?;
+        let fp = self.fingerprinter.compute(kind, &model)?;
+        let idx = self.indexes.read();
+        let index = idx.get(&kind).expect("index exists");
+        let hits = index.search(&fp, k + 1)?;
+        Ok(hits
+            .into_iter()
+            .filter(|h| h.id != id.0)
+            .take(k)
+            .map(|h| (ModelId(h.id), 1.0 - h.distance))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Versioning (§3 Model Versioning)
+    // ------------------------------------------------------------------
+
+    /// Rebuilds the version graph. `known_roots` follows hub practice where
+    /// foundation models are known; pass `None` for blind recovery.
+    pub fn rebuild_version_graph(
+        &self,
+        known_roots: Option<Vec<ModelId>>,
+    ) -> Result<RecoveredGraph> {
+        let n = self.len();
+        let mut models = Vec::with_capacity(n);
+        for i in 0..n {
+            models.push(self.model(ModelId(i as u64))?);
+        }
+        let opts = RecoveryOptions {
+            known_roots: known_roots.map(|ids| ids.into_iter().map(|i| i.0 as usize).collect()),
+            ..RecoveryOptions::default()
+        };
+        let graph = recover_graph(&models, Some(&self.fingerprinter.probes), &opts);
+        *self.graph.write() = Some(graph.clone());
+        self.events.write().append(EventKind::GraphRebuilt, "*");
+        Ok(graph)
+    }
+
+    /// The current version graph (rebuilding blind if stale/absent).
+    pub fn version_graph(&self) -> Result<RecoveredGraph> {
+        if let Some(g) = self.graph.read().clone() {
+            return Ok(g);
+        }
+        self.rebuild_version_graph(None)
+    }
+
+    /// Lineage path of `id` from its recovered root, root first, as names.
+    pub fn lineage_path(&self, id: ModelId) -> Result<Vec<String>> {
+        let graph = self.version_graph()?;
+        let mut path = vec![id.0 as usize];
+        let mut cur = id.0 as usize;
+        while let Some(p) = graph.parent_of(cur) {
+            path.push(p);
+            cur = p;
+            if path.len() > graph.num_models {
+                break;
+            }
+        }
+        path.reverse();
+        let reg = self.registry.read();
+        Ok(path
+            .into_iter()
+            .filter_map(|i| reg.model(ModelId(i as u64)).map(|m| m.name.clone()))
+            .collect())
+    }
+
+    // ------------------------------------------------------------------
+    // Benchmarking (§3 Benchmarking)
+    // ------------------------------------------------------------------
+
+    /// `S(M, B)` with caching.
+    pub fn score_of(&self, id: ModelId, benchmark: &str) -> Result<Score> {
+        if let Some(s) = self.score_cache.read().get(&(id.0, benchmark.to_string())) {
+            return Ok(s.clone());
+        }
+        let bench = {
+            let reg = self.registry.read();
+            reg.benchmarks
+                .get(benchmark)
+                .ok_or_else(|| LakeError::NotFound {
+                    kind: "benchmark",
+                    name: benchmark.into(),
+                })?
+                .benchmark
+                .clone()
+        };
+        let model = self.model(id)?;
+        let score = bench.score(&model)?;
+        self.score_cache
+            .write()
+            .insert((id.0, benchmark.to_string()), score.clone());
+        Ok(score)
+    }
+
+    /// Full leaderboard of a registered benchmark over the lake.
+    pub fn leaderboard(&self, benchmark: &str) -> Result<Leaderboard> {
+        let bench = {
+            let reg = self.registry.read();
+            reg.benchmarks
+                .get(benchmark)
+                .ok_or_else(|| LakeError::NotFound {
+                    kind: "benchmark",
+                    name: benchmark.into(),
+                })?
+                .benchmark
+                .clone()
+        };
+        let n = self.len();
+        let mut models = Vec::with_capacity(n);
+        for i in 0..n {
+            models.push((i as u64, self.model(ModelId(i as u64))?));
+        }
+        let lb = Leaderboard::run(&bench, models.iter().map(|(id, m)| (*id, m)))?;
+        // Warm the score cache from the leaderboard run.
+        let mut cache = self.score_cache.write();
+        for row in &lb.rows {
+            cache.insert((row.model_id, benchmark.to_string()), row.score.clone());
+        }
+        Ok(lb)
+    }
+
+    // ------------------------------------------------------------------
+    // Documentation generation, verification, audit (§6)
+    // ------------------------------------------------------------------
+
+    /// Measured evidence about a model: re-scored benchmarks, recovered
+    /// lineage, predicted domain. This is what verification trusts instead
+    /// of the card.
+    pub fn evidence_for(&self, id: ModelId) -> Result<CardEvidence> {
+        let model = self.model(id)?;
+        let bench_names = self.benchmark_names();
+        let mut measured = Vec::new();
+        let mut best_domain: Option<(String, f32)> = None;
+        for name in &bench_names {
+            let (applicable, domain) = {
+                let reg = self.registry.read();
+                let e = &reg.benchmarks[name];
+                (e.benchmark.applicable(&model), e.domain.clone())
+            };
+            if !applicable {
+                continue;
+            }
+            let score = self.score_of(id, name)?;
+            if let Some(d) = domain {
+                let goodness = score.goodness();
+                if best_domain.as_ref().is_none_or(|(_, g)| goodness > *g) {
+                    best_domain = Some((d, goodness));
+                }
+            }
+            measured.push(ReportedMetric {
+                benchmark: score.benchmark.clone(),
+                metric: score.metric.clone(),
+                value: score.value,
+            });
+        }
+        let graph = self.version_graph()?;
+        let (recovered_base, recovered_transform) = {
+            let reg = self.registry.read();
+            match graph.edges.iter().find(|e| e.child == id.0 as usize) {
+                Some(e) => (
+                    reg.model(ModelId(e.parent as u64)).map(|m| m.name.clone()),
+                    Some(e.kind.name().to_string()),
+                ),
+                None => (None, None),
+            }
+        };
+        Ok(CardEvidence {
+            measured_metrics: measured,
+            recovered_base,
+            recovered_transform,
+            predicted_domain: best_domain.map(|(d, _)| d),
+        })
+    }
+
+    /// Auto-generates a model card from lake evidence — the §6 document-
+    /// generation application. The result reflects what the lake can
+    /// *measure*, independent of any uploaded documentation.
+    pub fn generate_card(&self, id: ModelId) -> Result<ModelCard> {
+        let entry = self.entry(id)?;
+        let model = self.model(id)?;
+        let evidence = self.evidence_for(id)?;
+        let mut card = ModelCard::skeleton(&entry.name, &entry.arch);
+        card.task_tags = vec![match model {
+            Model::Mlp(_) => "classification".to_string(),
+            Model::Lm(_) => "language-modeling".to_string(),
+        }];
+        if let Some(d) = &evidence.predicted_domain {
+            card.domains = vec![d.clone()];
+        }
+        card.metrics = evidence.measured_metrics.clone();
+        card.lineage.base_model = evidence.recovered_base.clone();
+        card.lineage.transform = evidence.recovered_transform.clone();
+        card.quantitative = Some(mlake_cards::NutritionalLabel {
+            demographic_parity_gap: None,
+            group_accuracies: None,
+            calibration_ece: None,
+            parameter_count: Some(entry.params),
+        });
+        card.notes = format!(
+            "Auto-generated by {} from measured evidence; artifact {}.",
+            self.config.name,
+            entry.digest.short()
+        );
+        card.created_at = self.events.read().head();
+        Ok(card)
+    }
+
+    /// Verifies a model's *uploaded* card against measured evidence.
+    pub fn verify_model_card(&self, id: ModelId) -> Result<VerificationReport> {
+        let entry = self.entry(id)?;
+        let evidence = self.evidence_for(id)?;
+        Ok(verify_card(&entry.card, &evidence))
+    }
+
+    /// Runs the standard audit questionnaire against a model.
+    pub fn audit_model(&self, id: ModelId) -> Result<AuditReport> {
+        let entry = self.entry(id)?;
+        let evidence = self.evidence_for(id)?;
+        Ok(run_audit(&entry.card, &evidence, &standard_questionnaire()))
+    }
+
+    /// Generates a graph-timestamped citation (§6 Data and Model Citation).
+    pub fn cite(&self, id: ModelId) -> Result<Citation> {
+        let entry = self.entry(id)?;
+        let version_path = self.lineage_path(id)?;
+        Ok(Citation {
+            model_name: entry.name,
+            version_path,
+            graph_timestamp: self.events.read().graph_timestamp(),
+            lake_name: self.config.name.clone(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Declarative queries (§6 Model Search)
+    // ------------------------------------------------------------------
+
+    /// Parses and executes an MLQL query against this lake.
+    pub fn query(&self, mlql: &str) -> Result<Vec<QueryHit>> {
+        let q = parse(mlql)?;
+        Ok(execute(&q, self)?)
+    }
+
+    /// Explains the access plan of an MLQL query without running it.
+    pub fn explain(&self, mlql: &str) -> Result<Vec<String>> {
+        let q = parse(mlql)?;
+        Ok(mlake_query::explain(&q))
+    }
+
+    /// Cardinality query: `COUNT MODELS …` (also accepts `FIND MODELS …`,
+    /// counting its result set).
+    pub fn count(&self, mlql: &str) -> Result<usize> {
+        Ok(self.query(mlql)?.len())
+    }
+
+    /// Current graph timestamp (for citation stability tests).
+    pub fn graph_timestamp(&self) -> u64 {
+        self.events.read().graph_timestamp()
+    }
+
+    /// Event-log snapshot.
+    pub fn events(&self) -> Vec<crate::event::Event> {
+        self.events.read().events().to_vec()
+    }
+
+    // ------------------------------------------------------------------
+    // Persistence plumbing (crate-internal; see `persist` module)
+    // ------------------------------------------------------------------
+
+    pub(crate) fn store_ref(&self) -> &InMemoryStore {
+        &self.store
+    }
+
+    pub(crate) fn datasets_snapshot(&self) -> Vec<mlake_datagen::Dataset> {
+        self.registry.read().datasets.clone()
+    }
+
+    pub(crate) fn benchmarks_snapshot(&self) -> Vec<(Benchmark, Option<String>)> {
+        let reg = self.registry.read();
+        let mut out: Vec<(Benchmark, Option<String>)> = reg
+            .benchmarks
+            .values()
+            .map(|e| (e.benchmark.clone(), e.domain.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.name.cmp(&b.0.name));
+        out
+    }
+
+    pub(crate) fn event_log_snapshot(&self) -> EventLog {
+        self.events.read().clone()
+    }
+
+    pub(crate) fn restore_event_log(&self, log: EventLog) {
+        *self.events.write() = log;
+    }
+}
+
+impl QueryTarget for ModelLake {
+    fn all_models(&self) -> Vec<u64> {
+        (0..self.len() as u64).collect()
+    }
+
+    fn field(&self, id: u64, field: &str) -> Option<FieldValue> {
+        let reg = self.registry.read();
+        let entry = reg.model(ModelId(id))?;
+        if let Some(bench) = field.strip_prefix("score:") {
+            // Benchmarks may be expensive; rely on the cache, computing on
+            // demand when the benchmark exists.
+            drop(reg);
+            return match self.score_of(ModelId(id), bench) {
+                Ok(s) => Some(FieldValue::Num(f64::from(s.value))),
+                Err(_) => None,
+            };
+        }
+        match field {
+            "name" => Some(FieldValue::Str(entry.name.clone())),
+            "arch" => Some(FieldValue::Str(entry.arch.clone())),
+            "params" => Some(FieldValue::Num(entry.params as f64)),
+            "domain" => entry
+                .card
+                .domains
+                .first()
+                .map(|d| FieldValue::Str(d.clone())),
+            "domains" => Some(FieldValue::StrList(entry.card.domains.clone())),
+            "task" | "tags" => Some(FieldValue::StrList(entry.card.task_tags.clone())),
+            "transform" => entry
+                .card
+                .lineage
+                .transform
+                .clone()
+                .map(FieldValue::Str),
+            "base_model" => entry
+                .card
+                .lineage
+                .base_model
+                .clone()
+                .map(FieldValue::Str),
+            "completeness" => Some(FieldValue::Num(f64::from(entry.card.completeness()))),
+            "depth" => {
+                drop(reg);
+                let graph = self.graph.read().clone()?;
+                Some(FieldValue::Num(graph.depth_of(id as usize) as f64))
+            }
+            _ => None,
+        }
+    }
+
+    fn similar_models(
+        &self,
+        model: &str,
+        using: &str,
+        k: usize,
+    ) -> std::result::Result<Vec<(u64, f32)>, QueryError> {
+        let id = self.id_of(model).map_err(|_| QueryError::UnknownEntity {
+            kind: "model",
+            name: model.into(),
+        })?;
+        let kind = match using {
+            "weights" | "intrinsic" => FingerprintKind::Intrinsic,
+            "behavior" | "behaviour" | "extrinsic" => FingerprintKind::Extrinsic,
+            "hybrid" => FingerprintKind::Hybrid,
+            other => {
+                return Err(QueryError::UnknownEntity {
+                    kind: "field",
+                    name: other.into(),
+                })
+            }
+        };
+        self.similar(id, kind, k)
+            .map(|v| v.into_iter().map(|(m, s)| (m.0, s)).collect())
+            .map_err(|e| QueryError::Execution(e.to_string()))
+    }
+
+    fn trained_on(
+        &self,
+        dataset: &str,
+        include_versions: bool,
+    ) -> std::result::Result<Vec<u64>, QueryError> {
+        let reg = self.registry.read();
+        let names: Vec<String> = if include_versions {
+            reg.dataset_version_closure(dataset)
+                .iter()
+                .map(|d| d.name.clone())
+                .collect()
+        } else {
+            reg.dataset_by_name(dataset)
+                .map(|d| vec![d.name.clone()])
+                .unwrap_or_default()
+        };
+        if names.is_empty() {
+            return Err(QueryError::UnknownEntity {
+                kind: "dataset",
+                name: dataset.into(),
+            });
+        }
+        Ok(reg
+            .models
+            .iter()
+            .filter(|m| {
+                m.card
+                    .training_data
+                    .iter()
+                    .any(|t| names.contains(&t.dataset_name))
+            })
+            .map(|m| m.id.0)
+            .collect())
+    }
+
+    fn outperformers(
+        &self,
+        model: &str,
+        benchmark: &str,
+    ) -> std::result::Result<Vec<u64>, QueryError> {
+        let id = self.id_of(model).map_err(|_| QueryError::UnknownEntity {
+            kind: "model",
+            name: model.into(),
+        })?;
+        let lb = self
+            .leaderboard(benchmark)
+            .map_err(|e| QueryError::Execution(e.to_string()))?;
+        Ok(lb.outperformers(id.0))
+    }
+}

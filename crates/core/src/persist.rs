@@ -1,0 +1,203 @@
+//! Lake persistence: a directory layout that round-trips the whole lake.
+//!
+//! ```text
+//! <dir>/
+//!   blobs/<sha256-hex>.blob    content-addressed model artifacts
+//!   manifest.json              registry, datasets, benchmarks, event log
+//! ```
+//!
+//! Fingerprint indexes and the version-graph cache are *not* persisted:
+//! they are derived state, rebuilt deterministically from the artifacts at
+//! [`ModelLake::open`] (the same self-healing choice content-addressed
+//! stores make — derived state can never be out of sync with the data).
+
+use crate::error::{LakeError, Result};
+use crate::event::EventLog;
+use crate::hash::Digest;
+use crate::lake::{LakeConfig, ModelLake};
+use crate::registry::ModelId;
+use crate::store::BlobStore;
+use mlake_benchlab::Benchmark;
+use mlake_cards::ModelCard;
+use mlake_nn::Model;
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// On-disk manifest format (versioned).
+#[derive(Debug, Serialize, Deserialize)]
+struct Manifest {
+    /// Format version for forward compatibility.
+    version: u32,
+    /// Lake name.
+    name: String,
+    /// Models in id order.
+    models: Vec<ManifestModel>,
+    /// Registered datasets.
+    datasets: Vec<mlake_datagen::Dataset>,
+    /// Registered benchmarks with their domain labels.
+    benchmarks: Vec<(Benchmark, Option<String>)>,
+    /// The full event log.
+    events: EventLog,
+}
+
+#[derive(Debug, Serialize, Deserialize)]
+struct ManifestModel {
+    name: String,
+    digest: String,
+    card: ModelCard,
+}
+
+/// Current manifest format version.
+pub const MANIFEST_VERSION: u32 = 1;
+
+impl ModelLake {
+    /// Persists the lake into `dir` (created if absent).
+    pub fn persist(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        self.store_ref().persist_dir(&dir.join("blobs"))?;
+        let mut models = Vec::with_capacity(self.len());
+        for i in 0..self.len() {
+            let entry = self.entry(ModelId(i as u64))?;
+            models.push(ManifestModel {
+                name: entry.name,
+                digest: entry.digest.to_hex(),
+                card: entry.card,
+            });
+        }
+        let manifest = Manifest {
+            version: MANIFEST_VERSION,
+            name: self.config().name.clone(),
+            models,
+            datasets: self.datasets_snapshot(),
+            benchmarks: self.benchmarks_snapshot(),
+            events: self.event_log_snapshot(),
+        };
+        let json = serde_json::to_vec_pretty(&manifest)
+            .map_err(|e| LakeError::CorruptArtifact(format!("manifest encode: {e}")))?;
+        std::fs::write(dir.join("manifest.json"), json)?;
+        Ok(())
+    }
+
+    /// Opens a persisted lake, re-ingesting every artifact (fingerprints and
+    /// indexes are rebuilt; scores and the version graph recompute lazily).
+    /// `config` must use the same probe/sketch parameters the lake was
+    /// created with for fingerprints to match; the lake name is restored
+    /// from the manifest.
+    pub fn open(dir: &Path, config: LakeConfig) -> Result<ModelLake> {
+        let manifest_bytes = std::fs::read(dir.join("manifest.json"))?;
+        let manifest: Manifest = serde_json::from_slice(&manifest_bytes)
+            .map_err(|e| LakeError::CorruptArtifact(format!("manifest decode: {e}")))?;
+        if manifest.version != MANIFEST_VERSION {
+            return Err(LakeError::CorruptArtifact(format!(
+                "unsupported manifest version {}",
+                manifest.version
+            )));
+        }
+        let store = crate::store::InMemoryStore::load_dir(&dir.join("blobs"))?;
+        let lake = ModelLake::new(LakeConfig {
+            name: manifest.name,
+            ..config
+        });
+        for ds in manifest.datasets {
+            lake.register_dataset(ds)?;
+        }
+        for (bench, domain) in manifest.benchmarks {
+            lake.register_benchmark(bench, domain)?;
+        }
+        for m in manifest.models {
+            let digest = Digest::from_hex(&m.digest).ok_or_else(|| {
+                LakeError::CorruptArtifact(format!("bad digest for '{}'", m.name))
+            })?;
+            let bytes = store.get(&digest)?;
+            let model = Model::from_bytes(&bytes)
+                .map_err(|e| LakeError::CorruptArtifact(e.to_string()))?;
+            lake.ingest_model(&m.name, &model, Some(m.card))?;
+        }
+        // Restore the original event history *after* re-ingestion so the
+        // graph timestamps (citation keys) survive the round trip.
+        lake.restore_event_log(manifest.events);
+        Ok(lake)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::populate::{populate_from_ground_truth, CardPolicy};
+    use mlake_datagen::{generate_lake, LakeSpec};
+
+    fn tmp(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("mlake-persist-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn persist_open_round_trip() {
+        let dir = tmp("rt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let gt = generate_lake(&LakeSpec::tiny(3));
+        let lake = ModelLake::new(LakeConfig::default());
+        populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).unwrap();
+        let citation_before = {
+            lake.rebuild_version_graph(None).unwrap();
+            lake.cite(ModelId(1)).unwrap()
+        };
+        lake.persist(&dir).unwrap();
+
+        let reopened = ModelLake::open(&dir, LakeConfig::default()).unwrap();
+        assert_eq!(reopened.len(), lake.len());
+        assert_eq!(reopened.model_names(), lake.model_names());
+        assert_eq!(reopened.benchmark_names(), lake.benchmark_names());
+        // Artifacts identical bit for bit.
+        for i in 0..lake.len() {
+            assert_eq!(
+                reopened.model(ModelId(i as u64)).unwrap().flat_params(),
+                lake.model(ModelId(i as u64)).unwrap().flat_params()
+            );
+        }
+        // Cards survive.
+        assert_eq!(
+            reopened.entry(ModelId(0)).unwrap().card,
+            lake.entry(ModelId(0)).unwrap().card
+        );
+        // Citations (graph timestamps) survive the round trip.
+        reopened.rebuild_version_graph(None).unwrap();
+        let citation_after = reopened.cite(ModelId(1)).unwrap();
+        assert_eq!(citation_before.model_name, citation_after.model_name);
+        // Search works on the rebuilt indexes.
+        let hits = reopened
+            .similar(ModelId(0), mlake_fingerprint::FingerprintKind::Hybrid, 3)
+            .unwrap();
+        assert!(!hits.is_empty());
+        // Queries work.
+        assert!(!reopened
+            .query("FIND MODELS WHERE task = 'classification'")
+            .unwrap()
+            .is_empty());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn open_rejects_missing_and_corrupt() {
+        let dir = tmp("bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert!(ModelLake::open(&dir, LakeConfig::default()).is_err());
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("manifest.json"), b"{not json").unwrap();
+        assert!(matches!(
+            ModelLake::open(&dir, LakeConfig::default()),
+            Err(LakeError::CorruptArtifact(_))
+        ));
+        // Wrong manifest version.
+        std::fs::write(
+            dir.join("manifest.json"),
+            br#"{"version":99,"name":"x","models":[],"datasets":[],"benchmarks":[],"events":{"events":[]}}"#,
+        )
+        .unwrap();
+        std::fs::create_dir_all(dir.join("blobs")).unwrap();
+        assert!(matches!(
+            ModelLake::open(&dir, LakeConfig::default()),
+            Err(LakeError::CorruptArtifact(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

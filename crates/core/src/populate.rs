@@ -1,0 +1,169 @@
+//! Populating a lake from the benchmark ground truth.
+//!
+//! Bridges `mlake-datagen`'s [`GroundTruth`] into a live [`ModelLake`]:
+//! datasets are registered, per-domain holdout benchmarks created, and every
+//! model ingested with either an **honest** card (built from the recorded
+//! provenance) or a bare **skeleton** (the undocumented-lake condition the
+//! documentation-generation experiment starts from).
+
+use crate::error::Result;
+use crate::lake::ModelLake;
+use crate::registry::ModelId;
+use mlake_benchlab::Benchmark;
+use mlake_cards::{Lineage, ModelCard, TrainingDataRef};
+use mlake_datagen::{corpus, tabular, Domain, GroundTruth};
+use mlake_nn::Model;
+use mlake_tensor::Seed;
+
+/// How much documentation uploaded models carry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CardPolicy {
+    /// Truthful cards generated from the recorded ground truth.
+    Honest,
+    /// Bare skeleton cards (name + architecture only).
+    Skeleton,
+}
+
+/// Builds the truthful card of ground-truth model `i`.
+pub fn honest_card(gt: &GroundTruth, i: usize) -> ModelCard {
+    let m = &gt.models[i];
+    let mut card = ModelCard::skeleton(&m.name, m.model.architecture().signature());
+    card.training_algorithm = Some(m.algorithm.clone());
+    card.task_tags = vec![match m.model {
+        Model::Mlp(_) => "classification".to_string(),
+        Model::Lm(_) => "language-modeling".to_string(),
+    }];
+    card.domains = vec![m.domain.name().to_string()];
+    card.training_data = m
+        .trained_on
+        .iter()
+        .filter_map(|id| {
+            gt.dataset(*id).map(|d| TrainingDataRef {
+                dataset_name: d.name.clone(),
+                dataset_id: Some(id.0),
+            })
+        })
+        .collect();
+    let edge = gt.edges.iter().find(|e| e.child == i);
+    card.lineage = Lineage {
+        base_model: edge.map(|e| gt.models[e.parent].name.clone()),
+        transform: m.transform.map(|t| t.name().to_string()),
+        second_parent: edge
+            .and_then(|e| e.second_parent)
+            .map(|p| gt.models[p].name.clone()),
+    };
+    card.notes = format!("family {} depth {}", m.family, m.depth);
+    card
+}
+
+/// Registers the standard per-domain holdout benchmarks: one classification
+/// benchmark and one perplexity benchmark per built-in domain, drawn from
+/// held-out seeds so no lake model trained on them.
+pub fn register_domain_benchmarks(lake: &ModelLake, gt: &GroundTruth) -> Result<Vec<String>> {
+    let root = Seed::new(gt.seed);
+    let holdout = Seed::new(gt.seed ^ 0x5eed_1e55).derive("holdout");
+    let mut names = Vec::new();
+    let spec = tabular::TabularSpec::default();
+    for domain in Domain::builtin() {
+        let cls_name = format!("{domain}-holdout");
+        let data = tabular::sample_tabular(
+            &domain,
+            &spec,
+            90,
+            root,
+            holdout.derive(&cls_name),
+        );
+        lake.register_benchmark(
+            Benchmark::classification(&cls_name, data),
+            Some(domain.name().to_string()),
+        )?;
+        names.push(cls_name);
+
+        let ppl_name = format!("{domain}-ppl");
+        let text = corpus::sample_corpus(&domain, 600, root, holdout.derive(&ppl_name));
+        lake.register_benchmark(
+            Benchmark::perplexity(&ppl_name, text),
+            Some(domain.name().to_string()),
+        )?;
+        names.push(ppl_name);
+    }
+    Ok(names)
+}
+
+/// Populates `lake` from `gt`: registers all datasets and domain benchmarks,
+/// ingests every model under `policy`, and returns the ids in ground-truth
+/// order (so `gt` indices and lake ids coincide).
+pub fn populate_from_ground_truth(
+    lake: &ModelLake,
+    gt: &GroundTruth,
+    policy: CardPolicy,
+) -> Result<Vec<ModelId>> {
+    for ds in &gt.datasets {
+        lake.register_dataset(ds.clone())?;
+    }
+    register_domain_benchmarks(lake, gt)?;
+    let mut ids = Vec::with_capacity(gt.models.len());
+    for (i, m) in gt.models.iter().enumerate() {
+        let card = match policy {
+            CardPolicy::Honest => Some(honest_card(gt, i)),
+            CardPolicy::Skeleton => None,
+        };
+        ids.push(lake.ingest_model(&m.name, &m.model, card)?);
+    }
+    Ok(ids)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lake::LakeConfig;
+    use mlake_datagen::{generate_lake, LakeSpec};
+
+    fn setup() -> (ModelLake, GroundTruth) {
+        let gt = generate_lake(&LakeSpec::tiny(5));
+        let lake = ModelLake::new(LakeConfig::default());
+        (lake, gt)
+    }
+
+    #[test]
+    fn populate_honest_preserves_order_and_counts() {
+        let (lake, gt) = setup();
+        let ids = populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).unwrap();
+        assert_eq!(ids.len(), gt.models.len());
+        assert_eq!(lake.len(), gt.models.len());
+        for (i, id) in ids.iter().enumerate() {
+            assert_eq!(id.0 as usize, i);
+            let entry = lake.entry(*id).unwrap();
+            assert_eq!(entry.name, gt.models[i].name);
+            assert!(entry.card.completeness() > 0.5);
+        }
+        // Benchmarks registered: 2 per builtin domain.
+        assert_eq!(lake.benchmark_names().len(), 16);
+    }
+
+    #[test]
+    fn skeleton_policy_yields_empty_cards() {
+        let (lake, gt) = setup();
+        populate_from_ground_truth(&lake, &gt, CardPolicy::Skeleton).unwrap();
+        let entry = lake.entry(ModelId(0)).unwrap();
+        assert_eq!(entry.card.completeness(), 0.0);
+    }
+
+    #[test]
+    fn honest_cards_record_lineage() {
+        let (_, gt) = setup();
+        // Some derived model exists in the tiny lake.
+        let derived = gt
+            .models
+            .iter()
+            .position(|m| m.transform.is_some())
+            .expect("tiny lake has derivations");
+        let card = honest_card(&gt, derived);
+        assert!(card.lineage.base_model.is_some());
+        assert!(card.lineage.transform.is_some());
+        assert!(!card.training_data.is_empty());
+        // Bases carry no lineage.
+        let base_card = honest_card(&gt, 0);
+        assert!(base_card.lineage.base_model.is_none());
+    }
+}

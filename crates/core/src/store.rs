@@ -1,0 +1,198 @@
+//! Content-addressed blob store.
+//!
+//! Blobs are keyed by the SHA-256 of their contents: identical artifacts
+//! deduplicate for free and reads verify integrity. The in-memory store is
+//! the lake's working set; [`BlobStore::persist_dir`] /
+//! [`InMemoryStore::load_dir`] provide a simple one-file-per-blob on-disk
+//! layout (`<hex-digest>.blob`).
+
+use crate::error::{LakeError, Result};
+use crate::hash::{sha256, Digest};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::path::Path;
+
+/// Storage interface the lake uses.
+pub trait BlobStore: Send + Sync {
+    /// Stores `bytes`, returning their digest. Idempotent.
+    fn put(&self, bytes: &[u8]) -> Digest;
+
+    /// Retrieves and integrity-checks a blob.
+    fn get(&self, digest: &Digest) -> Result<Vec<u8>>;
+
+    /// Whether the digest is present.
+    fn contains(&self, digest: &Digest) -> bool;
+
+    /// Number of stored blobs.
+    fn len(&self) -> usize;
+
+    /// `true` when empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Writes every blob into `dir` as `<hex>.blob`.
+    fn persist_dir(&self, dir: &Path) -> Result<()>;
+}
+
+/// The default thread-safe in-memory store.
+#[derive(Debug, Default)]
+pub struct InMemoryStore {
+    blobs: RwLock<HashMap<Digest, Vec<u8>>>,
+}
+
+impl InMemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> InMemoryStore {
+        InMemoryStore::default()
+    }
+
+    /// Loads every `<hex>.blob` file from `dir`, verifying digests.
+    pub fn load_dir(dir: &Path) -> Result<InMemoryStore> {
+        let store = InMemoryStore::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some("blob") {
+                continue;
+            }
+            let stem = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or_default();
+            let Some(expected) = Digest::from_hex(stem) else {
+                return Err(LakeError::CorruptArtifact(format!(
+                    "bad blob filename: {}",
+                    path.display()
+                )));
+            };
+            let bytes = std::fs::read(&path)?;
+            let actual = sha256(&bytes);
+            if actual != expected {
+                return Err(LakeError::CorruptArtifact(format!(
+                    "digest mismatch for {}",
+                    path.display()
+                )));
+            }
+            store.blobs.write().insert(actual, bytes);
+        }
+        Ok(store)
+    }
+}
+
+impl BlobStore for InMemoryStore {
+    fn put(&self, bytes: &[u8]) -> Digest {
+        let digest = sha256(bytes);
+        self.blobs
+            .write()
+            .entry(digest)
+            .or_insert_with(|| bytes.to_vec());
+        digest
+    }
+
+    fn get(&self, digest: &Digest) -> Result<Vec<u8>> {
+        let bytes = self
+            .blobs
+            .read()
+            .get(digest)
+            .cloned()
+            .ok_or_else(|| LakeError::NotFound {
+                kind: "blob",
+                name: digest.short(),
+            })?;
+        // Defence in depth: re-verify on read.
+        if sha256(&bytes) != *digest {
+            return Err(LakeError::CorruptArtifact(format!(
+                "stored blob {} fails integrity check",
+                digest.short()
+            )));
+        }
+        Ok(bytes)
+    }
+
+    fn contains(&self, digest: &Digest) -> bool {
+        self.blobs.read().contains_key(digest)
+    }
+
+    fn len(&self) -> usize {
+        self.blobs.read().len()
+    }
+
+    fn persist_dir(&self, dir: &Path) -> Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for (digest, bytes) in self.blobs.read().iter() {
+            let path = dir.join(format!("{}.blob", digest.to_hex()));
+            std::fs::write(path, bytes)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_round_trip_and_dedup() {
+        let store = InMemoryStore::new();
+        let d1 = store.put(b"artifact-a");
+        let d2 = store.put(b"artifact-a");
+        assert_eq!(d1, d2);
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.get(&d1).unwrap(), b"artifact-a");
+        assert!(store.contains(&d1));
+        assert!(!store.is_empty());
+    }
+
+    #[test]
+    fn missing_blob_errors() {
+        let store = InMemoryStore::new();
+        let ghost = sha256(b"never stored");
+        assert!(matches!(
+            store.get(&ghost),
+            Err(LakeError::NotFound { kind: "blob", .. })
+        ));
+        assert!(!store.contains(&ghost));
+    }
+
+    #[test]
+    fn persist_and_load() {
+        let dir = std::env::temp_dir().join(format!("mlake-store-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = InMemoryStore::new();
+        let d1 = store.put(b"blob one");
+        let d2 = store.put(b"blob two");
+        store.persist_dir(&dir).unwrap();
+        let loaded = InMemoryStore::load_dir(&dir).unwrap();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.get(&d1).unwrap(), b"blob one");
+        assert_eq!(loaded.get(&d2).unwrap(), b"blob two");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_tampered_blob() {
+        let dir = std::env::temp_dir().join(format!("mlake-tamper-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = InMemoryStore::new();
+        let d = store.put(b"honest bytes");
+        store.persist_dir(&dir).unwrap();
+        // Tamper with the file on disk.
+        let path = dir.join(format!("{}.blob", d.to_hex()));
+        std::fs::write(&path, b"evil bytes").unwrap();
+        assert!(matches!(
+            InMemoryStore::load_dir(&dir),
+            Err(LakeError::CorruptArtifact(_))
+        ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_rejects_bad_filename() {
+        let dir = std::env::temp_dir().join(format!("mlake-name-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("nothex.blob"), b"x").unwrap();
+        assert!(InMemoryStore::load_dir(&dir).is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

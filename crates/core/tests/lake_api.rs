@@ -1,0 +1,221 @@
+//! End-to-end tests of the `ModelLake` public API on a tiny benchmark lake —
+//! Figure 2's full pipeline: ingest → index → version graph → generated
+//! card → verification → audit → citation → MLQL.
+
+use mlake_core::lake::{LakeConfig, ModelLake};
+use mlake_core::populate::{populate_from_ground_truth, CardPolicy};
+use mlake_core::{LakeError, ModelId};
+use mlake_datagen::{generate_lake, GroundTruth, LakeSpec};
+use mlake_fingerprint::FingerprintKind;
+
+fn populated(policy: CardPolicy) -> (ModelLake, GroundTruth) {
+    let gt = generate_lake(&LakeSpec::tiny(42));
+    let lake = ModelLake::new(LakeConfig::default());
+    populate_from_ground_truth(&lake, &gt, policy).unwrap();
+    (lake, gt)
+}
+
+#[test]
+fn ingest_round_trips_artifacts() {
+    let (lake, gt) = populated(CardPolicy::Honest);
+    for i in 0..gt.models.len() {
+        let model = lake.model(ModelId(i as u64)).unwrap();
+        assert_eq!(model.flat_params(), gt.models[i].model.flat_params());
+    }
+    // Duplicate names rejected.
+    let err = lake.ingest_model(&gt.models[0].name, &gt.models[0].model, None);
+    assert!(matches!(err, Err(LakeError::Duplicate { .. })));
+    // Unknown lookups fail cleanly.
+    assert!(lake.model(ModelId(999)).is_err());
+    assert!(lake.id_of("ghost").is_err());
+}
+
+#[test]
+fn similarity_search_surfaces_relatives() {
+    let (lake, gt) = populated(CardPolicy::Honest);
+    // Find a model with a weight-continuous child.
+    let edge = gt
+        .edges
+        .iter()
+        .find(|e| e.kind.preserves_weights()
+            && gt.models[e.parent].model.architecture() == gt.models[e.child].model.architecture())
+        .expect("tiny lake has weight-preserving edges");
+    let hits = lake
+        .similar(ModelId(edge.parent as u64), FingerprintKind::Intrinsic, 5)
+        .unwrap();
+    assert!(!hits.is_empty());
+    let hit_ids: Vec<u64> = hits.iter().map(|(m, _)| m.0).collect();
+    assert!(
+        hit_ids.contains(&(edge.child as u64)),
+        "child {} missing from neighbours {hit_ids:?} of {}",
+        edge.child,
+        edge.parent
+    );
+    // Self excluded, similarities descending.
+    assert!(!hit_ids.contains(&(edge.parent as u64)));
+    for w in hits.windows(2) {
+        assert!(w[0].1 >= w[1].1);
+    }
+}
+
+#[test]
+fn version_graph_and_lineage_paths() {
+    let (lake, gt) = populated(CardPolicy::Honest);
+    let known: Vec<ModelId> = (0..gt.models.len())
+        .filter(|&i| gt.models[i].depth == 0)
+        .map(|i| ModelId(i as u64))
+        .collect();
+    let graph = lake.rebuild_version_graph(Some(known)).unwrap();
+    assert_eq!(graph.num_models, gt.models.len());
+    // Lineage path starts at a root and ends at the model.
+    let derived = gt.edges[0].child;
+    let path = lake.lineage_path(ModelId(derived as u64)).unwrap();
+    assert!(path.len() >= 2);
+    assert_eq!(path.last().unwrap(), &gt.models[derived].name);
+}
+
+#[test]
+fn benchmarking_and_outperform() {
+    let (lake, _gt) = populated(CardPolicy::Honest);
+    let lb = lake.leaderboard("legal-holdout").unwrap();
+    assert!(!lb.rows.is_empty());
+    // Scores cached: a second call must agree.
+    let top = lb.best().unwrap();
+    let s = lake.score_of(ModelId(top.model_id), "legal-holdout").unwrap();
+    assert_eq!(s.value, top.score.value);
+    assert!(lake.leaderboard("no-such-bench").is_err());
+}
+
+#[test]
+fn generated_cards_are_complete_and_verifiable() {
+    let (lake, gt) = populated(CardPolicy::Skeleton);
+    lake.rebuild_version_graph(Some(
+        (0..gt.models.len())
+            .filter(|&i| gt.models[i].depth == 0)
+            .map(|i| ModelId(i as u64))
+            .collect(),
+    ))
+    .unwrap();
+    let id = ModelId(0);
+    let skeleton_completeness = lake.entry(id).unwrap().card.completeness();
+    let generated = lake.generate_card(id).unwrap();
+    assert!(generated.completeness() > skeleton_completeness);
+    assert!(!generated.metrics.is_empty());
+    // Install the generated card; it must then verify cleanly.
+    lake.update_card(id, generated).unwrap();
+    let report = lake.verify_model_card(id).unwrap();
+    assert!(report.passes(), "{:#?}", report.findings);
+}
+
+#[test]
+fn honest_cards_pass_audit_better_than_skeletons() {
+    let (honest, _) = populated(CardPolicy::Honest);
+    let (skeleton, _) = populated(CardPolicy::Skeleton);
+    let a = honest.audit_model(ModelId(0)).unwrap();
+    let b = skeleton.audit_model(ModelId(0)).unwrap();
+    assert!(a.coverage() > b.coverage());
+}
+
+#[test]
+fn citations_track_graph_changes() {
+    let (lake, gt) = populated(CardPolicy::Honest);
+    lake.rebuild_version_graph(None).unwrap();
+    let c1 = lake.cite(ModelId(1)).unwrap();
+    assert!(c1.graph_timestamp > 0);
+    assert!(c1.key().contains(&gt.models[1].name));
+    // Ingesting a new model invalidates; rebuilding bumps the timestamp.
+    let clone_of_zero = gt.models[0].model.clone();
+    lake.ingest_model("newcomer", &clone_of_zero, None).unwrap();
+    lake.rebuild_version_graph(None).unwrap();
+    let c2 = lake.cite(ModelId(1)).unwrap();
+    assert!(c2.graph_timestamp > c1.graph_timestamp);
+    assert_ne!(c1.key(), c2.key());
+}
+
+#[test]
+fn mlql_queries_run_end_to_end() {
+    let (lake, gt) = populated(CardPolicy::Honest);
+    // Metadata filter.
+    let legal = lake.query("FIND MODELS WHERE domain = 'legal'").unwrap();
+    let expected = gt
+        .models
+        .iter()
+        .filter(|m| m.domain.name() == "legal")
+        .count();
+    assert_eq!(legal.len(), expected);
+    // Trained-on with versions.
+    let ds_name = &gt.datasets[0].name;
+    let trained = lake
+        .query(&format!(
+            "FIND MODELS TRAINED ON DATASET '{ds_name}' INCLUDING VERSIONS"
+        ))
+        .unwrap();
+    assert!(!trained.is_empty());
+    // Similarity query.
+    let q = format!(
+        "FIND MODELS SIMILAR TO MODEL '{}' USING weights TOP 3",
+        gt.models[0].name
+    );
+    let sim = lake.query(&q).unwrap();
+    assert!(sim.len() <= 3);
+    assert!(sim.iter().all(|h| h.similarity.is_some()));
+    // Order by benchmark score.
+    let ranked = lake
+        .query("FIND MODELS ORDER BY score('legal-holdout') DESC LIMIT 3")
+        .unwrap();
+    assert!(ranked.len() <= 3);
+    // Plan narration.
+    let plan = lake.explain(&q).unwrap();
+    assert!(plan[0].contains("ANN-INDEX SCAN"));
+    // Unknown model in clause errors.
+    assert!(lake
+        .query("FIND MODELS SIMILAR TO MODEL 'ghost'")
+        .is_err());
+}
+
+#[test]
+fn events_record_full_history() {
+    let (lake, gt) = populated(CardPolicy::Honest);
+    let events = lake.events();
+    // datasets + benchmarks + 2 per model (ingest + card).
+    assert!(events.len() >= gt.models.len() * 2);
+    let first_model_history: Vec<_> = events
+        .iter()
+        .filter(|e| e.subject == gt.models[0].name)
+        .collect();
+    assert!(first_model_history.len() >= 2);
+}
+
+#[test]
+fn non_finite_models_are_rejected_at_ingest() {
+    use mlake_nn::{Activation, Mlp, Model};
+    use mlake_tensor::{init::Init, Pcg64};
+    let lake = ModelLake::new(LakeConfig::default());
+    let mut rng = Pcg64::new(1);
+    let mut m = Mlp::new(vec![8, 4, 3], Activation::Relu, Init::HeNormal, &mut rng).unwrap();
+    let mut params = m.flat_params();
+    params[0] = f32::NAN;
+    m.set_flat_params(&params).unwrap();
+    let err = lake.ingest_model("diverged", &Model::Mlp(m), None);
+    assert!(matches!(err, Err(LakeError::CorruptArtifact(_))));
+    assert!(lake.is_empty());
+}
+
+#[test]
+fn count_queries() {
+    let (lake, gt) = populated(CardPolicy::Honest);
+    let legal = gt
+        .models
+        .iter()
+        .filter(|m| m.domain.name() == "legal")
+        .count();
+    assert_eq!(
+        lake.count("COUNT MODELS WHERE domain = 'legal'").unwrap(),
+        legal
+    );
+    assert_eq!(lake.count("COUNT MODELS").unwrap(), gt.models.len());
+    assert_eq!(
+        lake.count("FIND MODELS WHERE domain = 'legal'").unwrap(),
+        legal
+    );
+}

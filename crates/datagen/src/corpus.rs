@@ -1,0 +1,134 @@
+//! Domain-flavoured token corpora for language-model training.
+//!
+//! Corpora are sampled from a domain-specific Markov chain built on Zipf
+//! unigram preferences, so (a) different domains yield measurably different
+//! LMs, (b) an LM's perplexity on held-out domain text is a meaningful
+//! benchmark score, and (c) "trained on corpus X" is a checkable claim.
+
+use crate::domain::Domain;
+use mlake_tensor::{Pcg64, Seed};
+
+/// Vocabulary size shared by every corpus in the lake. Small enough that
+/// trigram tables stay tiny, large enough for distinct domain profiles.
+pub const VOCAB: usize = 24;
+
+/// Samples a corpus of `len` tokens in `domain`'s style.
+pub fn sample_corpus(domain: &Domain, len: usize, root: Seed, draw: Seed) -> Vec<usize> {
+    let affinity = domain.bigram_affinity(root, VOCAB);
+    let unigram = domain.token_weights(root, VOCAB);
+    let mut rng: Pcg64 = draw.derive("corpus-draw").rng();
+    let mut out = Vec::with_capacity(len);
+    let mut prev = rng
+        .weighted_index(&unigram)
+        .expect("unigram weights are positive");
+    out.push(prev);
+    while out.len() < len {
+        let row = &affinity[prev];
+        let next = rng.weighted_index(row).expect("affinity rows are positive");
+        out.push(next);
+        prev = next;
+    }
+    out
+}
+
+/// Mixes two domains' text `(1-lambda) : lambda` by sampling alternate
+/// stretches — models "trained on legal with a little finance".
+pub fn sample_mixed_corpus(
+    a: &Domain,
+    b: &Domain,
+    lambda: f32,
+    len: usize,
+    root: Seed,
+    draw: Seed,
+) -> Vec<usize> {
+    let lambda = lambda.clamp(0.0, 1.0);
+    let stretch = 32usize;
+    let mut rng: Pcg64 = draw.derive("mix-choice").rng();
+    let mut out = Vec::with_capacity(len);
+    let mut chunk = 0u64;
+    while out.len() < len {
+        let src = if rng.next_f32() < lambda { b } else { a };
+        let part = sample_corpus(
+            src,
+            stretch.min(len - out.len()),
+            root,
+            draw.derive("mix-part").derive_u64(chunk),
+        );
+        out.extend(part);
+        chunk += 1;
+    }
+    out
+}
+
+/// Fixed probe contexts for extrinsic LM fingerprints: every model is asked
+/// for its next-token distribution after each of these contexts.
+pub fn probe_contexts(n: usize, context_len: usize, seed: Seed) -> Vec<Vec<usize>> {
+    let mut rng = seed.derive("lm-probes").rng();
+    (0..n)
+        .map(|_| (0..context_len).map(|_| rng.index(VOCAB)).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_nn::NgramLm;
+
+    #[test]
+    fn corpus_tokens_in_vocab() {
+        let c = sample_corpus(&Domain::new("legal"), 500, Seed::new(1), Seed::new(2));
+        assert_eq!(c.len(), 500);
+        assert!(c.iter().all(|&t| t < VOCAB));
+    }
+
+    #[test]
+    fn deterministic() {
+        let d = Domain::new("news");
+        let a = sample_corpus(&d, 100, Seed::new(1), Seed::new(2));
+        let b = sample_corpus(&d, 100, Seed::new(1), Seed::new(2));
+        assert_eq!(a, b);
+        assert_ne!(a, sample_corpus(&d, 100, Seed::new(1), Seed::new(3)));
+    }
+
+    #[test]
+    fn lm_prefers_its_own_domain() {
+        let root = Seed::new(9);
+        let legal = Domain::new("legal");
+        let medical = Domain::new("medical");
+        let train = sample_corpus(&legal, 4000, root, Seed::new(10));
+        let mut lm = NgramLm::new(VOCAB, 2, 0.2).unwrap();
+        lm.add_counts(&train, 1.0).unwrap();
+        let held_legal = sample_corpus(&legal, 800, root, Seed::new(11));
+        let held_medical = sample_corpus(&medical, 800, root, Seed::new(12));
+        let ppl_legal = lm.perplexity(&held_legal).unwrap();
+        let ppl_medical = lm.perplexity(&held_medical).unwrap();
+        assert!(
+            ppl_legal < ppl_medical,
+            "in-domain ppl {ppl_legal} !< out-of-domain {ppl_medical}"
+        );
+    }
+
+    #[test]
+    fn mixed_corpus_interpolates() {
+        let root = Seed::new(9);
+        let a = Domain::new("legal");
+        let b = Domain::new("finance");
+        let mixed = sample_mixed_corpus(&a, &b, 0.5, 1000, root, Seed::new(13));
+        assert_eq!(mixed.len(), 1000);
+        // lambda=0 equals pure-a style: an LM trained on it scores a-text well.
+        let pure = sample_mixed_corpus(&a, &b, 0.0, 2000, root, Seed::new(14));
+        let mut lm = NgramLm::new(VOCAB, 2, 0.2).unwrap();
+        lm.add_counts(&pure, 1.0).unwrap();
+        let held_a = sample_corpus(&a, 500, root, Seed::new(15));
+        let held_b = sample_corpus(&b, 500, root, Seed::new(16));
+        assert!(lm.perplexity(&held_a).unwrap() < lm.perplexity(&held_b).unwrap());
+    }
+
+    #[test]
+    fn probe_contexts_shape() {
+        let probes = probe_contexts(10, 2, Seed::new(4));
+        assert_eq!(probes.len(), 10);
+        assert!(probes.iter().all(|p| p.len() == 2 && p.iter().all(|&t| t < VOCAB)));
+        assert_eq!(probes, probe_contexts(10, 2, Seed::new(4)));
+    }
+}

@@ -1,0 +1,278 @@
+//! Datasets as first-class, versioned lake citizens.
+//!
+//! The paper's "Holistic Management of Models and Data" (§5) argues model
+//! lakes must track the data models are trained on, including *dataset
+//! versions* ("when searching for models trained on a dataset, users may want
+//! to find models trained on versions of the dataset"). A [`Dataset`] records
+//! its content, its domain, and — when derived — its parent and the
+//! derivation operation.
+
+use crate::domain::Domain;
+use mlake_nn::LabeledData;
+use mlake_tensor::{Pcg64, Seed};
+use serde::{Deserialize, Serialize};
+
+/// Stable dataset identifier within a lake.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DatasetId(pub u64);
+
+impl std::fmt::Display for DatasetId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ds-{:04}", self.0)
+    }
+}
+
+/// Dataset payload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Labelled tabular data.
+    Tabular(LabeledData),
+    /// Token corpus.
+    Corpus(Vec<usize>),
+}
+
+/// Operation that derived a dataset version from its parent.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetVersionOp {
+    /// Random subset of the parent.
+    Subset,
+    /// Parent plus feature noise (tabular) or token dropout (corpus).
+    Augment,
+    /// Parent with a fraction of labels re-assigned (tabular only).
+    Relabel,
+}
+
+impl DatasetVersionOp {
+    /// Stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DatasetVersionOp::Subset => "subset",
+            DatasetVersionOp::Augment => "augment",
+            DatasetVersionOp::Relabel => "relabel",
+        }
+    }
+}
+
+/// A dataset with provenance metadata.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Identifier.
+    pub id: DatasetId,
+    /// Human-readable name, e.g. `"legal-corpus-v1"`.
+    pub name: String,
+    /// Originating domain.
+    pub domain: Domain,
+    /// Payload.
+    pub kind: DatasetKind,
+    /// Parent dataset when this is a derived version.
+    pub parent: Option<DatasetId>,
+    /// How it was derived from the parent.
+    pub derived_by: Option<DatasetVersionOp>,
+}
+
+impl Dataset {
+    /// Number of examples (rows or tokens).
+    pub fn len(&self) -> usize {
+        match &self.kind {
+            DatasetKind::Tabular(d) => d.len(),
+            DatasetKind::Corpus(c) => c.len(),
+        }
+    }
+
+    /// `true` when the dataset holds no examples.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Borrows tabular content, if any.
+    pub fn as_tabular(&self) -> Option<&LabeledData> {
+        match &self.kind {
+            DatasetKind::Tabular(d) => Some(d),
+            DatasetKind::Corpus(_) => None,
+        }
+    }
+
+    /// Borrows corpus content, if any.
+    pub fn as_corpus(&self) -> Option<&[usize]> {
+        match &self.kind {
+            DatasetKind::Corpus(c) => Some(c),
+            DatasetKind::Tabular(_) => None,
+        }
+    }
+
+    /// Derives a new version via `op`. `id` and `name` are supplied by the
+    /// caller (the lake owns identifier allocation). `strength` controls the
+    /// op: subset keep-fraction, augment noise scale, relabel fraction.
+    pub fn derive_version(
+        &self,
+        id: DatasetId,
+        name: impl Into<String>,
+        op: DatasetVersionOp,
+        strength: f32,
+        seed: Seed,
+    ) -> mlake_tensor::Result<Dataset> {
+        let mut rng: Pcg64 = seed.derive("dataset-version").rng();
+        let kind = match (&self.kind, op) {
+            (DatasetKind::Tabular(d), DatasetVersionOp::Subset) => {
+                let keep = ((d.len() as f32) * strength.clamp(0.05, 1.0)).max(1.0) as usize;
+                let idx = rng.sample_indices(d.len(), keep);
+                DatasetKind::Tabular(d.select(&idx)?)
+            }
+            (DatasetKind::Tabular(d), DatasetVersionOp::Augment) => {
+                let mut x = d.x.clone();
+                for v in x.as_mut_slice() {
+                    *v += rng.normal() * strength;
+                }
+                DatasetKind::Tabular(LabeledData::new(x, d.y.clone())?)
+            }
+            (DatasetKind::Tabular(d), DatasetVersionOp::Relabel) => {
+                let classes = d.num_classes().max(2);
+                let mut y = d.y.clone();
+                for label in &mut y {
+                    if rng.bernoulli(strength.clamp(0.0, 1.0)) {
+                        *label = rng.index(classes);
+                    }
+                }
+                DatasetKind::Tabular(LabeledData::new(d.x.clone(), y)?)
+            }
+            (DatasetKind::Corpus(c), DatasetVersionOp::Subset) => {
+                let keep = ((c.len() as f32) * strength.clamp(0.05, 1.0)).max(1.0) as usize;
+                let start = rng.index(c.len().saturating_sub(keep).max(1));
+                DatasetKind::Corpus(c[start..(start + keep).min(c.len())].to_vec())
+            }
+            (DatasetKind::Corpus(c), DatasetVersionOp::Augment) => {
+                // Token dropout: remove a `strength` fraction of tokens.
+                let kept: Vec<usize> = c
+                    .iter()
+                    .copied()
+                    .filter(|_| !rng.bernoulli(strength.clamp(0.0, 0.9)))
+                    .collect();
+                DatasetKind::Corpus(kept)
+            }
+            (DatasetKind::Corpus(_), DatasetVersionOp::Relabel) => {
+                return Err(mlake_tensor::TensorError::Empty(
+                    "relabel is undefined for corpora",
+                ))
+            }
+        };
+        Ok(Dataset {
+            id,
+            name: name.into(),
+            domain: self.domain.clone(),
+            kind,
+            parent: Some(self.id),
+            derived_by: Some(op),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tabular::{sample_tabular, TabularSpec};
+
+    fn tabular_dataset() -> Dataset {
+        let domain = Domain::new("legal");
+        let data = sample_tabular(&domain, &TabularSpec::default(), 60, Seed::new(1), Seed::new(2));
+        Dataset {
+            id: DatasetId(0),
+            name: "legal-tab-v1".into(),
+            domain,
+            kind: DatasetKind::Tabular(data),
+            parent: None,
+            derived_by: None,
+        }
+    }
+
+    fn corpus_dataset() -> Dataset {
+        let domain = Domain::new("news");
+        let corpus = crate::corpus::sample_corpus(&domain, 300, Seed::new(1), Seed::new(3));
+        Dataset {
+            id: DatasetId(1),
+            name: "news-corpus-v1".into(),
+            domain,
+            kind: DatasetKind::Corpus(corpus),
+            parent: None,
+            derived_by: None,
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let t = tabular_dataset();
+        assert_eq!(t.len(), 60);
+        assert!(!t.is_empty());
+        assert!(t.as_tabular().is_some());
+        assert!(t.as_corpus().is_none());
+        let c = corpus_dataset();
+        assert!(c.as_corpus().is_some());
+        assert!(c.as_tabular().is_none());
+        assert_eq!(DatasetId(7).to_string(), "ds-0007");
+    }
+
+    #[test]
+    fn subset_version_shrinks_and_links_parent() {
+        let t = tabular_dataset();
+        let v2 = t
+            .derive_version(DatasetId(10), "legal-tab-v2", DatasetVersionOp::Subset, 0.5, Seed::new(9))
+            .unwrap();
+        assert_eq!(v2.len(), 30);
+        assert_eq!(v2.parent, Some(DatasetId(0)));
+        assert_eq!(v2.derived_by, Some(DatasetVersionOp::Subset));
+        assert_eq!(v2.domain, t.domain);
+    }
+
+    #[test]
+    fn augment_preserves_labels_perturbs_features() {
+        let t = tabular_dataset();
+        let v2 = t
+            .derive_version(DatasetId(11), "v2", DatasetVersionOp::Augment, 0.1, Seed::new(9))
+            .unwrap();
+        let orig = t.as_tabular().unwrap();
+        let aug = v2.as_tabular().unwrap();
+        assert_eq!(orig.y, aug.y);
+        assert_ne!(orig.x, aug.x);
+        assert_eq!(orig.x.shape(), aug.x.shape());
+    }
+
+    #[test]
+    fn relabel_changes_some_labels() {
+        let t = tabular_dataset();
+        let v2 = t
+            .derive_version(DatasetId(12), "v2", DatasetVersionOp::Relabel, 0.5, Seed::new(9))
+            .unwrap();
+        let changed = t
+            .as_tabular()
+            .unwrap()
+            .y
+            .iter()
+            .zip(&v2.as_tabular().unwrap().y)
+            .filter(|(a, b)| a != b)
+            .count();
+        assert!(changed > 5, "changed {changed}");
+    }
+
+    #[test]
+    fn corpus_versions() {
+        let c = corpus_dataset();
+        let sub = c
+            .derive_version(DatasetId(13), "v2", DatasetVersionOp::Subset, 0.4, Seed::new(9))
+            .unwrap();
+        assert_eq!(sub.len(), 120);
+        let aug = c
+            .derive_version(DatasetId(14), "v3", DatasetVersionOp::Augment, 0.3, Seed::new(9))
+            .unwrap();
+        assert!(aug.len() < c.len());
+        assert!(aug.len() > c.len() / 2);
+        assert!(c
+            .derive_version(DatasetId(15), "v4", DatasetVersionOp::Relabel, 0.3, Seed::new(9))
+            .is_err());
+    }
+
+    #[test]
+    fn op_names() {
+        assert_eq!(DatasetVersionOp::Subset.name(), "subset");
+        assert_eq!(DatasetVersionOp::Augment.name(), "augment");
+        assert_eq!(DatasetVersionOp::Relabel.name(), "relabel");
+    }
+}

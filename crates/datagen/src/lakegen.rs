@@ -1,0 +1,874 @@
+//! The benchmark model lake generator with verified ground truth.
+//!
+//! Produces a population of genuinely trained models connected by genuinely
+//! applied derivation operators, together with the full provenance record:
+//! every model's architecture, training datasets, optimiser, seed, family,
+//! and every parent→child edge with its [`TransformKind`] (plus second
+//! parents for stitched/merged models). This is the "benchmark lake" of §3/§5
+//! that lake-task solutions are scored against.
+
+use crate::corpus::{self, VOCAB};
+use crate::dataset::{Dataset, DatasetId, DatasetKind, DatasetVersionOp};
+use crate::domain::Domain;
+use crate::tabular::{self, TabularSpec};
+use mlake_nn::transform::{
+    distill::{distill_mlp, DistillConfig},
+    edit::{edit_mlp, EditSpec},
+    finetune::{finetune_lm, finetune_mlp},
+    lora::{lora_finetune, LoraConfig},
+    prune::prune_mlp,
+    quantize::quantize_mlp,
+    stitch::stitch_mlp,
+};
+use mlake_nn::{
+    train_mlp, Activation, Mlp, Model, NgramLm, TrainConfig, TransformKind,
+};
+use mlake_tensor::{init::Init, Pcg64, Seed};
+use serde::{Deserialize, Serialize};
+
+/// Lake generation parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LakeSpec {
+    /// Root seed; the entire lake is a pure function of it.
+    pub seed: u64,
+    /// Number of independently initialised base (foundation) models.
+    pub num_base_models: usize,
+    /// Derived models created per base family (on average).
+    pub derivations_per_base: usize,
+    /// Maximum derivation-chain depth below a base model.
+    pub max_depth: usize,
+    /// Every `lm_every`-th family is a language-model family (0 disables LMs).
+    pub lm_every: usize,
+    /// Tabular task geometry.
+    pub tabular: TabularSpec,
+    /// Training-set size per tabular dataset.
+    pub train_examples: usize,
+    /// Corpus length per LM dataset.
+    pub corpus_len: usize,
+    /// Training epochs for base models and fine-tunes.
+    pub epochs: usize,
+}
+
+impl Default for LakeSpec {
+    fn default() -> Self {
+        LakeSpec {
+            seed: 0,
+            num_base_models: 8,
+            derivations_per_base: 4,
+            max_depth: 3,
+            lm_every: 4,
+            tabular: TabularSpec::default(),
+            train_examples: 120,
+            corpus_len: 2500,
+            epochs: 15,
+        }
+    }
+}
+
+impl LakeSpec {
+    /// A small, fast configuration for unit tests.
+    pub fn tiny(seed: u64) -> LakeSpec {
+        LakeSpec {
+            seed,
+            num_base_models: 3,
+            derivations_per_base: 3,
+            max_depth: 2,
+            lm_every: 3,
+            train_examples: 60,
+            corpus_len: 800,
+            epochs: 8,
+            ..LakeSpec::default()
+        }
+    }
+}
+
+/// One generated model plus its true provenance metadata.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GeneratedModel {
+    /// Hub-style name, e.g. `"legal-mlp16-base-f0"`.
+    pub name: String,
+    /// The artifact.
+    pub model: Model,
+    /// Domain of the model's most recent training data.
+    pub domain: Domain,
+    /// Base-family index (which foundation model it descends from; stitched
+    /// models keep their primary parent's family).
+    pub family: usize,
+    /// Derivation depth (0 = base model).
+    pub depth: usize,
+    /// Datasets this model (or its direct training step) used.
+    pub trained_on: Vec<DatasetId>,
+    /// The operator that derived it from its parent (`None` for bases).
+    pub transform: Option<TransformKind>,
+    /// Human-readable optimiser/config description — part of `A`.
+    pub algorithm: String,
+    /// Seed of this model's own training step.
+    pub seed: u64,
+}
+
+/// A ground-truth derivation edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GtEdge {
+    /// Index of the (primary) parent in [`GroundTruth::models`].
+    pub parent: usize,
+    /// Index of the child.
+    pub child: usize,
+    /// The operator applied.
+    pub kind: TransformKind,
+    /// Second parent for stitch/merge derivations.
+    pub second_parent: Option<usize>,
+}
+
+/// The verified ground truth: models, edges, datasets.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// All models, bases first, in generation order.
+    pub models: Vec<GeneratedModel>,
+    /// All derivation edges.
+    pub edges: Vec<GtEdge>,
+    /// All datasets referenced by `trained_on`.
+    pub datasets: Vec<Dataset>,
+    /// Root seed the lake was generated from.
+    pub seed: u64,
+}
+
+impl GroundTruth {
+    /// Children of model `i` (indices).
+    pub fn children_of(&self, i: usize) -> Vec<usize> {
+        self.edges
+            .iter()
+            .filter(|e| e.parent == i || e.second_parent == Some(i))
+            .map(|e| e.child)
+            .collect()
+    }
+
+    /// Primary parent of model `i`, if derived.
+    pub fn parent_of(&self, i: usize) -> Option<usize> {
+        self.edges.iter().find(|e| e.child == i).map(|e| e.parent)
+    }
+
+    /// Whether `ancestor` is on `i`'s primary-parent chain.
+    pub fn is_ancestor(&self, ancestor: usize, i: usize) -> bool {
+        let mut cur = i;
+        while let Some(p) = self.parent_of(cur) {
+            if p == ancestor {
+                return true;
+            }
+            cur = p;
+        }
+        false
+    }
+
+    /// All members of base family `f`.
+    pub fn family_members(&self, f: usize) -> Vec<usize> {
+        (0..self.models.len())
+            .filter(|&i| self.models[i].family == f)
+            .collect()
+    }
+
+    /// Search-relevance grade of `other` w.r.t. query model `query`:
+    /// 2 = same lineage family, 1 = same domain, 0 = unrelated.
+    pub fn relevance(&self, query: usize, other: usize) -> u8 {
+        if query == other {
+            return 2;
+        }
+        if self.models[query].family == self.models[other].family {
+            2
+        } else if self.models[query].domain == self.models[other].domain {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Dataset lookup by id.
+    pub fn dataset(&self, id: DatasetId) -> Option<&Dataset> {
+        self.datasets.iter().find(|d| d.id == id)
+    }
+
+    /// Models (indices) whose `trained_on` includes `id` or any version
+    /// derived from it.
+    pub fn trained_on_dataset_or_versions(&self, id: DatasetId) -> Vec<usize> {
+        let mut version_ids: Vec<DatasetId> = vec![id];
+        // Transitive closure over dataset parent links.
+        loop {
+            let before = version_ids.len();
+            for d in &self.datasets {
+                if let Some(p) = d.parent {
+                    if version_ids.contains(&p) && !version_ids.contains(&d.id) {
+                        version_ids.push(d.id);
+                    }
+                }
+            }
+            if version_ids.len() == before {
+                break;
+            }
+        }
+        (0..self.models.len())
+            .filter(|&i| {
+                self.models[i]
+                    .trained_on
+                    .iter()
+                    .any(|t| version_ids.contains(t))
+            })
+            .collect()
+    }
+}
+
+/// Generates the benchmark lake. Deterministic in `spec.seed`.
+pub fn generate_lake(spec: &LakeSpec) -> GroundTruth {
+    let root = Seed::new(spec.seed);
+    let mut rng: Pcg64 = root.derive("lakegen").rng();
+    let domains = Domain::builtin();
+    let mut gt = GroundTruth {
+        models: Vec::new(),
+        edges: Vec::new(),
+        datasets: Vec::new(),
+        seed: spec.seed,
+    };
+    let mut next_dataset = 0u64;
+    let alloc_ds = |gt: &mut GroundTruth, ds: Dataset| -> DatasetId {
+        let id = ds.id;
+        gt.datasets.push(ds);
+        id
+    };
+
+    // ---- Base (foundation) models -------------------------------------
+    // Base families are mutually independent (each draws only from its own
+    // derived seed), so they train in parallel on crossbeam scoped threads;
+    // results are committed in family order, keeping the lake a pure
+    // function of `spec.seed`.
+    let base_results: Vec<(GeneratedModel, Dataset)> = {
+        let domains = &domains;
+        crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..spec.num_base_models)
+                .map(|f| {
+                    scope.spawn(move |_| build_base_model(spec, domains, root, f))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("base-model worker panicked"))
+                .collect()
+        })
+        .expect("crossbeam scope")
+    };
+    for (f, (mut model, mut ds)) in base_results.into_iter().enumerate() {
+        let id = DatasetId(next_dataset);
+        next_dataset += 1;
+        ds.id = id;
+        model.trained_on = vec![id];
+        debug_assert_eq!(model.family, f);
+        alloc_ds(&mut gt, ds);
+        gt.models.push(model);
+    }
+
+    // Dataset versions for even families: gives "trained on a *version* of
+    // dataset X" ground truth.
+    let base_dataset_count = gt.datasets.len();
+    for d in 0..base_dataset_count {
+        if d.is_multiple_of(2) {
+            let parent = gt.datasets[d].clone();
+            let op = if parent.as_corpus().is_some() {
+                DatasetVersionOp::Subset
+            } else {
+                DatasetVersionOp::Augment
+            };
+            let v2 = parent
+                .derive_version(
+                    DatasetId(next_dataset),
+                    format!("{}-v2", parent.name.trim_end_matches("-v1")),
+                    op,
+                    0.5,
+                    root.derive("ds-version").derive_u64(d as u64),
+                )
+                .expect("version ops valid for kind");
+            next_dataset += 1;
+            gt.datasets.push(v2);
+        }
+    }
+
+    // ---- Derivations ----------------------------------------------------
+    let total_derivations = spec.num_base_models * spec.derivations_per_base;
+    let mut derivation = 0usize;
+    let mut attempts = 0usize;
+    while derivation < total_derivations && attempts < total_derivations * 10 {
+        attempts += 1;
+        let parent_idx = rng.index(gt.models.len());
+        if gt.models[parent_idx].depth >= spec.max_depth {
+            continue;
+        }
+        let step_seed = root.derive("derivation").derive_u64(derivation as u64);
+        let outcome = match &gt.models[parent_idx].model {
+            Model::Mlp(_) => derive_mlp_child(
+                spec, &gt, parent_idx, step_seed, &mut rng, &mut next_dataset, root,
+            ),
+            Model::Lm(_) => derive_lm_child(
+                spec, &gt, parent_idx, step_seed, &mut rng, &mut next_dataset, root,
+            ),
+        };
+        if let Some((child, edge, new_datasets)) = outcome {
+            // Numerical guard: a diverged training run must never enter the
+            // benchmark lake (its artifact would be undecodable downstream).
+            if !child.model.is_finite() {
+                continue;
+            }
+            for ds in new_datasets {
+                gt.datasets.push(ds);
+            }
+            let child_idx = gt.models.len();
+            gt.models.push(child);
+            gt.edges.push(GtEdge {
+                child: child_idx,
+                ..edge
+            });
+            derivation += 1;
+        }
+    }
+    gt
+}
+
+/// Trains one base (foundation) model and its training dataset. Pure in
+/// `(spec, root, f)` — safe to run on any thread.
+fn build_base_model(
+    spec: &LakeSpec,
+    domains: &[Domain],
+    root: Seed,
+    f: usize,
+) -> (GeneratedModel, Dataset) {
+    let domain = domains[f % domains.len()].clone();
+    let family_seed = root.derive("family").derive_u64(f as u64);
+    let is_lm = spec.lm_every > 0 && f % spec.lm_every == spec.lm_every - 1;
+    // Dataset ids are assigned by the caller in family order.
+    let placeholder = DatasetId(u64::MAX);
+    if is_lm {
+        let corpus = corpus::sample_corpus(
+            &domain,
+            spec.corpus_len,
+            root,
+            family_seed.derive("corpus"),
+        );
+        let ds = Dataset {
+            id: placeholder,
+            name: format!("{domain}-corpus-f{f}-v1"),
+            domain: domain.clone(),
+            kind: DatasetKind::Corpus(corpus.clone()),
+            parent: None,
+            derived_by: None,
+        };
+        let order = if family_seed.derive("order").rng().bernoulli(0.5) { 2 } else { 3 };
+        let mut lm = NgramLm::new(VOCAB, order, 0.2).expect("valid ngram spec");
+        lm.add_counts(&corpus, 1.0).expect("corpus in vocab");
+        (
+            GeneratedModel {
+                name: format!("{domain}-ngram{order}-base-f{f}"),
+                model: Model::Lm(lm),
+                domain,
+                family: f,
+                depth: 0,
+                trained_on: Vec::new(),
+                transform: None,
+                algorithm: format!("count-fit(order={order}, alpha=0.2)"),
+                seed: family_seed.0,
+            },
+            ds,
+        )
+    } else {
+        let data = tabular::sample_tabular(
+            &domain,
+            &spec.tabular,
+            spec.train_examples,
+            root,
+            family_seed.derive("tabular"),
+        );
+        let ds = Dataset {
+            id: placeholder,
+            name: format!("{domain}-tab-f{f}-v1"),
+            domain: domain.clone(),
+            kind: DatasetKind::Tabular(data.clone()),
+            parent: None,
+            derived_by: None,
+        };
+        // Architecture variety across families.
+        let hidden: &[usize] = match f % 3 {
+            0 => &[16],
+            1 => &[24],
+            _ => &[16, 8],
+        };
+        let activation = if f.is_multiple_of(2) { Activation::Relu } else { Activation::Tanh };
+        let mut sizes = vec![spec.tabular.dim];
+        sizes.extend_from_slice(hidden);
+        sizes.push(spec.tabular.num_classes);
+        let mut init_rng = family_seed.derive("init").rng();
+        let mut mlp = Mlp::new(sizes, activation, Init::HeNormal, &mut init_rng)
+            .expect("valid layer sizes");
+        let cfg = TrainConfig {
+            epochs: spec.epochs,
+            seed: family_seed.derive("train").0,
+            ..TrainConfig::default()
+        };
+        train_mlp(&mut mlp, &data, &cfg).expect("training succeeds on valid data");
+        let arch_hint = format!(
+            "mlp{}",
+            hidden.iter().map(usize::to_string).collect::<Vec<_>>().join("x")
+        );
+        (
+            GeneratedModel {
+                name: format!("{domain}-{arch_hint}-base-f{f}"),
+                model: Model::Mlp(mlp),
+                domain,
+                family: f,
+                depth: 0,
+                trained_on: Vec::new(),
+                transform: None,
+                algorithm: format!("{} epochs={}", cfg.optimizer.describe(), cfg.epochs),
+                seed: cfg.seed,
+            },
+            ds,
+        )
+    }
+}
+
+type DeriveOutcome = Option<(GeneratedModel, GtEdge, Vec<Dataset>)>;
+
+fn derive_mlp_child(
+    spec: &LakeSpec,
+    gt: &GroundTruth,
+    parent_idx: usize,
+    step_seed: Seed,
+    rng: &mut Pcg64,
+    next_dataset: &mut u64,
+    root: Seed,
+) -> DeriveOutcome {
+    let parent = &gt.models[parent_idx];
+    let mlp = parent.model.as_mlp().expect("caller checked family");
+    let domains = Domain::builtin();
+    let kinds = [
+        TransformKind::FineTune,
+        TransformKind::Lora,
+        TransformKind::Edit,
+        TransformKind::Distill,
+        TransformKind::Stitch,
+        TransformKind::Prune,
+        TransformKind::Quantize,
+    ];
+    let kind = kinds[rng.index(kinds.len())];
+    let depth = parent.depth + 1;
+    let mut new_datasets = Vec::new();
+    let (model, domain, trained_on, algorithm, second_parent) = match kind {
+        TransformKind::FineTune | TransformKind::Lora => {
+            // Fine-tune onto a (usually different) domain.
+            let target_domain = domains[rng.index(domains.len())].clone();
+            let data = tabular::sample_tabular(
+                &target_domain,
+                &spec.tabular,
+                spec.train_examples,
+                root,
+                step_seed.derive("ft-data"),
+            );
+            let ds = Dataset {
+                id: DatasetId(*next_dataset),
+                name: format!("{target_domain}-tab-ft-{}", *next_dataset),
+                domain: target_domain.clone(),
+                kind: DatasetKind::Tabular(data.clone()),
+                parent: None,
+                derived_by: None,
+            };
+            *next_dataset += 1;
+            let ds_id = ds.id;
+            new_datasets.push(ds);
+            if kind == TransformKind::FineTune {
+                let cfg = TrainConfig {
+                    epochs: spec.epochs / 2 + 1,
+                    optimizer: mlake_nn::optim::OptimizerSpec::sgd(0.05),
+                    seed: step_seed.derive("ft").0,
+                    ..TrainConfig::default()
+                };
+                let (child, _) = finetune_mlp(mlp, &data, &cfg).ok()?;
+                (
+                    Model::Mlp(child),
+                    target_domain,
+                    vec![ds_id],
+                    format!("finetune {} epochs={}", cfg.optimizer.describe(), cfg.epochs),
+                    None,
+                )
+            } else {
+                let lcfg = LoraConfig {
+                    layer: rng.index(mlp.num_layers()),
+                    // Realistic adapter ranks (hubs ship rank 4-16); rank-1
+                    // adapters are spectrally indistinguishable from edits.
+                    rank: 2 + rng.index(3),
+                    epochs: spec.epochs / 2 + 1,
+                    seed: step_seed.derive("lora").0,
+                    ..LoraConfig::default()
+                };
+                let (child, _) = lora_finetune(mlp, &data, &lcfg).ok()?;
+                (
+                    Model::Mlp(child),
+                    target_domain,
+                    vec![ds_id],
+                    format!("lora(layer={}, rank={})", lcfg.layer, lcfg.rank),
+                    None,
+                )
+            }
+        }
+        TransformKind::Edit => {
+            let layer = rng.index(mlp.num_layers());
+            let (fan_out, fan_in) = mlp.weight(layer).shape();
+            let mut key = vec![0.0f32; fan_in];
+            let mut value = vec![0.0f32; fan_out];
+            let mut erng = step_seed.derive("edit").rng();
+            erng.fill_normal(&mut key);
+            erng.fill_normal(&mut value);
+            let child = edit_mlp(mlp, &EditSpec { layer, key, value }).ok()?;
+            (
+                Model::Mlp(child),
+                parent.domain.clone(),
+                parent.trained_on.clone(),
+                format!("edit(layer={layer})"),
+                None,
+            )
+        }
+        TransformKind::Distill => {
+            let probes = tabular::probe_inputs(
+                spec.tabular.dim,
+                spec.train_examples,
+                spec.tabular.separation,
+                step_seed.derive("distill-probes"),
+            );
+            let cfg = DistillConfig {
+                student_hidden: vec![12 + rng.index(3) * 4],
+                activation: mlp.activation(),
+                epochs: spec.epochs,
+                seed: step_seed.derive("distill").0,
+                ..DistillConfig::default()
+            };
+            let child = distill_mlp(mlp, &probes, &cfg).ok()?;
+            (
+                Model::Mlp(child),
+                parent.domain.clone(),
+                parent.trained_on.clone(),
+                format!("distill(hidden={:?}, T={})", cfg.student_hidden, cfg.temperature),
+                None,
+            )
+        }
+        TransformKind::Stitch => {
+            // Need an architecture-compatible second parent in the lake.
+            let arch = mlp.architecture();
+            let candidates: Vec<usize> = (0..gt.models.len())
+                .filter(|&i| {
+                    i != parent_idx
+                        && gt.models[i]
+                            .model
+                            .as_mlp()
+                            .is_some_and(|m| m.architecture() == arch)
+                })
+                .collect();
+            let &other_idx = rng.choose(&candidates)?;
+            let other = gt.models[other_idx].model.as_mlp()?;
+            let cut = 1 + rng.index(mlp.num_layers() - 1);
+            let child = stitch_mlp(mlp, other, cut).ok()?;
+            let mut trained_on = parent.trained_on.clone();
+            trained_on.extend(gt.models[other_idx].trained_on.iter().copied());
+            (
+                Model::Mlp(child),
+                parent.domain.clone(),
+                trained_on,
+                format!("stitch(cut={cut})"),
+                Some(other_idx),
+            )
+        }
+        TransformKind::Prune => {
+            let fraction = 0.3 + rng.next_f32() * 0.4;
+            let child = prune_mlp(mlp, fraction).ok()?;
+            (
+                Model::Mlp(child),
+                parent.domain.clone(),
+                parent.trained_on.clone(),
+                format!("prune(fraction={fraction:.2})"),
+                None,
+            )
+        }
+        TransformKind::Quantize => {
+            let bits = 4 + rng.index(3) as u32 * 2;
+            let child = quantize_mlp(mlp, bits).ok()?;
+            (
+                Model::Mlp(child),
+                parent.domain.clone(),
+                parent.trained_on.clone(),
+                format!("quantize(bits={bits})"),
+                None,
+            )
+        }
+    };
+    let name = format!("{domain}-{}-{}-d{depth}", kind.name(), gt.models.len());
+    Some((
+        GeneratedModel {
+            name,
+            model,
+            domain,
+            family: parent.family,
+            depth,
+            trained_on,
+            transform: Some(kind),
+            algorithm,
+            seed: step_seed.0,
+        },
+        GtEdge {
+            parent: parent_idx,
+            child: usize::MAX, // fixed up by caller
+            kind,
+            second_parent,
+        },
+        new_datasets,
+    ))
+}
+
+fn derive_lm_child(
+    spec: &LakeSpec,
+    gt: &GroundTruth,
+    parent_idx: usize,
+    step_seed: Seed,
+    rng: &mut Pcg64,
+    next_dataset: &mut u64,
+    root: Seed,
+) -> DeriveOutcome {
+    let parent = &gt.models[parent_idx];
+    let lm = parent.model.as_lm().expect("caller checked family");
+    let domains = Domain::builtin();
+    let kinds = [
+        TransformKind::FineTune,
+        TransformKind::Edit,
+        TransformKind::Distill,
+        TransformKind::Stitch,
+    ];
+    let kind = kinds[rng.index(kinds.len())];
+    let depth = parent.depth + 1;
+    let mut new_datasets = Vec::new();
+    let (model, domain, trained_on, algorithm, second_parent) = match kind {
+        TransformKind::FineTune => {
+            let target_domain = domains[rng.index(domains.len())].clone();
+            let corpus = corpus::sample_corpus(
+                &target_domain,
+                spec.corpus_len / 2,
+                root,
+                step_seed.derive("ft-corpus"),
+            );
+            let ds = Dataset {
+                id: DatasetId(*next_dataset),
+                name: format!("{target_domain}-corpus-ft-{}", *next_dataset),
+                domain: target_domain.clone(),
+                kind: DatasetKind::Corpus(corpus.clone()),
+                parent: None,
+                derived_by: None,
+            };
+            *next_dataset += 1;
+            let ds_id = ds.id;
+            new_datasets.push(ds);
+            let child = finetune_lm(lm, &corpus, 2.0).ok()?;
+            (
+                Model::Lm(child),
+                target_domain,
+                vec![ds_id],
+                "lm-finetune(weight=2.0)".to_string(),
+                None,
+            )
+        }
+        TransformKind::Edit => {
+            let mut erng = step_seed.derive("lm-edit").rng();
+            let ctx = vec![erng.index(lm.vocab())];
+            let token = erng.index(lm.vocab());
+            let mut child = lm.clone();
+            child.edit(&ctx, token, 0.8).ok()?;
+            (
+                Model::Lm(child),
+                parent.domain.clone(),
+                parent.trained_on.clone(),
+                format!("lm-edit(ctx={ctx:?}, token={token})"),
+                None,
+            )
+        }
+        TransformKind::Distill => {
+            // Student learns from teacher samples — weights rebuilt from
+            // scratch, behaviour inherited.
+            let mut srng = step_seed.derive("lm-distill").rng();
+            let sample = lm.sample(&[0], spec.corpus_len, &mut srng).ok()?;
+            let mut student = NgramLm::new(lm.vocab(), lm.order(), 0.2).ok()?;
+            student.add_counts(&sample, 1.0).ok()?;
+            (
+                Model::Lm(student),
+                parent.domain.clone(),
+                parent.trained_on.clone(),
+                "lm-distill(samples)".to_string(),
+                None,
+            )
+        }
+        _ => {
+            // Merge (interpolation) — the two-parent LM case, labelled Stitch.
+            let candidates: Vec<usize> = (0..gt.models.len())
+                .filter(|&i| {
+                    i != parent_idx
+                        && gt.models[i]
+                            .model
+                            .as_lm()
+                            .is_some_and(|o| o.vocab() == lm.vocab() && o.order() == lm.order())
+                })
+                .collect();
+            let &other_idx = rng.choose(&candidates)?;
+            let other = gt.models[other_idx].model.as_lm()?;
+            let lambda = 0.3 + f64::from(rng.next_f32()) * 0.4;
+            let child = lm.interpolate(other, lambda).ok()?;
+            let mut trained_on = parent.trained_on.clone();
+            trained_on.extend(gt.models[other_idx].trained_on.iter().copied());
+            (
+                Model::Lm(child),
+                parent.domain.clone(),
+                trained_on,
+                format!("lm-merge(lambda={lambda:.2})"),
+                Some(other_idx),
+            )
+        }
+    };
+    let name = format!("{domain}-lm-{}-{}-d{depth}", kind.name(), gt.models.len());
+    Some((
+        GeneratedModel {
+            name,
+            model,
+            domain,
+            family: parent.family,
+            depth,
+            trained_on,
+            transform: Some(kind),
+            algorithm,
+            seed: step_seed.0,
+        },
+        GtEdge {
+            parent: parent_idx,
+            child: usize::MAX,
+            kind,
+            second_parent,
+        },
+        new_datasets,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lake() -> GroundTruth {
+        generate_lake(&LakeSpec::tiny(42))
+    }
+
+    #[test]
+    fn lake_is_deterministic() {
+        let a = lake();
+        let b = lake();
+        assert_eq!(a.models.len(), b.models.len());
+        assert_eq!(a.edges, b.edges);
+        for (x, y) in a.models.iter().zip(&b.models) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.model.flat_params(), y.model.flat_params());
+        }
+    }
+
+    #[test]
+    fn base_models_then_derivations() {
+        let gt = lake();
+        let spec = LakeSpec::tiny(42);
+        assert!(gt.models.len() >= spec.num_base_models);
+        for (i, m) in gt.models.iter().enumerate() {
+            if i < spec.num_base_models {
+                assert_eq!(m.depth, 0);
+                assert!(m.transform.is_none());
+            } else {
+                assert!(m.depth >= 1);
+                assert!(m.transform.is_some());
+            }
+            assert!(m.depth <= spec.max_depth);
+            assert!(!m.trained_on.is_empty());
+        }
+    }
+
+    #[test]
+    fn edges_are_consistent() {
+        let gt = lake();
+        for e in &gt.edges {
+            assert!(e.parent < gt.models.len());
+            assert!(e.child < gt.models.len());
+            assert!(e.parent < e.child, "children are generated after parents");
+            assert_eq!(gt.models[e.child].transform, Some(e.kind));
+            assert_eq!(gt.models[e.child].depth, gt.models[e.parent].depth + 1);
+            // Family follows the primary parent.
+            assert_eq!(gt.models[e.child].family, gt.models[e.parent].family);
+        }
+        // Every derived model has exactly one incoming primary edge.
+        let spec = LakeSpec::tiny(42);
+        for i in spec.num_base_models..gt.models.len() {
+            let incoming = gt.edges.iter().filter(|e| e.child == i).count();
+            assert_eq!(incoming, 1, "model {i}");
+        }
+    }
+
+    #[test]
+    fn contains_lm_and_mlp_families() {
+        let gt = lake();
+        assert!(gt.models.iter().any(|m| m.model.as_lm().is_some()));
+        assert!(gt.models.iter().any(|m| m.model.as_mlp().is_some()));
+    }
+
+    #[test]
+    fn ancestor_and_children_helpers() {
+        let gt = lake();
+        if let Some(e) = gt.edges.first() {
+            assert!(gt.is_ancestor(e.parent, e.child));
+            assert!(!gt.is_ancestor(e.child, e.parent));
+            assert!(gt.children_of(e.parent).contains(&e.child));
+            assert_eq!(gt.parent_of(e.child), Some(e.parent));
+        }
+        assert_eq!(gt.parent_of(0), None);
+    }
+
+    #[test]
+    fn relevance_grades() {
+        let gt = lake();
+        assert_eq!(gt.relevance(0, 0), 2);
+        for f in gt.family_members(0) {
+            assert_eq!(gt.relevance(0, f), 2);
+        }
+    }
+
+    #[test]
+    fn dataset_version_closure() {
+        let gt = lake();
+        // Dataset 0 belongs to family 0's base model; augmented/subset
+        // versions exist for even dataset ids.
+        let hits = gt.trained_on_dataset_or_versions(DatasetId(0));
+        assert!(hits.contains(&0));
+        assert!(gt.dataset(DatasetId(0)).is_some());
+        assert!(gt.dataset(DatasetId(9999)).is_none());
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let gt = lake();
+        let mut names: Vec<&str> = gt.models.iter().map(|m| m.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+    }
+
+    #[test]
+    fn larger_lake_generates_requested_derivations() {
+        let spec = LakeSpec {
+            seed: 7,
+            num_base_models: 4,
+            derivations_per_base: 3,
+            ..LakeSpec::tiny(7)
+        };
+        let gt = generate_lake(&spec);
+        assert_eq!(gt.models.len(), 4 + 12);
+        assert_eq!(gt.edges.len(), 12);
+    }
+}

@@ -1,0 +1,31 @@
+//! # mlake-datagen
+//!
+//! Synthetic domains, corpora, datasets and — most importantly — the
+//! **benchmark model lake with verified ground truth** that the paper calls
+//! for (§3 Benchmarking: "within a benchmark lake, we will need verified
+//! ground truth"; §5: "a comprehensive benchmark dataset is needed — one that
+//! includes labeled model parameters, architectures, and detailed
+//! transformation records").
+//!
+//! The generator trains real (small) models on synthetic domain data and
+//! applies the real transformation operators from `mlake-nn`, recording the
+//! exact derivation graph, training datasets and hyper-parameters. Every
+//! experiment in EXPERIMENTS.md evaluates lake-task solutions against this
+//! recorded truth.
+//!
+//! * [`domain`] — named domains (legal, medical, …) with deterministic
+//!   tabular class geometry and text style;
+//! * [`tabular`] — Gaussian-mixture classification data per domain;
+//! * [`corpus`] — Zipf/Markov token corpora per domain;
+//! * [`dataset`] — datasets as first-class, versioned lake citizens;
+//! * [`lakegen`] — the ground-truth lake generator.
+
+pub mod corpus;
+pub mod dataset;
+pub mod domain;
+pub mod lakegen;
+pub mod tabular;
+
+pub use dataset::{Dataset, DatasetId, DatasetKind, DatasetVersionOp};
+pub use domain::Domain;
+pub use lakegen::{generate_lake, GeneratedModel, GroundTruth, GtEdge, LakeSpec};

@@ -1,0 +1,129 @@
+//! Linear Centered Kernel Alignment (Kornblith et al. 2019).
+//!
+//! CKA compares *representations*, not weights: two networks that implement
+//! the same function with permuted hidden units score 1.0, which weight
+//! cosine cannot do. In the lake it backs fine-grained "are these models
+//! functionally the same layer-by-layer?" analysis — the representation-level
+//! interpretability the paper's attribution section points to.
+
+use mlake_tensor::{Matrix, TensorError};
+
+/// Linear CKA between two representation matrices with one row per probe.
+///
+/// `x` is `n × d1`, `y` is `n × d2` (same probe count `n`, any widths).
+/// Columns are centered internally. Returns a value in `[0, 1]` (up to
+/// numerical noise); errors when probe counts differ or `n < 2`.
+pub fn linear_cka(x: &Matrix, y: &Matrix) -> mlake_tensor::Result<f32> {
+    if x.rows() != y.rows() {
+        return Err(TensorError::ShapeMismatch {
+            op: "linear_cka",
+            lhs: x.shape(),
+            rhs: y.shape(),
+        });
+    }
+    if x.rows() < 2 {
+        return Err(TensorError::Empty("linear_cka probes"));
+    }
+    let mut xc = x.clone();
+    let mut yc = y.clone();
+    xc.center_cols();
+    yc.center_cols();
+    // ‖XᵀY‖_F² / (‖XᵀX‖_F · ‖YᵀY‖_F)
+    let xty = xc.transpose().matmul(&yc)?;
+    let xtx = xc.transpose().matmul(&xc)?;
+    let yty = yc.transpose().matmul(&yc)?;
+    let num = f64::from(xty.frobenius_norm()).powi(2);
+    let den = f64::from(xtx.frobenius_norm()) * f64::from(yty.frobenius_norm());
+    if den <= 0.0 {
+        return Ok(0.0);
+    }
+    Ok((num / den) as f32)
+}
+
+/// CKA similarity matrix across a set of representations (symmetric, unit
+/// diagonal up to numerical noise).
+pub fn cka_matrix(reps: &[Matrix]) -> mlake_tensor::Result<Matrix> {
+    let n = reps.len();
+    let mut out = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = linear_cka(&reps[i], &reps[j])?;
+            out.set_at(i, j, v);
+            out.set_at(j, i, v);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_tensor::Pcg64;
+
+    fn randmat(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut rng = Pcg64::new(seed);
+        Matrix::randn(rows, cols, &mut rng)
+    }
+
+    #[test]
+    fn self_similarity_is_one() {
+        let x = randmat(20, 6, 1);
+        let v = linear_cka(&x, &x).unwrap();
+        assert!((v - 1.0).abs() < 1e-4, "{v}");
+    }
+
+    #[test]
+    fn invariant_to_column_permutation() {
+        let x = randmat(20, 6, 2);
+        // Permute columns: same representation, different neuron order.
+        let perm = [3usize, 0, 5, 1, 4, 2];
+        let y = Matrix::from_fn(20, 6, |r, c| x.at(r, perm[c]));
+        let v = linear_cka(&x, &y).unwrap();
+        assert!((v - 1.0).abs() < 1e-4, "{v}");
+    }
+
+    #[test]
+    fn invariant_to_isotropic_scaling() {
+        let x = randmat(15, 4, 3);
+        let y = x.scale(3.7);
+        let v = linear_cka(&x, &y).unwrap();
+        assert!((v - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn independent_representations_score_low() {
+        let x = randmat(40, 8, 4);
+        let y = randmat(40, 8, 5);
+        let v = linear_cka(&x, &y).unwrap();
+        assert!(v < 0.5, "{v}");
+        assert!(v >= 0.0);
+    }
+
+    #[test]
+    fn handles_different_widths() {
+        let x = randmat(25, 4, 6);
+        let y = randmat(25, 9, 7);
+        assert!(linear_cka(&x, &y).is_ok());
+    }
+
+    #[test]
+    fn errors_on_mismatched_probes_or_tiny_input() {
+        let x = randmat(10, 4, 8);
+        let y = randmat(12, 4, 9);
+        assert!(linear_cka(&x, &y).is_err());
+        let tiny = randmat(1, 4, 10);
+        assert!(linear_cka(&tiny, &tiny).is_err());
+    }
+
+    #[test]
+    fn matrix_is_symmetric_with_unit_diagonal() {
+        let reps = vec![randmat(18, 5, 11), randmat(18, 7, 12), randmat(18, 5, 13)];
+        let m = cka_matrix(&reps).unwrap();
+        for i in 0..3 {
+            assert!((m.at(i, i) - 1.0).abs() < 1e-4);
+            for j in 0..3 {
+                assert!((m.at(i, j) - m.at(j, i)).abs() < 1e-6);
+            }
+        }
+    }
+}

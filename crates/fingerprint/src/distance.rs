@@ -1,0 +1,68 @@
+//! Fingerprint kinds and distances — the ablation axis of the search and
+//! versioning experiments (DESIGN.md §5, ablation 1).
+
+use serde::{Deserialize, Serialize};
+
+/// Which viewpoint a fingerprint is computed from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FingerprintKind {
+    /// Weights only (`f*, θ`).
+    Intrinsic,
+    /// Behaviour only (`p_θ`).
+    Extrinsic,
+    /// Normalised concatenation of both.
+    Hybrid,
+}
+
+impl FingerprintKind {
+    /// Stable lower-case name.
+    pub fn name(self) -> &'static str {
+        match self {
+            FingerprintKind::Intrinsic => "intrinsic",
+            FingerprintKind::Extrinsic => "extrinsic",
+            FingerprintKind::Hybrid => "hybrid",
+        }
+    }
+
+    /// Parses [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<FingerprintKind> {
+        match s {
+            "intrinsic" => Some(FingerprintKind::Intrinsic),
+            "extrinsic" => Some(FingerprintKind::Extrinsic),
+            "hybrid" => Some(FingerprintKind::Hybrid),
+            _ => None,
+        }
+    }
+
+    /// All kinds, for sweeps.
+    pub const ALL: [FingerprintKind; 3] = [
+        FingerprintKind::Intrinsic,
+        FingerprintKind::Extrinsic,
+        FingerprintKind::Hybrid,
+    ];
+}
+
+/// Cosine distance between two fingerprints (the metric all indexes use).
+pub fn fingerprint_distance(a: &[f32], b: &[f32]) -> f32 {
+    mlake_tensor::vector::cosine_distance(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in FingerprintKind::ALL {
+            assert_eq!(FingerprintKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(FingerprintKind::parse("psychic"), None);
+    }
+
+    #[test]
+    fn distance_zero_for_identical() {
+        let v = vec![0.5f32, -0.25, 1.0];
+        assert!(fingerprint_distance(&v, &v).abs() < 1e-6);
+        assert!(fingerprint_distance(&v, &[0.5, 0.25, -1.0]) > 0.5);
+    }
+}

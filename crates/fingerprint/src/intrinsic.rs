@@ -1,0 +1,214 @@
+//! Intrinsic fingerprints from `(f*, θ)`.
+//!
+//! *Moment features* summarise the weight distribution (the raw material of
+//! direction heuristics in version recovery); the *hashed sketch* is a
+//! feature-hashing projection of the flat parameter vector into a fixed
+//! dimension, deterministic in a seed — comparable across models of any size
+//! and linear in `θ`, so weight-space proximity survives the projection (a
+//! Johnson–Lindenstrauss-style guarantee with ±1 hashing). Their
+//! concatenation is this repository's "Model DNA" (after Mu et al. 2023).
+
+use mlake_nn::Model;
+use mlake_tensor::stats::MomentSummary;
+
+/// Splitmix-style avalanche hash for (seed, index) pairs.
+#[inline]
+fn hash_index(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Feature-hashing sketch of an arbitrary-length parameter vector into
+/// `dim` buckets with ±1 signs. Deterministic in `seed`; L2-normalised.
+pub fn sketch_params(params: &[f32], dim: usize, seed: u64) -> Vec<f32> {
+    assert!(dim > 0, "sketch dimension must be positive");
+    let mut out = vec![0.0f32; dim];
+    for (i, &v) in params.iter().enumerate() {
+        let h = hash_index(seed, i as u64);
+        let bucket = (h % dim as u64) as usize;
+        let sign = if h & (1 << 63) == 0 { 1.0 } else { -1.0 };
+        out[bucket] += sign * v;
+    }
+    mlake_tensor::vector::normalize(&mut out);
+    out
+}
+
+/// Eight global weight-distribution moments of a model.
+pub fn moment_features(model: &Model) -> [f32; 8] {
+    MomentSummary::of(&model.flat_params()).to_features()
+}
+
+/// Per-layer moment features for an MLP (empty for LMs, whose "layers" are
+/// context rows and are summarised globally instead).
+pub fn layer_moment_features(model: &Model) -> Vec<[f32; 8]> {
+    match model {
+        Model::Mlp(m) => (0..m.num_layers())
+            .map(|l| MomentSummary::of(m.weight(l).as_slice()).to_features())
+            .collect(),
+        Model::Lm(_) => Vec::new(),
+    }
+}
+
+/// The full intrinsic fingerprint: moments ++ hashed sketch,
+/// `8 + sketch_dim` long.
+pub fn model_dna(model: &Model, sketch_dim: usize, seed: u64) -> Vec<f32> {
+    let params = model.flat_params();
+    let mut out = Vec::with_capacity(8 + sketch_dim);
+    out.extend_from_slice(&MomentSummary::of(&params).to_features());
+    out.extend_from_slice(&sketch_params(&params, sketch_dim, seed));
+    out
+}
+
+/// Structural weight statistics that survive without a parent reference:
+/// `[sparsity, distinct-value ratio, log10(#params), #layers, max |w|,
+/// bias-to-weight norm ratio]`. Sparsity exposes pruning, a collapsed
+/// distinct-value ratio exposes quantisation — the per-model half of the
+/// transform signatures `mlake-versioning` reads off deltas.
+pub fn structural_features(model: &Model) -> [f32; 6] {
+    let params = model.flat_params();
+    let n = params.len().max(1);
+    let sparsity = params.iter().filter(|&&w| w == 0.0).count() as f32 / n as f32;
+    let distinct = {
+        let mut v: Vec<u32> = params.iter().map(|w| w.to_bits()).collect();
+        v.sort_unstable();
+        v.dedup();
+        v.len() as f32 / n as f32
+    };
+    let max_abs = params.iter().fold(0.0f32, |a, &w| a.max(w.abs()));
+    let (layers, bias_ratio) = match model {
+        Model::Mlp(m) => {
+            let wnorm: f32 = (0..m.num_layers())
+                .map(|l| m.weight(l).frobenius_norm().powi(2))
+                .sum::<f32>()
+                .sqrt();
+            let bnorm: f32 = (0..m.num_layers())
+                .map(|l| mlake_tensor::vector::l2_norm(m.bias(l)).powi(2))
+                .sum::<f32>()
+                .sqrt();
+            (m.num_layers() as f32, bnorm / wnorm.max(1e-9))
+        }
+        Model::Lm(_) => (0.0, 0.0),
+    };
+    [
+        sparsity,
+        distinct,
+        (n as f32).log10(),
+        layers,
+        max_abs,
+        bias_ratio,
+    ]
+}
+
+/// Relative weight-delta norm `‖θ_a − θ_b‖ / ‖θ_b‖` for architecture-
+/// compatible models; `None` when parameter counts differ.
+pub fn relative_delta_norm(a: &Model, b: &Model) -> Option<f32> {
+    let pa = a.flat_params();
+    let pb = b.flat_params();
+    if pa.len() != pb.len() {
+        return None;
+    }
+    let denom = mlake_tensor::vector::l2_norm(&pb);
+    if denom == 0.0 {
+        return None;
+    }
+    Some(mlake_tensor::vector::l2_distance(&pa, &pb) / denom)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_nn::{Activation, Mlp, NgramLm};
+    use mlake_tensor::{init::Init, vector, Pcg64};
+
+    fn mlp(seed: u64) -> Model {
+        let mut rng = Pcg64::new(seed);
+        Model::Mlp(Mlp::new(vec![4, 8, 3], Activation::Relu, Init::HeNormal, &mut rng).unwrap())
+    }
+
+    #[test]
+    fn sketch_is_deterministic_and_normalised() {
+        let p: Vec<f32> = (0..200).map(|i| (i as f32).sin()).collect();
+        let a = sketch_params(&p, 32, 7);
+        let b = sketch_params(&p, 32, 7);
+        assert_eq!(a, b);
+        assert!((vector::l2_norm(&a) - 1.0).abs() < 1e-5);
+        let c = sketch_params(&p, 32, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sketch_preserves_proximity() {
+        let mut rng = Pcg64::new(1);
+        let base: Vec<f32> = (0..500).map(|_| rng.normal()).collect();
+        // Near neighbour: tiny perturbation. Far: independent vector.
+        let near: Vec<f32> = base.iter().map(|&x| x + 0.01 * rng.normal()).collect();
+        let far: Vec<f32> = (0..500).map(|_| rng.normal()).collect();
+        let sb = sketch_params(&base, 64, 3);
+        let sn = sketch_params(&near, 64, 3);
+        let sf = sketch_params(&far, 64, 3);
+        let sim_near = vector::cosine_similarity(&sb, &sn);
+        let sim_far = vector::cosine_similarity(&sb, &sf);
+        assert!(sim_near > 0.99, "near sim {sim_near}");
+        assert!(sim_far < 0.5, "far sim {sim_far}");
+    }
+
+    #[test]
+    fn dna_length_and_content() {
+        let m = mlp(2);
+        let dna = model_dna(&m, 32, 5);
+        assert_eq!(dna.len(), 40);
+        // First 8 entries are the moments.
+        let moments = moment_features(&m);
+        assert_eq!(&dna[..8], &moments);
+    }
+
+    #[test]
+    fn dna_distinguishes_unrelated_but_matches_self() {
+        let a = mlp(2);
+        let b = mlp(99);
+        let da = model_dna(&a, 64, 5);
+        let db = model_dna(&b, 64, 5);
+        assert_eq!(da, model_dna(&a, 64, 5));
+        let sim = vector::cosine_similarity(&da[8..], &db[8..]);
+        assert!(sim < 0.5, "unrelated models too similar: {sim}");
+    }
+
+    #[test]
+    fn layer_moments_per_family() {
+        let m = mlp(3);
+        assert_eq!(layer_moment_features(&m).len(), 2);
+        let lm = Model::Lm(NgramLm::new(8, 2, 0.1).unwrap());
+        assert!(layer_moment_features(&lm).is_empty());
+        // Global moments still work for LMs.
+        let f = moment_features(&lm);
+        assert!(f[0] > 0.0); // uniform probabilities have positive mean
+    }
+
+    #[test]
+    fn structural_features_expose_prune_and_quantize() {
+        use mlake_nn::transform::{prune::prune_mlp, quantize::quantize_mlp};
+        let base = mlp(4);
+        let pruned = Model::Mlp(prune_mlp(base.as_mlp().unwrap(), 0.5).unwrap());
+        let quantized = Model::Mlp(quantize_mlp(base.as_mlp().unwrap(), 4).unwrap());
+        let fb = structural_features(&base);
+        let fp = structural_features(&pruned);
+        let fq = structural_features(&quantized);
+        assert!(fp[0] > fb[0] + 0.3, "sparsity {} vs {}", fp[0], fb[0]);
+        assert!(fq[1] < fb[1] * 0.8, "distinct {} vs {}", fq[1], fb[1]);
+        // Layer count and size stable under both.
+        assert_eq!(fb[3], fp[3]);
+        assert_eq!(fb[2], fq[2]);
+    }
+
+    #[test]
+    fn relative_delta_norm_cases() {
+        let a = mlp(2);
+        let b = mlp(3);
+        assert!(relative_delta_norm(&a, &a).unwrap() < 1e-6);
+        assert!(relative_delta_norm(&a, &b).unwrap() > 0.1);
+        let lm = Model::Lm(NgramLm::new(8, 2, 0.1).unwrap());
+        assert_eq!(relative_delta_norm(&a, &lm), None);
+    }
+}

@@ -1,0 +1,125 @@
+//! Spectral fingerprints: singular-value summaries of weight matrices.
+//!
+//! The singular spectrum of a layer is invariant to permutations of the
+//! neighbouring layers' units (unlike raw weights) and captures the layer's
+//! effective capacity. Spectra shift predictably under the derivation
+//! operators — pruning and quantisation compress the tail, LoRA perturbs a
+//! few directions — making spectral features a permutation-robust companion
+//! to the hashed weight sketch.
+
+use mlake_nn::Model;
+use mlake_tensor::linalg;
+
+/// Per-layer spectral summary: `[σ₁, σ₂/σ₁, stable-rank-ratio]` per layer,
+/// padded/truncated to `max_layers` layers (LMs summarise the probability
+/// table as a single layer). Output length: `3 * max_layers`.
+pub fn spectral_features(model: &Model, max_layers: usize) -> mlake_tensor::Result<Vec<f32>> {
+    let mut out = vec![0.0f32; 3 * max_layers];
+    match model {
+        Model::Mlp(m) => {
+            for l in 0..m.num_layers().min(max_layers) {
+                let w = m.weight(l);
+                let svs = linalg::singular_values(w, 2)?;
+                let s1 = svs.first().copied().unwrap_or(0.0);
+                let s2 = svs.get(1).copied().unwrap_or(0.0);
+                let fro = w.frobenius_norm();
+                out[l * 3] = s1;
+                out[l * 3 + 1] = if s1 > 0.0 { s2 / s1 } else { 0.0 };
+                out[l * 3 + 2] = if s1 > 0.0 {
+                    (fro * fro) / (s1 * s1) / w.rows().min(w.cols()).max(1) as f32
+                } else {
+                    0.0
+                };
+            }
+        }
+        Model::Lm(lm) => {
+            // Treat the probability table as one wide layer.
+            let vocab = lm.vocab();
+            let table = mlake_tensor::Matrix::from_vec(
+                lm.num_contexts(),
+                vocab,
+                lm.flat_params(),
+            )?;
+            // Power iteration (cheap) for σ₁ on potentially large tables.
+            let mut rng = mlake_tensor::Pcg64::new(0x5bec);
+            let s1 = linalg::top_singular_value(&table, 30, &mut rng);
+            let fro = table.frobenius_norm();
+            out[0] = s1;
+            out[2] = if s1 > 0.0 {
+                (fro * fro) / (s1 * s1) / table.rows().min(table.cols()).max(1) as f32
+            } else {
+                0.0
+            };
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_nn::transform::prune::prune_mlp;
+    use mlake_nn::{Activation, Mlp, NgramLm};
+    use mlake_tensor::{init::Init, Pcg64};
+
+    fn mlp(seed: u64) -> Model {
+        let mut rng = Pcg64::new(seed);
+        Model::Mlp(Mlp::new(vec![6, 12, 4], Activation::Relu, Init::HeNormal, &mut rng).unwrap())
+    }
+
+    #[test]
+    fn fixed_length_output() {
+        let f = spectral_features(&mlp(1), 4).unwrap();
+        assert_eq!(f.len(), 12);
+        // Two real layers populated, the rest zero padding.
+        assert!(f[0] > 0.0 && f[3] > 0.0);
+        assert_eq!(&f[6..], &[0.0; 6]);
+    }
+
+    #[test]
+    fn permutation_invariance_of_spectrum() {
+        // Permuting hidden units (rows of W0, columns of W1) leaves each
+        // layer's singular values unchanged.
+        let m = mlp(2);
+        let base = m.as_mlp().unwrap();
+        let perm: Vec<usize> = (0..12).rev().collect();
+        let w0 = base.weight(0);
+        let w1 = base.weight(1);
+        let pw0 = mlake_tensor::Matrix::from_fn(12, 6, |r, c| w0.at(perm[r], c));
+        let pw1 = mlake_tensor::Matrix::from_fn(4, 12, |r, c| w1.at(r, perm[c]));
+        let permuted = Mlp::from_parts(
+            base.layer_sizes().to_vec(),
+            base.activation(),
+            vec![pw0, pw1],
+            vec![base.bias(0).to_vec(), base.bias(1).to_vec()],
+        )
+        .unwrap();
+        let fa = spectral_features(&m, 2).unwrap();
+        let fb = spectral_features(&Model::Mlp(permuted), 2).unwrap();
+        for (a, b) in fa.iter().zip(&fb) {
+            assert!((a - b).abs() < 1e-3, "{fa:?} vs {fb:?}");
+        }
+    }
+
+    #[test]
+    fn pruning_shifts_the_spectrum() {
+        let m = mlp(3);
+        let pruned = Model::Mlp(prune_mlp(m.as_mlp().unwrap(), 0.7).unwrap());
+        let fa = spectral_features(&m, 2).unwrap();
+        let fb = spectral_features(&pruned, 2).unwrap();
+        // Heavy pruning lowers stable rank (mass concentrates on fewer
+        // directions).
+        assert!(fb[2] < fa[2] + 1e-6, "stable-rank ratio {} vs {}", fb[2], fa[2]);
+        assert_ne!(fa, fb);
+    }
+
+    #[test]
+    fn lm_table_spectrum() {
+        let mut lm = NgramLm::new(6, 2, 0.1).unwrap();
+        lm.add_counts(&(0..120).map(|i| i % 6).collect::<Vec<_>>(), 1.0).unwrap();
+        let f = spectral_features(&Model::Lm(lm), 2).unwrap();
+        assert!(f[0] > 0.0);
+        assert!(f[2] > 0.0);
+        assert_eq!(&f[3..], &[0.0, 0.0, 0.0]);
+    }
+}

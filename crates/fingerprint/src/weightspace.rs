@@ -1,0 +1,206 @@
+//! Weight-space modeling (§5): networks that take *other models' weights* as
+//! input and predict model properties.
+//!
+//! Following Eilertsen et al. ("Classifying the classifier") and Schürholt
+//! et al. (Model Zoo), a property classifier is trained on weight-derived
+//! feature vectors (our intrinsic fingerprints) with labels such as task
+//! domain, transform kind, or base family. The classifier itself is a small
+//! softmax model from `mlake-nn` — the lake eats its own dog food.
+
+use mlake_nn::{train_mlp, Activation, LabeledData, Mlp, TrainConfig};
+use mlake_tensor::{init::Init, Matrix, Seed, TensorError};
+
+/// A trained weight-space property classifier with its label vocabulary.
+#[derive(Debug, Clone)]
+pub struct PropertyClassifier {
+    model: Mlp,
+    labels: Vec<String>,
+}
+
+/// Training options for [`PropertyClassifier::train`].
+#[derive(Debug, Clone)]
+pub struct WeightSpaceConfig {
+    /// Hidden width (0 = linear softmax classifier).
+    pub hidden: usize,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Learning rate.
+    pub lr: f32,
+    /// Seed.
+    pub seed: u64,
+}
+
+impl Default for WeightSpaceConfig {
+    fn default() -> Self {
+        WeightSpaceConfig {
+            hidden: 16,
+            epochs: 60,
+            lr: 0.1,
+            seed: 0,
+        }
+    }
+}
+
+impl PropertyClassifier {
+    /// Trains on `(feature, label_name)` pairs. Features must share a length;
+    /// labels are interned into a vocabulary in first-seen order.
+    pub fn train(
+        features: &[Vec<f32>],
+        labels: &[&str],
+        config: &WeightSpaceConfig,
+    ) -> mlake_tensor::Result<PropertyClassifier> {
+        if features.is_empty() || features.len() != labels.len() {
+            return Err(TensorError::Empty("weight-space training set"));
+        }
+        let dim = features[0].len();
+        let mut vocab: Vec<String> = Vec::new();
+        let mut y = Vec::with_capacity(labels.len());
+        for &l in labels {
+            let idx = match vocab.iter().position(|v| v == l) {
+                Some(i) => i,
+                None => {
+                    vocab.push(l.to_string());
+                    vocab.len() - 1
+                }
+            };
+            y.push(idx);
+        }
+        let x = Matrix::from_rows(features)?;
+        let data = LabeledData::new(x, y)?;
+        let mut sizes = vec![dim];
+        if config.hidden > 0 {
+            sizes.push(config.hidden);
+        }
+        sizes.push(vocab.len().max(2));
+        let mut rng = Seed::new(config.seed).derive("weightspace-init").rng();
+        let mut model = Mlp::new(sizes, Activation::Relu, Init::HeNormal, &mut rng)?;
+        let cfg = TrainConfig {
+            epochs: config.epochs,
+            optimizer: mlake_nn::optim::OptimizerSpec::adam(config.lr * 0.05),
+            seed: Seed::new(config.seed).derive("weightspace-train").0,
+            ..TrainConfig::default()
+        };
+        train_mlp(&mut model, &data, &cfg)?;
+        Ok(PropertyClassifier {
+            model,
+            labels: vocab,
+        })
+    }
+
+    /// Predicts the property label for a feature vector.
+    pub fn predict(&self, features: &[f32]) -> mlake_tensor::Result<&str> {
+        let class = self.model.predict_class(features)?;
+        Ok(self
+            .labels
+            .get(class)
+            .map(String::as_str)
+            .unwrap_or("<unknown>"))
+    }
+
+    /// Accuracy on a labelled evaluation set.
+    pub fn accuracy(&self, features: &[Vec<f32>], labels: &[&str]) -> mlake_tensor::Result<f32> {
+        if features.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for (f, &l) in features.iter().zip(labels) {
+            if self.predict(f)? == l {
+                correct += 1;
+            }
+        }
+        Ok(correct as f32 / features.len() as f32)
+    }
+
+    /// The label vocabulary in class order.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+}
+
+/// Majority-class baseline accuracy for a label set (the floor every
+/// weight-space result must clear).
+pub fn majority_baseline(labels: &[&str]) -> f32 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut counts: std::collections::HashMap<&str, usize> = std::collections::HashMap::new();
+    for &l in labels {
+        *counts.entry(l).or_insert(0) += 1;
+    }
+    let max = counts.values().copied().max().unwrap_or(0);
+    max as f32 / labels.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_tensor::Pcg64;
+
+    /// Synthetic "weights": class-dependent mean shift in feature space.
+    fn synthetic(n: usize, seed: u64) -> (Vec<Vec<f32>>, Vec<&'static str>) {
+        let mut rng = Pcg64::new(seed);
+        let mut feats = Vec::new();
+        let mut labels = Vec::new();
+        let names = ["legal", "medical", "finance"];
+        for i in 0..n {
+            let c = i % 3;
+            let mut f = vec![0.0f32; 10];
+            f[c * 3] = 1.5;
+            for v in &mut f {
+                *v += rng.normal() * 0.3;
+            }
+            feats.push(f);
+            labels.push(names[c]);
+        }
+        (feats, labels)
+    }
+
+    #[test]
+    fn learns_separable_properties() {
+        let (train_f, train_l) = synthetic(120, 1);
+        let (test_f, test_l) = synthetic(60, 2);
+        let clf = PropertyClassifier::train(&train_f, &train_l, &WeightSpaceConfig::default())
+            .unwrap();
+        let acc = clf.accuracy(&test_f, &test_l).unwrap();
+        let base = majority_baseline(&test_l);
+        assert!(acc > 0.85, "accuracy {acc}");
+        assert!(acc > base + 0.3);
+        assert_eq!(clf.labels().len(), 3);
+    }
+
+    #[test]
+    fn linear_variant_works() {
+        let (f, l) = synthetic(90, 3);
+        let clf = PropertyClassifier::train(
+            &f,
+            &l,
+            &WeightSpaceConfig {
+                hidden: 0,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert!(clf.accuracy(&f, &l).unwrap() > 0.8);
+    }
+
+    #[test]
+    fn validation() {
+        assert!(PropertyClassifier::train(&[], &[], &WeightSpaceConfig::default()).is_err());
+        let (f, _) = synthetic(10, 4);
+        assert!(PropertyClassifier::train(&f, &["a"], &WeightSpaceConfig::default()).is_err());
+    }
+
+    #[test]
+    fn majority_baseline_math() {
+        assert_eq!(majority_baseline(&[]), 0.0);
+        assert!((majority_baseline(&["a", "a", "b"]) - 2.0 / 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predict_returns_known_label() {
+        let (f, l) = synthetic(90, 5);
+        let clf = PropertyClassifier::train(&f, &l, &WeightSpaceConfig::default()).unwrap();
+        let p = clf.predict(&f[0]).unwrap();
+        assert!(["legal", "medical", "finance"].contains(&p));
+    }
+}

@@ -1,0 +1,94 @@
+//! Index-quality evaluation utilities shared by tests and experiments.
+
+use crate::{FlatIndex, VectorIndex};
+use mlake_tensor::TensorError;
+
+/// Mean recall@k of `index` against exact `truth` over `queries`.
+pub fn recall_at_k(
+    index: &dyn VectorIndex,
+    truth: &FlatIndex,
+    queries: &[Vec<f32>],
+    k: usize,
+) -> Result<f32, TensorError> {
+    if queries.is_empty() || k == 0 {
+        return Ok(0.0);
+    }
+    let mut acc = 0.0f64;
+    for q in queries {
+        let exact: std::collections::HashSet<u64> =
+            truth.search(q, k)?.iter().map(|h| h.id).collect();
+        if exact.is_empty() {
+            continue;
+        }
+        let got = index.search(q, k)?;
+        let inter = got.iter().filter(|h| exact.contains(&h.id)).count();
+        acc += inter as f64 / exact.len() as f64;
+    }
+    Ok((acc / queries.len() as f64) as f32)
+}
+
+/// Mean reciprocal rank of the single exact nearest neighbour in the index's
+/// top-`k` result list.
+pub fn mrr_at_k(
+    index: &dyn VectorIndex,
+    truth: &FlatIndex,
+    queries: &[Vec<f32>],
+    k: usize,
+) -> Result<f32, TensorError> {
+    if queries.is_empty() {
+        return Ok(0.0);
+    }
+    let mut acc = 0.0f64;
+    for q in queries {
+        let exact = truth.search(q, 1)?;
+        let Some(best) = exact.first() else { continue };
+        let got = index.search(q, k)?;
+        if let Some(rank) = got.iter().position(|h| h.id == best.id) {
+            acc += 1.0 / (rank + 1) as f64;
+        }
+    }
+    Ok((acc / queries.len() as f64) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_tensor::Pcg64;
+
+    fn setup() -> (FlatIndex, Vec<Vec<f32>>) {
+        let mut rng = Pcg64::new(1);
+        let vecs: Vec<Vec<f32>> = (0..100)
+            .map(|_| (0..8).map(|_| rng.normal()).collect())
+            .collect();
+        let mut flat = FlatIndex::new();
+        for (i, v) in vecs.iter().enumerate() {
+            flat.insert(i as u64, v).unwrap();
+        }
+        (flat, vecs)
+    }
+
+    #[test]
+    fn flat_has_perfect_recall_against_itself() {
+        let (flat, vecs) = setup();
+        let queries: Vec<Vec<f32>> = vecs[..10].to_vec();
+        let r = recall_at_k(&flat, &flat, &queries, 5).unwrap();
+        assert!((r - 1.0).abs() < 1e-6);
+        let m = mrr_at_k(&flat, &flat, &queries, 5).unwrap();
+        assert!((m - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (flat, _) = setup();
+        assert_eq!(recall_at_k(&flat, &flat, &[], 5).unwrap(), 0.0);
+        assert_eq!(recall_at_k(&flat, &flat, &[vec![1.0; 8]], 0).unwrap(), 0.0);
+        assert_eq!(mrr_at_k(&flat, &flat, &[], 5).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn empty_truth_counts_zero() {
+        let empty = FlatIndex::new();
+        let r = recall_at_k(&empty, &empty, &[vec![1.0, 0.0]], 3).unwrap();
+        assert_eq!(r, 0.0);
+    }
+}

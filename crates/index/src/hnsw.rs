@@ -1,0 +1,483 @@
+//! Hierarchical Navigable Small World graphs (Malkov & Yashunin 2020),
+//! implemented from scratch.
+//!
+//! Layered proximity graph: each node is assigned a top layer from a
+//! geometric distribution; greedy descent from the global entry point narrows
+//! to layer 0, where a best-first beam of width `ef` collects candidates.
+//! Neighbour sets are pruned with the paper's *heuristic* selection (keep a
+//! candidate only if it is closer to the query than to any already-kept
+//! neighbour), which preserves graph navigability on clustered data.
+
+use crate::{Hit, VectorIndex};
+use mlake_tensor::{vector, Pcg64, TensorError};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// HNSW construction/search parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HnswConfig {
+    /// Max neighbours per node on layers ≥ 1 (layer 0 keeps `2·m`).
+    pub m: usize,
+    /// Beam width during construction.
+    pub ef_construction: usize,
+    /// Default beam width during search (override per query with
+    /// [`HnswIndex::search_ef`]).
+    pub ef_search: usize,
+    /// Seed for layer assignment.
+    pub seed: u64,
+}
+
+impl Default for HnswConfig {
+    fn default() -> Self {
+        HnswConfig {
+            m: 16,
+            ef_construction: 100,
+            ef_search: 64,
+            seed: 0,
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Node {
+    id: u64,
+    /// Neighbour lists per layer, `neighbors[l]` valid for `l <= top_layer`.
+    neighbors: Vec<Vec<u32>>,
+}
+
+/// The HNSW index.
+#[derive(Debug, Clone)]
+pub struct HnswIndex {
+    config: HnswConfig,
+    dim: usize,
+    /// Normalised vectors, contiguous.
+    data: Vec<f32>,
+    nodes: Vec<Node>,
+    entry: Option<u32>,
+    max_layer: usize,
+    rng: Pcg64,
+    /// Inverse of ln(M), the geometric layer parameter.
+    level_lambda: f64,
+}
+
+/// Max-heap entry ordered by distance (for the result set).
+#[derive(PartialEq)]
+struct FarFirst(f32, u32);
+impl Eq for FarFirst {}
+impl PartialOrd for FarFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for FarFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Min-heap entry (via reversed ordering) for the candidate frontier.
+#[derive(PartialEq)]
+struct NearFirst(f32, u32);
+impl Eq for NearFirst {}
+impl PartialOrd for NearFirst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for NearFirst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other.0.total_cmp(&self.0)
+    }
+}
+
+impl HnswIndex {
+    /// Creates an empty index.
+    pub fn new(config: HnswConfig) -> HnswIndex {
+        let m = config.m.max(2);
+        HnswIndex {
+            config: HnswConfig { m, ..config },
+            dim: 0,
+            data: Vec::new(),
+            nodes: Vec::new(),
+            entry: None,
+            max_layer: 0,
+            rng: Pcg64::with_stream(config.seed, 0x484e_5357),
+            level_lambda: 1.0 / (m as f64).ln(),
+        }
+    }
+
+    /// The configuration in effect.
+    pub fn config(&self) -> HnswConfig {
+        self.config
+    }
+
+    #[inline]
+    fn vec_of(&self, idx: u32) -> &[f32] {
+        let d = self.dim;
+        &self.data[idx as usize * d..(idx as usize + 1) * d]
+    }
+
+    #[inline]
+    fn dist(&self, q: &[f32], idx: u32) -> f32 {
+        1.0 - vector::dot(q, self.vec_of(idx))
+    }
+
+    fn random_layer(&mut self) -> usize {
+        let u = (1.0 - self.rng.next_f64()).max(f64::MIN_POSITIVE);
+        ((-u.ln() * self.level_lambda) as usize).min(31)
+    }
+
+    /// Greedy best-first search on one layer; returns up to `ef` closest
+    /// nodes as a max-heap-drained, *unsorted* vector of (distance, idx).
+    fn search_layer(&self, q: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<(f32, u32)> {
+        let mut visited = vec![false; self.nodes.len()];
+        visited[entry as usize] = true;
+        let d0 = self.dist(q, entry);
+        let mut frontier = BinaryHeap::new();
+        frontier.push(NearFirst(d0, entry));
+        let mut results: BinaryHeap<FarFirst> = BinaryHeap::new();
+        results.push(FarFirst(d0, entry));
+
+        while let Some(NearFirst(d_cand, cand)) = frontier.pop() {
+            let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+            if d_cand > worst && results.len() >= ef {
+                break;
+            }
+            for &nb in &self.nodes[cand as usize].neighbors[layer] {
+                if visited[nb as usize] {
+                    continue;
+                }
+                visited[nb as usize] = true;
+                let d = self.dist(q, nb);
+                let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
+                if results.len() < ef || d < worst {
+                    frontier.push(NearFirst(d, nb));
+                    results.push(FarFirst(d, nb));
+                    if results.len() > ef {
+                        results.pop();
+                    }
+                }
+            }
+        }
+        results.into_iter().map(|FarFirst(d, i)| (d, i)).collect()
+    }
+
+    /// The neighbour-selection heuristic from the paper (Algorithm 4): scan
+    /// candidates nearest-first, keep one only if it is closer to the base
+    /// point than to every already-kept neighbour.
+    fn select_neighbors(&self, candidates: &mut [(f32, u32)], m: usize) -> Vec<u32> {
+        candidates.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut kept: Vec<(f32, u32)> = Vec::with_capacity(m);
+        for &(d, c) in candidates.iter() {
+            if kept.len() >= m {
+                break;
+            }
+            let dominated = kept.iter().any(|&(_, k)| {
+                let d_ck = 1.0 - vector::dot(self.vec_of(c), self.vec_of(k));
+                d_ck < d
+            });
+            if !dominated {
+                kept.push((d, c));
+            }
+        }
+        // Fill remaining slots with nearest dominated candidates (keeps
+        // degree up on dense clusters).
+        if kept.len() < m {
+            for &(d, c) in candidates.iter() {
+                if kept.len() >= m {
+                    break;
+                }
+                if !kept.iter().any(|&(_, k)| k == c) {
+                    kept.push((d, c));
+                }
+            }
+        }
+        kept.into_iter().map(|(_, c)| c).collect()
+    }
+
+    fn max_degree(&self, layer: usize) -> usize {
+        if layer == 0 {
+            self.config.m * 2
+        } else {
+            self.config.m
+        }
+    }
+
+    /// Search with an explicit beam width (recall/latency knob of E5).
+    pub fn search_ef(&self, query: &[f32], k: usize, ef: usize) -> Result<Vec<Hit>, TensorError> {
+        let Some(entry) = self.entry else {
+            return Ok(Vec::new());
+        };
+        if query.len() != self.dim {
+            return Err(TensorError::ShapeMismatch {
+                op: "hnsw_search",
+                lhs: (self.dim, 1),
+                rhs: (query.len(), 1),
+            });
+        }
+        let mut q = query.to_vec();
+        vector::normalize(&mut q);
+        // Greedy descent through upper layers.
+        let mut ep = entry;
+        let mut ep_dist = self.dist(&q, ep);
+        for layer in (1..=self.max_layer).rev() {
+            loop {
+                let mut improved = false;
+                // Borrow neighbor list by index to satisfy the borrow checker.
+                let nbrs = self.nodes[ep as usize].neighbors.get(layer).cloned().unwrap_or_default();
+                for nb in nbrs {
+                    let d = self.dist(&q, nb);
+                    if d < ep_dist {
+                        ep = nb;
+                        ep_dist = d;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        let ef = ef.max(k).max(1);
+        let mut found = self.search_layer(&q, ep, ef, 0);
+        found.sort_by(|a, b| a.0.total_cmp(&b.0).then(self.nodes[a.1 as usize].id.cmp(&self.nodes[b.1 as usize].id)));
+        Ok(found
+            .into_iter()
+            .take(k)
+            .map(|(d, i)| Hit {
+                id: self.nodes[i as usize].id,
+                distance: d,
+            })
+            .collect())
+    }
+}
+
+impl VectorIndex for HnswIndex {
+    fn insert(&mut self, id: u64, vec_in: &[f32]) -> Result<(), TensorError> {
+        if vec_in.is_empty() {
+            return Err(TensorError::Empty("hnsw insert"));
+        }
+        if self.dim == 0 {
+            self.dim = vec_in.len();
+        } else if vec_in.len() != self.dim {
+            return Err(TensorError::ShapeMismatch {
+                op: "hnsw_insert",
+                lhs: (self.dim, 1),
+                rhs: (vec_in.len(), 1),
+            });
+        }
+        if self.nodes.iter().any(|n| n.id == id) {
+            return Err(TensorError::Numerical("duplicate id in index"));
+        }
+        let mut v = vec_in.to_vec();
+        vector::normalize(&mut v);
+        let new_idx = self.nodes.len() as u32;
+        let layer = self.random_layer();
+        self.data.extend_from_slice(&v);
+        self.nodes.push(Node {
+            id,
+            neighbors: vec![Vec::new(); layer + 1],
+        });
+
+        let Some(entry) = self.entry else {
+            // First node becomes the entry point.
+            self.entry = Some(new_idx);
+            self.max_layer = layer;
+            return Ok(());
+        };
+
+        let q = self.vec_of(new_idx).to_vec();
+        let mut ep = entry;
+        let mut ep_dist = self.dist(&q, ep);
+        // Descend to the new node's top layer.
+        for l in ((layer + 1)..=self.max_layer).rev() {
+            loop {
+                let mut improved = false;
+                let nbrs = self.nodes[ep as usize].neighbors.get(l).cloned().unwrap_or_default();
+                for nb in nbrs {
+                    let d = self.dist(&q, nb);
+                    if d < ep_dist {
+                        ep = nb;
+                        ep_dist = d;
+                        improved = true;
+                    }
+                }
+                if !improved {
+                    break;
+                }
+            }
+        }
+        // Connect on each layer from min(layer, max_layer) down to 0.
+        for l in (0..=layer.min(self.max_layer)).rev() {
+            let mut candidates = self.search_layer(&q, ep, self.config.ef_construction, l);
+            let selected = self.select_neighbors(&mut candidates, self.max_degree(l));
+            // Keep the closest candidate as next layer's entry point.
+            if let Some(&(_, best)) = candidates.first() {
+                ep = best;
+            }
+            self.nodes[new_idx as usize].neighbors[l] = selected.clone();
+            // Bidirectional links with degree pruning.
+            for nb in selected {
+                self.nodes[nb as usize].neighbors[l].push(new_idx);
+                let degree = self.nodes[nb as usize].neighbors[l].len();
+                let cap = self.max_degree(l);
+                if degree > cap {
+                    let base = self.vec_of(nb).to_vec();
+                    let mut cands: Vec<(f32, u32)> = self.nodes[nb as usize].neighbors[l]
+                        .iter()
+                        .map(|&x| (1.0 - vector::dot(&base, self.vec_of(x)), x))
+                        .collect();
+                    let pruned = self.select_neighbors(&mut cands, cap);
+                    self.nodes[nb as usize].neighbors[l] = pruned;
+                }
+            }
+        }
+        if layer > self.max_layer {
+            self.max_layer = layer;
+            self.entry = Some(new_idx);
+        }
+        Ok(())
+    }
+
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>, TensorError> {
+        self.search_ef(query, k, self.config.ef_search)
+    }
+
+    fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    fn name(&self) -> &'static str {
+        "hnsw"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flat::FlatIndex;
+
+    fn random_vectors(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Pcg64::new(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.normal()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn single_and_empty() {
+        let mut idx = HnswIndex::new(HnswConfig::default());
+        assert!(idx.search(&[1.0, 0.0], 3).unwrap().is_empty());
+        idx.insert(7, &[1.0, 0.0]).unwrap();
+        let hits = idx.search(&[1.0, 0.1], 3).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].id, 7);
+    }
+
+    #[test]
+    fn exact_on_small_sets() {
+        // With ef >= n, HNSW search must equal the flat scan.
+        let vecs = random_vectors(50, 8, 3);
+        let mut hnsw = HnswIndex::new(HnswConfig { ef_search: 64, ..Default::default() });
+        let mut flat = FlatIndex::new();
+        for (i, v) in vecs.iter().enumerate() {
+            hnsw.insert(i as u64, v).unwrap();
+            flat.insert(i as u64, v).unwrap();
+        }
+        let queries = random_vectors(10, 8, 4);
+        for q in &queries {
+            let h: Vec<u64> = hnsw.search(q, 5).unwrap().iter().map(|x| x.id).collect();
+            let f: Vec<u64> = flat.search(q, 5).unwrap().iter().map(|x| x.id).collect();
+            assert_eq!(h, f, "query {q:?}");
+        }
+    }
+
+    #[test]
+    fn high_recall_on_larger_set() {
+        let vecs = random_vectors(1000, 16, 5);
+        let mut hnsw = HnswIndex::new(HnswConfig {
+            m: 12,
+            ef_construction: 80,
+            ef_search: 48,
+            seed: 1,
+        });
+        let mut flat = FlatIndex::new();
+        for (i, v) in vecs.iter().enumerate() {
+            hnsw.insert(i as u64, v).unwrap();
+            flat.insert(i as u64, v).unwrap();
+        }
+        let queries = random_vectors(30, 16, 6);
+        let mut recall_acc = 0.0f32;
+        for q in &queries {
+            let truth: std::collections::HashSet<u64> =
+                flat.search(q, 10).unwrap().iter().map(|h| h.id).collect();
+            let got = hnsw.search(q, 10).unwrap();
+            let inter = got.iter().filter(|h| truth.contains(&h.id)).count();
+            recall_acc += inter as f32 / 10.0;
+        }
+        let recall = recall_acc / queries.len() as f32;
+        assert!(recall > 0.9, "recall {recall}");
+    }
+
+    #[test]
+    fn ef_improves_recall() {
+        let vecs = random_vectors(800, 16, 7);
+        let mut hnsw = HnswIndex::new(HnswConfig {
+            m: 6,
+            ef_construction: 40,
+            ef_search: 4,
+            seed: 2,
+        });
+        let mut flat = FlatIndex::new();
+        for (i, v) in vecs.iter().enumerate() {
+            hnsw.insert(i as u64, v).unwrap();
+            flat.insert(i as u64, v).unwrap();
+        }
+        let queries = random_vectors(40, 16, 8);
+        let recall = |ef: usize| -> f32 {
+            let mut acc = 0.0;
+            for q in &queries {
+                let truth: std::collections::HashSet<u64> =
+                    flat.search(q, 10).unwrap().iter().map(|h| h.id).collect();
+                let got = hnsw.search_ef(q, 10, ef).unwrap();
+                acc += got.iter().filter(|h| truth.contains(&h.id)).count() as f32 / 10.0;
+            }
+            acc / queries.len() as f32
+        };
+        let low = recall(10);
+        let high = recall(200);
+        assert!(high >= low, "ef=200 recall {high} < ef=10 recall {low}");
+        assert!(high > 0.95, "recall at high ef {high}");
+    }
+
+    #[test]
+    fn validation() {
+        let mut idx = HnswIndex::new(HnswConfig::default());
+        idx.insert(1, &[1.0, 0.0]).unwrap();
+        assert!(idx.insert(1, &[0.0, 1.0]).is_err());
+        assert!(idx.insert(2, &[1.0]).is_err());
+        assert!(idx.insert(3, &[]).is_err());
+        assert!(idx.search(&[1.0], 1).is_err());
+        assert_eq!(idx.name(), "hnsw");
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let vecs = random_vectors(200, 8, 9);
+        let build = || {
+            let mut idx = HnswIndex::new(HnswConfig { seed: 11, ..Default::default() });
+            for (i, v) in vecs.iter().enumerate() {
+                idx.insert(i as u64, v).unwrap();
+            }
+            idx
+        };
+        let a = build();
+        let b = build();
+        let q = &vecs[0];
+        assert_eq!(
+            a.search(q, 5).unwrap().iter().map(|h| h.id).collect::<Vec<_>>(),
+            b.search(q, 5).unwrap().iter().map(|h| h.id).collect::<Vec<_>>()
+        );
+    }
+}

@@ -1,0 +1,59 @@
+//! # mlake-index
+//!
+//! Vector indexes over model embeddings — the lake's **indexer** component
+//! (§5: "A central component of a model lake is the indexer, which would be
+//! used to embed and provide scalable sublinear search over the model
+//! embeddings... Indices like HNSW have proven effective in practice").
+//!
+//! Three interchangeable implementations behind [`VectorIndex`]:
+//! * [`flat::FlatIndex`] — exact scan, the recall ground truth and the
+//!   baseline every approximate index must beat on latency;
+//! * [`hnsw::HnswIndex`] — Hierarchical Navigable Small World graphs
+//!   (Malkov & Yashunin 2020), built from scratch;
+//! * [`lsh::LshIndex`] — random-hyperplane locality-sensitive hashing, the
+//!   classical sublinear alternative.
+//!
+//! All indexes use cosine distance over L2-normalised vectors, matching the
+//! fingerprint metric.
+
+pub mod eval;
+pub mod flat;
+pub mod hnsw;
+pub mod lsh;
+
+pub use eval::recall_at_k;
+pub use flat::FlatIndex;
+pub use hnsw::{HnswConfig, HnswIndex};
+pub use lsh::{LshConfig, LshIndex};
+
+use mlake_tensor::TensorError;
+
+/// A search hit: external id plus cosine distance (smaller is closer).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Hit {
+    /// Caller-supplied identifier.
+    pub id: u64,
+    /// Cosine distance to the query.
+    pub distance: f32,
+}
+
+/// Common interface over all index implementations.
+pub trait VectorIndex {
+    /// Inserts a vector under an external id. Ids must be unique; dimensions
+    /// must match the index's first insert.
+    fn insert(&mut self, id: u64, vector: &[f32]) -> Result<(), TensorError>;
+
+    /// Returns up to `k` nearest neighbours, ascending by distance.
+    fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>, TensorError>;
+
+    /// Number of stored vectors.
+    fn len(&self) -> usize;
+
+    /// `true` when no vectors are stored.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Short implementation name for reports ("hnsw", "lsh", "flat").
+    fn name(&self) -> &'static str;
+}

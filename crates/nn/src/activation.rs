@@ -1,0 +1,134 @@
+//! Activation functions with analytic derivatives for hand-coded backprop.
+
+use serde::{Deserialize, Serialize};
+
+/// Supported element-wise activations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Activation {
+    /// `max(0, x)`.
+    Relu,
+    /// Hyperbolic tangent.
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Pass-through (used on the output layer — losses own the final
+    /// non-linearity, e.g. softmax inside cross-entropy).
+    Identity,
+}
+
+impl Activation {
+    /// Applies the activation to one value.
+    #[inline]
+    pub fn apply(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => x.max(0.0),
+            Activation::Tanh => x.tanh(),
+            Activation::Sigmoid => 1.0 / (1.0 + (-x).exp()),
+            Activation::Identity => x,
+        }
+    }
+
+    /// Derivative expressed in terms of the *pre-activation* input `x`.
+    #[inline]
+    pub fn derivative(self, x: f32) -> f32 {
+        match self {
+            Activation::Relu => {
+                if x > 0.0 {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            Activation::Tanh => {
+                let t = x.tanh();
+                1.0 - t * t
+            }
+            Activation::Sigmoid => {
+                let s = 1.0 / (1.0 + (-x).exp());
+                s * (1.0 - s)
+            }
+            Activation::Identity => 1.0,
+        }
+    }
+
+    /// Applies in place over a slice.
+    pub fn apply_slice(self, xs: &mut [f32]) {
+        for x in xs {
+            *x = self.apply(*x);
+        }
+    }
+
+    /// Short stable name used in architecture signatures.
+    pub fn name(self) -> &'static str {
+        match self {
+            Activation::Relu => "relu",
+            Activation::Tanh => "tanh",
+            Activation::Sigmoid => "sigmoid",
+            Activation::Identity => "id",
+        }
+    }
+
+    /// Parses the [`name`](Self::name) form back.
+    pub fn parse(s: &str) -> Option<Activation> {
+        match s {
+            "relu" => Some(Activation::Relu),
+            "tanh" => Some(Activation::Tanh),
+            "sigmoid" => Some(Activation::Sigmoid),
+            "id" => Some(Activation::Identity),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_clamps() {
+        assert_eq!(Activation::Relu.apply(-2.0), 0.0);
+        assert_eq!(Activation::Relu.apply(3.0), 3.0);
+        assert_eq!(Activation::Relu.derivative(-1.0), 0.0);
+        assert_eq!(Activation::Relu.derivative(1.0), 1.0);
+    }
+
+    #[test]
+    fn sigmoid_range_and_midpoint() {
+        let s = Activation::Sigmoid;
+        assert!((s.apply(0.0) - 0.5).abs() < 1e-6);
+        assert!(s.apply(10.0) > 0.999);
+        assert!(s.apply(-10.0) < 0.001);
+        assert!((s.derivative(0.0) - 0.25).abs() < 1e-6);
+    }
+
+    #[test]
+    fn derivatives_match_finite_differences() {
+        let eps = 1e-3f32;
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity] {
+            for &x in &[-1.7f32, -0.3, 0.4, 2.1] {
+                let fd = (act.apply(x + eps) - act.apply(x - eps)) / (2.0 * eps);
+                let an = act.derivative(x);
+                assert!(
+                    (fd - an).abs() < 1e-2,
+                    "{:?} at {x}: fd {fd} vs analytic {an}",
+                    act
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn name_round_trip() {
+        for act in [Activation::Relu, Activation::Tanh, Activation::Sigmoid, Activation::Identity] {
+            assert_eq!(Activation::parse(act.name()), Some(act));
+        }
+        assert_eq!(Activation::parse("swish"), None);
+    }
+
+    #[test]
+    fn apply_slice_works() {
+        let mut xs = vec![-1.0, 0.5];
+        Activation::Relu.apply_slice(&mut xs);
+        assert_eq!(xs, vec![0.0, 0.5]);
+    }
+}

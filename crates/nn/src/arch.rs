@@ -1,0 +1,155 @@
+//! Architecture descriptors — the paper's `f*`.
+//!
+//! An [`Architecture`] fully determines the *shape* of a model's parameter
+//! vector without fixing its values; two models are architecture-compatible
+//! (comparable weight-by-weight, stitchable, LoRA-transferable) exactly when
+//! their descriptors are equal. The [`Architecture::signature`] string is the
+//! stable identifier stored in model cards and registry metadata.
+
+use crate::activation::Activation;
+use serde::{Deserialize, Serialize};
+
+/// The function family `f*` of a model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Architecture {
+    /// Multi-layer perceptron: `layer_sizes` includes input and output, so
+    /// `[d, h, c]` is a one-hidden-layer network.
+    Mlp {
+        /// Sizes of every layer, input first, output (class logits) last.
+        layer_sizes: Vec<usize>,
+        /// Hidden-layer activation (output layer is always linear logits).
+        activation: Activation,
+    },
+    /// Count-based n-gram language model over a small token vocabulary.
+    NgramLm {
+        /// Vocabulary size.
+        vocab: usize,
+        /// Context length + 1, i.e. `order = 2` is a bigram model.
+        order: usize,
+    },
+}
+
+impl Architecture {
+    /// Convenience constructor for an MLP.
+    pub fn mlp(layer_sizes: Vec<usize>, activation: Activation) -> Architecture {
+        Architecture::Mlp {
+            layer_sizes,
+            activation,
+        }
+    }
+
+    /// Convenience constructor for an n-gram LM.
+    pub fn ngram(vocab: usize, order: usize) -> Architecture {
+        Architecture::NgramLm { vocab, order }
+    }
+
+    /// Input dimensionality (feature count or vocabulary size).
+    pub fn input_dim(&self) -> usize {
+        match self {
+            Architecture::Mlp { layer_sizes, .. } => layer_sizes.first().copied().unwrap_or(0),
+            Architecture::NgramLm { vocab, .. } => *vocab,
+        }
+    }
+
+    /// Output dimensionality (class count or vocabulary size).
+    pub fn output_dim(&self) -> usize {
+        match self {
+            Architecture::Mlp { layer_sizes, .. } => layer_sizes.last().copied().unwrap_or(0),
+            Architecture::NgramLm { vocab, .. } => *vocab,
+        }
+    }
+
+    /// Total number of scalar parameters a model of this architecture holds.
+    pub fn num_params(&self) -> usize {
+        match self {
+            Architecture::Mlp { layer_sizes, .. } => layer_sizes
+                .windows(2)
+                .map(|w| w[0] * w[1] + w[1])
+                .sum(),
+            Architecture::NgramLm { vocab, order } => {
+                vocab.pow((*order - 1) as u32) * vocab
+            }
+        }
+    }
+
+    /// Stable textual signature, e.g. `mlp:8-32-4:relu` or `ngram:32:2`.
+    pub fn signature(&self) -> String {
+        match self {
+            Architecture::Mlp {
+                layer_sizes,
+                activation,
+            } => {
+                let sizes: Vec<String> = layer_sizes.iter().map(|s| s.to_string()).collect();
+                format!("mlp:{}:{}", sizes.join("-"), activation.name())
+            }
+            Architecture::NgramLm { vocab, order } => format!("ngram:{vocab}:{order}"),
+        }
+    }
+
+    /// Parses a [`signature`](Self::signature) string.
+    pub fn parse_signature(s: &str) -> Option<Architecture> {
+        let mut parts = s.split(':');
+        match parts.next()? {
+            "mlp" => {
+                let sizes: Option<Vec<usize>> =
+                    parts.next()?.split('-').map(|t| t.parse().ok()).collect();
+                let activation = Activation::parse(parts.next()?)?;
+                Some(Architecture::Mlp {
+                    layer_sizes: sizes?,
+                    activation,
+                })
+            }
+            "ngram" => {
+                let vocab = parts.next()?.parse().ok()?;
+                let order = parts.next()?.parse().ok()?;
+                Some(Architecture::NgramLm { vocab, order })
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mlp_param_count() {
+        // 8 -> 32 -> 4: (8*32 + 32) + (32*4 + 4) = 288 + 132 = 420
+        let a = Architecture::mlp(vec![8, 32, 4], Activation::Relu);
+        assert_eq!(a.num_params(), 420);
+        assert_eq!(a.input_dim(), 8);
+        assert_eq!(a.output_dim(), 4);
+    }
+
+    #[test]
+    fn ngram_param_count() {
+        let a = Architecture::ngram(16, 2);
+        assert_eq!(a.num_params(), 16 * 16);
+        let tri = Architecture::ngram(8, 3);
+        assert_eq!(tri.num_params(), 64 * 8);
+    }
+
+    #[test]
+    fn signature_round_trip() {
+        let archs = [
+            Architecture::mlp(vec![4, 16, 3], Activation::Tanh),
+            Architecture::ngram(32, 2),
+        ];
+        for a in archs {
+            let sig = a.signature();
+            assert_eq!(Architecture::parse_signature(&sig), Some(a));
+        }
+        assert_eq!(Architecture::parse_signature("cnn:bogus"), None);
+        assert_eq!(Architecture::parse_signature("mlp:1-x:relu"), None);
+    }
+
+    #[test]
+    fn signatures_are_distinct() {
+        let a = Architecture::mlp(vec![4, 8, 2], Activation::Relu).signature();
+        let b = Architecture::mlp(vec![4, 8, 2], Activation::Tanh).signature();
+        let c = Architecture::mlp(vec![4, 9, 2], Activation::Relu).signature();
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+    }
+}

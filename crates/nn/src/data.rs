@@ -1,0 +1,164 @@
+//! Lightweight labelled-data container shared by training and evaluation.
+
+use mlake_tensor::{Matrix, Pcg64, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A classification dataset: feature rows plus integer class labels.
+///
+/// The richer dataset abstractions (domains, versions, provenance ids) live
+/// in `mlake-datagen`; this is the minimal view the training loop consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabeledData {
+    /// One example per row.
+    pub x: Matrix,
+    /// Class label per row, `labels[i] < num_classes`.
+    pub y: Vec<usize>,
+}
+
+impl LabeledData {
+    /// Builds the pair, validating that rows and labels align.
+    pub fn new(x: Matrix, y: Vec<usize>) -> crate::Result<Self> {
+        if x.rows() != y.len() {
+            return Err(TensorError::ShapeMismatch {
+                op: "labeled_data",
+                lhs: x.shape(),
+                rhs: (y.len(), 1),
+            });
+        }
+        Ok(LabeledData { x, y })
+    }
+
+    /// Number of examples.
+    pub fn len(&self) -> usize {
+        self.y.len()
+    }
+
+    /// `true` when there are no examples.
+    pub fn is_empty(&self) -> bool {
+        self.y.is_empty()
+    }
+
+    /// Feature dimensionality.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Number of distinct classes assuming labels are `0..k` dense
+    /// (max label + 1; 0 when empty).
+    pub fn num_classes(&self) -> usize {
+        self.y.iter().max().map_or(0, |&m| m + 1)
+    }
+
+    /// Subset by example indices (repetition allowed).
+    pub fn select(&self, indices: &[usize]) -> crate::Result<LabeledData> {
+        let x = self.x.select_rows(indices)?;
+        let mut y = Vec::with_capacity(indices.len());
+        for &i in indices {
+            if i >= self.y.len() {
+                return Err(TensorError::OutOfBounds {
+                    index: (i, 0),
+                    shape: self.x.shape(),
+                });
+            }
+            y.push(self.y[i]);
+        }
+        Ok(LabeledData { x, y })
+    }
+
+    /// All examples except index `omit` — the leave-one-out workhorse.
+    pub fn without(&self, omit: usize) -> crate::Result<LabeledData> {
+        let keep: Vec<usize> = (0..self.len()).filter(|&i| i != omit).collect();
+        self.select(&keep)
+    }
+
+    /// Splits into `(train, test)` with `train_fraction` of shuffled examples
+    /// in the first part.
+    pub fn split(&self, train_fraction: f32, rng: &mut Pcg64) -> crate::Result<(LabeledData, LabeledData)> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        let cut = ((self.len() as f32) * train_fraction.clamp(0.0, 1.0)).round() as usize;
+        let train = self.select(&idx[..cut])?;
+        let test = self.select(&idx[cut..])?;
+        Ok((train, test))
+    }
+
+    /// Concatenates two datasets with identical dimensionality.
+    pub fn concat(&self, other: &LabeledData) -> crate::Result<LabeledData> {
+        let x = self.x.vstack(&other.x)?;
+        let mut y = self.y.clone();
+        y.extend_from_slice(&other.y);
+        Ok(LabeledData { x, y })
+    }
+
+    /// Iterates mini-batch index slices of size `batch` over a shuffled
+    /// epoch order. Returns the shuffled order so callers can map batch
+    /// positions back to example ids (needed by per-example attribution).
+    pub fn epoch_order(&self, rng: &mut Pcg64) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..self.len()).collect();
+        rng.shuffle(&mut idx);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> LabeledData {
+        let x = Matrix::from_vec(4, 2, vec![0.0, 0.0, 0.0, 1.0, 1.0, 0.0, 1.0, 1.0]).unwrap();
+        LabeledData::new(x, vec![0, 1, 1, 0]).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths() {
+        let x = Matrix::zeros(3, 2);
+        assert!(LabeledData::new(x, vec![0, 1]).is_err());
+    }
+
+    #[test]
+    fn dims_and_classes() {
+        let d = toy();
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.dim(), 2);
+        assert_eq!(d.num_classes(), 2);
+        assert!(!d.is_empty());
+    }
+
+    #[test]
+    fn select_and_without() {
+        let d = toy();
+        let s = d.select(&[3, 0]).unwrap();
+        assert_eq!(s.y, vec![0, 0]);
+        assert_eq!(s.x.row(0), &[1.0, 1.0]);
+        let loo = d.without(1).unwrap();
+        assert_eq!(loo.len(), 3);
+        assert_eq!(loo.y, vec![0, 1, 0]);
+        assert!(d.select(&[9]).is_err());
+    }
+
+    #[test]
+    fn split_partitions_everything() {
+        let d = toy();
+        let mut rng = Pcg64::new(5);
+        let (tr, te) = d.split(0.5, &mut rng).unwrap();
+        assert_eq!(tr.len() + te.len(), d.len());
+        assert_eq!(tr.len(), 2);
+    }
+
+    #[test]
+    fn concat_appends() {
+        let d = toy();
+        let c = d.concat(&d).unwrap();
+        assert_eq!(c.len(), 8);
+        assert_eq!(c.y[4..], d.y[..]);
+    }
+
+    #[test]
+    fn epoch_order_is_permutation() {
+        let d = toy();
+        let mut rng = Pcg64::new(7);
+        let mut order = d.epoch_order(&mut rng);
+        order.sort_unstable();
+        assert_eq!(order, vec![0, 1, 2, 3]);
+    }
+}

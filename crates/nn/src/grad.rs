@@ -1,0 +1,304 @@
+//! Hand-coded backpropagation for [`Mlp`] plus input-gradient saliency.
+//!
+//! Gradients are produced both in structured form (per-layer matrices, for
+//! the optimiser) and flattened (matching [`Mlp::flat_params`] layout, for
+//! attribution estimators that treat `θ` as a single vector).
+
+use crate::loss::Loss;
+use crate::mlp::Mlp;
+use mlake_tensor::{vector, Matrix};
+
+/// Structured gradients mirroring an [`Mlp`]'s parameters.
+#[derive(Debug, Clone)]
+pub struct Gradients {
+    /// One gradient matrix per weight layer.
+    pub d_weights: Vec<Matrix>,
+    /// One gradient vector per bias.
+    pub d_biases: Vec<Vec<f32>>,
+}
+
+impl Gradients {
+    /// All-zero gradients with the same shapes as `model`.
+    pub fn zeros_like(model: &Mlp) -> Gradients {
+        let d_weights = (0..model.num_layers())
+            .map(|l| {
+                let (r, c) = model.weight(l).shape();
+                Matrix::zeros(r, c)
+            })
+            .collect();
+        let d_biases = (0..model.num_layers())
+            .map(|l| vec![0.0; model.bias(l).len()])
+            .collect();
+        Gradients {
+            d_weights,
+            d_biases,
+        }
+    }
+
+    /// `self += other` (accumulating over a mini-batch).
+    pub fn accumulate(&mut self, other: &Gradients) -> crate::Result<()> {
+        for (a, b) in self.d_weights.iter_mut().zip(&other.d_weights) {
+            a.axpy(1.0, b)?;
+        }
+        for (a, b) in self.d_biases.iter_mut().zip(&other.d_biases) {
+            vector::axpy(1.0, b, a);
+        }
+        Ok(())
+    }
+
+    /// Divides every component by `n` (mini-batch averaging).
+    pub fn scale(&mut self, factor: f32) {
+        for w in &mut self.d_weights {
+            w.scale_mut(factor);
+        }
+        for b in &mut self.d_biases {
+            vector::scale(b, factor);
+        }
+    }
+
+    /// Flattens into [`Mlp::flat_params`] layout.
+    pub fn flatten(&self) -> Vec<f32> {
+        let total: usize = self.d_weights.iter().map(Matrix::len).sum::<usize>()
+            + self.d_biases.iter().map(Vec::len).sum::<usize>();
+        let mut out = Vec::with_capacity(total);
+        for (w, b) in self.d_weights.iter().zip(&self.d_biases) {
+            out.extend_from_slice(w.as_slice());
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Euclidean norm of the flattened gradient.
+    pub fn l2_norm(&self) -> f32 {
+        let mut acc = 0.0f64;
+        for w in &self.d_weights {
+            acc += f64::from(w.frobenius_norm()).powi(2);
+        }
+        for b in &self.d_biases {
+            acc += f64::from(vector::l2_norm(b)).powi(2);
+        }
+        acc.sqrt() as f32
+    }
+}
+
+/// Backpropagates the loss for a single `(input, target)` example.
+///
+/// Returns `(loss_value, gradients)`.
+pub fn backprop(
+    model: &Mlp,
+    input: &[f32],
+    target: usize,
+    loss: Loss,
+) -> crate::Result<(f32, Gradients)> {
+    let target_soft = None;
+    backprop_inner(model, input, target, target_soft, loss)
+}
+
+/// Backpropagation against a soft target distribution (distillation).
+pub fn backprop_soft(
+    model: &Mlp,
+    input: &[f32],
+    target: &[f32],
+    loss: Loss,
+) -> crate::Result<(f32, Gradients)> {
+    backprop_inner(model, input, 0, Some(target), loss)
+}
+
+fn backprop_inner(
+    model: &Mlp,
+    input: &[f32],
+    target: usize,
+    target_soft: Option<&[f32]>,
+    loss: Loss,
+) -> crate::Result<(f32, Gradients)> {
+    let cache = model.forward_cached(input)?;
+    let logits = cache.activations.last().expect("at least one layer");
+    let (loss_value, mut delta) = match target_soft {
+        Some(soft) => (loss.value_soft(logits, soft), loss.grad_soft(logits, soft)),
+        None => (loss.value(logits, target), loss.grad(logits, target)),
+    };
+
+    let mut grads = Gradients::zeros_like(model);
+    // Walk layers backwards; `delta` holds ∂L/∂z_l.
+    for l in (0..model.num_layers()).rev() {
+        let a_prev = &cache.activations[l];
+        // dW = delta ⊗ a_prev ; db = delta.
+        let dw = grads.d_weights[l].as_mut_slice();
+        let cols = a_prev.len();
+        for (r, &d) in delta.iter().enumerate() {
+            if d == 0.0 {
+                continue;
+            }
+            let row = &mut dw[r * cols..(r + 1) * cols];
+            for (g, &a) in row.iter_mut().zip(a_prev) {
+                *g = d * a;
+            }
+        }
+        grads.d_biases[l].copy_from_slice(&delta);
+        if l > 0 {
+            // Propagate to previous layer: δ_{l-1} = (W_lᵀ δ_l) ⊙ σ'(z_{l-1}).
+            let mut prev = model.weight(l).t_matvec(&delta)?;
+            let z_prev = &cache.pre_activations[l - 1];
+            for (p, &z) in prev.iter_mut().zip(z_prev) {
+                *p *= model.activation().derivative(z);
+            }
+            delta = prev;
+        }
+    }
+    Ok((loss_value, grads))
+}
+
+/// Average loss and gradient over a batch of examples.
+pub fn batch_backprop(
+    model: &Mlp,
+    inputs: &Matrix,
+    targets: &[usize],
+    loss: Loss,
+) -> crate::Result<(f32, Gradients)> {
+    let mut total = Gradients::zeros_like(model);
+    let mut loss_acc = 0.0f64;
+    for (row, &t) in inputs.rows_iter().zip(targets) {
+        let (lv, g) = backprop(model, row, t, loss)?;
+        loss_acc += f64::from(lv);
+        total.accumulate(&g)?;
+    }
+    let n = targets.len().max(1) as f32;
+    total.scale(1.0 / n);
+    Ok(((loss_acc / f64::from(n)) as f32, total))
+}
+
+/// Gradient of the loss with respect to the *input* — the sensitivity-
+/// analysis primitive behind extrinsic attribution (§3 "which aspects of the
+/// inputs are most important in a model's prediction").
+pub fn input_gradient(
+    model: &Mlp,
+    input: &[f32],
+    target: usize,
+    loss: Loss,
+) -> crate::Result<Vec<f32>> {
+    let cache = model.forward_cached(input)?;
+    let logits = cache.activations.last().expect("at least one layer");
+    let mut delta = loss.grad(logits, target);
+    for l in (0..model.num_layers()).rev() {
+        let mut prev = model.weight(l).t_matvec(&delta)?;
+        if l > 0 {
+            let z_prev = &cache.pre_activations[l - 1];
+            for (p, &z) in prev.iter_mut().zip(z_prev) {
+                *p *= model.activation().derivative(z);
+            }
+        }
+        delta = prev;
+    }
+    Ok(delta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use mlake_tensor::{init::Init, Pcg64};
+
+    fn model() -> Mlp {
+        let mut rng = Pcg64::new(42);
+        Mlp::new(vec![3, 5, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap()
+    }
+
+    /// Central-difference check of every parameter gradient.
+    #[test]
+    fn backprop_matches_finite_differences() {
+        let m = model();
+        let input = [0.4f32, -0.2, 0.9];
+        let target = 1;
+        let (_, grads) = backprop(&m, &input, target, Loss::CrossEntropy).unwrap();
+        let flat_g = grads.flatten();
+        let params = m.flat_params();
+        let eps = 1e-2f32;
+        for i in (0..params.len()).step_by(3) {
+            let mut mp = m.clone();
+            let mut p = params.clone();
+            p[i] += eps;
+            mp.set_flat_params(&p).unwrap();
+            let lp = Loss::CrossEntropy.value(&mp.forward(&input).unwrap(), target);
+            p[i] -= 2.0 * eps;
+            mp.set_flat_params(&p).unwrap();
+            let lm = Loss::CrossEntropy.value(&mp.forward(&input).unwrap(), target);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!(
+                (fd - flat_g[i]).abs() < 5e-2,
+                "param {i}: fd {fd} vs analytic {}",
+                flat_g[i]
+            );
+        }
+    }
+
+    #[test]
+    fn soft_backprop_matches_finite_differences() {
+        let m = model();
+        let input = [0.1f32, 0.5, -0.3];
+        let target = [0.2f32, 0.8];
+        let (_, grads) = backprop_soft(&m, &input, &target, Loss::CrossEntropy).unwrap();
+        let flat_g = grads.flatten();
+        let params = m.flat_params();
+        let eps = 1e-2f32;
+        for i in (0..params.len()).step_by(5) {
+            let mut mp = m.clone();
+            let mut p = params.clone();
+            p[i] += eps;
+            mp.set_flat_params(&p).unwrap();
+            let lp = Loss::CrossEntropy.value_soft(&mp.forward(&input).unwrap(), &target);
+            p[i] -= 2.0 * eps;
+            mp.set_flat_params(&p).unwrap();
+            let lm = Loss::CrossEntropy.value_soft(&mp.forward(&input).unwrap(), &target);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - flat_g[i]).abs() < 5e-2, "param {i}");
+        }
+    }
+
+    #[test]
+    fn input_gradient_matches_finite_differences() {
+        let m = model();
+        let input = [0.4f32, -0.2, 0.9];
+        let g = input_gradient(&m, &input, 0, Loss::CrossEntropy).unwrap();
+        let eps = 1e-2f32;
+        for i in 0..input.len() {
+            let mut ip = input;
+            ip[i] += eps;
+            let lp = Loss::CrossEntropy.value(&m.forward(&ip).unwrap(), 0);
+            ip[i] -= 2.0 * eps;
+            let lm = Loss::CrossEntropy.value(&m.forward(&ip).unwrap(), 0);
+            let fd = (lp - lm) / (2.0 * eps);
+            assert!((fd - g[i]).abs() < 5e-2, "input dim {i}: fd {fd} vs {}", g[i]);
+        }
+    }
+
+    #[test]
+    fn batch_backprop_averages() {
+        let m = model();
+        let x = Matrix::from_vec(2, 3, vec![0.1, 0.2, 0.3, -0.1, 0.0, 0.4]).unwrap();
+        let y = [0usize, 1];
+        let (avg_loss, batch_g) = batch_backprop(&m, &x, &y, Loss::CrossEntropy).unwrap();
+        let (l0, g0) = backprop(&m, x.row(0), 0, Loss::CrossEntropy).unwrap();
+        let (l1, g1) = backprop(&m, x.row(1), 1, Loss::CrossEntropy).unwrap();
+        assert!((avg_loss - (l0 + l1) / 2.0).abs() < 1e-5);
+        let fb = batch_g.flatten();
+        let f0 = g0.flatten();
+        let f1 = g1.flatten();
+        for i in 0..fb.len() {
+            assert!((fb[i] - (f0[i] + f1[i]) / 2.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradients_utils() {
+        let m = model();
+        let mut z = Gradients::zeros_like(&m);
+        assert_eq!(z.l2_norm(), 0.0);
+        let (_, g) = backprop(&m, &[0.1, 0.1, 0.1], 0, Loss::CrossEntropy).unwrap();
+        z.accumulate(&g).unwrap();
+        assert!(z.l2_norm() > 0.0);
+        let before = z.l2_norm();
+        z.scale(0.5);
+        assert!((z.l2_norm() - before * 0.5).abs() < 1e-5);
+        assert_eq!(z.flatten().len(), m.num_params());
+    }
+}

@@ -1,0 +1,382 @@
+//! Count-based n-gram language model — the lake's *generative* model family.
+//!
+//! For generative models the paper's extrinsic view is the "observable
+//! probability distribution defined by the model, `p_θ(x)`" (§2). An n-gram
+//! model makes that distribution exactly computable: next-token
+//! distributions, sequence log-probabilities and perplexities are closed
+//! form, which gives the benchmark lake verifiable extrinsic ground truth.
+
+use mlake_tensor::{Pcg64, TensorError};
+use serde::{Deserialize, Serialize};
+
+use crate::arch::Architecture;
+
+/// A Laplace-smoothed n-gram model over integer tokens `0..vocab`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NgramLm {
+    vocab: usize,
+    order: usize,
+    /// Flattened count table: `counts[context * vocab + token]`.
+    counts: Vec<f64>,
+    /// Row sums cached for O(1) normalisation.
+    row_totals: Vec<f64>,
+    /// Laplace smoothing strength.
+    alpha: f64,
+}
+
+impl NgramLm {
+    /// Creates an empty model. `order` must be in `1..=3` and `vocab > 0`;
+    /// the context table has `vocab^(order-1)` rows, so keep `vocab` small
+    /// for trigram models.
+    pub fn new(vocab: usize, order: usize, alpha: f64) -> crate::Result<Self> {
+        if vocab == 0 || order == 0 || order > 3 {
+            return Err(TensorError::Empty("ngram vocab/order"));
+        }
+        let contexts = vocab.pow((order - 1) as u32);
+        Ok(NgramLm {
+            vocab,
+            order,
+            counts: vec![0.0; contexts * vocab],
+            row_totals: vec![0.0; contexts],
+            alpha: alpha.max(1e-9),
+        })
+    }
+
+    /// Vocabulary size.
+    pub fn vocab(&self) -> usize {
+        self.vocab
+    }
+
+    /// Model order (2 = bigram).
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Architecture descriptor.
+    pub fn architecture(&self) -> Architecture {
+        Architecture::ngram(self.vocab, self.order)
+    }
+
+    /// Number of rows in the context table.
+    pub fn num_contexts(&self) -> usize {
+        self.row_totals.len()
+    }
+
+    /// Total number of probability parameters.
+    pub fn num_params(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Maps the last `order - 1` tokens of `context` to a table row.
+    /// Shorter contexts are padded with token 0 on the left.
+    pub fn context_index(&self, context: &[usize]) -> crate::Result<usize> {
+        let needed = self.order - 1;
+        let mut idx = 0usize;
+        for k in 0..needed {
+            let pos = context.len() as isize - needed as isize + k as isize;
+            let tok = if pos < 0 { 0 } else { context[pos as usize] };
+            if tok >= self.vocab {
+                return Err(TensorError::OutOfBounds {
+                    index: (tok, 0),
+                    shape: (self.vocab, self.vocab),
+                });
+            }
+            idx = idx * self.vocab + tok;
+        }
+        Ok(idx)
+    }
+
+    /// Accumulates n-gram counts from a token sequence, scaled by `weight`.
+    /// This is both initial training (`weight = 1`) and fine-tuning
+    /// (further corpora, possibly up/down-weighted).
+    pub fn add_counts(&mut self, tokens: &[usize], weight: f64) -> crate::Result<()> {
+        if tokens.iter().any(|&t| t >= self.vocab) {
+            return Err(TensorError::OutOfBounds {
+                index: (self.vocab, 0),
+                shape: (self.vocab, self.vocab),
+            });
+        }
+        let n = self.order;
+        for i in 0..tokens.len() {
+            let ctx_start = i.saturating_sub(n - 1);
+            let row = self.context_index(&tokens[ctx_start..i])?;
+            self.counts[row * self.vocab + tokens[i]] += weight;
+            self.row_totals[row] += weight;
+        }
+        Ok(())
+    }
+
+    /// Probability of `token` after `context`, with Laplace smoothing.
+    pub fn prob(&self, context: &[usize], token: usize) -> crate::Result<f32> {
+        if token >= self.vocab {
+            return Err(TensorError::OutOfBounds {
+                index: (token, 0),
+                shape: (self.vocab, self.vocab),
+            });
+        }
+        let row = self.context_index(context)?;
+        let c = self.counts[row * self.vocab + token];
+        let total = self.row_totals[row];
+        Ok(((c + self.alpha) / (total + self.alpha * self.vocab as f64)) as f32)
+    }
+
+    /// Full next-token distribution after `context` (sums to 1).
+    pub fn next_dist(&self, context: &[usize]) -> crate::Result<Vec<f32>> {
+        let row = self.context_index(context)?;
+        let total = self.row_totals[row] + self.alpha * self.vocab as f64;
+        Ok(self.counts[row * self.vocab..(row + 1) * self.vocab]
+            .iter()
+            .map(|&c| ((c + self.alpha) / total) as f32)
+            .collect())
+    }
+
+    /// Log-probability (natural log) of a full sequence.
+    pub fn log_prob(&self, tokens: &[usize]) -> crate::Result<f64> {
+        let mut lp = 0.0f64;
+        for i in 0..tokens.len() {
+            let ctx_start = i.saturating_sub(self.order - 1);
+            lp += f64::from(self.prob(&tokens[ctx_start..i], tokens[i])?).ln();
+        }
+        Ok(lp)
+    }
+
+    /// Perplexity `exp(-log_prob / len)`; `inf` is impossible thanks to
+    /// smoothing, and the empty sequence yields 1.
+    pub fn perplexity(&self, tokens: &[usize]) -> crate::Result<f64> {
+        if tokens.is_empty() {
+            return Ok(1.0);
+        }
+        let lp = self.log_prob(tokens)?;
+        Ok((-lp / tokens.len() as f64).exp())
+    }
+
+    /// Samples `len` tokens autoregressively, continuing `prompt`.
+    pub fn sample(&self, prompt: &[usize], len: usize, rng: &mut Pcg64) -> crate::Result<Vec<usize>> {
+        let mut seq = prompt.to_vec();
+        for _ in 0..len {
+            let dist = self.next_dist(&seq)?;
+            let tok = rng
+                .weighted_index(&dist)
+                .ok_or(TensorError::Numerical("degenerate sampling distribution"))?;
+            seq.push(tok);
+        }
+        Ok(seq.split_off(prompt.len()))
+    }
+
+    /// Targeted *model edit*: forces `P(token | context) ≈ target_prob` by
+    /// rescaling the row counts — the n-gram analogue of a rank-one fact
+    /// edit. Touches exactly one table row.
+    ///
+    /// Achievability: Laplace smoothing floors every probability at
+    /// `α / (T_others + α·V)`, so a *downward* edit on a row whose other
+    /// tokens carry little mass saturates at that floor instead of reaching
+    /// the target exactly.
+    pub fn edit(&mut self, context: &[usize], token: usize, target_prob: f32) -> crate::Result<()> {
+        if token >= self.vocab {
+            return Err(TensorError::OutOfBounds {
+                index: (token, 0),
+                shape: (self.vocab, self.vocab),
+            });
+        }
+        let p = f64::from(target_prob.clamp(1e-4, 1.0 - 1e-4));
+        let row = self.context_index(context)?;
+        let slice = &mut self.counts[row * self.vocab..(row + 1) * self.vocab];
+        // Work on a softened row so empty rows are editable too.
+        let mut total: f64 = slice.iter().sum::<f64>() + self.alpha * self.vocab as f64;
+        if total <= 0.0 {
+            total = 1.0;
+        }
+        let others: f64 = total - (slice[token] + self.alpha);
+        // New count so that (c + α) / (c + α + others) = p.
+        let new_mass = p * others / (1.0 - p);
+        slice[token] = (new_mass - self.alpha).max(0.0);
+        self.row_totals[row] = slice.iter().sum();
+        Ok(())
+    }
+
+    /// Linear interpolation of two same-shape models:
+    /// `counts = (1-λ)·self + λ·other` (model merging / soup).
+    pub fn interpolate(&self, other: &NgramLm, lambda: f64) -> crate::Result<NgramLm> {
+        if self.vocab != other.vocab || self.order != other.order {
+            return Err(TensorError::ShapeMismatch {
+                op: "ngram_interpolate",
+                lhs: (self.vocab, self.order),
+                rhs: (other.vocab, other.order),
+            });
+        }
+        let lambda = lambda.clamp(0.0, 1.0);
+        let mut out = self.clone();
+        for (o, (&a, &b)) in out
+            .counts
+            .iter_mut()
+            .zip(self.counts.iter().zip(&other.counts))
+        {
+            *o = (1.0 - lambda) * a + lambda * b;
+        }
+        for (t, (&a, &b)) in out
+            .row_totals
+            .iter_mut()
+            .zip(self.row_totals.iter().zip(&other.row_totals))
+        {
+            *t = (1.0 - lambda) * a + lambda * b;
+        }
+        Ok(out)
+    }
+
+    /// The parameter table as normalised probabilities, flattened row-major —
+    /// the `θ` view used by intrinsic fingerprints.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.counts.len());
+        for row in 0..self.num_contexts() {
+            let total = self.row_totals[row] + self.alpha * self.vocab as f64;
+            for t in 0..self.vocab {
+                out.push(((self.counts[row * self.vocab + t] + self.alpha) / total) as f32);
+            }
+        }
+        out
+    }
+
+    /// Raw count access for tests and forensic tooling.
+    pub fn count(&self, context: &[usize], token: usize) -> crate::Result<f64> {
+        let row = self.context_index(context)?;
+        Ok(self.counts[row * self.vocab + token])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fitted_bigram() -> NgramLm {
+        let mut lm = NgramLm::new(4, 2, 0.1).unwrap();
+        // Sequence: 0 1 2 3 0 1 2 3 ...
+        let tokens: Vec<usize> = (0..40).map(|i| i % 4).collect();
+        lm.add_counts(&tokens, 1.0).unwrap();
+        lm
+    }
+
+    #[test]
+    fn construction_validates() {
+        assert!(NgramLm::new(0, 2, 0.1).is_err());
+        assert!(NgramLm::new(4, 0, 0.1).is_err());
+        assert!(NgramLm::new(4, 4, 0.1).is_err());
+        let tri = NgramLm::new(4, 3, 0.1).unwrap();
+        assert_eq!(tri.num_contexts(), 16);
+        assert_eq!(tri.num_params(), 64);
+    }
+
+    #[test]
+    fn learned_transitions_dominate() {
+        let lm = fitted_bigram();
+        // After token 1 the corpus always shows token 2.
+        let p = lm.prob(&[1], 2).unwrap();
+        assert!(p > 0.9, "p = {p}");
+        let q = lm.prob(&[1], 0).unwrap();
+        assert!(q < 0.05);
+    }
+
+    #[test]
+    fn next_dist_sums_to_one() {
+        let lm = fitted_bigram();
+        for ctx in 0..4 {
+            let d = lm.next_dist(&[ctx]).unwrap();
+            let total: f32 = d.iter().sum();
+            assert!((total - 1.0).abs() < 1e-5);
+        }
+        assert!(lm.next_dist(&[9]).is_err());
+    }
+
+    #[test]
+    fn perplexity_lower_on_indistribution_text() {
+        let lm = fitted_bigram();
+        let in_dist: Vec<usize> = (0..20).map(|i| i % 4).collect();
+        let out_dist: Vec<usize> = (0..20).map(|i| (i * 3) % 4).collect();
+        let p_in = lm.perplexity(&in_dist).unwrap();
+        let p_out = lm.perplexity(&out_dist).unwrap();
+        assert!(p_in < p_out, "{p_in} !< {p_out}");
+        assert_eq!(lm.perplexity(&[]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn sampling_respects_distribution() {
+        let lm = fitted_bigram();
+        let mut rng = Pcg64::new(4);
+        let sample = lm.sample(&[0], 200, &mut rng).unwrap();
+        assert_eq!(sample.len(), 200);
+        // The deterministic cycle 0→1→2→3 should dominate the sample.
+        let follows: usize = sample
+            .windows(2)
+            .filter(|w| w[1] == (w[0] + 1) % 4)
+            .count();
+        assert!(follows > 150, "follows = {follows}");
+    }
+
+    #[test]
+    fn edit_sets_target_probability() {
+        let mut lm = fitted_bigram();
+        lm.edit(&[1], 0, 0.9).unwrap();
+        let p = lm.prob(&[1], 0).unwrap();
+        assert!((p - 0.9).abs() < 0.02, "p = {p}");
+        // Other rows untouched (row 0 also holds one padded initial-context
+        // count, so its top probability sits just below 0.9).
+        assert!(lm.prob(&[0], 1).unwrap() > 0.85);
+    }
+
+    #[test]
+    fn interpolate_blends() {
+        let a = fitted_bigram();
+        let mut b = NgramLm::new(4, 2, 0.1).unwrap();
+        let tokens: Vec<usize> = (0..40).map(|i| (i * 3) % 4).collect();
+        b.add_counts(&tokens, 1.0).unwrap();
+        let mid = a.interpolate(&b, 0.5).unwrap();
+        let pa = a.prob(&[1], 2).unwrap();
+        let pb = b.prob(&[1], 2).unwrap();
+        let pm = mid.prob(&[1], 2).unwrap();
+        assert!(pm < pa && pm > pb);
+        let zero = a.interpolate(&b, 0.0).unwrap();
+        assert_eq!(zero, a);
+        assert!(a
+            .interpolate(&NgramLm::new(5, 2, 0.1).unwrap(), 0.5)
+            .is_err());
+    }
+
+    #[test]
+    fn flat_params_are_probabilities() {
+        let lm = fitted_bigram();
+        let p = lm.flat_params();
+        assert_eq!(p.len(), 16);
+        for row in p.chunks(4) {
+            let total: f32 = row.iter().sum();
+            assert!((total - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn trigram_context_indexing() {
+        let lm = NgramLm::new(3, 3, 0.1).unwrap();
+        assert_eq!(lm.context_index(&[]).unwrap(), 0);
+        assert_eq!(lm.context_index(&[1]).unwrap(), 1); // padded [0, 1]
+        assert_eq!(lm.context_index(&[2, 1]).unwrap(), 2 * 3 + 1);
+        assert_eq!(lm.context_index(&[0, 2, 1]).unwrap(), 2 * 3 + 1);
+        assert!(lm.context_index(&[7]).is_err());
+    }
+
+    #[test]
+    fn finetune_shifts_distribution() {
+        let mut lm = fitted_bigram();
+        let before = lm.prob(&[1], 3).unwrap();
+        // Heavily weighted new corpus where 1 -> 3.
+        let ft: Vec<usize> = (0..40).map(|i| if i % 2 == 0 { 1 } else { 3 }).collect();
+        lm.add_counts(&ft, 5.0).unwrap();
+        let after = lm.prob(&[1], 3).unwrap();
+        assert!(after > before);
+        assert!(lm.add_counts(&[99], 1.0).is_err());
+    }
+
+    #[test]
+    fn count_accessor() {
+        let lm = fitted_bigram();
+        assert!(lm.count(&[0], 1).unwrap() > 0.0);
+        assert_eq!(lm.count(&[3], 2).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,178 @@
+//! Loss functions and their gradients with respect to output logits.
+
+use mlake_tensor::vector;
+use serde::{Deserialize, Serialize};
+
+/// Supported training losses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Loss {
+    /// Softmax cross-entropy over class logits.
+    CrossEntropy,
+    /// Mean squared error against a one-hot target.
+    MseOneHot,
+}
+
+impl Loss {
+    /// Loss value for one example with integer target class.
+    pub fn value(self, logits: &[f32], target: usize) -> f32 {
+        debug_assert!(target < logits.len());
+        match self {
+            Loss::CrossEntropy => {
+                // -log softmax(logits)[target], computed stably.
+                vector::log_sum_exp(logits) - logits[target]
+            }
+            Loss::MseOneHot => {
+                let mut acc = 0.0f32;
+                for (i, &z) in logits.iter().enumerate() {
+                    let t = if i == target { 1.0 } else { 0.0 };
+                    acc += (z - t) * (z - t);
+                }
+                acc / logits.len() as f32
+            }
+        }
+    }
+
+    /// Loss against a soft target distribution (used by distillation).
+    pub fn value_soft(self, logits: &[f32], target: &[f32]) -> f32 {
+        debug_assert_eq!(logits.len(), target.len());
+        match self {
+            Loss::CrossEntropy => {
+                let lse = vector::log_sum_exp(logits);
+                let mut acc = 0.0f32;
+                for (&z, &t) in logits.iter().zip(target) {
+                    if t > 0.0 {
+                        acc += t * (lse - z);
+                    }
+                }
+                acc
+            }
+            Loss::MseOneHot => {
+                let mut acc = 0.0f32;
+                for (&z, &t) in logits.iter().zip(target) {
+                    acc += (z - t) * (z - t);
+                }
+                acc / logits.len() as f32
+            }
+        }
+    }
+
+    /// Gradient of the loss with respect to the logits, integer target.
+    pub fn grad(self, logits: &[f32], target: usize) -> Vec<f32> {
+        match self {
+            Loss::CrossEntropy => {
+                let mut g = vector::softmax(logits);
+                g[target] -= 1.0;
+                g
+            }
+            Loss::MseOneHot => {
+                let n = logits.len() as f32;
+                logits
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &z)| {
+                        let t = if i == target { 1.0 } else { 0.0 };
+                        2.0 * (z - t) / n
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// Gradient of the loss with respect to the logits, soft target.
+    pub fn grad_soft(self, logits: &[f32], target: &[f32]) -> Vec<f32> {
+        match self {
+            Loss::CrossEntropy => {
+                let p = vector::softmax(logits);
+                // Sum of target weights rescales the softmax term so the
+                // gradient stays correct for unnormalised soft labels.
+                let mass: f32 = target.iter().sum();
+                p.iter().zip(target).map(|(&pi, &ti)| mass * pi - ti).collect()
+            }
+            Loss::MseOneHot => {
+                let n = logits.len() as f32;
+                logits
+                    .iter()
+                    .zip(target)
+                    .map(|(&z, &t)| 2.0 * (z - t) / n)
+                    .collect()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cross_entropy_of_confident_correct_is_small() {
+        let l = Loss::CrossEntropy;
+        assert!(l.value(&[10.0, -10.0], 0) < 1e-3);
+        assert!(l.value(&[10.0, -10.0], 1) > 10.0);
+    }
+
+    #[test]
+    fn cross_entropy_uniform_is_log_k() {
+        let l = Loss::CrossEntropy;
+        let v = l.value(&[0.0, 0.0, 0.0, 0.0], 2);
+        assert!((v - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let logits = [0.5f32, -1.0, 2.0];
+        let eps = 1e-3;
+        for loss in [Loss::CrossEntropy, Loss::MseOneHot] {
+            let g = loss.grad(&logits, 1);
+            for i in 0..logits.len() {
+                let mut lp = logits;
+                lp[i] += eps;
+                let mut lm = logits;
+                lm[i] -= eps;
+                let fd = (loss.value(&lp, 1) - loss.value(&lm, 1)) / (2.0 * eps);
+                assert!(
+                    (fd - g[i]).abs() < 1e-2,
+                    "{loss:?} dim {i}: fd {fd} vs {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soft_gradients_match_finite_differences() {
+        let logits = [0.2f32, 1.0, -0.7];
+        let target = [0.1f32, 0.7, 0.2];
+        let eps = 1e-3;
+        for loss in [Loss::CrossEntropy, Loss::MseOneHot] {
+            let g = loss.grad_soft(&logits, &target);
+            for i in 0..logits.len() {
+                let mut lp = logits;
+                lp[i] += eps;
+                let mut lm = logits;
+                lm[i] -= eps;
+                let fd = (loss.value_soft(&lp, &target) - loss.value_soft(&lm, &target))
+                    / (2.0 * eps);
+                assert!(
+                    (fd - g[i]).abs() < 1e-2,
+                    "{loss:?} dim {i}: fd {fd} vs {g:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn soft_one_hot_agrees_with_hard() {
+        let logits = [0.3f32, -0.2, 0.9];
+        let one_hot = [0.0f32, 0.0, 1.0];
+        for loss in [Loss::CrossEntropy, Loss::MseOneHot] {
+            let hard = loss.value(&logits, 2);
+            let soft = loss.value_soft(&logits, &one_hot);
+            assert!((hard - soft).abs() < 1e-5, "{loss:?}");
+            let gh = loss.grad(&logits, 2);
+            let gs = loss.grad_soft(&logits, &one_hot);
+            for (a, b) in gh.iter().zip(&gs) {
+                assert!((a - b).abs() < 1e-5);
+            }
+        }
+    }
+}

@@ -1,0 +1,343 @@
+//! Multi-layer perceptron: forward pass, parameter (de)flattening and
+//! representation extraction.
+
+use crate::activation::Activation;
+use crate::arch::Architecture;
+use mlake_tensor::{init::Init, vector, Matrix, Pcg64, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// A fully-connected feed-forward network.
+///
+/// Layer `l` computes `z_l = W_l · a_{l-1} + b_l`; hidden layers apply the
+/// configured activation, the output layer emits raw logits (softmax lives
+/// inside the cross-entropy loss for numerical stability).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Mlp {
+    layer_sizes: Vec<usize>,
+    activation: Activation,
+    /// `weights[l]` has shape `(layer_sizes[l+1], layer_sizes[l])`.
+    weights: Vec<Matrix>,
+    /// `biases[l]` has length `layer_sizes[l+1]`.
+    biases: Vec<Vec<f32>>,
+}
+
+/// Per-layer values cached by [`Mlp::forward_cached`], consumed by backprop
+/// and by representation-level fingerprints/interpretability probes.
+#[derive(Debug, Clone)]
+pub struct ForwardCache {
+    /// Activations per layer, `activations[0]` is the input itself.
+    pub activations: Vec<Vec<f32>>,
+    /// Pre-activation values `z_l`, one entry per weight layer.
+    pub pre_activations: Vec<Vec<f32>>,
+}
+
+impl Mlp {
+    /// Creates a randomly initialised network.
+    pub fn new(
+        layer_sizes: Vec<usize>,
+        activation: Activation,
+        init: Init,
+        rng: &mut Pcg64,
+    ) -> crate::Result<Self> {
+        if layer_sizes.len() < 2 || layer_sizes.contains(&0) {
+            return Err(TensorError::Empty("mlp layer_sizes"));
+        }
+        let mut weights = Vec::with_capacity(layer_sizes.len() - 1);
+        let mut biases = Vec::with_capacity(layer_sizes.len() - 1);
+        for w in layer_sizes.windows(2) {
+            weights.push(init.matrix(w[1], w[0], rng));
+            biases.push(vec![0.0; w[1]]);
+        }
+        Ok(Mlp {
+            layer_sizes,
+            activation,
+            weights,
+            biases,
+        })
+    }
+
+    /// Reassembles a network from explicit parts (used by transforms and the
+    /// binary codec). Validates all shapes.
+    pub fn from_parts(
+        layer_sizes: Vec<usize>,
+        activation: Activation,
+        weights: Vec<Matrix>,
+        biases: Vec<Vec<f32>>,
+    ) -> crate::Result<Self> {
+        if layer_sizes.len() < 2
+            || weights.len() != layer_sizes.len() - 1
+            || biases.len() != weights.len()
+        {
+            return Err(TensorError::Empty("mlp from_parts"));
+        }
+        for (l, w) in layer_sizes.windows(2).enumerate() {
+            if weights[l].shape() != (w[1], w[0]) || biases[l].len() != w[1] {
+                return Err(TensorError::ShapeMismatch {
+                    op: "mlp_from_parts",
+                    lhs: weights[l].shape(),
+                    rhs: (w[1], w[0]),
+                });
+            }
+        }
+        Ok(Mlp {
+            layer_sizes,
+            activation,
+            weights,
+            biases,
+        })
+    }
+
+    /// The architecture descriptor `f*`.
+    pub fn architecture(&self) -> Architecture {
+        Architecture::Mlp {
+            layer_sizes: self.layer_sizes.clone(),
+            activation: self.activation,
+        }
+    }
+
+    /// Layer sizes, input first.
+    pub fn layer_sizes(&self) -> &[usize] {
+        &self.layer_sizes
+    }
+
+    /// Hidden activation.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Number of weight layers.
+    pub fn num_layers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Weight matrix of layer `l`.
+    pub fn weight(&self, l: usize) -> &Matrix {
+        &self.weights[l]
+    }
+
+    /// Mutable weight matrix of layer `l`.
+    pub fn weight_mut(&mut self, l: usize) -> &mut Matrix {
+        &mut self.weights[l]
+    }
+
+    /// Bias vector of layer `l`.
+    pub fn bias(&self, l: usize) -> &[f32] {
+        &self.biases[l]
+    }
+
+    /// Mutable bias vector of layer `l`.
+    pub fn bias_mut(&mut self, l: usize) -> &mut Vec<f32> {
+        &mut self.biases[l]
+    }
+
+    /// Total scalar parameter count.
+    pub fn num_params(&self) -> usize {
+        self.weights.iter().map(Matrix::len).sum::<usize>()
+            + self.biases.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Flattens `θ` into a single vector: weights then bias per layer, in
+    /// layer order. The layout is the contract for [`Self::set_flat_params`],
+    /// gradient vectors and weight-space fingerprints.
+    pub fn flat_params(&self) -> Vec<f32> {
+        let mut out = Vec::with_capacity(self.num_params());
+        for (w, b) in self.weights.iter().zip(&self.biases) {
+            out.extend_from_slice(w.as_slice());
+            out.extend_from_slice(b);
+        }
+        out
+    }
+
+    /// Writes a flat parameter vector back (inverse of [`Self::flat_params`]).
+    pub fn set_flat_params(&mut self, params: &[f32]) -> crate::Result<()> {
+        if params.len() != self.num_params() {
+            return Err(TensorError::BadBuffer {
+                expected: self.num_params(),
+                actual: params.len(),
+            });
+        }
+        let mut off = 0;
+        for (w, b) in self.weights.iter_mut().zip(&mut self.biases) {
+            let n = w.len();
+            w.as_mut_slice().copy_from_slice(&params[off..off + n]);
+            off += n;
+            let bn = b.len();
+            b.copy_from_slice(&params[off..off + bn]);
+            off += bn;
+        }
+        Ok(())
+    }
+
+    /// Forward pass producing output logits for a single example.
+    pub fn forward(&self, input: &[f32]) -> crate::Result<Vec<f32>> {
+        let mut cache = self.forward_cached(input)?;
+        Ok(cache.activations.pop().unwrap_or_default())
+    }
+
+    /// Forward pass retaining every intermediate value (for backprop and
+    /// representation analysis).
+    pub fn forward_cached(&self, input: &[f32]) -> crate::Result<ForwardCache> {
+        if input.len() != self.layer_sizes[0] {
+            return Err(TensorError::ShapeMismatch {
+                op: "mlp_forward",
+                lhs: (self.layer_sizes[0], 1),
+                rhs: (input.len(), 1),
+            });
+        }
+        let mut activations = Vec::with_capacity(self.weights.len() + 1);
+        let mut pre_activations = Vec::with_capacity(self.weights.len());
+        activations.push(input.to_vec());
+        for (l, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
+            let mut z = w.matvec(activations.last().expect("non-empty"))?;
+            vector::axpy(1.0, b, &mut z);
+            pre_activations.push(z.clone());
+            let is_output = l == self.weights.len() - 1;
+            if !is_output {
+                self.activation.apply_slice(&mut z);
+            }
+            activations.push(z);
+        }
+        Ok(ForwardCache {
+            activations,
+            pre_activations,
+        })
+    }
+
+    /// Class-probability vector `p_θ(y | x)` via softmax over the logits.
+    pub fn predict_probs(&self, input: &[f32]) -> crate::Result<Vec<f32>> {
+        Ok(vector::softmax(&self.forward(input)?))
+    }
+
+    /// Most-likely class.
+    pub fn predict_class(&self, input: &[f32]) -> crate::Result<usize> {
+        let logits = self.forward(input)?;
+        vector::argmax(&logits).ok_or(TensorError::Empty("predict_class"))
+    }
+
+    /// Hidden representation at layer `l` (post-activation); `l = 0` returns
+    /// the first hidden layer. Used by CKA fingerprints and probing.
+    pub fn hidden_representation(&self, input: &[f32], l: usize) -> crate::Result<Vec<f32>> {
+        let cache = self.forward_cached(input)?;
+        // activations[0] is the input, hidden layer l is activations[l + 1].
+        cache
+            .activations
+            .get(l + 1)
+            .cloned()
+            .ok_or(TensorError::OutOfBounds {
+                index: (l, 0),
+                shape: (self.weights.len(), 0),
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Mlp {
+        let mut rng = Pcg64::new(1);
+        Mlp::new(vec![2, 3, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn construction_validates() {
+        let mut rng = Pcg64::new(1);
+        assert!(Mlp::new(vec![2], Activation::Relu, Init::Zeros, &mut rng).is_err());
+        assert!(Mlp::new(vec![2, 0, 2], Activation::Relu, Init::Zeros, &mut rng).is_err());
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let m = tiny();
+        let out = m.forward(&[0.5, -0.5]).unwrap();
+        assert_eq!(out.len(), 2);
+        assert!(m.forward(&[1.0]).is_err());
+        let cache = m.forward_cached(&[0.5, -0.5]).unwrap();
+        assert_eq!(cache.activations.len(), 3);
+        assert_eq!(cache.pre_activations.len(), 2);
+        assert_eq!(cache.activations[1].len(), 3);
+    }
+
+    #[test]
+    fn output_layer_is_linear() {
+        // With ReLU hidden units, a large negative logit must survive the
+        // output layer unclipped.
+        let mut rng = Pcg64::new(2);
+        let mut m = Mlp::new(vec![1, 1, 1], Activation::Relu, Init::Zeros, &mut rng).unwrap();
+        m.weight_mut(0).set_at(0, 0, 1.0);
+        m.weight_mut(1).set_at(0, 0, -5.0);
+        let out = m.forward(&[2.0]).unwrap();
+        assert!((out[0] + 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn predict_probs_is_distribution() {
+        let m = tiny();
+        let p = m.predict_probs(&[0.3, 0.9]).unwrap();
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-5);
+        let class = m.predict_class(&[0.3, 0.9]).unwrap();
+        assert!(class < 2);
+    }
+
+    #[test]
+    fn flat_params_round_trip() {
+        let m = tiny();
+        let params = m.flat_params();
+        assert_eq!(params.len(), m.num_params());
+        assert_eq!(m.num_params(), 2 * 3 + 3 + 3 * 2 + 2);
+        let mut m2 = tiny();
+        m2.set_flat_params(&params).unwrap();
+        assert_eq!(m, m2);
+        assert!(m2.set_flat_params(&[0.0]).is_err());
+    }
+
+    #[test]
+    fn set_flat_params_changes_output() {
+        let m = tiny();
+        let mut m2 = m.clone();
+        let mut p = m.flat_params();
+        for v in &mut p {
+            *v += 1.0;
+        }
+        m2.set_flat_params(&p).unwrap();
+        let a = m.forward(&[0.1, 0.2]).unwrap();
+        let b = m2.forward(&[0.1, 0.2]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn from_parts_validates_shapes() {
+        let m = tiny();
+        let bad = Mlp::from_parts(
+            vec![2, 3, 2],
+            Activation::Tanh,
+            vec![Matrix::zeros(3, 2), Matrix::zeros(2, 2)],
+            vec![vec![0.0; 3], vec![0.0; 2]],
+        );
+        assert!(bad.is_err());
+        let ok = Mlp::from_parts(
+            m.layer_sizes().to_vec(),
+            m.activation(),
+            (0..m.num_layers()).map(|l| m.weight(l).clone()).collect(),
+            (0..m.num_layers()).map(|l| m.bias(l).to_vec()).collect(),
+        )
+        .unwrap();
+        assert_eq!(ok, m);
+    }
+
+    #[test]
+    fn hidden_representation_dims() {
+        let m = tiny();
+        let h = m.hidden_representation(&[0.1, 0.2], 0).unwrap();
+        assert_eq!(h.len(), 3);
+        assert!(m.hidden_representation(&[0.1, 0.2], 5).is_err());
+    }
+
+    #[test]
+    fn architecture_round_trips() {
+        let m = tiny();
+        let arch = m.architecture();
+        assert_eq!(arch.num_params(), m.num_params());
+        assert_eq!(arch.signature(), "mlp:2-3-2:tanh");
+    }
+}

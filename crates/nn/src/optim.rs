@@ -1,0 +1,237 @@
+//! Optimisers — the concrete pieces of the training algorithm `A`.
+
+use crate::grad::Gradients;
+use crate::mlp::Mlp;
+use mlake_tensor::vector;
+use serde::{Deserialize, Serialize};
+
+/// Declarative optimiser configuration; the part of `A` that model cards
+/// record and that history-based lake tasks can query.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum OptimizerSpec {
+    /// Stochastic gradient descent with optional momentum and weight decay.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient (0 disables).
+        momentum: f32,
+        /// Decoupled L2 weight decay.
+        weight_decay: f32,
+    },
+    /// Adam with the usual bias-corrected moment estimates.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical floor.
+        eps: f32,
+    },
+}
+
+impl OptimizerSpec {
+    /// Plain SGD at the given learning rate.
+    pub fn sgd(lr: f32) -> OptimizerSpec {
+        OptimizerSpec::Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+        }
+    }
+
+    /// Adam with standard hyper-parameters.
+    pub fn adam(lr: f32) -> OptimizerSpec {
+        OptimizerSpec::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Instantiates mutable optimiser state for `model`.
+    pub fn build(self, model: &Mlp) -> Optimizer {
+        let n = model.num_params();
+        match self {
+            OptimizerSpec::Sgd { .. } => Optimizer {
+                spec: self,
+                step: 0,
+                m1: vec![0.0; n],
+                m2: Vec::new(),
+            },
+            OptimizerSpec::Adam { .. } => Optimizer {
+                spec: self,
+                step: 0,
+                m1: vec![0.0; n],
+                m2: vec![0.0; n],
+            },
+        }
+    }
+
+    /// Stable short description for documentation generation.
+    pub fn describe(self) -> String {
+        match self {
+            OptimizerSpec::Sgd {
+                lr,
+                momentum,
+                weight_decay,
+            } => format!("sgd(lr={lr}, momentum={momentum}, wd={weight_decay})"),
+            OptimizerSpec::Adam { lr, .. } => format!("adam(lr={lr})"),
+        }
+    }
+}
+
+/// Mutable optimiser state; applies flattened gradient updates to a model.
+#[derive(Debug, Clone)]
+pub struct Optimizer {
+    spec: OptimizerSpec,
+    step: u64,
+    /// Momentum / first-moment buffer.
+    m1: Vec<f32>,
+    /// Second-moment buffer (Adam only).
+    m2: Vec<f32>,
+}
+
+impl Optimizer {
+    /// The configuration this state was built from.
+    pub fn spec(&self) -> OptimizerSpec {
+        self.spec
+    }
+
+    /// Applies one update step in place.
+    pub fn apply(&mut self, model: &mut Mlp, grads: &Gradients) -> crate::Result<()> {
+        let g = grads.flatten();
+        let mut params = model.flat_params();
+        self.step += 1;
+        match self.spec {
+            OptimizerSpec::Sgd {
+                lr,
+                momentum,
+                weight_decay,
+            } => {
+                for i in 0..params.len() {
+                    let mut gi = g[i];
+                    if weight_decay > 0.0 {
+                        gi += weight_decay * params[i];
+                    }
+                    if momentum > 0.0 {
+                        self.m1[i] = momentum * self.m1[i] + gi;
+                        gi = self.m1[i];
+                    }
+                    params[i] -= lr * gi;
+                }
+            }
+            OptimizerSpec::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                let t = self.step as f64;
+                let bc1 = 1.0 - (f64::from(beta1)).powf(t);
+                let bc2 = 1.0 - (f64::from(beta2)).powf(t);
+                for i in 0..params.len() {
+                    let gi = g[i];
+                    self.m1[i] = beta1 * self.m1[i] + (1.0 - beta1) * gi;
+                    self.m2[i] = beta2 * self.m2[i] + (1.0 - beta2) * gi * gi;
+                    let mhat = f64::from(self.m1[i]) / bc1;
+                    let vhat = f64::from(self.m2[i]) / bc2;
+                    params[i] -= lr * (mhat / (vhat.sqrt() + f64::from(eps))) as f32;
+                }
+            }
+        }
+        model.set_flat_params(&params)
+    }
+
+    /// Gradient-step count so far.
+    pub fn steps(&self) -> u64 {
+        self.step
+    }
+
+    /// Norm of the momentum buffer — exposed for training diagnostics.
+    pub fn momentum_norm(&self) -> f32 {
+        vector::l2_norm(&self.m1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::grad::backprop;
+    use crate::loss::Loss;
+    use mlake_tensor::{init::Init, Pcg64};
+
+    fn model() -> Mlp {
+        let mut rng = Pcg64::new(3);
+        Mlp::new(vec![2, 4, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap()
+    }
+
+    fn loss_at(m: &Mlp) -> f32 {
+        Loss::CrossEntropy.value(&m.forward(&[0.5, -0.5]).unwrap(), 0)
+    }
+
+    #[test]
+    fn sgd_descends() {
+        let mut m = model();
+        let mut opt = OptimizerSpec::sgd(0.1).build(&m);
+        let before = loss_at(&m);
+        for _ in 0..20 {
+            let (_, g) = backprop(&m, &[0.5, -0.5], 0, Loss::CrossEntropy).unwrap();
+            opt.apply(&mut m, &g).unwrap();
+        }
+        assert!(loss_at(&m) < before, "loss must decrease");
+        assert_eq!(opt.steps(), 20);
+    }
+
+    #[test]
+    fn adam_descends() {
+        let mut m = model();
+        let mut opt = OptimizerSpec::adam(0.05).build(&m);
+        let before = loss_at(&m);
+        for _ in 0..30 {
+            let (_, g) = backprop(&m, &[0.5, -0.5], 0, Loss::CrossEntropy).unwrap();
+            opt.apply(&mut m, &g).unwrap();
+        }
+        assert!(loss_at(&m) < before);
+    }
+
+    #[test]
+    fn momentum_accumulates() {
+        let mut m = model();
+        let mut opt = OptimizerSpec::Sgd {
+            lr: 0.01,
+            momentum: 0.9,
+            weight_decay: 0.0,
+        }
+        .build(&m);
+        let (_, g) = backprop(&m, &[0.5, -0.5], 0, Loss::CrossEntropy).unwrap();
+        opt.apply(&mut m, &g).unwrap();
+        assert!(opt.momentum_norm() > 0.0);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params() {
+        let mut m = model();
+        // Zero gradient + weight decay must shrink the parameter norm.
+        let g = crate::grad::Gradients::zeros_like(&m);
+        let mut opt = OptimizerSpec::Sgd {
+            lr: 0.1,
+            momentum: 0.0,
+            weight_decay: 0.5,
+        }
+        .build(&m);
+        let before = mlake_tensor::vector::l2_norm(&m.flat_params());
+        opt.apply(&mut m, &g).unwrap();
+        let after = mlake_tensor::vector::l2_norm(&m.flat_params());
+        assert!(after < before);
+    }
+
+    #[test]
+    fn describe_mentions_lr() {
+        assert!(OptimizerSpec::sgd(0.25).describe().contains("0.25"));
+        assert!(OptimizerSpec::adam(0.01).describe().contains("adam"));
+    }
+}

@@ -1,0 +1,232 @@
+//! The training algorithm `A`: seeded mini-batch training with optional
+//! checkpointing (checkpoints feed TracIn-style attribution).
+
+use crate::data::LabeledData;
+use crate::grad::batch_backprop;
+use crate::loss::Loss;
+use crate::mlp::Mlp;
+use crate::optim::OptimizerSpec;
+use mlake_tensor::{Pcg64, Seed};
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of a training run. Together with the dataset id
+/// this is exactly the *history* `(D, A)` of the resulting model, and is what
+/// a truthful model card records.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainConfig {
+    /// Number of passes over the data.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Optimiser.
+    pub optimizer: OptimizerSpec,
+    /// Loss function.
+    pub loss: Loss,
+    /// Root seed for shuffling (initialisation is seeded separately by the
+    /// caller so that "same data, different init" populations exist).
+    pub seed: u64,
+    /// Keep a parameter snapshot every `n` epochs (0 disables). Snapshots
+    /// are flattened parameter vectors in [`Mlp::flat_params`] layout.
+    pub checkpoint_every: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        TrainConfig {
+            epochs: 30,
+            batch_size: 16,
+            optimizer: OptimizerSpec::sgd(0.1),
+            loss: Loss::CrossEntropy,
+            seed: 0,
+            checkpoint_every: 0,
+        }
+    }
+}
+
+/// Outcome of a training run.
+#[derive(Debug, Clone)]
+pub struct TrainReport {
+    /// Mean training loss at the end of each epoch.
+    pub epoch_losses: Vec<f32>,
+    /// Flattened parameter snapshots (see [`TrainConfig::checkpoint_every`]).
+    pub checkpoints: Vec<Vec<f32>>,
+    /// Number of gradient steps performed.
+    pub steps: u64,
+}
+
+impl TrainReport {
+    /// Final training loss (NaN-free; 0 when no epochs ran).
+    pub fn final_loss(&self) -> f32 {
+        self.epoch_losses.last().copied().unwrap_or(0.0)
+    }
+}
+
+/// Trains `model` in place on `data` according to `config`.
+pub fn train_mlp(model: &mut Mlp, data: &LabeledData, config: &TrainConfig) -> crate::Result<TrainReport> {
+    let mut opt = config.optimizer.build(model);
+    let mut rng: Pcg64 = Seed::new(config.seed).derive("train-shuffle").rng();
+    let mut epoch_losses = Vec::with_capacity(config.epochs);
+    let mut checkpoints = Vec::new();
+    let batch = config.batch_size.max(1);
+
+    for epoch in 0..config.epochs {
+        let order = data.epoch_order(&mut rng);
+        let mut loss_acc = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(batch) {
+            let sub = data.select(chunk)?;
+            let (loss, grads) = batch_backprop(model, &sub.x, &sub.y, config.loss)?;
+            opt.apply(model, &grads)?;
+            loss_acc += f64::from(loss);
+            batches += 1;
+        }
+        epoch_losses.push((loss_acc / batches.max(1) as f64) as f32);
+        if config.checkpoint_every > 0 && (epoch + 1) % config.checkpoint_every == 0 {
+            checkpoints.push(model.flat_params());
+        }
+    }
+    Ok(TrainReport {
+        epoch_losses,
+        checkpoints,
+        steps: opt.steps(),
+    })
+}
+
+/// Classification accuracy of `model` on `data`.
+pub fn accuracy(model: &Mlp, data: &LabeledData) -> crate::Result<f32> {
+    if data.is_empty() {
+        return Ok(0.0);
+    }
+    let mut correct = 0usize;
+    for (row, &t) in data.x.rows_iter().zip(&data.y) {
+        if model.predict_class(row)? == t {
+            correct += 1;
+        }
+    }
+    Ok(correct as f32 / data.len() as f32)
+}
+
+/// Mean loss of `model` on `data` under `loss`.
+pub fn mean_loss(model: &Mlp, data: &LabeledData, loss: Loss) -> crate::Result<f32> {
+    if data.is_empty() {
+        return Ok(0.0);
+    }
+    let mut acc = 0.0f64;
+    for (row, &t) in data.x.rows_iter().zip(&data.y) {
+        acc += f64::from(loss.value(&model.forward(row)?, t));
+    }
+    Ok((acc / data.len() as f64) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use mlake_tensor::{init::Init, Matrix};
+
+    /// Two well-separated Gaussian blobs.
+    fn blobs(n: usize, seed: u64) -> LabeledData {
+        let mut rng = Seed::new(seed).derive("blobs").rng();
+        let mut rows = Vec::with_capacity(n);
+        let mut labels = Vec::with_capacity(n);
+        for i in 0..n {
+            let class = i % 2;
+            let center = if class == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![
+                center + rng.normal() * 0.5,
+                center + rng.normal() * 0.5,
+            ]);
+            labels.push(class);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn training_learns_separable_blobs() {
+        let data = blobs(200, 1);
+        let mut rng = Seed::new(2).derive("init").rng();
+        let mut model =
+            Mlp::new(vec![2, 8, 2], Activation::Relu, Init::HeNormal, &mut rng).unwrap();
+        let config = TrainConfig {
+            epochs: 25,
+            batch_size: 16,
+            optimizer: OptimizerSpec::sgd(0.2),
+            ..TrainConfig::default()
+        };
+        let report = train_mlp(&mut model, &data, &config).unwrap();
+        assert!(report.final_loss() < report.epoch_losses[0]);
+        let acc = accuracy(&model, &data).unwrap();
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let data = blobs(64, 3);
+        let make = || {
+            let mut rng = Seed::new(9).derive("init").rng();
+            Mlp::new(vec![2, 4, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap()
+        };
+        let config = TrainConfig {
+            epochs: 5,
+            seed: 77,
+            ..TrainConfig::default()
+        };
+        let mut a = make();
+        let mut b = make();
+        train_mlp(&mut a, &data, &config).unwrap();
+        train_mlp(&mut b, &data, &config).unwrap();
+        assert_eq!(a.flat_params(), b.flat_params());
+    }
+
+    #[test]
+    fn different_seed_different_model() {
+        let data = blobs(64, 3);
+        let make = || {
+            let mut rng = Seed::new(9).derive("init").rng();
+            Mlp::new(vec![2, 4, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap()
+        };
+        let mut a = make();
+        let mut b = make();
+        train_mlp(&mut a, &data, &TrainConfig { epochs: 5, seed: 1, ..Default::default() }).unwrap();
+        train_mlp(&mut b, &data, &TrainConfig { epochs: 5, seed: 2, ..Default::default() }).unwrap();
+        assert_ne!(a.flat_params(), b.flat_params());
+    }
+
+    #[test]
+    fn checkpoints_are_collected() {
+        let data = blobs(32, 4);
+        let mut rng = Seed::new(5).derive("init").rng();
+        let mut model =
+            Mlp::new(vec![2, 4, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap();
+        let config = TrainConfig {
+            epochs: 6,
+            checkpoint_every: 2,
+            ..TrainConfig::default()
+        };
+        let report = train_mlp(&mut model, &data, &config).unwrap();
+        assert_eq!(report.checkpoints.len(), 3);
+        assert_eq!(report.checkpoints[0].len(), model.num_params());
+        // Final checkpoint equals final parameters.
+        assert_eq!(report.checkpoints[2], model.flat_params());
+    }
+
+    #[test]
+    fn metrics_on_empty_data() {
+        let mut rng = Seed::new(5).derive("init").rng();
+        let model =
+            Mlp::new(vec![2, 4, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap();
+        let empty = LabeledData::new(Matrix::zeros(0, 2), vec![]).unwrap();
+        assert_eq!(accuracy(&model, &empty).unwrap(), 0.0);
+        assert_eq!(mean_loss(&model, &empty, Loss::CrossEntropy).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn train_report_final_loss_empty() {
+        let r = TrainReport {
+            epoch_losses: vec![],
+            checkpoints: vec![],
+            steps: 0,
+        };
+        assert_eq!(r.final_loss(), 0.0);
+    }
+}

@@ -1,0 +1,207 @@
+//! Knowledge distillation: behaviour transfer without weight continuity.
+//!
+//! A fresh student is trained on the teacher's soft outputs over an
+//! (unlabelled) transfer set. Distilled children are the adversarial case
+//! for weight-based version recovery — their parameters share no lineage
+//! with the teacher even though their behaviour does — which is why the
+//! paper argues lakes need *both* intrinsic and extrinsic views (§2, §5).
+
+use crate::activation::Activation;
+use crate::grad::backprop_soft;
+use crate::loss::Loss;
+use crate::mlp::Mlp;
+use mlake_tensor::{init::Init, vector, Matrix, Seed};
+use serde::{Deserialize, Serialize};
+
+/// Distillation hyper-parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DistillConfig {
+    /// Student hidden sizes (input/output copied from the teacher).
+    pub student_hidden: Vec<usize>,
+    /// Student activation.
+    pub activation: Activation,
+    /// Softmax temperature applied to teacher logits.
+    pub temperature: f32,
+    /// Learning rate.
+    pub lr: f32,
+    /// Epochs over the transfer set.
+    pub epochs: usize,
+    /// Seed (fresh student init + shuffling).
+    pub seed: u64,
+}
+
+impl Default for DistillConfig {
+    fn default() -> Self {
+        DistillConfig {
+            student_hidden: vec![8],
+            activation: Activation::Relu,
+            temperature: 2.0,
+            lr: 0.1,
+            epochs: 40,
+            seed: 0,
+        }
+    }
+}
+
+/// Trains a fresh student to mimic `teacher` on `transfer_inputs`.
+pub fn distill_mlp(
+    teacher: &Mlp,
+    transfer_inputs: &Matrix,
+    config: &DistillConfig,
+) -> crate::Result<Mlp> {
+    let sizes = teacher.layer_sizes();
+    let input_dim = sizes[0];
+    let output_dim = *sizes.last().expect("validated at construction");
+    let mut layer_sizes = Vec::with_capacity(config.student_hidden.len() + 2);
+    layer_sizes.push(input_dim);
+    layer_sizes.extend_from_slice(&config.student_hidden);
+    layer_sizes.push(output_dim);
+
+    let seed = Seed::new(config.seed);
+    let mut init_rng = seed.derive("distill-init").rng();
+    let mut student = Mlp::new(layer_sizes, config.activation, Init::HeNormal, &mut init_rng)?;
+    let mut shuffle_rng = seed.derive("distill-shuffle").rng();
+
+    let temp = config.temperature.max(1e-3);
+    // Precompute tempered teacher targets.
+    let mut targets: Vec<Vec<f32>> = Vec::with_capacity(transfer_inputs.rows());
+    for row in transfer_inputs.rows_iter() {
+        let logits = teacher.forward(row)?;
+        let tempered: Vec<f32> = logits.iter().map(|&z| z / temp).collect();
+        targets.push(vector::softmax(&tempered));
+    }
+
+    let mut order: Vec<usize> = (0..transfer_inputs.rows()).collect();
+    for _ in 0..config.epochs {
+        shuffle_rng.shuffle(&mut order);
+        for &i in &order {
+            let (_, grads) = backprop_soft(
+                &student,
+                transfer_inputs.row(i),
+                &targets[i],
+                Loss::CrossEntropy,
+            )?;
+            let mut params = student.flat_params();
+            let flat = grads.flatten();
+            for (p, g) in params.iter_mut().zip(&flat) {
+                *p -= config.lr * g;
+            }
+            student.set_flat_params(&params)?;
+        }
+    }
+    Ok(student)
+}
+
+/// Mean total-variation distance between two classifiers' output
+/// distributions over a probe set — the behaviour-similarity measure used to
+/// verify distillation quality.
+pub fn behavioral_distance(a: &Mlp, b: &Mlp, probes: &Matrix) -> crate::Result<f32> {
+    if probes.rows() == 0 {
+        return Ok(0.0);
+    }
+    let mut acc = 0.0f64;
+    for row in probes.rows_iter() {
+        let pa = a.predict_probs(row)?;
+        let pb = b.predict_probs(row)?;
+        let tv: f32 = pa
+            .iter()
+            .zip(&pb)
+            .map(|(x, y)| (x - y).abs())
+            .sum::<f32>()
+            / 2.0;
+        acc += f64::from(tv);
+    }
+    Ok((acc / probes.rows() as f64) as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::LabeledData;
+    use crate::train::{train_mlp, TrainConfig};
+    use mlake_tensor::Pcg64;
+
+    fn teacher_and_probes() -> (Mlp, Matrix) {
+        let mut rng = Seed::new(31).derive("init").rng();
+        let mut teacher =
+            Mlp::new(vec![2, 10, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap();
+        // Train the teacher on two blobs.
+        let mut data_rng = Seed::new(32).derive("data").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..150 {
+            let class = i % 2;
+            let c = if class == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![c + data_rng.normal() * 0.5, c + data_rng.normal() * 0.5]);
+            labels.push(class);
+        }
+        let data = LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap();
+        train_mlp(&mut teacher, &data, &TrainConfig { epochs: 25, ..Default::default() }).unwrap();
+        (teacher, data.x)
+    }
+
+    #[test]
+    fn student_matches_teacher_behaviour_not_weights() {
+        let (teacher, probes) = teacher_and_probes();
+        let student = distill_mlp(
+            &teacher,
+            &probes,
+            &DistillConfig {
+                student_hidden: vec![6],
+                epochs: 40,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Behaviour close.
+        let dist = behavioral_distance(&teacher, &student, &probes).unwrap();
+        assert!(dist < 0.15, "behavioural distance {dist}");
+        // Architectures differ, so weight lineage is impossible by shape.
+        assert_ne!(teacher.architecture(), student.architecture());
+    }
+
+    #[test]
+    fn same_arch_student_still_has_unrelated_weights() {
+        let (teacher, probes) = teacher_and_probes();
+        let student = distill_mlp(
+            &teacher,
+            &probes,
+            &DistillConfig {
+                student_hidden: vec![10],
+                activation: Activation::Tanh,
+                epochs: 30,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(teacher.architecture(), student.architecture());
+        let cos = vector::cosine_similarity(&teacher.flat_params(), &student.flat_params());
+        assert!(cos.abs() < 0.5, "weight cosine {cos} too high for distillation");
+    }
+
+    #[test]
+    fn behavioral_distance_properties() {
+        let (teacher, probes) = teacher_and_probes();
+        assert_eq!(
+            behavioral_distance(&teacher, &teacher, &probes).unwrap(),
+            0.0
+        );
+        let empty = Matrix::zeros(0, 2);
+        assert_eq!(behavioral_distance(&teacher, &teacher, &empty).unwrap(), 0.0);
+        // Distance to an all-zero model (uniform output) is large because the
+        // trained teacher is confident on its own training inputs.
+        let mut rng = Pcg64::new(77);
+        let uniform = Mlp::new(vec![2, 10, 2], Activation::Tanh, Init::Zeros, &mut rng).unwrap();
+        let d = behavioral_distance(&teacher, &uniform, &probes).unwrap();
+        assert!(d > 0.1, "distance {d}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (teacher, probes) = teacher_and_probes();
+        let cfg = DistillConfig { epochs: 5, ..Default::default() };
+        let a = distill_mlp(&teacher, &probes, &cfg).unwrap();
+        let b = distill_mlp(&teacher, &probes, &cfg).unwrap();
+        assert_eq!(a.flat_params(), b.flat_params());
+    }
+}

@@ -1,0 +1,136 @@
+//! Targeted model editing — a rank-one weight surgery.
+//!
+//! Model editing (ROME/MEMIT-style, Meng et al.) updates a single association
+//! inside one layer without retraining. For a linear layer `W`, forcing the
+//! response to key direction `k` to become `v` is the rank-one update
+//! `W' = W + (v − W k) kᵀ / (kᵀ k)`, which leaves the response to any input
+//! orthogonal to `k` unchanged. The delta is exactly rank one and confined
+//! to one layer — the sharpest signature in the transform-classification
+//! taxonomy.
+
+use crate::mlp::Mlp;
+use mlake_tensor::{vector, Matrix, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Declarative description of an edit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EditSpec {
+    /// Which weight layer to edit.
+    pub layer: usize,
+    /// Key direction in the layer's input space.
+    pub key: Vec<f32>,
+    /// Desired pre-activation response `W' k + b = value + b`, i.e. the new
+    /// `W' k`.
+    pub value: Vec<f32>,
+}
+
+/// Applies a rank-one edit to a copy of `base`.
+pub fn edit_mlp(base: &Mlp, spec: &EditSpec) -> crate::Result<Mlp> {
+    if spec.layer >= base.num_layers() {
+        return Err(TensorError::OutOfBounds {
+            index: (spec.layer, 0),
+            shape: (base.num_layers(), 0),
+        });
+    }
+    let w = base.weight(spec.layer);
+    let (fan_out, fan_in) = w.shape();
+    if spec.key.len() != fan_in || spec.value.len() != fan_out {
+        return Err(TensorError::ShapeMismatch {
+            op: "edit_mlp",
+            lhs: (fan_out, fan_in),
+            rhs: (spec.value.len(), spec.key.len()),
+        });
+    }
+    let kk = vector::dot(&spec.key, &spec.key);
+    if kk <= 1e-12 {
+        return Err(TensorError::Numerical("edit key must be non-zero"));
+    }
+    // residual = v − W k
+    let wk = w.matvec(&spec.key)?;
+    let residual: Vec<f32> = spec.value.iter().zip(&wk).map(|(v, r)| v - r).collect();
+    // ΔW = residual ⊗ kᵀ / (kᵀk)
+    let delta = Matrix::from_fn(fan_out, fan_in, |r, c| residual[r] * spec.key[c] / kk);
+    let mut child = base.clone();
+    child.weight_mut(spec.layer).axpy(1.0, &delta)?;
+    Ok(child)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use mlake_tensor::{init::Init, linalg, Pcg64};
+
+    fn base() -> Mlp {
+        let mut rng = Pcg64::new(21);
+        Mlp::new(vec![3, 5, 2], Activation::Relu, Init::XavierNormal, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn edit_forces_target_response() {
+        let m = base();
+        let spec = EditSpec {
+            layer: 0,
+            key: vec![1.0, 0.5, -0.25],
+            value: vec![1.0, -1.0, 0.5, 0.0, 2.0],
+        };
+        let child = edit_mlp(&m, &spec).unwrap();
+        let response = child.weight(0).matvec(&spec.key).unwrap();
+        for (r, v) in response.iter().zip(&spec.value) {
+            assert!((r - v).abs() < 1e-4, "{response:?}");
+        }
+    }
+
+    #[test]
+    fn orthogonal_inputs_unchanged() {
+        let m = base();
+        let spec = EditSpec {
+            layer: 0,
+            key: vec![1.0, 0.0, 0.0],
+            value: vec![0.0; 5],
+        };
+        let child = edit_mlp(&m, &spec).unwrap();
+        // Input orthogonal to the key sees the original weights.
+        let orth = [0.0f32, 1.0, -2.0];
+        let before = m.weight(0).matvec(&orth).unwrap();
+        let after = child.weight(0).matvec(&orth).unwrap();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn delta_is_rank_one_and_confined() {
+        let m = base();
+        let spec = EditSpec {
+            layer: 0,
+            key: vec![0.3, -0.7, 1.1],
+            value: vec![0.5, 0.5, -0.5, 1.0, 0.0],
+        };
+        let child = edit_mlp(&m, &spec).unwrap();
+        let delta = child.weight(0).sub(m.weight(0)).unwrap();
+        assert_eq!(linalg::effective_rank(&delta, 0.02).unwrap(), 1);
+        assert_eq!(m.weight(1), child.weight(1));
+        assert_eq!(m.bias(0), child.bias(0));
+    }
+
+    #[test]
+    fn validation() {
+        let m = base();
+        assert!(edit_mlp(
+            &m,
+            &EditSpec { layer: 9, key: vec![1.0; 3], value: vec![0.0; 5] }
+        )
+        .is_err());
+        assert!(edit_mlp(
+            &m,
+            &EditSpec { layer: 0, key: vec![1.0; 2], value: vec![0.0; 5] }
+        )
+        .is_err());
+        assert!(edit_mlp(
+            &m,
+            &EditSpec { layer: 0, key: vec![0.0; 3], value: vec![0.0; 5] }
+        )
+        .is_err());
+    }
+}

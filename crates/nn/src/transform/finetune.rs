@@ -1,0 +1,108 @@
+//! Full-parameter fine-tuning for both model families.
+
+use crate::data::LabeledData;
+use crate::lm::NgramLm;
+use crate::mlp::Mlp;
+use crate::train::{train_mlp, TrainConfig, TrainReport};
+
+/// Fine-tunes a copy of `base` on `data`, returning the child model and the
+/// training report. The parent is untouched — lake derivations never mutate
+/// stored artifacts.
+pub fn finetune_mlp(
+    base: &Mlp,
+    data: &LabeledData,
+    config: &TrainConfig,
+) -> crate::Result<(Mlp, TrainReport)> {
+    let mut child = base.clone();
+    let report = train_mlp(&mut child, data, config)?;
+    Ok((child, report))
+}
+
+/// Fine-tunes a copy of an n-gram LM by accumulating counts from a further
+/// corpus. `weight > 1` emphasises the new domain, matching practice where
+/// fine-tuning corpora are up-weighted relative to pre-training mass.
+pub fn finetune_lm(base: &NgramLm, corpus: &[usize], weight: f64) -> crate::Result<NgramLm> {
+    let mut child = base.clone();
+    child.add_counts(corpus, weight)?;
+    Ok(child)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::train::accuracy;
+    use mlake_tensor::{init::Init, vector, Matrix, Seed};
+
+    fn blobs(center: f32, n: usize, seed: u64) -> LabeledData {
+        let mut rng = Seed::new(seed).derive("ft-blobs").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let c = if class == 0 { -center } else { center };
+            rows.push(vec![c + rng.normal() * 0.4, c + rng.normal() * 0.4]);
+            labels.push(class);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn finetune_improves_on_new_domain_and_keeps_parent_intact() {
+        let pretrain = blobs(2.0, 128, 1);
+        let mut rng = Seed::new(2).derive("init").rng();
+        let mut base =
+            Mlp::new(vec![2, 8, 2], Activation::Relu, Init::HeNormal, &mut rng).unwrap();
+        train_mlp(&mut base, &pretrain, &TrainConfig { epochs: 20, ..Default::default() }).unwrap();
+
+        // New domain: labels flipped relative to pre-training.
+        let mut target = blobs(2.0, 128, 5);
+        for y in &mut target.y {
+            *y = 1 - *y;
+        }
+        let before = accuracy(&base, &target).unwrap();
+        let parent_params = base.flat_params();
+        let (child, report) =
+            finetune_mlp(&base, &target, &TrainConfig { epochs: 25, ..Default::default() })
+                .unwrap();
+        let after = accuracy(&child, &target).unwrap();
+        assert!(after > before, "{after} !> {before}");
+        assert!(report.steps > 0);
+        // Parent untouched.
+        assert_eq!(base.flat_params(), parent_params);
+    }
+
+    #[test]
+    fn finetune_delta_is_dense() {
+        let pretrain = blobs(2.0, 64, 3);
+        let mut rng = Seed::new(4).derive("init").rng();
+        let mut base =
+            Mlp::new(vec![2, 8, 2], Activation::Relu, Init::HeNormal, &mut rng).unwrap();
+        train_mlp(&mut base, &pretrain, &TrainConfig { epochs: 10, ..Default::default() }).unwrap();
+        let (child, _) =
+            finetune_mlp(&base, &blobs(1.0, 64, 7), &TrainConfig { epochs: 5, ..Default::default() })
+                .unwrap();
+        let delta: Vec<f32> = child
+            .flat_params()
+            .iter()
+            .zip(base.flat_params())
+            .map(|(c, b)| c - b)
+            .collect();
+        let nonzero = delta.iter().filter(|d| d.abs() > 1e-8).count();
+        // Fine-tuning touches (almost) every parameter.
+        assert!(nonzero as f32 / delta.len() as f32 > 0.9);
+        assert!(vector::l2_norm(&delta) > 0.0);
+    }
+
+    #[test]
+    fn lm_finetune_shifts_but_preserves_parent() {
+        let mut base = NgramLm::new(4, 2, 0.1).unwrap();
+        base.add_counts(&(0..40).map(|i| i % 4).collect::<Vec<_>>(), 1.0)
+            .unwrap();
+        let snapshot = base.clone();
+        let corpus: Vec<usize> = (0..40).map(|i| if i % 2 == 0 { 1 } else { 3 }).collect();
+        let child = finetune_lm(&base, &corpus, 3.0).unwrap();
+        assert!(child.prob(&[1], 3).unwrap() > base.prob(&[1], 3).unwrap());
+        assert_eq!(base, snapshot);
+    }
+}

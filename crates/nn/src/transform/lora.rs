@@ -1,0 +1,267 @@
+//! Low-Rank Adaptation (LoRA, Hu et al. 2022) for MLPs.
+//!
+//! LoRA freezes the base weights and learns a rank-`r` update
+//! `ΔW = (α/r) · B A` on one layer; merging produces a child whose weight
+//! delta on that layer has rank ≤ `r` and whose other layers are bitwise
+//! identical to the parent — the signature `mlake-versioning` detects.
+
+use crate::data::LabeledData;
+use crate::grad::backprop;
+use crate::loss::Loss;
+use crate::mlp::Mlp;
+use mlake_tensor::{init::Init, Matrix, Pcg64, Seed, TensorError};
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of a LoRA run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoraConfig {
+    /// Which weight layer carries the adapter.
+    pub layer: usize,
+    /// Adapter rank.
+    pub rank: usize,
+    /// Scaling numerator; the effective update is `(alpha / rank) · B A`.
+    pub alpha: f32,
+    /// Adapter learning rate.
+    pub lr: f32,
+    /// Training epochs.
+    pub epochs: usize,
+    /// Shuffle/init seed.
+    pub seed: u64,
+}
+
+impl Default for LoraConfig {
+    fn default() -> Self {
+        LoraConfig {
+            layer: 0,
+            rank: 2,
+            alpha: 2.0,
+            lr: 0.1,
+            epochs: 20,
+            seed: 0,
+        }
+    }
+}
+
+/// Per-step gradient-norm ceiling for adapter updates.
+const GRAD_CLIP: f32 = 5.0;
+
+/// A trained adapter pair, storable separately from the base model
+/// (parameter-efficient sharing, as on model hubs).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LoraAdapter {
+    /// Target layer.
+    pub layer: usize,
+    /// `B`: `(fan_out, rank)`.
+    pub b: Matrix,
+    /// `A`: `(rank, fan_in)`.
+    pub a: Matrix,
+    /// Effective scale `alpha / rank`.
+    pub scale: f32,
+}
+
+impl LoraAdapter {
+    /// The dense update `scale · B A` this adapter represents.
+    pub fn delta(&self) -> crate::Result<Matrix> {
+        Ok(self.b.matmul(&self.a)?.scale(self.scale))
+    }
+
+    /// Merges the adapter into a copy of `base`.
+    pub fn merge_into(&self, base: &Mlp) -> crate::Result<Mlp> {
+        if self.layer >= base.num_layers() {
+            return Err(TensorError::OutOfBounds {
+                index: (self.layer, 0),
+                shape: (base.num_layers(), 0),
+            });
+        }
+        let mut child = base.clone();
+        let delta = self.delta()?;
+        child.weight_mut(self.layer).axpy(1.0, &delta)?;
+        Ok(child)
+    }
+
+    /// Number of trainable parameters in the adapter.
+    pub fn num_params(&self) -> usize {
+        self.a.len() + self.b.len()
+    }
+}
+
+/// Trains a LoRA adapter on `data` against a *frozen* copy of `base`, then
+/// merges it. Returns `(child, adapter)`.
+///
+/// Gradient derivation: with `W_eff = W + s·B A`, backprop through the model
+/// at `W_eff` yields `∂L/∂W_eff = G`; then `∂L/∂B = s·G Aᵀ` and
+/// `∂L/∂A = s·Bᵀ G`. We realise this by materialising `W_eff` each step
+/// (layers are small) and reading `G` for the target layer.
+pub fn lora_finetune(
+    base: &Mlp,
+    data: &LabeledData,
+    config: &LoraConfig,
+) -> crate::Result<(Mlp, LoraAdapter)> {
+    if config.layer >= base.num_layers() {
+        return Err(TensorError::OutOfBounds {
+            index: (config.layer, 0),
+            shape: (base.num_layers(), 0),
+        });
+    }
+    if config.rank == 0 {
+        return Err(TensorError::Empty("lora rank"));
+    }
+    let (fan_out, fan_in) = base.weight(config.layer).shape();
+    let rank = config.rank.min(fan_in).min(fan_out);
+    let scale = config.alpha / rank as f32;
+    let seed = Seed::new(config.seed);
+    let mut init_rng: Pcg64 = seed.derive("lora-init").rng();
+    // Standard LoRA init: A ~ N(0, σ), B = 0 so the adapter starts as a no-op.
+    let mut a = Init::normal(0.1).matrix(rank, fan_in, &mut init_rng);
+    let mut b = Matrix::zeros(fan_out, rank);
+    let mut shuffle_rng: Pcg64 = seed.derive("lora-shuffle").rng();
+
+    let mut work = base.clone();
+    for _ in 0..config.epochs {
+        let order = data.epoch_order(&mut shuffle_rng);
+        for &i in &order {
+            // W_eff = W + s·B A.
+            let delta = b.matmul(&a)?.scale(scale);
+            let mut w_eff = base.weight(config.layer).clone();
+            w_eff.axpy(1.0, &delta)?;
+            *work.weight_mut(config.layer) = w_eff;
+
+            let (_, grads) = backprop(&work, data.x.row(i), data.y[i], Loss::CrossEntropy)?;
+            let g = &grads.d_weights[config.layer];
+            // ∂L/∂B = s · G Aᵀ ; ∂L/∂A = s · Bᵀ G.
+            let mut db = g.matmul(&a.transpose())?.scale(scale);
+            let mut da = b.transpose().matmul(g)?.scale(scale);
+            // Per-step norm clipping: the multiplicative B·A parameterisation
+            // can blow up under per-sample SGD; clipping keeps every adapter
+            // run finite without touching well-behaved ones.
+            for m in [&mut db, &mut da] {
+                let n = m.frobenius_norm();
+                if n > GRAD_CLIP {
+                    m.scale_mut(GRAD_CLIP / n);
+                }
+            }
+            b.axpy(-config.lr, &db)?;
+            a.axpy(-config.lr, &da)?;
+        }
+    }
+    let adapter = LoraAdapter {
+        layer: config.layer,
+        b,
+        a,
+        scale,
+    };
+    let child = adapter.merge_into(base)?;
+    Ok((child, adapter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use crate::train::{accuracy, train_mlp, TrainConfig};
+    use mlake_tensor::linalg;
+
+    fn blobs(n: usize, seed: u64, flip: bool) -> LabeledData {
+        let mut rng = Seed::new(seed).derive("lora-blobs").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let class = i % 2;
+            let c = if class == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![c + rng.normal() * 0.4, c + rng.normal() * 0.4]);
+            labels.push(if flip { 1 - class } else { class });
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    fn trained_base() -> Mlp {
+        let mut rng = Seed::new(11).derive("init").rng();
+        let mut base =
+            Mlp::new(vec![2, 8, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap();
+        train_mlp(&mut base, &blobs(128, 1, false), &TrainConfig { epochs: 20, ..Default::default() })
+            .unwrap();
+        base
+    }
+
+    #[test]
+    fn lora_adapts_to_flipped_labels() {
+        let base = trained_base();
+        let target = blobs(128, 9, true);
+        let before = accuracy(&base, &target).unwrap();
+        let (child, adapter) = lora_finetune(
+            &base,
+            &target,
+            &LoraConfig {
+                layer: 1,
+                rank: 2,
+                epochs: 30,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let after = accuracy(&child, &target).unwrap();
+        assert!(after > before + 0.2, "{after} !> {before}");
+        assert!(adapter.num_params() < base.num_params());
+    }
+
+    #[test]
+    fn delta_is_low_rank_and_confined() {
+        let base = trained_base();
+        let (child, adapter) = lora_finetune(
+            &base,
+            &blobs(64, 3, true),
+            &LoraConfig {
+                layer: 0,
+                rank: 1,
+                epochs: 10,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Untouched layers are bitwise identical.
+        assert_eq!(base.weight(1), child.weight(1));
+        assert_eq!(base.bias(0), child.bias(0));
+        // Target layer delta has rank <= 1.
+        let delta = child.weight(0).sub(base.weight(0)).unwrap();
+        let rank = linalg::effective_rank(&delta, 0.05).unwrap();
+        assert!(rank <= 1, "rank {rank}");
+        // Adapter delta equals the realised delta.
+        let ad = adapter.delta().unwrap();
+        for (x, y) in ad.as_slice().iter().zip(delta.as_slice()) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn config_validation() {
+        let base = trained_base();
+        let data = blobs(16, 5, false);
+        assert!(lora_finetune(&base, &data, &LoraConfig { layer: 7, ..Default::default() }).is_err());
+        assert!(lora_finetune(&base, &data, &LoraConfig { rank: 0, ..Default::default() }).is_err());
+    }
+
+    #[test]
+    fn merge_into_rejects_bad_layer() {
+        let base = trained_base();
+        let adapter = LoraAdapter {
+            layer: 9,
+            b: Matrix::zeros(2, 1),
+            a: Matrix::zeros(1, 2),
+            scale: 1.0,
+        };
+        assert!(adapter.merge_into(&base).is_err());
+    }
+
+    #[test]
+    fn zero_adapter_is_identity_merge() {
+        let base = trained_base();
+        let adapter = LoraAdapter {
+            layer: 0,
+            b: Matrix::zeros(8, 2),
+            a: Matrix::zeros(2, 2),
+            scale: 1.0,
+        };
+        let child = adapter.merge_into(&base).unwrap();
+        assert_eq!(base, child);
+    }
+}

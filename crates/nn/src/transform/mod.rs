@@ -1,0 +1,128 @@
+//! Model derivation operators — how versions come to exist.
+//!
+//! §4 of the paper ("Model Versions") catalogues the ways new model versions
+//! are derived from base models: fine-tuning, parameter-efficient tuning
+//! (LoRA), model editing, preference-style behaviour transfer, and model
+//! stitching. This module implements each operator so that the benchmark
+//! lake contains *real* derivations whose weight-delta signatures match the
+//! phenomena version-recovery research keys on:
+//!
+//! | operator | delta signature |
+//! |----------|-----------------|
+//! | fine-tune | dense, small-magnitude, full-rank |
+//! | LoRA      | confined to one layer, **low rank** |
+//! | edit      | confined to one layer, **rank one** |
+//! | distill   | fresh weights, near-zero weight similarity, high behaviour similarity |
+//! | stitch    | per-layer mixture of two parents |
+//! | prune     | sparse zero pattern |
+//! | quantize  | lattice-valued weights |
+
+pub mod distill;
+pub mod edit;
+pub mod finetune;
+pub mod lora;
+pub mod prune;
+pub mod quantize;
+pub mod stitch;
+
+pub use distill::distill_mlp;
+pub use edit::{edit_mlp, EditSpec};
+pub use finetune::{finetune_lm, finetune_mlp};
+pub use lora::{lora_finetune, LoraAdapter, LoraConfig};
+pub use prune::prune_mlp;
+pub use quantize::quantize_mlp;
+pub use stitch::stitch_mlp;
+
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth (and predicted) derivation label.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TransformKind {
+    /// Full-parameter fine-tuning on further data.
+    FineTune,
+    /// Low-rank adapter fine-tuning, merged into one layer.
+    Lora,
+    /// Targeted rank-one fact edit.
+    Edit,
+    /// Knowledge distillation into a fresh student.
+    Distill,
+    /// Layer stitching of two parents.
+    Stitch,
+    /// Magnitude pruning.
+    Prune,
+    /// Weight quantisation.
+    Quantize,
+}
+
+impl TransformKind {
+    /// Stable lower-case name (used in metadata and query predicates).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransformKind::FineTune => "finetune",
+            TransformKind::Lora => "lora",
+            TransformKind::Edit => "edit",
+            TransformKind::Distill => "distill",
+            TransformKind::Stitch => "stitch",
+            TransformKind::Prune => "prune",
+            TransformKind::Quantize => "quantize",
+        }
+    }
+
+    /// Parses [`name`](Self::name).
+    pub fn parse(s: &str) -> Option<TransformKind> {
+        match s {
+            "finetune" => Some(TransformKind::FineTune),
+            "lora" => Some(TransformKind::Lora),
+            "edit" => Some(TransformKind::Edit),
+            "distill" => Some(TransformKind::Distill),
+            "stitch" => Some(TransformKind::Stitch),
+            "prune" => Some(TransformKind::Prune),
+            "quantize" => Some(TransformKind::Quantize),
+            _ => None,
+        }
+    }
+
+    /// All variants, for sweeps and classifiers.
+    pub const ALL: [TransformKind; 7] = [
+        TransformKind::FineTune,
+        TransformKind::Lora,
+        TransformKind::Edit,
+        TransformKind::Distill,
+        TransformKind::Stitch,
+        TransformKind::Prune,
+        TransformKind::Quantize,
+    ];
+
+    /// Whether the child shares weight continuity with its parent (distilled
+    /// students do not — they only inherit behaviour).
+    pub fn preserves_weights(self) -> bool {
+        !matches!(self, TransformKind::Distill)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_round_trip() {
+        for k in TransformKind::ALL {
+            assert_eq!(TransformKind::parse(k.name()), Some(k));
+        }
+        assert_eq!(TransformKind::parse("mystery"), None);
+    }
+
+    #[test]
+    fn distill_breaks_weight_continuity() {
+        assert!(!TransformKind::Distill.preserves_weights());
+        assert!(TransformKind::FineTune.preserves_weights());
+        assert!(TransformKind::Lora.preserves_weights());
+    }
+
+    #[test]
+    fn all_is_exhaustive_and_unique() {
+        let names: std::collections::HashSet<_> =
+            TransformKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), 7);
+    }
+}

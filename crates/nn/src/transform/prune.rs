@@ -1,0 +1,111 @@
+//! Magnitude pruning: zero the smallest-magnitude fraction of weights.
+
+use crate::mlp::Mlp;
+use mlake_tensor::TensorError;
+
+/// Returns a copy of `base` with the `fraction` smallest-|w| weights zeroed
+/// (biases untouched). `fraction` must lie in `[0, 1]`.
+pub fn prune_mlp(base: &Mlp, fraction: f32) -> crate::Result<Mlp> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(TensorError::Numerical("prune fraction outside [0, 1]"));
+    }
+    // Collect all weight magnitudes to find the global threshold.
+    let mut magnitudes: Vec<f32> = Vec::new();
+    for l in 0..base.num_layers() {
+        magnitudes.extend(base.weight(l).as_slice().iter().map(|w| w.abs()));
+    }
+    if magnitudes.is_empty() || fraction == 0.0 {
+        return Ok(base.clone());
+    }
+    magnitudes.sort_by(f32::total_cmp);
+    let cut = ((magnitudes.len() as f32 * fraction) as usize).min(magnitudes.len() - 1);
+    let threshold = magnitudes[cut];
+
+    let mut child = base.clone();
+    for l in 0..child.num_layers() {
+        for w in child.weight_mut(l).as_mut_slice() {
+            if w.abs() < threshold {
+                *w = 0.0;
+            }
+        }
+    }
+    Ok(child)
+}
+
+/// Fraction of exactly-zero weights (sparsity) across all layers.
+pub fn sparsity(model: &Mlp) -> f32 {
+    let mut zeros = 0usize;
+    let mut total = 0usize;
+    for l in 0..model.num_layers() {
+        let s = model.weight(l).as_slice();
+        zeros += s.iter().filter(|&&w| w == 0.0).count();
+        total += s.len();
+    }
+    if total == 0 {
+        0.0
+    } else {
+        zeros as f32 / total as f32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use mlake_tensor::{init::Init, Pcg64};
+
+    fn base() -> Mlp {
+        let mut rng = Pcg64::new(41);
+        Mlp::new(vec![4, 10, 3], Activation::Relu, Init::XavierNormal, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn prune_reaches_target_sparsity() {
+        let m = base();
+        let child = prune_mlp(&m, 0.5).unwrap();
+        let s = sparsity(&child);
+        assert!((s - 0.5).abs() < 0.1, "sparsity {s}");
+        // Parent untouched.
+        assert!(sparsity(&m) < 0.05);
+    }
+
+    #[test]
+    fn prune_keeps_large_weights() {
+        let m = base();
+        let child = prune_mlp(&m, 0.3).unwrap();
+        // The largest-magnitude weight must survive.
+        let max_before = m
+            .weight(0)
+            .as_slice()
+            .iter()
+            .chain(m.weight(1).as_slice())
+            .fold(0.0f32, |a, &w| a.max(w.abs()));
+        let max_after = child
+            .weight(0)
+            .as_slice()
+            .iter()
+            .chain(child.weight(1).as_slice())
+            .fold(0.0f32, |a, &w| a.max(w.abs()));
+        assert_eq!(max_before, max_after);
+    }
+
+    #[test]
+    fn zero_fraction_is_identity() {
+        let m = base();
+        assert_eq!(prune_mlp(&m, 0.0).unwrap(), m);
+    }
+
+    #[test]
+    fn fraction_validated() {
+        let m = base();
+        assert!(prune_mlp(&m, -0.1).is_err());
+        assert!(prune_mlp(&m, 1.5).is_err());
+    }
+
+    #[test]
+    fn full_prune_keeps_only_top() {
+        let m = base();
+        let child = prune_mlp(&m, 1.0).unwrap();
+        assert!(sparsity(&child) > 0.9);
+    }
+}

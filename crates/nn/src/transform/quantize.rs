@@ -1,0 +1,114 @@
+//! Simulated uniform weight quantisation.
+//!
+//! Quantised re-uploads are a common hub phenomenon (GGUF/INT8 variants of
+//! popular checkpoints); they are near-duplicates of their parent with a
+//! characteristic lattice-valued weight distribution.
+
+use crate::mlp::Mlp;
+use mlake_tensor::TensorError;
+
+/// Returns a copy of `base` with every weight and bias rounded to a
+/// symmetric uniform grid of `bits` (2..=16) per tensor, scaled by each
+/// tensor's max magnitude.
+pub fn quantize_mlp(base: &Mlp, bits: u32) -> crate::Result<Mlp> {
+    if !(2..=16).contains(&bits) {
+        return Err(TensorError::Numerical("quantize bits outside 2..=16"));
+    }
+    let levels = (1i64 << (bits - 1)) - 1; // symmetric signed grid
+    let mut child = base.clone();
+    for l in 0..child.num_layers() {
+        quantize_slice(child.weight_mut(l).as_mut_slice(), levels);
+        quantize_slice(child.bias_mut(l).as_mut_slice(), levels);
+    }
+    Ok(child)
+}
+
+fn quantize_slice(xs: &mut [f32], levels: i64) {
+    let max = xs.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+    if max == 0.0 {
+        return;
+    }
+    let scale = max / levels as f32;
+    for x in xs {
+        let q = (*x / scale).round().clamp(-(levels as f32), levels as f32);
+        *x = q * scale;
+    }
+}
+
+/// Counts distinct weight values in layer `l` — quantised layers have at
+/// most `2^bits` of them, a fingerprintable property.
+pub fn distinct_values(model: &Mlp, layer: usize) -> usize {
+    let mut vals: Vec<u32> = model
+        .weight(layer)
+        .as_slice()
+        .iter()
+        .map(|w| w.to_bits())
+        .collect();
+    vals.sort_unstable();
+    vals.dedup();
+    vals.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use mlake_tensor::{init::Init, Pcg64};
+
+    fn base() -> Mlp {
+        let mut rng = Pcg64::new(51);
+        Mlp::new(vec![6, 20, 4], Activation::Relu, Init::XavierNormal, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn quantized_values_are_few() {
+        let m = base();
+        let q = quantize_mlp(&m, 4).unwrap();
+        // 4 bits => at most 2*7+1 = 15 distinct values per tensor.
+        assert!(distinct_values(&q, 0) <= 15);
+        assert!(distinct_values(&m, 0) > 50);
+    }
+
+    #[test]
+    fn quantization_error_shrinks_with_bits() {
+        let m = base();
+        let q4 = quantize_mlp(&m, 4).unwrap();
+        let q8 = quantize_mlp(&m, 8).unwrap();
+        let err = |q: &Mlp| -> f32 {
+            m.flat_params()
+                .iter()
+                .zip(q.flat_params())
+                .map(|(a, b)| (a - b).abs())
+                .sum()
+        };
+        assert!(err(&q8) < err(&q4));
+        assert!(err(&q8) > 0.0);
+    }
+
+    #[test]
+    fn bits_validated() {
+        let m = base();
+        assert!(quantize_mlp(&m, 1).is_err());
+        assert!(quantize_mlp(&m, 17).is_err());
+    }
+
+    #[test]
+    fn zero_tensor_survives() {
+        let mut m = base();
+        m.weight_mut(0).scale_mut(0.0);
+        let q = quantize_mlp(&m, 4).unwrap();
+        assert!(q.weight(0).as_slice().iter().all(|&w| w == 0.0));
+    }
+
+    #[test]
+    fn behaviour_approximately_preserved_at_high_bits() {
+        let m = base();
+        let q = quantize_mlp(&m, 12).unwrap();
+        let input = vec![0.3f32; 6];
+        let a = m.predict_probs(&input).unwrap();
+        let b = q.predict_probs(&input).unwrap();
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 0.02);
+        }
+    }
+}

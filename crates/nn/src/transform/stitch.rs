@@ -1,0 +1,89 @@
+//! Model stitching: composing layers from two parents (Lenc & Vedaldi 2015).
+//!
+//! A stitched child takes layers `[0, cut)` from parent `a` and layers
+//! `[cut, L)` from parent `b`. Both parents must share an architecture.
+//! Stitched models have *two* parents — the case the paper singles out as
+//! hard for version recovery ("similar models with multiple shared parent
+//! models need to be distinguished", §5 Weight-Space Modeling).
+
+use crate::mlp::Mlp;
+use mlake_tensor::TensorError;
+
+/// Builds a stitched child from two architecture-compatible parents.
+/// `cut` is the number of leading weight layers taken from `a`
+/// (`0 < cut < num_layers` so both parents genuinely contribute).
+pub fn stitch_mlp(a: &Mlp, b: &Mlp, cut: usize) -> crate::Result<Mlp> {
+    if a.architecture() != b.architecture() {
+        return Err(TensorError::ShapeMismatch {
+            op: "stitch_mlp",
+            lhs: (a.num_layers(), 0),
+            rhs: (b.num_layers(), 0),
+        });
+    }
+    if cut == 0 || cut >= a.num_layers() {
+        return Err(TensorError::OutOfBounds {
+            index: (cut, 0),
+            shape: (a.num_layers(), 0),
+        });
+    }
+    let mut weights = Vec::with_capacity(a.num_layers());
+    let mut biases = Vec::with_capacity(a.num_layers());
+    for l in 0..a.num_layers() {
+        let src = if l < cut { a } else { b };
+        weights.push(src.weight(l).clone());
+        biases.push(src.bias(l).to_vec());
+    }
+    Mlp::from_parts(a.layer_sizes().to_vec(), a.activation(), weights, biases)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Activation;
+    use mlake_tensor::{init::Init, Pcg64};
+
+    fn parents() -> (Mlp, Mlp) {
+        let mut r1 = Pcg64::new(1);
+        let mut r2 = Pcg64::new(2);
+        let a = Mlp::new(vec![3, 6, 4, 2], Activation::Relu, Init::HeNormal, &mut r1).unwrap();
+        let b = Mlp::new(vec![3, 6, 4, 2], Activation::Relu, Init::HeNormal, &mut r2).unwrap();
+        (a, b)
+    }
+
+    #[test]
+    fn child_mixes_parent_layers() {
+        let (a, b) = parents();
+        let child = stitch_mlp(&a, &b, 2).unwrap();
+        assert_eq!(child.weight(0), a.weight(0));
+        assert_eq!(child.weight(1), a.weight(1));
+        assert_eq!(child.weight(2), b.weight(2));
+        assert_eq!(child.bias(2), b.bias(2));
+        assert_eq!(child.architecture(), a.architecture());
+    }
+
+    #[test]
+    fn cut_bounds_enforced() {
+        let (a, b) = parents();
+        assert!(stitch_mlp(&a, &b, 0).is_err());
+        assert!(stitch_mlp(&a, &b, 3).is_err());
+        assert!(stitch_mlp(&a, &b, 1).is_ok());
+    }
+
+    #[test]
+    fn incompatible_architectures_rejected() {
+        let (a, _) = parents();
+        let mut rng = Pcg64::new(3);
+        let other = Mlp::new(vec![3, 5, 2], Activation::Relu, Init::HeNormal, &mut rng).unwrap();
+        assert!(stitch_mlp(&a, &other, 1).is_err());
+        let diff_act =
+            Mlp::new(vec![3, 6, 4, 2], Activation::Tanh, Init::HeNormal, &mut rng).unwrap();
+        assert!(stitch_mlp(&a, &diff_act, 1).is_err());
+    }
+
+    #[test]
+    fn stitching_same_parent_is_identity() {
+        let (a, _) = parents();
+        let child = stitch_mlp(&a, &a, 1).unwrap();
+        assert_eq!(child, a);
+    }
+}

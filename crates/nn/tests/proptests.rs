@@ -1,0 +1,154 @@
+//! Property-based invariants for models, losses and transforms.
+
+use mlake_nn::transform::{prune::prune_mlp, quantize::quantize_mlp, stitch::stitch_mlp};
+use mlake_nn::{Activation, Loss, Mlp, Model, NgramLm};
+use mlake_tensor::{init::Init, vector, Pcg64};
+use proptest::prelude::*;
+
+fn arb_mlp() -> impl Strategy<Value = Mlp> {
+    (1usize..4, 2usize..6, 2usize..4, any::<u64>()).prop_map(|(din, hidden, classes, seed)| {
+        let mut rng = Pcg64::new(seed);
+        Mlp::new(
+            vec![din, hidden, classes],
+            Activation::Tanh,
+            Init::XavierNormal,
+            &mut rng,
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #[test]
+    fn flat_params_round_trip(m in arb_mlp()) {
+        let params = m.flat_params();
+        prop_assert_eq!(params.len(), m.num_params());
+        let mut m2 = m.clone();
+        m2.set_flat_params(&params).unwrap();
+        prop_assert_eq!(m, m2);
+    }
+
+    #[test]
+    fn predict_probs_is_distribution(m in arb_mlp(), x in proptest::collection::vec(-3.0f32..3.0, 1..4)) {
+        if x.len() == m.layer_sizes()[0] {
+            let p = m.predict_probs(&x).unwrap();
+            let total: f32 = p.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+            prop_assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn loss_nonnegative_ce(logits in proptest::collection::vec(-20.0f32..20.0, 2..6)) {
+        for target in 0..logits.len() {
+            prop_assert!(Loss::CrossEntropy.value(&logits, target) >= -1e-5);
+            prop_assert!(Loss::MseOneHot.value(&logits, target) >= 0.0);
+        }
+    }
+
+    #[test]
+    fn ce_gradient_sums_to_zero(logits in proptest::collection::vec(-10.0f32..10.0, 2..6)) {
+        // Softmax CE gradient components sum to zero (shift invariance).
+        let g = Loss::CrossEntropy.grad(&logits, 0);
+        let total: f32 = g.iter().sum();
+        prop_assert!(total.abs() < 1e-4, "sum {total}");
+    }
+
+    #[test]
+    fn prune_is_monotone_in_fraction(m in arb_mlp(), f1 in 0.0f32..0.5, f2 in 0.5f32..1.0) {
+        let zeros = |m: &Mlp| -> usize {
+            (0..m.num_layers())
+                .flat_map(|l| m.weight(l).as_slice().iter())
+                .filter(|&&w| w == 0.0)
+                .count()
+        };
+        let p1 = prune_mlp(&m, f1).unwrap();
+        let p2 = prune_mlp(&m, f2).unwrap();
+        prop_assert!(zeros(&p2) >= zeros(&p1));
+        // Pruning is idempotent at the same fraction.
+        let p1b = prune_mlp(&p1, f1).unwrap();
+        prop_assert!(zeros(&p1b) >= zeros(&p1));
+    }
+
+    #[test]
+    fn quantize_is_idempotent(m in arb_mlp(), bits in 3u32..9) {
+        let q1 = quantize_mlp(&m, bits).unwrap();
+        let q2 = quantize_mlp(&q1, bits).unwrap();
+        for (a, b) in q1.flat_params().iter().zip(q2.flat_params()) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn stitch_cut_boundaries(a in arb_mlp(), seed in any::<u64>()) {
+        let mut rng = Pcg64::new(seed);
+        let b = Mlp::new(
+            a.layer_sizes().to_vec(),
+            a.activation(),
+            Init::XavierNormal,
+            &mut rng,
+        )
+        .unwrap();
+        for cut in 1..a.num_layers() {
+            let child = stitch_mlp(&a, &b, cut).unwrap();
+            for l in 0..a.num_layers() {
+                let src = if l < cut { &a } else { &b };
+                prop_assert_eq!(child.weight(l), src.weight(l));
+            }
+        }
+    }
+
+    #[test]
+    fn ngram_dist_normalised_after_updates(tokens in proptest::collection::vec(0usize..6, 1..100), w in 0.5f64..4.0) {
+        let mut lm = NgramLm::new(6, 2, 0.1).unwrap();
+        lm.add_counts(&tokens, w).unwrap();
+        for ctx in 0..6 {
+            let d = lm.next_dist(&[ctx]).unwrap();
+            let total: f32 = d.iter().sum();
+            prop_assert!((total - 1.0).abs() < 1e-4);
+        }
+        // Perplexity of the training text is finite and >= 1.
+        let ppl = lm.perplexity(&tokens).unwrap();
+        prop_assert!(ppl.is_finite() && ppl >= 0.99, "ppl {ppl}");
+    }
+
+    #[test]
+    fn artifact_codec_round_trips(m in arb_mlp()) {
+        let model = Model::Mlp(m);
+        let bytes = model.to_bytes();
+        let back = Model::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(model, back);
+    }
+
+    #[test]
+    fn lm_edit_hits_requested_probability(ctx in 0usize..6, tok in 0usize..6, p in 0.1f32..0.9) {
+        let mut lm = NgramLm::new(6, 2, 0.1).unwrap();
+        // Cover two distinct cycles so every context row carries mass on at
+        // least two tokens; otherwise Laplace smoothing bounds how far an
+        // edit can push a probability *down* (documented in `NgramLm::edit`).
+        lm.add_counts(&(0..60).map(|i| i % 6).collect::<Vec<_>>(), 1.0).unwrap();
+        lm.add_counts(&(0..60).map(|i| (i * 5) % 6).collect::<Vec<_>>(), 1.0).unwrap();
+        lm.edit(&[ctx], tok, p).unwrap();
+        let got = lm.prob(&[ctx], tok).unwrap();
+        prop_assert!((got - p).abs() < 0.02, "requested {p}, got {got}");
+    }
+
+    #[test]
+    fn behavioral_distance_is_metric_like(m in arb_mlp()) {
+        // d(m, m) = 0 and d >= 0 against a perturbed copy.
+        let probes = mlake_tensor::Matrix::from_fn(8, m.layer_sizes()[0], |r, c| {
+            ((r * 3 + c) as f32).sin()
+        });
+        let zero = mlake_nn::transform::distill::behavioral_distance(&m, &m, &probes).unwrap();
+        prop_assert!(zero.abs() < 1e-6);
+        let mut perturbed = m.clone();
+        let mut params = perturbed.flat_params();
+        for v in &mut params {
+            *v += 0.5;
+        }
+        perturbed.set_flat_params(&params).unwrap();
+        let d = mlake_nn::transform::distill::behavioral_distance(&m, &perturbed, &probes).unwrap();
+        prop_assert!(d >= 0.0);
+        let _ = vector::l2_norm(&[0.0]); // keep import used
+    }
+}

@@ -1,0 +1,180 @@
+//! MLQL abstract syntax tree.
+
+use serde::{Deserialize, Serialize};
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// SQL-style `LIKE` with `%` wildcards.
+    Like,
+}
+
+/// Literal values in predicates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Literal {
+    /// String literal.
+    Str(String),
+    /// Numeric literal.
+    Num(f64),
+}
+
+/// A boolean filter expression over model fields.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Expr {
+    /// `field op literal` — `field` is lower-cased; `score('bench')` becomes
+    /// the field `score:bench`.
+    Cmp {
+        /// Field name (lower case).
+        field: String,
+        /// Operator.
+        op: CmpOp,
+        /// Right-hand literal.
+        value: Literal,
+    },
+    /// Conjunction.
+    And(Box<Expr>, Box<Expr>),
+    /// Disjunction.
+    Or(Box<Expr>, Box<Expr>),
+    /// Negation.
+    Not(Box<Expr>),
+}
+
+/// Ranking keys.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum OrderKey {
+    /// Benchmark score `score('bench')`.
+    Score(String),
+    /// Similarity to the `SIMILAR TO` query model.
+    Similarity,
+    /// Model name (deterministic tiebreak ordering).
+    Name,
+}
+
+/// ORDER BY clause.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OrderBy {
+    /// Key.
+    pub key: OrderKey,
+    /// Descending?
+    pub desc: bool,
+}
+
+/// `SIMILAR TO MODEL '…' USING …`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimilarClause {
+    /// Query model name.
+    pub model: String,
+    /// Fingerprint kind name ("weights" | "behavior" | "hybrid").
+    pub using: String,
+    /// Candidate pool size requested from the index.
+    pub k: usize,
+}
+
+/// `TRAINED ON DATASET '…' [INCLUDING VERSIONS]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainedOnClause {
+    /// Dataset name.
+    pub dataset: String,
+    /// Whether derived dataset versions count.
+    pub include_versions: bool,
+}
+
+/// `OUTPERFORM MODEL '…' ON BENCHMARK '…'`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OutperformClause {
+    /// Reference model.
+    pub model: String,
+    /// Benchmark name.
+    pub benchmark: String,
+}
+
+/// A full MLQL query.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Query {
+    /// `COUNT MODELS …` instead of `FIND MODELS …`: the caller wants the
+    /// cardinality of the answer set, not the rows.
+    #[serde(default)]
+    pub count_only: bool,
+    /// WHERE filter.
+    pub filter: Option<Expr>,
+    /// SIMILAR TO clause.
+    pub similar: Option<SimilarClause>,
+    /// TRAINED ON clause.
+    pub trained_on: Option<TrainedOnClause>,
+    /// OUTPERFORM clause.
+    pub outperform: Option<OutperformClause>,
+    /// ORDER BY clause.
+    pub order_by: Option<OrderBy>,
+    /// LIMIT clause.
+    pub limit: Option<usize>,
+}
+
+/// SQL-LIKE pattern match with `%` wildcards (case-insensitive).
+pub fn like_match(pattern: &str, value: &str) -> bool {
+    fn rec(p: &[u8], v: &[u8]) -> bool {
+        match (p.first(), v.first()) {
+            (None, None) => true,
+            (Some(b'%'), _) => {
+                // `%` matches any run (including empty).
+                rec(&p[1..], v) || (!v.is_empty() && rec(p, &v[1..]))
+            }
+            (Some(&pc), Some(&vc)) if pc.eq_ignore_ascii_case(&vc) => rec(&p[1..], &v[1..]),
+            _ => false,
+        }
+    }
+    rec(pattern.as_bytes(), value.as_bytes())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn like_semantics() {
+        assert!(like_match("legal%", "legal-mlp16-base-f0"));
+        assert!(like_match("%base%", "legal-mlp16-base-f0"));
+        assert!(like_match("%f0", "legal-mlp16-base-f0"));
+        assert!(like_match("legal-mlp16-base-f0", "legal-mlp16-base-f0"));
+        assert!(!like_match("medical%", "legal-x"));
+        assert!(like_match("%", ""));
+        assert!(!like_match("", "x"));
+        assert!(like_match("LEGAL%", "legal-x"));
+    }
+
+    #[test]
+    fn default_query_is_empty() {
+        let q = Query::default();
+        assert!(q.filter.is_none() && q.limit.is_none());
+    }
+
+    #[test]
+    fn expr_builds() {
+        let e = Expr::And(
+            Box::new(Expr::Cmp {
+                field: "domain".into(),
+                op: CmpOp::Eq,
+                value: Literal::Str("legal".into()),
+            }),
+            Box::new(Expr::Not(Box::new(Expr::Cmp {
+                field: "depth".into(),
+                op: CmpOp::Gt,
+                value: Literal::Num(2.0),
+            }))),
+        );
+        let json = serde_json::to_string(&e).unwrap();
+        let back: Expr = serde_json::from_str(&json).unwrap();
+        assert_eq!(e, back);
+    }
+}

@@ -1,0 +1,446 @@
+//! MLQL planning and execution over an abstract [`QueryTarget`].
+//!
+//! The executor is lake-agnostic: `mlake-core` implements [`QueryTarget`]
+//! and thereby exposes its indexes (metadata, vector, benchmark) to MLQL.
+//! The planner's access-path choice — similarity index vs trained-on
+//! relation vs benchmark join vs full scan — mirrors §6's "the model lake
+//! framework can map the task function to a suitable indexer".
+
+use crate::ast::{like_match, CmpOp, Expr, Literal, OrderKey, Query};
+use crate::error::QueryError;
+
+/// A typed field value exposed by the lake's metadata catalogue.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Textual field (name, domain, arch, transform, …).
+    Str(String),
+    /// Numeric field (depth, params, score:…).
+    Num(f64),
+    /// Multi-valued textual field (tags); `=`/`LIKE` match any element.
+    StrList(Vec<String>),
+}
+
+/// What the executor needs from a lake.
+pub trait QueryTarget {
+    /// All model ids, in stable order.
+    fn all_models(&self) -> Vec<u64>;
+
+    /// Metadata field of a model (`None` when undefined for the model).
+    /// Recognised fields include `name`, `domain`, `arch`, `family`,
+    /// `transform`, `depth`, `params`, `task`, and `score:<benchmark>`.
+    fn field(&self, id: u64, field: &str) -> Option<FieldValue>;
+
+    /// Up to `k` models most similar to `model` under fingerprint `using`
+    /// ("weights" | "behavior" | "hybrid"), with similarity in `[0, 1]`,
+    /// best first, excluding the query model itself.
+    fn similar_models(
+        &self,
+        model: &str,
+        using: &str,
+        k: usize,
+    ) -> Result<Vec<(u64, f32)>, QueryError>;
+
+    /// Models trained on `dataset` (optionally including derived versions).
+    fn trained_on(&self, dataset: &str, include_versions: bool)
+        -> Result<Vec<u64>, QueryError>;
+
+    /// Models strictly outperforming `model` on `benchmark`.
+    fn outperformers(&self, model: &str, benchmark: &str) -> Result<Vec<u64>, QueryError>;
+}
+
+/// One result row.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryHit {
+    /// Model id.
+    pub id: u64,
+    /// Similarity (when a SIMILAR TO clause ran).
+    pub similarity: Option<f32>,
+    /// Ranking score (when ORDER BY score(...) ran).
+    pub score: Option<f64>,
+}
+
+/// Executes `query` against `target`, returning ranked hits.
+pub fn execute(query: &Query, target: &dyn QueryTarget) -> Result<Vec<QueryHit>, QueryError> {
+    // ---- access path: narrowest clause first --------------------------
+    let mut similarity: std::collections::HashMap<u64, f32> = std::collections::HashMap::new();
+    let mut candidates: Option<Vec<u64>> = None;
+    if let Some(sim) = &query.similar {
+        let ranked = target.similar_models(&sim.model, &sim.using, sim.k)?;
+        for &(id, s) in &ranked {
+            similarity.insert(id, s);
+        }
+        candidates = Some(ranked.into_iter().map(|(id, _)| id).collect());
+    }
+    if let Some(t) = &query.trained_on {
+        let ids = target.trained_on(&t.dataset, t.include_versions)?;
+        candidates = Some(intersect(candidates, ids));
+    }
+    if let Some(o) = &query.outperform {
+        let ids = target.outperformers(&o.model, &o.benchmark)?;
+        candidates = Some(intersect(candidates, ids));
+    }
+    let pool = candidates.unwrap_or_else(|| target.all_models());
+
+    // ---- filter ---------------------------------------------------------
+    let mut hits: Vec<QueryHit> = Vec::new();
+    for id in pool {
+        if let Some(expr) = &query.filter {
+            if !eval(expr, id, target) {
+                continue;
+            }
+        }
+        hits.push(QueryHit {
+            id,
+            similarity: similarity.get(&id).copied(),
+            score: None,
+        });
+    }
+
+    // ---- order ------------------------------------------------------
+    if let Some(order) = &query.order_by {
+        match &order.key {
+            OrderKey::Score(bench) => {
+                let field = format!("score:{bench}");
+                for h in &mut hits {
+                    h.score = match target.field(h.id, &field) {
+                        Some(FieldValue::Num(n)) => Some(n),
+                        _ => None,
+                    };
+                }
+                hits.sort_by(|a, b| {
+                    // Missing scores sort last regardless of direction.
+                    match (a.score, b.score) {
+                        (Some(x), Some(y)) => {
+                            if order.desc {
+                                y.total_cmp(&x)
+                            } else {
+                                x.total_cmp(&y)
+                            }
+                        }
+                        (Some(_), None) => std::cmp::Ordering::Less,
+                        (None, Some(_)) => std::cmp::Ordering::Greater,
+                        (None, None) => a.id.cmp(&b.id),
+                    }
+                });
+            }
+            OrderKey::Similarity => {
+                hits.sort_by(|a, b| {
+                    let sa = a.similarity.unwrap_or(f32::NEG_INFINITY);
+                    let sb = b.similarity.unwrap_or(f32::NEG_INFINITY);
+                    if order.desc {
+                        sb.total_cmp(&sa)
+                    } else {
+                        sa.total_cmp(&sb)
+                    }
+                });
+            }
+            OrderKey::Name => {
+                hits.sort_by(|a, b| {
+                    let na = name_of(target, a.id);
+                    let nb = name_of(target, b.id);
+                    if order.desc {
+                        nb.cmp(&na)
+                    } else {
+                        na.cmp(&nb)
+                    }
+                });
+            }
+        }
+    } else if query.similar.is_some() {
+        // Implicit similarity ranking when a SIMILAR TO clause is present.
+        hits.sort_by(|a, b| {
+            b.similarity
+                .unwrap_or(f32::NEG_INFINITY)
+                .total_cmp(&a.similarity.unwrap_or(f32::NEG_INFINITY))
+        });
+    }
+
+    if let Some(limit) = query.limit {
+        hits.truncate(limit);
+    }
+    Ok(hits)
+}
+
+/// Human-readable execution plan: which access paths the query will use, in
+/// order — the §6 "map the task function to a suitable indexer" narration.
+pub fn explain(query: &Query) -> Vec<String> {
+    let mut steps = Vec::new();
+    if let Some(sim) = &query.similar {
+        steps.push(format!(
+            "ANN-INDEX SCAN: top-{} of fingerprint('{}') around model '{}'",
+            sim.k, sim.using, sim.model
+        ));
+    }
+    if let Some(t) = &query.trained_on {
+        steps.push(format!(
+            "PROVENANCE LOOKUP: trained_on('{}'){}",
+            t.dataset,
+            if t.include_versions { " + dataset versions" } else { "" }
+        ));
+    }
+    if let Some(o) = &query.outperform {
+        steps.push(format!(
+            "LEADERBOARD JOIN: outperformers of '{}' on '{}'",
+            o.model, o.benchmark
+        ));
+    }
+    if steps.is_empty() {
+        steps.push("FULL CATALOG SCAN".to_string());
+    }
+    if query.filter.is_some() {
+        steps.push("METADATA FILTER".to_string());
+    }
+    if let Some(ob) = &query.order_by {
+        steps.push(format!(
+            "SORT BY {:?} {}",
+            ob.key,
+            if ob.desc { "DESC" } else { "ASC" }
+        ));
+    }
+    if let Some(l) = query.limit {
+        steps.push(format!("LIMIT {l}"));
+    }
+    steps
+}
+
+fn name_of(target: &dyn QueryTarget, id: u64) -> String {
+    match target.field(id, "name") {
+        Some(FieldValue::Str(s)) => s,
+        _ => String::new(),
+    }
+}
+
+fn intersect(current: Option<Vec<u64>>, new_ids: Vec<u64>) -> Vec<u64> {
+    match current {
+        None => new_ids,
+        Some(cur) => cur.into_iter().filter(|id| new_ids.contains(id)).collect(),
+    }
+}
+
+fn eval(expr: &Expr, id: u64, target: &dyn QueryTarget) -> bool {
+    match expr {
+        Expr::And(a, b) => eval(a, id, target) && eval(b, id, target),
+        Expr::Or(a, b) => eval(a, id, target) || eval(b, id, target),
+        Expr::Not(a) => !eval(a, id, target),
+        Expr::Cmp { field, op, value } => {
+            let Some(fv) = target.field(id, field) else {
+                return false;
+            };
+            match (fv, value) {
+                (FieldValue::Str(s), Literal::Str(lit)) => cmp_str(&s, *op, lit),
+                (FieldValue::StrList(items), Literal::Str(lit)) => match op {
+                    CmpOp::Ne => items.iter().all(|s| !s.eq_ignore_ascii_case(lit)),
+                    _ => items.iter().any(|s| cmp_str(s, *op, lit)),
+                },
+                (FieldValue::Num(n), Literal::Num(lit)) => cmp_num(n, *op, *lit),
+                // Type mismatch never matches (except Ne, which is true).
+                _ => *op == CmpOp::Ne,
+            }
+        }
+    }
+}
+
+fn cmp_str(s: &str, op: CmpOp, lit: &str) -> bool {
+    match op {
+        CmpOp::Eq => s.eq_ignore_ascii_case(lit),
+        CmpOp::Ne => !s.eq_ignore_ascii_case(lit),
+        CmpOp::Like => like_match(lit, s),
+        CmpOp::Lt => s < lit,
+        CmpOp::Le => s <= lit,
+        CmpOp::Gt => s > lit,
+        CmpOp::Ge => s >= lit,
+    }
+}
+
+fn cmp_num(n: f64, op: CmpOp, lit: f64) -> bool {
+    match op {
+        CmpOp::Eq => n == lit,
+        CmpOp::Ne => n != lit,
+        CmpOp::Lt => n < lit,
+        CmpOp::Le => n <= lit,
+        CmpOp::Gt => n > lit,
+        CmpOp::Ge => n >= lit,
+        CmpOp::Like => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+
+    /// A toy in-memory lake for executor tests.
+    struct ToyLake;
+
+    const NAMES: [&str; 4] = ["legal-base", "legal-ft", "medical-base", "news-lm"];
+    const DOMAINS: [&str; 4] = ["legal", "legal", "medical", "news"];
+    const DEPTHS: [f64; 4] = [0.0, 1.0, 0.0, 0.0];
+    const SCORES: [Option<f64>; 4] = [Some(0.9), Some(0.95), Some(0.4), None];
+
+    impl QueryTarget for ToyLake {
+        fn all_models(&self) -> Vec<u64> {
+            vec![0, 1, 2, 3]
+        }
+
+        fn field(&self, id: u64, field: &str) -> Option<FieldValue> {
+            let i = id as usize;
+            match field {
+                "name" => Some(FieldValue::Str(NAMES[i].into())),
+                "domain" => Some(FieldValue::Str(DOMAINS[i].into())),
+                "depth" => Some(FieldValue::Num(DEPTHS[i])),
+                "tags" => Some(FieldValue::StrList(vec![
+                    "classification".into(),
+                    DOMAINS[i].into(),
+                ])),
+                "score:holdout" => SCORES[i].map(FieldValue::Num),
+                _ => None,
+            }
+        }
+
+        fn similar_models(
+            &self,
+            model: &str,
+            _using: &str,
+            k: usize,
+        ) -> Result<Vec<(u64, f32)>, QueryError> {
+            if model != "legal-base" {
+                return Err(QueryError::UnknownEntity {
+                    kind: "model",
+                    name: model.into(),
+                });
+            }
+            Ok(vec![(1, 0.95), (2, 0.3)].into_iter().take(k).collect())
+        }
+
+        fn trained_on(
+            &self,
+            dataset: &str,
+            include_versions: bool,
+        ) -> Result<Vec<u64>, QueryError> {
+            match (dataset, include_versions) {
+                ("legal-tab-v1", false) => Ok(vec![0]),
+                ("legal-tab-v1", true) => Ok(vec![0, 1]),
+                _ => Ok(vec![]),
+            }
+        }
+
+        fn outperformers(&self, _model: &str, _benchmark: &str) -> Result<Vec<u64>, QueryError> {
+            Ok(vec![1])
+        }
+    }
+
+    fn run(q: &str) -> Vec<u64> {
+        execute(&parse(q).unwrap(), &ToyLake)
+            .unwrap()
+            .into_iter()
+            .map(|h| h.id)
+            .collect()
+    }
+
+    #[test]
+    fn filter_only() {
+        assert_eq!(run("FIND MODELS WHERE domain = 'legal'"), vec![0, 1]);
+        assert_eq!(run("FIND MODELS WHERE domain != 'legal'"), vec![2, 3]);
+        assert_eq!(run("FIND MODELS WHERE name LIKE '%base'"), vec![0, 2]);
+        assert_eq!(run("FIND MODELS WHERE depth > 0"), vec![1]);
+        assert_eq!(
+            run("FIND MODELS WHERE domain = 'legal' AND depth = 0"),
+            vec![0]
+        );
+        assert_eq!(
+            run("FIND MODELS WHERE NOT (domain = 'legal' OR domain = 'news')"),
+            vec![2]
+        );
+    }
+
+    #[test]
+    fn taglist_matching() {
+        assert_eq!(run("FIND MODELS WHERE tags = 'classification'"), vec![0, 1, 2, 3]);
+        assert_eq!(run("FIND MODELS WHERE tags = 'medical'"), vec![2]);
+        assert_eq!(run("FIND MODELS WHERE tags != 'medical'"), vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn similarity_ranking_and_limit() {
+        let hits = execute(
+            &parse("FIND MODELS SIMILAR TO MODEL 'legal-base' TOP 5").unwrap(),
+            &ToyLake,
+        )
+        .unwrap();
+        assert_eq!(hits[0].id, 1);
+        assert_eq!(hits[0].similarity, Some(0.95));
+        assert_eq!(hits.len(), 2);
+        assert_eq!(
+            run("FIND MODELS SIMILAR TO MODEL 'legal-base' LIMIT 1"),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn trained_on_with_versions() {
+        assert_eq!(run("FIND MODELS TRAINED ON DATASET 'legal-tab-v1'"), vec![0]);
+        assert_eq!(
+            run("FIND MODELS TRAINED ON DATASET 'legal-tab-v1' INCLUDING VERSIONS"),
+            vec![0, 1]
+        );
+        assert!(run("FIND MODELS TRAINED ON DATASET 'nothing'").is_empty());
+    }
+
+    #[test]
+    fn clause_intersection() {
+        // similar gives {1, 2}; trained_on versions gives {0, 1} -> {1}.
+        assert_eq!(
+            run("FIND MODELS SIMILAR TO MODEL 'legal-base' TRAINED ON DATASET 'legal-tab-v1' INCLUDING VERSIONS"),
+            vec![1]
+        );
+        assert_eq!(
+            run("FIND MODELS OUTPERFORM MODEL 'legal-base' ON BENCHMARK 'holdout'"),
+            vec![1]
+        );
+    }
+
+    #[test]
+    fn order_by_score_missing_last() {
+        let ids = run("FIND MODELS ORDER BY score('holdout') DESC");
+        assert_eq!(ids, vec![1, 0, 2, 3]); // id 3 has no score -> last
+        let asc = run("FIND MODELS ORDER BY score('holdout') ASC");
+        assert_eq!(asc, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn order_by_name() {
+        let ids = run("FIND MODELS ORDER BY name ASC");
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let ids = run("FIND MODELS ORDER BY name DESC");
+        assert_eq!(ids, vec![3, 2, 1, 0]);
+    }
+
+    #[test]
+    fn unknown_model_errors() {
+        let q = parse("FIND MODELS SIMILAR TO MODEL 'ghost'").unwrap();
+        assert!(matches!(
+            execute(&q, &ToyLake),
+            Err(QueryError::UnknownEntity { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_field_never_matches() {
+        assert!(run("FIND MODELS WHERE banana = 'yellow'").is_empty());
+    }
+
+    #[test]
+    fn explain_lists_access_paths() {
+        let q = parse(
+            "FIND MODELS WHERE domain = 'legal' SIMILAR TO MODEL 'legal-base' \
+             ORDER BY similarity LIMIT 3",
+        )
+        .unwrap();
+        let plan = explain(&q);
+        assert!(plan[0].contains("ANN-INDEX SCAN"));
+        assert!(plan.iter().any(|s| s.contains("METADATA FILTER")));
+        assert!(plan.iter().any(|s| s.contains("LIMIT 3")));
+        let scan = explain(&parse("FIND MODELS").unwrap());
+        assert_eq!(scan, vec!["FULL CATALOG SCAN".to_string()]);
+    }
+}

@@ -1,0 +1,35 @@
+//! # mlake-query
+//!
+//! **MLQL** — a declarative query language for model lakes, realising §6's
+//! vision: "we aim for users to be able to write declarative queries and
+//! retrieve a set of models ranked by their suitability for the specified
+//! task. Query examples include 'Find all models trained on this corpus of
+//! US Supreme Court cases' or 'Find models that outperform Model X on
+//! Benchmark Y'."
+//!
+//! ```text
+//! FIND MODELS
+//!   WHERE domain = 'legal' AND arch LIKE 'mlp%' AND depth <= 2
+//!   SIMILAR TO MODEL 'legal-mlp16-base-f0' USING hybrid
+//!   TRAINED ON DATASET 'legal-tab-f0-v1' INCLUDING VERSIONS
+//!   OUTPERFORM MODEL 'news-mlp24-base-f1' ON BENCHMARK 'legal-holdout'
+//!   ORDER BY score('legal-holdout') DESC
+//!   LIMIT 10
+//!
+//! COUNT MODELS WHERE transform = 'lora'
+//! ```
+//!
+//! Pipeline: [`lexer`] → [`parser`] → [`ast`] → [`exec`] (planner +
+//! executor over the [`exec::QueryTarget`] abstraction, implemented by
+//! `mlake-core`'s `ModelLake`).
+
+pub mod ast;
+pub mod error;
+pub mod exec;
+pub mod lexer;
+pub mod parser;
+
+pub use ast::{CmpOp, Expr, Literal, OrderBy, OrderKey, Query};
+pub use error::QueryError;
+pub use exec::{execute, explain, FieldValue, QueryHit, QueryTarget};
+pub use parser::parse;

@@ -1,0 +1,456 @@
+//! Recursive-descent MLQL parser.
+//!
+//! Grammar (clauses after the head may appear in any order, each at most
+//! once):
+//!
+//! ```text
+//! query      := (FIND | COUNT) MODELS clause* EOF
+//! clause     := WHERE expr
+//!             | SIMILAR TO MODEL str [USING word] [TOP number]
+//!             | TRAINED ON DATASET str [INCLUDING VERSIONS]
+//!             | OUTPERFORM MODEL str ON BENCHMARK str
+//!             | ORDER BY orderkey [ASC|DESC]
+//!             | LIMIT number
+//! expr       := and_expr (OR and_expr)*
+//! and_expr   := unary (AND unary)*
+//! unary      := NOT unary | '(' expr ')' | cmp
+//! cmp        := field op literal
+//! field      := word | SCORE '(' str ')'
+//! orderkey   := SCORE '(' str ')' | SIMILARITY | NAME
+//! ```
+
+use crate::ast::*;
+use crate::error::QueryError;
+use crate::lexer::{lex, Token};
+
+/// Parses an MLQL query string.
+pub fn parse(input: &str) -> Result<Query, QueryError> {
+    let tokens = lex(input)?;
+    let mut p = Parser { tokens, pos: 0 };
+    let count_only = match p.peek_word().as_deref() {
+        Some("FIND") => {
+            p.advance();
+            false
+        }
+        Some("COUNT") => {
+            p.advance();
+            true
+        }
+        _ => return Err(p.err("FIND or COUNT")),
+    };
+    p.expect_word("MODELS")?;
+    let mut query = Query {
+        count_only,
+        ..Query::default()
+    };
+    while !p.at_end() {
+        let word = p.peek_word().ok_or_else(|| p.err("a clause keyword"))?;
+        match word.as_str() {
+            "WHERE" => {
+                p.advance();
+                if query.filter.is_some() {
+                    return Err(p.dup("WHERE"));
+                }
+                query.filter = Some(p.parse_expr()?);
+            }
+            "SIMILAR" => {
+                p.advance();
+                p.expect_word("TO")?;
+                p.expect_word("MODEL")?;
+                if query.similar.is_some() {
+                    return Err(p.dup("SIMILAR TO"));
+                }
+                let model = p.expect_str()?;
+                let mut using = "hybrid".to_string();
+                if p.peek_word().as_deref() == Some("USING") {
+                    p.advance();
+                    using = p
+                        .take_word()
+                        .ok_or_else(|| p.err("a fingerprint kind"))?
+                        .to_ascii_lowercase();
+                }
+                let mut k = 10usize;
+                if p.peek_word().as_deref() == Some("TOP") {
+                    p.advance();
+                    k = p.expect_number()? as usize;
+                }
+                query.similar = Some(SimilarClause { model, using, k });
+            }
+            "TRAINED" => {
+                p.advance();
+                p.expect_word("ON")?;
+                p.expect_word("DATASET")?;
+                if query.trained_on.is_some() {
+                    return Err(p.dup("TRAINED ON"));
+                }
+                let dataset = p.expect_str()?;
+                let mut include_versions = false;
+                if p.peek_word().as_deref() == Some("INCLUDING") {
+                    p.advance();
+                    p.expect_word("VERSIONS")?;
+                    include_versions = true;
+                }
+                query.trained_on = Some(TrainedOnClause {
+                    dataset,
+                    include_versions,
+                });
+            }
+            "OUTPERFORM" => {
+                p.advance();
+                p.expect_word("MODEL")?;
+                if query.outperform.is_some() {
+                    return Err(p.dup("OUTPERFORM"));
+                }
+                let model = p.expect_str()?;
+                p.expect_word("ON")?;
+                p.expect_word("BENCHMARK")?;
+                let benchmark = p.expect_str()?;
+                query.outperform = Some(OutperformClause { model, benchmark });
+            }
+            "ORDER" => {
+                p.advance();
+                p.expect_word("BY")?;
+                if query.order_by.is_some() {
+                    return Err(p.dup("ORDER BY"));
+                }
+                let key = match p.take_word().as_deref() {
+                    Some("SCORE") => {
+                        p.expect(&Token::LParen)?;
+                        let b = p.expect_str()?;
+                        p.expect(&Token::RParen)?;
+                        OrderKey::Score(b)
+                    }
+                    Some("SIMILARITY") => OrderKey::Similarity,
+                    Some("NAME") => OrderKey::Name,
+                    other => {
+                        return Err(QueryError::Parse {
+                            expected: "SCORE(...), SIMILARITY or NAME".into(),
+                            found: other.unwrap_or("end of input").into(),
+                        })
+                    }
+                };
+                let mut desc = matches!(key, OrderKey::Score(_) | OrderKey::Similarity);
+                match p.peek_word().as_deref() {
+                    Some("DESC") => {
+                        p.advance();
+                        desc = true;
+                    }
+                    Some("ASC") => {
+                        p.advance();
+                        desc = false;
+                    }
+                    _ => {}
+                }
+                query.order_by = Some(OrderBy { key, desc });
+            }
+            "LIMIT" => {
+                p.advance();
+                if query.limit.is_some() {
+                    return Err(p.dup("LIMIT"));
+                }
+                query.limit = Some(p.expect_number()? as usize);
+            }
+            other => {
+                return Err(QueryError::Parse {
+                    expected: "WHERE / SIMILAR / TRAINED / OUTPERFORM / ORDER / LIMIT".into(),
+                    found: other.into(),
+                })
+            }
+        }
+    }
+    Ok(query)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn at_end(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn peek_word(&self) -> Option<String> {
+        match self.peek() {
+            Some(Token::Word(w)) => Some(w.clone()),
+            _ => None,
+        }
+    }
+
+    fn advance(&mut self) {
+        self.pos += 1;
+    }
+
+    fn take_word(&mut self) -> Option<String> {
+        let w = self.peek_word()?;
+        self.advance();
+        Some(w)
+    }
+
+    fn err(&self, expected: &str) -> QueryError {
+        QueryError::Parse {
+            expected: expected.into(),
+            found: self
+                .peek()
+                .map(Token::describe)
+                .unwrap_or_else(|| "end of input".into()),
+        }
+    }
+
+    fn dup(&self, clause: &str) -> QueryError {
+        QueryError::Parse {
+            expected: format!("at most one {clause} clause"),
+            found: format!("duplicate {clause}"),
+        }
+    }
+
+    fn expect(&mut self, tok: &Token) -> Result<(), QueryError> {
+        if self.peek() == Some(tok) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err(&tok.describe()))
+        }
+    }
+
+    fn expect_word(&mut self, word: &str) -> Result<(), QueryError> {
+        if self.peek_word().as_deref() == Some(word) {
+            self.advance();
+            Ok(())
+        } else {
+            Err(self.err(word))
+        }
+    }
+
+    fn expect_str(&mut self) -> Result<String, QueryError> {
+        match self.peek().cloned() {
+            Some(Token::Str(s)) => {
+                self.advance();
+                Ok(s)
+            }
+            _ => Err(self.err("a string literal")),
+        }
+    }
+
+    fn expect_number(&mut self) -> Result<f64, QueryError> {
+        match self.peek().cloned() {
+            Some(Token::Number(n)) => {
+                self.advance();
+                Ok(n)
+            }
+            _ => Err(self.err("a number")),
+        }
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.parse_and()?;
+        while self.peek_word().as_deref() == Some("OR") {
+            self.advance();
+            let right = self.parse_and()?;
+            left = Expr::Or(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, QueryError> {
+        let mut left = self.parse_unary()?;
+        while self.peek_word().as_deref() == Some("AND") {
+            self.advance();
+            let right = self.parse_unary()?;
+            left = Expr::And(Box::new(left), Box::new(right));
+        }
+        Ok(left)
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, QueryError> {
+        if self.peek_word().as_deref() == Some("NOT") {
+            self.advance();
+            return Ok(Expr::Not(Box::new(self.parse_unary()?)));
+        }
+        if self.peek() == Some(&Token::LParen) {
+            self.advance();
+            let inner = self.parse_expr()?;
+            self.expect(&Token::RParen)?;
+            return Ok(inner);
+        }
+        self.parse_cmp()
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, QueryError> {
+        let field = match self.take_word() {
+            Some(w) if w == "SCORE" => {
+                self.expect(&Token::LParen)?;
+                let b = self.expect_str()?;
+                self.expect(&Token::RParen)?;
+                format!("score:{b}")
+            }
+            Some(w) => w.to_ascii_lowercase(),
+            None => return Err(self.err("a field name")),
+        };
+        let op = match self.peek().cloned() {
+            Some(Token::Eq) => {
+                self.advance();
+                CmpOp::Eq
+            }
+            Some(Token::Ne) => {
+                self.advance();
+                CmpOp::Ne
+            }
+            Some(Token::Lt) => {
+                self.advance();
+                CmpOp::Lt
+            }
+            Some(Token::Le) => {
+                self.advance();
+                CmpOp::Le
+            }
+            Some(Token::Gt) => {
+                self.advance();
+                CmpOp::Gt
+            }
+            Some(Token::Ge) => {
+                self.advance();
+                CmpOp::Ge
+            }
+            Some(Token::Word(w)) if w == "LIKE" => {
+                self.advance();
+                CmpOp::Like
+            }
+            _ => return Err(self.err("a comparison operator")),
+        };
+        let value = match self.peek().cloned() {
+            Some(Token::Str(s)) => {
+                self.advance();
+                Literal::Str(s)
+            }
+            Some(Token::Number(n)) => {
+                self.advance();
+                Literal::Num(n)
+            }
+            _ => return Err(self.err("a literal")),
+        };
+        Ok(Expr::Cmp { field, op, value })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_query() {
+        let q = parse("FIND MODELS").unwrap();
+        assert_eq!(q, Query::default());
+    }
+
+    #[test]
+    fn full_query() {
+        let q = parse(
+            "FIND MODELS \
+             WHERE domain = 'legal' AND (arch LIKE 'mlp%' OR NOT depth > 2) \
+             SIMILAR TO MODEL 'legal-base' USING weights TOP 5 \
+             TRAINED ON DATASET 'legal-tab-v1' INCLUDING VERSIONS \
+             OUTPERFORM MODEL 'rival' ON BENCHMARK 'holdout' \
+             ORDER BY score('holdout') DESC \
+             LIMIT 10",
+        )
+        .unwrap();
+        assert!(q.filter.is_some());
+        let sim = q.similar.unwrap();
+        assert_eq!(sim.model, "legal-base");
+        assert_eq!(sim.using, "weights");
+        assert_eq!(sim.k, 5);
+        let tr = q.trained_on.unwrap();
+        assert!(tr.include_versions);
+        assert_eq!(tr.dataset, "legal-tab-v1");
+        let op = q.outperform.unwrap();
+        assert_eq!(op.benchmark, "holdout");
+        let ob = q.order_by.unwrap();
+        assert_eq!(ob.key, OrderKey::Score("holdout".into()));
+        assert!(ob.desc);
+        assert_eq!(q.limit, Some(10));
+    }
+
+    #[test]
+    fn where_precedence_and_not() {
+        let q = parse("FIND MODELS WHERE a = 1 OR b = 2 AND c = 3").unwrap();
+        // AND binds tighter: a=1 OR (b=2 AND c=3).
+        match q.filter.unwrap() {
+            Expr::Or(l, r) => {
+                assert!(matches!(*l, Expr::Cmp { .. }));
+                assert!(matches!(*r, Expr::And(_, _)));
+            }
+            other => panic!("wrong tree: {other:?}"),
+        }
+        let q = parse("FIND MODELS WHERE NOT NOT a = 1").unwrap();
+        assert!(matches!(q.filter.unwrap(), Expr::Not(_)));
+    }
+
+    #[test]
+    fn score_field_in_where() {
+        let q = parse("FIND MODELS WHERE score('holdout') >= 0.9").unwrap();
+        match q.filter.unwrap() {
+            Expr::Cmp { field, op, value } => {
+                assert_eq!(field, "score:holdout");
+                assert_eq!(op, CmpOp::Ge);
+                assert_eq!(value, Literal::Num(0.9));
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn case_insensitive_keywords() {
+        let q = parse("find models where Domain = 'legal' limit 3").unwrap();
+        assert_eq!(q.limit, Some(3));
+        match q.filter.unwrap() {
+            Expr::Cmp { field, .. } => assert_eq!(field, "domain"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn order_by_defaults() {
+        let q = parse("FIND MODELS ORDER BY similarity").unwrap();
+        assert!(q.order_by.unwrap().desc);
+        let q = parse("FIND MODELS ORDER BY name").unwrap();
+        assert!(!q.order_by.unwrap().desc);
+        let q = parse("FIND MODELS ORDER BY score('b') ASC").unwrap();
+        assert!(!q.order_by.unwrap().desc);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(parse("SELECT MODELS").is_err());
+        assert!(parse("FIND MODELS WHERE").is_err());
+        assert!(parse("FIND MODELS WHERE a =").is_err());
+        assert!(parse("FIND MODELS LIMIT 'x'").is_err());
+        assert!(parse("FIND MODELS WHERE (a = 1").is_err());
+        assert!(parse("FIND MODELS BOGUS").is_err());
+        assert!(parse("FIND MODELS LIMIT 1 LIMIT 2").is_err());
+        assert!(parse("FIND MODELS ORDER BY banana").is_err());
+        assert!(parse("FIND MODELS SIMILAR TO MODEL 5").is_err());
+    }
+
+    #[test]
+    fn count_head() {
+        let q = parse("COUNT MODELS WHERE domain = 'legal'").unwrap();
+        assert!(q.count_only);
+        assert!(q.filter.is_some());
+        assert!(!parse("FIND MODELS").unwrap().count_only);
+        assert!(parse("TALLY MODELS").is_err());
+    }
+
+    #[test]
+    fn similar_defaults() {
+        let q = parse("FIND MODELS SIMILAR TO MODEL 'x'").unwrap();
+        let sim = q.similar.unwrap();
+        assert_eq!(sim.using, "hybrid");
+        assert_eq!(sim.k, 10);
+    }
+}

@@ -1,0 +1,72 @@
+//! Property-based tests for the MLQL language layer: the lexer never
+//! panics, parse→debug round trips are stable, and LIKE matching obeys
+//! algebraic identities.
+
+use mlake_query::ast::like_match;
+use mlake_query::{lexer, parse};
+use proptest::prelude::*;
+
+proptest! {
+    /// The lexer returns Ok or Err but never panics, on arbitrary input.
+    #[test]
+    fn lexer_total(input in ".*") {
+        let _ = lexer::lex(&input);
+    }
+
+    /// The parser is total over arbitrary token soup.
+    #[test]
+    fn parser_total(input in "[A-Za-z0-9'%_() =<>!.,-]{0,80}") {
+        let _ = parse(&input);
+    }
+
+    /// Any string matches itself, the universal pattern, and prefix/suffix
+    /// wildcard forms built from itself.
+    #[test]
+    fn like_identities(s in "[a-z0-9-]{0,20}") {
+        prop_assert!(like_match(&s, &s));
+        prop_assert!(like_match("%", &s));
+        let prefix = format!("{s}%");
+        let suffix = format!("%{s}");
+        prop_assert!(like_match(&prefix, &s));
+        prop_assert!(like_match(&suffix, &s));
+        if s.len() >= 2 {
+            let (a, b) = s.split_at(s.len() / 2);
+            let infix = format!("{a}%{b}");
+            let outer = format!("%{a}%{b}%");
+            prop_assert!(like_match(&infix, &s));
+            prop_assert!(like_match(&outer, &s));
+        }
+    }
+
+    /// LIKE is case-insensitive in both directions.
+    #[test]
+    fn like_case_insensitive(s in "[a-z]{1,12}") {
+        prop_assert!(like_match(&s.to_uppercase(), &s));
+        prop_assert!(like_match(&s, &s.to_uppercase()));
+    }
+
+    /// A pattern longer (ignoring %) than the value never matches.
+    #[test]
+    fn like_length_bound(s in "[a-z]{0,10}", extra in "[a-z]{1,5}") {
+        let pattern = format!("{s}{extra}");
+        prop_assert!(!like_match(&pattern, &s));
+    }
+
+    /// Well-formed filter queries parse, and parse deterministically.
+    #[test]
+    fn filters_parse(field in "[a-z_]{1,10}", value in "[a-z0-9 ]{0,10}", n in 0u32..1000) {
+        let q1 = format!("FIND MODELS WHERE {field} = '{value}' AND {field} <= {n} LIMIT {n}");
+        let a = parse(&q1);
+        let b = parse(&q1);
+        prop_assert!(a.is_ok(), "{q1}: {a:?}");
+        prop_assert_eq!(a.unwrap(), b.unwrap());
+    }
+
+    /// Parenthesisation of a single comparison is a no-op.
+    #[test]
+    fn parens_are_noise(field in "[a-z]{1,8}", n in 0u32..100) {
+        let plain = parse(&format!("FIND MODELS WHERE {field} > {n}")).unwrap();
+        let wrapped = parse(&format!("FIND MODELS WHERE ((({field} > {n})))")).unwrap();
+        prop_assert_eq!(plain, wrapped);
+    }
+}

@@ -1,0 +1,88 @@
+//! Error type shared by all tensor operations.
+
+use std::fmt;
+
+/// Errors produced by tensor and linear-algebra operations.
+///
+/// The variants carry enough shape information to diagnose the failing call
+/// without a debugger; database-style code paths (ingestion, fingerprinting)
+/// surface these to callers rather than panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// Two operands had incompatible shapes, e.g. `matmul` of `(2,3)` and `(2,3)`.
+    ShapeMismatch {
+        /// Operation that failed, e.g. `"matmul"`.
+        op: &'static str,
+        /// Shape of the left operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// A constructor was given a data buffer whose length does not match the
+    /// requested shape.
+    BadBuffer {
+        /// Expected number of elements.
+        expected: usize,
+        /// Actual number of elements supplied.
+        actual: usize,
+    },
+    /// An index `(row, col)` was outside the matrix bounds.
+    OutOfBounds {
+        /// Offending index.
+        index: (usize, usize),
+        /// Matrix shape.
+        shape: (usize, usize),
+    },
+    /// An operation required a non-empty input but received an empty one.
+    Empty(&'static str),
+    /// A numeric routine failed to converge or met a singular system.
+    Numerical(&'static str),
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in `{op}`: lhs is {}x{}, rhs is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            TensorError::BadBuffer { expected, actual } => write!(
+                f,
+                "buffer length {actual} does not match requested shape ({expected} elements)"
+            ),
+            TensorError::OutOfBounds { index, shape } => write!(
+                f,
+                "index ({}, {}) out of bounds for {}x{} matrix",
+                index.0, index.1, shape.0, shape.1
+            ),
+            TensorError::Empty(op) => write!(f, "`{op}` requires a non-empty input"),
+            TensorError::Numerical(what) => write!(f, "numerical failure: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (2, 3),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(TensorError::Empty("mean"));
+        assert!(e.to_string().contains("mean"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Weight initialisation schemes.
+//!
+//! Different base models in the benchmark lake are initialised with different
+//! schemes so that "same architecture, different init" populations exist —
+//! the hard case for version-graph recovery (§4 "Model Versions").
+
+use crate::matrix::Matrix;
+use crate::rng::Pcg64;
+
+/// Supported initialisation schemes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// Glorot/Xavier uniform: `U(-a, a)` with `a = sqrt(6 / (fan_in + fan_out))`.
+    XavierUniform,
+    /// Glorot/Xavier normal: `N(0, 2 / (fan_in + fan_out))`.
+    XavierNormal,
+    /// He/Kaiming normal: `N(0, 2 / fan_in)` — paired with ReLU layers.
+    HeNormal,
+    /// Plain `N(0, std²)`.
+    Normal {
+        /// Standard deviation (bit pattern; construct via [`Init::normal`]).
+        std_bits: u32,
+    },
+}
+
+impl Init {
+    /// `N(0, std²)` initialisation.
+    pub fn normal(std: f32) -> Init {
+        Init::Normal {
+            std_bits: std.to_bits(),
+        }
+    }
+
+    /// Materialises a `fan_out × fan_in` weight matrix.
+    pub fn matrix(self, fan_out: usize, fan_in: usize, rng: &mut Pcg64) -> Matrix {
+        match self {
+            Init::Zeros => Matrix::zeros(fan_out, fan_in),
+            Init::XavierUniform => {
+                let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+                Matrix::from_fn(fan_out, fan_in, |_, _| rng.uniform(-a, a))
+            }
+            Init::XavierNormal => {
+                let std = (2.0 / (fan_in + fan_out) as f32).sqrt();
+                Matrix::from_fn(fan_out, fan_in, |_, _| rng.normal_with(0.0, std))
+            }
+            Init::HeNormal => {
+                let std = (2.0 / fan_in.max(1) as f32).sqrt();
+                Matrix::from_fn(fan_out, fan_in, |_, _| rng.normal_with(0.0, std))
+            }
+            Init::Normal { std_bits } => {
+                let std = f32::from_bits(std_bits);
+                Matrix::from_fn(fan_out, fan_in, |_, _| rng.normal_with(0.0, std))
+            }
+        }
+    }
+
+    /// Materialises a bias vector of length `n`.
+    pub fn vector(self, n: usize, rng: &mut Pcg64) -> Vec<f32> {
+        self.matrix(1, n, rng).into_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats;
+
+    #[test]
+    fn zeros_are_zero() {
+        let mut rng = Pcg64::new(1);
+        let m = Init::Zeros.matrix(3, 4, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn xavier_uniform_bounds() {
+        let mut rng = Pcg64::new(2);
+        let (fan_out, fan_in) = (50, 70);
+        let a = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let m = Init::XavierUniform.matrix(fan_out, fan_in, &mut rng);
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= a));
+    }
+
+    #[test]
+    fn he_normal_variance() {
+        let mut rng = Pcg64::new(3);
+        let m = Init::HeNormal.matrix(200, 100, &mut rng);
+        let var = stats::variance(m.as_slice());
+        let expected = 2.0 / 100.0;
+        assert!((var - expected).abs() / expected < 0.1, "var {var}");
+    }
+
+    #[test]
+    fn normal_std_round_trips_through_bits() {
+        let init = Init::normal(0.05);
+        let mut rng = Pcg64::new(4);
+        let m = init.matrix(100, 100, &mut rng);
+        let std = stats::variance(m.as_slice()).sqrt();
+        assert!((std - 0.05).abs() < 0.005, "std {std}");
+        let json = serde_json::to_string(&init).unwrap();
+        let back: Init = serde_json::from_str(&json).unwrap();
+        assert_eq!(init, back);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Init::XavierNormal.matrix(4, 4, &mut Pcg64::new(9));
+        let b = Init::XavierNormal.matrix(4, 4, &mut Pcg64::new(9));
+        assert_eq!(a, b);
+    }
+}

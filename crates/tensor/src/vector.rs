@@ -1,0 +1,257 @@
+//! Free functions over `&[f32]` slices.
+//!
+//! Hot paths throughout the workspace (fingerprint distances, HNSW search,
+//! gradient updates) operate on plain slices to avoid any wrapper overhead;
+//! accumulation happens in `f64` where it guards against cancellation.
+
+/// Dot product. Panics in debug builds on length mismatch; in release the
+/// shorter length governs (callers validate shapes at the matrix level).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f32;
+    // Manual 4-way unroll: keeps four independent dependency chains which the
+    // compiler turns into SIMD on x86-64.
+    let chunks = a.len() / 4;
+    let (mut s0, mut s1, mut s2, mut s3) = (0.0f32, 0.0f32, 0.0f32, 0.0f32);
+    for i in 0..chunks {
+        let j = i * 4;
+        s0 += a[j] * b[j];
+        s1 += a[j + 1] * b[j + 1];
+        s2 += a[j + 2] * b[j + 2];
+        s3 += a[j + 3] * b[j + 3];
+    }
+    for i in chunks * 4..a.len().min(b.len()) {
+        acc += a[i] * b[i];
+    }
+    acc + s0 + s1 + s2 + s3
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn l2_norm(a: &[f32]) -> f32 {
+    a.iter().map(|&x| f64::from(x) * f64::from(x)).sum::<f64>().sqrt() as f32
+}
+
+/// L1 norm.
+#[inline]
+pub fn l1_norm(a: &[f32]) -> f32 {
+    a.iter().map(|&x| f64::from(x.abs())).sum::<f64>() as f32
+}
+
+/// L∞ norm.
+#[inline]
+pub fn linf_norm(a: &[f32]) -> f32 {
+    a.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+}
+
+/// Squared Euclidean distance.
+#[inline]
+pub fn l2_distance_sq(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = 0.0f64;
+    for (&x, &y) in a.iter().zip(b) {
+        let d = f64::from(x) - f64::from(y);
+        acc += d * d;
+    }
+    acc as f32
+}
+
+/// Euclidean distance.
+#[inline]
+pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
+    l2_distance_sq(a, b).sqrt()
+}
+
+/// Cosine similarity in `[-1, 1]`; returns 0 when either vector is all-zero.
+pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
+    let na = l2_norm(a);
+    let nb = l2_norm(b);
+    if na == 0.0 || nb == 0.0 {
+        return 0.0;
+    }
+    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+}
+
+/// Cosine *distance* `1 - cosine_similarity`, the metric used by the indexes.
+#[inline]
+pub fn cosine_distance(a: &[f32], b: &[f32]) -> f32 {
+    1.0 - cosine_similarity(a, b)
+}
+
+/// In-place `a += alpha * b`.
+#[inline]
+pub fn axpy(alpha: f32, b: &[f32], a: &mut [f32]) {
+    debug_assert_eq!(a.len(), b.len());
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// In-place scalar multiply.
+#[inline]
+pub fn scale(a: &mut [f32], alpha: f32) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+/// Normalises to unit L2 norm in place; a zero vector is left unchanged.
+pub fn normalize(a: &mut [f32]) {
+    let n = l2_norm(a);
+    if n > 0.0 {
+        scale(a, 1.0 / n);
+    }
+}
+
+/// Index of the maximum element (first on ties); `None` when empty.
+pub fn argmax(a: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in a.iter().enumerate() {
+        match best {
+            Some((_, bx)) if bx >= x => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Index of the minimum element (first on ties); `None` when empty.
+pub fn argmin(a: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &x) in a.iter().enumerate() {
+        match best {
+            Some((_, bx)) if bx <= x => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Numerically stable softmax into a fresh vector.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    if logits.is_empty() {
+        return Vec::new();
+    }
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    let exps: Vec<f64> = logits.iter().map(|&x| f64::from(x - max).exp()).collect();
+    let total: f64 = exps.iter().sum();
+    exps.into_iter().map(|e| (e / total) as f32).collect()
+}
+
+/// Numerically stable log-sum-exp.
+pub fn log_sum_exp(logits: &[f32]) -> f32 {
+    if logits.is_empty() {
+        return f32::NEG_INFINITY;
+    }
+    let max = logits.iter().fold(f32::NEG_INFINITY, |m, &x| m.max(x));
+    if max == f32::NEG_INFINITY {
+        return f32::NEG_INFINITY;
+    }
+    let s: f64 = logits.iter().map(|&x| f64::from(x - max).exp()).sum();
+    max + s.ln() as f32
+}
+
+/// Arithmetic mean (0 when empty).
+pub fn mean(a: &[f32]) -> f32 {
+    if a.is_empty() {
+        0.0
+    } else {
+        (a.iter().map(|&x| f64::from(x)).sum::<f64>() / a.len() as f64) as f32
+    }
+}
+
+/// Sum in `f64` accumulation.
+pub fn sum(a: &[f32]) -> f32 {
+    a.iter().map(|&x| f64::from(x)).sum::<f64>() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_matches_naive() {
+        let a: Vec<f32> = (0..37).map(|i| i as f32 * 0.5 - 3.0).collect();
+        let b: Vec<f32> = (0..37).map(|i| (i as f32).sin()).collect();
+        let naive: f32 = a.iter().zip(&b).map(|(x, y)| x * y).sum();
+        assert!((dot(&a, &b) - naive).abs() < 1e-3);
+    }
+
+    #[test]
+    fn norms() {
+        assert!((l2_norm(&[3.0, 4.0]) - 5.0).abs() < 1e-6);
+        assert!((l1_norm(&[3.0, -4.0]) - 7.0).abs() < 1e-6);
+        assert!((linf_norm(&[3.0, -4.0]) - 4.0).abs() < 1e-6);
+        assert_eq!(l2_norm(&[]), 0.0);
+    }
+
+    #[test]
+    fn distances() {
+        let a = [0.0, 0.0];
+        let b = [3.0, 4.0];
+        assert!((l2_distance(&a, &b) - 5.0).abs() < 1e-6);
+        assert!((l2_distance_sq(&a, &b) - 25.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_extremes() {
+        assert!((cosine_similarity(&[1.0, 0.0], &[2.0, 0.0]) - 1.0).abs() < 1e-6);
+        assert!((cosine_similarity(&[1.0, 0.0], &[-1.0, 0.0]) + 1.0).abs() < 1e-6);
+        assert!(cosine_similarity(&[1.0, 0.0], &[0.0, 1.0]).abs() < 1e-6);
+        assert_eq!(cosine_similarity(&[0.0, 0.0], &[1.0, 1.0]), 0.0);
+        assert!((cosine_distance(&[1.0, 1.0], &[1.0, 1.0])).abs() < 1e-6);
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        let total: f32 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-5);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        // Stability under large logits.
+        let q = softmax(&[1000.0, 1000.0]);
+        assert!((q[0] - 0.5).abs() < 1e-5);
+        assert!(softmax(&[]).is_empty());
+    }
+
+    #[test]
+    fn log_sum_exp_stable() {
+        let lse = log_sum_exp(&[1000.0, 1000.0]);
+        assert!((lse - (1000.0 + std::f32::consts::LN_2)).abs() < 1e-3);
+        assert_eq!(log_sum_exp(&[]), f32::NEG_INFINITY);
+    }
+
+    #[test]
+    fn argmax_argmin_ties_and_empty() {
+        assert_eq!(argmax(&[1.0, 3.0, 3.0, 2.0]), Some(1));
+        assert_eq!(argmin(&[1.0, -3.0, -3.0]), Some(1));
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmin(&[]), None);
+    }
+
+    #[test]
+    fn normalize_unit_or_noop() {
+        let mut v = vec![3.0, 4.0];
+        normalize(&mut v);
+        assert!((l2_norm(&v) - 1.0).abs() < 1e-6);
+        let mut z = vec![0.0, 0.0];
+        normalize(&mut z);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn axpy_and_scale() {
+        let mut a = vec![1.0, 2.0];
+        axpy(2.0, &[10.0, 20.0], &mut a);
+        assert_eq!(a, vec![21.0, 42.0]);
+        scale(&mut a, 0.5);
+        assert_eq!(a, vec![10.5, 21.0]);
+    }
+
+    #[test]
+    fn mean_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+        assert!((mean(&[1.0, 2.0, 3.0]) - 2.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,332 @@
+//! Chu-Liu/Edmonds minimum spanning arborescence.
+//!
+//! Given a directed, weighted graph and a root, finds the minimum-weight set
+//! of edges such that every non-root node has exactly one parent and all
+//! nodes are reachable from the root. Blind version recovery adds a virtual
+//! root with uniform-cost edges to every model, so root selection falls out
+//! of the optimisation.
+
+/// A directed weighted edge `from → to`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DirectedEdge {
+    /// Source node.
+    pub from: usize,
+    /// Target node.
+    pub to: usize,
+    /// Edge weight (cost).
+    pub weight: f32,
+}
+
+/// Finds the minimum arborescence rooted at `root` over nodes `0..n`.
+///
+/// Returns `parent[v]` for every node (`parent[root] = root`), or `None`
+/// when some node is unreachable from the root.
+pub fn minimum_arborescence(n: usize, edges: &[DirectedEdge], root: usize) -> Option<Vec<usize>> {
+    if n == 0 || root >= n {
+        return None;
+    }
+    if n == 1 {
+        return Some(vec![root]);
+    }
+    // Recursive contraction implementation of Chu-Liu/Edmonds.
+    solve(n, edges.to_vec(), root).map(|mut parents| {
+        parents[root] = root;
+        parents
+    })
+}
+
+fn solve(n: usize, edges: Vec<DirectedEdge>, root: usize) -> Option<Vec<usize>> {
+    // 1. Pick the cheapest incoming edge for every non-root node.
+    let mut best_in: Vec<Option<DirectedEdge>> = vec![None; n];
+    for e in &edges {
+        if e.to == root || e.from == e.to {
+            continue;
+        }
+        match best_in[e.to] {
+            Some(b) if b.weight <= e.weight => {}
+            _ => best_in[e.to] = Some(*e),
+        }
+    }
+    for (v, b) in best_in.iter().enumerate() {
+        if v != root && b.is_none() {
+            return None; // unreachable
+        }
+    }
+    // 2. Detect a cycle among chosen edges.
+    let mut cycle_id = vec![usize::MAX; n];
+    let mut visited = vec![usize::MAX; n];
+    let mut cycles = 0usize;
+    for start in 0..n {
+        if start == root {
+            continue;
+        }
+        let mut v = start;
+        // Walk up until we hit the root, a previously visited node, or loop.
+        while v != root && visited[v] == usize::MAX {
+            visited[v] = start;
+            v = best_in[v].expect("checked above").from;
+        }
+        if v != root && visited[v] == start && cycle_id[v] == usize::MAX {
+            // Found a new cycle through v.
+            let mut u = v;
+            loop {
+                cycle_id[u] = cycles;
+                u = best_in[u].expect("in cycle").from;
+                if u == v {
+                    break;
+                }
+            }
+            cycles += 1;
+        }
+    }
+    if cycles == 0 {
+        // Tree found: read parents off best_in.
+        let mut parents = vec![root; n];
+        for v in 0..n {
+            if v != root {
+                parents[v] = best_in[v].expect("checked").from;
+            }
+        }
+        return Some(parents);
+    }
+    // 3. Contract cycles into super-nodes.
+    let mut node_map = vec![usize::MAX; n];
+    let mut next = 0usize;
+    for v in 0..n {
+        if cycle_id[v] == usize::MAX {
+            node_map[v] = next;
+            next += 1;
+        }
+    }
+    let base = next;
+    for v in 0..n {
+        if cycle_id[v] != usize::MAX {
+            node_map[v] = base + cycle_id[v];
+        }
+    }
+    let new_n = base + cycles;
+    let new_root = node_map[root];
+    // 4. Reweight edges entering cycles and recurse.
+    // Keep only the cheapest contracted edge per (from, to) pair so the
+    // expansion step can map a chosen super-edge back to a unique original.
+    let mut cheapest: std::collections::HashMap<(usize, usize), (DirectedEdge, DirectedEdge)> =
+        std::collections::HashMap::new();
+    for e in &edges {
+        let (nf, nt) = (node_map[e.from], node_map[e.to]);
+        if nf == nt {
+            continue;
+        }
+        let weight = if cycle_id[e.to] != usize::MAX {
+            e.weight - best_in[e.to].expect("cycle node has best-in").weight
+        } else {
+            e.weight
+        };
+        let contracted = DirectedEdge {
+            from: nf,
+            to: nt,
+            weight,
+        };
+        match cheapest.get(&(nf, nt)) {
+            Some((c, _)) if c.weight <= weight => {}
+            _ => {
+                cheapest.insert((nf, nt), (contracted, *e));
+            }
+        }
+    }
+    // Drain in sorted key order: HashMap iteration order is nondeterministic
+    // and ties in edge weights would otherwise make the arborescence (and
+    // every blind recovery built on it) vary run to run.
+    let mut pairs: Vec<((usize, usize), (DirectedEdge, DirectedEdge))> =
+        cheapest.into_iter().collect();
+    pairs.sort_by_key(|(k, _)| *k);
+    let mut new_edges = Vec::with_capacity(pairs.len());
+    let mut origin: Vec<DirectedEdge> = Vec::with_capacity(pairs.len());
+    for (_, (contracted, original)) in pairs {
+        new_edges.push(contracted);
+        origin.push(original);
+    }
+    let sub_parents = solve(new_n, new_edges.clone(), new_root)?;
+    // 5. Expand: for each contracted node, find which original edge was used.
+    let mut parents = vec![usize::MAX; n];
+    // Nodes inside a cycle default to their cycle predecessor.
+    for v in 0..n {
+        if cycle_id[v] != usize::MAX {
+            parents[v] = best_in[v].expect("cycle").from;
+        }
+    }
+    for (ne, oe) in new_edges.iter().zip(&origin) {
+        // The edge is used in the sub-solution iff it is the parent edge of
+        // its target super-node (match on weight+endpoints; first match wins).
+        if sub_parents[ne.to] == ne.from && parents_unset_or_cycle_entry(&parents, oe.to, &cycle_id)
+        {
+            // Only adopt one entry edge per super-node target.
+            if cycle_id[oe.to] != usize::MAX {
+                // Entering a cycle: oe.to's parent switches to the external
+                // edge, breaking the cycle there.
+                if !entry_done(&parents, &cycle_id, cycle_id[oe.to], &best_in, oe) {
+                    parents[oe.to] = oe.from;
+                }
+            } else if parents[oe.to] == usize::MAX {
+                parents[oe.to] = oe.from;
+            }
+        }
+    }
+    parents[root] = root;
+    // Any remaining unset (shouldn't happen) -> fail loudly.
+    if parents.iter().enumerate().any(|(v, &p)| v != root && p == usize::MAX) {
+        return None;
+    }
+    Some(parents)
+}
+
+fn parents_unset_or_cycle_entry(parents: &[usize], to: usize, cycle_id: &[usize]) -> bool {
+    parents[to] == usize::MAX || cycle_id[to] != usize::MAX
+}
+
+/// Checks whether the cycle `cid` already had its entry edge replaced (i.e.
+/// some member's parent differs from its best-in cycle predecessor).
+fn entry_done(
+    parents: &[usize],
+    cycle_id: &[usize],
+    cid: usize,
+    best_in: &[Option<DirectedEdge>],
+    _candidate: &DirectedEdge,
+) -> bool {
+    for (v, &c) in cycle_id.iter().enumerate() {
+        if c == cid {
+            if let Some(b) = best_in[v] {
+                if parents[v] != b.from {
+                    return true;
+                }
+            }
+        }
+    }
+    false
+}
+
+/// Total weight of a parent assignment under the given edges (picks the
+/// cheapest matching edge per (parent, child); `None` if some edge missing).
+pub fn arborescence_weight(parents: &[usize], edges: &[DirectedEdge], root: usize) -> Option<f32> {
+    let mut total = 0.0f32;
+    for (v, &p) in parents.iter().enumerate() {
+        if v == root {
+            continue;
+        }
+        let w = edges
+            .iter()
+            .filter(|e| e.from == p && e.to == v)
+            .map(|e| e.weight)
+            .fold(f32::INFINITY, f32::min);
+        if w == f32::INFINITY {
+            return None;
+        }
+        total += w;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(from: usize, to: usize, weight: f32) -> DirectedEdge {
+        DirectedEdge { from, to, weight }
+    }
+
+    #[test]
+    fn simple_chain() {
+        let edges = vec![e(0, 1, 1.0), e(1, 2, 1.0), e(0, 2, 5.0)];
+        let parents = minimum_arborescence(3, &edges, 0).unwrap();
+        assert_eq!(parents, vec![0, 0, 1]);
+    }
+
+    #[test]
+    fn prefers_cheaper_parent() {
+        let edges = vec![e(0, 1, 1.0), e(0, 2, 1.0), e(1, 2, 0.1)];
+        let parents = minimum_arborescence(3, &edges, 0).unwrap();
+        assert_eq!(parents[2], 1);
+    }
+
+    #[test]
+    fn breaks_cycles() {
+        // 1 and 2 mutually prefer each other; root edges are expensive but
+        // one must be taken.
+        let edges = vec![
+            e(0, 1, 10.0),
+            e(0, 2, 12.0),
+            e(1, 2, 1.0),
+            e(2, 1, 1.0),
+        ];
+        let parents = minimum_arborescence(3, &edges, 0).unwrap();
+        let w = arborescence_weight(&parents, &edges, 0).unwrap();
+        // Optimal: 0→1 (10) + 1→2 (1) = 11.
+        assert_eq!(parents, vec![0, 0, 1]);
+        assert!((w - 11.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn nested_cycle_case() {
+        // Classic case requiring contraction: a 3-cycle with external entry.
+        let edges = vec![
+            e(0, 1, 5.0),
+            e(1, 2, 1.0),
+            e(2, 3, 1.0),
+            e(3, 1, 1.0),
+            e(0, 2, 3.0),
+            e(0, 3, 8.0),
+        ];
+        let parents = minimum_arborescence(4, &edges, 0).unwrap();
+        let w = arborescence_weight(&parents, &edges, 0).unwrap();
+        // Best: enter the cycle at 2 (0→2 = 3), then 2→3 (1), 3→1 (1) = 5.
+        assert!((w - 5.0).abs() < 1e-5, "weight {w}, parents {parents:?}");
+        assert_eq!(parents[2], 0);
+    }
+
+    #[test]
+    fn unreachable_returns_none() {
+        let edges = vec![e(0, 1, 1.0)];
+        assert!(minimum_arborescence(3, &edges, 0).is_none());
+        assert!(minimum_arborescence(0, &[], 0).is_none());
+        assert!(minimum_arborescence(2, &edges, 5).is_none());
+    }
+
+    #[test]
+    fn single_node() {
+        let parents = minimum_arborescence(1, &[], 0).unwrap();
+        assert_eq!(parents, vec![0]);
+    }
+
+    #[test]
+    fn parallel_edges_pick_cheapest() {
+        let edges = vec![e(0, 1, 9.0), e(0, 1, 2.0)];
+        let parents = minimum_arborescence(2, &edges, 0).unwrap();
+        assert_eq!(parents, vec![0, 0]);
+        assert!((arborescence_weight(&parents, &edges, 0).unwrap() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn larger_random_graph_is_valid_tree() {
+        use mlake_tensor::Pcg64;
+        let mut rng = Pcg64::new(3);
+        let n = 12;
+        let mut edges = Vec::new();
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    edges.push(e(a, b, rng.next_f32() * 10.0));
+                }
+            }
+        }
+        let parents = minimum_arborescence(n, &edges, 0).unwrap();
+        // Valid arborescence: every node reaches the root.
+        for start in 0..n {
+            let mut v = start;
+            let mut hops = 0;
+            while v != 0 {
+                v = parents[v];
+                hops += 1;
+                assert!(hops <= n, "cycle detected from {start}");
+            }
+        }
+    }
+}

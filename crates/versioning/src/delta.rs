@@ -1,0 +1,415 @@
+//! Weight-delta forensics: read the derivation operator off the delta.
+//!
+//! Each operator in `mlake-nn::transform` leaves a distinct signature
+//! (see that module's table); [`DeltaFeatures`] measures the signatures and
+//! [`classify_transform`] maps them to a [`TransformKind`] prediction.
+
+use mlake_nn::{Model, TransformKind};
+use mlake_tensor::{linalg, vector};
+
+/// Measured properties of the delta between an (assumed) parent and child.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeltaFeatures {
+    /// `‖θ_c − θ_p‖ / ‖θ_p‖`; `None` when parameter counts differ.
+    pub relative_norm: Option<f32>,
+    /// Fraction of parameters that changed at all.
+    pub changed_fraction: f32,
+    /// Per-layer relative change (MLPs only; empty otherwise).
+    pub layer_changes: Vec<f32>,
+    /// Effective rank of the single changed layer's delta (MLPs with exactly
+    /// one changed layer only).
+    pub changed_layer_rank: Option<usize>,
+    /// Zero-weight fraction in child minus parent (pruning signal).
+    pub sparsity_gain: f32,
+    /// Ratio of distinct weight values child/parent (quantisation signal;
+    /// `1.0` when unchanged).
+    pub distinct_ratio: f32,
+    /// For LMs: fraction of context rows that changed.
+    pub changed_rows: Option<f32>,
+}
+
+/// Detects whether every weight tensor of an MLP sits on a symmetric uniform
+/// quantisation lattice, returning the bit width if so. Trained
+/// (continuous-valued) weights essentially never do; quantised ones do by
+/// construction.
+pub fn lattice_bits(model: &Model) -> Option<u32> {
+    let m = model.as_mlp()?;
+    'bits: for bits in 2..=8u32 {
+        let levels = ((1i64 << (bits - 1)) - 1) as f32;
+        for l in 0..m.num_layers() {
+            let w = m.weight(l).as_slice();
+            let max = w.iter().fold(0.0f32, |a, &x| a.max(x.abs()));
+            if max == 0.0 {
+                continue;
+            }
+            let scale = max / levels;
+            let tol = max * 1e-5;
+            if !w
+                .iter()
+                .all(|&x| ((x / scale).round() * scale - x).abs() <= tol)
+            {
+                continue 'bits;
+            }
+        }
+        return Some(bits);
+    }
+    None
+}
+
+fn zero_fraction(params: &[f32]) -> f32 {
+    if params.is_empty() {
+        return 0.0;
+    }
+    params.iter().filter(|&&w| w == 0.0).count() as f32 / params.len() as f32
+}
+
+fn distinct_count(params: &[f32]) -> usize {
+    let mut v: Vec<u32> = params.iter().map(|w| w.to_bits()).collect();
+    v.sort_unstable();
+    v.dedup();
+    v.len()
+}
+
+/// Computes delta features between a candidate parent and child.
+pub fn delta_features(parent: &Model, child: &Model) -> DeltaFeatures {
+    let pp = parent.flat_params();
+    let cp = child.flat_params();
+    if pp.len() != cp.len() {
+        return DeltaFeatures {
+            relative_norm: None,
+            changed_fraction: 1.0,
+            layer_changes: Vec::new(),
+            changed_layer_rank: None,
+            sparsity_gain: 0.0,
+            distinct_ratio: 1.0,
+            changed_rows: None,
+        };
+    }
+    let denom = vector::l2_norm(&pp).max(1e-12);
+    let relative_norm = Some(vector::l2_distance(&pp, &cp) / denom);
+    let changed = pp
+        .iter()
+        .zip(&cp)
+        .filter(|(a, b)| (*a - *b).abs() > 1e-7)
+        .count();
+    let changed_fraction = changed as f32 / pp.len().max(1) as f32;
+    let sparsity_gain = zero_fraction(&cp) - zero_fraction(&pp);
+    let distinct_ratio = distinct_count(&cp) as f32 / distinct_count(&pp).max(1) as f32;
+
+    let (layer_changes, changed_layer_rank) = match (parent.as_mlp(), child.as_mlp()) {
+        (Some(p), Some(c)) if p.num_layers() == c.num_layers() => {
+            let mut changes = Vec::with_capacity(p.num_layers());
+            for l in 0..p.num_layers() {
+                let pw = p.weight(l).as_slice();
+                let cw = c.weight(l).as_slice();
+                let d = vector::l2_distance(pw, cw);
+                changes.push(d / vector::l2_norm(pw).max(1e-12));
+            }
+            let changed_layers: Vec<usize> = changes
+                .iter()
+                .enumerate()
+                .filter(|(_, &v)| v > 1e-5)
+                .map(|(i, _)| i)
+                .collect();
+            let rank = if changed_layers.len() == 1 {
+                let l = changed_layers[0];
+                let delta = c.weight(l).sub(p.weight(l)).ok();
+                delta.and_then(|d| linalg::effective_rank(&d, 0.05).ok())
+            } else {
+                None
+            };
+            (changes, rank)
+        }
+        _ => (Vec::new(), None),
+    };
+
+    let changed_rows = match (parent.as_lm(), child.as_lm()) {
+        (Some(p), Some(c)) if p.vocab() == c.vocab() && p.order() == c.order() => {
+            let vocab = p.vocab();
+            let pf = p.flat_params();
+            let cf = c.flat_params();
+            let rows = pf.len() / vocab;
+            let changed = (0..rows)
+                .filter(|&r| {
+                    let a = &pf[r * vocab..(r + 1) * vocab];
+                    let b = &cf[r * vocab..(r + 1) * vocab];
+                    vector::l2_distance(a, b) > 1e-5
+                })
+                .count();
+            Some(changed as f32 / rows.max(1) as f32)
+        }
+        _ => None,
+    };
+
+    DeltaFeatures {
+        relative_norm,
+        changed_fraction,
+        layer_changes,
+        changed_layer_rank,
+        sparsity_gain,
+        distinct_ratio,
+        changed_rows,
+    }
+}
+
+/// Predicts the derivation operator from delta features.
+///
+/// Decision order exploits signature specificity (most specific first):
+/// quantisation (lattice collapse) → pruning (sparsity gain) → single-layer
+/// low-rank (edit/LoRA) → stitch (some layers identical, others replaced
+/// wholesale) → fine-tune (dense small delta) → distill (incompatible or
+/// weight-unrelated).
+pub fn classify_transform(parent: &Model, child: &Model) -> TransformKind {
+    let f = delta_features(parent, child);
+    let Some(rel) = f.relative_norm else {
+        // Architecture changed: only behaviour transfer can explain lineage.
+        return TransformKind::Distill;
+    };
+    // Quantisation: child weights snap onto a symmetric uniform lattice that
+    // the parent's do not. Checked before pruning because coarse quantisation
+    // also zeroes small weights (a sparsity gain that would otherwise read as
+    // pruning), while pruning never produces a lattice.
+    if f.changed_fraction > 0.0 && lattice_bits(child).is_some() && lattice_bits(parent).is_none()
+    {
+        return TransformKind::Quantize;
+    }
+    if f.sparsity_gain > 0.1 {
+        return TransformKind::Prune;
+    }
+    if f.distinct_ratio < 0.25 && f.sparsity_gain.abs() < 0.3 && f.changed_fraction > 0.5 {
+        return TransformKind::Quantize;
+    }
+    if !f.layer_changes.is_empty() {
+        let changed_layers: Vec<usize> = f
+            .layer_changes
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > 1e-5)
+            .map(|(i, _)| i)
+            .collect();
+        if changed_layers.len() == 1 {
+            let l = changed_layers[0];
+            // The delta's spectrum decides: exact rank one (σ₂ ≈ 0) is a
+            // surgical edit; rank strictly below the layer's full rank is a
+            // LoRA adapter (any magnitude); full rank means the layer was
+            // replaced wholesale — a stitch.
+            if let (Some(p), Some(c)) = (parent.as_mlp(), child.as_mlp()) {
+                if let Ok(delta) = c.weight(l).sub(p.weight(l)) {
+                    let min_dim = delta.rows().min(delta.cols());
+                    if let Ok(svs) = linalg::singular_values(&delta, min_dim) {
+                        let s1 = svs.first().copied().unwrap_or(0.0);
+                        let s2 = svs.get(1).copied().unwrap_or(0.0);
+                        // Edits are *exactly* rank one; in f32 the measured
+                        // σ₂/σ₁ noise floor sits around 2e-4, so below 5e-4
+                        // is rank one. Caveat (visible in E1b): a rank-1
+                        // LoRA adapter is mathematically rank one too — not
+                        // separable from the delta spectrum alone.
+                        if s1 > 0.0 && s2 / s1 < 5e-4 {
+                            return TransformKind::Edit;
+                        }
+                        let rank = svs.iter().filter(|&&s| s >= 0.05 * s1).count();
+                        if s1 > 0.0 && rank < min_dim {
+                            return TransformKind::Lora;
+                        }
+                    }
+                }
+            }
+            if f.layer_changes[l] > 0.6 {
+                // Full-rank wholesale replacement with all other layers
+                // bitwise identical: a stitch of two parents.
+                return TransformKind::Stitch;
+            }
+        } else if changed_layers.len() < f.layer_changes.len()
+            && changed_layers.iter().all(|&l| f.layer_changes[l] > 0.5)
+        {
+            // A strict subset of layers replaced wholesale.
+            return TransformKind::Stitch;
+        }
+    }
+    // LM-specific: an edit touches exactly one context row, so only a tiny
+    // fraction of rows (and parameters) change; fine-tuning moves most rows.
+    if let Some(rows) = f.changed_rows {
+        if rows > 0.0 && rows <= 0.15 && f.changed_fraction < 0.2 {
+            return TransformKind::Edit;
+        }
+    }
+    if rel > 0.75 && f.changed_fraction > 0.95 {
+        // Weights essentially unrelated despite compatible shapes: a
+        // re-trained (distilled) sibling rather than a continued training run.
+        return TransformKind::Distill;
+    }
+    TransformKind::FineTune
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlake_nn::transform::{
+        distill::{distill_mlp, DistillConfig},
+        edit::{edit_mlp, EditSpec},
+        finetune::finetune_mlp,
+        lora::{lora_finetune, LoraConfig},
+        prune::prune_mlp,
+        quantize::quantize_mlp,
+        stitch::stitch_mlp,
+    };
+    use mlake_nn::{train_mlp, Activation, LabeledData, Mlp, NgramLm, TrainConfig};
+    use mlake_tensor::{init::Init, Matrix, Seed};
+
+    fn blobs(n: usize, seed: u64) -> LabeledData {
+        let mut rng = Seed::new(seed).derive("delta-blobs").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 2;
+            let center = if c == 0 { -2.0 } else { 2.0 };
+            rows.push(vec![center + rng.normal() * 0.4, center + rng.normal() * 0.4]);
+            labels.push(c);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    fn base() -> Model {
+        let mut rng = Seed::new(71).derive("init").rng();
+        let mut m = Mlp::new(vec![2, 8, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap();
+        train_mlp(&mut m, &blobs(100, 1), &TrainConfig { epochs: 15, ..Default::default() }).unwrap();
+        Model::Mlp(m)
+    }
+
+    #[test]
+    fn classifies_finetune() {
+        let b = base();
+        let (c, _) = finetune_mlp(
+            b.as_mlp().unwrap(),
+            &blobs(60, 9),
+            &TrainConfig { epochs: 4, optimizer: mlake_nn::optim::OptimizerSpec::sgd(0.02), ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(classify_transform(&b, &Model::Mlp(c)), TransformKind::FineTune);
+    }
+
+    #[test]
+    fn classifies_edit() {
+        let b = base();
+        let c = edit_mlp(
+            b.as_mlp().unwrap(),
+            &EditSpec { layer: 0, key: vec![1.0, -0.5], value: vec![0.5; 8] },
+        )
+        .unwrap();
+        assert_eq!(classify_transform(&b, &Model::Mlp(c)), TransformKind::Edit);
+    }
+
+    /// Richer 3-class task: rank-2 LoRA updates are genuinely rank two here
+    /// (on a binary task the update collapses to near-rank-1 and becomes
+    /// indistinguishable from an edit — the documented classifier caveat).
+    fn blobs3(n: usize, seed: u64) -> LabeledData {
+        let mut rng = Seed::new(seed).derive("delta-blobs3").rng();
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..n {
+            let c = i % 3;
+            let mut x = vec![0.0f32; 4];
+            x[c] = 2.0;
+            for v in &mut x {
+                *v += rng.normal() * 0.4;
+            }
+            rows.push(x);
+            labels.push(c);
+        }
+        LabeledData::new(Matrix::from_rows(&rows).unwrap(), labels).unwrap()
+    }
+
+    #[test]
+    fn classifies_lora() {
+        let mut rng = Seed::new(72).derive("init3").rng();
+        let mut m =
+            Mlp::new(vec![4, 8, 3], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap();
+        train_mlp(&mut m, &blobs3(120, 1), &TrainConfig { epochs: 15, ..Default::default() })
+            .unwrap();
+        let b = Model::Mlp(m);
+        let (c, _) = lora_finetune(
+            b.as_mlp().unwrap(),
+            &blobs3(90, 5),
+            &LoraConfig { layer: 0, rank: 2, epochs: 10, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(classify_transform(&b, &Model::Mlp(c)), TransformKind::Lora);
+    }
+
+    #[test]
+    fn classifies_prune_and_quantize() {
+        let b = base();
+        let p = prune_mlp(b.as_mlp().unwrap(), 0.5).unwrap();
+        assert_eq!(classify_transform(&b, &Model::Mlp(p)), TransformKind::Prune);
+        let q = quantize_mlp(b.as_mlp().unwrap(), 4).unwrap();
+        assert_eq!(classify_transform(&b, &Model::Mlp(q)), TransformKind::Quantize);
+    }
+
+    #[test]
+    fn classifies_stitch() {
+        let b = base();
+        let mut rng = Seed::new(77).derive("init2").rng();
+        let mut other =
+            Mlp::new(vec![2, 8, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap();
+        train_mlp(&mut other, &blobs(100, 2), &TrainConfig { epochs: 15, ..Default::default() })
+            .unwrap();
+        let c = stitch_mlp(b.as_mlp().unwrap(), &other, 1).unwrap();
+        assert_eq!(classify_transform(&b, &Model::Mlp(c)), TransformKind::Stitch);
+    }
+
+    #[test]
+    fn classifies_distill_by_arch_change() {
+        let b = base();
+        let probes = Matrix::from_fn(40, 2, |r, c| ((r * 2 + c) as f32).sin() * 2.0);
+        let student = distill_mlp(
+            b.as_mlp().unwrap(),
+            &probes,
+            &DistillConfig { student_hidden: vec![6], epochs: 10, ..Default::default() },
+        )
+        .unwrap();
+        assert_eq!(
+            classify_transform(&b, &Model::Mlp(student)),
+            TransformKind::Distill
+        );
+    }
+
+    #[test]
+    fn lm_edit_detected() {
+        let mut lm = NgramLm::new(8, 2, 0.1).unwrap();
+        lm.add_counts(&(0..200).map(|i| i % 8).collect::<Vec<_>>(), 1.0).unwrap();
+        let parent = Model::Lm(lm.clone());
+        let mut child = lm;
+        child.edit(&[3], 5, 0.9).unwrap();
+        assert_eq!(classify_transform(&parent, &Model::Lm(child)), TransformKind::Edit);
+    }
+
+    #[test]
+    fn lm_finetune_detected() {
+        let mut lm = NgramLm::new(8, 2, 0.1).unwrap();
+        lm.add_counts(&(0..300).map(|i| i % 8).collect::<Vec<_>>(), 1.0).unwrap();
+        let parent = Model::Lm(lm.clone());
+        let mut child = lm;
+        child
+            .add_counts(&(0..300).map(|i| (i * 3) % 8).collect::<Vec<_>>(), 1.0)
+            .unwrap();
+        assert_eq!(
+            classify_transform(&parent, &Model::Lm(child)),
+            TransformKind::FineTune
+        );
+    }
+
+    #[test]
+    fn delta_features_basics() {
+        let b = base();
+        let f = delta_features(&b, &b);
+        assert_eq!(f.relative_norm, Some(0.0));
+        assert_eq!(f.changed_fraction, 0.0);
+        assert_eq!(f.layer_changes.len(), 2);
+        // Cross-architecture: no relative norm.
+        let mut rng = Seed::new(5).rng();
+        let other = Model::Mlp(
+            Mlp::new(vec![2, 4, 2], Activation::Tanh, Init::XavierNormal, &mut rng).unwrap(),
+        );
+        assert_eq!(delta_features(&b, &other).relative_norm, None);
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests for versioning: arborescence validity and
+//! optimality on random graphs, recovery well-formedness on random lakes.
+
+use mlake_datagen::{generate_lake, LakeSpec};
+use mlake_nn::Model;
+use mlake_tensor::Pcg64;
+use mlake_versioning::arborescence::{
+    arborescence_weight, minimum_arborescence, DirectedEdge,
+};
+use mlake_versioning::recover::{recover_graph, RecoveryOptions};
+use proptest::prelude::*;
+
+fn complete_graph(n: usize, seed: u64) -> Vec<DirectedEdge> {
+    let mut rng = Pcg64::new(seed);
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b {
+                edges.push(DirectedEdge {
+                    from: a,
+                    to: b,
+                    weight: rng.next_f32() * 10.0,
+                });
+            }
+        }
+    }
+    edges
+}
+
+/// Brute-force optimal arborescence weight for tiny n via parent-vector
+/// enumeration (each non-root picks any parent; check acyclicity).
+fn brute_force_weight(n: usize, edges: &[DirectedEdge], root: usize) -> Option<f32> {
+    fn weight_of(parents: &[usize], edges: &[DirectedEdge], root: usize) -> Option<f32> {
+        // Reject cycles.
+        for start in 0..parents.len() {
+            let mut v = start;
+            let mut hops = 0;
+            while v != root {
+                v = parents[v];
+                hops += 1;
+                if hops > parents.len() {
+                    return None;
+                }
+            }
+        }
+        arborescence_weight(parents, edges, root)
+    }
+    let mut best: Option<f32> = None;
+    let mut parents = vec![root; n];
+    fn rec(
+        i: usize,
+        n: usize,
+        root: usize,
+        parents: &mut Vec<usize>,
+        edges: &[DirectedEdge],
+        best: &mut Option<f32>,
+    ) {
+        if i == n {
+            if let Some(w) = weight_of(parents, edges, root) {
+                if best.is_none_or(|b| w < b) {
+                    *best = Some(w);
+                }
+            }
+            return;
+        }
+        if i == root {
+            rec(i + 1, n, root, parents, edges, best);
+            return;
+        }
+        for p in 0..n {
+            if p != i {
+                parents[i] = p;
+                rec(i + 1, n, root, parents, edges, best);
+            }
+        }
+        parents[i] = root;
+    }
+    rec(0, n, root, &mut parents, edges, &mut best);
+    best
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Edmonds output is always a valid arborescence on complete graphs.
+    #[test]
+    fn edmonds_output_is_valid(n in 2usize..10, seed in any::<u64>()) {
+        let edges = complete_graph(n, seed);
+        let parents = minimum_arborescence(n, &edges, 0).unwrap();
+        prop_assert_eq!(parents.len(), n);
+        prop_assert_eq!(parents[0], 0);
+        for start in 0..n {
+            let mut v = start;
+            let mut hops = 0;
+            while v != 0 {
+                v = parents[v];
+                hops += 1;
+                prop_assert!(hops <= n, "cycle from {start}");
+            }
+        }
+    }
+
+    /// Edmonds matches brute force on tiny graphs (n <= 5).
+    #[test]
+    fn edmonds_is_optimal_on_tiny_graphs(n in 2usize..6, seed in any::<u64>()) {
+        let edges = complete_graph(n, seed);
+        let parents = minimum_arborescence(n, &edges, 0).unwrap();
+        let got = arborescence_weight(&parents, &edges, 0).unwrap();
+        let best = brute_force_weight(n, &edges, 0).unwrap();
+        prop_assert!((got - best).abs() < 1e-3, "edmonds {got} vs brute {best}");
+    }
+
+    /// Recovery over random tiny lakes is always well-formed: at most one
+    /// parent per child, acyclic, and every model is either a root or a
+    /// child.
+    #[test]
+    fn recovery_wellformed_on_random_lakes(seed in 0u64..50) {
+        let gt = generate_lake(&LakeSpec {
+            seed,
+            num_base_models: 2,
+            derivations_per_base: 2,
+            max_depth: 2,
+            lm_every: 2,
+            train_examples: 40,
+            corpus_len: 400,
+            epochs: 4,
+            ..LakeSpec::default()
+        });
+        let models: Vec<Model> = gt.models.iter().map(|m| m.model.clone()).collect();
+        let graph = recover_graph(&models, None, &RecoveryOptions::default());
+        prop_assert_eq!(graph.num_models, models.len());
+        for i in 0..models.len() {
+            let parents = graph.edges.iter().filter(|e| e.child == i).count();
+            prop_assert!(parents <= 1);
+            prop_assert!(graph.depth_of(i) <= models.len());
+            let is_root = graph.roots.contains(&i);
+            let is_child = parents == 1;
+            prop_assert!(is_root || is_child, "model {i} is orphaned");
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Quickstart: build a tiny model lake, ingest models, and exercise every
+//! headline task — search, versioning, benchmarking, cards, citations, MLQL.
+//!
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use model_lakes::core::lake::{LakeConfig, ModelLake};
+use model_lakes::core::populate::{populate_from_ground_truth, CardPolicy};
+use model_lakes::core::ModelId;
+use model_lakes::datagen::{generate_lake, LakeSpec};
+use model_lakes::fingerprint::FingerprintKind;
+
+fn main() {
+    // 1. Generate a benchmark lake with verified ground truth: real (small)
+    //    models, really derived from each other (fine-tune/LoRA/edit/...).
+    let gt = generate_lake(&LakeSpec::tiny(42));
+    println!(
+        "generated {} models across {} derivation edges\n",
+        gt.models.len(),
+        gt.edges.len()
+    );
+
+    // 2. Stand up a lake and ingest everything with honest documentation.
+    let lake = ModelLake::new(LakeConfig::default());
+    populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).expect("populate");
+    println!("lake holds {} models, benchmarks: {:?}\n", lake.len(), {
+        let mut b = lake.benchmark_names();
+        b.truncate(4);
+        b
+    });
+
+    // 3. Content-based related-model search (model as query).
+    let query_model = ModelId(0);
+    let name = lake.entry(query_model).expect("entry").name;
+    println!("models most similar to '{name}' (hybrid fingerprint):");
+    for (id, sim) in lake
+        .similar(query_model, FingerprintKind::Hybrid, 3)
+        .expect("search")
+    {
+        println!("  {:<40} similarity {:.3}", lake.entry(id).unwrap().name, sim);
+    }
+
+    // 4. Version-graph recovery.
+    let known: Vec<ModelId> = (0..gt.models.len())
+        .filter(|&i| gt.models[i].depth == 0)
+        .map(|i| ModelId(i as u64))
+        .collect();
+    let graph = lake.rebuild_version_graph(Some(known)).expect("graph");
+    println!("\nrecovered version graph: {} edges, {} roots", graph.edges.len(), graph.roots.len());
+
+    // 5. Benchmark leaderboard.
+    let lb = lake.leaderboard("legal-holdout").expect("leaderboard");
+    if let Some(best) = lb.best() {
+        println!(
+            "\nbest model on legal-holdout: {} ({} = {:.3})",
+            lake.entry(ModelId(best.model_id)).unwrap().name,
+            best.score.metric,
+            best.score.value
+        );
+    }
+
+    // 6. Declarative search (MLQL).
+    let mlql = "FIND MODELS WHERE domain = 'legal' ORDER BY score('legal-holdout') DESC LIMIT 3";
+    println!("\nMLQL> {mlql}");
+    for step in lake.explain(mlql).expect("plan") {
+        println!("  plan: {step}");
+    }
+    for hit in lake.query(mlql).expect("query") {
+        println!(
+            "  {:<40} score {:?}",
+            lake.entry(ModelId(hit.id)).unwrap().name,
+            hit.score
+        );
+    }
+
+    // 7. A graph-timestamped citation.
+    let citation = lake.cite(ModelId(1)).expect("cite");
+    println!("\ncitation: {}", citation.text());
+    println!("bibtex key: {}", citation.key());
+}

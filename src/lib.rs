@@ -1,0 +1,12 @@
+//! Umbrella crate re-exporting the whole Model Lakes workspace.
+pub use mlake_attribution as attribution;
+pub use mlake_benchlab as benchlab;
+pub use mlake_cards as cards;
+pub use mlake_core as core;
+pub use mlake_datagen as datagen;
+pub use mlake_fingerprint as fingerprint;
+pub use mlake_index as index;
+pub use mlake_nn as nn;
+pub use mlake_query as query;
+pub use mlake_tensor as tensor;
+pub use mlake_versioning as versioning;

@@ -1,0 +1,91 @@
+//! Workspace-level end-to-end test: the full Figure 2 pipeline through the
+//! umbrella crate — generate → ingest → index → recover → benchmark →
+//! document → verify → audit → cite → query.
+
+use model_lakes::cards::corrupt::{corrupt_card, CardCorruption};
+use model_lakes::core::lake::{LakeConfig, ModelLake};
+use model_lakes::core::populate::{honest_card, populate_from_ground_truth, CardPolicy};
+use model_lakes::core::ModelId;
+use model_lakes::datagen::{generate_lake, LakeSpec};
+use model_lakes::fingerprint::FingerprintKind;
+
+#[test]
+fn figure2_pipeline() {
+    // Generate and ingest.
+    let gt = generate_lake(&LakeSpec::tiny(77));
+    let lake = ModelLake::new(LakeConfig::default());
+    let ids = populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).unwrap();
+    assert_eq!(ids.len(), gt.models.len());
+
+    // Indexer: every model findable via every fingerprint kind.
+    for kind in FingerprintKind::ALL {
+        let hits = lake.similar(ModelId(0), kind, 3).unwrap();
+        assert!(!hits.is_empty(), "{kind:?} search returned nothing");
+    }
+
+    // Version graph with known roots.
+    let known: Vec<ModelId> = (0..gt.models.len())
+        .filter(|&i| gt.models[i].depth == 0)
+        .map(|i| ModelId(i as u64))
+        .collect();
+    let graph = lake.rebuild_version_graph(Some(known)).unwrap();
+    assert!(!graph.edges.is_empty());
+
+    // Benchmarking.
+    let lb = lake.leaderboard("legal-holdout").unwrap();
+    assert!(!lb.rows.is_empty());
+
+    // Documentation generation raises completeness.
+    let derived = ModelId(gt.edges[0].child as u64);
+    let generated = lake.generate_card(derived).unwrap();
+    assert!(generated.completeness() > 0.5);
+
+    // Verification: honest passes, poisoned lineage is contradicted.
+    let honest = honest_card(&gt, derived.0 as usize);
+    lake.update_card(derived, honest.clone()).unwrap();
+    let decoy = gt
+        .models
+        .iter()
+        .map(|m| m.name.as_str())
+        .find(|n| Some(*n) != honest.lineage.base_model.as_deref())
+        .unwrap()
+        .to_string();
+    let poisoned = corrupt_card(&honest, CardCorruption::FalseBaseModel, &decoy, "travel");
+    let honest_contradictions = lake.verify_model_card(derived).unwrap().contradictions();
+    lake.update_card(derived, poisoned).unwrap();
+    let poisoned_contradictions = lake.verify_model_card(derived).unwrap().contradictions();
+    assert!(
+        poisoned_contradictions > honest_contradictions,
+        "poisoned {poisoned_contradictions} !> honest {honest_contradictions}"
+    );
+
+    // Audit + citation.
+    lake.update_card(derived, honest).unwrap();
+    let audit = lake.audit_model(derived).unwrap();
+    assert!(audit.coverage() > 0.5);
+    let citation = lake.cite(derived).unwrap();
+    assert!(citation.graph_timestamp > 0);
+    assert!(citation.text().contains(&gt.models[derived.0 as usize].name));
+
+    // Declarative query joins everything.
+    let hits = lake
+        .query("FIND MODELS WHERE task = 'classification' ORDER BY score('legal-holdout') DESC LIMIT 5")
+        .unwrap();
+    assert!(!hits.is_empty());
+}
+
+#[test]
+fn umbrella_reexports_cover_all_crates() {
+    // The umbrella crate exposes each subsystem under a stable name.
+    let _ = model_lakes::tensor::Seed::new(1);
+    let _ = model_lakes::nn::Activation::Relu;
+    let _ = model_lakes::index::FlatIndex::new();
+    let _ = model_lakes::query::parse("FIND MODELS").unwrap();
+    let _ = model_lakes::benchlab::LifelongBenchmark::new();
+    let _ = model_lakes::cards::ModelCard::skeleton("m", "a");
+    let _ = model_lakes::versioning::RecoveryOptions::default();
+    let _ = model_lakes::attribution::softmax::SoftmaxConfig::default();
+    let _ = model_lakes::fingerprint::FingerprintKind::Hybrid;
+    let _ = model_lakes::datagen::Domain::new("legal");
+    let _ = model_lakes::core::lake::LakeConfig::default();
+}
