@@ -36,15 +36,16 @@ fn run_index(
     queries: &[Vec<f32>],
     truth: &FlatIndex,
 ) -> IndexRun {
+    let items: Vec<(u64, Vec<f32>)> = vectors
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as u64, v.clone()))
+        .collect();
     let t0 = Instant::now();
-    for (i, v) in vectors.iter().enumerate() {
-        index.insert(i as u64, v).expect("insert");
-    }
+    index.insert_batch(&items).expect("insert");
     let build = t0.elapsed();
     let t0 = Instant::now();
-    for q in queries {
-        index.search(q, 10).expect("search");
-    }
+    index.search_many(queries, 10).expect("search");
     let query = t0.elapsed() / queries.len().max(1) as u32;
     let recall = recall_at_k(index, truth, queries, 10).expect("recall");
     IndexRun {
@@ -141,9 +142,12 @@ pub fn run(quick: bool) -> Vec<Table> {
         ef_search: 8,
         seed: 5,
     });
-    for (i, v) in vectors.iter().enumerate() {
-        hnsw.insert(i as u64, v).expect("insert");
-    }
+    let items: Vec<(u64, Vec<f32>)> = vectors
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as u64, v.clone()))
+        .collect();
+    hnsw.insert_batch(&items).expect("insert");
     let mut t2 = Table::new(
         format!("E5b: HNSW recall/latency vs ef (n={n}, unstructured vectors)"),
         &["ef", "query", "recall@10"],

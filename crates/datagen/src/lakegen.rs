@@ -235,23 +235,14 @@ pub fn generate_lake(spec: &LakeSpec) -> GroundTruth {
 
     // ---- Base (foundation) models -------------------------------------
     // Base families are mutually independent (each draws only from its own
-    // derived seed), so they train in parallel on crossbeam scoped threads;
-    // results are committed in family order, keeping the lake a pure
-    // function of `spec.seed`.
+    // derived seed), so they train in parallel on the shared pool; results
+    // are committed in family order, keeping the lake a pure function of
+    // `spec.seed`.
     let base_results: Vec<(GeneratedModel, Dataset)> = {
         let domains = &domains;
-        crossbeam::thread::scope(|scope| {
-            let handles: Vec<_> = (0..spec.num_base_models)
-                .map(|f| {
-                    scope.spawn(move |_| build_base_model(spec, domains, root, f))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("base-model worker panicked"))
-                .collect()
+        mlake_par::par_map_index(spec.num_base_models, 1, |f| {
+            build_base_model(spec, domains, root, f)
         })
-        .expect("crossbeam scope")
     };
     for (f, (mut model, mut ds)) in base_results.into_iter().enumerate() {
         let id = DatasetId(next_dataset);

@@ -13,14 +13,14 @@ pub fn recall_at_k(
     if queries.is_empty() || k == 0 {
         return Ok(0.0);
     }
+    let truths = truth.search_many(queries, k)?;
+    let results = index.search_many(queries, k)?;
     let mut acc = 0.0f64;
-    for q in queries {
-        let exact: std::collections::HashSet<u64> =
-            truth.search(q, k)?.iter().map(|h| h.id).collect();
+    for (exact_hits, got) in truths.iter().zip(&results) {
+        let exact: std::collections::HashSet<u64> = exact_hits.iter().map(|h| h.id).collect();
         if exact.is_empty() {
             continue;
         }
-        let got = index.search(q, k)?;
         let inter = got.iter().filter(|h| exact.contains(&h.id)).count();
         acc += inter as f64 / exact.len() as f64;
     }
@@ -38,11 +38,11 @@ pub fn mrr_at_k(
     if queries.is_empty() {
         return Ok(0.0);
     }
+    let truths = truth.search_many(queries, 1)?;
+    let results = index.search_many(queries, k)?;
     let mut acc = 0.0f64;
-    for q in queries {
-        let exact = truth.search(q, 1)?;
+    for (exact, got) in truths.iter().zip(&results) {
         let Some(best) = exact.first() else { continue };
-        let got = index.search(q, k)?;
         if let Some(rank) = got.iter().position(|h| h.id == best.id) {
             acc += 1.0 / (rank + 1) as f64;
         }

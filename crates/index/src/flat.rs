@@ -1,7 +1,11 @@
 //! Exact brute-force index: the recall ground truth and latency baseline.
 
-use crate::{Hit, VectorIndex};
+use crate::{par_search_many, Hit, VectorIndex};
 use mlake_tensor::{vector, TensorError};
+
+/// Multiply-accumulates per parallel scan block: keeps tiny indexes on the
+/// inline path and gives big ones cache-sized chunks.
+const SCAN_BLOCK_FLOPS: usize = 1 << 18;
 
 /// Contiguous-storage exact-scan index over normalised vectors.
 ///
@@ -66,18 +70,38 @@ impl VectorIndex for FlatIndex {
         }
         let mut q = query.to_vec();
         vector::normalize(&mut q);
-        let mut hits: Vec<Hit> = self
-            .ids
-            .iter()
-            .zip(self.data.chunks_exact(self.dim.max(1)))
-            .map(|(&id, v)| Hit {
-                id,
-                distance: 1.0 - vector::dot(&q, v),
-            })
-            .collect();
-        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
-        hits.truncate(k);
-        Ok(hits)
+        let dim = self.dim.max(1);
+        // Parallel block scan: each fixed block yields its sorted top-k;
+        // block results merge in block order (deterministic across thread
+        // counts — (distance, id) is a strict total order, so the global
+        // top-k is unique).
+        let block = (SCAN_BLOCK_FLOPS / dim).max(64);
+        let top = mlake_par::par_map_reduce(
+            self.ids.len(),
+            block,
+            |range| {
+                let mut hits: Vec<Hit> = range
+                    .map(|i| Hit {
+                        id: self.ids[i],
+                        distance: 1.0 - vector::dot(&q, &self.data[i * dim..(i + 1) * dim]),
+                    })
+                    .collect();
+                hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+                hits.truncate(k);
+                hits
+            },
+            |mut acc, other| {
+                acc.extend(other);
+                acc.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+                acc.truncate(k);
+                acc
+            },
+        );
+        Ok(top.unwrap_or_default())
+    }
+
+    fn search_many(&self, queries: &[Vec<f32>], k: usize) -> Result<Vec<Vec<Hit>>, TensorError> {
+        par_search_many(self, queries, k)
     }
 
     fn len(&self) -> usize {

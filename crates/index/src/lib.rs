@@ -43,8 +43,32 @@ pub trait VectorIndex {
     /// must match the index's first insert.
     fn insert(&mut self, id: u64, vector: &[f32]) -> Result<(), TensorError>;
 
+    /// Inserts a batch of vectors.
+    ///
+    /// The default is the sequential insert loop (stopping at the first
+    /// error); implementations with a concurrent build path — see
+    /// [`hnsw::HnswIndex`] — override it to validate the whole batch up
+    /// front and link in parallel.
+    fn insert_batch(&mut self, items: &[(u64, Vec<f32>)]) -> Result<(), TensorError> {
+        for (id, v) in items {
+            self.insert(*id, v)?;
+        }
+        Ok(())
+    }
+
     /// Returns up to `k` nearest neighbours, ascending by distance.
     fn search(&self, query: &[f32], k: usize) -> Result<Vec<Hit>, TensorError>;
+
+    /// Batched search: one result list per query, in query order.
+    ///
+    /// The default is the sequential query loop; implementations override
+    /// it to answer queries in parallel on the shared pool. Queries are
+    /// independent, so per-query results are identical to [`Self::search`]
+    /// regardless of thread count. The first error (in query order) is
+    /// returned if any query fails.
+    fn search_many(&self, queries: &[Vec<f32>], k: usize) -> Result<Vec<Vec<Hit>>, TensorError> {
+        queries.iter().map(|q| self.search(q, k)).collect()
+    }
 
     /// Number of stored vectors.
     fn len(&self) -> usize;
@@ -56,4 +80,19 @@ pub trait VectorIndex {
 
     /// Short implementation name for reports ("hnsw", "lsh", "flat").
     fn name(&self) -> &'static str;
+}
+
+/// Answers `queries` in parallel on the shared pool, one [`VectorIndex::search`]
+/// per query, results in query order; the first error (in query order) wins.
+///
+/// The building block behind the `search_many` overrides of the concrete
+/// indexes — exposed so external [`VectorIndex`] implementations can reuse it.
+pub fn par_search_many<I: VectorIndex + Sync + ?Sized>(
+    index: &I,
+    queries: &[Vec<f32>],
+    k: usize,
+) -> Result<Vec<Vec<Hit>>, TensorError> {
+    mlake_par::par_map(queries, |q| index.search(q, k))
+        .into_iter()
+        .collect()
 }

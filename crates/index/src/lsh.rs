@@ -174,6 +174,10 @@ impl VectorIndex for LshIndex {
         Ok(hits)
     }
 
+    fn search_many(&self, queries: &[Vec<f32>], k: usize) -> Result<Vec<Vec<Hit>>, TensorError> {
+        crate::par_search_many(self, queries, k)
+    }
+
     fn len(&self) -> usize {
         self.ids.len()
     }

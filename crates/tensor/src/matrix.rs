@@ -5,6 +5,58 @@ use crate::rng::Pcg64;
 use crate::Result;
 use serde::{Deserialize, Serialize};
 
+/// Row block size for the cache-blocked matmul: rows of the left operand
+/// that reuse one L2-resident panel of the right operand.
+const MC: usize = 64;
+/// Depth panel size for the cache-blocked matmul: with typical column
+/// counts in this workspace (≤ a few hundred) a `KC × cols` f32 panel of
+/// the right operand stays within L2.
+const KC: usize = 256;
+
+/// Accumulates `orow += a0·b0 + a1·b1` in one pass: two independent
+/// multiply-add chains per output element for the auto-vectorizer, and
+/// half the passes over `orow` compared with two separate saxpys.
+#[inline]
+fn saxpy2(orow: &mut [f32], a0: f32, b0: &[f32], a1: f32, b1: &[f32]) {
+    for ((o, &x0), &x1) in orow.iter_mut().zip(b0).zip(b1) {
+        *o += a0 * x0 + a1 * x1;
+    }
+}
+
+/// One depth panel `[kb, kend)` of an output row: `orow += arow[kb..kend] · b`.
+#[inline]
+fn matmul_panel(arow: &[f32], b: &[f32], orow: &mut [f32], kb: usize, kend: usize, n: usize) {
+    let mut k = kb;
+    while k + 1 < kend {
+        let (a0, a1) = (arow[k], arow[k + 1]);
+        if a0 == 0.0 && a1 == 0.0 {
+            k += 2;
+            continue;
+        }
+        saxpy2(
+            orow,
+            a0,
+            &b[k * n..(k + 1) * n],
+            a1,
+            &b[(k + 1) * n..(k + 2) * n],
+        );
+        k += 2;
+    }
+    if k < kend {
+        let a0 = arow[k];
+        if a0 != 0.0 {
+            for (o, &x) in orow.iter_mut().zip(&b[k * n..(k + 1) * n]) {
+                *o += a0 * x;
+            }
+        }
+    }
+}
+
+/// Pointer wrapper for provably disjoint cross-thread writes (see `gram`).
+struct SendPtr(*mut f32);
+unsafe impl Send for SendPtr {}
+unsafe impl Sync for SendPtr {}
+
 /// A dense, row-major `f32` matrix.
 ///
 /// This is the universal carrier for model parameters `θ`, datasets `D`,
@@ -217,10 +269,55 @@ impl Matrix {
 
     /// Matrix product `self · rhs`.
     ///
-    /// Uses an ikj loop order so the inner loop streams both operand rows,
-    /// which is cache-friendly for the row-major layout (see the Rust
-    /// Performance Book guidance on memory traffic).
+    /// Cache-blocked and parallel: the row dimension is split across the
+    /// shared pool (each output row is produced entirely by one thread)
+    /// and the depth dimension is tiled in [`KC`]-sized panels so the
+    /// active slab of `rhs` stays in L2 while a block of output rows
+    /// reuses it. Within a row the panel microkernel consumes two depth
+    /// steps per pass ([`saxpy2`]), giving two independent FMA chains for
+    /// the auto-vectorizer. Per output element the accumulation order is
+    /// a function of the shapes alone — never of the thread count — so
+    /// results are bit-identical for any `MLAKE_THREADS`.
     pub fn matmul(&self, rhs: &Matrix) -> Result<Matrix> {
+        if self.cols != rhs.rows {
+            return Err(TensorError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: rhs.shape(),
+            });
+        }
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = Matrix::zeros(m, n);
+        if m == 0 || k == 0 || n == 0 {
+            return Ok(out);
+        }
+        // Rows per parallel chunk: aim for ≥ ~32k MACs per unit of work so
+        // small products never pay scheduling overhead, cap at the L2 row
+        // block size.
+        let rows_per_chunk = (32_768 / (k * n).max(1)).clamp(1, MC);
+        let a = &self.data;
+        let b = &rhs.data;
+        mlake_par::par_chunks_mut(&mut out.data, rows_per_chunk * n, |ci, chunk| {
+            let i0 = ci * rows_per_chunk;
+            let mut kb = 0;
+            while kb < k {
+                let kend = (kb + KC).min(k);
+                for (di, orow) in chunk.chunks_exact_mut(n).enumerate() {
+                    let arow = &a[(i0 + di) * k..(i0 + di + 1) * k];
+                    matmul_panel(arow, b, orow, kb, kend, n);
+                }
+                kb = kend;
+            }
+        });
+        Ok(out)
+    }
+
+    /// Reference single-threaded ikj matrix product (the seed kernel).
+    ///
+    /// Kept for the equivalence property tests and benchmarks; produces
+    /// the same result as [`Matrix::matmul`] up to floating-point
+    /// reassociation of the depth sum.
+    pub fn matmul_naive(&self, rhs: &Matrix) -> Result<Matrix> {
         if self.cols != rhs.rows {
             return Err(TensorError::ShapeMismatch {
                 op: "matmul",
@@ -245,7 +342,7 @@ impl Matrix {
         Ok(out)
     }
 
-    /// Matrix–vector product `self · x`.
+    /// Matrix–vector product `self · x` (row-parallel for tall matrices).
     pub fn matvec(&self, x: &[f32]) -> Result<Vec<f32>> {
         if x.len() != self.cols {
             return Err(TensorError::ShapeMismatch {
@@ -254,13 +351,17 @@ impl Matrix {
                 rhs: (x.len(), 1),
             });
         }
-        Ok(self
-            .rows_iter()
-            .map(|row| crate::vector::dot(row, x))
-            .collect())
+        let grain = (16_384 / self.cols.max(1)).max(1);
+        Ok(mlake_par::par_map_index(self.rows, grain, |r| {
+            crate::vector::dot(self.row(r), x)
+        }))
     }
 
     /// Transposed-matrix–vector product `selfᵀ · x`.
+    ///
+    /// Parallelized as a fixed-block map-reduce over row panels: partial
+    /// `selfᵀ·x` vectors per block of [`KC`] rows, folded in block order,
+    /// so the result is bit-identical across thread counts.
     pub fn t_matvec(&self, x: &[f32]) -> Result<Vec<f32>> {
         if x.len() != self.rows {
             return Err(TensorError::ShapeMismatch {
@@ -269,17 +370,31 @@ impl Matrix {
                 rhs: (x.len(), 1),
             });
         }
-        let mut out = vec![0.0; self.cols];
-        for (r, &xv) in x.iter().enumerate() {
-            if xv == 0.0 {
-                continue;
-            }
-            let row = self.row(r);
-            for (o, &m) in out.iter_mut().zip(row) {
-                *o += xv * m;
-            }
-        }
-        Ok(out)
+        let cols = self.cols;
+        let folded = mlake_par::par_map_reduce(
+            self.rows,
+            KC,
+            |range| {
+                let mut partial = vec![0.0f32; cols];
+                for r in range {
+                    let xv = x[r];
+                    if xv == 0.0 {
+                        continue;
+                    }
+                    for (o, &m) in partial.iter_mut().zip(self.row(r)) {
+                        *o += xv * m;
+                    }
+                }
+                partial
+            },
+            |mut acc, block| {
+                for (o, &p) in acc.iter_mut().zip(&block) {
+                    *o += p;
+                }
+                acc
+            },
+        );
+        Ok(folded.unwrap_or_else(|| vec![0.0; cols]))
     }
 
     /// Returns the transpose.
@@ -472,15 +587,30 @@ impl Matrix {
     }
 
     /// Gram matrix `self · selfᵀ` (used by CKA).
+    ///
+    /// Parallel over the rows of the upper triangle; each `(i, j)` pair
+    /// with `j ≥ i` is computed once by the owner of row `i`, which also
+    /// writes the mirror cell `(j, i)`.
     pub fn gram(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.rows, self.rows);
-        for i in 0..self.rows {
-            for j in i..self.rows {
-                let v = crate::vector::dot(self.row(i), self.row(j));
-                out.data[i * self.rows + j] = v;
-                out.data[j * self.rows + i] = v;
+        let n = self.rows;
+        let mut out = Matrix::zeros(n, n);
+        let grain = (16_384 / (self.cols.max(1) * n.max(1)).max(1)).max(1);
+        let ptr = SendPtr(out.data.as_mut_ptr());
+        mlake_par::par_for(n, grain, |range| {
+            let base = &ptr;
+            for i in range {
+                for j in i..n {
+                    let v = crate::vector::dot(self.row(i), self.row(j));
+                    // SAFETY: cell (r, c) is written only by the thread
+                    // owning row min(r, c); row ranges are disjoint, so no
+                    // two threads touch the same cell.
+                    unsafe {
+                        base.0.add(i * n + j).write(v);
+                        base.0.add(j * n + i).write(v);
+                    }
+                }
             }
-        }
+        });
         out
     }
 }

@@ -46,15 +46,29 @@ pub fn linf_norm(a: &[f32]) -> f32 {
 }
 
 /// Squared Euclidean distance.
+///
+/// Four independent `f64` accumulation chains (summed lane 0 → 3 at the
+/// end) keep the FP pipeline busy and vectorize to 256-bit lanes; `f64`
+/// accumulation still guards against cancellation.
 #[inline]
 pub fn l2_distance_sq(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = 0.0f64;
-    for (&x, &y) in a.iter().zip(b) {
-        let d = f64::from(x) - f64::from(y);
-        acc += d * d;
+    let n = a.len().min(b.len());
+    let chunks = n / 4;
+    let mut s = [0.0f64; 4];
+    for i in 0..chunks {
+        let j = i * 4;
+        for (l, sl) in s.iter_mut().enumerate() {
+            let d = f64::from(a[j + l]) - f64::from(b[j + l]);
+            *sl += d * d;
+        }
     }
-    acc as f32
+    let mut tail = 0.0f64;
+    for i in chunks * 4..n {
+        let d = f64::from(a[i]) - f64::from(b[i]);
+        tail += d * d;
+    }
+    (s[0] + s[1] + s[2] + s[3] + tail) as f32
 }
 
 /// Euclidean distance.
@@ -64,13 +78,41 @@ pub fn l2_distance(a: &[f32], b: &[f32]) -> f32 {
 }
 
 /// Cosine similarity in `[-1, 1]`; returns 0 when either vector is all-zero.
+///
+/// Fused single pass: the dot product and both squared norms come out of
+/// one traversal (this is the hot distance of the vector indexes, so one
+/// memory sweep instead of three matters more than the extra registers).
 pub fn cosine_similarity(a: &[f32], b: &[f32]) -> f32 {
-    let na = l2_norm(a);
-    let nb = l2_norm(b);
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let chunks = n / 4;
+    let mut d = [0.0f32; 4];
+    let mut qa = [0.0f64; 4];
+    let mut qb = [0.0f64; 4];
+    for i in 0..chunks {
+        let j = i * 4;
+        for l in 0..4 {
+            let (x, y) = (a[j + l], b[j + l]);
+            d[l] += x * y;
+            qa[l] += f64::from(x) * f64::from(x);
+            qb[l] += f64::from(y) * f64::from(y);
+        }
+    }
+    let mut dt = 0.0f32;
+    let (mut qat, mut qbt) = (0.0f64, 0.0f64);
+    for i in chunks * 4..n {
+        let (x, y) = (a[i], b[i]);
+        dt += x * y;
+        qat += f64::from(x) * f64::from(x);
+        qbt += f64::from(y) * f64::from(y);
+    }
+    let na = (qa[0] + qa[1] + qa[2] + qa[3] + qat).sqrt() as f32;
+    let nb = (qb[0] + qb[1] + qb[2] + qb[3] + qbt).sqrt() as f32;
     if na == 0.0 || nb == 0.0 {
         return 0.0;
     }
-    (dot(a, b) / (na * nb)).clamp(-1.0, 1.0)
+    let dot = dt + d[0] + d[1] + d[2] + d[3];
+    (dot / (na * nb)).clamp(-1.0, 1.0)
 }
 
 /// Cosine *distance* `1 - cosine_similarity`, the metric used by the indexes.

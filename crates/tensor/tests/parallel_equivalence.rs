@@ -1,0 +1,125 @@
+//! Parallel kernels must agree with their serial execution.
+//!
+//! Determinism policy (see DESIGN.md): every tensor kernel decomposes work
+//! so that the per-element accumulation order is a function of the operand
+//! shapes only, never of the thread count. That makes `matmul`, `gram`,
+//! `matvec`, and `t_matvec` **bit-identical** between a pooled run and a
+//! `mlake_par::serial` run (the same inline path `MLAKE_THREADS=1` takes —
+//! `scripts/ci.sh` re-runs this suite under `MLAKE_THREADS=1` to cover the
+//! env override end-to-end). The tiled kernel vs the naive ikj reference
+//! reassociates additions, so that pair is compared within a tolerance.
+
+use mlake_tensor::{vector, Matrix};
+use proptest::prelude::*;
+
+fn matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data).unwrap())
+    })
+}
+
+/// Rectangular pair with compatible inner dimension, including shapes that
+/// straddle the MC=64 / KC=256 tile boundaries when scaled by the caller.
+fn matmul_pair(max_dim: usize) -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1..=max_dim, 1..=max_dim, 1..=max_dim).prop_flat_map(|(m, k, n)| {
+        (
+            proptest::collection::vec(-5.0f32..5.0, m * k)
+                .prop_map(move |d| Matrix::from_vec(m, k, d).unwrap()),
+            proptest::collection::vec(-5.0f32..5.0, k * n)
+                .prop_map(move |d| Matrix::from_vec(k, n, d).unwrap()),
+        )
+    })
+}
+
+proptest! {
+    #[test]
+    fn matmul_parallel_is_bitwise_serial((a, b) in matmul_pair(24)) {
+        let par = a.matmul(&b).unwrap();
+        let ser = mlake_par::serial(|| a.matmul(&b).unwrap());
+        prop_assert_eq!(par.as_slice(), ser.as_slice());
+    }
+
+    #[test]
+    fn matmul_tiled_matches_naive_within_tolerance((a, b) in matmul_pair(24)) {
+        let tiled = a.matmul(&b).unwrap();
+        let naive = a.matmul_naive(&b).unwrap();
+        for (x, y) in tiled.as_slice().iter().zip(naive.as_slice()) {
+            // Relative tolerance: entries grow with the inner dimension.
+            let scale = x.abs().max(y.abs()).max(1.0);
+            prop_assert!((x - y).abs() <= 1e-4 * scale, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn gram_parallel_is_bitwise_serial(m in matrix(24)) {
+        let par = m.gram();
+        let ser = mlake_par::serial(|| m.gram());
+        prop_assert_eq!(par.as_slice(), ser.as_slice());
+    }
+
+    #[test]
+    fn matvec_parallel_is_bitwise_serial(m in matrix(24)) {
+        let x: Vec<f32> = (0..m.cols()).map(|i| (i as f32) * 0.25 - 1.0).collect();
+        let par = m.matvec(&x).unwrap();
+        let ser = mlake_par::serial(|| m.matvec(&x).unwrap());
+        prop_assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn t_matvec_parallel_is_bitwise_serial(m in matrix(24)) {
+        let x: Vec<f32> = (0..m.rows()).map(|i| (i as f32) * 0.5 - 2.0).collect();
+        let par = m.t_matvec(&x).unwrap();
+        let ser = mlake_par::serial(|| m.t_matvec(&x).unwrap());
+        prop_assert_eq!(par, ser);
+    }
+
+    #[test]
+    fn unrolled_l2_matches_scalar_reference(
+        xs in proptest::collection::vec(-50.0f32..50.0, 1..64)
+    ) {
+        let ys: Vec<f32> = xs.iter().map(|x| x * -0.7 + 2.0).collect();
+        let fast = vector::l2_distance_sq(&xs, &ys);
+        let reference: f64 = xs
+            .iter()
+            .zip(&ys)
+            .map(|(a, b)| {
+                let d = (a - b) as f64;
+                d * d
+            })
+            .sum();
+        let scale = reference.abs().max(1.0) as f32;
+        prop_assert!((fast - reference as f32).abs() <= 1e-5 * scale);
+    }
+
+    #[test]
+    fn fused_cosine_matches_scalar_reference(
+        xs in proptest::collection::vec(-50.0f32..50.0, 1..64)
+    ) {
+        let ys: Vec<f32> = xs.iter().map(|x| x * 0.3 - 1.0).collect();
+        let fast = vector::cosine_similarity(&xs, &ys);
+        let dot: f64 = xs.iter().zip(&ys).map(|(a, b)| (*a as f64) * (*b as f64)).sum();
+        let na: f64 = xs.iter().map(|a| (*a as f64) * (*a as f64)).sum::<f64>().sqrt();
+        let nb: f64 = ys.iter().map(|b| (*b as f64) * (*b as f64)).sum::<f64>().sqrt();
+        let reference = if na == 0.0 || nb == 0.0 {
+            0.0
+        } else {
+            (dot / (na * nb)).clamp(-1.0, 1.0) as f32
+        };
+        prop_assert!((fast - reference).abs() <= 1e-5, "{fast} vs {reference}");
+    }
+}
+
+/// Shapes sized past the tile boundaries (MC=64 rows, KC=256 depth) so the
+/// multi-panel and multi-chunk paths run, not just the small-matrix path.
+#[test]
+fn matmul_parallel_is_bitwise_serial_across_tile_boundaries() {
+    let mut rng = mlake_tensor::Pcg64::new(97);
+    for &(m, k, n) in &[(65usize, 300usize, 17usize), (130, 64, 70), (3, 513, 5)] {
+        let a = Matrix::randn(m, k, &mut rng);
+        let b = Matrix::randn(k, n, &mut rng);
+        let par = a.matmul(&b).unwrap();
+        let ser = mlake_par::serial(|| a.matmul(&b).unwrap());
+        assert_eq!(par.as_slice(), ser.as_slice(), "shape ({m},{k},{n})");
+    }
+}

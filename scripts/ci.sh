@@ -1,0 +1,42 @@
+#!/usr/bin/env bash
+# CI gate for the Model Lakes workspace.
+#
+#   scripts/ci.sh          # tier-1 + full workspace tests + determinism + clippy
+#   scripts/ci.sh --quick  # tier-1 only
+#
+# Tier-1 (ROADMAP.md) is `cargo build --release && cargo test -q`; everything
+# after it widens coverage: the full workspace test suite, the parallel-vs-
+# serial equivalence suites re-run under MLAKE_THREADS=1 (exercising the env
+# override path end-to-end), and clippy with warnings denied on the crates
+# the parallel execution layer touches.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "tier-1: cargo build --release"
+cargo build --release
+
+step "tier-1: cargo test -q"
+cargo test -q
+
+if [[ "${1:-}" == "--quick" ]]; then
+  echo "quick mode: skipping workspace tests, determinism re-run, clippy"
+  exit 0
+fi
+
+step "workspace tests"
+cargo test --workspace -q
+
+step "determinism: equivalence suites under MLAKE_THREADS=1"
+MLAKE_THREADS=1 cargo test -q -p mlake-tensor --test parallel_equivalence
+MLAKE_THREADS=1 cargo test -q -p mlake-index hnsw
+MLAKE_THREADS=1 cargo test -q -p mlake-par
+
+step "clippy -D warnings (parallel-layer crates)"
+cargo clippy -q -p mlake-par -p mlake-tensor -p mlake-index \
+  -p mlake-fingerprint -p mlake-datagen -p mlake-bench -- -D warnings
+
+echo
+echo "ci: all green"

@@ -1,0 +1,380 @@
+#![allow(clippy::all)] // vendored stand-in: keep diff-light, lint the real crates instead
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface the workspace's benches use — groups,
+//! `bench_function`, `bench_with_input`, `iter`, `iter_batched`,
+//! `BenchmarkId`, `BatchSize`, `Throughput`, and the `criterion_group!` /
+//! `criterion_main!` macros — backed by a simple wall-clock measurement
+//! loop (warm-up, then timed samples; median and mean reported to stdout).
+//!
+//! Tuning via environment:
+//! * `MLAKE_BENCH_MS` — target measurement time per benchmark in ms
+//!   (default 300).
+//! * a positional CLI argument filters benchmarks by substring, matching
+//!   `cargo bench -- <filter>`.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost (shape-compatible; the shim
+/// times the routine per batch element either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per routine call.
+    PerIteration,
+}
+
+/// Declared throughput for a benchmark (printed alongside timings).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// A two-part benchmark identifier rendered as `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id from a function name and a parameter display.
+    pub fn new(function: impl fmt::Display, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Creates an id from a parameter alone.
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Measurement driver passed to bench closures.
+pub struct Bencher {
+    target: Duration,
+    /// Measured mean time per iteration.
+    mean: Duration,
+    /// Measured median time per iteration (across samples).
+    median: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    fn new(target: Duration) -> Bencher {
+        Bencher {
+            target,
+            mean: Duration::ZERO,
+            median: Duration::ZERO,
+            iters: 0,
+        }
+    }
+
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that takes a
+        // measurable slice, then scale to the target measurement time.
+        let t0 = Instant::now();
+        black_box(routine());
+        let first = t0.elapsed().max(Duration::from_nanos(20));
+        let per_sample =
+            ((self.target.as_nanos() / 8).max(1) / first.as_nanos().max(1)).clamp(1, 1_000_000)
+                as u64;
+
+        let mut samples: Vec<f64> = Vec::new();
+        let mut total = Duration::ZERO;
+        let mut iters = 0u64;
+        while total < self.target && samples.len() < 64 {
+            let t = Instant::now();
+            for _ in 0..per_sample {
+                black_box(routine());
+            }
+            let dt = t.elapsed();
+            samples.push(dt.as_secs_f64() / per_sample as f64);
+            total += dt;
+            iters += per_sample;
+        }
+        self.finish_samples(samples, iters);
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; only the routine is on
+    /// the clock.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut samples: Vec<f64> = Vec::new();
+        let mut measured = Duration::ZERO;
+        let mut iters = 0u64;
+        let wall = Instant::now();
+        while measured < self.target && samples.len() < 10_000 {
+            // Bound total wall time (setup included) to 4x the target.
+            if wall.elapsed() > self.target * 4 {
+                break;
+            }
+            let input = setup();
+            let t = Instant::now();
+            black_box(routine(input));
+            let dt = t.elapsed();
+            samples.push(dt.as_secs_f64());
+            measured += dt;
+            iters += 1;
+        }
+        self.finish_samples(samples, iters);
+    }
+
+    /// `iter_batched` variant receiving `&mut I`.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, setup: S, mut routine: R, size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        self.iter_batched(setup, |mut input| routine(&mut input), size);
+    }
+
+    fn finish_samples(&mut self, mut samples: Vec<f64>, iters: u64) {
+        if samples.is_empty() {
+            return;
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.median = Duration::from_secs_f64(median);
+        self.mean = Duration::from_secs_f64(mean.max(0.0));
+        self.iters = iters;
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.4} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.4} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// The benchmark manager (`criterion::Criterion` shape).
+pub struct Criterion {
+    filter: Option<String>,
+    target: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        let filter = std::env::args()
+            .skip(1)
+            .find(|a| !a.starts_with('-') && a != "bench");
+        let ms = std::env::var("MLAKE_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Criterion {
+            filter,
+            target: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// CLI-args hook (the shim already reads args in `default`).
+    pub fn configure_from_args(self) -> Criterion {
+        self
+    }
+
+    /// Overrides measurement time.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.target = d;
+        self
+    }
+
+    fn enabled(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one(&mut self, name: &str, throughput: Option<Throughput>, f: impl FnOnce(&mut Bencher)) {
+        if !self.enabled(name) {
+            return;
+        }
+        let mut b = Bencher::new(self.target);
+        f(&mut b);
+        let mut line = format!(
+            "{name:<56} time: [{} (median), {} (mean), {} samples-iters]",
+            fmt_duration(b.median),
+            fmt_duration(b.mean),
+            b.iters
+        );
+        if let Some(tp) = throughput {
+            let per_sec = |n: u64| n as f64 / b.median.as_secs_f64().max(1e-12);
+            match tp {
+                Throughput::Bytes(n) => {
+                    line.push_str(&format!(" thrpt: {:.2} MiB/s", per_sec(n) / (1024.0 * 1024.0)));
+                }
+                Throughput::Elements(n) => {
+                    line.push_str(&format!(" thrpt: {:.2} Kelem/s", per_sec(n) / 1e3));
+                }
+            }
+        }
+        println!("{line}");
+    }
+
+    /// Benchmarks a single function.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Criterion {
+        let name = id.to_string();
+        self.run_one(&name, None, f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sample-size hint (accepted for API compatibility; the shim's loop is
+    /// time-bounded).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Measurement-time override for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.criterion.target = d;
+        self
+    }
+
+    /// Declares throughput for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, tp: Throughput) -> &mut Self {
+        self.throughput = Some(tp);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl fmt::Display,
+        f: impl FnOnce(&mut Bencher),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let tp = self.throughput;
+        self.criterion.run_one(&name, tp, f);
+        self
+    }
+
+    /// Benchmarks a function with a shared input.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: impl fmt::Display,
+        input: &I,
+        f: impl FnOnce(&mut Bencher, &I),
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id);
+        let tp = self.throughput;
+        self.criterion.run_one(&name, tp, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function from bench functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(Duration::from_millis(20));
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(black_box(i));
+            }
+            acc
+        });
+        assert!(b.mean > Duration::ZERO);
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn iter_batched_times_routine_only() {
+        let mut b = Bencher::new(Duration::from_millis(10));
+        b.iter_batched(
+            || vec![1u8; 1024],
+            |v| v.iter().map(|&x| x as u64).sum::<u64>(),
+            BatchSize::SmallInput,
+        );
+        assert!(b.iters > 0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("hnsw", 1000).to_string(), "hnsw/1000");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,564 @@
+#![allow(clippy::all)] // vendored stand-in: keep diff-light, lint the real crates instead
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container cannot reach crates.io, so this vendored shim
+//! implements the serde surface the workspace actually uses — derived
+//! `Serialize`/`Deserialize` on structs and enums, round-tripped through
+//! JSON by the sibling `serde_json` shim.
+//!
+//! Instead of serde's visitor architecture, values convert to and from a
+//! small JSON-shaped [`Content`] tree. `serde_json` then renders/parses
+//! that tree. The derive macros (in the vendored `serde_derive`) generate
+//! `to_content`/`from_content` impls with serde's standard external enum
+//! representation and `#[serde(default)]` support.
+
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet, VecDeque};
+use std::fmt;
+use std::hash::{BuildHasher, Hash};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// JSON-shaped serialization tree: the data model every `Serialize` type
+/// lowers into and every `Deserialize` type is rebuilt from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Negative integers (and any in-range signed value).
+    I64(i64),
+    /// Non-negative integers.
+    U64(u64),
+    /// Floating-point numbers (non-finite values render as `null`).
+    F64(f64),
+    /// Strings.
+    Str(String),
+    /// Arrays.
+    Seq(Vec<Content>),
+    /// Objects, insertion-ordered.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The object entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// A short tag for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Looks up a field by key in a map's entries (first match wins).
+pub fn content_get<'a>(map: &'a [(String, Content)], key: &str) -> Option<&'a Content> {
+    map.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError {
+    msg: String,
+}
+
+impl DeError {
+    /// An error with a caller-provided message.
+    pub fn custom(msg: impl fmt::Display) -> DeError {
+        DeError { msg: msg.to_string() }
+    }
+
+    /// A "missing required field" error.
+    pub fn missing_field(field: &str) -> DeError {
+        DeError {
+            msg: format!("missing field `{field}`"),
+        }
+    }
+
+    /// A type-mismatch error.
+    pub fn expected(what: &'static str, got: &Content) -> DeError {
+        DeError {
+            msg: format!("expected {what}, got {}", got.kind()),
+        }
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can lower itself into [`Content`].
+pub trait Serialize {
+    /// Converts `self` into the content tree.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can be rebuilt from [`Content`].
+///
+/// The lifetime parameter mirrors serde's signature so that derived code
+/// and bounds written against real serde keep compiling; this shim only
+/// supports owned deserialization.
+pub trait Deserialize<'de>: Sized {
+    /// Rebuilds a value from the content tree.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+
+    /// Called for a struct field absent from the input. Errors by default;
+    /// `Option` overrides this to yield `None` (matching serde).
+    fn from_missing(field: &str) -> Result<Self, DeError> {
+        Err(DeError::missing_field(field))
+    }
+}
+
+/// Owned deserialization bound (mirrors `serde::de::DeserializeOwned`).
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// `serde::ser` module shape.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+/// `serde::de` module shape.
+pub mod de {
+    pub use crate::{DeError, Deserialize, DeserializeOwned};
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_de_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: u64 = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => v as u64,
+                    _ => return Err(DeError::expected("unsigned integer", c)),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::custom(format!(
+                    "integer {v} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+ser_de_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! ser_de_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v: i64 = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) if v <= i64::MAX as u64 => v as i64,
+                    Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => v as i64,
+                    _ => return Err(DeError::expected("integer", c)),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::custom(format!(
+                    "integer {v} out of range for {}", stringify!($t)
+                )))
+            }
+        }
+    )*};
+}
+ser_de_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! ser_de_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::F64(f64::from(*self))
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match *c {
+                    Content::F64(v) => Ok(v as $t),
+                    Content::I64(v) => Ok(v as $t),
+                    Content::U64(v) => Ok(v as $t),
+                    // Non-finite floats serialize to null (JSON has no inf/NaN).
+                    Content::Null => Ok(<$t>::NAN),
+                    _ => Err(DeError::expected("float", c)),
+                }
+            }
+        }
+    )*};
+}
+ser_de_float!(f32, f64);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", c)),
+        }
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::expected("single-char string", c)),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("string", c)),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+impl<'de> Deserialize<'de> for () {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(()),
+            _ => Err(DeError::expected("null", c)),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Generic container impls
+// ---------------------------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+
+    fn from_missing(_field: &str) -> Result<Self, DeError> {
+        Ok(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", c))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for VecDeque<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(c).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de>, const N: usize> Deserialize<'de> for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let v = Vec::<T>::from_content(c)?;
+        let n = v.len();
+        v.try_into()
+            .map_err(|_| DeError::custom(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+macro_rules! ser_de_tuple {
+    ($(($($name:ident : $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<'de, $($name: Deserialize<'de>),+> Deserialize<'de> for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let s = c.as_seq().ok_or_else(|| DeError::expected("tuple sequence", c))?;
+                let expected = [$($idx,)+].len();
+                if s.len() != expected {
+                    return Err(DeError::custom(format!(
+                        "expected tuple of {expected}, got {}", s.len()
+                    )));
+                }
+                Ok(($($name::from_content(&s[$idx])?,)+))
+            }
+        }
+    )+};
+}
+ser_de_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3),
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+);
+
+/// Map keys must render as JSON object keys; strings and integers qualify.
+pub trait ContentKey: Sized {
+    /// Renders the key as a JSON object key.
+    fn to_key(&self) -> String;
+    /// Parses the key back.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl ContentKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! int_content_key {
+    ($($t:ty),*) => {$(
+        impl ContentKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| DeError::custom(format!(
+                    "bad integer map key `{key}`"
+                )))
+            }
+        }
+    )*};
+}
+int_content_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: ContentKey, V: Serialize, S: BuildHasher> Serialize for HashMap<K, V, S> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<'de, K: ContentKey + Eq + Hash, V: Deserialize<'de>, S: BuildHasher + Default> Deserialize<'de>
+    for HashMap<K, V, S>
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::expected("map", c))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<K: ContentKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.to_content()))
+                .collect(),
+        )
+    }
+}
+impl<'de, K: ContentKey + Ord, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<K, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_map()
+            .ok_or_else(|| DeError::expected("map", c))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::from_content(v)?)))
+            .collect()
+    }
+}
+
+impl<T: Serialize, S: BuildHasher> Serialize for HashSet<T, S> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + Eq + Hash, S: BuildHasher + Default> Deserialize<'de>
+    for HashSet<T, S>
+{
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", c))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        c.as_seq()
+            .ok_or_else(|| DeError::expected("sequence", c))?
+            .iter()
+            .map(T::from_content)
+            .collect()
+    }
+}
+
+impl Serialize for std::time::Duration {
+    fn to_content(&self) -> Content {
+        Content::Map(vec![
+            ("secs".to_string(), Content::U64(self.as_secs())),
+            ("nanos".to_string(), Content::U64(u64::from(self.subsec_nanos()))),
+        ])
+    }
+}
+impl<'de> Deserialize<'de> for std::time::Duration {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let m = c.as_map().ok_or_else(|| DeError::expected("duration map", c))?;
+        let secs = u64::from_content(
+            content_get(m, "secs").ok_or_else(|| DeError::missing_field("secs"))?,
+        )?;
+        let nanos = u32::from_content(
+            content_get(m, "nanos").ok_or_else(|| DeError::missing_field("nanos"))?,
+        )?;
+        Ok(std::time::Duration::new(secs, nanos))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        assert_eq!(u64::from_content(&42u64.to_content()).unwrap(), 42);
+        assert_eq!(i32::from_content(&(-7i32).to_content()).unwrap(), -7);
+        assert_eq!(f32::from_content(&1.5f32.to_content()).unwrap(), 1.5);
+        assert_eq!(bool::from_content(&true.to_content()).unwrap(), true);
+        assert_eq!(
+            String::from_content(&"hi".to_string().to_content()).unwrap(),
+            "hi"
+        );
+    }
+
+    #[test]
+    fn option_missing_field_yields_none() {
+        assert_eq!(Option::<u32>::from_missing("x").unwrap(), None);
+        assert!(u32::from_missing("x").is_err());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        let v = vec![1u32, 2, 3];
+        assert_eq!(Vec::<u32>::from_content(&v.to_content()).unwrap(), v);
+        let mut m = BTreeMap::new();
+        m.insert("a".to_string(), 1u64);
+        assert_eq!(BTreeMap::from_content(&m.to_content()).unwrap(), m);
+        let t = (1u8, "x".to_string());
+        assert_eq!(<(u8, String)>::from_content(&t.to_content()).unwrap(), t);
+    }
+}

@@ -1,0 +1,474 @@
+#![allow(clippy::all)] // vendored stand-in: keep diff-light, lint the real crates instead
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde shim without `syn`/`quote`: the derive input is parsed
+//! directly from the `proc_macro` token stream (structs with named, tuple
+//! or no fields; enums with unit/tuple/struct variants; no generics), and
+//! the generated impls are emitted as source text.
+//!
+//! Supported field attribute: `#[serde(default)]`.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One parsed field of a struct or struct variant.
+struct Field {
+    name: String,
+    default: bool,
+}
+
+/// The shape of a derive input.
+enum Shape {
+    Named(Vec<Field>),
+    Tuple(usize),
+    Unit,
+}
+
+/// One parsed enum variant.
+struct Variant {
+    name: String,
+    shape: Shape,
+}
+
+/// Parsed derive input.
+struct Input {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    Struct(Shape),
+    Enum(Vec<Variant>),
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_serialize(&parsed).parse().expect("serde shim: generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    gen_deserialize(&parsed).parse().expect("serde shim: generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Outer attributes and visibility.
+    skip_attrs(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic type `{name}`");
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Shape::Named(parse_named_fields(g.stream()))
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Shape::Tuple(count_tuple_fields(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit,
+                other => panic!("serde shim: unexpected struct body {other:?}"),
+            };
+            Input { name, kind: Kind::Struct(shape) }
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                other => panic!("serde shim: unexpected enum body {other:?}"),
+            };
+            Input { name, kind: Kind::Enum(parse_variants(body)) }
+        }
+        other => panic!("serde shim: cannot derive for `{other}`"),
+    }
+}
+
+fn skip_attrs(tokens: &[TokenTree], i: &mut usize) -> bool {
+    // Returns whether any skipped attribute was `#[serde(default)]`.
+    let mut has_default = false;
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        if let Some(TokenTree::Group(g)) = tokens.get(*i + 1) {
+            if attr_is_serde_default(g.stream()) {
+                has_default = true;
+            }
+            *i += 2;
+        } else {
+            break;
+        }
+    }
+    has_default
+}
+
+fn attr_is_serde_default(attr: TokenStream) -> bool {
+    let toks: Vec<TokenTree> = attr.into_iter().collect();
+    match (toks.first(), toks.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "default"))
+        }
+        _ => false,
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("serde shim: expected identifier, got {other:?}"),
+    }
+}
+
+/// Skips tokens until a top-level `,` (angle-bracket depth aware); consumes
+/// the comma. Used to skip types and discriminants we never inspect.
+fn skip_until_comma(tokens: &[TokenTree], i: &mut usize) {
+    let mut depth: i32 = 0;
+    while *i < tokens.len() {
+        match &tokens[*i] {
+            TokenTree::Punct(p) => {
+                let c = p.as_char();
+                // `->` return arrows must not count their '>' as a close.
+                if c == '-'
+                    && matches!(tokens.get(*i + 1), Some(TokenTree::Punct(q)) if q.as_char() == '>')
+                {
+                    *i += 2;
+                    continue;
+                }
+                if c == '<' {
+                    depth += 1;
+                } else if c == '>' {
+                    depth -= 1;
+                } else if c == ',' && depth == 0 {
+                    *i += 1;
+                    return;
+                }
+            }
+            _ => {}
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(body: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let default = skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        skip_visibility(&tokens, &mut i);
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde shim: expected `:` after field `{name}`, got {other:?}"),
+        }
+        skip_until_comma(&tokens, &mut i);
+        fields.push(Field { name, default });
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        // Each segment may start with attrs/visibility; skip, then skip the type.
+        skip_attrs(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        count += 1;
+        skip_until_comma(&tokens, &mut i);
+    }
+    count
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attrs(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let shape = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Shape::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Shape::Named(parse_named_fields(g.stream()))
+            }
+            _ => Shape::Unit,
+        };
+        // Optional discriminant, then the separating comma.
+        skip_until_comma(&tokens, &mut i);
+        variants.push(Variant { name, shape });
+    }
+    variants
+}
+
+// ---------------------------------------------------------------------------
+// Codegen
+// ---------------------------------------------------------------------------
+
+fn ser_named_fields(fields: &[Field], access_prefix: &str) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{n}\"), ::serde::Serialize::to_content(&{p}{n}))",
+                n = f.name,
+                p = access_prefix
+            )
+        })
+        .collect();
+    format!("::serde::Content::Map(::std::vec![{}])", entries.join(", "))
+}
+
+fn de_named_fields(fields: &[Field], map_var: &str) -> String {
+    // Field initializers for a struct literal, reading from `map_var`.
+    fields
+        .iter()
+        .map(|f| {
+            let missing = if f.default {
+                "::std::default::Default::default()".to_string()
+            } else {
+                format!("<_ as ::serde::Deserialize>::from_missing(\"{}\")?", f.name)
+            };
+            format!(
+                "{n}: match ::serde::content_get({m}, \"{n}\") {{ \
+                   ::std::option::Option::Some(v) => <_ as ::serde::Deserialize>::from_content(v)?, \
+                   ::std::option::Option::None => {missing}, \
+                 }},",
+                n = f.name,
+                m = map_var
+            )
+        })
+        .collect()
+}
+
+fn gen_serialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => ser_named_fields(fields, "self."),
+        Kind::Struct(Shape::Tuple(1)) => {
+            // Newtype structs serialize transparently, matching serde.
+            "::serde::Serialize::to_content(&self.0)".to_string()
+        }
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                .collect();
+            format!("::serde::Content::Seq(::std::vec![{}])", items.join(", "))
+        }
+        Kind::Struct(Shape::Unit) => "::serde::Content::Null".to_string(),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => format!(
+                            "{name}::{vn} => ::serde::Content::Str(::std::string::String::from(\"{vn}\")),"
+                        ),
+                        Shape::Tuple(1) => format!(
+                            "{name}::{vn}(x0) => ::serde::Content::Map(::std::vec![(\
+                               ::std::string::String::from(\"{vn}\"), \
+                               ::serde::Serialize::to_content(x0))]),"
+                        ),
+                        Shape::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Serialize::to_content(x{i})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({binds}) => ::serde::Content::Map(::std::vec![(\
+                                   ::std::string::String::from(\"{vn}\"), \
+                                   ::serde::Content::Seq(::std::vec![{items}]))]),",
+                                binds = binds.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        Shape::Named(fields) => {
+                            let binds: Vec<String> =
+                                fields.iter().map(|f| f.name.clone()).collect();
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{n}\"), \
+                                         ::serde::Serialize::to_content({n}))",
+                                        n = f.name
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Content::Map(::std::vec![(\
+                                   ::std::string::String::from(\"{vn}\"), \
+                                   ::serde::Content::Map(::std::vec![{entries}]))]),",
+                                binds = binds.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(input: &Input) -> String {
+    let name = &input.name;
+    let body = match &input.kind {
+        Kind::Struct(Shape::Named(fields)) => {
+            let inits = de_named_fields(fields, "m");
+            format!(
+                "let m = match c {{ \
+                     ::serde::Content::Map(m) => m, \
+                     _ => return ::std::result::Result::Err(::serde::DeError::expected(\"map for struct {name}\", c)), \
+                 }};\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})"
+            )
+        }
+        Kind::Struct(Shape::Tuple(1)) => format!(
+            "::std::result::Result::Ok({name}(<_ as ::serde::Deserialize>::from_content(c)?))"
+        ),
+        Kind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("<_ as ::serde::Deserialize>::from_content(&s[{i}])?"))
+                .collect();
+            format!(
+                "let s = match c {{ \
+                     ::serde::Content::Seq(s) if s.len() == {n} => s, \
+                     _ => return ::std::result::Result::Err(::serde::DeError::expected(\"sequence of {n} for tuple struct {name}\", c)), \
+                 }};\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::Struct(Shape::Unit) => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.shape, Shape::Unit))
+                .map(|v| format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),", vn = v.name))
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.shape {
+                        Shape::Unit => None,
+                        Shape::Tuple(1) => Some(format!(
+                            "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                               <_ as ::serde::Deserialize>::from_content(v)?)),"
+                        )),
+                        Shape::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("<_ as ::serde::Deserialize>::from_content(&s[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{ \
+                                   let s = match v {{ \
+                                       ::serde::Content::Seq(s) if s.len() == {n} => s, \
+                                       _ => return ::std::result::Result::Err(::serde::DeError::expected(\"sequence of {n} for variant {vn}\", v)), \
+                                   }}; \
+                                   ::std::result::Result::Ok({name}::{vn}({items})) \
+                                 }},",
+                                items = items.join(", ")
+                            ))
+                        }
+                        Shape::Named(fields) => {
+                            let inits = de_named_fields(fields, "mm");
+                            Some(format!(
+                                "\"{vn}\" => {{ \
+                                   let mm = match v {{ \
+                                       ::serde::Content::Map(mm) => mm, \
+                                       _ => return ::std::result::Result::Err(::serde::DeError::expected(\"map for variant {vn}\", v)), \
+                                   }}; \
+                                   ::std::result::Result::Ok({name}::{vn} {{ {inits} }}) \
+                                 }},"
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match c {{\n\
+                     ::serde::Content::Str(s) => match s.as_str() {{\n\
+                         {units}\n\
+                         other => ::std::result::Result::Err(::serde::DeError::custom(\
+                             ::std::format!(\"unknown unit variant `{{other}}` for enum {name}\"))),\n\
+                     }},\n\
+                     ::serde::Content::Map(m) if m.len() == 1 => {{\n\
+                         let (k, v) = &m[0];\n\
+                         match k.as_str() {{\n\
+                             {datas}\n\
+                             other => ::std::result::Result::Err(::serde::DeError::custom(\
+                                 ::std::format!(\"unknown variant `{{other}}` for enum {name}\"))),\n\
+                         }}\n\
+                     }},\n\
+                     _ => ::std::result::Result::Err(::serde::DeError::expected(\"enum {name}\", c)),\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                datas = data_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+             fn from_content(c: &::serde::Content) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
