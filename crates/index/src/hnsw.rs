@@ -420,7 +420,24 @@ impl HnswIndex {
             if let Some(&(_, best)) = candidates.first() {
                 ep = best;
             }
-            *locks[new_idx as usize][l].write() = selected.clone();
+            // Merge rather than assign: once the node is reachable on a
+            // higher layer, concurrent inserters may already have pushed
+            // backlinks into this list; overwriting would drop them and
+            // leave asymmetric edges.
+            {
+                let mut own = locks[new_idx as usize][l].write();
+                for &nb in &selected {
+                    if !own.contains(&nb) {
+                        own.push(nb);
+                    }
+                }
+                let cap = self.max_degree(l);
+                if own.len() > cap {
+                    let mut cands: Vec<(f32, u32)> =
+                        own.iter().map(|&x| (self.dist(&q, x), x)).collect();
+                    *own = self.select_neighbors(&mut cands, cap);
+                }
+            }
             // Bidirectional links with degree pruning; only one lock is
             // ever held at a time (select_neighbors touches vectors, not
             // the graph), so lock order cannot deadlock.

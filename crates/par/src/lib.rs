@@ -138,14 +138,16 @@ impl Latch {
     }
 
     fn count_down(&self, payload: Option<Box<dyn std::any::Any + Send>>) {
+        // The decrement and the notification both happen under the mutex:
+        // `wait` only reads `remaining` while holding it, so the waiter
+        // cannot observe zero (and free the stack-allocated latch) until
+        // this guard drops — the unlock is the worker's last touch of
+        // `self`.
+        let mut slot = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(p) = payload {
-            let mut slot = self.lock.lock().unwrap_or_else(|e| e.into_inner());
             slot.get_or_insert(p);
         }
         if self.remaining.fetch_sub(1, Ordering::AcqRel) == 1 {
-            // Last job out: take the lock so a racing `wait` cannot miss
-            // the notification between its check and its park.
-            drop(self.lock.lock().unwrap_or_else(|e| e.into_inner()));
             self.cv.notify_all();
         }
     }
@@ -377,8 +379,13 @@ pub fn par_map_index<R: Send>(len: usize, grain: usize, f: impl Fn(usize) -> R +
             unsafe { base.0.add(i).write(std::mem::MaybeUninit::new(value)) };
         }
     });
-    // SAFETY: par_for visited every index exactly once.
-    unsafe { std::mem::transmute::<Vec<std::mem::MaybeUninit<R>>, Vec<R>>(out) }
+    // SAFETY: par_for visited every index exactly once, so all `len`
+    // slots are initialized. Rebuild via raw parts rather than transmute:
+    // Vec's layout is unspecified, so transmuting Vec<MaybeUninit<R>> to
+    // Vec<R> is UB even though the element types match.
+    let mut out = std::mem::ManuallyDrop::new(out);
+    let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
+    unsafe { Vec::from_raw_parts(ptr as *mut R, len, cap) }
 }
 
 /// Maps `f` over a slice in parallel, preserving order.
