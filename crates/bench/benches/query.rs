@@ -19,19 +19,17 @@ fn bench_execute(c: &mut Criterion) {
     let lake = ModelLake::new(LakeConfig::default());
     populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).unwrap();
     let mut group = c.benchmark_group("mlql_execute");
+    let filter = lake.prepare("FIND MODELS WHERE domain = 'legal'").unwrap();
     group.bench_function("metadata_filter", |b| {
-        b.iter(|| lake.query(black_box("FIND MODELS WHERE domain = 'legal'")).unwrap())
+        b.iter(|| black_box(&filter).run().unwrap())
     });
     // Warm the score cache once so the bench measures steady-state cost.
-    lake.query("FIND MODELS ORDER BY score('legal-holdout') DESC LIMIT 5")
+    let ranked = lake
+        .prepare("FIND MODELS ORDER BY score('legal-holdout') DESC LIMIT 5")
         .unwrap();
+    ranked.run().unwrap();
     group.bench_function("score_ranked_cached", |b| {
-        b.iter(|| {
-            lake.query(black_box(
-                "FIND MODELS ORDER BY score('legal-holdout') DESC LIMIT 5",
-            ))
-            .unwrap()
-        })
+        b.iter(|| black_box(&ranked).run().unwrap())
     });
     group.finish();
 }

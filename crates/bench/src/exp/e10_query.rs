@@ -113,15 +113,16 @@ pub fn run(quick: bool) -> Vec<Table> {
     let spec = if quick {
         LakeSpec::tiny(29)
     } else {
-        LakeSpec {
-            seed: 29,
-            num_base_models: 8,
-            derivations_per_base: 4,
-            ..LakeSpec::default()
-        }
+        LakeSpec::builder()
+            .seed(29)
+            .num_base_models(8)
+            .derivations_per_base(4)
+            .build()
+            .expect("valid spec")
     };
     let gt = generate_lake(&spec);
-    let lake = ModelLake::new(LakeConfig::default());
+    let config = LakeConfig::builder().name("e10-lake").build().expect("valid config");
+    let lake = ModelLake::new(config);
     populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).expect("populate");
     lake.rebuild_version_graph(Some(
         (0..gt.models.len())
@@ -136,9 +137,14 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["query", "correct", "results", "latency", "plan head"],
     );
     for case in build_cases(&lake, &gt) {
+        // Parse once; run and explain share the prepared handle.
+        let prepared = lake.prepare(&case.mlql).expect("query parses");
         let t0 = Instant::now();
-        let hits = lake.query(&case.mlql).expect("query runs");
+        let hits = prepared.run().expect("query runs");
         let latency = t0.elapsed();
+        // A second execution of the same handle must agree exactly.
+        let rerun = prepared.run().expect("rerun");
+        assert_eq!(hits, rerun, "prepared query '{}' not stable", case.name);
         let got: Vec<u64> = hits.iter().map(|h| h.id).collect();
         let correct = if case.ordered {
             got == case.expected
@@ -149,7 +155,7 @@ pub fn run(quick: bool) -> Vec<Table> {
             b.sort_unstable();
             a == b
         };
-        let plan = lake.explain(&case.mlql).expect("plan");
+        let plan = prepared.explain();
         t.row(vec![
             case.name.into(),
             if correct { "yes".into() } else { format!("NO ({got:?} vs {:?})", case.expected) },

@@ -87,12 +87,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     let spec = if quick {
         LakeSpec::tiny(7)
     } else {
-        LakeSpec {
-            seed: 7,
-            num_base_models: 10,
-            derivations_per_base: 5,
-            ..LakeSpec::default()
-        }
+        LakeSpec::builder()
+            .seed(7)
+            .num_base_models(10)
+            .derivations_per_base(5)
+            .build()
+            .expect("valid spec")
     };
     let gt = generate_lake(&spec);
     let models: Vec<_> = gt.models.iter().map(|m| m.model.clone()).collect();

@@ -67,15 +67,15 @@ pub fn run(quick: bool) -> Vec<Table> {
     let spec = if quick {
         LakeSpec::tiny(11)
     } else {
-        LakeSpec {
-            seed: 11,
-            num_base_models: 10,
-            derivations_per_base: 5,
-            ..LakeSpec::default()
-        }
+        LakeSpec::builder()
+            .seed(11)
+            .num_base_models(10)
+            .derivations_per_base(5)
+            .build()
+            .expect("valid spec")
     };
     let gt = generate_lake(&spec);
-    let lake = ModelLake::new(LakeConfig::default());
+    let lake = ModelLake::new(LakeConfig::builder().name("e2-lake").build().expect("valid config"));
     populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).expect("populate");
     let n = gt.models.len();
 

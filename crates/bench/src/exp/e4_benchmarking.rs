@@ -15,15 +15,15 @@ pub fn run(quick: bool) -> Vec<Table> {
     let spec = if quick {
         LakeSpec::tiny(13)
     } else {
-        LakeSpec {
-            seed: 13,
-            num_base_models: 8,
-            derivations_per_base: 4,
-            ..LakeSpec::default()
-        }
+        LakeSpec::builder()
+            .seed(13)
+            .num_base_models(8)
+            .derivations_per_base(4)
+            .build()
+            .expect("valid spec")
     };
     let gt = generate_lake(&spec);
-    let lake = ModelLake::new(LakeConfig::default());
+    let lake = ModelLake::new(LakeConfig::builder().name("e4-lake").build().expect("valid config"));
     populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).expect("populate");
 
     // ---- Table 1: leaderboard head for the legal holdout ---------------

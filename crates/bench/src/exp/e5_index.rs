@@ -3,7 +3,7 @@
 //! latency, build time — the sublinear-vs-linear crossover the paper's
 //! indexer component banks on — plus the HNSW `ef` recall/latency knob.
 
-use crate::table::{f3, ms, Table};
+use crate::table::{f3, metrics_tables, ms, Table};
 use mlake_index::{recall_at_k, FlatIndex, HnswConfig, HnswIndex, LshConfig, LshIndex, VectorIndex};
 use mlake_tensor::Pcg64;
 use std::time::{Duration, Instant};
@@ -64,6 +64,9 @@ pub fn run(quick: bool) -> Vec<Table> {
     };
     let dim = 64;
     let num_queries = if quick { 20 } else { 50 };
+    // Start from a clean slate so the trailing metrics tables describe
+    // exactly this experiment's index traffic.
+    mlake_obs::registry().reset();
 
     let mut t = Table::new(
         format!("E5a: index scaling (d={dim}, k=10, {num_queries} queries)"),
@@ -171,7 +174,13 @@ pub fn run(quick: bool) -> Vec<Table> {
             f3(acc / queries.len() as f32),
         ]);
     }
-    vec![t, t2]
+    let mut tables = vec![t, t2];
+    // Observability readout: HNSW build/search latency distributions,
+    // per-layer visit counters and beam expansions collected by mlake-obs
+    // while the experiment ran. Empty (and therefore omitted) when
+    // MLAKE_OBS=off — recall/latency numbers above are unaffected.
+    tables.extend(metrics_tables("E5c", &mlake_obs::registry().snapshot()));
+    tables
 }
 
 #[cfg(test)]

@@ -21,12 +21,12 @@ pub fn run(quick: bool) -> Vec<Table> {
             ..LakeSpec::tiny(17)
         }
     } else {
-        LakeSpec {
-            seed: 17,
-            num_base_models: 16,
-            derivations_per_base: 7,
-            ..LakeSpec::default()
-        }
+        LakeSpec::builder()
+            .seed(17)
+            .num_base_models(16)
+            .derivations_per_base(7)
+            .build()
+            .expect("valid spec")
     };
     let gt = generate_lake(&spec);
     let n = gt.models.len();

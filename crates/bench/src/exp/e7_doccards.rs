@@ -18,18 +18,18 @@ pub fn run(quick: bool) -> Vec<Table> {
     let spec = if quick {
         LakeSpec::tiny(19)
     } else {
-        LakeSpec {
-            seed: 19,
-            num_base_models: 8,
-            derivations_per_base: 4,
-            ..LakeSpec::default()
-        }
+        LakeSpec::builder()
+            .seed(19)
+            .num_base_models(8)
+            .derivations_per_base(4)
+            .build()
+            .expect("valid spec")
     };
     let gt = generate_lake(&spec);
     let n = gt.models.len();
 
     // ---- (a) document generation on an undocumented lake ----------------
-    let lake = ModelLake::new(LakeConfig::default());
+    let lake = ModelLake::new(LakeConfig::builder().name("e7-lake").build().expect("valid config"));
     populate_from_ground_truth(&lake, &gt, CardPolicy::Skeleton).expect("populate");
     let known: Vec<ModelId> = (0..n)
         .filter(|&i| gt.models[i].depth == 0)
@@ -79,7 +79,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     ]);
 
     // ---- (b) card verification against corruption -----------------------
-    let lake = ModelLake::new(LakeConfig::default());
+    let lake = ModelLake::new(LakeConfig::builder().name("e7-honest-lake").build().expect("valid config"));
     populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).expect("populate");
     let known: Vec<ModelId> = (0..n)
         .filter(|&i| gt.models[i].depth == 0)

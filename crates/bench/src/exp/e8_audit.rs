@@ -21,12 +21,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     let spec = if quick {
         LakeSpec::tiny(23)
     } else {
-        LakeSpec {
-            seed: 23,
-            num_base_models: 8,
-            derivations_per_base: 4,
-            ..LakeSpec::default()
-        }
+        LakeSpec::builder()
+            .seed(23)
+            .num_base_models(8)
+            .derivations_per_base(4)
+            .build()
+            .expect("valid spec")
     };
     let gt = generate_lake(&spec);
     let n = gt.models.len();
@@ -40,7 +40,7 @@ pub fn run(quick: bool) -> Vec<Table> {
         &["regime", "mean audit coverage"],
     );
     // Skeleton cards.
-    let lake = ModelLake::new(LakeConfig::default());
+    let lake = ModelLake::new(LakeConfig::builder().name("e8-lake").build().expect("valid config"));
     populate_from_ground_truth(&lake, &gt, CardPolicy::Skeleton).expect("populate");
     lake.rebuild_version_graph(Some(known.clone())).expect("graph");
     t1.row(vec!["undocumented (skeleton cards)".into(), f3(mean_coverage(&lake, n))]);
@@ -52,7 +52,7 @@ pub fn run(quick: bool) -> Vec<Table> {
     }
     t1.row(vec!["lake auto-generated cards".into(), f3(mean_coverage(&lake, n))]);
     // Honest uploads.
-    let honest = ModelLake::new(LakeConfig::default());
+    let honest = ModelLake::new(LakeConfig::builder().name("e8-honest-lake").build().expect("valid config"));
     populate_from_ground_truth(&honest, &gt, CardPolicy::Honest).expect("populate");
     honest.rebuild_version_graph(Some(known.clone())).expect("graph");
     t1.row(vec!["honest uploaded cards".into(), f3(mean_coverage(&honest, n))]);

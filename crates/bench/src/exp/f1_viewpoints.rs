@@ -18,12 +18,12 @@ pub fn run(quick: bool) -> Vec<Table> {
     let spec = if quick {
         LakeSpec::tiny(37)
     } else {
-        LakeSpec {
-            seed: 37,
-            num_base_models: 8,
-            derivations_per_base: 4,
-            ..LakeSpec::default()
-        }
+        LakeSpec::builder()
+            .seed(37)
+            .num_base_models(8)
+            .derivations_per_base(4)
+            .build()
+            .expect("valid spec")
     };
     let gt = generate_lake(&spec);
     let n = gt.models.len();
@@ -93,7 +93,7 @@ pub fn run(quick: bool) -> Vec<Table> {
 }
 
 fn search_p5(gt: &mlake_datagen::GroundTruth, kind: FingerprintKind, _quick: bool) -> f32 {
-    let lake = ModelLake::new(LakeConfig::default());
+    let lake = ModelLake::new(LakeConfig::builder().name("f1-lake").build().expect("valid config"));
     populate_from_ground_truth(&lake, gt, CardPolicy::Honest).expect("populate");
     let n = gt.models.len();
     let mut acc = 0.0f32;

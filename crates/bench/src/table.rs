@@ -72,6 +72,59 @@ pub fn ms(d: std::time::Duration) -> String {
     format!("{:.2}ms", d.as_secs_f64() * 1e3)
 }
 
+/// Formats a nanosecond reading with an adaptive unit (ns/µs/ms/s).
+pub fn ns(nanos: u64) -> String {
+    let n = nanos as f64;
+    if n < 1e3 {
+        format!("{nanos}ns")
+    } else if n < 1e6 {
+        format!("{:.2}µs", n / 1e3)
+    } else if n < 1e9 {
+        format!("{:.2}ms", n / 1e6)
+    } else {
+        format!("{:.2}s", n / 1e9)
+    }
+}
+
+/// Renders an observability [`mlake_obs::MetricsSnapshot`] as two tables:
+/// latency histograms (count/mean/p50/p95/p99/max) and counters (gauges
+/// fold in as `value (peak)` rows). Empty sections are omitted.
+pub fn metrics_tables(title_prefix: &str, snap: &mlake_obs::MetricsSnapshot) -> Vec<Table> {
+    let mut out = Vec::new();
+    if !snap.histograms.is_empty() {
+        let mut t = Table::new(
+            format!("{title_prefix}: span latencies"),
+            &["span", "count", "mean", "p50", "p95", "p99", "max"],
+        );
+        for h in &snap.histograms {
+            t.row(vec![
+                h.name.clone(),
+                h.count.to_string(),
+                ns(h.mean_ns),
+                ns(h.p50_ns),
+                ns(h.p95_ns),
+                ns(h.p99_ns),
+                ns(h.max_ns),
+            ]);
+        }
+        out.push(t);
+    }
+    if !snap.counters.is_empty() || !snap.gauges.is_empty() {
+        let mut t = Table::new(
+            format!("{title_prefix}: counters"),
+            &["metric", "value"],
+        );
+        for (name, v) in &snap.counters {
+            t.row(vec![name.clone(), v.to_string()]);
+        }
+        for (name, v, peak) in &snap.gauges {
+            t.row(vec![name.clone(), format!("{v} (peak {peak})")]);
+        }
+        out.push(t);
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

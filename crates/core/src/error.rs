@@ -19,6 +19,9 @@ pub enum LakeError {
         /// The conflicting name.
         name: String,
     },
+    /// Invalid lake configuration rejected by
+    /// [`crate::lake::LakeConfigBuilder::build`].
+    Config(String),
     /// Stored artifact failed integrity or decode checks.
     CorruptArtifact(String),
     /// A numeric/shape failure bubbled up from the compute layers.
@@ -34,6 +37,7 @@ impl fmt::Display for LakeError {
         match self {
             LakeError::NotFound { kind, name } => write!(f, "{kind} not found: '{name}'"),
             LakeError::Duplicate { kind, name } => write!(f, "duplicate {kind}: '{name}'"),
+            LakeError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             LakeError::CorruptArtifact(msg) => write!(f, "corrupt artifact: {msg}"),
             LakeError::Tensor(e) => write!(f, "compute error: {e}"),
             LakeError::Query(e) => write!(f, "query error: {e}"),

@@ -24,6 +24,16 @@ pub enum EventKind {
 
 impl EventKind {
     /// Whether this event invalidates previously issued citations.
+    ///
+    /// **Contract** (pinned by `citations_are_stable_across_card_updates`
+    /// and experiment E8): a citation timestamps the *version graph* — the
+    /// lineage a reader relies on when crediting a model — so only events
+    /// that can change that graph count: [`EventKind::ModelIngested`] and
+    /// [`EventKind::GraphRebuilt`]. [`EventKind::CardUpdated`] is
+    /// deliberately excluded: documentation edits must not invalidate
+    /// outstanding citations, and they stay independently auditable via
+    /// [`EventLog::history_of`] and card verification. Dataset/benchmark
+    /// registrations likewise leave the model graph untouched.
     pub fn affects_graph(&self) -> bool {
         matches!(self, EventKind::ModelIngested | EventKind::GraphRebuilt)
     }
@@ -115,6 +125,26 @@ mod tests {
         assert_eq!(log.graph_timestamp(), 2);
         log.append(EventKind::GraphRebuilt, "*");
         assert_eq!(log.graph_timestamp(), 4);
+    }
+
+    #[test]
+    fn card_updates_never_affect_graph() {
+        // Regression pin for the citation contract: any number of card
+        // edits (or dataset/benchmark registrations) leaves the graph
+        // timestamp — and hence every outstanding citation — unchanged.
+        let mut log = EventLog::new();
+        log.append(EventKind::ModelIngested, "m1");
+        log.append(EventKind::GraphRebuilt, "*");
+        let pinned = log.graph_timestamp();
+        for _ in 0..5 {
+            log.append(EventKind::CardUpdated, "m1");
+            log.append(EventKind::DatasetRegistered, "d");
+            log.append(EventKind::BenchmarkRegistered, "b");
+            assert_eq!(log.graph_timestamp(), pinned);
+        }
+        assert!(!EventKind::CardUpdated.affects_graph());
+        assert!(!EventKind::DatasetRegistered.affects_graph());
+        assert!(!EventKind::BenchmarkRegistered.affects_graph());
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::error::{LakeError, Result};
 use crate::event::{EventKind, EventLog};
-use crate::registry::{BenchmarkEntry, ModelEntry, ModelId, Registry};
+use crate::registry::{BenchmarkEntry, ModelEntry, ModelId, ModelRef, Registry};
 use crate::store::{BlobStore, InMemoryStore};
 use mlake_benchlab::{Benchmark, Leaderboard, Score};
 use mlake_cards::{
@@ -53,6 +53,102 @@ impl Default for LakeConfig {
             lm_probes: (16, 2, 24),
             hnsw: HnswConfig::default(),
         }
+    }
+}
+
+impl LakeConfig {
+    /// Starts a validated builder seeded with the defaults.
+    pub fn builder() -> LakeConfigBuilder {
+        LakeConfigBuilder {
+            config: LakeConfig::default(),
+        }
+    }
+}
+
+/// Builder for [`LakeConfig`]. Field setters accept anything; invalid
+/// combinations are rejected with [`LakeError::Config`] at
+/// [`LakeConfigBuilder::build`], so a `LakeConfig` obtained through the
+/// builder is always usable.
+#[derive(Debug, Clone)]
+pub struct LakeConfigBuilder {
+    config: LakeConfig,
+}
+
+impl LakeConfigBuilder {
+    /// Lake name (appears in citations).
+    pub fn name(mut self, name: impl Into<String>) -> Self {
+        self.config.name = name.into();
+        self
+    }
+
+    /// Root seed for probes and sketches.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Fingerprint sketch width.
+    pub fn sketch_dim(mut self, dim: usize) -> Self {
+        self.config.sketch_dim = dim;
+        self
+    }
+
+    /// Classifier probe count / feature dimension / scale.
+    pub fn probes(mut self, count: usize, dim: usize, scale: f32) -> Self {
+        self.config.probes = (count, dim, scale);
+        self
+    }
+
+    /// LM probe context count / context length / vocabulary size.
+    pub fn lm_probes(mut self, contexts: usize, ctx_len: usize, vocab: usize) -> Self {
+        self.config.lm_probes = (contexts, ctx_len, vocab);
+        self
+    }
+
+    /// HNSW parameters for the three fingerprint indexes.
+    pub fn hnsw(mut self, hnsw: HnswConfig) -> Self {
+        self.config.hnsw = hnsw;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<LakeConfig> {
+        let c = &self.config;
+        if c.name.trim().is_empty() {
+            return Err(LakeError::Config("lake name must not be empty".into()));
+        }
+        if c.sketch_dim == 0 {
+            return Err(LakeError::Config("sketch_dim must be positive".into()));
+        }
+        let (n_probe, probe_dim, probe_scale) = c.probes;
+        if n_probe == 0 || probe_dim == 0 {
+            return Err(LakeError::Config(format!(
+                "classifier probes need positive count and dimension, got {n_probe}x{probe_dim}"
+            )));
+        }
+        if !probe_scale.is_finite() || probe_scale <= 0.0 {
+            return Err(LakeError::Config(format!(
+                "probe scale must be finite and positive, got {probe_scale}"
+            )));
+        }
+        let (n_ctx, ctx_len, vocab) = c.lm_probes;
+        if n_ctx == 0 || ctx_len == 0 || vocab == 0 {
+            return Err(LakeError::Config(format!(
+                "LM probes need positive contexts/length/vocab, got {n_ctx}/{ctx_len}/{vocab}"
+            )));
+        }
+        if c.hnsw.m < 2 {
+            return Err(LakeError::Config(format!(
+                "hnsw.m must be at least 2, got {}",
+                c.hnsw.m
+            )));
+        }
+        if c.hnsw.ef_construction == 0 || c.hnsw.ef_search == 0 {
+            return Err(LakeError::Config(
+                "hnsw ef_construction and ef_search must be positive".into(),
+            ));
+        }
+        Ok(self.config)
     }
 }
 
@@ -132,6 +228,7 @@ impl ModelLake {
         model: &Model,
         card: Option<ModelCard>,
     ) -> Result<ModelId> {
+        let _span = mlake_obs::span("lake.ingest");
         {
             let reg = self.registry.read();
             if reg.by_name.contains_key(name) {
@@ -189,8 +286,26 @@ impl ModelLake {
         Ok(id)
     }
 
+    /// Resolves any model identity — id, name or content digest — to the
+    /// lake-local [`ModelId`]. All facade reads funnel through here, so the
+    /// three identities are interchangeable everywhere.
+    pub fn resolve<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<ModelId> {
+        let r = model.into();
+        let reg = self.registry.read();
+        let found = match r {
+            ModelRef::Id(id) => reg.model(id).map(|e| e.id),
+            ModelRef::Name(name) => reg.id_of(name),
+            ModelRef::Digest(d) => reg.models.iter().find(|e| &e.digest == d).map(|e| e.id),
+        };
+        found.ok_or_else(|| LakeError::NotFound {
+            kind: "model",
+            name: r.to_string(),
+        })
+    }
+
     /// Decodes a model artifact from the store.
-    pub fn model(&self, id: ModelId) -> Result<Model> {
+    pub fn model<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<Model> {
+        let id = self.resolve(model)?;
         let digest = {
             let reg = self.registry.read();
             reg.model(id)
@@ -205,18 +320,14 @@ impl ModelLake {
     }
 
     /// Resolves a model name to its id.
+    #[deprecated(since = "0.2.0", note = "use `resolve(name)` — reads accept names directly")]
     pub fn id_of(&self, name: &str) -> Result<ModelId> {
-        self.registry
-            .read()
-            .id_of(name)
-            .ok_or_else(|| LakeError::NotFound {
-                kind: "model",
-                name: name.into(),
-            })
+        self.resolve(name)
     }
 
     /// Registry entry snapshot of a model.
-    pub fn entry(&self, id: ModelId) -> Result<ModelEntry> {
+    pub fn entry<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<ModelEntry> {
+        let id = self.resolve(model)?;
         self.registry
             .read()
             .model(id)
@@ -303,12 +414,14 @@ impl ModelLake {
     /// Content-based related-model search ("model as query", Lu et al.):
     /// the `k` models most similar to `id` under fingerprint `kind`.
     /// Similarity is `1 − cosine distance ∈ [0, 1]`-ish; self is excluded.
-    pub fn similar(
+    pub fn similar<'a>(
         &self,
-        id: ModelId,
+        model: impl Into<ModelRef<'a>>,
         kind: FingerprintKind,
         k: usize,
     ) -> Result<Vec<(ModelId, f32)>> {
+        let _span = mlake_obs::span("lake.similar");
+        let id = self.resolve(model)?;
         let model = self.model(id)?;
         let fp = self.fingerprinter.compute(kind, &model)?;
         let idx = self.indexes.read();
@@ -332,6 +445,7 @@ impl ModelLake {
         &self,
         known_roots: Option<Vec<ModelId>>,
     ) -> Result<RecoveredGraph> {
+        let _span = mlake_obs::span("lake.graph.rebuild");
         let n = self.len();
         let mut models = Vec::with_capacity(n);
         for i in 0..n {
@@ -355,8 +469,9 @@ impl ModelLake {
         self.rebuild_version_graph(None)
     }
 
-    /// Lineage path of `id` from its recovered root, root first, as names.
-    pub fn lineage_path(&self, id: ModelId) -> Result<Vec<String>> {
+    /// Lineage path of a model from its recovered root, root first, as names.
+    pub fn lineage_path<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<Vec<String>> {
+        let id = self.resolve(model)?;
         let graph = self.version_graph()?;
         let mut path = vec![id.0 as usize];
         let mut cur = id.0 as usize;
@@ -380,7 +495,8 @@ impl ModelLake {
     // ------------------------------------------------------------------
 
     /// `S(M, B)` with caching.
-    pub fn score_of(&self, id: ModelId, benchmark: &str) -> Result<Score> {
+    pub fn score_of<'a>(&self, model: impl Into<ModelRef<'a>>, benchmark: &str) -> Result<Score> {
+        let id = self.resolve(model)?;
         if let Some(s) = self.score_cache.read().get(&(id.0, benchmark.to_string())) {
             return Ok(s.clone());
         }
@@ -437,7 +553,8 @@ impl ModelLake {
     /// Measured evidence about a model: re-scored benchmarks, recovered
     /// lineage, predicted domain. This is what verification trusts instead
     /// of the card.
-    pub fn evidence_for(&self, id: ModelId) -> Result<CardEvidence> {
+    pub fn evidence_for<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<CardEvidence> {
+        let id = self.resolve(model)?;
         let model = self.model(id)?;
         let bench_names = self.benchmark_names();
         let mut measured = Vec::new();
@@ -486,7 +603,8 @@ impl ModelLake {
     /// Auto-generates a model card from lake evidence — the §6 document-
     /// generation application. The result reflects what the lake can
     /// *measure*, independent of any uploaded documentation.
-    pub fn generate_card(&self, id: ModelId) -> Result<ModelCard> {
+    pub fn generate_card<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<ModelCard> {
+        let id = self.resolve(model)?;
         let entry = self.entry(id)?;
         let model = self.model(id)?;
         let evidence = self.evidence_for(id)?;
@@ -517,21 +635,30 @@ impl ModelLake {
     }
 
     /// Verifies a model's *uploaded* card against measured evidence.
-    pub fn verify_model_card(&self, id: ModelId) -> Result<VerificationReport> {
+    pub fn verify_model_card<'a>(
+        &self,
+        model: impl Into<ModelRef<'a>>,
+    ) -> Result<VerificationReport> {
+        let _span = mlake_obs::span("lake.verify");
+        let id = self.resolve(model)?;
         let entry = self.entry(id)?;
         let evidence = self.evidence_for(id)?;
         Ok(verify_card(&entry.card, &evidence))
     }
 
     /// Runs the standard audit questionnaire against a model.
-    pub fn audit_model(&self, id: ModelId) -> Result<AuditReport> {
+    pub fn audit_model<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<AuditReport> {
+        let _span = mlake_obs::span("lake.audit");
+        let id = self.resolve(model)?;
         let entry = self.entry(id)?;
         let evidence = self.evidence_for(id)?;
         Ok(run_audit(&entry.card, &evidence, &standard_questionnaire()))
     }
 
     /// Generates a graph-timestamped citation (§6 Data and Model Citation).
-    pub fn cite(&self, id: ModelId) -> Result<Citation> {
+    pub fn cite<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<Citation> {
+        let _span = mlake_obs::span("lake.cite");
+        let id = self.resolve(model)?;
         let entry = self.entry(id)?;
         let version_path = self.lineage_path(id)?;
         Ok(Citation {
@@ -546,22 +673,42 @@ impl ModelLake {
     // Declarative queries (§6 Model Search)
     // ------------------------------------------------------------------
 
+    /// Parses an MLQL query once into a typed handle that can be executed,
+    /// explained or counted any number of times without re-parsing:
+    ///
+    /// ```ignore
+    /// let q = lake.prepare("FIND MODELS WHERE domain = 'legal'")?;
+    /// let hits = q.run()?;       // execute
+    /// let plan = q.explain();    // access plan, no execution
+    /// let n = q.count()?;        // cardinality
+    /// ```
+    pub fn prepare(&self, mlql: &str) -> Result<PreparedQuery<'_>> {
+        let _span = mlake_obs::span("lake.query.prepare");
+        let query = parse(mlql)?;
+        Ok(PreparedQuery {
+            lake: self,
+            query,
+            text: mlql.to_string(),
+        })
+    }
+
     /// Parses and executes an MLQL query against this lake.
+    #[deprecated(since = "0.2.0", note = "use `prepare(mlql)?.run()`")]
     pub fn query(&self, mlql: &str) -> Result<Vec<QueryHit>> {
-        let q = parse(mlql)?;
-        Ok(execute(&q, self)?)
+        self.prepare(mlql)?.run()
     }
 
     /// Explains the access plan of an MLQL query without running it.
+    #[deprecated(since = "0.2.0", note = "use `prepare(mlql)?.explain()`")]
     pub fn explain(&self, mlql: &str) -> Result<Vec<String>> {
-        let q = parse(mlql)?;
-        Ok(mlake_query::explain(&q))
+        Ok(self.prepare(mlql)?.explain())
     }
 
     /// Cardinality query: `COUNT MODELS …` (also accepts `FIND MODELS …`,
     /// counting its result set).
+    #[deprecated(since = "0.2.0", note = "use `prepare(mlql)?.count()`")]
     pub fn count(&self, mlql: &str) -> Result<usize> {
-        Ok(self.query(mlql)?.len())
+        self.prepare(mlql)?.count()
     }
 
     /// Current graph timestamp (for citation stability tests).
@@ -603,6 +750,54 @@ impl ModelLake {
 
     pub(crate) fn restore_event_log(&self, log: EventLog) {
         *self.events.write() = log;
+    }
+}
+
+/// An MLQL query parsed once against a lake, executable many times.
+///
+/// Obtained from [`ModelLake::prepare`]; borrows the lake, so handles are
+/// cheap and cannot outlive it. Repeated [`PreparedQuery::run`] calls skip
+/// lexing/parsing entirely and execute the cached AST.
+#[derive(Clone)]
+pub struct PreparedQuery<'l> {
+    lake: &'l ModelLake,
+    query: mlake_query::Query,
+    text: String,
+}
+
+impl PreparedQuery<'_> {
+    /// The original MLQL source text.
+    pub fn text(&self) -> &str {
+        &self.text
+    }
+
+    /// The parsed query AST.
+    pub fn ast(&self) -> &mlake_query::Query {
+        &self.query
+    }
+
+    /// Executes the query, returning ranked hits.
+    pub fn run(&self) -> Result<Vec<QueryHit>> {
+        let _span = mlake_obs::span("lake.query.run");
+        Ok(execute(&self.query, self.lake)?)
+    }
+
+    /// The access plan, without executing.
+    pub fn explain(&self) -> Vec<String> {
+        mlake_query::explain(&self.query)
+    }
+
+    /// Result-set cardinality (`COUNT MODELS …` or any `FIND`).
+    pub fn count(&self) -> Result<usize> {
+        Ok(self.run()?.len())
+    }
+}
+
+impl std::fmt::Debug for PreparedQuery<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedQuery")
+            .field("text", &self.text)
+            .finish_non_exhaustive()
     }
 }
 
@@ -662,7 +857,7 @@ impl QueryTarget for ModelLake {
         using: &str,
         k: usize,
     ) -> std::result::Result<Vec<(u64, f32)>, QueryError> {
-        let id = self.id_of(model).map_err(|_| QueryError::UnknownEntity {
+        let id = self.resolve(model).map_err(|_| QueryError::UnknownEntity {
             kind: "model",
             name: model.into(),
         })?;
@@ -722,7 +917,7 @@ impl QueryTarget for ModelLake {
         model: &str,
         benchmark: &str,
     ) -> std::result::Result<Vec<u64>, QueryError> {
-        let id = self.id_of(model).map_err(|_| QueryError::UnknownEntity {
+        let id = self.resolve(model).map_err(|_| QueryError::UnknownEntity {
             kind: "model",
             name: model.into(),
         })?;

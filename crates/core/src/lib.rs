@@ -15,14 +15,15 @@
 //!   per viewpoint — wired inside [`lake`];
 //! * the unified [`lake::ModelLake`] API: ingest, search, version-graph
 //!   recovery, benchmarking, document generation, verification, auditing,
-//!   citation, and MLQL querying ([`lake::ModelLake::query`]).
+//!   citation, and MLQL querying ([`lake::ModelLake::prepare`]).
 //!
 //! ```no_run
 //! use mlake_core::lake::{LakeConfig, ModelLake};
 //!
-//! let mut lake = ModelLake::new(LakeConfig::default());
-//! // ... ingest models, then:
-//! let hits = lake.query("FIND MODELS WHERE domain = 'legal' LIMIT 5").unwrap();
+//! let lake = ModelLake::new(LakeConfig::builder().name("demo").build().unwrap());
+//! // ... ingest models, then parse once and execute as often as needed:
+//! let q = lake.prepare("FIND MODELS WHERE domain = 'legal' LIMIT 5").unwrap();
+//! let hits = q.run().unwrap();
 //! # let _ = hits;
 //! ```
 
@@ -36,5 +37,5 @@ pub mod registry;
 pub mod store;
 
 pub use error::LakeError;
-pub use lake::{LakeConfig, ModelLake};
-pub use registry::ModelId;
+pub use lake::{LakeConfig, LakeConfigBuilder, ModelLake, PreparedQuery};
+pub use registry::{ModelId, ModelRef};

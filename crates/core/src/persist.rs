@@ -170,7 +170,9 @@ mod tests {
         assert!(!hits.is_empty());
         // Queries work.
         assert!(!reopened
-            .query("FIND MODELS WHERE task = 'classification'")
+            .prepare("FIND MODELS WHERE task = 'classification'")
+            .unwrap()
+            .run()
             .unwrap()
             .is_empty());
         std::fs::remove_dir_all(&dir).unwrap();

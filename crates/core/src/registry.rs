@@ -16,6 +16,60 @@ impl std::fmt::Display for ModelId {
     }
 }
 
+/// A reference to a model by any of its three identities: lake-local id,
+/// unique name, or content digest. Every read on the
+/// [`crate::ModelLake`] facade accepts `impl Into<ModelRef>`, so call
+/// sites pass whichever identity they hold:
+///
+/// ```ignore
+/// lake.model(id)?;                  // ModelId
+/// lake.model("legal-mlp16-base")?;  // &str name
+/// lake.model(&digest)?;             // &Digest content hash
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ModelRef<'a> {
+    /// Lake-local identifier.
+    Id(ModelId),
+    /// Unique registered name.
+    Name(&'a str),
+    /// Content digest of the stored artifact.
+    Digest(&'a Digest),
+}
+
+impl From<ModelId> for ModelRef<'static> {
+    fn from(id: ModelId) -> Self {
+        ModelRef::Id(id)
+    }
+}
+
+impl<'a> From<&'a str> for ModelRef<'a> {
+    fn from(name: &'a str) -> Self {
+        ModelRef::Name(name)
+    }
+}
+
+impl<'a> From<&'a String> for ModelRef<'a> {
+    fn from(name: &'a String) -> Self {
+        ModelRef::Name(name)
+    }
+}
+
+impl<'a> From<&'a Digest> for ModelRef<'a> {
+    fn from(digest: &'a Digest) -> Self {
+        ModelRef::Digest(digest)
+    }
+}
+
+impl std::fmt::Display for ModelRef<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ModelRef::Id(id) => write!(f, "{id}"),
+            ModelRef::Name(n) => write!(f, "{n}"),
+            ModelRef::Digest(d) => write!(f, "sha256:{}", d.short()),
+        }
+    }
+}
+
 /// Registry record of one model.
 #[derive(Debug, Clone)]
 pub struct ModelEntry {

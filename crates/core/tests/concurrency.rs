@@ -1,0 +1,56 @@
+//! Concurrency hammer: one `ModelLake` under parallel ingest + search +
+//! query on the shared mlake-par pool.
+//!
+//! This is deliberately the only test in this binary: the final assertions
+//! read the process-global observability registry, which Rust's threaded
+//! test harness would otherwise share between unrelated tests.
+
+use mlake_core::lake::{LakeConfig, ModelLake};
+use mlake_core::ModelId;
+use mlake_datagen::{generate_lake, LakeSpec};
+use mlake_fingerprint::FingerprintKind;
+
+#[test]
+fn parallel_ingest_search_query_is_consistent() {
+    let gt = generate_lake(&LakeSpec::tiny(42));
+    let lake = ModelLake::new(LakeConfig::builder().name("hammer").build().unwrap());
+    mlake_obs::registry().reset();
+
+    // Seed one model serially so every search/query has a target.
+    lake.ingest_model(&gt.models[0].name, &gt.models[0].model, None)
+        .unwrap();
+
+    // Each parallel unit ingests one model, then immediately searches and
+    // queries the lake while other units are still mutating it.
+    let rest = &gt.models[1..];
+    let n = rest.len();
+    mlake_par::par_for(n, 1, |range| {
+        for i in range {
+            let m = &rest[i];
+            lake.ingest_model(&m.name, &m.model, None).unwrap();
+            let sims = lake
+                .similar(ModelId(0), FingerprintKind::Intrinsic, 3)
+                .unwrap();
+            assert!(sims.iter().all(|(id, _)| id.0 < gt.models.len() as u64));
+            let q = lake.prepare("FIND MODELS WHERE params > 0").unwrap();
+            assert!(!q.run().unwrap().is_empty());
+        }
+    });
+
+    assert_eq!(lake.len(), gt.models.len());
+    // Event sequence numbers are gap-free under concurrent appends.
+    for (i, e) in lake.events().iter().enumerate() {
+        assert_eq!(e.seq, i as u64 + 1, "event seq gap at position {i}");
+    }
+
+    // Facade-span histograms count exactly one record per operation.
+    // Skipped when observability is disabled (MLAKE_OBS=off CI leg).
+    if mlake_obs::enabled() {
+        let snap = mlake_obs::registry().snapshot();
+        let count = |name: &str| snap.histogram(name).map(|h| h.count).unwrap_or(0);
+        assert_eq!(count("lake.ingest"), n as u64 + 1);
+        assert_eq!(count("lake.similar"), n as u64);
+        assert_eq!(count("lake.query.prepare"), n as u64);
+        assert_eq!(count("lake.query.run"), n as u64);
+    }
+}

@@ -27,7 +27,60 @@ fn ingest_round_trips_artifacts() {
     assert!(matches!(err, Err(LakeError::Duplicate { .. })));
     // Unknown lookups fail cleanly.
     assert!(lake.model(ModelId(999)).is_err());
-    assert!(lake.id_of("ghost").is_err());
+    assert!(lake.resolve("ghost").is_err());
+}
+
+#[test]
+fn model_refs_resolve_by_id_name_and_digest() {
+    let (lake, gt) = populated(CardPolicy::Honest);
+    let name = gt.models[1].name.clone();
+    let by_name = lake.resolve(name.as_str()).unwrap();
+    assert_eq!(by_name, ModelId(1));
+    // Digest round-trip: the entry's digest resolves back to the same id.
+    let digest = lake.entry(ModelId(1)).unwrap().digest;
+    assert_eq!(lake.resolve(&digest).unwrap(), ModelId(1));
+    // Every read accepts any identity interchangeably.
+    assert_eq!(
+        lake.model(name.as_str()).unwrap().flat_params(),
+        lake.model(ModelId(1)).unwrap().flat_params()
+    );
+    assert_eq!(lake.entry(&digest).unwrap().name, name);
+    assert_eq!(
+        lake.cite(name.as_str()).unwrap().model_name,
+        lake.cite(ModelId(1)).unwrap().model_name
+    );
+}
+
+#[test]
+fn config_builder_validates() {
+    let ok = LakeConfig::builder()
+        .name("validated")
+        .seed(7)
+        .sketch_dim(32)
+        .build()
+        .unwrap();
+    assert_eq!(ok.name, "validated");
+    assert_eq!(ok.sketch_dim, 32);
+    assert!(matches!(
+        LakeConfig::builder().name("  ").build(),
+        Err(LakeError::Config(_))
+    ));
+    assert!(matches!(
+        LakeConfig::builder().sketch_dim(0).build(),
+        Err(LakeError::Config(_))
+    ));
+    assert!(matches!(
+        LakeConfig::builder().probes(0, 8, 2.5).build(),
+        Err(LakeError::Config(_))
+    ));
+    assert!(matches!(
+        LakeConfig::builder().probes(32, 8, f32::NAN).build(),
+        Err(LakeError::Config(_))
+    ));
+    assert!(matches!(
+        LakeConfig::builder().lm_probes(16, 2, 0).build(),
+        Err(LakeError::Config(_))
+    ));
 }
 
 #[test]
@@ -133,10 +186,40 @@ fn citations_track_graph_changes() {
 }
 
 #[test]
+fn citations_are_stable_across_card_updates() {
+    // Contract pinned here (see DESIGN.md §5): a citation timestamps the
+    // *version graph*, not the documentation. `EventKind::affects_graph`
+    // therefore deliberately excludes `CardUpdated` — editing a card must
+    // neither bump `graph_timestamp` nor change the citation key, while
+    // the edit itself stays auditable through the event log.
+    let (lake, _gt) = populated(CardPolicy::Honest);
+    lake.rebuild_version_graph(None).unwrap();
+    let before = lake.cite(ModelId(1)).unwrap();
+    let ts_before = lake.graph_timestamp();
+    let mut card = lake.entry(ModelId(1)).unwrap().card;
+    card.notes = "revised documentation".into();
+    lake.update_card(ModelId(1), card).unwrap();
+    let after = lake.cite(ModelId(1)).unwrap();
+    assert_eq!(lake.graph_timestamp(), ts_before);
+    assert_eq!(before.graph_timestamp, after.graph_timestamp);
+    assert_eq!(before.key(), after.key());
+    // The card edit is still on the record.
+    let events = lake.events();
+    assert!(events
+        .iter()
+        .any(|e| e.subject == after.model_name
+            && matches!(e.kind, mlake_core::event::EventKind::CardUpdated)));
+}
+
+#[test]
 fn mlql_queries_run_end_to_end() {
     let (lake, gt) = populated(CardPolicy::Honest);
     // Metadata filter.
-    let legal = lake.query("FIND MODELS WHERE domain = 'legal'").unwrap();
+    let legal = lake
+        .prepare("FIND MODELS WHERE domain = 'legal'")
+        .unwrap()
+        .run()
+        .unwrap();
     let expected = gt
         .models
         .iter()
@@ -146,31 +229,40 @@ fn mlql_queries_run_end_to_end() {
     // Trained-on with versions.
     let ds_name = &gt.datasets[0].name;
     let trained = lake
-        .query(&format!(
+        .prepare(&format!(
             "FIND MODELS TRAINED ON DATASET '{ds_name}' INCLUDING VERSIONS"
         ))
+        .unwrap()
+        .run()
         .unwrap();
     assert!(!trained.is_empty());
-    // Similarity query.
+    // Similarity query: prepare once, reuse the handle for run and explain.
     let q = format!(
         "FIND MODELS SIMILAR TO MODEL '{}' USING weights TOP 3",
         gt.models[0].name
     );
-    let sim = lake.query(&q).unwrap();
+    let prepared = lake.prepare(&q).unwrap();
+    assert_eq!(prepared.text(), q);
+    let sim = prepared.run().unwrap();
     assert!(sim.len() <= 3);
     assert!(sim.iter().all(|h| h.similarity.is_some()));
+    // Repeated runs of one handle agree (parse once, execute many).
+    assert_eq!(prepared.run().unwrap(), sim);
     // Order by benchmark score.
     let ranked = lake
-        .query("FIND MODELS ORDER BY score('legal-holdout') DESC LIMIT 3")
+        .prepare("FIND MODELS ORDER BY score('legal-holdout') DESC LIMIT 3")
+        .unwrap()
+        .run()
         .unwrap();
     assert!(ranked.len() <= 3);
-    // Plan narration.
-    let plan = lake.explain(&q).unwrap();
+    // Plan narration from the same prepared handle.
+    let plan = prepared.explain();
     assert!(plan[0].contains("ANN-INDEX SCAN"));
-    // Unknown model in clause errors.
-    assert!(lake
-        .query("FIND MODELS SIMILAR TO MODEL 'ghost'")
-        .is_err());
+    // Unknown model in clause errors at run time, not prepare time.
+    let ghost = lake.prepare("FIND MODELS SIMILAR TO MODEL 'ghost'").unwrap();
+    assert!(ghost.run().is_err());
+    // Syntax errors surface at prepare time.
+    assert!(lake.prepare("FIND GARBAGE WAT").is_err());
 }
 
 #[test]
@@ -210,12 +302,21 @@ fn count_queries() {
         .filter(|m| m.domain.name() == "legal")
         .count();
     assert_eq!(
-        lake.count("COUNT MODELS WHERE domain = 'legal'").unwrap(),
+        lake.prepare("COUNT MODELS WHERE domain = 'legal'")
+            .unwrap()
+            .count()
+            .unwrap(),
         legal
     );
-    assert_eq!(lake.count("COUNT MODELS").unwrap(), gt.models.len());
     assert_eq!(
-        lake.count("FIND MODELS WHERE domain = 'legal'").unwrap(),
+        lake.prepare("COUNT MODELS").unwrap().count().unwrap(),
+        gt.models.len()
+    );
+    assert_eq!(
+        lake.prepare("FIND MODELS WHERE domain = 'legal'")
+            .unwrap()
+            .count()
+            .unwrap(),
         legal
     );
 }

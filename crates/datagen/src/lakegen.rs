@@ -80,6 +80,95 @@ impl LakeSpec {
             ..LakeSpec::default()
         }
     }
+
+    /// Starts a validated builder seeded with the defaults.
+    pub fn builder() -> LakeSpecBuilder {
+        LakeSpecBuilder {
+            spec: LakeSpec::default(),
+        }
+    }
+}
+
+/// Builder for [`LakeSpec`]. Invalid shapes (an empty lake, zero training
+/// data, depth that can never hold the requested derivations) are rejected
+/// at [`LakeSpecBuilder::build`] instead of panicking mid-generation.
+#[derive(Debug, Clone)]
+pub struct LakeSpecBuilder {
+    spec: LakeSpec,
+}
+
+impl LakeSpecBuilder {
+    /// Root seed; the entire lake is a pure function of it.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.spec.seed = seed;
+        self
+    }
+
+    /// Number of independently initialised base (foundation) models.
+    pub fn num_base_models(mut self, n: usize) -> Self {
+        self.spec.num_base_models = n;
+        self
+    }
+
+    /// Derived models created per base family (on average).
+    pub fn derivations_per_base(mut self, n: usize) -> Self {
+        self.spec.derivations_per_base = n;
+        self
+    }
+
+    /// Maximum derivation-chain depth below a base model.
+    pub fn max_depth(mut self, d: usize) -> Self {
+        self.spec.max_depth = d;
+        self
+    }
+
+    /// Every `n`-th family is a language-model family (0 disables LMs).
+    pub fn lm_every(mut self, n: usize) -> Self {
+        self.spec.lm_every = n;
+        self
+    }
+
+    /// Training-set size per tabular dataset.
+    pub fn train_examples(mut self, n: usize) -> Self {
+        self.spec.train_examples = n;
+        self
+    }
+
+    /// Corpus length per LM dataset.
+    pub fn corpus_len(mut self, n: usize) -> Self {
+        self.spec.corpus_len = n;
+        self
+    }
+
+    /// Training epochs for base models and fine-tunes.
+    pub fn epochs(mut self, n: usize) -> Self {
+        self.spec.epochs = n;
+        self
+    }
+
+    /// Validates and returns the spec, or an explanation of what is wrong.
+    pub fn build(self) -> Result<LakeSpec, String> {
+        let s = &self.spec;
+        if s.num_base_models == 0 {
+            return Err("num_base_models must be positive (an empty lake has no ground truth)".into());
+        }
+        if s.derivations_per_base > 0 && s.max_depth == 0 {
+            return Err(format!(
+                "max_depth 0 cannot hold {} derivations per base",
+                s.derivations_per_base
+            ));
+        }
+        if s.train_examples == 0 {
+            return Err("train_examples must be positive".into());
+        }
+        if s.corpus_len == 0 && s.lm_every > 0 {
+            return Err("corpus_len must be positive when LM families are enabled".into());
+        }
+        if s.epochs == 0 {
+            return Err("epochs must be positive".into());
+        }
+        Ok(self.spec)
+    }
 }
 
 /// One generated model plus its true provenance metadata.

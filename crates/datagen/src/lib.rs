@@ -28,4 +28,4 @@ pub mod tabular;
 
 pub use dataset::{Dataset, DatasetId, DatasetKind, DatasetVersionOp};
 pub use domain::Domain;
-pub use lakegen::{generate_lake, GeneratedModel, GroundTruth, GtEdge, LakeSpec};
+pub use lakegen::{generate_lake, GeneratedModel, GroundTruth, GtEdge, LakeSpec, LakeSpecBuilder};

@@ -51,12 +51,14 @@ impl Fingerprinter {
 
     /// Intrinsic fingerprint: 8 moment features + hashed weight sketch.
     pub fn intrinsic(&self, model: &Model) -> Vec<f32> {
+        let _span = mlake_obs::span("fingerprint.intrinsic");
         model_dna(model, self.sketch_dim, self.seed)
     }
 
     /// Extrinsic fingerprint: hashed behavioural responses on the shared
     /// probe set, `sketch_dim` wide.
     pub fn extrinsic(&self, model: &Model) -> mlake_tensor::Result<Vec<f32>> {
+        let _span = mlake_obs::span("fingerprint.extrinsic");
         self.probes.behavior_sketch(model, self.sketch_dim, self.seed)
     }
 
@@ -92,6 +94,7 @@ impl Fingerprinter {
         kind: FingerprintKind,
         models: &[M],
     ) -> mlake_tensor::Result<Vec<Vec<f32>>> {
+        let _span = mlake_obs::span("fingerprint.batch");
         mlake_par::par_map(models, |m| self.compute(kind, m.borrow()))
             .into_iter()
             .collect()

@@ -24,6 +24,29 @@ const PARALLEL_BUILD_MIN: usize = 64;
 /// concurrent inserts never race against a near-empty graph.
 const SERIAL_SEED: usize = 32;
 
+/// Static per-layer visit-counter names (layers ≥ 7 fold into the last
+/// entry) so the search hot path never formats a metric name.
+const LAYER_VISITS: [&str; 8] = [
+    "hnsw.search.visited.l0",
+    "hnsw.search.visited.l1",
+    "hnsw.search.visited.l2",
+    "hnsw.search.visited.l3",
+    "hnsw.search.visited.l4",
+    "hnsw.search.visited.l5",
+    "hnsw.search.visited.l6",
+    "hnsw.search.visited.l7",
+];
+
+/// Visit/expansion tallies for one beam search, accumulated locally and
+/// flushed to the registry once per query.
+#[derive(Default)]
+struct SearchStats {
+    /// Nodes whose distance to the query was evaluated.
+    visits: u64,
+    /// Frontier pops that survived the termination check (beam expansions).
+    expansions: u64,
+}
+
 /// HNSW construction/search parameters.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct HnswConfig {
@@ -140,10 +163,21 @@ impl HnswIndex {
 
     /// Greedy best-first search on one layer; returns up to `ef` closest
     /// nodes as a max-heap-drained, *unsorted* vector of (distance, idx).
-    fn search_layer(&self, q: &[f32], entry: u32, ef: usize, layer: usize) -> Vec<(f32, u32)> {
+    /// When `stats` is provided, tallies visited nodes and beam expansions.
+    fn search_layer(
+        &self,
+        q: &[f32],
+        entry: u32,
+        ef: usize,
+        layer: usize,
+        mut stats: Option<&mut SearchStats>,
+    ) -> Vec<(f32, u32)> {
         let mut visited = vec![false; self.nodes.len()];
         visited[entry as usize] = true;
         let d0 = self.dist(q, entry);
+        if let Some(s) = stats.as_deref_mut() {
+            s.visits += 1;
+        }
         let mut frontier = BinaryHeap::new();
         frontier.push(NearFirst(d0, entry));
         let mut results: BinaryHeap<FarFirst> = BinaryHeap::new();
@@ -154,11 +188,17 @@ impl HnswIndex {
             if d_cand > worst && results.len() >= ef {
                 break;
             }
+            if let Some(s) = stats.as_deref_mut() {
+                s.expansions += 1;
+            }
             for &nb in &self.nodes[cand as usize].neighbors[layer] {
                 if visited[nb as usize] {
                     continue;
                 }
                 visited[nb as usize] = true;
+                if let Some(s) = stats.as_deref_mut() {
+                    s.visits += 1;
+                }
                 let d = self.dist(q, nb);
                 let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
                 if results.len() < ef || d < worst {
@@ -226,6 +266,9 @@ impl HnswIndex {
                 rhs: (query.len(), 1),
             });
         }
+        let obs = mlake_obs::enabled();
+        let _span = mlake_obs::span("hnsw.search");
+        let mut layer_visits = [0u64; LAYER_VISITS.len()];
         let mut q = query.to_vec();
         vector::normalize(&mut q);
         // Greedy descent through upper layers.
@@ -236,6 +279,9 @@ impl HnswIndex {
                 let mut improved = false;
                 // Borrow neighbor list by index to satisfy the borrow checker.
                 let nbrs = self.nodes[ep as usize].neighbors.get(layer).cloned().unwrap_or_default();
+                if obs {
+                    layer_visits[layer.min(LAYER_VISITS.len() - 1)] += nbrs.len() as u64;
+                }
                 for nb in nbrs {
                     let d = self.dist(&q, nb);
                     if d < ep_dist {
@@ -250,7 +296,18 @@ impl HnswIndex {
             }
         }
         let ef = ef.max(k).max(1);
-        let mut found = self.search_layer(&q, ep, ef, 0);
+        let mut stats = SearchStats::default();
+        let mut found = self.search_layer(&q, ep, ef, 0, obs.then_some(&mut stats));
+        if obs {
+            layer_visits[0] += stats.visits;
+            for (l, &v) in layer_visits.iter().enumerate() {
+                if v > 0 {
+                    mlake_obs::registry().counter(LAYER_VISITS[l]).add(v);
+                }
+            }
+            mlake_obs::counter!("hnsw.search.expansions").add(stats.expansions);
+            mlake_obs::counter!("hnsw.search.queries").inc();
+        }
         found.sort_by(|a, b| a.0.total_cmp(&b.0).then(self.nodes[a.1 as usize].id.cmp(&self.nodes[b.1 as usize].id)));
         Ok(found
             .into_iter()
@@ -284,6 +341,7 @@ impl HnswIndex {
         if items.is_empty() {
             return Ok(());
         }
+        let _span = mlake_obs::span("hnsw.build");
         // ---- Validate everything before mutating anything --------------
         let dim = if self.dim == 0 {
             items[0].1.len()
@@ -569,7 +627,7 @@ impl VectorIndex for HnswIndex {
         }
         // Connect on each layer from min(layer, max_layer) down to 0.
         for l in (0..=layer.min(self.max_layer)).rev() {
-            let mut candidates = self.search_layer(&q, ep, self.config.ef_construction, l);
+            let mut candidates = self.search_layer(&q, ep, self.config.ef_construction, l, None);
             let selected = self.select_neighbors(&mut candidates, self.max_degree(l));
             // Keep the closest candidate as next layer's entry point.
             if let Some(&(_, best)) = candidates.first() {

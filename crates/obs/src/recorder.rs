@@ -1,0 +1,122 @@
+//! Bounded ring buffer of recently finished spans.
+//!
+//! Memory is fixed at [`CAPACITY`] records; the oldest record is
+//! overwritten when full. One short mutex hold per span end — spans sit at
+//! operation granularity (an ingest, a search), not per-loop-iteration, so
+//! the lock is uncontended in practice.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+/// Ring capacity in records (~24 bytes each).
+pub const CAPACITY: usize = 4096;
+
+/// One finished span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span (= histogram) name.
+    pub name: &'static str,
+    /// Span-stack depth below this span when it ended (0 = root span).
+    pub depth: u16,
+    /// Small per-thread ordinal (assignment order, not OS thread id).
+    pub thread: u64,
+    /// Wall-clock duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Global completion sequence number (1-based, monotone).
+    pub seq: u64,
+}
+
+struct Ring {
+    buf: Vec<SpanRecord>,
+    /// Next write position once the buffer is full.
+    next: usize,
+    seq: u64,
+}
+
+fn ring() -> &'static Mutex<Ring> {
+    static RING: OnceLock<Mutex<Ring>> = OnceLock::new();
+    RING.get_or_init(|| {
+        Mutex::new(Ring {
+            buf: Vec::with_capacity(CAPACITY),
+            next: 0,
+            seq: 0,
+        })
+    })
+}
+
+fn thread_ordinal() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(0);
+    thread_local! {
+        static ORDINAL: u64 = NEXT.fetch_add(1, Ordering::Relaxed);
+    }
+    ORDINAL.with(|o| *o)
+}
+
+/// Appends a record (called by [`crate::span::SpanGuard`] on drop).
+pub fn record(name: &'static str, depth: u16, dur: Duration) {
+    let mut r = ring().lock();
+    r.seq += 1;
+    let rec = SpanRecord {
+        name,
+        depth,
+        thread: thread_ordinal(),
+        dur_ns: dur.as_nanos().min(u128::from(u64::MAX)) as u64,
+        seq: r.seq,
+    };
+    if r.buf.len() < CAPACITY {
+        r.buf.push(rec);
+    } else {
+        let at = r.next;
+        r.buf[at] = rec;
+        r.next = (at + 1) % CAPACITY;
+    }
+}
+
+/// The most recent `n` records, oldest first.
+pub fn recent(n: usize) -> Vec<SpanRecord> {
+    let r = ring().lock();
+    let mut out: Vec<SpanRecord> = if r.buf.len() < CAPACITY {
+        r.buf.clone()
+    } else {
+        // Unwrap the circular buffer: oldest starts at `next`.
+        r.buf[r.next..].iter().chain(&r.buf[..r.next]).copied().collect()
+    };
+    let keep = out.len().saturating_sub(n);
+    out.drain(..keep);
+    out
+}
+
+/// Total spans ever recorded (survives ring overwrites).
+pub fn total_recorded() -> u64 {
+    ring().lock().seq
+}
+
+/// Empties the ring (registrations elsewhere are unaffected).
+pub fn clear() {
+    let mut r = ring().lock();
+    r.buf.clear();
+    r.next = 0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_keeps_newest_in_order() {
+        // Use distinct durations to identify records regardless of other
+        // tests writing concurrently into the shared ring.
+        for i in 0..(CAPACITY + 100) as u64 {
+            record("test.recorder.flood", 0, Duration::from_nanos(i + 1));
+        }
+        let recent = recent(50);
+        assert_eq!(recent.len(), 50);
+        // Sequence numbers strictly increase.
+        for w in recent.windows(2) {
+            assert!(w[0].seq < w[1].seq);
+        }
+        assert!(total_recorded() >= (CAPACITY + 100) as u64);
+    }
+}

@@ -174,26 +174,40 @@ impl Pool {
             q.push_back(job);
             n += 1;
         }
+        if mlake_obs::enabled() {
+            mlake_obs::gauge!("par.queue.depth").set(q.len() as i64);
+        }
         drop(q);
         for _ in 0..n {
             self.available.notify_one();
         }
     }
 
-    fn worker_loop(&self) {
+    fn worker_loop(&self, index: usize) {
         IN_POOL.with(|c| c.set(true));
+        // Resolved once per worker; `None` when observability is disabled,
+        // so the hot loop takes no clock reads in that case.
+        let busy = mlake_obs::enabled()
+            .then(|| mlake_obs::registry().counter_dyn(&format!("par.worker{index}.busy_ns")));
         loop {
             let job = {
                 let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
                     if let Some(job) = q.pop_front() {
+                        if busy.is_some() {
+                            mlake_obs::gauge!("par.queue.depth").set(q.len() as i64);
+                        }
                         break job;
                     }
                     q = self.available.wait(q).unwrap_or_else(|e| e.into_inner());
                 }
             };
+            let start = busy.map(|_| std::time::Instant::now());
             let result =
                 panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.f)(job.slot) }));
+            if let (Some(c), Some(t)) = (busy, start) {
+                c.add(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+            }
             let latch = unsafe { &*job.latch };
             latch.count_down(result.err());
             // `job.f`/`job.latch` must not be touched after the count-down:
@@ -213,7 +227,7 @@ fn pool() -> &'static Pool {
         for i in 0..num_threads().saturating_sub(1) {
             std::thread::Builder::new()
                 .name(format!("mlake-par-{i}"))
-                .spawn(move || pool.worker_loop())
+                .spawn(move || pool.worker_loop(i))
                 .expect("failed to spawn mlake-par worker");
         }
         pool
@@ -279,6 +293,9 @@ fn drive(blocks: &[AtomicU64], slot: usize, grain: usize, f: &(dyn Fn(Range<usiz
             .compare_exchange(cur, pack(lo, split), Ordering::AcqRel, Ordering::Acquire)
             .is_ok()
         {
+            if mlake_obs::enabled() {
+                mlake_obs::counter!("par.steals").inc();
+            }
             // Process the stolen range in grain-sized chunks.
             let mut s = split;
             while s < hi {
@@ -331,6 +348,9 @@ pub fn par_for(len: usize, grain: usize, f: impl Fn(Range<usize>) + Sync) {
 /// Submits `threads - 1` pool jobs for `run`, executes slot 0 inline, and
 /// waits for all jobs; re-raises the first captured panic.
 fn region(threads: usize, run: &(dyn Fn(usize) + Sync)) {
+    if mlake_obs::enabled() {
+        mlake_obs::counter!("par.regions").inc();
+    }
     let latch = Latch::new(threads - 1);
     // Erase the region lifetime: `wait()` below keeps `run` and `latch`
     // alive until every job has signalled the latch.

@@ -61,6 +61,7 @@ pub struct QueryHit {
 
 /// Executes `query` against `target`, returning ranked hits.
 pub fn execute(query: &Query, target: &dyn QueryTarget) -> Result<Vec<QueryHit>, QueryError> {
+    let _exec_span = mlake_obs::span("query.exec");
     // ---- access path: narrowest clause first --------------------------
     let mut similarity: std::collections::HashMap<u64, f32> = std::collections::HashMap::new();
     let mut candidates: Option<Vec<u64>> = None;
@@ -164,6 +165,7 @@ pub fn execute(query: &Query, target: &dyn QueryTarget) -> Result<Vec<QueryHit>,
 /// Human-readable execution plan: which access paths the query will use, in
 /// order — the §6 "map the task function to a suitable indexer" narration.
 pub fn explain(query: &Query) -> Vec<String> {
+    let _plan_span = mlake_obs::span("query.plan");
     let mut steps = Vec::new();
     if let Some(sim) = &query.similar {
         steps.push(format!(

@@ -25,7 +25,11 @@ use crate::lexer::{lex, Token};
 
 /// Parses an MLQL query string.
 pub fn parse(input: &str) -> Result<Query, QueryError> {
-    let tokens = lex(input)?;
+    let tokens = {
+        let _lex_span = mlake_obs::span("query.lex");
+        lex(input)?
+    };
+    let _parse_span = mlake_obs::span("query.parse");
     let mut p = Parser { tokens, pos: 0 };
     let count_only = match p.peek_word().as_deref() {
         Some("FIND") => {

@@ -42,7 +42,7 @@ fn main() {
                 ORDER BY score('legal-holdout') DESC \
                 LIMIT 3";
     println!("MLQL> {mlql}\n");
-    let hits = lake.query(mlql).expect("query");
+    let hits = lake.prepare(mlql).expect("parse").run().expect("query");
     if hits.is_empty() {
         println!("(no legal classifiers in this lake — try another seed)");
         return;
@@ -93,7 +93,7 @@ fn main() {
             first.dataset_name
         );
         println!("\nMLQL> {q}");
-        for hit in lake.query(&q).expect("query") {
+        for hit in lake.prepare(&q).expect("parse").run().expect("query") {
             println!("  {}", lake.entry(ModelId(hit.id)).unwrap().name);
         }
     }

@@ -63,10 +63,11 @@ fn main() {
     // 6. Declarative search (MLQL).
     let mlql = "FIND MODELS WHERE domain = 'legal' ORDER BY score('legal-holdout') DESC LIMIT 3";
     println!("\nMLQL> {mlql}");
-    for step in lake.explain(mlql).expect("plan") {
+    let prepared = lake.prepare(mlql).expect("parse");
+    for step in prepared.explain() {
         println!("  plan: {step}");
     }
-    for hit in lake.query(mlql).expect("query") {
+    for hit in prepared.run().expect("query") {
         println!(
             "  {:<40} score {:?}",
             lake.entry(ModelId(hit.id)).unwrap().name,

@@ -5,10 +5,12 @@
 #   scripts/ci.sh --quick  # tier-1 only
 #
 # Tier-1 (ROADMAP.md) is `cargo build --release && cargo test -q`; everything
-# after it widens coverage: the full workspace test suite, the parallel-vs-
-# serial equivalence suites re-run under MLAKE_THREADS=1 (exercising the env
-# override path end-to-end), and clippy with warnings denied on the crates
-# the parallel execution layer touches.
+# after it widens coverage: the full workspace test suite, the same suite
+# re-run with observability disabled (MLAKE_OBS=off must be behaviorally
+# inert), the parallel-vs-serial equivalence suites re-run under
+# MLAKE_THREADS=1 (exercising the env override path end-to-end), a matmul
+# performance guard, and clippy with warnings denied across the crates the
+# parallel and observability layers touch.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -29,14 +31,21 @@ fi
 step "workspace tests"
 cargo test --workspace -q
 
+step "observability off: tier-1 re-run under MLAKE_OBS=off"
+MLAKE_OBS=off cargo test -q
+
 step "determinism: equivalence suites under MLAKE_THREADS=1"
 MLAKE_THREADS=1 cargo test -q -p mlake-tensor --test parallel_equivalence
 MLAKE_THREADS=1 cargo test -q -p mlake-index hnsw
 MLAKE_THREADS=1 cargo test -q -p mlake-par
 
-step "clippy -D warnings (parallel-layer crates)"
+step "bench guard: tiled matmul 512x512 within budget"
+cargo run -q -p mlake-bench --bin bench_guard --release
+
+step "clippy -D warnings (parallel + observability crates)"
 cargo clippy -q -p mlake-par -p mlake-tensor -p mlake-index \
-  -p mlake-fingerprint -p mlake-datagen -p mlake-bench -- -D warnings
+  -p mlake-fingerprint -p mlake-datagen -p mlake-bench \
+  -p mlake-obs -p mlake-core -p mlake-query -- -D warnings
 
 echo
 echo "ci: all green"

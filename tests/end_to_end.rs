@@ -69,7 +69,9 @@ fn figure2_pipeline() {
 
     // Declarative query joins everything.
     let hits = lake
-        .query("FIND MODELS WHERE task = 'classification' ORDER BY score('legal-holdout') DESC LIMIT 5")
+        .prepare("FIND MODELS WHERE task = 'classification' ORDER BY score('legal-holdout') DESC LIMIT 5")
+        .unwrap()
+        .run()
         .unwrap();
     assert!(!hits.is_empty());
 }
