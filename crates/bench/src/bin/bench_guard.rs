@@ -10,8 +10,8 @@
 //! ```
 //!
 //! Override knobs (env):
-//!   MLAKE_GUARD_BUDGET_MS — threshold in ms (default 17.4 = 13.94 * 1.25)
-//!   MLAKE_GUARD_REPS      — timed repetitions (default 10)
+//!   MLAKE_BENCH_GUARD_MS — threshold in ms (default 17.4 = 13.94 * 1.25)
+//!   MLAKE_GUARD_REPS     — timed repetitions (default 10)
 
 use mlake_tensor::{Matrix, Pcg64};
 use std::time::Instant;
@@ -27,7 +27,7 @@ fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
 }
 
 fn main() {
-    let budget_ms: f64 = env_or("MLAKE_GUARD_BUDGET_MS", DEFAULT_BUDGET_MS);
+    let budget_ms: f64 = env_or("MLAKE_BENCH_GUARD_MS", DEFAULT_BUDGET_MS);
     let reps: usize = env_or("MLAKE_GUARD_REPS", DEFAULT_REPS).max(1);
     let n = 512;
     let mut rng = Pcg64::new(41);

@@ -30,6 +30,10 @@ pub enum LakeError {
     Query(mlake_query::QueryError),
     /// Filesystem persistence failure.
     Io(std::io::Error),
+    /// An internal invariant was violated (a lake bug, not a caller error);
+    /// surfaced as an error rather than a panic so library callers can
+    /// recover.
+    Internal(String),
 }
 
 impl fmt::Display for LakeError {
@@ -42,6 +46,7 @@ impl fmt::Display for LakeError {
             LakeError::Tensor(e) => write!(f, "compute error: {e}"),
             LakeError::Query(e) => write!(f, "query error: {e}"),
             LakeError::Io(e) => write!(f, "io error: {e}"),
+            LakeError::Internal(msg) => write!(f, "internal invariant violated: {msg}"),
         }
     }
 }

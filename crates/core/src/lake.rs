@@ -166,6 +166,7 @@ pub struct ModelLake {
 
 impl ModelLake {
     /// Creates an empty lake.
+    // lint: no-span — constructor; observability may not be enabled yet
     pub fn new(config: LakeConfig) -> ModelLake {
         let (n_probe, probe_dim, probe_scale) = config.probes;
         let (n_ctx, ctx_len, vocab) = config.lm_probes;
@@ -196,21 +197,25 @@ impl ModelLake {
     }
 
     /// The lake's configuration.
+    // lint: no-span — trivial accessor
     pub fn config(&self) -> &LakeConfig {
         &self.config
     }
 
     /// The shared probe set / fingerprinter.
+    // lint: no-span — trivial accessor
     pub fn fingerprinter(&self) -> &Fingerprinter {
         &self.fingerprinter
     }
 
     /// Number of models in the lake.
+    // lint: no-span — trivial accessor
     pub fn len(&self) -> usize {
         self.registry.read().models.len()
     }
 
     /// `true` when no models are stored.
+    // lint: no-span — trivial accessor
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -253,15 +258,17 @@ impl ModelLake {
         let id = ModelId(reg.models.len() as u64);
         {
             let mut idx = self.indexes.write();
-            idx.get_mut(&FingerprintKind::Intrinsic)
-                .expect("index exists")
-                .insert(id.0, &intrinsic)?;
-            idx.get_mut(&FingerprintKind::Extrinsic)
-                .expect("index exists")
-                .insert(id.0, &extrinsic)?;
-            idx.get_mut(&FingerprintKind::Hybrid)
-                .expect("index exists")
-                .insert(id.0, &hybrid)?;
+            for (kind, fp) in [
+                (FingerprintKind::Intrinsic, &intrinsic),
+                (FingerprintKind::Extrinsic, &extrinsic),
+                (FingerprintKind::Hybrid, &hybrid),
+            ] {
+                idx.get_mut(&kind)
+                    .ok_or_else(|| {
+                        LakeError::Internal(format!("fingerprint index {kind:?} missing"))
+                    })?
+                    .insert(id.0, fp)?;
+            }
         }
         let card = card.unwrap_or_else(|| ModelCard::skeleton(name, &arch));
         let tags = card.task_tags.clone();
@@ -289,6 +296,8 @@ impl ModelLake {
     /// Resolves any model identity — id, name or content digest — to the
     /// lake-local [`ModelId`]. All facade reads funnel through here, so the
     /// three identities are interchangeable everywhere.
+    // lint: no-span — identity funnel on every read path; a span here
+    // would dominate the recorder with noise
     pub fn resolve<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<ModelId> {
         let r = model.into();
         let reg = self.registry.read();
@@ -305,6 +314,7 @@ impl ModelLake {
 
     /// Decodes a model artifact from the store.
     pub fn model<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<Model> {
+        let _span = mlake_obs::span("lake.model.decode");
         let id = self.resolve(model)?;
         let digest = {
             let reg = self.registry.read();
@@ -319,13 +329,8 @@ impl ModelLake {
         Model::from_bytes(&bytes).map_err(|e| LakeError::CorruptArtifact(e.to_string()))
     }
 
-    /// Resolves a model name to its id.
-    #[deprecated(since = "0.2.0", note = "use `resolve(name)` — reads accept names directly")]
-    pub fn id_of(&self, name: &str) -> Result<ModelId> {
-        self.resolve(name)
-    }
-
     /// Registry entry snapshot of a model.
+    // lint: no-span — cheap registry clone on every read path
     pub fn entry<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<ModelEntry> {
         let id = self.resolve(model)?;
         self.registry
@@ -339,6 +344,7 @@ impl ModelLake {
     }
 
     /// All model names in id order.
+    // lint: no-span — trivial accessor
     pub fn model_names(&self) -> Vec<String> {
         self.registry
             .read()
@@ -350,6 +356,7 @@ impl ModelLake {
 
     /// Replaces a model's card.
     pub fn update_card(&self, id: ModelId, card: ModelCard) -> Result<()> {
+        let _span = mlake_obs::span("lake.card.update");
         let mut reg = self.registry.write();
         let entry = reg.model_mut(id).ok_or_else(|| LakeError::NotFound {
             kind: "model",
@@ -365,6 +372,7 @@ impl ModelLake {
 
     /// Registers a dataset (names unique).
     pub fn register_dataset(&self, dataset: mlake_datagen::Dataset) -> Result<()> {
+        let _span = mlake_obs::span("lake.register.dataset");
         let mut reg = self.registry.write();
         if reg.datasets.iter().any(|d| d.name == dataset.name) {
             return Err(LakeError::Duplicate {
@@ -383,6 +391,7 @@ impl ModelLake {
 
     /// Registers a benchmark with an optional domain label (names unique).
     pub fn register_benchmark(&self, benchmark: Benchmark, domain: Option<String>) -> Result<()> {
+        let _span = mlake_obs::span("lake.register.benchmark");
         let mut reg = self.registry.write();
         if reg.benchmarks.contains_key(&benchmark.name) {
             return Err(LakeError::Duplicate {
@@ -401,6 +410,7 @@ impl ModelLake {
     }
 
     /// Names of registered benchmarks.
+    // lint: no-span — trivial accessor
     pub fn benchmark_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.registry.read().benchmarks.keys().cloned().collect();
         names.sort();
@@ -425,7 +435,9 @@ impl ModelLake {
         let model = self.model(id)?;
         let fp = self.fingerprinter.compute(kind, &model)?;
         let idx = self.indexes.read();
-        let index = idx.get(&kind).expect("index exists");
+        let index = idx
+            .get(&kind)
+            .ok_or_else(|| LakeError::Internal(format!("fingerprint index {kind:?} missing")))?;
         let hits = index.search(&fp, k + 1)?;
         Ok(hits
             .into_iter()
@@ -462,6 +474,7 @@ impl ModelLake {
     }
 
     /// The current version graph (rebuilding blind if stale/absent).
+    // lint: no-span — cache hit is a clone; the rebuild path spans itself
     pub fn version_graph(&self) -> Result<RecoveredGraph> {
         if let Some(g) = self.graph.read().clone() {
             return Ok(g);
@@ -471,6 +484,7 @@ impl ModelLake {
 
     /// Lineage path of a model from its recovered root, root first, as names.
     pub fn lineage_path<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<Vec<String>> {
+        let _span = mlake_obs::span("lake.lineage");
         let id = self.resolve(model)?;
         let graph = self.version_graph()?;
         let mut path = vec![id.0 as usize];
@@ -496,6 +510,7 @@ impl ModelLake {
 
     /// `S(M, B)` with caching.
     pub fn score_of<'a>(&self, model: impl Into<ModelRef<'a>>, benchmark: &str) -> Result<Score> {
+        let _span = mlake_obs::span("lake.score");
         let id = self.resolve(model)?;
         if let Some(s) = self.score_cache.read().get(&(id.0, benchmark.to_string())) {
             return Ok(s.clone());
@@ -521,6 +536,7 @@ impl ModelLake {
 
     /// Full leaderboard of a registered benchmark over the lake.
     pub fn leaderboard(&self, benchmark: &str) -> Result<Leaderboard> {
+        let _span = mlake_obs::span("lake.leaderboard");
         let bench = {
             let reg = self.registry.read();
             reg.benchmarks
@@ -554,6 +570,7 @@ impl ModelLake {
     /// lineage, predicted domain. This is what verification trusts instead
     /// of the card.
     pub fn evidence_for<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<CardEvidence> {
+        let _span = mlake_obs::span("lake.evidence");
         let id = self.resolve(model)?;
         let model = self.model(id)?;
         let bench_names = self.benchmark_names();
@@ -604,6 +621,7 @@ impl ModelLake {
     /// generation application. The result reflects what the lake can
     /// *measure*, independent of any uploaded documentation.
     pub fn generate_card<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<ModelCard> {
+        let _span = mlake_obs::span("lake.card.generate");
         let id = self.resolve(model)?;
         let entry = self.entry(id)?;
         let model = self.model(id)?;
@@ -692,31 +710,14 @@ impl ModelLake {
         })
     }
 
-    /// Parses and executes an MLQL query against this lake.
-    #[deprecated(since = "0.2.0", note = "use `prepare(mlql)?.run()`")]
-    pub fn query(&self, mlql: &str) -> Result<Vec<QueryHit>> {
-        self.prepare(mlql)?.run()
-    }
-
-    /// Explains the access plan of an MLQL query without running it.
-    #[deprecated(since = "0.2.0", note = "use `prepare(mlql)?.explain()`")]
-    pub fn explain(&self, mlql: &str) -> Result<Vec<String>> {
-        Ok(self.prepare(mlql)?.explain())
-    }
-
-    /// Cardinality query: `COUNT MODELS …` (also accepts `FIND MODELS …`,
-    /// counting its result set).
-    #[deprecated(since = "0.2.0", note = "use `prepare(mlql)?.count()`")]
-    pub fn count(&self, mlql: &str) -> Result<usize> {
-        self.prepare(mlql)?.count()
-    }
-
     /// Current graph timestamp (for citation stability tests).
+    // lint: no-span — trivial accessor
     pub fn graph_timestamp(&self) -> u64 {
         self.events.read().graph_timestamp()
     }
 
     /// Event-log snapshot.
+    // lint: no-span — trivial accessor
     pub fn events(&self) -> Vec<crate::event::Event> {
         self.events.read().events().to_vec()
     }

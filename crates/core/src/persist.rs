@@ -53,6 +53,7 @@ pub const MANIFEST_VERSION: u32 = 1;
 impl ModelLake {
     /// Persists the lake into `dir` (created if absent).
     pub fn persist(&self, dir: &Path) -> Result<()> {
+        let _span = mlake_obs::span("lake.persist");
         std::fs::create_dir_all(dir)?;
         self.store_ref().persist_dir(&dir.join("blobs"))?;
         let mut models = Vec::with_capacity(self.len());
@@ -84,6 +85,7 @@ impl ModelLake {
     /// created with for fingerprints to match; the lake name is restored
     /// from the manifest.
     pub fn open(dir: &Path, config: LakeConfig) -> Result<ModelLake> {
+        let _span = mlake_obs::span("lake.open");
         let manifest_bytes = std::fs::read(dir.join("manifest.json"))?;
         let manifest: Manifest = serde_json::from_slice(&manifest_bytes)
             .map_err(|e| LakeError::CorruptArtifact(format!("manifest decode: {e}")))?;

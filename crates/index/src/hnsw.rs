@@ -9,6 +9,7 @@
 //! neighbour), which preserves graph navigability on clustered data.
 
 use crate::{par_search_many, Hit, VectorIndex};
+use mlake_par::lockorder::{self, ranks};
 use mlake_tensor::{vector, Pcg64, TensorError};
 use parking_lot::{Mutex, RwLock};
 use std::cmp::Ordering;
@@ -437,6 +438,8 @@ impl HnswIndex {
     ) {
         // Snapshot the entry point; the very first node just registers.
         let (ep0, top) = {
+            // lock-order: 30 (hnsw.entry)
+            let _ord = lockorder::acquire(ranks::HNSW_ENTRY, "hnsw.entry");
             let mut g = entry.lock();
             match g.0 {
                 Some(e) => (e, g.1),
@@ -455,7 +458,11 @@ impl HnswIndex {
                 let mut improved = false;
                 let nbrs: Vec<u32> = locks[ep as usize]
                     .get(l)
-                    .map(|lk| lk.read().clone())
+                    .map(|lk| {
+                        // lock-order: 40 (hnsw.node)
+                        let _ord = lockorder::acquire(ranks::HNSW_NODE, "hnsw.node");
+                        lk.read().clone()
+                    })
                     .unwrap_or_default();
                 for nb in nbrs {
                     let d = self.dist(&q, nb);
@@ -483,6 +490,8 @@ impl HnswIndex {
             // backlinks into this list; overwriting would drop them and
             // leave asymmetric edges.
             {
+                // lock-order: 40 (hnsw.node)
+                let _ord = lockorder::acquire(ranks::HNSW_NODE, "hnsw.node");
                 let mut own = locks[new_idx as usize][l].write();
                 for &nb in &selected {
                     if !own.contains(&nb) {
@@ -503,6 +512,8 @@ impl HnswIndex {
                 let Some(nb_lock) = locks[nb as usize].get(l) else {
                     continue;
                 };
+                // lock-order: 40 (hnsw.node)
+                let _ord = lockorder::acquire(ranks::HNSW_NODE, "hnsw.node");
                 let mut list = nb_lock.write();
                 list.push(new_idx);
                 let cap = self.max_degree(l);
@@ -517,6 +528,8 @@ impl HnswIndex {
             }
         }
         // Raise the global entry point if this node tops the hierarchy.
+        // lock-order: 30 (hnsw.entry)
+        let _ord = lockorder::acquire(ranks::HNSW_ENTRY, "hnsw.entry");
         let mut g = entry.lock();
         if layer > g.1 {
             *g = (Some(new_idx), layer);
@@ -548,7 +561,11 @@ impl HnswIndex {
             }
             let nbrs: Vec<u32> = locks[cand as usize]
                 .get(layer)
-                .map(|lk| lk.read().clone())
+                .map(|lk| {
+                    // lock-order: 40 (hnsw.node)
+                    let _ord = lockorder::acquire(ranks::HNSW_NODE, "hnsw.node");
+                    lk.read().clone()
+                })
                 .unwrap_or_default();
             for nb in nbrs {
                 if visited[nb as usize] {
@@ -862,6 +879,26 @@ mod tests {
             let single = idx.search(q, 5).unwrap();
             assert_eq!(&single, hits);
         }
+    }
+
+    /// The debug-mode lock-order tracker must reject the one acquisition
+    /// pattern the concurrent build is designed to never produce: taking
+    /// the entry-point lock (rank 30) while a node lock (rank 40) is held.
+    /// The inversion runs in a spawned thread so the panic unwinds cleanly.
+    #[test]
+    #[cfg(debug_assertions)]
+    fn lock_order_tracker_rejects_entry_after_node() {
+        let r = std::thread::spawn(|| {
+            let _node = lockorder::acquire(ranks::HNSW_NODE, "hnsw.node");
+            let _entry = lockorder::acquire(ranks::HNSW_ENTRY, "hnsw.entry");
+        })
+        .join();
+        let msg = r
+            .expect_err("inverted acquisition must panic")
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert!(msg.contains("hnsw.entry") && msg.contains("hnsw.node"), "{msg}");
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! The `lint.allow` burn-down baseline.
+//!
+//! Legacy violations live in a checked-in file so the workspace lints
+//! clean today while the debt burns down incrementally: removing code
+//! that matches an entry leaves the entry *stale* (reported, never fatal),
+//! while any finding **not** in the baseline fails the run. Entries are
+//! line-number-free — `pass<TAB>path<TAB>trimmed source line` — so
+//! unrelated edits shifting lines never invalidate the file. Identical
+//! snippets in one file are matched as a multiset (N entries allow N
+//! occurrences).
+
+use crate::passes::Finding;
+use std::collections::HashMap;
+
+/// One baseline entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Entry {
+    /// Pass id (e.g. `no-panic`).
+    pub pass: String,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// Trimmed source line of the allowed violation.
+    pub snippet: String,
+}
+
+/// Parsed `lint.allow` contents.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    /// Multiset of allowed violations.
+    counts: HashMap<Entry, usize>,
+}
+
+/// Result of matching findings against a baseline.
+#[derive(Debug, Default)]
+pub struct MatchReport {
+    /// Findings not covered by the baseline — these fail the run.
+    pub new_findings: Vec<Finding>,
+    /// Baseline entries with no matching finding — burn-down progress;
+    /// reported so they can be pruned, but never fatal.
+    pub stale: Vec<Entry>,
+}
+
+impl Baseline {
+    /// Parses `lint.allow` text. Blank lines and `#` comments are ignored;
+    /// malformed lines are returned as errors with their 1-based line.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut b = Baseline::default();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim_end();
+            if line.is_empty() || line.trim_start().starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(3, '\t');
+            match (parts.next(), parts.next(), parts.next()) {
+                (Some(pass), Some(path), Some(snippet)) if !pass.is_empty() => {
+                    *b.counts
+                        .entry(Entry {
+                            pass: pass.to_string(),
+                            path: path.to_string(),
+                            snippet: snippet.trim().to_string(),
+                        })
+                        .or_insert(0) += 1;
+                }
+                _ => {
+                    return Err(format!(
+                        "lint.allow line {}: expected `pass<TAB>path<TAB>snippet`, got: {line}",
+                        i + 1
+                    ))
+                }
+            }
+        }
+        Ok(b)
+    }
+
+    /// Number of allowed violations (multiset size).
+    pub fn len(&self) -> usize {
+        self.counts.values().sum()
+    }
+
+    /// True when the baseline allows nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Splits `findings` into new (unbaselined) findings and stale entries.
+    pub fn matches(&self, findings: &[Finding]) -> MatchReport {
+        let mut remaining = self.counts.clone();
+        let mut report = MatchReport::default();
+        for f in findings {
+            let key = Entry {
+                pass: f.pass.to_string(),
+                path: f.path.clone(),
+                snippet: f.snippet.clone(),
+            };
+            match remaining.get_mut(&key) {
+                Some(n) if *n > 0 => *n -= 1,
+                _ => report.new_findings.push(f.clone()),
+            }
+        }
+        let mut stale: Vec<Entry> = remaining
+            .into_iter()
+            .flat_map(|(e, n)| std::iter::repeat_n(e, n))
+            .collect();
+        stale.sort_by(|a, b| (&a.path, &a.pass, &a.snippet).cmp(&(&b.path, &b.pass, &b.snippet)));
+        report.stale = stale;
+        report
+    }
+
+    /// Renders `findings` as baseline text (for `--update-baseline`).
+    pub fn render(findings: &[Finding]) -> String {
+        let mut lines: Vec<String> = findings
+            .iter()
+            .map(|f| format!("{}\t{}\t{}", f.pass, f.path, f.snippet))
+            .collect();
+        lines.sort();
+        let mut out = String::from(
+            "# mlake-lint burn-down baseline (DESIGN.md §10).\n\
+             # Format: pass<TAB>path<TAB>trimmed source line. Entries are legacy\n\
+             # violations; do NOT add new ones — fix the code instead. Delete\n\
+             # entries as the code they cover is fixed (stale entries are\n\
+             # reported by every lint run).\n",
+        );
+        for l in lines {
+            out.push_str(&l);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(pass: &'static str, path: &str, snippet: &str) -> Finding {
+        Finding {
+            pass,
+            path: path.to_string(),
+            line: 1,
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_and_match_roundtrip() {
+        let text = "# comment\n\nno-panic\tcrates/a/src/lib.rs\tx.unwrap()\n";
+        let b = Baseline::parse(text).expect("parses");
+        assert_eq!(b.len(), 1);
+        let covered = [finding("no-panic", "crates/a/src/lib.rs", "x.unwrap()")];
+        let r = b.matches(&covered);
+        assert!(r.new_findings.is_empty());
+        assert!(r.stale.is_empty());
+    }
+
+    #[test]
+    fn uncovered_finding_is_new_and_unused_entry_is_stale() {
+        let b = Baseline::parse("no-panic\tcrates/a/src/lib.rs\told_line()\n").expect("parses");
+        let r = b.matches(&[finding("no-panic", "crates/a/src/lib.rs", "fresh.unwrap()")]);
+        assert_eq!(r.new_findings.len(), 1);
+        assert_eq!(r.stale.len(), 1);
+        assert_eq!(r.stale[0].snippet, "old_line()");
+    }
+
+    #[test]
+    fn multiset_counts_duplicates() {
+        let text = "no-panic\tf.rs\tx.unwrap()\nno-panic\tf.rs\tx.unwrap()\n";
+        let b = Baseline::parse(text).expect("parses");
+        let two = [
+            finding("no-panic", "f.rs", "x.unwrap()"),
+            finding("no-panic", "f.rs", "x.unwrap()"),
+        ];
+        assert!(b.matches(&two).new_findings.is_empty());
+        let three = [
+            finding("no-panic", "f.rs", "x.unwrap()"),
+            finding("no-panic", "f.rs", "x.unwrap()"),
+            finding("no-panic", "f.rs", "x.unwrap()"),
+        ];
+        assert_eq!(b.matches(&three).new_findings.len(), 1);
+    }
+
+    #[test]
+    fn malformed_line_is_an_error() {
+        assert!(Baseline::parse("no tabs here\n").is_err());
+    }
+
+    #[test]
+    fn render_is_parseable_and_sorted() {
+        let fs = [
+            finding("no-panic", "b.rs", "y.unwrap()"),
+            finding("no-panic", "a.rs", "x.unwrap()"),
+        ];
+        let text = Baseline::render(&fs);
+        let b = Baseline::parse(&text).expect("own output parses");
+        assert_eq!(b.len(), 2);
+        assert!(b.matches(&fs).new_findings.is_empty());
+    }
+}

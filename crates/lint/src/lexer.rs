@@ -1,0 +1,382 @@
+//! A lightweight Rust scanner: just enough lexing for the lint passes.
+//!
+//! The scanner separates a source file into *code tokens* (identifiers,
+//! string literals, punctuation) and *comments*, each tagged with a
+//! 1-based line number. It is not a full Rust lexer — it has no keyword
+//! table and no number semantics — but it gets the hard parts right for
+//! static analysis: nested block comments, raw strings (so fixture code
+//! embedded in `r#"…"#` literals is never mistaken for real code),
+//! escapes, and the lifetime-vs-char-literal ambiguity.
+
+/// One code token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// 1-based source line the token starts on.
+    pub line: usize,
+    /// Token payload.
+    pub kind: TokKind,
+}
+
+/// Code token payload. Numbers, lifetimes and whitespace are consumed but
+/// not emitted — no pass needs them.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident(String),
+    /// Any string/byte-string literal (normal or raw); contents dropped.
+    StrLit,
+    /// Single punctuation character.
+    Punct(char),
+}
+
+/// One comment (line or block), with its text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line the comment starts on.
+    pub line: usize,
+    /// 1-based line the comment ends on (differs for block comments).
+    pub end_line: usize,
+    /// Comment text without delimiters.
+    pub text: String,
+}
+
+/// A scanned source file.
+#[derive(Debug, Default)]
+pub struct Scanned {
+    /// Raw source lines (index 0 = line 1).
+    pub lines: Vec<String>,
+    /// Code tokens in order.
+    pub tokens: Vec<Tok>,
+    /// Comments in order.
+    pub comments: Vec<Comment>,
+    /// Line of the first `#[cfg(test)]` attribute, if any. By workspace
+    /// convention the unit-test module sits at the end of the file, so
+    /// everything from this line on is treated as test code.
+    pub cfg_test_start: Option<usize>,
+}
+
+impl Scanned {
+    /// The trimmed source text of a 1-based line (empty when out of range).
+    pub fn snippet(&self, line: usize) -> &str {
+        self.lines
+            .get(line.wrapping_sub(1))
+            .map(|s| s.trim())
+            .unwrap_or("")
+    }
+
+    /// True when `line` falls inside the trailing `#[cfg(test)]` region.
+    pub fn in_test_region(&self, line: usize) -> bool {
+        self.cfg_test_start.is_some_and(|start| line >= start)
+    }
+
+    /// True when any comment overlapping lines `[lo, hi]` contains `needle`.
+    pub fn comment_near(&self, lo: usize, hi: usize, needle: &str) -> bool {
+        self.comments
+            .iter()
+            .any(|c| c.end_line >= lo && c.line <= hi && c.text.contains(needle))
+    }
+}
+
+/// Scans `src` into tokens and comments.
+pub fn scan(src: &str) -> Scanned {
+    let mut out = Scanned {
+        lines: src.lines().map(str::to_string).collect(),
+        ..Scanned::default()
+    };
+    let b: Vec<char> = src.chars().collect();
+    let n = b.len();
+    let mut i = 0usize;
+    let mut line = 1usize;
+
+    // Advances past `k` chars, tracking newlines.
+    macro_rules! bump {
+        ($k:expr) => {{
+            for _ in 0..$k {
+                if i < n {
+                    if b[i] == '\n' {
+                        line += 1;
+                    }
+                    i += 1;
+                }
+            }
+        }};
+    }
+
+    while i < n {
+        let c = b[i];
+        // ---- whitespace --------------------------------------------------
+        if c.is_whitespace() {
+            bump!(1);
+            continue;
+        }
+        // ---- comments ----------------------------------------------------
+        if c == '/' && i + 1 < n && b[i + 1] == '/' {
+            let start = line;
+            let mut text = String::new();
+            while i < n && b[i] != '\n' {
+                text.push(b[i]);
+                i += 1;
+            }
+            out.comments.push(Comment {
+                line: start,
+                end_line: start,
+                text,
+            });
+            continue;
+        }
+        if c == '/' && i + 1 < n && b[i + 1] == '*' {
+            let start = line;
+            let mut depth = 0usize;
+            let mut text = String::new();
+            while i < n {
+                if b[i] == '/' && i + 1 < n && b[i + 1] == '*' {
+                    depth += 1;
+                    text.push_str("/*");
+                    bump!(2);
+                } else if b[i] == '*' && i + 1 < n && b[i + 1] == '/' {
+                    depth -= 1;
+                    text.push_str("*/");
+                    bump!(2);
+                    if depth == 0 {
+                        break;
+                    }
+                } else {
+                    text.push(b[i]);
+                    bump!(1);
+                }
+            }
+            out.comments.push(Comment {
+                line: start,
+                end_line: line,
+                text,
+            });
+            continue;
+        }
+        // ---- identifiers (and raw/byte string prefixes) ------------------
+        if c.is_alphabetic() || c == '_' {
+            let start = line;
+            let mut ident = String::new();
+            while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                ident.push(b[i]);
+                i += 1;
+            }
+            // Raw strings: r"…", r#"…"#, br"…", br#"…"# — skip verbatim.
+            let is_raw_prefix = matches!(ident.as_str(), "r" | "br" | "rb" | "cr");
+            if is_raw_prefix && i < n && (b[i] == '"' || b[i] == '#') {
+                let mut hashes = 0usize;
+                while i < n && b[i] == '#' {
+                    hashes += 1;
+                    bump!(1);
+                }
+                if i < n && b[i] == '"' {
+                    bump!(1);
+                    // Scan until `"` followed by `hashes` hash marks.
+                    'raw: while i < n {
+                        if b[i] == '"' {
+                            let mut k = 0usize;
+                            while k < hashes && i + 1 + k < n && b[i + 1 + k] == '#' {
+                                k += 1;
+                            }
+                            if k == hashes {
+                                bump!(1 + hashes);
+                                break 'raw;
+                            }
+                        }
+                        bump!(1);
+                    }
+                    out.tokens.push(Tok {
+                        line: start,
+                        kind: TokKind::StrLit,
+                    });
+                    continue;
+                }
+                // `r#ident` raw identifier or stray hashes: emit what we
+                // consumed as punctuation-free best effort and move on.
+                out.tokens.push(Tok {
+                    line: start,
+                    kind: TokKind::Ident(ident),
+                });
+                continue;
+            }
+            // Byte strings / byte chars: `b"…"`, `b'…'` — fall through to
+            // the string/char scanners below on the next loop iteration.
+            out.tokens.push(Tok {
+                line: start,
+                kind: TokKind::Ident(ident),
+            });
+            continue;
+        }
+        // ---- string literals --------------------------------------------
+        if c == '"' {
+            let start = line;
+            bump!(1);
+            while i < n {
+                if b[i] == '\\' {
+                    bump!(2);
+                } else if b[i] == '"' {
+                    bump!(1);
+                    break;
+                } else {
+                    bump!(1);
+                }
+            }
+            out.tokens.push(Tok {
+                line: start,
+                kind: TokKind::StrLit,
+            });
+            continue;
+        }
+        // ---- lifetimes vs char literals ---------------------------------
+        if c == '\'' {
+            // `'a` / `'static` (lifetime or loop label): quote followed by
+            // ident-start NOT closed by another quote right after.
+            if i + 1 < n && (b[i + 1].is_alphabetic() || b[i + 1] == '_') {
+                let closes = i + 2 < n && b[i + 2] == '\'';
+                if !closes {
+                    bump!(2);
+                    while i < n && (b[i].is_alphanumeric() || b[i] == '_') {
+                        i += 1;
+                    }
+                    continue;
+                }
+            }
+            // Char literal: 'x', '\n', '\u{1F4A9}'.
+            bump!(1);
+            while i < n {
+                if b[i] == '\\' {
+                    bump!(2);
+                } else if b[i] == '\'' {
+                    bump!(1);
+                    break;
+                } else {
+                    bump!(1);
+                }
+            }
+            continue;
+        }
+        // ---- numbers (consumed, not emitted) ----------------------------
+        if c.is_ascii_digit() {
+            while i < n
+                && (b[i].is_alphanumeric()
+                    || b[i] == '_'
+                    || (b[i] == '.' && i + 1 < n && b[i + 1].is_ascii_digit()))
+            {
+                i += 1;
+            }
+            continue;
+        }
+        // ---- punctuation -------------------------------------------------
+        out.tokens.push(Tok {
+            line,
+            kind: TokKind::Punct(c),
+        });
+        bump!(1);
+    }
+
+    out.cfg_test_start = find_cfg_test(&out.tokens);
+    out
+}
+
+/// Line of the first `#[cfg(test)]` attribute in the token stream.
+fn find_cfg_test(tokens: &[Tok]) -> Option<usize> {
+    let pat: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
+    'outer: for (idx, t) in tokens.iter().enumerate() {
+        if !matches!(&t.kind, TokKind::Punct('#')) {
+            continue;
+        }
+        for (k, want) in pat.iter().enumerate() {
+            let Some(tok) = tokens.get(idx + k) else {
+                continue 'outer;
+            };
+            let matches = match &tok.kind {
+                TokKind::Ident(s) => s == want,
+                TokKind::Punct(p) => want.len() == 1 && want.starts_with(*p),
+                TokKind::StrLit => false,
+            };
+            if !matches {
+                continue 'outer;
+            }
+        }
+        return Some(t.line);
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(s: &Scanned) -> Vec<&str> {
+        s.tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokKind::Ident(i) => Some(i.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_are_not_code() {
+        let s = scan("// unsafe unwrap\nlet x = \"panic!()\"; /* todo!() */\n");
+        assert!(!idents(&s).contains(&"unsafe"));
+        assert!(!idents(&s).contains(&"panic"));
+        assert!(!idents(&s).contains(&"todo"));
+        assert_eq!(s.comments.len(), 2);
+        assert!(s.comments[0].text.contains("unsafe unwrap"));
+    }
+
+    #[test]
+    fn raw_strings_skipped_verbatim() {
+        let s = scan("let f = r#\"fn bad() { x.unwrap() }\"#;\nlet y = 1;");
+        assert!(!idents(&s).contains(&"unwrap"));
+        assert!(idents(&s).contains(&"y"));
+        // The raw string still produced one StrLit token.
+        assert!(s.tokens.iter().any(|t| t.kind == TokKind::StrLit));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let s = scan("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let ids = idents(&s);
+        assert!(ids.contains(&"str"));
+        assert!(ids.contains(&"char"));
+        assert!(!ids.contains(&"a"));
+        assert!(!ids.contains(&"x") || ids.iter().filter(|i| **i == "x").count() == 1);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let s = scan("/* outer /* inner */ still comment */ fn real() {}");
+        assert!(idents(&s).contains(&"real"));
+        assert_eq!(s.comments.len(), 1);
+    }
+
+    #[test]
+    fn cfg_test_region_detected() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() {}\n}\n";
+        let s = scan(src);
+        assert_eq!(s.cfg_test_start, Some(2));
+        assert!(!s.in_test_region(1));
+        assert!(s.in_test_region(2));
+        assert!(s.in_test_region(4));
+    }
+
+    #[test]
+    fn cfg_not_test_is_not_a_test_region() {
+        let s = scan("#[cfg(not(test))]\nfn lib() {}\n");
+        assert_eq!(s.cfg_test_start, None);
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_constructs() {
+        let src = "let a = \"two\nline string\";\nlet b = 1;";
+        let s = scan(src);
+        let b_tok = s
+            .tokens
+            .iter()
+            .find(|t| matches!(&t.kind, TokKind::Ident(i) if i == "b"))
+            .expect("b token");
+        assert_eq!(b_tok.line, 3);
+    }
+}

@@ -1,0 +1,144 @@
+//! # mlake-lint
+//!
+//! Zero-dependency static analysis for the model-lake workspace
+//! (DESIGN.md §10). A lightweight Rust scanner ([`lexer`]) feeds five
+//! per-file passes ([`passes`]) that machine-enforce the invariants PR
+//! review used to carry alone:
+//!
+//! * `unsafe-safety` — every `unsafe` carries a `// SAFETY:` comment;
+//! * `no-panic` — no `unwrap()/expect("…")/panic!/todo!/unimplemented!`
+//!   in non-test library code;
+//! * `no-wallclock` — `Instant`/`SystemTime` only in `mlake-obs` and the
+//!   bench crate (determinism guard);
+//! * `facade-span` — every `pub fn` on the `ModelLake` facade opens an
+//!   obs span or is annotated `// lint: no-span`;
+//! * `lock-order` — `Mutex::lock` in `mlake-index`/`mlake-par` carries a
+//!   `// lock-order: N` rank annotation matching the runtime tracker in
+//!   `mlake_par::lockorder`.
+//!
+//! Findings are machine-readable (`file:line: [pass] message`). Legacy
+//! violations live in the checked-in [`baseline`] file `lint.allow`; new
+//! violations fail CI. Run with:
+//!
+//! ```text
+//! cargo run -p mlake-lint --release -- crates src
+//! ```
+
+pub mod baseline;
+pub mod lexer;
+pub mod passes;
+
+pub use baseline::{Baseline, MatchReport};
+pub use passes::{run_all, Finding};
+
+use std::path::{Path, PathBuf};
+
+/// Directories never scanned (build output, vendored shims, VCS).
+const SKIP_DIRS: [&str; 4] = ["target", "vendor", ".git", "node_modules"];
+
+/// Recursively collects `.rs` files under `root`, sorted for determinism.
+/// Paths are returned relative to `base` with forward slashes.
+pub fn collect_rs_files(base: &Path, root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let mut entries: Vec<PathBuf> = std::fs::read_dir(&dir)?
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .collect();
+        entries.sort();
+        for path in entries {
+            if path.is_dir() {
+                let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+                if !SKIP_DIRS.contains(&name) && !name.starts_with('.') {
+                    stack.push(path);
+                }
+            } else if path.extension().and_then(|e| e.to_str()) == Some("rs") {
+                out.push(path.strip_prefix(base).unwrap_or(&path).to_path_buf());
+            }
+        }
+    }
+    out.sort();
+    Ok(out)
+}
+
+/// Normalises a path to the workspace-relative forward-slash form the
+/// passes and baseline key on.
+pub fn norm_path(p: &Path) -> String {
+    p.components()
+        .filter_map(|c| c.as_os_str().to_str())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Scans one file's source text and runs every applicable pass.
+pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
+    passes::run_all(path, &lexer::scan(src))
+}
+
+/// Lints every `.rs` file under `roots` (resolved against `base`).
+/// Returns findings sorted by (path, line, pass).
+pub fn lint_tree(base: &Path, roots: &[&Path]) -> std::io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for root in roots {
+        let abs = base.join(root);
+        for rel in collect_rs_files(base, &abs)? {
+            let src = std::fs::read_to_string(base.join(&rel))?;
+            findings.extend(lint_source(&norm_path(&rel), &src));
+        }
+    }
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.pass).cmp(&(&b.path, b.line, b.pass))
+    });
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The whole workspace must lint clean modulo the checked-in
+    /// `lint.allow` baseline — the acceptance criterion of the lint layer,
+    /// enforced on every `cargo test` run, not just in CI.
+    #[test]
+    fn workspace_is_clean_modulo_baseline() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings =
+            lint_tree(&root, &[Path::new("crates"), Path::new("src")]).expect("scan workspace");
+        let allow_text = std::fs::read_to_string(root.join("lint.allow")).unwrap_or_default();
+        let allow = Baseline::parse(&allow_text).expect("lint.allow parses");
+        let report = allow.matches(&findings);
+        assert!(
+            report.new_findings.is_empty(),
+            "unbaselined lint findings:\n{}",
+            report
+                .new_findings
+                .iter()
+                .map(|f| format!("{}:{}: [{}] {}", f.path, f.line, f.pass, f.message))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+
+    /// The baseline must stay tight: every entry still matches real code.
+    /// A stale entry means a violation was fixed — delete its line from
+    /// `lint.allow` to lock in the progress.
+    #[test]
+    fn baseline_has_no_stale_entries() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let findings =
+            lint_tree(&root, &[Path::new("crates"), Path::new("src")]).expect("scan workspace");
+        let allow_text = std::fs::read_to_string(root.join("lint.allow")).unwrap_or_default();
+        let allow = Baseline::parse(&allow_text).expect("lint.allow parses");
+        let report = allow.matches(&findings);
+        assert!(
+            report.stale.is_empty(),
+            "stale lint.allow entries (fixed code — delete these lines):\n{}",
+            report
+                .stale
+                .iter()
+                .map(|e| format!("{}\t{}\t{}", e.pass, e.path, e.snippet))
+                .collect::<Vec<_>>()
+                .join("\n")
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! The `mlake-lint` CLI.
+//!
+//! ```text
+//! mlake-lint [--baseline <path>] [--update-baseline] [--no-baseline] <root>...
+//! ```
+//!
+//! Scans every `.rs` file under the given roots (relative to the current
+//! directory), runs the five passes and matches findings against the
+//! `lint.allow` baseline. Exit codes: 0 = clean (modulo baseline),
+//! 1 = new findings, 2 = usage/IO error.
+
+use mlake_lint::{lint_tree, Baseline};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Options {
+    roots: Vec<PathBuf>,
+    baseline_path: PathBuf,
+    update_baseline: bool,
+    use_baseline: bool,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        roots: Vec::new(),
+        baseline_path: PathBuf::from("lint.allow"),
+        update_baseline: false,
+        use_baseline: true,
+    };
+    let mut i = 0usize;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| "--baseline requires a path".to_string())?;
+                opts.baseline_path = PathBuf::from(p);
+            }
+            "--update-baseline" => opts.update_baseline = true,
+            "--no-baseline" => opts.use_baseline = false,
+            flag if flag.starts_with('-') => {
+                return Err(format!("unknown flag: {flag}"));
+            }
+            root => opts.roots.push(PathBuf::from(root)),
+        }
+        i += 1;
+    }
+    if opts.roots.is_empty() {
+        return Err("usage: mlake-lint [--baseline <path>] [--update-baseline] [--no-baseline] <root>...".into());
+    }
+    Ok(opts)
+}
+
+fn run() -> Result<bool, String> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_args(&args)?;
+    let base = Path::new(".");
+    let roots: Vec<&Path> = opts.roots.iter().map(PathBuf::as_path).collect();
+    let findings =
+        lint_tree(base, &roots).map_err(|e| format!("scan failed: {e}"))?;
+
+    if opts.update_baseline {
+        let text = Baseline::render(&findings);
+        std::fs::write(&opts.baseline_path, text)
+            .map_err(|e| format!("writing {}: {e}", opts.baseline_path.display()))?;
+        println!(
+            "mlake-lint: wrote {} entries to {}",
+            findings.len(),
+            opts.baseline_path.display()
+        );
+        return Ok(true);
+    }
+
+    let baseline = if opts.use_baseline {
+        match std::fs::read_to_string(&opts.baseline_path) {
+            Ok(text) => Baseline::parse(&text)?,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Baseline::default(),
+            Err(e) => return Err(format!("reading {}: {e}", opts.baseline_path.display())),
+        }
+    } else {
+        Baseline::default()
+    };
+
+    let report = baseline.matches(&findings);
+    for f in &report.new_findings {
+        println!("{}:{}: [{}] {}", f.path, f.line, f.pass, f.message);
+    }
+    for e in &report.stale {
+        eprintln!(
+            "mlake-lint: stale baseline entry (fixed — delete from {}): {}\t{}\t{}",
+            opts.baseline_path.display(),
+            e.pass,
+            e.path,
+            e.snippet
+        );
+    }
+    let allowed = findings.len() - report.new_findings.len();
+    println!(
+        "mlake-lint: {} findings ({} new, {} baselined), {} stale baseline entries",
+        findings.len(),
+        report.new_findings.len(),
+        allowed,
+        report.stale.len()
+    );
+    Ok(report.new_findings.is_empty())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => ExitCode::from(1),
+        Err(msg) => {
+            eprintln!("mlake-lint: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

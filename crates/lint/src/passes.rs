@@ -1,0 +1,439 @@
+//! The per-file lint passes (DESIGN.md §10).
+//!
+//! Every pass walks the token/comment streams of one [`Scanned`] file and
+//! emits [`Finding`]s. Paths are workspace-relative with forward slashes;
+//! path-scoped rules (which crates a pass applies to) live here so the
+//! whole policy is in one place.
+//!
+//! | id             | rule                                                        |
+//! |----------------|-------------------------------------------------------------|
+//! | `unsafe-safety`| every `unsafe` block/fn/impl carries a `// SAFETY:` comment |
+//! | `no-panic`     | no `unwrap()/expect("…")/panic!/todo!/unimplemented!` in lib |
+//! | `no-wallclock` | no `Instant`/`SystemTime` outside `mlake-obs` and `bench`   |
+//! | `facade-span`  | every `pub fn` on `impl ModelLake` opens an obs span        |
+//! | `lock-order`   | `.lock()` in index/par carries a `// lock-order: N` comment |
+//!
+//! Test code is exempt everywhere: files under `tests/`, `benches/` or
+//! `examples/`, the `mlake-bench` crate, and the trailing `#[cfg(test)]`
+//! region of library files.
+
+use crate::lexer::{Scanned, Tok, TokKind};
+
+/// One lint finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Pass identifier (stable; used in the baseline file).
+    pub pass: &'static str,
+    /// Workspace-relative path with forward slashes.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+    /// Trimmed source line, the baseline matching key.
+    pub snippet: String,
+}
+
+impl Finding {
+    fn new(pass: &'static str, path: &str, s: &Scanned, line: usize, message: String) -> Finding {
+        Finding {
+            pass,
+            path: path.to_string(),
+            line,
+            message,
+            snippet: s.snippet(line).to_string(),
+        }
+    }
+}
+
+/// Lines of leading comment tolerated between an annotation comment and the
+/// construct it annotates.
+const SAFETY_WINDOW: usize = 4;
+const ANNOTATION_WINDOW: usize = 3;
+const LOCK_WINDOW: usize = 2;
+
+/// True for paths whose whole file is test/bench/example scaffolding.
+pub fn exempt_path(path: &str) -> bool {
+    path.starts_with("crates/bench/")
+        || path.contains("/tests/")
+        || path.contains("/benches/")
+        || path.contains("/examples/")
+        || path.starts_with("tests/")
+        || path.starts_with("benches/")
+        || path.starts_with("examples/")
+}
+
+fn ident(t: Option<&Tok>) -> Option<&str> {
+    match t {
+        Some(Tok {
+            kind: TokKind::Ident(s),
+            ..
+        }) => Some(s.as_str()),
+        _ => None,
+    }
+}
+
+fn punct(t: Option<&Tok>, c: char) -> bool {
+    matches!(t, Some(Tok { kind: TokKind::Punct(p), .. }) if *p == c)
+}
+
+fn strlit(t: Option<&Tok>) -> bool {
+    matches!(
+        t,
+        Some(Tok {
+            kind: TokKind::StrLit,
+            ..
+        })
+    )
+}
+
+/// Runs every pass applicable to `path` over one scanned file.
+pub fn run_all(path: &str, s: &Scanned) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if exempt_path(path) {
+        return out;
+    }
+    unsafe_safety(path, s, &mut out);
+    no_panic(path, s, &mut out);
+    no_wallclock(path, s, &mut out);
+    facade_span(path, s, &mut out);
+    lock_order(path, s, &mut out);
+    out
+}
+
+/// `unsafe-safety`: every `unsafe` keyword (block, fn, impl, trait) must
+/// have a comment containing `SAFETY:` on its line or within
+/// [`SAFETY_WINDOW`] lines above.
+fn unsafe_safety(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    for t in &s.tokens {
+        if ident(Some(t)) != Some("unsafe") || s.in_test_region(t.line) {
+            continue;
+        }
+        let lo = t.line.saturating_sub(SAFETY_WINDOW);
+        if !s.comment_near(lo, t.line, "SAFETY:") {
+            out.push(Finding::new(
+                "unsafe-safety",
+                path,
+                s,
+                t.line,
+                "`unsafe` without a `// SAFETY:` comment justifying the invariant".into(),
+            ));
+        }
+    }
+}
+
+/// `no-panic`: no `.unwrap()`, `.expect("…")`, `panic!`, `todo!` or
+/// `unimplemented!` in non-test library code. `.expect(` with a
+/// non-string-literal argument is not flagged (e.g. a parser method named
+/// `expect`).
+fn no_panic(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    let toks = &s.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        let Some(name) = ident(Some(t)) else { continue };
+        if s.in_test_region(t.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|k| toks.get(k));
+        let flagged = match name {
+            "unwrap" => {
+                punct(prev, '.') && punct(toks.get(i + 1), '(') && punct(toks.get(i + 2), ')')
+            }
+            "expect" => {
+                punct(prev, '.') && punct(toks.get(i + 1), '(') && strlit(toks.get(i + 2))
+            }
+            "panic" | "todo" | "unimplemented" => punct(toks.get(i + 1), '!'),
+            _ => false,
+        };
+        if flagged {
+            let what = match name {
+                "unwrap" => ".unwrap()".to_string(),
+                "expect" => ".expect(\"…\")".to_string(),
+                m => format!("{m}!"),
+            };
+            out.push(Finding::new(
+                "no-panic",
+                path,
+                s,
+                t.line,
+                format!("{what} in non-test library code — return an error or move to lint.allow"),
+            ));
+        }
+    }
+}
+
+/// `no-wallclock`: `Instant`/`SystemTime` only inside `mlake-obs` (the
+/// process's one physical clock) and the bench crate. Everything else must
+/// stay deterministic.
+fn no_wallclock(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    if path.starts_with("crates/obs/") {
+        return;
+    }
+    for t in &s.tokens {
+        let Some(name) = ident(Some(t)) else { continue };
+        if (name == "Instant" || name == "SystemTime") && !s.in_test_region(t.line) {
+            out.push(Finding::new(
+                "no-wallclock",
+                path,
+                s,
+                t.line,
+                format!("`{name}` outside mlake-obs/bench breaks the determinism guard — time through mlake-obs instead"),
+            ));
+        }
+    }
+}
+
+/// `facade-span`: inside `impl ModelLake` blocks, every `pub fn` body must
+/// call `…span(` or the signature must be annotated `// lint: no-span`
+/// within [`ANNOTATION_WINDOW`] lines above.
+fn facade_span(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    let toks = &s.tokens;
+    let mut i = 0usize;
+    while i < toks.len() {
+        // Find `impl ModelLake` (not `impl Trait for ModelLake`).
+        if ident(toks.get(i)) == Some("impl") && ident(toks.get(i + 1)) == Some("ModelLake") {
+            // Advance to the impl block's opening brace and remember where
+            // the block ends.
+            let mut j = i + 2;
+            while j < toks.len() && !punct(toks.get(j), '{') {
+                j += 1;
+            }
+            let block_end = match matching_brace(toks, j) {
+                Some(e) => e,
+                None => toks.len(),
+            };
+            scan_impl_block(path, s, j + 1, block_end, out);
+            i = block_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// Index of the `}` matching the `{` at `open` (tokens), if any.
+fn matching_brace(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in toks.iter().enumerate().skip(open) {
+        match t.kind {
+            TokKind::Punct('{') => depth += 1,
+            TokKind::Punct('}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Checks every top-level `pub fn` in the token range `[start, end)`.
+fn scan_impl_block(path: &str, s: &Scanned, start: usize, end: usize, out: &mut Vec<Finding>) {
+    let toks = &s.tokens;
+    let mut i = start;
+    while i < end {
+        if ident(toks.get(i)) == Some("pub") && ident(toks.get(i + 1)) == Some("fn") {
+            let fn_line = toks[i].line;
+            let fn_name = ident(toks.get(i + 2)).unwrap_or("?").to_string();
+            // Body = first brace block after the signature.
+            let mut j = i + 2;
+            while j < end && !punct(toks.get(j), '{') {
+                j += 1;
+            }
+            let body_end = matching_brace(toks, j).unwrap_or(end).min(end);
+            let opens_span = (j..body_end).any(|k| {
+                ident(toks.get(k)) == Some("span") && punct(toks.get(k + 1), '(')
+            });
+            let annotated = s.comment_near(
+                fn_line.saturating_sub(ANNOTATION_WINDOW),
+                fn_line,
+                "lint: no-span",
+            );
+            if !opens_span && !annotated && !s.in_test_region(fn_line) {
+                out.push(Finding::new(
+                    "facade-span",
+                    path,
+                    s,
+                    fn_line,
+                    format!(
+                        "facade method `{fn_name}` opens no obs span and is not annotated `// lint: no-span`"
+                    ),
+                ));
+            }
+            i = body_end + 1;
+            continue;
+        }
+        i += 1;
+    }
+}
+
+/// `lock-order`: in `mlake-index`/`mlake-par`, every `.lock()` call must
+/// carry a `// lock-order: N` comment (same line or up to [`LOCK_WINDOW`]
+/// lines above) stating its rank in the DESIGN.md §10 lock hierarchy.
+fn lock_order(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    if !(path.starts_with("crates/index/") || path.starts_with("crates/par/")) {
+        return;
+    }
+    let toks = &s.tokens;
+    for (i, t) in toks.iter().enumerate() {
+        if ident(Some(t)) != Some("lock") || s.in_test_region(t.line) {
+            continue;
+        }
+        let prev = i.checked_sub(1).and_then(|k| toks.get(k));
+        if !(punct(prev, '.') && punct(toks.get(i + 1), '(') && punct(toks.get(i + 2), ')')) {
+            continue;
+        }
+        let lo = t.line.saturating_sub(LOCK_WINDOW);
+        if !s.comment_near(lo, t.line, "lock-order:") {
+            out.push(Finding::new(
+                "lock-order",
+                path,
+                s,
+                t.line,
+                "`Mutex::lock` without a `// lock-order: N` rank annotation (DESIGN.md §10)".into(),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+
+    fn findings(path: &str, src: &str) -> Vec<Finding> {
+        run_all(path, &scan(src))
+    }
+
+    fn passes(f: &[Finding]) -> Vec<&'static str> {
+        f.iter().map(|x| x.pass).collect()
+    }
+
+    // ---- unsafe-safety -------------------------------------------------
+
+    #[test]
+    fn unsafe_without_safety_fires() {
+        let f = findings(
+            "crates/x/src/lib.rs",
+            "fn f(p: *const u8) -> u8 { unsafe { *p } }",
+        );
+        assert_eq!(passes(&f), vec!["unsafe-safety"]);
+        assert_eq!(f[0].line, 1);
+    }
+
+    #[test]
+    fn unsafe_with_safety_comment_clean() {
+        let src = "fn f(p: *const u8) -> u8 {\n    // SAFETY: caller guarantees p is valid.\n    unsafe { *p }\n}";
+        assert!(findings("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn unsafe_in_test_region_exempt() {
+        let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t(p: *const u8) -> u8 { unsafe { *p } }\n}";
+        assert!(findings("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    // ---- no-panic ------------------------------------------------------
+
+    #[test]
+    fn unwrap_and_macros_fire() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }\nfn g() { panic!(\"boom\") }\nfn h() { todo!() }";
+        let f = findings("crates/x/src/lib.rs", src);
+        assert_eq!(passes(&f), vec!["no-panic", "no-panic", "no-panic"]);
+    }
+
+    #[test]
+    fn expect_with_string_literal_fires_but_parser_method_does_not() {
+        let flagged = findings(
+            "crates/x/src/lib.rs",
+            "fn f(x: Option<u8>) -> u8 { x.expect(\"msg\") }",
+        );
+        assert_eq!(passes(&flagged), vec!["no-panic"]);
+        // A parser's own `expect(&Token::…)` method is not Option::expect.
+        let clean = findings(
+            "crates/x/src/lib.rs",
+            "fn f(p: &mut P) -> R { p.expect(&Token::LParen) }",
+        );
+        assert!(clean.is_empty());
+    }
+
+    #[test]
+    fn unwrap_variants_not_flagged() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap_or(0) }\nfn g(x: Option<u8>) -> u8 { x.unwrap_or_else(|| 1) }";
+        assert!(findings("crates/x/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn tests_benches_and_bench_crate_exempt() {
+        let src = "fn f(x: Option<u8>) -> u8 { x.unwrap() }";
+        assert!(findings("crates/x/tests/api.rs", src).is_empty());
+        assert!(findings("crates/x/benches/perf.rs", src).is_empty());
+        assert!(findings("crates/bench/src/lib.rs", src).is_empty());
+        assert!(findings("examples/quickstart.rs", src).is_empty());
+        let in_tests =
+            "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}";
+        assert!(findings("crates/x/src/lib.rs", in_tests).is_empty());
+    }
+
+    // ---- no-wallclock --------------------------------------------------
+
+    #[test]
+    fn wallclock_fires_outside_obs_and_bench() {
+        let src = "use std::time::Instant;\nfn f() { let _ = Instant::now(); }";
+        let f = findings("crates/par/src/lib.rs", src);
+        assert_eq!(passes(&f), vec!["no-wallclock", "no-wallclock"]);
+        assert!(findings("crates/obs/src/span.rs", src).is_empty());
+        assert!(findings("crates/bench/src/bin/guard.rs", src).is_empty());
+        let st = "fn f() -> std::time::SystemTime { std::time::SystemTime::now() }";
+        assert_eq!(passes(&findings("crates/core/src/lake.rs", st)).len(), 2);
+    }
+
+    // ---- facade-span ---------------------------------------------------
+
+    #[test]
+    fn facade_pub_fn_without_span_fires() {
+        let src = "impl ModelLake {\n    pub fn naked(&self) -> usize { self.len }\n}";
+        let f = findings("crates/core/src/lake.rs", src);
+        assert_eq!(passes(&f), vec!["facade-span"]);
+        assert!(f[0].message.contains("naked"));
+    }
+
+    #[test]
+    fn facade_span_or_annotation_clean() {
+        let spanned = "impl ModelLake {\n    pub fn traced(&self) {\n        let _span = mlake_obs::span(\"lake.traced\");\n    }\n}";
+        assert!(findings("crates/core/src/lake.rs", spanned).is_empty());
+        let annotated = "impl ModelLake {\n    // lint: no-span — trivial accessor\n    pub fn len(&self) -> usize { self.n }\n}";
+        assert!(findings("crates/core/src/lake.rs", annotated).is_empty());
+    }
+
+    #[test]
+    fn facade_ignores_other_impls_and_private_fns() {
+        let src = "impl QueryTarget for ModelLake {\n    fn all_models(&self) -> Vec<u64> { vec![] }\n}\nimpl ModelLake {\n    fn private_helper(&self) {}\n    pub(crate) fn crate_helper(&self) {}\n}";
+        assert!(findings("crates/core/src/lake.rs", src).is_empty());
+    }
+
+    // ---- lock-order ----------------------------------------------------
+
+    #[test]
+    fn lock_without_rank_fires_in_par_and_index_only() {
+        let src = "fn f(m: &Mutex<u8>) { let _g = m.lock(); }";
+        assert_eq!(passes(&findings("crates/par/src/lib.rs", src)), vec!["lock-order"]);
+        assert_eq!(
+            passes(&findings("crates/index/src/hnsw.rs", src)),
+            vec!["lock-order"]
+        );
+        assert!(findings("crates/obs/src/recorder.rs", src).is_empty());
+    }
+
+    #[test]
+    fn lock_with_rank_annotation_clean() {
+        let src = "fn f(m: &Mutex<u8>) {\n    // lock-order: 30 (hnsw.entry)\n    let _g = m.lock();\n}";
+        assert!(findings("crates/index/src/hnsw.rs", src).is_empty());
+    }
+
+    #[test]
+    fn field_named_lock_is_not_a_lock_call() {
+        let src = "fn f(l: &Latch) { let _v = l.lock.lock.x; }";
+        assert!(findings("crates/par/src/lib.rs", src).is_empty());
+    }
+}

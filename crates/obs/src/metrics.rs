@@ -32,6 +32,18 @@ impl Counter {
         self.value.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Runs `f`, adds its wall-clock duration in nanoseconds, and returns
+    /// its result. This is the sanctioned way for other crates to time
+    /// work: the clock read stays inside `mlake-obs` (the workspace's
+    /// no-wallclock lint confines `Instant` to this crate).
+    #[inline]
+    pub fn time<R>(&self, f: impl FnOnce() -> R) -> R {
+        let start = std::time::Instant::now();
+        let out = f();
+        self.add(start.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
+        out
+    }
+
     /// Current value.
     pub fn get(&self) -> u64 {
         self.value.load(Ordering::Relaxed)
@@ -443,6 +455,35 @@ mod tests {
         assert_eq!(h.quantile(0.5), 0);
         let s = h.snapshot("empty");
         assert_eq!((s.count, s.mean_ns, s.p99_ns, s.max_ns), (0, 0, 0, 0));
+    }
+
+    /// A single sample lands in one log bucket whose midpoint overshoots
+    /// the sample; the snapshot must clamp every quantile to the true
+    /// maximum so `p50 <= p95 <= p99 <= max` holds even at count == 1.
+    #[test]
+    fn single_sample_snapshot_clamps_quantiles_to_max() {
+        let h = Histogram::default();
+        let v = 1u64 << 20; // bucket midpoint = 1.125 * 2^20 > v
+        h.record(v);
+        assert!(
+            h.quantile(0.99) > v,
+            "raw bucket quantile should overshoot the sample"
+        );
+        let s = h.snapshot("one");
+        assert_eq!(s.max_ns, v);
+        assert_eq!((s.p50_ns, s.p95_ns, s.p99_ns), (v, v, v));
+        assert_eq!(s.mean_ns, v);
+    }
+
+    #[test]
+    fn counter_time_adds_elapsed_and_returns_result() {
+        let c = Counter::default();
+        let out = c.time(|| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            7u32
+        });
+        assert_eq!(out, 7);
+        assert!(c.get() >= 2_000_000, "timed at least the 2ms sleep");
     }
 
     #[test]

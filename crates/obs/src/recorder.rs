@@ -104,6 +104,32 @@ pub fn clear() {
 mod tests {
     use super::*;
 
+    /// Writing exactly [`CAPACITY`] more records forces the ring through
+    /// its wrap point. The ring is process-global and other tests in this
+    /// binary record concurrently, so the assertions are the wraparound
+    /// invariants themselves rather than exact contents: the ring never
+    /// holds more than CAPACITY records, and after wrapping it holds
+    /// exactly the last CAPACITY sequence numbers, contiguous and oldest
+    /// first across the wrap seam.
+    #[test]
+    fn ring_wraps_at_exactly_capacity() {
+        for i in 0..CAPACITY as u64 {
+            record("test.recorder.wrap", 1, Duration::from_nanos(i + 1));
+        }
+        let all = recent(usize::MAX);
+        assert_eq!(all.len(), CAPACITY, "ring must cap at CAPACITY records");
+        for w in all.windows(2) {
+            assert_eq!(
+                w[1].seq,
+                w[0].seq + 1,
+                "post-wrap unwrap must yield contiguous seqs across the seam"
+            );
+        }
+        assert!(total_recorded() >= CAPACITY as u64);
+        // Asking for more than CAPACITY can never return more.
+        assert_eq!(recent(CAPACITY + 1).len(), CAPACITY);
+    }
+
     #[test]
     fn ring_keeps_newest_in_order() {
         // Use distinct durations to identify records regardless of other

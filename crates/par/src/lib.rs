@@ -43,6 +43,10 @@ use std::panic::{self, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, OnceLock};
 
+pub mod lockorder;
+
+use lockorder::ranks;
+
 // ---------------------------------------------------------------------------
 // Thread-count policy
 // ---------------------------------------------------------------------------
@@ -116,8 +120,8 @@ struct Job {
     latch: *const Latch,
 }
 
-// The raw pointers are only dereferenced while the submitting region is
-// blocked on its latch, which keeps the referents alive.
+// SAFETY: the raw pointers are only dereferenced while the submitting
+// region is blocked on its latch, which keeps the referents alive.
 unsafe impl Send for Job {}
 
 /// Counts outstanding pool jobs for one parallel region and stores the
@@ -143,6 +147,8 @@ impl Latch {
         // cannot observe zero (and free the stack-allocated latch) until
         // this guard drops — the unlock is the worker's last touch of
         // `self`.
+        // lock-order: 20 (par.latch)
+        let _ord = lockorder::acquire(ranks::PAR_LATCH, "par.latch");
         let mut slot = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(p) = payload {
             slot.get_or_insert(p);
@@ -153,6 +159,8 @@ impl Latch {
     }
 
     fn wait(&self) -> Option<Box<dyn std::any::Any + Send>> {
+        // lock-order: 20 (par.latch)
+        let _ord = lockorder::acquire(ranks::PAR_LATCH, "par.latch");
         let mut slot = self.lock.lock().unwrap_or_else(|e| e.into_inner());
         while self.remaining.load(Ordering::Acquire) != 0 {
             slot = self.cv.wait(slot).unwrap_or_else(|e| e.into_inner());
@@ -168,6 +176,8 @@ struct Pool {
 
 impl Pool {
     fn submit(&self, jobs: impl Iterator<Item = Job>) {
+        // lock-order: 10 (par.queue)
+        let _ord = lockorder::acquire(ranks::PAR_QUEUE, "par.queue");
         let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
         let mut n = 0usize;
         for job in jobs {
@@ -191,6 +201,10 @@ impl Pool {
             .then(|| mlake_obs::registry().counter_dyn(&format!("par.worker{index}.busy_ns")));
         loop {
             let job = {
+                // Released before the job runs, so the job's own latch
+                // acquisition starts from an empty held-set.
+                // lock-order: 10 (par.queue)
+                let _ord = lockorder::acquire(ranks::PAR_QUEUE, "par.queue");
                 let mut q = self.queue.lock().unwrap_or_else(|e| e.into_inner());
                 loop {
                     if let Some(job) = q.pop_front() {
@@ -202,12 +216,15 @@ impl Pool {
                     q = self.available.wait(q).unwrap_or_else(|e| e.into_inner());
                 }
             };
-            let start = busy.map(|_| std::time::Instant::now());
-            let result =
-                panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.f)(job.slot) }));
-            if let (Some(c), Some(t)) = (busy, start) {
-                c.add(t.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64);
-            }
+            // SAFETY: the submitting region blocks on its latch until this
+            // job counts down, keeping the borrowed closure alive.
+            let exec = || panic::catch_unwind(AssertUnwindSafe(|| unsafe { (*job.f)(job.slot) }));
+            let result = match busy {
+                Some(c) => c.time(exec),
+                None => exec(),
+            };
+            // SAFETY: as above — the latch is stack-allocated in the still-
+            // blocked submitting region, so the pointer is live here.
             let latch = unsafe { &*job.latch };
             latch.count_down(result.err());
             // `job.f`/`job.latch` must not be touched after the count-down:
@@ -352,8 +369,9 @@ fn region(threads: usize, run: &(dyn Fn(usize) + Sync)) {
         mlake_obs::counter!("par.regions").inc();
     }
     let latch = Latch::new(threads - 1);
-    // Erase the region lifetime: `wait()` below keeps `run` and `latch`
-    // alive until every job has signalled the latch.
+    // SAFETY: the transmute only erases the region lifetime; `wait()`
+    // below keeps `run` and `latch` alive until every job has signalled
+    // the latch, so no job dereferences a dangling pointer.
     let f: *const (dyn Fn(usize) + Sync) =
         unsafe { std::mem::transmute::<&(dyn Fn(usize) + Sync), _>(run) };
     pool().submit((1..threads).map(|slot| Job {
@@ -377,6 +395,9 @@ fn region(threads: usize, run: &(dyn Fn(usize) + Sync)) {
 
 /// Pointer wrapper asserting that disjoint-index writes are thread-safe.
 struct SendPtr<T>(*mut T);
+// SAFETY: holders only write through the pointer at disjoint indices
+// (each caller below partitions the index space), so shared access from
+// multiple threads never aliases a write.
 unsafe impl<T: Send> Send for SendPtr<T> {}
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
@@ -399,12 +420,12 @@ pub fn par_map_index<R: Send>(len: usize, grain: usize, f: impl Fn(usize) -> R +
             unsafe { base.0.add(i).write(std::mem::MaybeUninit::new(value)) };
         }
     });
+    let mut out = std::mem::ManuallyDrop::new(out);
+    let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
     // SAFETY: par_for visited every index exactly once, so all `len`
     // slots are initialized. Rebuild via raw parts rather than transmute:
     // Vec's layout is unspecified, so transmuting Vec<MaybeUninit<R>> to
     // Vec<R> is UB even though the element types match.
-    let mut out = std::mem::ManuallyDrop::new(out);
-    let (ptr, len, cap) = (out.as_mut_ptr(), out.len(), out.capacity());
     unsafe { Vec::from_raw_parts(ptr as *mut R, len, cap) }
 }
 

@@ -54,6 +54,8 @@ fn matmul_panel(arow: &[f32], b: &[f32], orow: &mut [f32], kb: usize, kend: usiz
 
 /// Pointer wrapper for provably disjoint cross-thread writes (see `gram`).
 struct SendPtr(*mut f32);
+// SAFETY: every user writes only to row blocks it exclusively owns (the
+// parallel tiling partitions the output), so shared access never aliases.
 unsafe impl Send for SendPtr {}
 unsafe impl Sync for SendPtr {}
 

@@ -5,7 +5,10 @@
 #   scripts/ci.sh --quick  # tier-1 only
 #
 # Tier-1 (ROADMAP.md) is `cargo build --release && cargo test -q`; everything
-# after it widens coverage: the full workspace test suite, the same suite
+# after it widens coverage: the mlake-lint static-analysis gate (also run in
+# --quick mode — it is cheap and catches new debt earliest), the full
+# workspace test suite, a debug-profile par/index run (exercising the
+# lock-order race detector, which compiles out in release), the same suite
 # re-run with observability disabled (MLAKE_OBS=off must be behaviorally
 # inert), the parallel-vs-serial equivalence suites re-run under
 # MLAKE_THREADS=1 (exercising the env override path end-to-end), a matmul
@@ -23,6 +26,9 @@ cargo build --release
 step "tier-1: cargo test -q"
 cargo test -q
 
+step "lint: mlake-lint over crates/ and src/ (lint.allow baseline)"
+cargo run -q -p mlake-lint --release -- crates src
+
 if [[ "${1:-}" == "--quick" ]]; then
   echo "quick mode: skipping workspace tests, determinism re-run, clippy"
   exit 0
@@ -30,6 +36,9 @@ fi
 
 step "workspace tests"
 cargo test --workspace -q
+
+step "lock-order race detector: debug-profile par/index tests"
+cargo test -q -p mlake-par -p mlake-index
 
 step "observability off: tier-1 re-run under MLAKE_OBS=off"
 MLAKE_OBS=off cargo test -q
@@ -45,7 +54,7 @@ cargo run -q -p mlake-bench --bin bench_guard --release
 step "clippy -D warnings (parallel + observability crates)"
 cargo clippy -q -p mlake-par -p mlake-tensor -p mlake-index \
   -p mlake-fingerprint -p mlake-datagen -p mlake-bench \
-  -p mlake-obs -p mlake-core -p mlake-query -- -D warnings
+  -p mlake-obs -p mlake-core -p mlake-query -p mlake-lint -- -D warnings
 
 echo
 echo "ci: all green"
