@@ -49,6 +49,7 @@ fn bench_hnsw_build(c: &mut Criterion) {
         ef_construction: 100,
         ef_search: 64,
         seed: 5,
+        ..Default::default()
     };
     let mut group = c.benchmark_group("hnsw-build");
     group.bench_function("sequential", |b| {
@@ -77,6 +78,7 @@ fn bench_hnsw_search(c: &mut Criterion) {
         ef_construction: 100,
         ef_search: 64,
         seed: 5,
+        ..Default::default()
     });
     idx.insert_batch(&items).unwrap();
     let queries: Vec<Vec<f32>> = embeddings(256, 64, 77);

@@ -1,22 +1,33 @@
 //! Performance regression guard for CI.
 //!
-//! Times the tiled 512x512 matmul (the parallel layer's flagship kernel;
-//! 13.94ms baseline recorded in CHANGES.md) and fails if the best-of-N
-//! run regresses more than 25% past that baseline. Best-of-N rather than
-//! mean keeps the guard robust to scheduler noise on loaded CI hosts.
+//! Two gates, both best-of-N (robust to scheduler noise on loaded hosts):
+//!
+//! 1. **Tiled matmul** — times the 512x512 tiled matmul (the parallel
+//!    layer's flagship kernel; 13.94ms baseline recorded in CHANGES.md)
+//!    and fails on a >25% regression past that baseline.
+//! 2. **SQ8 flat scan** — times 32 exact top-10 searches over a 20k x 64
+//!    flat index in f32 and in `Precision::Sq8Rescore`, and fails unless
+//!    the quantized scan is at least 1.3x faster (ISSUE PR 4 acceptance
+//!    criterion) and within an absolute budget.
 //!
 //! ```text
 //! cargo run -p mlake-bench --bin bench_guard --release
 //! ```
 //!
 //! Override knobs (env):
-//!   MLAKE_BENCH_GUARD_MS — threshold in ms (default 17.4 = 13.94 * 1.25)
-//!   MLAKE_GUARD_REPS     — timed repetitions (default 10)
+//!   MLAKE_BENCH_GUARD_MS        — matmul threshold in ms (default 17.4 = 13.94 * 1.25)
+//!   MLAKE_BENCH_GUARD_SQ8_MS    — SQ8 scan budget in ms for the 32-query batch
+//!   MLAKE_BENCH_GUARD_SQ8_RATIO — required f32/sq8 speedup (default 1.3)
+//!   MLAKE_GUARD_REPS            — timed repetitions (default 10)
 
+use mlake_bench::exp::e5_index::embeddings;
+use mlake_index::{FlatIndex, Precision, VectorIndex};
 use mlake_tensor::{Matrix, Pcg64};
 use std::time::Instant;
 
 const DEFAULT_BUDGET_MS: f64 = 17.4;
+const DEFAULT_SQ8_BUDGET_MS: f64 = 60.0;
+const DEFAULT_SQ8_RATIO: f64 = 1.3;
 const DEFAULT_REPS: usize = 10;
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -26,30 +37,86 @@ fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
         .unwrap_or(default)
 }
 
-fn main() {
+/// Best-of-`reps` wall-clock of `f`, in milliseconds (after one warm-up).
+fn best_of_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm up: first run pays pool spawn + page faults
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+fn guard_matmul(reps: usize) -> bool {
     let budget_ms: f64 = env_or("MLAKE_BENCH_GUARD_MS", DEFAULT_BUDGET_MS);
-    let reps: usize = env_or("MLAKE_GUARD_REPS", DEFAULT_REPS).max(1);
     let n = 512;
     let mut rng = Pcg64::new(41);
     let a = Matrix::randn(n, n, &mut rng);
     let b = Matrix::randn(n, n, &mut rng);
-
-    // Warm up: first run pays pool spawn + page faults.
-    std::hint::black_box(a.matmul(&b).expect("matmul"));
-
-    let mut best_ms = f64::INFINITY;
-    for _ in 0..reps {
-        let t0 = Instant::now();
+    let best_ms = best_of_ms(reps, || {
         std::hint::black_box(a.matmul(&b).expect("matmul"));
-        best_ms = best_ms.min(t0.elapsed().as_secs_f64() * 1e3);
-    }
-
+    });
     println!("bench_guard: matmul {n}x{n} tiled best-of-{reps} = {best_ms:.2}ms (budget {budget_ms:.2}ms)");
     if best_ms > budget_ms {
         eprintln!(
             "bench_guard: FAIL — {best_ms:.2}ms exceeds the {budget_ms:.2}ms budget \
              (13.94ms baseline + 25%); the tiled matmul path has regressed"
         );
+        return false;
+    }
+    true
+}
+
+fn guard_sq8_scan(reps: usize) -> bool {
+    let budget_ms: f64 = env_or("MLAKE_BENCH_GUARD_SQ8_MS", DEFAULT_SQ8_BUDGET_MS);
+    let ratio_floor: f64 = env_or("MLAKE_BENCH_GUARD_SQ8_RATIO", DEFAULT_SQ8_RATIO);
+    let (n, dim, k) = (20_000, 64, 10);
+    let items: Vec<(u64, Vec<f32>)> = embeddings(n, dim, 31)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (i as u64, v))
+        .collect();
+    let queries = embeddings(32, dim, 77);
+    let mut f32_idx = FlatIndex::new();
+    let mut sq8_idx = FlatIndex::with_precision(Precision::Sq8Rescore);
+    f32_idx.insert_batch(&items).expect("insert f32");
+    sq8_idx.insert_batch(&items).expect("insert sq8");
+
+    let f32_ms = best_of_ms(reps, || {
+        std::hint::black_box(f32_idx.search_many(&queries, k).expect("f32 scan"));
+    });
+    let sq8_ms = best_of_ms(reps, || {
+        std::hint::black_box(sq8_idx.search_many(&queries, k).expect("sq8 scan"));
+    });
+    let speedup = f32_ms / sq8_ms;
+    println!(
+        "bench_guard: flat scan {n}x{dim}, 32 queries, k={k}, best-of-{reps}: \
+         f32 {f32_ms:.2}ms, sq8 {sq8_ms:.2}ms, speedup {speedup:.2}x \
+         (floor {ratio_floor:.2}x, budget {budget_ms:.2}ms)"
+    );
+    let mut ok = true;
+    if speedup < ratio_floor {
+        eprintln!(
+            "bench_guard: FAIL — SQ8 scan speedup {speedup:.2}x is below the \
+             {ratio_floor:.2}x floor; the quantized scan path has regressed"
+        );
+        ok = false;
+    }
+    if sq8_ms > budget_ms {
+        eprintln!(
+            "bench_guard: FAIL — SQ8 scan {sq8_ms:.2}ms exceeds the {budget_ms:.2}ms budget"
+        );
+        ok = false;
+    }
+    ok
+}
+
+fn main() {
+    let reps: usize = env_or("MLAKE_GUARD_REPS", DEFAULT_REPS).max(1);
+    let ok = guard_matmul(reps) & guard_sq8_scan(reps);
+    if !ok {
         std::process::exit(1);
     }
     println!("bench_guard: OK");

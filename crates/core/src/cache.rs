@@ -1,0 +1,188 @@
+//! Generation-keyed LRU cache for facade query results (DESIGN.md §11).
+//!
+//! Repeated `similar`/MLQL queries against an unchanged lake are common —
+//! interactive exploration, audit sweeps, MLQL sub-queries — and each one
+//! re-runs fingerprinting plus an index search. [`QueryCache`] memoises the
+//! final result, keyed by `(query digest, k, index generation)`.
+//!
+//! **Invalidation is by key, not by flush**: the generation component is the
+//! event-log head, which advances on *every* lake mutation (ingest, card
+//! update, registration, graph rebuild). A mutation therefore never has to
+//! touch the cache — post-mutation lookups simply miss because their key
+//! carries the new generation, and the stale entries age out of the LRU (or
+//! are pruned when a newer-generation value is inserted). Over-invalidation
+//! (e.g. a card update invalidating `similar` results) is deliberate: the
+//! cache must never serve a result the current lake would not produce.
+
+use crate::hash::Digest;
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Cache key: content digest of the query, result size, lake generation.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub(crate) struct CacheKey {
+    /// SHA-256 of the canonicalised query text/parameters.
+    pub digest: Digest,
+    /// Requested result size `k` (0 when not applicable).
+    pub k: u64,
+    /// Event-log head at lookup time.
+    pub generation: u64,
+}
+
+struct Entry<V> {
+    /// Logical clock of the last touch (monotone per cache).
+    stamp: u64,
+    value: V,
+}
+
+struct Inner<V> {
+    map: HashMap<CacheKey, Entry<V>>,
+    tick: u64,
+}
+
+/// A small LRU map from [`CacheKey`] to a cloneable query result.
+///
+/// Capacity 0 disables the cache entirely (no storage, no `cache.*`
+/// counters). Eviction scans for the least-recently-used entry — O(n) on
+/// insert, which at the facade's default capacity (≤ a few hundred) is
+/// noise next to the query it spares.
+pub(crate) struct QueryCache<V> {
+    capacity: usize,
+    inner: Mutex<Inner<V>>,
+}
+
+impl<V: Clone> QueryCache<V> {
+    pub(crate) fn new(capacity: usize) -> QueryCache<V> {
+        QueryCache {
+            capacity,
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+        }
+    }
+
+    /// `true` when caching is turned off (capacity 0).
+    pub(crate) fn disabled(&self) -> bool {
+        self.capacity == 0
+    }
+
+    /// Looks up `key`, refreshing its LRU stamp; counts `cache.hit` /
+    /// `cache.miss`.
+    pub(crate) fn get(&self, key: &CacheKey) -> Option<V> {
+        if self.disabled() {
+            return None;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        let obs = mlake_obs::enabled();
+        match inner.map.get_mut(key) {
+            Some(entry) => {
+                entry.stamp = tick;
+                if obs {
+                    mlake_obs::counter!("cache.hit").inc();
+                }
+                Some(entry.value.clone())
+            }
+            None => {
+                if obs {
+                    mlake_obs::counter!("cache.miss").inc();
+                }
+                None
+            }
+        }
+    }
+
+    /// Inserts a value, pruning dead generations and evicting the LRU
+    /// entry when full.
+    pub(crate) fn put(&self, key: CacheKey, value: V) {
+        if self.disabled() {
+            return;
+        }
+        let mut inner = self.inner.lock();
+        inner.tick += 1;
+        let tick = inner.tick;
+        // Entries from older generations can never hit again (the head
+        // only advances); drop them rather than letting them squat in the
+        // LRU.
+        let generation = key.generation;
+        inner.map.retain(|k, _| k.generation >= generation);
+        if inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&oldest);
+            }
+        }
+        inner.map.insert(key, Entry { stamp: tick, value });
+    }
+
+    /// Number of live entries (test/introspection hook).
+    #[cfg(test)]
+    pub(crate) fn len(&self) -> usize {
+        self.inner.lock().map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hash::sha256;
+
+    fn key(text: &str, k: u64, generation: u64) -> CacheKey {
+        CacheKey {
+            digest: sha256(text.as_bytes()),
+            k,
+            generation,
+        }
+    }
+
+    #[test]
+    fn hit_after_put_miss_after_generation_bump() {
+        let cache: QueryCache<Vec<u32>> = QueryCache::new(8);
+        let k0 = key("q", 5, 1);
+        assert_eq!(cache.get(&k0), None);
+        cache.put(k0.clone(), vec![1, 2, 3]);
+        assert_eq!(cache.get(&k0), Some(vec![1, 2, 3]));
+        // Same query, newer generation: structurally a different key.
+        assert_eq!(cache.get(&key("q", 5, 2)), None);
+        // Different k: different key.
+        assert_eq!(cache.get(&key("q", 6, 1)), None);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let cache: QueryCache<u32> = QueryCache::new(2);
+        cache.put(key("a", 1, 1), 1);
+        cache.put(key("b", 1, 1), 2);
+        // Touch "a" so "b" is the LRU victim.
+        assert_eq!(cache.get(&key("a", 1, 1)), Some(1));
+        cache.put(key("c", 1, 1), 3);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key("a", 1, 1)), Some(1));
+        assert_eq!(cache.get(&key("b", 1, 1)), None);
+        assert_eq!(cache.get(&key("c", 1, 1)), Some(3));
+    }
+
+    #[test]
+    fn newer_generation_prunes_older_entries() {
+        let cache: QueryCache<u32> = QueryCache::new(8);
+        cache.put(key("a", 1, 1), 1);
+        cache.put(key("b", 1, 1), 2);
+        cache.put(key("c", 1, 2), 3);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key("c", 1, 2)), Some(3));
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let cache: QueryCache<u32> = QueryCache::new(0);
+        assert!(cache.disabled());
+        cache.put(key("a", 1, 1), 1);
+        assert_eq!(cache.get(&key("a", 1, 1)), None);
+    }
+}

@@ -6,8 +6,10 @@
 //! recovery, benchmarking, document generation, card verification, auditing,
 //! citation and declarative MLQL querying.
 
+use crate::cache::{CacheKey, QueryCache};
 use crate::error::{LakeError, Result};
 use crate::event::{EventKind, EventLog};
+use crate::hash::sha256;
 use crate::registry::{BenchmarkEntry, ModelEntry, ModelId, ModelRef, Registry};
 use crate::store::{BlobStore, InMemoryStore};
 use mlake_benchlab::{Benchmark, Leaderboard, Score};
@@ -41,6 +43,11 @@ pub struct LakeConfig {
     pub lm_probes: (usize, usize, usize),
     /// HNSW parameters for the three fingerprint indexes.
     pub hnsw: HnswConfig,
+    /// Capacity of the facade query-result caches (`similar` and MLQL
+    /// execution), in entries per cache. Results are keyed by
+    /// `(query digest, k, event-log generation)`, so any lake mutation
+    /// invalidates by construction. 0 disables caching.
+    pub query_cache: usize,
 }
 
 impl Default for LakeConfig {
@@ -52,6 +59,7 @@ impl Default for LakeConfig {
             probes: (32, 8, 2.5),
             lm_probes: (16, 2, 24),
             hnsw: HnswConfig::default(),
+            query_cache: 128,
         }
     }
 }
@@ -111,6 +119,12 @@ impl LakeConfigBuilder {
         self
     }
 
+    /// Query-result cache capacity in entries per cache (0 disables).
+    pub fn query_cache(mut self, capacity: usize) -> Self {
+        self.config.query_cache = capacity;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<LakeConfig> {
         let c = &self.config;
@@ -162,6 +176,10 @@ pub struct ModelLake {
     events: RwLock<EventLog>,
     graph: RwLock<Option<RecoveredGraph>>,
     score_cache: RwLock<HashMap<(u64, String), Score>>,
+    /// `similar()` results keyed by (query digest, k, event generation).
+    similar_cache: QueryCache<Vec<(ModelId, f32)>>,
+    /// MLQL execution results keyed the same way (k = 0).
+    mlql_cache: QueryCache<Vec<QueryHit>>,
 }
 
 impl ModelLake {
@@ -184,6 +202,7 @@ impl ModelLake {
         for kind in FingerprintKind::ALL {
             indexes.insert(kind, HnswIndex::new(config.hnsw));
         }
+        let config_cache = config.query_cache;
         ModelLake {
             config,
             store: InMemoryStore::new(),
@@ -193,6 +212,8 @@ impl ModelLake {
             events: RwLock::new(EventLog::new()),
             graph: RwLock::new(None),
             score_cache: RwLock::new(HashMap::new()),
+            similar_cache: QueryCache::new(config_cache),
+            mlql_cache: QueryCache::new(config_cache),
         }
     }
 
@@ -432,6 +453,17 @@ impl ModelLake {
     ) -> Result<Vec<(ModelId, f32)>> {
         let _span = mlake_obs::span("lake.similar");
         let id = self.resolve(model)?;
+        // Cache key: canonical query text digested, k, and the event-log
+        // head as generation — any lake mutation bumps the head, so stale
+        // results are unreachable by construction (see `crate::cache`).
+        let key = CacheKey {
+            digest: sha256(format!("similar|{kind:?}|{}", id.0).as_bytes()),
+            k: k as u64,
+            generation: self.events.read().head(),
+        };
+        if let Some(hits) = self.similar_cache.get(&key) {
+            return Ok(hits);
+        }
         let model = self.model(id)?;
         let fp = self.fingerprinter.compute(kind, &model)?;
         let idx = self.indexes.read();
@@ -439,12 +471,14 @@ impl ModelLake {
             .get(&kind)
             .ok_or_else(|| LakeError::Internal(format!("fingerprint index {kind:?} missing")))?;
         let hits = index.search(&fp, k + 1)?;
-        Ok(hits
+        let out: Vec<(ModelId, f32)> = hits
             .into_iter()
             .filter(|h| h.id != id.0)
             .take(k)
             .map(|h| (ModelId(h.id), 1.0 - h.distance))
-            .collect())
+            .collect();
+        self.similar_cache.put(key, out.clone());
+        Ok(out)
     }
 
     // ------------------------------------------------------------------
@@ -777,10 +811,22 @@ impl PreparedQuery<'_> {
         &self.query
     }
 
-    /// Executes the query, returning ranked hits.
+    /// Executes the query, returning ranked hits. Results are served from
+    /// the lake's generation-keyed cache when the lake has not mutated
+    /// since an identical query last ran (see `crate::cache`).
     pub fn run(&self) -> Result<Vec<QueryHit>> {
         let _span = mlake_obs::span("lake.query.run");
-        Ok(execute(&self.query, self.lake)?)
+        let key = CacheKey {
+            digest: sha256(format!("mlql|{}", self.text).as_bytes()),
+            k: 0,
+            generation: self.lake.events.read().head(),
+        };
+        if let Some(hits) = self.lake.mlql_cache.get(&key) {
+            return Ok(hits);
+        }
+        let hits = execute(&self.query, self.lake)?;
+        self.lake.mlql_cache.put(key, hits.clone());
+        Ok(hits)
     }
 
     /// The access plan, without executing.

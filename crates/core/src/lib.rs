@@ -27,6 +27,8 @@
 //! # let _ = hits;
 //! ```
 
+mod cache;
+
 pub mod error;
 pub mod event;
 pub mod hash;

@@ -42,7 +42,7 @@ pub fn spectral_features(model: &Model, max_layers: usize) -> mlake_tensor::Resu
             )?;
             // Power iteration (cheap) for σ₁ on potentially large tables.
             let mut rng = mlake_tensor::Pcg64::new(0x5bec);
-            let s1 = linalg::top_singular_value(&table, 30, &mut rng);
+            let s1 = linalg::top_singular_value(&table, 30, &mut rng)?;
             let fro = table.frobenius_norm();
             out[0] = s1;
             out[2] = if s1 > 0.0 {

@@ -8,9 +8,9 @@
 //! candidate only if it is closer to the query than to any already-kept
 //! neighbour), which preserves graph navigability on clustered data.
 
-use crate::{par_search_many, Hit, VectorIndex};
+use crate::{par_search_many, Hit, Precision, VectorIndex, DEFAULT_RESCORE_FACTOR, SQ8_TRAIN_MIN};
 use mlake_par::lockorder::{self, ranks};
-use mlake_tensor::{vector, Pcg64, TensorError};
+use mlake_tensor::{quant, vector, Pcg64, Sq8Codec, TensorError};
 use parking_lot::{Mutex, RwLock};
 use std::cmp::Ordering;
 use std::collections::{BinaryHeap, HashSet};
@@ -60,6 +60,14 @@ pub struct HnswConfig {
     pub ef_search: usize,
     /// Seed for layer assignment.
     pub seed: u64,
+    /// Traversal precision. Graph *construction* always runs in f32 (graph
+    /// quality is built once, searched forever); under
+    /// [`Precision::Sq8Rescore`] the search beam runs on the SQ8 code
+    /// arena and the pool is re-ranked in f32.
+    pub precision: Precision,
+    /// Rescore pool multiplier for [`Precision::Sq8Rescore`]: the beam's
+    /// top `rescore_factor · k` candidates are re-ranked exactly.
+    pub rescore_factor: usize,
 }
 
 impl Default for HnswConfig {
@@ -69,6 +77,8 @@ impl Default for HnswConfig {
             ef_construction: 100,
             ef_search: 64,
             seed: 0,
+            precision: Precision::F32,
+            rescore_factor: DEFAULT_RESCORE_FACTOR,
         }
     }
 }
@@ -93,6 +103,11 @@ pub struct HnswIndex {
     rng: Pcg64,
     /// Inverse of ln(M), the geometric layer parameter.
     level_lambda: f64,
+    /// SQ8 codec, trained lazily at [`SQ8_TRAIN_MIN`] nodes
+    /// (`Sq8Rescore` only).
+    codec: Option<Sq8Codec>,
+    /// Contiguous SQ8 codes, row-parallel to `data` once the codec exists.
+    codes: Vec<u8>,
 }
 
 /// Max-heap entry ordered by distance (for the result set).
@@ -138,6 +153,8 @@ impl HnswIndex {
             max_layer: 0,
             rng: Pcg64::with_stream(config.seed, 0x484e_5357),
             level_lambda: 1.0 / (m as f64).ln(),
+            codec: None,
+            codes: Vec::new(),
         }
     }
 
@@ -162,6 +179,75 @@ impl HnswIndex {
         ((-u.ln() * self.level_lambda) as usize).min(31)
     }
 
+    /// Keeps the SQ8 code arena in lockstep with `data`: calibrates the
+    /// codec once [`SQ8_TRAIN_MIN`] nodes exist (backfilling earlier rows),
+    /// then encodes every new row. No-op in `F32` mode.
+    fn maintain_codes(&mut self) {
+        if !self.ensure_codec() {
+            return;
+        }
+        let Some(codec) = self.codec.take() else { return };
+        for row in (self.codes.len() / self.dim)..self.nodes.len() {
+            let v = &self.data[row * self.dim..(row + 1) * self.dim];
+            if codec.encode_into(v, &mut self.codes).is_err() {
+                break; // unreachable: row width matches the codec by construction
+            }
+        }
+        self.codec = Some(codec);
+    }
+
+    /// Batch variant of [`Self::maintain_codes`]: the per-item quantization
+    /// of the un-encoded tail runs on the shared pool, one row per chunk.
+    fn maintain_codes_batch(&mut self) {
+        if !self.ensure_codec() {
+            return;
+        }
+        let Some(codec) = self.codec.as_ref() else { return };
+        let dim = self.dim;
+        let start_row = self.codes.len() / dim;
+        if start_row == self.nodes.len() {
+            return;
+        }
+        let mut buf = vec![0u8; (self.nodes.len() - start_row) * dim];
+        let data = &self.data;
+        mlake_par::par_chunks_mut(&mut buf, dim, |i, chunk| {
+            let row = start_row + i;
+            // Unreachable error: chunk and row widths match the codec.
+            let _ = codec.encode_to_slice(&data[row * dim..(row + 1) * dim], chunk);
+        });
+        self.codes.extend_from_slice(&buf);
+    }
+
+    /// Trains the codec when due; `true` when a codec is available.
+    fn ensure_codec(&mut self) -> bool {
+        if self.config.precision != Precision::Sq8Rescore || self.dim == 0 {
+            return false;
+        }
+        if self.codec.is_none() {
+            if self.nodes.len() < SQ8_TRAIN_MIN {
+                return false;
+            }
+            // Rows are normalised (finite) and non-empty, so training
+            // cannot fail; if it somehow does, stay on f32 traversal.
+            match Sq8Codec::train_flat(&self.data, self.dim) {
+                Ok(c) => self.codec = Some(c),
+                Err(_) => return false,
+            }
+        }
+        true
+    }
+
+    /// The codec, iff SQ8 traversal is configured *and* the code arena
+    /// fully covers the stored vectors (below the training threshold it
+    /// does not, and searches fall back to f32 traversal).
+    fn sq8_ready(&self) -> Option<&Sq8Codec> {
+        if self.config.precision != Precision::Sq8Rescore {
+            return None;
+        }
+        let codec = self.codec.as_ref()?;
+        (self.codes.len() == self.nodes.len() * self.dim).then_some(codec)
+    }
+
     /// Greedy best-first search on one layer; returns up to `ef` closest
     /// nodes as a max-heap-drained, *unsorted* vector of (distance, idx).
     /// When `stats` is provided, tallies visited nodes and beam expansions.
@@ -171,11 +257,25 @@ impl HnswIndex {
         entry: u32,
         ef: usize,
         layer: usize,
+        stats: Option<&mut SearchStats>,
+    ) -> Vec<(f32, u32)> {
+        self.search_layer_impl(&|i| self.dist(q, i), entry, ef, layer, stats)
+    }
+
+    /// [`Self::search_layer`] under an arbitrary distance kernel — the f32
+    /// closure above, or raw SQ8 code distance (monomorphized per kernel,
+    /// so the f32 hot path is unchanged).
+    fn search_layer_impl<F: Fn(u32) -> f32>(
+        &self,
+        dist: &F,
+        entry: u32,
+        ef: usize,
+        layer: usize,
         mut stats: Option<&mut SearchStats>,
     ) -> Vec<(f32, u32)> {
         let mut visited = vec![false; self.nodes.len()];
         visited[entry as usize] = true;
-        let d0 = self.dist(q, entry);
+        let d0 = dist(entry);
         if let Some(s) = stats.as_deref_mut() {
             s.visits += 1;
         }
@@ -200,7 +300,7 @@ impl HnswIndex {
                 if let Some(s) = stats.as_deref_mut() {
                     s.visits += 1;
                 }
-                let d = self.dist(q, nb);
+                let d = dist(nb);
                 let worst = results.peek().map(|f| f.0).unwrap_or(f32::INFINITY);
                 if results.len() < ef || d < worst {
                     frontier.push(NearFirst(d, nb));
@@ -256,6 +356,13 @@ impl HnswIndex {
     }
 
     /// Search with an explicit beam width (recall/latency knob of E5).
+    ///
+    /// Under [`Precision::Sq8Rescore`] the descent and the layer-0 beam
+    /// rank by raw integer code distance (monotone in the decoded L2 — the
+    /// shared-step s² factor cannot reorder; see `mlake_tensor::quant`),
+    /// the beam widens to at least `rescore_factor · k`, and the top pool
+    /// is re-ranked with exact f32 kernels, so returned distances match
+    /// the f32 path's semantics.
     pub fn search_ef(&self, query: &[f32], k: usize, ef: usize) -> Result<Vec<Hit>, TensorError> {
         let Some(entry) = self.entry else {
             return Ok(Vec::new());
@@ -267,14 +374,60 @@ impl HnswIndex {
                 rhs: (query.len(), 1),
             });
         }
-        let obs = mlake_obs::enabled();
         let _span = mlake_obs::span("hnsw.search");
-        let mut layer_visits = [0u64; LAYER_VISITS.len()];
         let mut q = query.to_vec();
         vector::normalize(&mut q);
-        // Greedy descent through upper layers.
+        let ef = ef.max(k).max(1);
+        let Some(codec) = self.sq8_ready() else {
+            let mut found = self.traverse(entry, &|i| self.dist(&q, i), ef);
+            found.sort_by(|a, b| {
+                a.0.total_cmp(&b.0)
+                    .then(self.nodes[a.1 as usize].id.cmp(&self.nodes[b.1 as usize].id))
+            });
+            return Ok(found
+                .into_iter()
+                .take(k)
+                .map(|(d, i)| Hit {
+                    id: self.nodes[i as usize].id,
+                    distance: d,
+                })
+                .collect());
+        };
+        let qc = codec.encode(&q)?;
+        let dim = self.dim;
+        let codes = &self.codes;
+        let pool = self.config.rescore_factor.max(1).saturating_mul(k);
+        // Raw code distances fit f32 exactly up to dim·255² < 2²⁴
+        // (dim ≤ 258); beyond that the cast only coarsens ties.
+        let dist = |i: u32| {
+            let at = i as usize * dim;
+            quant::l2_distance_sq_u8(&qc, &codes[at..at + dim]) as f32
+        };
+        let mut found = self.traverse(entry, &dist, ef.max(pool));
+        found.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then(self.nodes[a.1 as usize].id.cmp(&self.nodes[b.1 as usize].id))
+        });
+        found.truncate(pool);
+        let mut hits: Vec<Hit> = found
+            .into_iter()
+            .map(|(_, i)| Hit {
+                id: self.nodes[i as usize].id,
+                distance: self.dist(&q, i),
+            })
+            .collect();
+        hits.sort_by(|a, b| a.distance.total_cmp(&b.distance).then(a.id.cmp(&b.id)));
+        hits.truncate(k);
+        Ok(hits)
+    }
+
+    /// Greedy upper-layer descent followed by the layer-0 beam under an
+    /// arbitrary distance kernel; flushes visit counters once per call.
+    fn traverse<F: Fn(u32) -> f32>(&self, entry: u32, dist: &F, ef: usize) -> Vec<(f32, u32)> {
+        let obs = mlake_obs::enabled();
+        let mut layer_visits = [0u64; LAYER_VISITS.len()];
         let mut ep = entry;
-        let mut ep_dist = self.dist(&q, ep);
+        let mut ep_dist = dist(ep);
         for layer in (1..=self.max_layer).rev() {
             loop {
                 let mut improved = false;
@@ -284,7 +437,7 @@ impl HnswIndex {
                     layer_visits[layer.min(LAYER_VISITS.len() - 1)] += nbrs.len() as u64;
                 }
                 for nb in nbrs {
-                    let d = self.dist(&q, nb);
+                    let d = dist(nb);
                     if d < ep_dist {
                         ep = nb;
                         ep_dist = d;
@@ -296,9 +449,8 @@ impl HnswIndex {
                 }
             }
         }
-        let ef = ef.max(k).max(1);
         let mut stats = SearchStats::default();
-        let mut found = self.search_layer(&q, ep, ef, 0, obs.then_some(&mut stats));
+        let found = self.search_layer_impl(dist, ep, ef, 0, obs.then_some(&mut stats));
         if obs {
             layer_visits[0] += stats.visits;
             for (l, &v) in layer_visits.iter().enumerate() {
@@ -309,15 +461,7 @@ impl HnswIndex {
             mlake_obs::counter!("hnsw.search.expansions").add(stats.expansions);
             mlake_obs::counter!("hnsw.search.queries").inc();
         }
-        found.sort_by(|a, b| a.0.total_cmp(&b.0).then(self.nodes[a.1 as usize].id.cmp(&self.nodes[b.1 as usize].id)));
-        Ok(found
-            .into_iter()
-            .take(k)
-            .map(|(d, i)| Hit {
-                id: self.nodes[i as usize].id,
-                distance: d,
-            })
-            .collect())
+        found
     }
 
     /// Inserts a batch of vectors, linking them into the graph in parallel
@@ -389,6 +533,9 @@ impl HnswIndex {
                 neighbors: vec![Vec::new(); layer + 1],
             });
         }
+        // Quantize the new rows per-item on the shared pool (linking below
+        // reads only the f32 arena, so the order is immaterial).
+        self.maintain_codes_batch();
 
         // ---- Move neighbour lists into per-node-per-layer locks ---------
         let locks: Vec<Vec<RwLock<Vec<u32>>>> = self
@@ -618,6 +765,7 @@ impl VectorIndex for HnswIndex {
             // First node becomes the entry point.
             self.entry = Some(new_idx);
             self.max_layer = layer;
+            self.maintain_codes();
             return Ok(());
         };
 
@@ -671,6 +819,7 @@ impl VectorIndex for HnswIndex {
             self.max_layer = layer;
             self.entry = Some(new_idx);
         }
+        self.maintain_codes();
         Ok(())
     }
 
@@ -743,6 +892,7 @@ mod tests {
             ef_construction: 80,
             ef_search: 48,
             seed: 1,
+            ..Default::default()
         });
         let mut flat = FlatIndex::new();
         for (i, v) in vecs.iter().enumerate() {
@@ -770,6 +920,7 @@ mod tests {
             ef_construction: 40,
             ef_search: 4,
             seed: 2,
+            ..Default::default()
         });
         let mut flat = FlatIndex::new();
         for (i, v) in vecs.iter().enumerate() {
@@ -827,7 +978,7 @@ mod tests {
         let vecs = random_vectors(1200, 16, 22);
         let items: Vec<(u64, Vec<f32>)> =
             vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())).collect();
-        let config = HnswConfig { m: 12, ef_construction: 80, ef_search: 48, seed: 3 };
+        let config = HnswConfig { m: 12, ef_construction: 80, ef_search: 48, seed: 3, ..Default::default() };
         let mut serial_idx = HnswIndex::new(config);
         mlake_par::serial(|| serial_idx.insert_batch(&items)).unwrap();
         let mut par_idx = HnswIndex::new(config);
@@ -899,6 +1050,82 @@ mod tests {
             .cloned()
             .unwrap_or_default();
         assert!(msg.contains("hnsw.entry") && msg.contains("hnsw.node"), "{msg}");
+    }
+
+    #[test]
+    fn sq8_rescore_preserves_recall_and_exact_distances() {
+        let vecs = random_vectors(600, 16, 41);
+        let sq8_config = HnswConfig {
+            seed: 9,
+            precision: Precision::Sq8Rescore,
+            ..Default::default()
+        };
+        let mut sq8 = HnswIndex::new(sq8_config);
+        let mut f32_idx = HnswIndex::new(HnswConfig { seed: 9, ..Default::default() });
+        let mut flat = FlatIndex::new();
+        for (i, v) in vecs.iter().enumerate() {
+            sq8.insert(i as u64, v).unwrap();
+            f32_idx.insert(i as u64, v).unwrap();
+            flat.insert(i as u64, v).unwrap();
+        }
+        assert!(sq8.sq8_ready().is_some());
+        assert_eq!(sq8.codes.len(), 600 * 16);
+        let queries = random_vectors(30, 16, 42);
+        let recall = |idx: &HnswIndex| crate::eval::recall_at_k(idx, &flat, &queries, 10).unwrap();
+        let (rq, rf) = (recall(&sq8), recall(&f32_idx));
+        assert!(rq >= 0.95 * rf, "sq8 recall {rq} vs f32 recall {rf}");
+        // Rescoring returns exact f32 distances for the ids it keeps.
+        let truth = flat.search(&queries[0], 10).unwrap();
+        for h in sq8.search(&queries[0], 10).unwrap() {
+            if let Some(t) = truth.iter().find(|t| t.id == h.id) {
+                assert_eq!(t.distance, h.distance);
+            }
+        }
+    }
+
+    #[test]
+    fn sq8_batch_build_quantizes_every_row() {
+        let vecs = random_vectors(400, 8, 43);
+        let items: Vec<(u64, Vec<f32>)> =
+            vecs.iter().enumerate().map(|(i, v)| (i as u64, v.clone())).collect();
+        let config = HnswConfig {
+            seed: 4,
+            precision: Precision::Sq8Rescore,
+            rescore_factor: 3,
+            ..Default::default()
+        };
+        let mut batched = HnswIndex::new(config);
+        batched.insert_batch(&items).unwrap();
+        assert!(batched.sq8_ready().is_some());
+        assert_eq!(batched.codes.len(), items.len() * 8);
+        // The parallel arena fill must byte-match the sequential encode.
+        let mut looped = HnswIndex::new(config);
+        for (id, v) in &items {
+            looped.insert(*id, v).unwrap();
+        }
+        assert_eq!(batched.codes, looped.codes);
+        assert_eq!(batched.codec, looped.codec);
+        let q = &vecs[7];
+        let got: Vec<u64> = batched.search(q, 5).unwrap().iter().map(|h| h.id).collect();
+        assert!(!got.is_empty());
+    }
+
+    #[test]
+    fn sq8_below_threshold_falls_back_to_f32() {
+        let vecs = random_vectors(SQ8_TRAIN_MIN - 2, 8, 44);
+        let mut sq8 = HnswIndex::new(HnswConfig {
+            seed: 2,
+            precision: Precision::Sq8Rescore,
+            ..Default::default()
+        });
+        let mut f32_idx = HnswIndex::new(HnswConfig { seed: 2, ..Default::default() });
+        for (i, v) in vecs.iter().enumerate() {
+            sq8.insert(i as u64, v).unwrap();
+            f32_idx.insert(i as u64, v).unwrap();
+        }
+        assert!(sq8.sq8_ready().is_none());
+        let q = &vecs[3];
+        assert_eq!(sq8.search(q, 5).unwrap(), f32_idx.search(q, 5).unwrap());
     }
 
     #[test]

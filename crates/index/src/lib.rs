@@ -28,6 +28,32 @@ pub use lsh::{LshConfig, LshIndex};
 
 use mlake_tensor::TensorError;
 
+/// Scan/traversal precision of an index.
+///
+/// Under [`Precision::Sq8Rescore`] the index keeps an SQ8 code arena
+/// (`mlake_tensor::quant`) alongside the f32 data: candidate generation —
+/// the flat block scan or the HNSW beam — runs on integer kernels over the
+/// codes, then the top `rescore_factor · k` candidates are re-ranked with
+/// the exact f32 kernels. Returned distances therefore always match the
+/// [`Precision::F32`] path's semantics; quantization only costs recall when
+/// it pushes a true neighbour out of the rescore pool.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Precision {
+    /// Full-precision f32 storage and kernels (the default).
+    #[default]
+    F32,
+    /// SQ8 codes drive candidate generation; f32 re-ranks the pool.
+    Sq8Rescore,
+}
+
+/// Default rescore pool multiplier for [`Precision::Sq8Rescore`].
+pub const DEFAULT_RESCORE_FACTOR: usize = 4;
+
+/// Vector count at which SQ8 indexes calibrate their codec. Earlier
+/// inserts scan in f32 (the sample is too small to be representative);
+/// when the threshold is crossed the whole arena is backfilled.
+pub const SQ8_TRAIN_MIN: usize = 64;
+
 /// A search hit: external id plus cosine distance (smaller is closer).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Hit {

@@ -1,0 +1,98 @@
+//! SQ8 recall regression gate (ISSUE PR 4, acceptance criterion 2).
+//!
+//! On a seeded 1k-vector clustered fixture, `Precision::Sq8Rescore` must
+//! keep recall@10 within 5% of the f32 path for both index families. Run
+//! in CI under `MLAKE_OBS=on` and `off` — precision dispatch must not
+//! depend on observability state.
+
+use mlake_index::{
+    eval::recall_at_k, FlatIndex, HnswConfig, HnswIndex, Precision, VectorIndex,
+};
+use mlake_tensor::Pcg64;
+
+/// Clustered embeddings: `centers` Gaussian centroids, per-vector noise.
+/// The regime where quantization matters — shared dynamic range across
+/// dims, neighbours separated by less than the cluster spread.
+fn clustered(n: usize, dim: usize, centers: usize, seed: u64) -> Vec<Vec<f32>> {
+    let mut rng = Pcg64::new(seed);
+    let cents: Vec<Vec<f32>> = (0..centers)
+        .map(|_| (0..dim).map(|_| rng.normal()).collect())
+        .collect();
+    (0..n)
+        .map(|i| {
+            let c = &cents[i % centers];
+            c.iter().map(|&x| x + 0.3 * rng.normal()).collect()
+        })
+        .collect()
+}
+
+fn fixture() -> (Vec<(u64, Vec<f32>)>, Vec<Vec<f32>>, FlatIndex) {
+    let vecs = clustered(1000, 32, 25, 42);
+    let items: Vec<(u64, Vec<f32>)> = vecs
+        .iter()
+        .enumerate()
+        .map(|(i, v)| (i as u64, v.clone()))
+        .collect();
+    let queries = clustered(50, 32, 25, 777);
+    let mut truth = FlatIndex::new();
+    for (id, v) in &items {
+        truth.insert(*id, v).unwrap();
+    }
+    (items, queries, truth)
+}
+
+#[test]
+fn hnsw_sq8_recall_within_5_percent_of_f32() {
+    let (items, queries, truth) = fixture();
+    let build = |precision: Precision| {
+        let mut idx = HnswIndex::new(HnswConfig {
+            seed: 7,
+            precision,
+            ..Default::default()
+        });
+        idx.insert_batch(&items).unwrap();
+        idx
+    };
+    let f32_idx = build(Precision::F32);
+    let sq8_idx = build(Precision::Sq8Rescore);
+    let rf = recall_at_k(&f32_idx, &truth, &queries, 10).unwrap();
+    let rq = recall_at_k(&sq8_idx, &truth, &queries, 10).unwrap();
+    assert!(rf > 0.8, "f32 baseline recall {rf} suspiciously low");
+    assert!(
+        rq >= 0.95 * rf,
+        "sq8 rescored recall@10 {rq} below 0.95 x f32 recall {rf}"
+    );
+}
+
+#[test]
+fn flat_sq8_recall_within_5_percent_of_exact() {
+    let (items, queries, truth) = fixture();
+    let mut sq8 = FlatIndex::with_precision(Precision::Sq8Rescore);
+    for (id, v) in &items {
+        sq8.insert(*id, v).unwrap();
+    }
+    let r = recall_at_k(&sq8, &truth, &queries, 10).unwrap();
+    assert!(r >= 0.95, "flat sq8 rescored recall@10 {r} below 0.95");
+}
+
+#[test]
+fn hnsw_sq8_recall_improves_with_rescore_factor() {
+    let (items, queries, truth) = fixture();
+    let build = |rescore_factor: usize| {
+        let mut idx = HnswIndex::new(HnswConfig {
+            seed: 7,
+            precision: Precision::Sq8Rescore,
+            rescore_factor,
+            ..Default::default()
+        });
+        idx.insert_batch(&items).unwrap();
+        idx
+    };
+    let r1 = recall_at_k(&build(1), &truth, &queries, 10).unwrap();
+    let r4 = recall_at_k(&build(4), &truth, &queries, 10).unwrap();
+    // A wider rescore pool can only widen the beam and the re-rank set.
+    assert!(
+        r4 >= r1 - 1e-6,
+        "recall fell when widening the pool: x1={r1} x4={r4}"
+    );
+}

@@ -11,7 +11,7 @@
 //! | `no-panic`     | no `unwrap()/expect("…")/panic!/todo!/unimplemented!` in lib |
 //! | `no-wallclock` | no `Instant`/`SystemTime` outside `mlake-obs` and `bench`   |
 //! | `facade-span`  | every `pub fn` on `impl ModelLake` opens an obs span        |
-//! | `lock-order`   | `.lock()` in index/par carries a `// lock-order: N` comment |
+//! | `lock-order`   | `.lock()`/`.read()`/`.write()` in index/par carries a `// lock-order: N` comment |
 //!
 //! Test code is exempt everywhere: files under `tests/`, `benches/` or
 //! `examples/`, the `mlake-bench` crate, and the trailing `#[cfg(test)]`
@@ -267,16 +267,24 @@ fn scan_impl_block(path: &str, s: &Scanned, start: usize, end: usize, out: &mut 
     }
 }
 
-/// `lock-order`: in `mlake-index`/`mlake-par`, every `.lock()` call must
-/// carry a `// lock-order: N` comment (same line or up to [`LOCK_WINDOW`]
-/// lines above) stating its rank in the DESIGN.md §10 lock hierarchy.
+/// `lock-order`: in `mlake-index`/`mlake-par`, every blocking acquisition —
+/// `.lock()` on a `Mutex`, `.read()`/`.write()` on an `RwLock` — must carry
+/// a `// lock-order: N` comment (same line or up to [`LOCK_WINDOW`] lines
+/// above) stating its rank in the DESIGN.md §10 lock hierarchy. Matching is
+/// purely syntactic (any zero-argument `.read()`/`.write()` call), which is
+/// the point: a reader that *looks* like a lock acquisition should be
+/// annotated or renamed.
 fn lock_order(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
     if !(path.starts_with("crates/index/") || path.starts_with("crates/par/")) {
         return;
     }
     let toks = &s.tokens;
     for (i, t) in toks.iter().enumerate() {
-        if ident(Some(t)) != Some("lock") || s.in_test_region(t.line) {
+        let method = match ident(Some(t)) {
+            Some(m @ ("lock" | "read" | "write")) => m,
+            _ => continue,
+        };
+        if s.in_test_region(t.line) {
             continue;
         }
         let prev = i.checked_sub(1).and_then(|k| toks.get(k));
@@ -285,12 +293,15 @@ fn lock_order(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
         }
         let lo = t.line.saturating_sub(LOCK_WINDOW);
         if !s.comment_near(lo, t.line, "lock-order:") {
+            let kind = if method == "lock" { "Mutex::lock" } else { "RwLock::read/write" };
             out.push(Finding::new(
                 "lock-order",
                 path,
                 s,
                 t.line,
-                "`Mutex::lock` without a `// lock-order: N` rank annotation (DESIGN.md §10)".into(),
+                format!(
+                    "`{kind}` without a `// lock-order: N` rank annotation (DESIGN.md §10)"
+                ),
             ));
         }
     }
@@ -434,6 +445,32 @@ mod tests {
     #[test]
     fn field_named_lock_is_not_a_lock_call() {
         let src = "fn f(l: &Latch) { let _v = l.lock.lock.x; }";
+        assert!(findings("crates/par/src/lib.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_without_rank_fire() {
+        let src = "fn f(l: &RwLock<u8>) { let _a = l.read(); let _b = l.write(); }";
+        assert_eq!(
+            passes(&findings("crates/index/src/hnsw.rs", src)),
+            vec!["lock-order", "lock-order"]
+        );
+        assert_eq!(passes(&findings("crates/par/src/lib.rs", src)).len(), 2);
+        // Out-of-scope crates are untouched (core's registry.read() etc.).
+        assert!(findings("crates/core/src/lake.rs", src).is_empty());
+    }
+
+    #[test]
+    fn rwlock_read_write_with_rank_annotation_clean() {
+        let src = "fn f(l: &RwLock<Vec<u32>>) {\n    // lock-order: 40 (hnsw.node)\n    let _g = l.write();\n}";
+        assert!(findings("crates/index/src/hnsw.rs", src).is_empty());
+    }
+
+    #[test]
+    fn read_with_arguments_is_not_an_acquisition() {
+        // io::Read-style calls take arguments; only zero-arg `.read()` /
+        // `.write()` look like RwLock acquisitions.
+        let src = "fn f(r: &mut impl Read, buf: &mut [u8]) { r.read(buf); }";
         assert!(findings("crates/par/src/lib.rs", src).is_empty());
     }
 }

@@ -17,9 +17,9 @@ use crate::Result;
 ///
 /// Converges quickly for the well-separated spectra typical of trained weight
 /// matrices; `iters` around 30 is ample for fingerprinting purposes.
-pub fn top_singular_value(a: &Matrix, iters: usize, rng: &mut Pcg64) -> f32 {
+pub fn top_singular_value(a: &Matrix, iters: usize, rng: &mut Pcg64) -> Result<f32> {
     if a.is_empty() {
-        return 0.0;
+        return Ok(0.0);
     }
     let mut v = vec![0.0f32; a.cols()];
     rng.fill_normal(&mut v);
@@ -27,17 +27,17 @@ pub fn top_singular_value(a: &Matrix, iters: usize, rng: &mut Pcg64) -> f32 {
     let mut sigma = 0.0f32;
     for _ in 0..iters {
         // v <- normalize(aᵀ (a v))
-        let av = a.matvec(&v).expect("shape checked");
-        let atav = a.t_matvec(&av).expect("shape checked");
+        let av = a.matvec(&v)?;
+        let atav = a.t_matvec(&av)?;
         let n = vector::l2_norm(&atav);
         if n == 0.0 {
-            return 0.0;
+            return Ok(0.0);
         }
         v = atav;
         vector::scale(&mut v, 1.0 / n);
         sigma = n.sqrt();
     }
-    sigma
+    Ok(sigma)
 }
 
 /// Jacobi eigendecomposition of a small symmetric matrix.
@@ -158,16 +158,16 @@ pub fn effective_rank(a: &Matrix, rel_tol: f32) -> Result<usize> {
 
 /// Stable-rank `‖A‖_F² / σ₁²` — a smooth, cheap proxy for rank used when the
 /// full spectrum is too expensive.
-pub fn stable_rank(a: &Matrix, rng: &mut Pcg64) -> f32 {
+pub fn stable_rank(a: &Matrix, rng: &mut Pcg64) -> Result<f32> {
     let fro = a.frobenius_norm();
     if fro == 0.0 {
-        return 0.0;
+        return Ok(0.0);
     }
-    let sigma = top_singular_value(a, 40, rng);
+    let sigma = top_singular_value(a, 40, rng)?;
     if sigma == 0.0 {
-        return 0.0;
+        return Ok(0.0);
     }
-    (fro * fro) / (sigma * sigma)
+    Ok((fro * fro) / (sigma * sigma))
 }
 
 /// Solves `A x = b` for symmetric positive-definite `A` by conjugate
@@ -194,12 +194,12 @@ pub fn conjugate_gradient(
             rhs: (b.len(), 1),
         });
     }
-    let apply = |x: &[f32]| -> Vec<f32> {
-        let mut ax = a.matvec(x).expect("shape checked");
+    let apply = |x: &[f32]| -> Result<Vec<f32>> {
+        let mut ax = a.matvec(x)?;
         vector::axpy(damping, x, &mut ax);
-        ax
+        Ok(ax)
     };
-    conjugate_gradient_fn(apply, b, max_iters, tol)
+    cg_impl(apply, b, max_iters, tol)
 }
 
 /// Matrix-free conjugate gradients: `apply` computes `A x` (plus any damping
@@ -207,6 +207,18 @@ pub fn conjugate_gradient(
 /// product based influence functions, which never materialise `A`.
 pub fn conjugate_gradient_fn(
     apply: impl Fn(&[f32]) -> Vec<f32>,
+    b: &[f32],
+    max_iters: usize,
+    tol: f32,
+) -> Result<Vec<f32>> {
+    cg_impl(|x| Ok(apply(x)), b, max_iters, tol)
+}
+
+/// Shared CG iteration over a fallible operator: lets the dense entry point
+/// propagate `matvec` shape errors as typed [`TensorError`]s instead of
+/// panicking mid-iteration.
+fn cg_impl(
+    apply: impl Fn(&[f32]) -> Result<Vec<f32>>,
     b: &[f32],
     max_iters: usize,
     tol: f32,
@@ -220,7 +232,7 @@ pub fn conjugate_gradient_fn(
         return Ok(x);
     }
     for _ in 0..max_iters {
-        let ap = apply(&p);
+        let ap = apply(&p)?;
         let p_ap = f64::from(vector::dot(&p, &ap));
         if p_ap <= 0.0 {
             // Not positive definite along p (or numerical breakdown):
@@ -313,7 +325,7 @@ mod tests {
     fn top_singular_value_of_diagonal() {
         let a = m(2, 2, &[3.0, 0.0, 0.0, 1.0]);
         let mut rng = Pcg64::new(1);
-        let s = top_singular_value(&a, 50, &mut rng);
+        let s = top_singular_value(&a, 50, &mut rng).unwrap();
         assert!((s - 3.0).abs() < 1e-3, "sigma {s}");
     }
 
@@ -368,9 +380,9 @@ mod tests {
     fn stable_rank_bounds() {
         let mut rng = Pcg64::new(9);
         let id = Matrix::identity(6);
-        let sr = stable_rank(&id, &mut rng);
+        let sr = stable_rank(&id, &mut rng).unwrap();
         assert!((sr - 6.0).abs() < 0.2, "stable rank of identity {sr}");
-        assert_eq!(stable_rank(&Matrix::zeros(3, 3), &mut rng), 0.0);
+        assert_eq!(stable_rank(&Matrix::zeros(3, 3), &mut rng).unwrap(), 0.0);
     }
 
     #[test]

@@ -1,0 +1,384 @@
+//! SQ8 scalar quantization: 4× smaller vectors, integer distance kernels.
+//!
+//! The vector indexes spend their time streaming `f32` embeddings through
+//! distance kernels; at lake scale the scan is memory-bound. [`Sq8Codec`]
+//! maps each dimension affinely onto `u8` codes so a scan touches a quarter
+//! of the bytes and the inner loop runs on 8-bit integer lanes (four times
+//! the SIMD width of `f32`). Exactness is *not* claimed here — the index
+//! layer re-ranks a candidate pool with the full-precision kernels
+//! (`Precision::Sq8Rescore` in `mlake-index`), so quantization error costs
+//! recall only when it pushes a true neighbour out of the pool.
+//!
+//! ## Codec math
+//!
+//! Calibration scans a training sample and records per-dimension ranges
+//! `[min_i, max_i]`, plus one **shared step size**
+//! `s = max_i (max_i − min_i) / 255`. A value encodes as
+//! `c_i = round((x_i − min_i) / s)` clamped to `[0, 255]` and decodes as
+//! `x̂_i = min_i + s·c_i`, so `|x̂_i − x_i| ≤ s/2` for in-range inputs.
+//!
+//! Sharing `s` across dimensions (rather than a per-dimension step) is what
+//! makes the integer kernels exact over *decoded* values: the per-dimension
+//! offsets cancel in differences, `x̂_i − ŷ_i = s·(cx_i − cy_i)`, so
+//!
+//! ```text
+//! ‖x̂ − ŷ‖² = s² · Σ (cx_i − cy_i)²
+//! ```
+//!
+//! and the whole distance is one integer accumulation mapped back through a
+//! single multiply. The price is that narrow dimensions use fewer of the
+//! 256 levels; the rescoring pass absorbs that.
+
+use crate::error::TensorError;
+use crate::Result;
+
+/// Flush u32 accumulator lanes into the u64 total at least this often.
+/// Each addend is at most 255² = 65 025, so a u32 lane is safe for
+/// `u32::MAX / 65 025 ≈ 66 051` addends; flushing every 16 384 keeps a 4×
+/// margin regardless of vector dimension.
+const FLUSH_EVERY: usize = 16_384;
+
+/// Per-dimension affine scalar quantizer to `u8` with a shared step size.
+///
+/// Train on a representative sample with [`Sq8Codec::train`] /
+/// [`Sq8Codec::train_flat`]; values outside the calibrated range clamp to
+/// the nearest code (encode never fails on finite input).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sq8Codec {
+    /// Per-dimension lower bound of the calibrated range.
+    mins: Vec<f32>,
+    /// Shared quantization step (strictly positive).
+    step: f32,
+}
+
+impl Sq8Codec {
+    /// Trains a codec on sample rows (all of equal length).
+    pub fn train(samples: &[Vec<f32>]) -> Result<Sq8Codec> {
+        let Some(first) = samples.first() else {
+            return Err(TensorError::Empty("sq8 train"));
+        };
+        let dim = first.len();
+        for s in samples {
+            if s.len() != dim {
+                return Err(TensorError::ShapeMismatch {
+                    op: "sq8_train",
+                    lhs: (dim, 1),
+                    rhs: (s.len(), 1),
+                });
+            }
+        }
+        let flat: Vec<f32> = samples.iter().flat_map(|s| s.iter().copied()).collect();
+        Sq8Codec::train_flat(&flat, dim)
+    }
+
+    /// Trains a codec on a contiguous row-major sample buffer (the layout
+    /// of the index arenas). `data.len()` must be a positive multiple of
+    /// `dim`; all values must be finite.
+    pub fn train_flat(data: &[f32], dim: usize) -> Result<Sq8Codec> {
+        if dim == 0 || data.is_empty() {
+            return Err(TensorError::Empty("sq8 train"));
+        }
+        if !data.len().is_multiple_of(dim) {
+            return Err(TensorError::BadBuffer {
+                expected: (data.len() / dim + 1) * dim,
+                actual: data.len(),
+            });
+        }
+        let mut mins = vec![f32::INFINITY; dim];
+        let mut maxs = vec![f32::NEG_INFINITY; dim];
+        for row in data.chunks_exact(dim) {
+            for (i, &x) in row.iter().enumerate() {
+                if !x.is_finite() {
+                    return Err(TensorError::Numerical("non-finite value in sq8 training sample"));
+                }
+                mins[i] = mins[i].min(x);
+                maxs[i] = maxs[i].max(x);
+            }
+        }
+        let widest = mins
+            .iter()
+            .zip(&maxs)
+            .map(|(lo, hi)| hi - lo)
+            .fold(0.0f32, f32::max);
+        // A degenerate (constant) sample still yields a usable codec: every
+        // value encodes to code 0 and decodes exactly to its min.
+        let step = if widest > 0.0 { widest / 255.0 } else { 1.0 };
+        Ok(Sq8Codec { mins, step })
+    }
+
+    /// Dimensionality the codec was trained for.
+    #[inline]
+    pub fn dim(&self) -> usize {
+        self.mins.len()
+    }
+
+    /// The shared quantization step `s` (strictly positive).
+    #[inline]
+    pub fn step(&self) -> f32 {
+        self.step
+    }
+
+    /// Encodes one vector, appending `self.dim()` codes to `out`.
+    /// Out-of-range values clamp; errors on length mismatch.
+    pub fn encode_into(&self, v: &[f32], out: &mut Vec<u8>) -> Result<()> {
+        let start = out.len();
+        out.resize(start + self.dim(), 0);
+        let r = self.encode_to_slice(v, &mut out[start..]);
+        if r.is_err() {
+            out.truncate(start);
+        }
+        r
+    }
+
+    /// Encodes one vector into a pre-sized output slice — the parallel
+    /// arena-fill path, where each item owns a disjoint `&mut [u8]` chunk.
+    /// Out-of-range values clamp; errors on input/output length mismatch.
+    pub fn encode_to_slice(&self, v: &[f32], out: &mut [u8]) -> Result<()> {
+        if v.len() != self.dim() || out.len() != self.dim() {
+            return Err(TensorError::ShapeMismatch {
+                op: "sq8_encode",
+                lhs: (self.dim(), 1),
+                rhs: (v.len(), out.len()),
+            });
+        }
+        let inv = 1.0 / self.step;
+        for ((o, &x), &lo) in out.iter_mut().zip(v).zip(&self.mins) {
+            let c = ((x - lo) * inv + 0.5).floor();
+            *o = c.clamp(0.0, 255.0) as u8;
+        }
+        Ok(())
+    }
+
+    /// Encodes one vector into a fresh code buffer.
+    pub fn encode(&self, v: &[f32]) -> Result<Vec<u8>> {
+        let mut out = Vec::with_capacity(v.len());
+        self.encode_into(v, &mut out)?;
+        Ok(out)
+    }
+
+    /// Decodes codes back to (approximate) `f32` values.
+    pub fn decode(&self, codes: &[u8]) -> Result<Vec<f32>> {
+        if codes.len() != self.dim() {
+            return Err(TensorError::ShapeMismatch {
+                op: "sq8_decode",
+                lhs: (self.dim(), 1),
+                rhs: (codes.len(), 1),
+            });
+        }
+        Ok(codes
+            .iter()
+            .zip(&self.mins)
+            .map(|(&c, &lo)| lo + self.step * f32::from(c))
+            .collect())
+    }
+
+    /// Squared L2 distance between two *code* vectors, in `f32` units:
+    /// exactly `‖decode(a) − decode(b)‖²` (up to float rounding), computed
+    /// entirely on integer lanes and mapped back through `s²`.
+    #[inline]
+    pub fn l2_distance_sq(&self, a: &[u8], b: &[u8]) -> f32 {
+        (self.step as f64 * self.step as f64 * l2_distance_sq_u8(a, b) as f64) as f32
+    }
+
+    /// Dot product of the *decoded* vectors:
+    /// `Σ (lo_i + s·a_i)(lo_i + s·b_i)`, with the code-by-code product on
+    /// integer lanes and the per-dimension offset terms folded in one
+    /// fused sweep over the code sums.
+    pub fn dot(&self, a: &[u8], b: &[u8]) -> f32 {
+        debug_assert_eq!(a.len(), self.dim());
+        debug_assert_eq!(b.len(), self.dim());
+        let s = self.step as f64;
+        let mut cross = 0.0f64; // Σ lo_i · (a_i + b_i)
+        let mut base = 0.0f64; // Σ lo_i²
+        let n = a.len().min(b.len()).min(self.mins.len());
+        for i in 0..n {
+            let lo = f64::from(self.mins[i]);
+            cross += lo * f64::from(u16::from(a[i]) + u16::from(b[i]));
+            base += lo * lo;
+        }
+        (s * s * dot_u8(a, b) as f64 + s * cross + base) as f32
+    }
+}
+
+/// Raw squared L2 distance between two code vectors: `Σ (a_i − b_i)²` in
+/// code space. Each [`FLUSH_EVERY`]-element chunk accumulates in `u32`
+/// (`FLUSH_EVERY · 255² < 2³²`, so a chunk cannot overflow) and flushes
+/// into the `u64` total. Integer addition is reassociable, so the plain
+/// zipped reduction autovectorizes to widening 8→16-bit SIMD lanes —
+/// unlike manually interleaved accumulator chains, whose strided lane
+/// access the vectorizer often refuses. Length mismatch panics in debug;
+/// in release the shorter length governs (callers validate at the index
+/// layer, matching the `f32` kernels in [`crate::vector`]).
+#[inline]
+pub fn l2_distance_sq_u8(a: &[u8], b: &[u8]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let mut total = 0u64;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + FLUSH_EVERY).min(n);
+        let s: u32 = a[start..end]
+            .iter()
+            .zip(&b[start..end])
+            .map(|(&x, &y)| {
+                let d = i32::from(x) - i32::from(y);
+                (d * d) as u32
+            })
+            .sum();
+        total += u64::from(s);
+        start = end;
+    }
+    total
+}
+
+/// Raw dot product of two code vectors: `Σ a_i · b_i` in code space, with
+/// the same chunked reduction structure as [`l2_distance_sq_u8`].
+#[inline]
+pub fn dot_u8(a: &[u8], b: &[u8]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let n = a.len().min(b.len());
+    let mut total = 0u64;
+    let mut start = 0usize;
+    while start < n {
+        let end = (start + FLUSH_EVERY).min(n);
+        let s: u32 = a[start..end]
+            .iter()
+            .zip(&b[start..end])
+            .map(|(&x, &y)| u32::from(x) * u32::from(y))
+            .sum();
+        total += u64::from(s);
+        start = end;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Pcg64;
+    use crate::vector;
+
+    fn sample(n: usize, dim: usize, seed: u64) -> Vec<Vec<f32>> {
+        let mut rng = Pcg64::new(seed);
+        (0..n)
+            .map(|_| (0..dim).map(|_| rng.normal()).collect())
+            .collect()
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let rows = sample(64, 16, 1);
+        let codec = Sq8Codec::train(&rows).unwrap();
+        let half = codec.step() / 2.0;
+        for row in &rows {
+            let decoded = codec.decode(&codec.encode(row).unwrap()).unwrap();
+            for (x, y) in row.iter().zip(&decoded) {
+                assert!((x - y).abs() <= half * 1.001, "{x} vs {y} (step {})", codec.step());
+            }
+        }
+    }
+
+    #[test]
+    fn l2_kernel_matches_decoded_distance_exactly() {
+        let rows = sample(32, 24, 2);
+        let codec = Sq8Codec::train(&rows).unwrap();
+        let ca = codec.encode(&rows[0]).unwrap();
+        let cb = codec.encode(&rows[1]).unwrap();
+        let da = codec.decode(&ca).unwrap();
+        let db = codec.decode(&cb).unwrap();
+        let via_kernel = codec.l2_distance_sq(&ca, &cb);
+        let via_decode = vector::l2_distance_sq(&da, &db);
+        assert!(
+            (via_kernel - via_decode).abs() <= 1e-4 * via_decode.max(1.0),
+            "{via_kernel} vs {via_decode}"
+        );
+    }
+
+    #[test]
+    fn dot_matches_decoded_dot() {
+        let rows = sample(16, 33, 3);
+        let codec = Sq8Codec::train(&rows).unwrap();
+        let ca = codec.encode(&rows[2]).unwrap();
+        let cb = codec.encode(&rows[3]).unwrap();
+        let da = codec.decode(&ca).unwrap();
+        let db = codec.decode(&cb).unwrap();
+        let got = codec.dot(&ca, &cb);
+        let want = vector::dot(&da, &db);
+        assert!((got - want).abs() <= 1e-3 * want.abs().max(1.0), "{got} vs {want}");
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let rows = vec![vec![0.0f32, 0.0], vec![1.0, 1.0]];
+        let codec = Sq8Codec::train(&rows).unwrap();
+        let codes = codec.encode(&[-5.0, 5.0]).unwrap();
+        assert_eq!(codes, vec![0, 255]);
+    }
+
+    #[test]
+    fn constant_sample_is_exact() {
+        let rows = vec![vec![3.5f32, -1.0]; 4];
+        let codec = Sq8Codec::train(&rows).unwrap();
+        let codes = codec.encode(&rows[0]).unwrap();
+        assert_eq!(codes, vec![0, 0]);
+        assert_eq!(codec.decode(&codes).unwrap(), rows[0]);
+        assert_eq!(codec.l2_distance_sq(&codes, &codes), 0.0);
+    }
+
+    #[test]
+    fn training_validation() {
+        assert!(Sq8Codec::train(&[]).is_err());
+        assert!(Sq8Codec::train(&[vec![1.0], vec![1.0, 2.0]]).is_err());
+        assert!(Sq8Codec::train_flat(&[1.0, 2.0, 3.0], 2).is_err());
+        assert!(Sq8Codec::train_flat(&[], 4).is_err());
+        assert!(Sq8Codec::train_flat(&[1.0, f32::NAN], 2).is_err());
+        let codec = Sq8Codec::train_flat(&[0.0, 1.0, 2.0, 3.0], 2).unwrap();
+        assert_eq!(codec.dim(), 2);
+        assert!(codec.encode(&[1.0]).is_err());
+        assert!(codec.decode(&[1]).is_err());
+    }
+
+    #[test]
+    fn encode_to_slice_validates_lengths() {
+        let codec = Sq8Codec::train_flat(&[0.0, 1.0, 2.0, 3.0], 2).unwrap();
+        let mut out = [0u8; 2];
+        assert!(codec.encode_to_slice(&[0.5, 1.5], &mut out).is_ok());
+        assert!(codec.encode_to_slice(&[0.5], &mut out).is_err());
+        let mut short = [0u8; 1];
+        assert!(codec.encode_to_slice(&[0.5, 1.5], &mut short).is_err());
+        // encode_into leaves the buffer untouched on error.
+        let mut buf = vec![7u8];
+        assert!(codec.encode_into(&[0.5], &mut buf).is_err());
+        assert_eq!(buf, vec![7]);
+    }
+
+    #[test]
+    fn raw_kernels_handle_long_vectors_without_overflow() {
+        // 100k dims of max-distance codes: 100_000 · 255² needs > u32.
+        let a = vec![0u8; 100_000];
+        let b = vec![255u8; 100_000];
+        assert_eq!(l2_distance_sq_u8(&a, &b), 100_000u64 * 255 * 255);
+        assert_eq!(dot_u8(&b, &b), 100_000u64 * 255 * 255);
+        assert_eq!(dot_u8(&a, &b), 0);
+    }
+
+    #[test]
+    fn raw_kernels_match_naive_on_odd_lengths() {
+        let mut rng = Pcg64::new(9);
+        for &len in &[1usize, 3, 4, 7, 31, 130] {
+            let a: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+            let b: Vec<u8> = (0..len).map(|_| (rng.next_u64() & 0xff) as u8).collect();
+            let naive_l2: u64 = a
+                .iter()
+                .zip(&b)
+                .map(|(&x, &y)| {
+                    let d = i64::from(x) - i64::from(y);
+                    (d * d) as u64
+                })
+                .sum();
+            let naive_dot: u64 = a.iter().zip(&b).map(|(&x, &y)| u64::from(x) * u64::from(y)).sum();
+            assert_eq!(l2_distance_sq_u8(&a, &b), naive_l2, "len {len}");
+            assert_eq!(dot_u8(&a, &b), naive_dot, "len {len}");
+        }
+    }
+}

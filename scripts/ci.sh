@@ -11,9 +11,12 @@
 # lock-order race detector, which compiles out in release), the same suite
 # re-run with observability disabled (MLAKE_OBS=off must be behaviorally
 # inert), the parallel-vs-serial equivalence suites re-run under
-# MLAKE_THREADS=1 (exercising the env override path end-to-end), a matmul
-# performance guard, and clippy with warnings denied across the crates the
-# parallel and observability layers touch.
+# MLAKE_THREADS=1 (exercising the env override path end-to-end), the SQ8
+# recall gate in both observability modes, a performance guard covering the
+# tiled matmul and the quantized flat scan (budgets overridable via
+# MLAKE_BENCH_GUARD_MS / MLAKE_BENCH_GUARD_SQ8_MS /
+# MLAKE_BENCH_GUARD_SQ8_RATIO), and clippy with warnings denied across the
+# crates the parallel and observability layers touch.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -48,7 +51,11 @@ MLAKE_THREADS=1 cargo test -q -p mlake-tensor --test parallel_equivalence
 MLAKE_THREADS=1 cargo test -q -p mlake-index hnsw
 MLAKE_THREADS=1 cargo test -q -p mlake-par
 
-step "bench guard: tiled matmul 512x512 within budget"
+step "quantized recall gate: sq8 rescore within 5% of f32 (obs on + off)"
+cargo test -q -p mlake-index --test quantized --release
+MLAKE_OBS=off cargo test -q -p mlake-index --test quantized --release
+
+step "bench guard: tiled matmul + sq8 flat-scan speedup within budget"
 cargo run -q -p mlake-bench --bin bench_guard --release
 
 step "clippy -D warnings (parallel + observability crates)"
