@@ -1,0 +1,156 @@
+//! Criterion benches for the write-ahead log (DESIGN.md §12).
+//!
+//! The headline comparison is `durability_per_mutation`: the cost of
+//! making one mutation durable the pre-WAL way (rewrite the full manifest
+//! snapshot of a 1k-model lake) vs the WAL way (append + fsync one
+//! record). The WAL must win by ≥10x — that gap is why the log exists.
+//! Alongside it: append throughput under `SyncPolicy::Always` vs batched
+//! group commit, recovery time as a function of log length, and the cost
+//! of compacting sealed segments.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use mlake_core::lake::{LakeConfig, ModelLake};
+use mlake_nn::{Activation, Mlp, Model};
+use mlake_tensor::{init::Init, Pcg64};
+use mlake_wal::{RealFs, Recovery, SyncPolicy, Wal, WalOptions};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A representative WAL payload: roughly the JSON size of an `UpdateCard`
+/// op (the most common durable mutation).
+const PAYLOAD: &[u8] = &[0x5a; 256];
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let n = DIR_SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "mlake-walbench-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn open_wal(dir: &PathBuf, sync: SyncPolicy) -> Wal {
+    let opts = WalOptions {
+        sync,
+        ..WalOptions::default()
+    };
+    Wal::open(dir, opts).expect("open wal").0
+}
+
+fn bench_append(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_append");
+    group.throughput(Throughput::Bytes(PAYLOAD.len() as u64));
+    let dir = fresh_dir("always");
+    let wal = open_wal(&dir, SyncPolicy::Always);
+    group.bench_function("fsync_always", |b| {
+        b.iter(|| wal.append(black_box(PAYLOAD)).expect("append"))
+    });
+    let dir_b = fresh_dir("batch");
+    let wal_b = open_wal(&dir_b, SyncPolicy::Batch { every: 64 });
+    group.bench_function("group_commit_64", |b| {
+        b.iter(|| wal_b.append(black_box(PAYLOAD)).expect("append"))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&dir_b);
+}
+
+/// Builds a durable lake holding `n` small models.
+fn lake_with_models(dir: &PathBuf, n: usize) -> ModelLake {
+    let lake = ModelLake::create(dir, LakeConfig::default()).expect("create lake");
+    for i in 0..n {
+        let mut rng = Pcg64::new(i as u64 + 1);
+        let m = Mlp::new(vec![8, 4, 3], Activation::Relu, Init::HeNormal, &mut rng).unwrap();
+        lake.ingest_model(&format!("m-{i:04}"), &Model::Mlp(m), None)
+            .expect("ingest");
+    }
+    lake
+}
+
+fn bench_durability_per_mutation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("durability_per_mutation");
+    group.sample_size(20);
+    let dir = fresh_dir("lake1k");
+    let lake = lake_with_models(&dir, 1_000);
+    // Pre-WAL durability: every mutation rewrites the full snapshot.
+    group.bench_function("full_manifest_persist_1k", |b| {
+        b.iter(|| lake.persist(black_box(&dir)).expect("persist"))
+    });
+    // WAL durability: append + fsync one record.
+    let wal_dir = fresh_dir("side-wal");
+    let wal = open_wal(&wal_dir, SyncPolicy::Always);
+    group.bench_function("wal_append_fsync", |b| {
+        b.iter(|| wal.append(black_box(PAYLOAD)).expect("append"))
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&dir);
+    let _ = std::fs::remove_dir_all(&wal_dir);
+}
+
+fn bench_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_recovery");
+    for &records in &[100usize, 1_000, 10_000] {
+        let dir = fresh_dir(&format!("rec{records}"));
+        let wal = open_wal(&dir, SyncPolicy::Batch { every: 1024 });
+        for _ in 0..records {
+            wal.append(PAYLOAD).expect("append");
+        }
+        wal.sync().expect("sync");
+        drop(wal);
+        let vfs = RealFs::shared();
+        group.throughput(Throughput::Elements(records as u64));
+        group.bench_function(format!("{records}_records"), |b| {
+            b.iter(|| {
+                let replay = Recovery::run(black_box(&dir), &vfs, 0).expect("recover");
+                assert_eq!(replay.records.len(), records);
+                replay
+            })
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    group.finish();
+}
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("wal_compaction");
+    group.sample_size(20);
+    // Small segments so a few thousand records produce many sealed files.
+    let records = 2_000usize;
+    group.bench_function(format!("{records}_records_small_segments"), |b| {
+        b.iter_batched(
+            || {
+                let dir = fresh_dir("compact");
+                let opts = WalOptions {
+                    sync: SyncPolicy::Batch { every: 1024 },
+                    segment_bytes: 16 * 1024,
+                    ..WalOptions::default()
+                };
+                let wal = Wal::open(&dir, opts).expect("open wal").0;
+                for _ in 0..records {
+                    wal.append(PAYLOAD).expect("append");
+                }
+                wal.sync().expect("sync");
+                (dir, wal)
+            },
+            |(dir, wal)| {
+                wal.compact_to(wal.head()).expect("compact");
+                let _ = std::fs::remove_dir_all(&dir);
+            },
+            BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_append,
+    bench_durability_per_mutation,
+    bench_recovery,
+    bench_compaction
+);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Performance regression guard for CI.
 //!
-//! Two gates, both best-of-N (robust to scheduler noise on loaded hosts):
+//! Three gates, all best-of-N (robust to scheduler noise on loaded hosts):
 //!
 //! 1. **Tiled matmul** — times the 512x512 tiled matmul (the parallel
 //!    layer's flagship kernel; 13.94ms baseline recorded in CHANGES.md)
@@ -9,6 +9,10 @@
 //!    flat index in f32 and in `Precision::Sq8Rescore`, and fails unless
 //!    the quantized scan is at least 1.3x faster (ISSUE PR 4 acceptance
 //!    criterion) and within an absolute budget.
+//! 3. **WAL append throughput** — appends 4096 records of 256B under
+//!    group commit (`SyncPolicy::Batch { every: 64 }`) and fails below
+//!    the ops/s floor; the WAL's whole point is that per-mutation
+//!    durability stays cheap.
 //!
 //! ```text
 //! cargo run -p mlake-bench --bin bench_guard --release
@@ -18,16 +22,19 @@
 //!   MLAKE_BENCH_GUARD_MS        — matmul threshold in ms (default 17.4 = 13.94 * 1.25)
 //!   MLAKE_BENCH_GUARD_SQ8_MS    — SQ8 scan budget in ms for the 32-query batch
 //!   MLAKE_BENCH_GUARD_SQ8_RATIO — required f32/sq8 speedup (default 1.3)
+//!   MLAKE_BENCH_GUARD_WAL_OPS   — WAL group-commit append floor in ops/s (default 5000)
 //!   MLAKE_GUARD_REPS            — timed repetitions (default 10)
 
 use mlake_bench::exp::e5_index::embeddings;
 use mlake_index::{FlatIndex, Precision, VectorIndex};
 use mlake_tensor::{Matrix, Pcg64};
+use mlake_wal::{SyncPolicy, Wal, WalOptions};
 use std::time::Instant;
 
 const DEFAULT_BUDGET_MS: f64 = 17.4;
 const DEFAULT_SQ8_BUDGET_MS: f64 = 60.0;
 const DEFAULT_SQ8_RATIO: f64 = 1.3;
+const DEFAULT_WAL_OPS: f64 = 5_000.0;
 const DEFAULT_REPS: usize = 10;
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -113,9 +120,42 @@ fn guard_sq8_scan(reps: usize) -> bool {
     ok
 }
 
+fn guard_wal_append(reps: usize) -> bool {
+    let floor_ops: f64 = env_or("MLAKE_BENCH_GUARD_WAL_OPS", DEFAULT_WAL_OPS);
+    let (n, payload) = (4_096usize, [0x5au8; 256]);
+    let dir = std::env::temp_dir().join(format!("mlake-guard-wal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let opts = WalOptions {
+        sync: SyncPolicy::Batch { every: 64 },
+        ..WalOptions::default()
+    };
+    let wal = Wal::open(&dir, opts).expect("open guard wal").0;
+    let best_ms = best_of_ms(reps, || {
+        for _ in 0..n {
+            wal.append(&payload).expect("append");
+        }
+        wal.sync().expect("sync");
+    });
+    let ops = n as f64 / (best_ms / 1e3);
+    println!(
+        "bench_guard: wal append {n} x {}B, group commit every 64, best-of-{reps} = \
+         {best_ms:.2}ms ({ops:.0} ops/s, floor {floor_ops:.0} ops/s)",
+        payload.len()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    if ops < floor_ops {
+        eprintln!(
+            "bench_guard: FAIL — WAL append throughput {ops:.0} ops/s is below the \
+             {floor_ops:.0} ops/s floor; the durable-append path has regressed"
+        );
+        return false;
+    }
+    true
+}
+
 fn main() {
     let reps: usize = env_or("MLAKE_GUARD_REPS", DEFAULT_REPS).max(1);
-    let ok = guard_matmul(reps) & guard_sq8_scan(reps);
+    let ok = guard_matmul(reps) & guard_sq8_scan(reps) & guard_wal_append(reps);
     if !ok {
         std::process::exit(1);
     }

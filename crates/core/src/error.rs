@@ -24,6 +24,16 @@ pub enum LakeError {
     Config(String),
     /// Stored artifact failed integrity or decode checks.
     CorruptArtifact(String),
+    /// A persisted manifest's format version is newer than this build
+    /// understands (opening it would misinterpret or drop data).
+    UnsupportedManifest {
+        /// Version found on disk.
+        found: u32,
+        /// Newest version this build reads.
+        supported: u32,
+    },
+    /// Write-ahead log failure (append, recovery or compaction).
+    Wal(mlake_wal::WalError),
     /// A numeric/shape failure bubbled up from the compute layers.
     Tensor(mlake_tensor::TensorError),
     /// MLQL parse/execution failure.
@@ -43,6 +53,12 @@ impl fmt::Display for LakeError {
             LakeError::Duplicate { kind, name } => write!(f, "duplicate {kind}: '{name}'"),
             LakeError::Config(msg) => write!(f, "invalid configuration: {msg}"),
             LakeError::CorruptArtifact(msg) => write!(f, "corrupt artifact: {msg}"),
+            LakeError::UnsupportedManifest { found, supported } => write!(
+                f,
+                "manifest version {found} is newer than this build supports \
+                 (up to {supported}); upgrade to open this lake"
+            ),
+            LakeError::Wal(e) => write!(f, "wal error: {e}"),
             LakeError::Tensor(e) => write!(f, "compute error: {e}"),
             LakeError::Query(e) => write!(f, "query error: {e}"),
             LakeError::Io(e) => write!(f, "io error: {e}"),
@@ -57,6 +73,7 @@ impl std::error::Error for LakeError {
             LakeError::Tensor(e) => Some(e),
             LakeError::Query(e) => Some(e),
             LakeError::Io(e) => Some(e),
+            LakeError::Wal(e) => Some(e),
             _ => None,
         }
     }
@@ -80,6 +97,12 @@ impl From<std::io::Error> for LakeError {
     }
 }
 
+impl From<mlake_wal::WalError> for LakeError {
+    fn from(e: mlake_wal::WalError) -> Self {
+        LakeError::Wal(e)
+    }
+}
+
 /// Lake result alias.
 pub type Result<T> = std::result::Result<T, LakeError>;
 
@@ -100,5 +123,13 @@ mod tests {
         assert!(q.to_string().contains("query error"));
         let d = LakeError::Duplicate { kind: "model", name: "m".into() };
         assert!(d.to_string().contains("duplicate"));
+        let u = LakeError::UnsupportedManifest {
+            found: 9,
+            supported: 2,
+        };
+        assert!(u.to_string().contains("version 9"));
+        let w: LakeError = mlake_wal::WalError::Broken.into();
+        assert!(w.to_string().contains("wal error"));
+        assert!(std::error::Error::source(&w).is_some());
     }
 }

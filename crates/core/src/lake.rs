@@ -48,6 +48,12 @@ pub struct LakeConfig {
     /// `(query digest, k, event-log generation)`, so any lake mutation
     /// invalidates by construction. 0 disables caching.
     pub query_cache: usize,
+    /// Commit durability of the write-ahead log on durable lakes
+    /// ([`ModelLake::create`] / [`ModelLake::open`]); ignored by
+    /// ephemeral in-memory lakes. [`mlake_wal::SyncPolicy::Always`]
+    /// fsyncs every mutation; [`mlake_wal::SyncPolicy::Batch`] group-
+    /// commits every N mutations.
+    pub wal_sync: mlake_wal::SyncPolicy,
 }
 
 impl Default for LakeConfig {
@@ -60,6 +66,7 @@ impl Default for LakeConfig {
             lm_probes: (16, 2, 24),
             hnsw: HnswConfig::default(),
             query_cache: 128,
+            wal_sync: mlake_wal::SyncPolicy::Always,
         }
     }
 }
@@ -125,6 +132,13 @@ impl LakeConfigBuilder {
         self
     }
 
+    /// WAL commit durability for durable lakes (fsync every mutation vs
+    /// count-based group commit).
+    pub fn wal_sync(mut self, sync: mlake_wal::SyncPolicy) -> Self {
+        self.config.wal_sync = sync;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<LakeConfig> {
         let c = &self.config;
@@ -169,7 +183,7 @@ impl LakeConfigBuilder {
 /// The model lake.
 pub struct ModelLake {
     config: LakeConfig,
-    store: InMemoryStore,
+    pub(crate) store: InMemoryStore,
     registry: RwLock<Registry>,
     fingerprinter: Fingerprinter,
     indexes: RwLock<HashMap<FingerprintKind, HnswIndex>>,
@@ -180,6 +194,14 @@ pub struct ModelLake {
     similar_cache: QueryCache<Vec<(ModelId, f32)>>,
     /// MLQL execution results keyed the same way (k = 0).
     mlql_cache: QueryCache<Vec<QueryHit>>,
+    /// Durability link (`None` for ephemeral in-memory lakes): the WAL
+    /// every mutating facade op appends to before touching state above.
+    /// See `crate::durable` and DESIGN.md §12.
+    pub(crate) wal: Option<crate::durable::WalLink>,
+    /// Serializes mutating facade ops so WAL append order always equals
+    /// in-memory apply order (replay must reproduce state exactly).
+    /// Read paths never take it.
+    pub(crate) op_lock: parking_lot::Mutex<()>,
 }
 
 impl ModelLake {
@@ -214,7 +236,15 @@ impl ModelLake {
             score_cache: RwLock::new(HashMap::new()),
             similar_cache: QueryCache::new(config_cache),
             mlql_cache: QueryCache::new(config_cache),
+            wal: None,
+            op_lock: parking_lot::Mutex::new(()),
         }
+    }
+
+    /// Whether mutations are backed by a write-ahead log on disk.
+    // lint: no-span — trivial accessor
+    pub fn is_durable(&self) -> bool {
+        self.wal.is_some()
     }
 
     /// The lake's configuration.
@@ -247,7 +277,9 @@ impl ModelLake {
 
     /// Ingests a model: stores the artifact content-addressed, computes and
     /// indexes all three fingerprints, installs the supplied card (or a
-    /// skeleton), and logs the events. Names must be unique.
+    /// skeleton), and logs the events. Names must be unique. On a durable
+    /// lake the artifact blob and a WAL record hit disk before any
+    /// in-memory state changes.
     pub fn ingest_model(
         &self,
         name: &str,
@@ -255,6 +287,7 @@ impl ModelLake {
         card: Option<ModelCard>,
     ) -> Result<ModelId> {
         let _span = mlake_obs::span("lake.ingest");
+        let _op = self.op_lock.lock();
         {
             let reg = self.registry.read();
             if reg.by_name.contains_key(name) {
@@ -269,12 +302,38 @@ impl ModelLake {
                 "model '{name}' contains non-finite parameters"
             )));
         }
-        let digest = self.store.put(&model.to_bytes());
-        let arch = model.architecture().signature();
-        let intrinsic = self.fingerprinter.intrinsic(model);
-        let extrinsic = self.fingerprinter.extrinsic(model)?;
-        let hybrid = self.fingerprinter.hybrid(model)?;
+        let bytes = model.to_bytes();
+        let digest = self.store.put(&bytes);
+        let card =
+            card.unwrap_or_else(|| ModelCard::skeleton(name, model.architecture().signature()));
+        // Everything fallible runs before the WAL append so a logged op
+        // is one that replay can always re-apply.
+        let fps = self.compute_fingerprints(model)?;
+        self.durable_ingest(name, &digest, &bytes, &card)?;
+        self.finish_ingest(name, model, digest, card, fps)
+    }
 
+    /// All three fingerprints of a model, in [`FingerprintKind::ALL`] order.
+    pub(crate) fn compute_fingerprints(&self, model: &Model) -> Result<[Vec<f32>; 3]> {
+        Ok([
+            self.fingerprinter.intrinsic(model),
+            self.fingerprinter.extrinsic(model)?,
+            self.fingerprinter.hybrid(model)?,
+        ])
+    }
+
+    /// Pure in-memory half of ingestion, shared by the live path and WAL
+    /// replay: registry entry, index inserts, events, graph invalidation.
+    pub(crate) fn finish_ingest(
+        &self,
+        name: &str,
+        model: &Model,
+        digest: crate::hash::Digest,
+        card: ModelCard,
+        fps: [Vec<f32>; 3],
+    ) -> Result<ModelId> {
+        let arch = model.architecture().signature();
+        let [intrinsic, extrinsic, hybrid] = fps;
         let mut reg = self.registry.write();
         let id = ModelId(reg.models.len() as u64);
         {
@@ -291,7 +350,6 @@ impl ModelLake {
                     .insert(id.0, fp)?;
             }
         }
-        let card = card.unwrap_or_else(|| ModelCard::skeleton(name, &arch));
         let tags = card.task_tags.clone();
         reg.models.push(ModelEntry {
             id,
@@ -378,6 +436,19 @@ impl ModelLake {
     /// Replaces a model's card.
     pub fn update_card(&self, id: ModelId, card: ModelCard) -> Result<()> {
         let _span = mlake_obs::span("lake.card.update");
+        let _op = self.op_lock.lock();
+        if self.registry.read().model(id).is_none() {
+            return Err(LakeError::NotFound {
+                kind: "model",
+                name: id.to_string(),
+            });
+        }
+        self.wal_update_card(id, &card)?;
+        self.apply_update_card(id, card)
+    }
+
+    /// In-memory half of [`ModelLake::update_card`] (shared with replay).
+    pub(crate) fn apply_update_card(&self, id: ModelId, card: ModelCard) -> Result<()> {
         let mut reg = self.registry.write();
         let entry = reg.model_mut(id).ok_or_else(|| LakeError::NotFound {
             kind: "model",
@@ -394,13 +465,27 @@ impl ModelLake {
     /// Registers a dataset (names unique).
     pub fn register_dataset(&self, dataset: mlake_datagen::Dataset) -> Result<()> {
         let _span = mlake_obs::span("lake.register.dataset");
-        let mut reg = self.registry.write();
-        if reg.datasets.iter().any(|d| d.name == dataset.name) {
+        let _op = self.op_lock.lock();
+        if self
+            .registry
+            .read()
+            .datasets
+            .iter()
+            .any(|d| d.name == dataset.name)
+        {
             return Err(LakeError::Duplicate {
                 kind: "dataset",
                 name: dataset.name,
             });
         }
+        self.wal_register_dataset(&dataset)?;
+        self.apply_register_dataset(dataset)
+    }
+
+    /// In-memory half of [`ModelLake::register_dataset`] (shared with
+    /// replay and snapshot load).
+    pub(crate) fn apply_register_dataset(&self, dataset: mlake_datagen::Dataset) -> Result<()> {
+        let mut reg = self.registry.write();
         let name = dataset.name.clone();
         reg.datasets.push(dataset);
         drop(reg);
@@ -413,13 +498,25 @@ impl ModelLake {
     /// Registers a benchmark with an optional domain label (names unique).
     pub fn register_benchmark(&self, benchmark: Benchmark, domain: Option<String>) -> Result<()> {
         let _span = mlake_obs::span("lake.register.benchmark");
-        let mut reg = self.registry.write();
-        if reg.benchmarks.contains_key(&benchmark.name) {
+        let _op = self.op_lock.lock();
+        if self.registry.read().benchmarks.contains_key(&benchmark.name) {
             return Err(LakeError::Duplicate {
                 kind: "benchmark",
                 name: benchmark.name,
             });
         }
+        self.wal_register_benchmark(&benchmark, &domain)?;
+        self.apply_register_benchmark(benchmark, domain)
+    }
+
+    /// In-memory half of [`ModelLake::register_benchmark`] (shared with
+    /// replay and snapshot load).
+    pub(crate) fn apply_register_benchmark(
+        &self,
+        benchmark: Benchmark,
+        domain: Option<String>,
+    ) -> Result<()> {
+        let mut reg = self.registry.write();
         let name = benchmark.name.clone();
         reg.benchmarks
             .insert(name.clone(), BenchmarkEntry { benchmark, domain });
@@ -492,6 +589,7 @@ impl ModelLake {
         known_roots: Option<Vec<ModelId>>,
     ) -> Result<RecoveredGraph> {
         let _span = mlake_obs::span("lake.graph.rebuild");
+        let _op = self.op_lock.lock();
         let n = self.len();
         let mut models = Vec::with_capacity(n);
         for i in 0..n {
@@ -502,9 +600,18 @@ impl ModelLake {
             ..RecoveryOptions::default()
         };
         let graph = recover_graph(&models, Some(&self.fingerprinter.probes), &opts);
+        self.wal_graph_rebuilt()?;
         *self.graph.write() = Some(graph.clone());
         self.events.write().append(EventKind::GraphRebuilt, "*");
         Ok(graph)
+    }
+
+    /// Replay half of [`ModelLake::rebuild_version_graph`]: records the
+    /// event and invalidates the cached graph; the graph itself is
+    /// derived state and recomputes deterministically on next use.
+    pub(crate) fn apply_graph_rebuilt(&self) {
+        *self.graph.write() = None;
+        self.events.write().append(EventKind::GraphRebuilt, "*");
     }
 
     /// The current version graph (rebuilding blind if stale/absent).
@@ -759,10 +866,6 @@ impl ModelLake {
     // ------------------------------------------------------------------
     // Persistence plumbing (crate-internal; see `persist` module)
     // ------------------------------------------------------------------
-
-    pub(crate) fn store_ref(&self) -> &InMemoryStore {
-        &self.store
-    }
 
     pub(crate) fn datasets_snapshot(&self) -> Vec<mlake_datagen::Dataset> {
         self.registry.read().datasets.clone()

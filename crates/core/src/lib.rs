@@ -28,6 +28,7 @@
 //! ```
 
 mod cache;
+mod durable;
 
 pub mod error;
 pub mod event;

@@ -1,16 +1,26 @@
-//! Lake persistence: a directory layout that round-trips the whole lake.
+//! Lake persistence: snapshots + the write-ahead log (DESIGN.md §12).
 //!
 //! ```text
 //! <dir>/
 //!   blobs/<sha256-hex>.blob    content-addressed model artifacts
-//!   manifest.json              registry, datasets, benchmarks, event log
+//!   manifest.json              snapshot: registry, datasets, benchmarks,
+//!                              event log, and the WAL LSN it covers
+//!   wal/<lsn>.wal              write-ahead log segments (mlake-wal)
 //! ```
+//!
+//! [`ModelLake::persist`] is "compact now": it writes a fresh snapshot
+//! (every file lands via temp-file + rename, so a crash mid-persist can
+//! never leave a half-written manifest or blob) and then drops the WAL
+//! segments the snapshot covers. [`ModelLake::open`] is the inverse:
+//! snapshot-load, then WAL replay of everything past the snapshot's
+//! `last_lsn`.
 //!
 //! Fingerprint indexes and the version-graph cache are *not* persisted:
 //! they are derived state, rebuilt deterministically from the artifacts at
 //! [`ModelLake::open`] (the same self-healing choice content-addressed
 //! stores make — derived state can never be out of sync with the data).
 
+use crate::durable::{WalLink, WalOp};
 use crate::error::{LakeError, Result};
 use crate::event::EventLog;
 use crate::hash::Digest;
@@ -20,8 +30,10 @@ use crate::store::BlobStore;
 use mlake_benchlab::Benchmark;
 use mlake_cards::ModelCard;
 use mlake_nn::Model;
+use mlake_wal::{RealFs, Vfs, Wal};
 use serde::{Deserialize, Serialize};
 use std::path::Path;
+use std::sync::Arc;
 
 /// On-disk manifest format (versioned).
 #[derive(Debug, Serialize, Deserialize)]
@@ -38,6 +50,10 @@ struct Manifest {
     benchmarks: Vec<(Benchmark, Option<String>)>,
     /// The full event log.
     events: EventLog,
+    /// Highest WAL LSN folded into this snapshot; replay starts after it.
+    /// Absent in v1 manifests (which predate the WAL), hence 0.
+    #[serde(default)]
+    last_lsn: u64,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
@@ -47,15 +63,35 @@ struct ManifestModel {
     card: ModelCard,
 }
 
-/// Current manifest format version.
-pub const MANIFEST_VERSION: u32 = 1;
+/// Current manifest format version. v2 added `last_lsn` (the WAL
+/// high-water mark); v1 manifests still open, with replay starting at 0.
+pub const MANIFEST_VERSION: u32 = 2;
 
 impl ModelLake {
-    /// Persists the lake into `dir` (created if absent).
+    /// Persists the lake into `dir` (created if absent). On a durable lake
+    /// persisting into its own directory this is a compaction: the WAL
+    /// segments the new snapshot covers are deleted afterwards.
+    // lint: no-span — persist_with opens the lake.persist span
     pub fn persist(&self, dir: &Path) -> Result<()> {
+        let vfs = self
+            .wal
+            .as_ref()
+            .map(|l| Arc::clone(&l.vfs))
+            .unwrap_or_else(RealFs::shared);
+        self.persist_with(dir, &vfs)
+    }
+
+    /// [`ModelLake::persist`] through an explicit [`Vfs`] (fault-injection
+    /// tests crash mid-persist here). All files land atomically
+    /// (temp-file + rename), so a crash leaves either the old snapshot or
+    /// the new one, never a torn mix.
+    pub(crate) fn persist_with(&self, dir: &Path, vfs: &Arc<dyn Vfs>) -> Result<()> {
         let _span = mlake_obs::span("lake.persist");
-        std::fs::create_dir_all(dir)?;
-        self.store_ref().persist_dir(&dir.join("blobs"))?;
+        // Hold the op lock so the snapshot and its last_lsn are one
+        // consistent cut of the lake.
+        let _op = self.op_lock.lock();
+        vfs.create_dir_all(dir)?;
+        self.store.persist_dir_atomic(&dir.join("blobs"), vfs)?;
         let mut models = Vec::with_capacity(self.len());
         for i in 0..self.len() {
             let entry = self.entry(ModelId(i as u64))?;
@@ -65,6 +101,7 @@ impl ModelLake {
                 card: entry.card,
             });
         }
+        let last_lsn = self.wal.as_ref().map_or(0, |l| l.wal.head());
         let manifest = Manifest {
             version: MANIFEST_VERSION,
             name: self.config().name.clone(),
@@ -72,34 +109,56 @@ impl ModelLake {
             datasets: self.datasets_snapshot(),
             benchmarks: self.benchmarks_snapshot(),
             events: self.event_log_snapshot(),
+            last_lsn,
         };
         let json = serde_json::to_vec_pretty(&manifest)
             .map_err(|e| LakeError::CorruptArtifact(format!("manifest encode: {e}")))?;
-        std::fs::write(dir.join("manifest.json"), json)?;
+        vfs.write_atomic(&dir.join("manifest.json"), &json)?;
+        // Persisting into the attached directory makes the snapshot the
+        // new recovery base: compact the WAL prefix it covers.
+        if let Some(link) = &self.wal {
+            if link.dir == dir {
+                link.wal.compact_to(last_lsn)?;
+            }
+        }
         Ok(())
     }
 
-    /// Opens a persisted lake, re-ingesting every artifact (fingerprints and
-    /// indexes are rebuilt; scores and the version graph recompute lazily).
+    /// Opens a persisted lake: loads the snapshot (re-ingesting every
+    /// artifact so fingerprints and indexes rebuild; scores and the
+    /// version graph recompute lazily), then replays the write-ahead log
+    /// past the snapshot's `last_lsn`. The returned lake is durable:
+    /// further mutations append to the same WAL.
+    ///
     /// `config` must use the same probe/sketch parameters the lake was
     /// created with for fingerprints to match; the lake name is restored
     /// from the manifest.
+    // lint: no-span — open_with opens the lake.open span
     pub fn open(dir: &Path, config: LakeConfig) -> Result<ModelLake> {
+        Self::open_with(dir, config, RealFs::shared())
+    }
+
+    /// [`ModelLake::open`] through an arbitrary [`Vfs`].
+    pub fn open_with(dir: &Path, config: LakeConfig, vfs: Arc<dyn Vfs>) -> Result<ModelLake> {
         let _span = mlake_obs::span("lake.open");
-        let manifest_bytes = std::fs::read(dir.join("manifest.json"))?;
+        let manifest_bytes = vfs.read(&dir.join("manifest.json"))?;
         let manifest: Manifest = serde_json::from_slice(&manifest_bytes)
             .map_err(|e| LakeError::CorruptArtifact(format!("manifest decode: {e}")))?;
-        if manifest.version != MANIFEST_VERSION {
-            return Err(LakeError::CorruptArtifact(format!(
-                "unsupported manifest version {}",
-                manifest.version
-            )));
+        if manifest.version == 0 || manifest.version > MANIFEST_VERSION {
+            return Err(LakeError::UnsupportedManifest {
+                found: manifest.version,
+                supported: MANIFEST_VERSION,
+            });
         }
         let store = crate::store::InMemoryStore::load_dir(&dir.join("blobs"))?;
-        let lake = ModelLake::new(LakeConfig {
+        let mut lake = ModelLake::new(LakeConfig {
             name: manifest.name,
             ..config
         });
+        // The loaded blobs become the working set (replayed ingests
+        // resolve their digests against it; re-ingesting below is an
+        // idempotent content-addressed no-op).
+        lake.store = store;
         for ds in manifest.datasets {
             lake.register_dataset(ds)?;
         }
@@ -110,7 +169,7 @@ impl ModelLake {
             let digest = Digest::from_hex(&m.digest).ok_or_else(|| {
                 LakeError::CorruptArtifact(format!("bad digest for '{}'", m.name))
             })?;
-            let bytes = store.get(&digest)?;
+            let bytes = lake.store.get(&digest)?;
             let model = Model::from_bytes(&bytes)
                 .map_err(|e| LakeError::CorruptArtifact(e.to_string()))?;
             lake.ingest_model(&m.name, &model, Some(m.card))?;
@@ -118,6 +177,24 @@ impl ModelLake {
         // Restore the original event history *after* re-ingestion so the
         // graph timestamps (citation keys) survive the round trip.
         lake.restore_event_log(manifest.events);
+        // Replay everything the snapshot does not cover, in LSN order.
+        let (wal, replay) = Wal::open_with(
+            &dir.join("wal"),
+            lake.wal_options(),
+            Arc::clone(&vfs),
+            manifest.last_lsn,
+        )?;
+        for (lsn, payload) in &replay.records {
+            let op: WalOp = serde_json::from_slice(payload).map_err(|e| {
+                LakeError::CorruptArtifact(format!("wal record {lsn}: {e}"))
+            })?;
+            lake.apply_op(*lsn, op)?;
+        }
+        lake.wal = Some(WalLink {
+            wal,
+            dir: dir.to_path_buf(),
+            vfs,
+        });
         Ok(lake)
     }
 }
@@ -146,6 +223,7 @@ mod tests {
         lake.persist(&dir).unwrap();
 
         let reopened = ModelLake::open(&dir, LakeConfig::default()).unwrap();
+        assert!(reopened.is_durable());
         assert_eq!(reopened.len(), lake.len());
         assert_eq!(reopened.model_names(), lake.model_names());
         assert_eq!(reopened.benchmark_names(), lake.benchmark_names());
@@ -191,7 +269,8 @@ mod tests {
             ModelLake::open(&dir, LakeConfig::default()),
             Err(LakeError::CorruptArtifact(_))
         ));
-        // Wrong manifest version.
+        // A future manifest version must fail with the typed error, not a
+        // panic and not a generic corruption report.
         std::fs::write(
             dir.join("manifest.json"),
             br#"{"version":99,"name":"x","models":[],"datasets":[],"benchmarks":[],"events":{"events":[]}}"#,
@@ -200,8 +279,34 @@ mod tests {
         std::fs::create_dir_all(dir.join("blobs")).unwrap();
         assert!(matches!(
             ModelLake::open(&dir, LakeConfig::default()),
-            Err(LakeError::CorruptArtifact(_))
+            Err(LakeError::UnsupportedManifest {
+                found: 99,
+                supported: MANIFEST_VERSION
+            })
         ));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn persisted_manifest_records_wal_high_water_mark() {
+        let dir = tmp("lsn");
+        let _ = std::fs::remove_dir_all(&dir);
+        let lake = ModelLake::create(&dir, LakeConfig::default()).unwrap();
+        assert!(lake.is_durable());
+        let gt = generate_lake(&LakeSpec::tiny(2));
+        populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).unwrap();
+        lake.persist(&dir).unwrap();
+        let manifest: Manifest =
+            serde_json::from_slice(&std::fs::read(dir.join("manifest.json")).unwrap()).unwrap();
+        assert_eq!(manifest.version, MANIFEST_VERSION);
+        assert!(
+            manifest.last_lsn > 0,
+            "durable mutations must advance last_lsn"
+        );
+        // Compaction happened: reopening replays nothing, state intact.
+        let reopened = ModelLake::open(&dir, LakeConfig::default()).unwrap();
+        assert_eq!(reopened.len(), lake.len());
+        assert_eq!(reopened.events(), lake.events());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

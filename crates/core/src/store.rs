@@ -47,6 +47,26 @@ impl InMemoryStore {
         InMemoryStore::default()
     }
 
+    /// Writes every blob into `dir` as `<hex>.blob` through a
+    /// [`mlake_wal::Vfs`], each file landing atomically (temp + rename) so
+    /// a crash mid-persist can never leave a torn blob that would fail
+    /// digest verification at the next load. Blobs already on disk are
+    /// skipped — content addressing makes them immutable.
+    pub(crate) fn persist_dir_atomic(
+        &self,
+        dir: &Path,
+        vfs: &std::sync::Arc<dyn mlake_wal::Vfs>,
+    ) -> Result<()> {
+        vfs.create_dir_all(dir)?;
+        for (digest, bytes) in self.blobs.read().iter() {
+            let path = dir.join(format!("{}.blob", digest.to_hex()));
+            if !vfs.exists(&path) {
+                vfs.write_atomic(&path, bytes)?;
+            }
+        }
+        Ok(())
+    }
+
     /// Loads every `<hex>.blob` file from `dir`, verifying digests.
     pub fn load_dir(dir: &Path) -> Result<InMemoryStore> {
         let store = InMemoryStore::new();

@@ -1,0 +1,149 @@
+//! Manifest format back-compatibility (DESIGN.md §12).
+//!
+//! `tests/fixtures/v1-lake/` is a checked-in lake persisted by the v1
+//! (pre-WAL) format: `manifest.json` has `"version": 1`, no `last_lsn`
+//! field and no `wal/` directory. Opening it must keep working forever —
+//! the manifest version only advances with a replay path for every
+//! version we ever shipped — while unknown *future* versions must be
+//! rejected with the typed [`LakeError::UnsupportedManifest`], never a
+//! panic or a misleading corruption report.
+
+use mlake_core::lake::{LakeConfig, ModelLake};
+use mlake_core::LakeError;
+use mlake_nn::{Activation, Mlp, Model};
+use mlake_tensor::{init::Init, Pcg64};
+use std::path::{Path, PathBuf};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1-lake")
+}
+
+fn tmp(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("mlake-compat-{tag}-{}", std::process::id()))
+}
+
+fn model(seed: u64) -> Model {
+    let mut rng = Pcg64::new(seed);
+    Model::Mlp(Mlp::new(vec![8, 4, 3], Activation::Relu, Init::HeNormal, &mut rng).unwrap())
+}
+
+/// Copies the read-only fixture into a scratch dir (opening a lake
+/// attaches a WAL, i.e. writes into the directory).
+fn copy_fixture(to: &Path) {
+    std::fs::create_dir_all(to.join("blobs")).unwrap();
+    std::fs::copy(
+        fixture_dir().join("manifest.json"),
+        to.join("manifest.json"),
+    )
+    .unwrap();
+    for entry in std::fs::read_dir(fixture_dir().join("blobs")).unwrap() {
+        let path = entry.unwrap().path();
+        std::fs::copy(&path, to.join("blobs").join(path.file_name().unwrap())).unwrap();
+    }
+}
+
+#[test]
+fn v1_fixture_opens_and_upgrades_on_persist() {
+    let fixture = std::fs::read_to_string(fixture_dir().join("manifest.json")).unwrap();
+    assert!(
+        fixture.contains("\"version\": 1"),
+        "fixture must stay at manifest v1 — regenerate_v1_fixture changed?"
+    );
+    assert!(!fixture.contains("last_lsn"), "v1 predates the WAL");
+
+    let dir = tmp("v1");
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_fixture(&dir);
+    let lake = ModelLake::open(&dir, LakeConfig::default()).unwrap();
+    assert_eq!(lake.len(), 2);
+    assert!(lake.is_durable(), "opened lakes attach a WAL even from v1");
+    assert!(lake.resolve("v1-alpha").is_ok());
+    assert!(lake.resolve("v1-beta").is_ok());
+    // Artifacts decode bit-for-bit: the fixture froze the v1 blob bytes.
+    assert_eq!(
+        lake.model("v1-alpha").unwrap().flat_params(),
+        model(1).flat_params()
+    );
+    // The v1 lake is live: it takes new durable mutations, and persisting
+    // rewrites the manifest at the current version.
+    lake.ingest_model("v2-native", &model(3), None).unwrap();
+    lake.persist(&dir).unwrap();
+    let upgraded = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(upgraded.contains("\"version\": 2"));
+    assert!(upgraded.contains("last_lsn"));
+    let reopened = ModelLake::open(&dir, LakeConfig::default()).unwrap();
+    assert_eq!(reopened.len(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn future_manifest_version_is_rejected_with_typed_error() {
+    let dir = tmp("future");
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_fixture(&dir);
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    std::fs::write(
+        dir.join("manifest.json"),
+        manifest.replace("\"version\": 1", "\"version\": 7"),
+    )
+    .unwrap();
+    let err = match ModelLake::open(&dir, LakeConfig::default()) {
+        Ok(_) => panic!("a future-version manifest must not open"),
+        Err(e) => e,
+    };
+    assert!(
+        matches!(err, LakeError::UnsupportedManifest { found: 7, .. }),
+        "expected UnsupportedManifest, got: {err}"
+    );
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// Regenerates the checked-in fixture. Run manually after an intentional
+/// blob/card format change:
+/// `cargo test -p mlake-core --test manifest_compat -- --ignored`
+#[test]
+#[ignore = "rewrites tests/fixtures/v1-lake; run manually"]
+fn regenerate_v1_fixture() {
+    let dir = fixture_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let lake = ModelLake::new(LakeConfig::default());
+    lake.ingest_model("v1-alpha", &model(1), None).unwrap();
+    lake.ingest_model("v1-beta", &model(2), None).unwrap();
+    lake.persist(&dir).unwrap();
+    // Downgrade the manifest to the v1 shape: version 1, no last_lsn.
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    let v1: String = manifest
+        .replace("\"version\": 2", "\"version\": 1")
+        .lines()
+        .filter(|l| !l.contains("last_lsn"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    // The last_lsn line was last in the object: drop the now-trailing
+    // comma on the line before it.
+    let v1 = fix_trailing_comma(&v1);
+    std::fs::write(dir.join("manifest.json"), v1).unwrap();
+    let _ = std::fs::remove_dir_all(dir.join("wal"));
+}
+
+/// Removes a comma left dangling before a closing brace/bracket after a
+/// line was filtered out (enough JSON surgery for the fixture downgrade).
+fn fix_trailing_comma(json: &str) -> String {
+    let lines: Vec<&str> = json.lines().collect();
+    let mut out = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        let next_closes = lines
+            .get(i + 1)
+            .map(|n| {
+                let t = n.trim_start();
+                t.starts_with('}') || t.starts_with(']')
+            })
+            .unwrap_or(false);
+        if next_closes && line.trim_end().ends_with(',') {
+            let trimmed = line.trim_end().trim_end_matches(',');
+            out.push(trimmed.to_string());
+        } else {
+            out.push((*line).to_string());
+        }
+    }
+    out.join("\n")
+}

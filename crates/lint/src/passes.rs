@@ -10,8 +10,8 @@
 //! | `unsafe-safety`| every `unsafe` block/fn/impl carries a `// SAFETY:` comment |
 //! | `no-panic`     | no `unwrap()/expect("…")/panic!/todo!/unimplemented!` in lib |
 //! | `no-wallclock` | no `Instant`/`SystemTime` outside `mlake-obs` and `bench`   |
-//! | `facade-span`  | every `pub fn` on `impl ModelLake` opens an obs span        |
-//! | `lock-order`   | `.lock()`/`.read()`/`.write()` in index/par carries a `// lock-order: N` comment |
+//! | `facade-span`  | every `pub fn` on a facade type (`ModelLake` in core; `Wal`/`Recovery` in wal) opens an obs span |
+//! | `lock-order`   | `.lock()`/`.read()`/`.write()` in index/par/wal carries a `// lock-order: N` comment |
 //!
 //! Test code is exempt everywhere: files under `tests/`, `benches/` or
 //! `examples/`, the `mlake-bench` crate, and the trailing `#[cfg(test)]`
@@ -182,15 +182,35 @@ fn no_wallclock(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
     }
 }
 
-/// `facade-span`: inside `impl ModelLake` blocks, every `pub fn` body must
-/// call `…span(` or the signature must be annotated `// lint: no-span`
-/// within [`ANNOTATION_WINDOW`] lines above.
+/// The facade types whose public methods must open obs spans, per crate.
+/// Adding a crate here is how a new subsystem opts into the rule.
+fn facade_targets(path: &str) -> &'static [&'static str] {
+    if path.starts_with("crates/core/") {
+        &["ModelLake"]
+    } else if path.starts_with("crates/wal/") {
+        &["Wal", "Recovery"]
+    } else {
+        &[]
+    }
+}
+
+/// `facade-span`: inside `impl <FacadeType>` blocks (see
+/// [`facade_targets`]), every `pub fn` body must call `…span(` or the
+/// signature must be annotated `// lint: no-span` within
+/// [`ANNOTATION_WINDOW`] lines above.
 fn facade_span(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
+    let targets = facade_targets(path);
+    if targets.is_empty() {
+        return;
+    }
     let toks = &s.tokens;
     let mut i = 0usize;
     while i < toks.len() {
-        // Find `impl ModelLake` (not `impl Trait for ModelLake`).
-        if ident(toks.get(i)) == Some("impl") && ident(toks.get(i + 1)) == Some("ModelLake") {
+        // Find `impl <Target>` (not `impl Trait for <Target>`).
+        if ident(toks.get(i)) == Some("impl")
+            && ident(toks.get(i + 1)).is_some_and(|name| targets.contains(&name))
+            && ident(toks.get(i + 2)) != Some("for")
+        {
             // Advance to the impl block's opening brace and remember where
             // the block ends.
             let mut j = i + 2;
@@ -267,15 +287,18 @@ fn scan_impl_block(path: &str, s: &Scanned, start: usize, end: usize, out: &mut 
     }
 }
 
-/// `lock-order`: in `mlake-index`/`mlake-par`, every blocking acquisition —
-/// `.lock()` on a `Mutex`, `.read()`/`.write()` on an `RwLock` — must carry
-/// a `// lock-order: N` comment (same line or up to [`LOCK_WINDOW`] lines
-/// above) stating its rank in the DESIGN.md §10 lock hierarchy. Matching is
-/// purely syntactic (any zero-argument `.read()`/`.write()` call), which is
-/// the point: a reader that *looks* like a lock acquisition should be
-/// annotated or renamed.
+/// `lock-order`: in `mlake-index`/`mlake-par`/`mlake-wal`, every blocking
+/// acquisition — `.lock()` on a `Mutex`, `.read()`/`.write()` on an
+/// `RwLock` — must carry a `// lock-order: N` comment (same line or up to
+/// [`LOCK_WINDOW`] lines above) stating its rank in the DESIGN.md §10 lock
+/// hierarchy. Matching is purely syntactic (any zero-argument
+/// `.read()`/`.write()` call), which is the point: a reader that *looks*
+/// like a lock acquisition should be annotated or renamed.
 fn lock_order(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
-    if !(path.starts_with("crates/index/") || path.starts_with("crates/par/")) {
+    if !(path.starts_with("crates/index/")
+        || path.starts_with("crates/par/")
+        || path.starts_with("crates/wal/"))
+    {
         return;
     }
     let toks = &s.tokens;
@@ -423,6 +446,24 @@ mod tests {
         assert!(findings("crates/core/src/lake.rs", src).is_empty());
     }
 
+    #[test]
+    fn facade_covers_wal_and_recovery_types() {
+        let src = "impl Wal {\n    pub fn naked(&self) -> usize { 0 }\n}\nimpl Recovery {\n    pub fn also_naked() -> usize { 0 }\n}";
+        let f = findings("crates/wal/src/wal.rs", src);
+        assert_eq!(passes(&f), vec!["facade-span", "facade-span"]);
+        // The same types in a crate with no facade targets are untouched.
+        assert!(findings("crates/index/src/hnsw.rs", src).is_empty());
+        // ModelLake is not a facade type inside crates/wal.
+        let other = "impl ModelLake {\n    pub fn naked(&self) -> usize { 0 }\n}";
+        assert!(findings("crates/wal/src/wal.rs", other).is_empty());
+    }
+
+    #[test]
+    fn facade_skips_trait_impls_on_target_types() {
+        let src = "impl Drop for Wal {\n    fn drop(&mut self) {}\n}\nimpl Wal for Compat {\n    pub fn shim(&self) -> usize { 0 }\n}";
+        assert!(findings("crates/wal/src/wal.rs", src).is_empty());
+    }
+
     // ---- lock-order ----------------------------------------------------
 
     #[test]
@@ -431,6 +472,10 @@ mod tests {
         assert_eq!(passes(&findings("crates/par/src/lib.rs", src)), vec!["lock-order"]);
         assert_eq!(
             passes(&findings("crates/index/src/hnsw.rs", src)),
+            vec!["lock-order"]
+        );
+        assert_eq!(
+            passes(&findings("crates/wal/src/wal.rs", src)),
             vec!["lock-order"]
         );
         assert!(findings("crates/obs/src/recorder.rs", src).is_empty());

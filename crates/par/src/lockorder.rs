@@ -10,6 +10,7 @@
 //! | 20   | `par.latch` — per-region latch mutex             |
 //! | 30   | `hnsw.entry` — HNSW entry-point mutex            |
 //! | 40   | `hnsw.node` — HNSW per-node neighbour `RwLock`s  |
+//! | 50   | `wal.inner` — WAL writer state mutex             |
 //!
 //! In debug builds every tracked acquisition is recorded in a
 //! thread-local stack; acquiring a lock whose rank is **not strictly
@@ -45,6 +46,11 @@ pub mod ranks {
     pub const HNSW_ENTRY: u32 = 30;
     /// HNSW per-node neighbour-list `RwLock`s (read or write).
     pub const HNSW_NODE: u32 = 40;
+    /// WAL writer state mutex (`Wal::inner` in `mlake-wal`). Ranked above
+    /// the index locks: a facade mutation may append to the WAL while the
+    /// caller holds no index lock, but replay and compaction never take
+    /// index locks while holding the WAL mutex.
+    pub const WAL_INNER: u32 = 50;
 }
 
 #[cfg(debug_assertions)]

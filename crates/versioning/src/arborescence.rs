@@ -64,14 +64,14 @@ fn solve(n: usize, edges: Vec<DirectedEdge>, root: usize) -> Option<Vec<usize>> 
         // Walk up until we hit the root, a previously visited node, or loop.
         while v != root && visited[v] == usize::MAX {
             visited[v] = start;
-            v = best_in[v].expect("checked above").from;
+            v = best_in[v]?.from;
         }
         if v != root && visited[v] == start && cycle_id[v] == usize::MAX {
             // Found a new cycle through v.
             let mut u = v;
             loop {
                 cycle_id[u] = cycles;
-                u = best_in[u].expect("in cycle").from;
+                u = best_in[u]?.from;
                 if u == v {
                     break;
                 }
@@ -84,7 +84,7 @@ fn solve(n: usize, edges: Vec<DirectedEdge>, root: usize) -> Option<Vec<usize>> 
         let mut parents = vec![root; n];
         for v in 0..n {
             if v != root {
-                parents[v] = best_in[v].expect("checked").from;
+                parents[v] = best_in[v]?.from;
             }
         }
         return Some(parents);
@@ -117,7 +117,7 @@ fn solve(n: usize, edges: Vec<DirectedEdge>, root: usize) -> Option<Vec<usize>> 
             continue;
         }
         let weight = if cycle_id[e.to] != usize::MAX {
-            e.weight - best_in[e.to].expect("cycle node has best-in").weight
+            e.weight - best_in[e.to]?.weight
         } else {
             e.weight
         };
@@ -151,7 +151,7 @@ fn solve(n: usize, edges: Vec<DirectedEdge>, root: usize) -> Option<Vec<usize>> 
     // Nodes inside a cycle default to their cycle predecessor.
     for v in 0..n {
         if cycle_id[v] != usize::MAX {
-            parents[v] = best_in[v].expect("cycle").from;
+            parents[v] = best_in[v]?.from;
         }
     }
     for (ne, oe) in new_edges.iter().zip(&origin) {

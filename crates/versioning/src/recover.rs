@@ -158,14 +158,15 @@ pub fn recover_graph(
                 let mut attached: Vec<usize> =
                     members.iter().copied().filter(|i| known.contains(i)).collect();
                 if attached.is_empty() {
-                    let medoid = *members
+                    let medoid = members
                         .iter()
                         .min_by(|&&a, &&b| {
                             let sa: f32 = members.iter().map(|&x| dist(a, x)).sum();
                             let sb: f32 = members.iter().map(|&x| dist(b, x)).sum();
                             sa.total_cmp(&sb)
                         })
-                        .expect("non-empty group");
+                        .copied()
+                        .unwrap_or(members[0]);
                     attached.push(medoid);
                 }
                 roots.extend(attached.iter().copied());
@@ -184,7 +185,14 @@ pub fn recover_graph(
                             }
                         }
                     }
-                    let (d, u, v) = best.expect("non-empty frontier");
+                    let Some((d, u, v)) = best else {
+                        // Defensive: an empty frontier can only mean attached
+                        // is empty, which the medoid fallback rules out. Treat
+                        // every remaining member as its own root rather than
+                        // panicking.
+                        roots.extend(unattached.iter().copied());
+                        break;
+                    };
                     if d > opts.max_weight_distance {
                         // No weight continuity to any tree: `v` starts a new
                         // component (an orphan root — a distilled student or

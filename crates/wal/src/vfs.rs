@@ -1,0 +1,203 @@
+//! File-layer abstraction the WAL writes through.
+//!
+//! Everything the log (and the lake's persistence layer) does to disk goes
+//! through [`Vfs`], so the deterministic fault-injection harness
+//! ([`crate::testing::FailFs`]) can sit between the code under test and the
+//! real filesystem and kill the "process" at an exact write. Production
+//! code uses [`RealFs`], a thin veneer over `std::fs`.
+
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// An open file handle supporting appends and durability barriers.
+pub trait VFile: Send {
+    /// Appends `buf` at the current end of the file.
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()>;
+
+    /// Flushes file contents to stable storage (`fsync`).
+    fn sync(&mut self) -> io::Result<()>;
+}
+
+/// Filesystem operations the WAL and snapshot writer need.
+pub trait Vfs: Send + Sync {
+    /// Creates `dir` and all parents.
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()>;
+
+    /// Opens `path` for appending, creating it when absent.
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VFile>>;
+
+    /// Creates (truncating) `path` for writing.
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VFile>>;
+
+    /// Reads the whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+
+    /// Lists the files (not directories) directly under `dir`, sorted by
+    /// file name.
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>>;
+
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+
+    /// Atomically renames `from` to `to` (same directory).
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+
+    /// Truncates `path` to `len` bytes.
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()>;
+
+    /// Whether `path` exists.
+    fn exists(&self, path: &Path) -> bool;
+
+    /// Writes `bytes` to `path` atomically: write + fsync a sibling
+    /// temporary file, then rename it over `path`. A crash at any point
+    /// leaves either the old file or the new one, never a torn mix —
+    /// this is the `persist()` atomicity fix's primitive.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut tmp_name = path.as_os_str().to_os_string();
+        tmp_name.push(".tmp");
+        let tmp = PathBuf::from(tmp_name);
+        {
+            let mut f = self.create(&tmp)?;
+            f.write_all(bytes)?;
+            f.sync()?;
+        }
+        self.rename(&tmp, path)
+    }
+}
+
+/// The production [`Vfs`]: plain `std::fs`.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RealFs;
+
+impl RealFs {
+    /// A shared handle to the real filesystem.
+    pub fn shared() -> Arc<dyn Vfs> {
+        Arc::new(RealFs)
+    }
+}
+
+struct RealFile(std::fs::File);
+
+impl VFile for RealFile {
+    fn write_all(&mut self, buf: &[u8]) -> io::Result<()> {
+        io::Write::write_all(&mut self.0, buf)
+    }
+
+    fn sync(&mut self) -> io::Result<()> {
+        self.0.sync_data()
+    }
+}
+
+impl Vfs for RealFs {
+    fn create_dir_all(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)
+    }
+
+    fn open_append(&self, path: &Path) -> io::Result<Box<dyn VFile>> {
+        let f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Box::new(RealFile(f)))
+    }
+
+    fn create(&self, path: &Path) -> io::Result<Box<dyn VFile>> {
+        Ok(Box::new(RealFile(std::fs::File::create(path)?)))
+    }
+
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        std::fs::read(path)
+    }
+
+    fn list(&self, dir: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out = Vec::new();
+        for entry in std::fs::read_dir(dir)? {
+            let path = entry?.path();
+            if path.is_file() {
+                out.push(path);
+            }
+        }
+        out.sort();
+        Ok(out)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        std::fs::remove_file(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        std::fs::rename(from, to)?;
+        // Durability of the rename itself: fsync the containing directory
+        // (best-effort — not all platforms support directory fsync).
+        if let Some(parent) = to.parent() {
+            if let Ok(d) = std::fs::File::open(parent) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
+    }
+
+    fn truncate(&self, path: &Path, len: u64) -> io::Result<()> {
+        let f = std::fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(len)?;
+        f.sync_data()
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("mlake-vfs-{tag}-{}", std::process::id()))
+    }
+
+    #[test]
+    fn append_read_truncate_round_trip() {
+        let dir = tmp("rt");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = RealFs;
+        fs.create_dir_all(&dir).unwrap();
+        let path = dir.join("a.log");
+        {
+            let mut f = fs.open_append(&path).unwrap();
+            f.write_all(b"hello ").unwrap();
+            f.write_all(b"world").unwrap();
+            f.sync().unwrap();
+        }
+        assert_eq!(fs.read(&path).unwrap(), b"hello world");
+        // Re-open appends at the end.
+        {
+            let mut f = fs.open_append(&path).unwrap();
+            f.write_all(b"!").unwrap();
+        }
+        assert_eq!(fs.read(&path).unwrap(), b"hello world!");
+        fs.truncate(&path, 5).unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"hello");
+        assert_eq!(fs.list(&dir).unwrap(), vec![path.clone()]);
+        fs.remove_file(&path).unwrap();
+        assert!(!fs.exists(&path));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn write_atomic_replaces_whole_file() {
+        let dir = tmp("atomic");
+        let _ = std::fs::remove_dir_all(&dir);
+        let fs = RealFs;
+        fs.create_dir_all(&dir).unwrap();
+        let path = dir.join("manifest.json");
+        fs.write_atomic(&path, b"v1").unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"v1");
+        fs.write_atomic(&path, b"v2 is longer").unwrap();
+        assert_eq!(fs.read(&path).unwrap(), b"v2 is longer");
+        // No temp file left behind.
+        assert_eq!(fs.list(&dir).unwrap().len(), 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

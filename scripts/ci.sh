@@ -12,10 +12,12 @@
 # re-run with observability disabled (MLAKE_OBS=off must be behaviorally
 # inert), the parallel-vs-serial equivalence suites re-run under
 # MLAKE_THREADS=1 (exercising the env override path end-to-end), the SQ8
-# recall gate in both observability modes, a performance guard covering the
-# tiled matmul and the quantized flat scan (budgets overridable via
-# MLAKE_BENCH_GUARD_MS / MLAKE_BENCH_GUARD_SQ8_MS /
-# MLAKE_BENCH_GUARD_SQ8_RATIO), and clippy with warnings denied across the
+# recall gate in both observability modes, the WAL crash-recovery matrix
+# (kill-at-every-write/fsync sweep, again in both observability modes), a
+# performance guard covering the tiled matmul, the quantized flat scan and
+# WAL append throughput (budgets overridable via MLAKE_BENCH_GUARD_MS /
+# MLAKE_BENCH_GUARD_SQ8_MS / MLAKE_BENCH_GUARD_SQ8_RATIO /
+# MLAKE_BENCH_GUARD_WAL_OPS), and clippy with warnings denied across the
 # crates the parallel and observability layers touch.
 
 set -euo pipefail
@@ -55,13 +57,18 @@ step "quantized recall gate: sq8 rescore within 5% of f32 (obs on + off)"
 cargo test -q -p mlake-index --test quantized --release
 MLAKE_OBS=off cargo test -q -p mlake-index --test quantized --release
 
-step "bench guard: tiled matmul + sq8 flat-scan speedup within budget"
+step "crash recovery: kill-at-every-write/fsync sweep (obs on + off)"
+cargo test -q -p mlake-core --test crash_recovery --release
+MLAKE_OBS=off cargo test -q -p mlake-core --test crash_recovery --release
+
+step "bench guard: tiled matmul + sq8 flat scan + wal append within budget"
 cargo run -q -p mlake-bench --bin bench_guard --release
 
 step "clippy -D warnings (parallel + observability crates)"
 cargo clippy -q -p mlake-par -p mlake-tensor -p mlake-index \
   -p mlake-fingerprint -p mlake-datagen -p mlake-bench \
-  -p mlake-obs -p mlake-core -p mlake-query -p mlake-lint -- -D warnings
+  -p mlake-obs -p mlake-core -p mlake-query -p mlake-lint \
+  -p mlake-wal -- -D warnings
 
 echo
 echo "ci: all green"
