@@ -1,0 +1,173 @@
+//! Criterion benches for sharded scatter-gather search (ISSUE PR 6).
+//!
+//! Before the timed groups run, a summary table prints, for shard counts
+//! N ∈ {1, 2, 4, 8} at 20k and 100k vectors, the two numbers that matter
+//! to a sharded deployment:
+//!
+//! * **latency(ms)** — sequential single-query `search` calls, one query
+//!   in flight. This is where scatter-gather wins on a multi-core host:
+//!   a single-graph HNSW search is inherently serial, while the sharded
+//!   index runs N smaller beams concurrently.
+//! * **batch(ms)** — per-query cost of a 64-query `search_many` batch.
+//!   A batch already parallelizes across queries and saturates the
+//!   cores, so sharding cannot add concurrency there — it only adds the
+//!   per-shard beam work (each shard answers `rescore_factor·k`
+//!   candidates), and the single shard stays ahead. The table reports
+//!   it so the trade is visible, not hidden.
+//!
+//! A flat (exact) sharded index is also checked bit-identical against
+//! the unsharded scan, demonstrating the merge invariant on real
+//! fixtures.
+//!
+//! Single-core caveat (as for PR 1's parallel layer): the scatter fans
+//! out one task per shard, so the win is concurrency, not work
+//! reduction. Under `MLAKE_THREADS=1` expect parity for the exact scan
+//! (sharding is work-preserving there) and a small overfetch penalty
+//! for HNSW; results stay bit-identical either way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mlake_bench::exp::e5_index::embeddings;
+use mlake_bench::table::Table;
+use mlake_index::{recall_at_k, FlatIndex, HnswConfig, HnswIndex, ShardedIndex, VectorIndex};
+use std::hint::black_box;
+use std::time::Instant;
+
+const DIM: usize = 64;
+const K: usize = 10;
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn fixture(n: usize) -> (Vec<(u64, Vec<f32>)>, Vec<Vec<f32>>) {
+    let items: Vec<(u64, Vec<f32>)> = embeddings(n, DIM, 31)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (i as u64, v))
+        .collect();
+    // In-distribution queries: perturbed copies of stored vectors, so
+    // recall@10 measures the index rather than the fixture.
+    let mut qrng = mlake_tensor::Pcg64::new(77);
+    let queries: Vec<Vec<f32>> = (0..64)
+        .map(|i| {
+            items[(i * 37) % n]
+                .1
+                .iter()
+                .map(|&x| x + qrng.normal() * 0.1)
+                .collect()
+        })
+        .collect();
+    (items, queries)
+}
+
+fn hnsw_config() -> HnswConfig {
+    HnswConfig {
+        m: 16,
+        ef_construction: 64,
+        ef_search: 64,
+        seed: 5,
+        ..Default::default()
+    }
+}
+
+fn sharded_hnsw(items: &[(u64, Vec<f32>)], shards: usize) -> ShardedIndex<HnswIndex> {
+    let cfg = hnsw_config();
+    let mut idx =
+        ShardedIndex::new(shards, || HnswIndex::new(cfg)).with_rescore_factor(cfg.rescore_factor);
+    idx.insert_batch(items).expect("build sharded hnsw");
+    idx
+}
+
+/// Sequential single-query latency: one `search` call in flight at a
+/// time, averaged over the fixture queries, in ms.
+fn per_query_latency_ms(index: &dyn VectorIndex, queries: &[Vec<f32>]) -> f64 {
+    for q in queries {
+        black_box(index.search(q, K).expect("warmup"));
+    }
+    let t0 = Instant::now();
+    for q in queries {
+        black_box(index.search(q, K).expect("timed"));
+    }
+    t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64
+}
+
+/// Per-query cost of one `search_many` batch over the fixture queries,
+/// in ms (the batch parallelizes across queries internally).
+fn per_query_batch_ms(index: &dyn VectorIndex, queries: &[Vec<f32>]) -> f64 {
+    black_box(index.search_many(queries, K).expect("warmup"));
+    let t0 = Instant::now();
+    black_box(index.search_many(queries, K).expect("timed"));
+    t0.elapsed().as_secs_f64() * 1e3 / queries.len() as f64
+}
+
+/// Asserts the merge invariant on the exact path: a 4-way sharded flat
+/// index answers bit-identically to the unsharded scan.
+fn check_flat_exactness(items: &[(u64, Vec<f32>)], queries: &[Vec<f32>], truth: &FlatIndex) {
+    let mut sharded = ShardedIndex::new(4, FlatIndex::new);
+    sharded.insert_batch(items).expect("build sharded flat");
+    let want = truth.search_many(queries, K).expect("truth search");
+    let got = sharded.search_many(queries, K).expect("sharded search");
+    for (w, g) in want.iter().zip(&got) {
+        assert_eq!(w.len(), g.len(), "sharded flat hit count diverged");
+        for (wh, gh) in w.iter().zip(g) {
+            assert_eq!(wh.id, gh.id, "sharded flat ids diverged");
+            assert_eq!(
+                wh.distance.to_bits(),
+                gh.distance.to_bits(),
+                "sharded flat distances diverged"
+            );
+        }
+    }
+    println!("sharded: flat 4-shard merge bit-identical to unsharded scan ({} queries)", queries.len());
+}
+
+fn bench_sharded_search(c: &mut Criterion) {
+    for n in [20_000usize, 100_000] {
+        let (items, queries) = fixture(n);
+        let mut truth = FlatIndex::new();
+        truth.insert_batch(&items).expect("truth");
+        check_flat_exactness(&items, &queries, &truth);
+
+        let mut t = Table::new(
+            format!("sharded hnsw: 1-vs-N (n={n}, d={DIM}, k={K}, 64 queries)"),
+            &["shards", "latency(ms)", "batch(ms)", "recall@10", "latency vs 1-shard"],
+        );
+        let indexes: Vec<(usize, ShardedIndex<HnswIndex>)> = SHARD_COUNTS
+            .iter()
+            .map(|&s| (s, sharded_hnsw(&items, s)))
+            .collect();
+        let mut base_ms = None;
+        for (s, idx) in &indexes {
+            let lat_ms = per_query_latency_ms(idx, &queries);
+            let batch_ms = per_query_batch_ms(idx, &queries);
+            let r = recall_at_k(idx, &truth, &queries, K).expect("recall");
+            let base = *base_ms.get_or_insert(lat_ms);
+            t.row(vec![
+                format!("{s}"),
+                format!("{lat_ms:.3}"),
+                format!("{batch_ms:.3}"),
+                format!("{r:.3}"),
+                format!("{:.2}x", base / lat_ms),
+            ]);
+        }
+        t.print();
+
+        let mut group = c.benchmark_group(format!("sharded-hnsw-{n}x{DIM}"));
+        group.sample_size(10);
+        for (s, idx) in &indexes {
+            group.bench_function(BenchmarkId::new("latency-64q/shards", *s), |b| {
+                b.iter(|| {
+                    let mut total = 0usize;
+                    for q in &queries {
+                        total += idx.search(black_box(q), K).unwrap().len();
+                    }
+                    total
+                })
+            });
+            group.bench_function(BenchmarkId::new("batch-64q/shards", *s), |b| {
+                b.iter(|| idx.search_many(black_box(&queries), K).unwrap().len())
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_sharded_search);
+criterion_main!(benches);

@@ -1,6 +1,6 @@
 //! Performance regression guard for CI.
 //!
-//! Three gates, all best-of-N (robust to scheduler noise on loaded hosts):
+//! Four gates, all best-of-N (robust to scheduler noise on loaded hosts):
 //!
 //! 1. **Tiled matmul** — times the 512x512 tiled matmul (the parallel
 //!    layer's flagship kernel; 13.94ms baseline recorded in CHANGES.md)
@@ -9,7 +9,12 @@
 //!    flat index in f32 and in `Precision::Sq8Rescore`, and fails unless
 //!    the quantized scan is at least 1.3x faster (ISSUE PR 4 acceptance
 //!    criterion) and within an absolute budget.
-//! 3. **WAL append throughput** — appends 4096 records of 256B under
+//! 3. **Sharded scatter-gather** — runs the same 32-query batch over a
+//!    4-way sharded flat index (ISSUE PR 6), fails unless the merged
+//!    results are bit-identical to the single-shard scan (the merge
+//!    invariant at equal precision: same ids, same distance bits) and
+//!    the batch sustains the queries/s floor.
+//! 4. **WAL append throughput** — appends 4096 records of 256B under
 //!    group commit (`SyncPolicy::Batch { every: 64 }`) and fails below
 //!    the ops/s floor; the WAL's whole point is that per-mutation
 //!    durability stays cheap.
@@ -22,11 +27,12 @@
 //!   MLAKE_BENCH_GUARD_MS        — matmul threshold in ms (default 17.4 = 13.94 * 1.25)
 //!   MLAKE_BENCH_GUARD_SQ8_MS    — SQ8 scan budget in ms for the 32-query batch
 //!   MLAKE_BENCH_GUARD_SQ8_RATIO — required f32/sq8 speedup (default 1.3)
+//!   MLAKE_BENCH_GUARD_SHARD_OPS — sharded scatter-gather floor in queries/s (default 200)
 //!   MLAKE_BENCH_GUARD_WAL_OPS   — WAL group-commit append floor in ops/s (default 5000)
 //!   MLAKE_GUARD_REPS            — timed repetitions (default 10)
 
 use mlake_bench::exp::e5_index::embeddings;
-use mlake_index::{FlatIndex, Precision, VectorIndex};
+use mlake_index::{FlatIndex, Precision, ShardedIndex, VectorIndex};
 use mlake_tensor::{Matrix, Pcg64};
 use mlake_wal::{SyncPolicy, Wal, WalOptions};
 use std::time::Instant;
@@ -34,6 +40,7 @@ use std::time::Instant;
 const DEFAULT_BUDGET_MS: f64 = 17.4;
 const DEFAULT_SQ8_BUDGET_MS: f64 = 60.0;
 const DEFAULT_SQ8_RATIO: f64 = 1.3;
+const DEFAULT_SHARD_OPS: f64 = 200.0;
 const DEFAULT_WAL_OPS: f64 = 5_000.0;
 const DEFAULT_REPS: usize = 10;
 
@@ -120,6 +127,58 @@ fn guard_sq8_scan(reps: usize) -> bool {
     ok
 }
 
+fn guard_sharded(reps: usize) -> bool {
+    let floor_ops: f64 = env_or("MLAKE_BENCH_GUARD_SHARD_OPS", DEFAULT_SHARD_OPS);
+    let (n, dim, k, shards) = (20_000, 64, 10, 4);
+    let items: Vec<(u64, Vec<f32>)> = embeddings(n, dim, 31)
+        .into_iter()
+        .enumerate()
+        .map(|(i, v)| (i as u64, v))
+        .collect();
+    let queries = embeddings(32, dim, 77);
+    let mut single = FlatIndex::new();
+    single.insert_batch(&items).expect("insert single");
+    let mut sharded = ShardedIndex::new(shards, FlatIndex::new);
+    sharded.insert_batch(&items).expect("insert sharded");
+
+    // Merge invariant at equal precision: the scatter-gather answer must
+    // be bit-identical to the single-shard scan — same ids, same distance
+    // bits, every query.
+    let want = single.search_many(&queries, k).expect("single scan");
+    let got = sharded.search_many(&queries, k).expect("sharded scan");
+    for (q, (w, g)) in want.iter().zip(&got).enumerate() {
+        let identical = w.len() == g.len()
+            && w.iter().zip(g).all(|(wh, gh)| {
+                wh.id == gh.id && wh.distance.to_bits() == gh.distance.to_bits()
+            });
+        if !identical {
+            eprintln!(
+                "bench_guard: FAIL — {shards}-shard merged top-{k} diverges from the \
+                 single-shard scan on query {q}; the merge invariant is broken"
+            );
+            return false;
+        }
+    }
+
+    let best_ms = best_of_ms(reps, || {
+        std::hint::black_box(sharded.search_many(&queries, k).expect("sharded scan"));
+    });
+    let ops = queries.len() as f64 / (best_ms / 1e3);
+    println!(
+        "bench_guard: sharded scatter-gather {n}x{dim}, {shards} shards, 32 queries, k={k}, \
+         best-of-{reps} = {best_ms:.2}ms ({ops:.0} queries/s, floor {floor_ops:.0}), \
+         merge bit-identical to single shard"
+    );
+    if ops < floor_ops {
+        eprintln!(
+            "bench_guard: FAIL — sharded scatter-gather {ops:.0} queries/s is below the \
+             {floor_ops:.0} queries/s floor; the scatter-gather path has regressed"
+        );
+        return false;
+    }
+    true
+}
+
 fn guard_wal_append(reps: usize) -> bool {
     let floor_ops: f64 = env_or("MLAKE_BENCH_GUARD_WAL_OPS", DEFAULT_WAL_OPS);
     let (n, payload) = (4_096usize, [0x5au8; 256]);
@@ -155,7 +214,8 @@ fn guard_wal_append(reps: usize) -> bool {
 
 fn main() {
     let reps: usize = env_or("MLAKE_GUARD_REPS", DEFAULT_REPS).max(1);
-    let ok = guard_matmul(reps) & guard_sq8_scan(reps) & guard_wal_append(reps);
+    let ok =
+        guard_matmul(reps) & guard_sq8_scan(reps) & guard_sharded(reps) & guard_wal_append(reps);
     if !ok {
         std::process::exit(1);
     }

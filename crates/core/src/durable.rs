@@ -91,11 +91,12 @@ impl ModelLake {
             Arc::clone(&vfs),
             0,
         )?;
-        lake.wal = Some(WalLink {
+        lake.shared_mut()?.wal = Some(WalLink {
             wal,
             dir: dir.to_path_buf(),
             vfs,
         });
+        lake.spawn_compactor()?;
         Ok(lake)
     }
 
@@ -110,20 +111,43 @@ impl ModelLake {
     /// A no-op on ephemeral lakes and under `SyncPolicy::Always`.
     pub fn sync(&self) -> Result<()> {
         let _span = mlake_obs::span("lake.sync");
-        if let Some(link) = &self.wal {
+        if let Some(link) = &self.shared.wal {
             link.wal.sync()?;
         }
         Ok(())
     }
 
     fn wal_append_op(&self, op: &WalOp) -> Result<()> {
-        let Some(link) = &self.wal else {
+        let Some(link) = &self.shared.wal else {
             return Ok(());
         };
         let payload = serde_json::to_vec(op)
             .map_err(|e| LakeError::Internal(format!("wal op encode: {e}")))?;
         link.wal.append(&payload)?;
+        self.maybe_request_compaction(link);
         Ok(())
+    }
+
+    /// The write-side compaction trigger (DESIGN.md §13): after each WAL
+    /// append, schedule a background compaction once the live WAL
+    /// footprint or the sealed-segment backlog crosses the configured
+    /// [`crate::lake::CompactionPolicy`] threshold. Pure accounting reads
+    /// plus a condvar signal — the appending caller never pays the
+    /// snapshot cost. Called under the `op_lock`; the compactor state
+    /// lock ranks strictly below it (DESIGN.md §10).
+    // lint: no-span — per-append accounting check; the scheduled work
+    // opens its own compact.bg span
+    fn maybe_request_compaction(&self, link: &WalLink) {
+        let (Some(policy), Some(compactor)) = (&self.shared.config.compaction, &self.compactor)
+        else {
+            return;
+        };
+        let by_bytes = policy.wal_bytes > 0 && link.wal.live_bytes() >= policy.wal_bytes;
+        let by_segments =
+            policy.wal_segments > 0 && link.wal.sealed_count() >= policy.wal_segments;
+        if by_bytes || by_segments {
+            compactor.request();
+        }
     }
 
     /// Durable half of ingestion: writes the artifact blob atomically,
@@ -135,7 +159,7 @@ impl ModelLake {
         bytes: &[u8],
         card: &ModelCard,
     ) -> Result<()> {
-        let Some(link) = &self.wal else {
+        let Some(link) = &self.shared.wal else {
             return Ok(());
         };
         let blob_dir = link.dir.join("blobs");
@@ -200,7 +224,7 @@ impl ModelLake {
                          with existing artifact"
                     )));
                 }
-                let bytes = self.store.get(&digest)?;
+                let bytes = self.shared.store.get(&digest)?;
                 let model = Model::from_bytes(&bytes)
                     .map_err(|e| LakeError::CorruptArtifact(e.to_string()))?;
                 let fps = self.compute_fingerprints(&model)?;

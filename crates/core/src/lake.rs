@@ -19,12 +19,38 @@ use mlake_cards::{
     {verify_card, CardEvidence, VerificationReport},
 };
 use mlake_fingerprint::{extrinsic::ProbeSet, FingerprintKind, Fingerprinter};
-use mlake_index::{HnswConfig, HnswIndex, VectorIndex};
+use mlake_index::{HnswConfig, HnswIndex, ShardedIndex, VectorIndex};
 use mlake_nn::Model;
 use mlake_query::{execute, parse, FieldValue, QueryError, QueryHit, QueryTarget};
 use mlake_versioning::{recover_graph, RecoveredGraph, RecoveryOptions};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::Arc;
+
+/// When background compaction runs (DESIGN.md §13). Attached to a durable
+/// lake via [`LakeConfigBuilder::background_compaction`]; after every WAL
+/// append the lake checks these thresholds and, when either is crossed,
+/// schedules a snapshot + WAL compaction on the background compactor
+/// thread instead of the caller's. A threshold of 0 disables that trigger;
+/// at least one must be positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionPolicy {
+    /// Compact once the WAL's live on-disk footprint reaches this many
+    /// bytes (0 = never trigger on size).
+    pub wal_bytes: u64,
+    /// Compact once this many sealed WAL segments await collection
+    /// (0 = never trigger on segment count).
+    pub wal_segments: usize,
+}
+
+impl Default for CompactionPolicy {
+    fn default() -> Self {
+        CompactionPolicy {
+            wal_bytes: 4 * 1024 * 1024,
+            wal_segments: 4,
+        }
+    }
+}
 
 /// Lake configuration. Probe parameters must match the model population
 /// (feature dimension, vocabulary) — defaults align with
@@ -54,6 +80,15 @@ pub struct LakeConfig {
     /// fsyncs every mutation; [`mlake_wal::SyncPolicy::Batch`] group-
     /// commits every N mutations.
     pub wal_sync: mlake_wal::SyncPolicy,
+    /// Number of sub-shards each fingerprint index is partitioned into
+    /// (power of two, 1..=256). The default 1 is exactly the unsharded
+    /// behavior; with N > 1 vectors route by model digest and searches
+    /// scatter-gather over the shards (DESIGN.md §13).
+    pub shards: usize,
+    /// Background compaction trigger policy for durable lakes (`None`
+    /// keeps compaction explicit via [`ModelLake::persist`]). Ignored by
+    /// ephemeral in-memory lakes, which have nothing to compact.
+    pub compaction: Option<CompactionPolicy>,
 }
 
 impl Default for LakeConfig {
@@ -67,6 +102,8 @@ impl Default for LakeConfig {
             hnsw: HnswConfig::default(),
             query_cache: 128,
             wal_sync: mlake_wal::SyncPolicy::Always,
+            shards: 1,
+            compaction: None,
         }
     }
 }
@@ -139,6 +176,20 @@ impl LakeConfigBuilder {
         self
     }
 
+    /// Number of sub-shards per fingerprint index (power of two,
+    /// 1..=256). 1 — the default — is exactly the unsharded path.
+    pub fn shards(mut self, shards: usize) -> Self {
+        self.config.shards = shards;
+        self
+    }
+
+    /// Enables background WAL compaction under `policy` on durable lakes
+    /// (DESIGN.md §13).
+    pub fn background_compaction(mut self, policy: CompactionPolicy) -> Self {
+        self.config.compaction = Some(policy);
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<LakeConfig> {
         let c = &self.config;
@@ -176,32 +227,63 @@ impl LakeConfigBuilder {
                 "hnsw ef_construction and ef_search must be positive".into(),
             ));
         }
+        if c.shards == 0 || !c.shards.is_power_of_two() || c.shards > 256 {
+            return Err(LakeError::Config(format!(
+                "shards must be a power of two in 1..=256, got {}",
+                c.shards
+            )));
+        }
+        if let Some(p) = &c.compaction {
+            if p.wal_bytes == 0 && p.wal_segments == 0 {
+                return Err(LakeError::Config(
+                    "background compaction needs a positive wal_bytes or \
+                     wal_segments threshold"
+                        .into(),
+                ));
+            }
+        }
         Ok(self.config)
     }
 }
 
-/// The model lake.
-pub struct ModelLake {
-    config: LakeConfig,
+/// State shared between the lake facade and the background compactor
+/// thread (DESIGN.md §13): exactly what a snapshot cut needs — the
+/// configuration, the blob store, the registry, the event log, the
+/// durability link and the op lock that makes the cut consistent.
+/// Derived state (fingerprint indexes, version graph, caches) stays on
+/// [`ModelLake`]: compaction never touches it.
+pub(crate) struct LakeShared {
+    pub(crate) config: LakeConfig,
     pub(crate) store: InMemoryStore,
-    registry: RwLock<Registry>,
-    fingerprinter: Fingerprinter,
-    indexes: RwLock<HashMap<FingerprintKind, HnswIndex>>,
-    events: RwLock<EventLog>,
-    graph: RwLock<Option<RecoveredGraph>>,
-    score_cache: RwLock<HashMap<(u64, String), Score>>,
-    /// `similar()` results keyed by (query digest, k, event generation).
-    similar_cache: QueryCache<Vec<(ModelId, f32)>>,
-    /// MLQL execution results keyed the same way (k = 0).
-    mlql_cache: QueryCache<Vec<QueryHit>>,
+    pub(crate) registry: RwLock<Registry>,
+    pub(crate) events: RwLock<EventLog>,
     /// Durability link (`None` for ephemeral in-memory lakes): the WAL
     /// every mutating facade op appends to before touching state above.
     /// See `crate::durable` and DESIGN.md §12.
     pub(crate) wal: Option<crate::durable::WalLink>,
     /// Serializes mutating facade ops so WAL append order always equals
     /// in-memory apply order (replay must reproduce state exactly).
-    /// Read paths never take it.
+    /// Read paths never take it. Lock order: `op_lock` is taken strictly
+    /// before the compactor's state lock (DESIGN.md §10).
     pub(crate) op_lock: parking_lot::Mutex<()>,
+}
+
+/// The model lake.
+pub struct ModelLake {
+    /// Snapshot-relevant state, shared with the compactor thread.
+    pub(crate) shared: Arc<LakeShared>,
+    fingerprinter: Fingerprinter,
+    indexes: RwLock<HashMap<FingerprintKind, ShardedIndex<HnswIndex>>>,
+    graph: RwLock<Option<RecoveredGraph>>,
+    score_cache: RwLock<HashMap<(u64, String), Score>>,
+    /// `similar()` results keyed by (query digest, k, event generation).
+    similar_cache: QueryCache<Vec<(ModelId, f32)>>,
+    /// MLQL execution results keyed the same way (k = 0).
+    mlql_cache: QueryCache<Vec<QueryHit>>,
+    /// Background compaction thread, when the lake is durable and the
+    /// config carries a [`CompactionPolicy`]. Spawned last during
+    /// create/open; joined on drop.
+    pub(crate) compactor: Option<crate::compact::Compactor>,
 }
 
 impl ModelLake {
@@ -222,35 +304,62 @@ impl ModelLake {
         let fingerprinter = Fingerprinter::new(config.sketch_dim, config.seed, probes);
         let mut indexes = HashMap::new();
         for kind in FingerprintKind::ALL {
-            indexes.insert(kind, HnswIndex::new(config.hnsw));
+            indexes.insert(
+                kind,
+                ShardedIndex::new(config.shards, || HnswIndex::new(config.hnsw))
+                    .with_rescore_factor(config.hnsw.rescore_factor),
+            );
         }
         let config_cache = config.query_cache;
         ModelLake {
-            config,
-            store: InMemoryStore::new(),
-            registry: RwLock::new(Registry::default()),
+            shared: Arc::new(LakeShared {
+                config,
+                store: InMemoryStore::new(),
+                registry: RwLock::new(Registry::default()),
+                events: RwLock::new(EventLog::new()),
+                wal: None,
+                op_lock: parking_lot::Mutex::new(()),
+            }),
             fingerprinter,
             indexes: RwLock::new(indexes),
-            events: RwLock::new(EventLog::new()),
             graph: RwLock::new(None),
             score_cache: RwLock::new(HashMap::new()),
             similar_cache: QueryCache::new(config_cache),
             mlql_cache: QueryCache::new(config_cache),
-            wal: None,
-            op_lock: parking_lot::Mutex::new(()),
+            compactor: None,
         }
+    }
+
+    /// Exclusive access to the shared state during setup (create/open),
+    /// before any clone of the `Arc` exists. Fails — instead of blocking
+    /// or panicking — if called after the compactor thread holds a clone.
+    pub(crate) fn shared_mut(&mut self) -> Result<&mut LakeShared> {
+        Arc::get_mut(&mut self.shared).ok_or_else(|| {
+            LakeError::Internal("lake shared state is aliased; setup mutation refused".into())
+        })
+    }
+
+    /// Starts the background compactor when the configuration asks for
+    /// one. Called at the end of durable create/open, after the WAL link
+    /// is installed — the compactor clones the shared `Arc`, so no
+    /// [`ModelLake::shared_mut`] setup mutation may follow.
+    pub(crate) fn spawn_compactor(&mut self) -> Result<()> {
+        if self.shared.config.compaction.is_some() && self.shared.wal.is_some() {
+            self.compactor = Some(crate::compact::Compactor::spawn(Arc::clone(&self.shared))?);
+        }
+        Ok(())
     }
 
     /// Whether mutations are backed by a write-ahead log on disk.
     // lint: no-span — trivial accessor
     pub fn is_durable(&self) -> bool {
-        self.wal.is_some()
+        self.shared.wal.is_some()
     }
 
     /// The lake's configuration.
     // lint: no-span — trivial accessor
     pub fn config(&self) -> &LakeConfig {
-        &self.config
+        &self.shared.config
     }
 
     /// The shared probe set / fingerprinter.
@@ -262,7 +371,7 @@ impl ModelLake {
     /// Number of models in the lake.
     // lint: no-span — trivial accessor
     pub fn len(&self) -> usize {
-        self.registry.read().models.len()
+        self.shared.registry.read().models.len()
     }
 
     /// `true` when no models are stored.
@@ -287,9 +396,9 @@ impl ModelLake {
         card: Option<ModelCard>,
     ) -> Result<ModelId> {
         let _span = mlake_obs::span("lake.ingest");
-        let _op = self.op_lock.lock();
+        let _op = self.shared.op_lock.lock();
         {
-            let reg = self.registry.read();
+            let reg = self.shared.registry.read();
             if reg.by_name.contains_key(name) {
                 return Err(LakeError::Duplicate {
                     kind: "model",
@@ -303,7 +412,7 @@ impl ModelLake {
             )));
         }
         let bytes = model.to_bytes();
-        let digest = self.store.put(&bytes);
+        let digest = self.shared.store.put(&bytes);
         let card =
             card.unwrap_or_else(|| ModelCard::skeleton(name, model.architecture().signature()));
         // Everything fallible runs before the WAL append so a logged op
@@ -334,9 +443,14 @@ impl ModelLake {
     ) -> Result<ModelId> {
         let arch = model.architecture().signature();
         let [intrinsic, extrinsic, hybrid] = fps;
-        let mut reg = self.registry.write();
+        let mut reg = self.shared.registry.write();
         let id = ModelId(reg.models.len() as u64);
         {
+            // Vectors route to sub-shards by artifact digest, not by the
+            // lake-local id: the digest is a pure function of content, so
+            // WAL replay and snapshot reload route every model to the same
+            // shard and searches stay bit-identical across restarts.
+            let route = digest.route_key();
             let mut idx = self.indexes.write();
             for (kind, fp) in [
                 (FingerprintKind::Intrinsic, &intrinsic),
@@ -347,7 +461,7 @@ impl ModelLake {
                     .ok_or_else(|| {
                         LakeError::Internal(format!("fingerprint index {kind:?} missing"))
                     })?
-                    .insert(id.0, fp)?;
+                    .insert_by_key(route, id.0, fp)?;
             }
         }
         let tags = card.task_tags.clone();
@@ -363,7 +477,7 @@ impl ModelLake {
         reg.by_name.insert(name.into(), id);
         drop(reg);
         {
-            let mut ev = self.events.write();
+            let mut ev = self.shared.events.write();
             ev.append(EventKind::ModelIngested, name);
             ev.append(EventKind::CardUpdated, name);
         }
@@ -379,7 +493,7 @@ impl ModelLake {
     // would dominate the recorder with noise
     pub fn resolve<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<ModelId> {
         let r = model.into();
-        let reg = self.registry.read();
+        let reg = self.shared.registry.read();
         let found = match r {
             ModelRef::Id(id) => reg.model(id).map(|e| e.id),
             ModelRef::Name(name) => reg.id_of(name),
@@ -396,7 +510,7 @@ impl ModelLake {
         let _span = mlake_obs::span("lake.model.decode");
         let id = self.resolve(model)?;
         let digest = {
-            let reg = self.registry.read();
+            let reg = self.shared.registry.read();
             reg.model(id)
                 .ok_or_else(|| LakeError::NotFound {
                     kind: "model",
@@ -404,7 +518,7 @@ impl ModelLake {
                 })?
                 .digest
         };
-        let bytes = self.store.get(&digest)?;
+        let bytes = self.shared.store.get(&digest)?;
         Model::from_bytes(&bytes).map_err(|e| LakeError::CorruptArtifact(e.to_string()))
     }
 
@@ -412,7 +526,7 @@ impl ModelLake {
     // lint: no-span — cheap registry clone on every read path
     pub fn entry<'a>(&self, model: impl Into<ModelRef<'a>>) -> Result<ModelEntry> {
         let id = self.resolve(model)?;
-        self.registry
+        self.shared.registry
             .read()
             .model(id)
             .cloned()
@@ -425,7 +539,7 @@ impl ModelLake {
     /// All model names in id order.
     // lint: no-span — trivial accessor
     pub fn model_names(&self) -> Vec<String> {
-        self.registry
+        self.shared.registry
             .read()
             .models
             .iter()
@@ -436,8 +550,8 @@ impl ModelLake {
     /// Replaces a model's card.
     pub fn update_card(&self, id: ModelId, card: ModelCard) -> Result<()> {
         let _span = mlake_obs::span("lake.card.update");
-        let _op = self.op_lock.lock();
-        if self.registry.read().model(id).is_none() {
+        let _op = self.shared.op_lock.lock();
+        if self.shared.registry.read().model(id).is_none() {
             return Err(LakeError::NotFound {
                 kind: "model",
                 name: id.to_string(),
@@ -449,7 +563,7 @@ impl ModelLake {
 
     /// In-memory half of [`ModelLake::update_card`] (shared with replay).
     pub(crate) fn apply_update_card(&self, id: ModelId, card: ModelCard) -> Result<()> {
-        let mut reg = self.registry.write();
+        let mut reg = self.shared.registry.write();
         let entry = reg.model_mut(id).ok_or_else(|| LakeError::NotFound {
             kind: "model",
             name: id.to_string(),
@@ -458,15 +572,16 @@ impl ModelLake {
         let name = entry.name.clone();
         entry.card = card;
         drop(reg);
-        self.events.write().append(EventKind::CardUpdated, name);
+        self.shared.events.write().append(EventKind::CardUpdated, name);
         Ok(())
     }
 
     /// Registers a dataset (names unique).
     pub fn register_dataset(&self, dataset: mlake_datagen::Dataset) -> Result<()> {
         let _span = mlake_obs::span("lake.register.dataset");
-        let _op = self.op_lock.lock();
+        let _op = self.shared.op_lock.lock();
         if self
+            .shared
             .registry
             .read()
             .datasets
@@ -485,11 +600,11 @@ impl ModelLake {
     /// In-memory half of [`ModelLake::register_dataset`] (shared with
     /// replay and snapshot load).
     pub(crate) fn apply_register_dataset(&self, dataset: mlake_datagen::Dataset) -> Result<()> {
-        let mut reg = self.registry.write();
+        let mut reg = self.shared.registry.write();
         let name = dataset.name.clone();
         reg.datasets.push(dataset);
         drop(reg);
-        self.events
+        self.shared.events
             .write()
             .append(EventKind::DatasetRegistered, name);
         Ok(())
@@ -498,8 +613,8 @@ impl ModelLake {
     /// Registers a benchmark with an optional domain label (names unique).
     pub fn register_benchmark(&self, benchmark: Benchmark, domain: Option<String>) -> Result<()> {
         let _span = mlake_obs::span("lake.register.benchmark");
-        let _op = self.op_lock.lock();
-        if self.registry.read().benchmarks.contains_key(&benchmark.name) {
+        let _op = self.shared.op_lock.lock();
+        if self.shared.registry.read().benchmarks.contains_key(&benchmark.name) {
             return Err(LakeError::Duplicate {
                 kind: "benchmark",
                 name: benchmark.name,
@@ -516,12 +631,12 @@ impl ModelLake {
         benchmark: Benchmark,
         domain: Option<String>,
     ) -> Result<()> {
-        let mut reg = self.registry.write();
+        let mut reg = self.shared.registry.write();
         let name = benchmark.name.clone();
         reg.benchmarks
             .insert(name.clone(), BenchmarkEntry { benchmark, domain });
         drop(reg);
-        self.events
+        self.shared.events
             .write()
             .append(EventKind::BenchmarkRegistered, name);
         Ok(())
@@ -530,7 +645,7 @@ impl ModelLake {
     /// Names of registered benchmarks.
     // lint: no-span — trivial accessor
     pub fn benchmark_names(&self) -> Vec<String> {
-        let mut names: Vec<String> = self.registry.read().benchmarks.keys().cloned().collect();
+        let mut names: Vec<String> = self.shared.registry.read().benchmarks.keys().cloned().collect();
         names.sort();
         names
     }
@@ -553,10 +668,20 @@ impl ModelLake {
         // Cache key: canonical query text digested, k, and the event-log
         // head as generation — any lake mutation bumps the head, so stale
         // results are unreachable by construction (see `crate::cache`).
+        // The shard count is part of the text: results from differently-
+        // sharded layouts are never interchangeable, even at identical
+        // generations (approximate inner indexes partition their beams
+        // differently per shard count).
         let key = CacheKey {
-            digest: sha256(format!("similar|{kind:?}|{}", id.0).as_bytes()),
+            digest: sha256(
+                format!(
+                    "similar|{kind:?}|{}|shards={}",
+                    id.0, self.shared.config.shards
+                )
+                .as_bytes(),
+            ),
             k: k as u64,
-            generation: self.events.read().head(),
+            generation: self.shared.events.read().head(),
         };
         if let Some(hits) = self.similar_cache.get(&key) {
             return Ok(hits);
@@ -589,7 +714,7 @@ impl ModelLake {
         known_roots: Option<Vec<ModelId>>,
     ) -> Result<RecoveredGraph> {
         let _span = mlake_obs::span("lake.graph.rebuild");
-        let _op = self.op_lock.lock();
+        let _op = self.shared.op_lock.lock();
         let n = self.len();
         let mut models = Vec::with_capacity(n);
         for i in 0..n {
@@ -602,7 +727,7 @@ impl ModelLake {
         let graph = recover_graph(&models, Some(&self.fingerprinter.probes), &opts);
         self.wal_graph_rebuilt()?;
         *self.graph.write() = Some(graph.clone());
-        self.events.write().append(EventKind::GraphRebuilt, "*");
+        self.shared.events.write().append(EventKind::GraphRebuilt, "*");
         Ok(graph)
     }
 
@@ -611,7 +736,7 @@ impl ModelLake {
     /// derived state and recomputes deterministically on next use.
     pub(crate) fn apply_graph_rebuilt(&self) {
         *self.graph.write() = None;
-        self.events.write().append(EventKind::GraphRebuilt, "*");
+        self.shared.events.write().append(EventKind::GraphRebuilt, "*");
     }
 
     /// The current version graph (rebuilding blind if stale/absent).
@@ -638,7 +763,7 @@ impl ModelLake {
             }
         }
         path.reverse();
-        let reg = self.registry.read();
+        let reg = self.shared.registry.read();
         Ok(path
             .into_iter()
             .filter_map(|i| reg.model(ModelId(i as u64)).map(|m| m.name.clone()))
@@ -657,7 +782,7 @@ impl ModelLake {
             return Ok(s.clone());
         }
         let bench = {
-            let reg = self.registry.read();
+            let reg = self.shared.registry.read();
             reg.benchmarks
                 .get(benchmark)
                 .ok_or_else(|| LakeError::NotFound {
@@ -679,7 +804,7 @@ impl ModelLake {
     pub fn leaderboard(&self, benchmark: &str) -> Result<Leaderboard> {
         let _span = mlake_obs::span("lake.leaderboard");
         let bench = {
-            let reg = self.registry.read();
+            let reg = self.shared.registry.read();
             reg.benchmarks
                 .get(benchmark)
                 .ok_or_else(|| LakeError::NotFound {
@@ -719,7 +844,7 @@ impl ModelLake {
         let mut best_domain: Option<(String, f32)> = None;
         for name in &bench_names {
             let (applicable, domain) = {
-                let reg = self.registry.read();
+                let reg = self.shared.registry.read();
                 let e = &reg.benchmarks[name];
                 (e.benchmark.applicable(&model), e.domain.clone())
             };
@@ -741,7 +866,7 @@ impl ModelLake {
         }
         let graph = self.version_graph()?;
         let (recovered_base, recovered_transform) = {
-            let reg = self.registry.read();
+            let reg = self.shared.registry.read();
             match graph.edges.iter().find(|e| e.child == id.0 as usize) {
                 Some(e) => (
                     reg.model(ModelId(e.parent as u64)).map(|m| m.name.clone()),
@@ -786,10 +911,10 @@ impl ModelLake {
         });
         card.notes = format!(
             "Auto-generated by {} from measured evidence; artifact {}.",
-            self.config.name,
+            self.shared.config.name,
             entry.digest.short()
         );
-        card.created_at = self.events.read().head();
+        card.created_at = self.shared.events.read().head();
         Ok(card)
     }
 
@@ -823,8 +948,8 @@ impl ModelLake {
         Ok(Citation {
             model_name: entry.name,
             version_path,
-            graph_timestamp: self.events.read().graph_timestamp(),
-            lake_name: self.config.name.clone(),
+            graph_timestamp: self.shared.events.read().graph_timestamp(),
+            lake_name: self.shared.config.name.clone(),
         })
     }
 
@@ -854,19 +979,50 @@ impl ModelLake {
     /// Current graph timestamp (for citation stability tests).
     // lint: no-span — trivial accessor
     pub fn graph_timestamp(&self) -> u64 {
-        self.events.read().graph_timestamp()
+        self.shared.events.read().graph_timestamp()
     }
 
     /// Event-log snapshot.
     // lint: no-span — trivial accessor
     pub fn events(&self) -> Vec<crate::event::Event> {
-        self.events.read().events().to_vec()
+        self.shared.events.read().events().to_vec()
     }
 
     // ------------------------------------------------------------------
     // Persistence plumbing (crate-internal; see `persist` module)
     // ------------------------------------------------------------------
 
+    pub(crate) fn restore_event_log(&self, log: EventLog) {
+        *self.shared.events.write() = log;
+    }
+
+    /// Blocks until any scheduled background compaction has finished.
+    /// A no-op on lakes without a [`CompactionPolicy`]. Tests and
+    /// orderly shutdown paths call this to make `compact.bg` effects
+    /// observable at a deterministic point; normal operation never needs
+    /// to.
+    // lint: no-span — pure synchronization wait; the compaction being
+    // waited on opens its own compact.bg span
+    pub fn quiesce(&self) {
+        if let Some(c) = &self.compactor {
+            c.wait_idle();
+        }
+    }
+}
+
+impl Drop for ModelLake {
+    // lint: no-span — teardown; the recorder may already be gone
+    fn drop(&mut self) {
+        // Stop the compactor before the lake's own state unwinds; its
+        // Arc<LakeShared> clone keeps the shared state alive until the
+        // thread joins.
+        if let Some(c) = self.compactor.take() {
+            c.shutdown();
+        }
+    }
+}
+
+impl LakeShared {
     pub(crate) fn datasets_snapshot(&self) -> Vec<mlake_datagen::Dataset> {
         self.registry.read().datasets.clone()
     }
@@ -884,10 +1040,6 @@ impl ModelLake {
 
     pub(crate) fn event_log_snapshot(&self) -> EventLog {
         self.events.read().clone()
-    }
-
-    pub(crate) fn restore_event_log(&self, log: EventLog) {
-        *self.events.write() = log;
     }
 }
 
@@ -920,9 +1072,14 @@ impl PreparedQuery<'_> {
     pub fn run(&self) -> Result<Vec<QueryHit>> {
         let _span = mlake_obs::span("lake.query.run");
         let key = CacheKey {
-            digest: sha256(format!("mlql|{}", self.text).as_bytes()),
+            // Shard count in the key for the same reason as `similar()`:
+            // scan stages fan out per shard, so layouts are not
+            // interchangeable cache-wise.
+            digest: sha256(
+                format!("mlql|shards={}|{}", self.lake.shared.config.shards, self.text).as_bytes(),
+            ),
             k: 0,
-            generation: self.lake.events.read().head(),
+            generation: self.lake.shared.events.read().head(),
         };
         if let Some(hits) = self.lake.mlql_cache.get(&key) {
             return Ok(hits);
@@ -957,7 +1114,7 @@ impl QueryTarget for ModelLake {
     }
 
     fn field(&self, id: u64, field: &str) -> Option<FieldValue> {
-        let reg = self.registry.read();
+        let reg = self.shared.registry.read();
         let entry = reg.model(ModelId(id))?;
         if let Some(bench) = field.strip_prefix("score:") {
             // Benchmarks may be expensive; rely on the cache, computing on
@@ -1032,7 +1189,7 @@ impl QueryTarget for ModelLake {
         dataset: &str,
         include_versions: bool,
     ) -> std::result::Result<Vec<u64>, QueryError> {
-        let reg = self.registry.read();
+        let reg = self.shared.registry.read();
         let names: Vec<String> = if include_versions {
             reg.dataset_version_closure(dataset)
                 .iter()

@@ -28,6 +28,7 @@
 //! ```
 
 mod cache;
+mod compact;
 mod durable;
 
 pub mod error;
@@ -40,5 +41,5 @@ pub mod registry;
 pub mod store;
 
 pub use error::LakeError;
-pub use lake::{LakeConfig, LakeConfigBuilder, ModelLake, PreparedQuery};
+pub use lake::{CompactionPolicy, LakeConfig, LakeConfigBuilder, ModelLake, PreparedQuery};
 pub use registry::{ModelId, ModelRef};

@@ -24,8 +24,8 @@ use crate::durable::{WalLink, WalOp};
 use crate::error::{LakeError, Result};
 use crate::event::EventLog;
 use crate::hash::Digest;
-use crate::lake::{LakeConfig, ModelLake};
-use crate::registry::ModelId;
+use crate::lake::{LakeConfig, LakeShared, ModelLake};
+
 use crate::store::BlobStore;
 use mlake_benchlab::Benchmark;
 use mlake_cards::ModelCard;
@@ -67,61 +67,75 @@ struct ManifestModel {
 /// high-water mark); v1 manifests still open, with replay starting at 0.
 pub const MANIFEST_VERSION: u32 = 2;
 
+/// The snapshot + compaction body shared by the explicit
+/// [`ModelLake::persist`] path and the background compactor
+/// (`crate::compact`): one consistent cut of the shared state under the
+/// `op_lock`, written atomically, then the covered WAL prefix dropped.
+/// Operating on [`LakeShared`] rather than the facade is what lets the
+/// compactor thread run it without borrowing the lake.
+pub(crate) fn persist_shared(shared: &LakeShared, dir: &Path, vfs: &Arc<dyn Vfs>) -> Result<()> {
+    let _span = mlake_obs::span("lake.persist");
+    // Hold the op lock so the snapshot and its last_lsn are one
+    // consistent cut of the lake.
+    let _op = shared.op_lock.lock();
+    vfs.create_dir_all(dir)?;
+    shared.store.persist_dir_atomic(&dir.join("blobs"), vfs)?;
+    let models: Vec<ManifestModel> = {
+        let reg = shared.registry.read();
+        reg.models
+            .iter()
+            .map(|entry| ManifestModel {
+                name: entry.name.clone(),
+                digest: entry.digest.to_hex(),
+                card: entry.card.clone(),
+            })
+            .collect()
+    };
+    let last_lsn = shared.wal.as_ref().map_or(0, |l| l.wal.head());
+    let manifest = Manifest {
+        version: MANIFEST_VERSION,
+        name: shared.config.name.clone(),
+        models,
+        datasets: shared.datasets_snapshot(),
+        benchmarks: shared.benchmarks_snapshot(),
+        events: shared.event_log_snapshot(),
+        last_lsn,
+    };
+    let json = serde_json::to_vec_pretty(&manifest)
+        .map_err(|e| LakeError::CorruptArtifact(format!("manifest encode: {e}")))?;
+    vfs.write_atomic(&dir.join("manifest.json"), &json)?;
+    // Persisting into the attached directory makes the snapshot the
+    // new recovery base: compact the WAL prefix it covers.
+    if let Some(link) = &shared.wal {
+        if link.dir == dir {
+            link.wal.compact_to(last_lsn)?;
+        }
+    }
+    Ok(())
+}
+
 impl ModelLake {
     /// Persists the lake into `dir` (created if absent). On a durable lake
     /// persisting into its own directory this is a compaction: the WAL
     /// segments the new snapshot covers are deleted afterwards.
-    // lint: no-span — persist_with opens the lake.persist span
+    // lint: no-span — persist_shared opens the lake.persist span
     pub fn persist(&self, dir: &Path) -> Result<()> {
         let vfs = self
+            .shared
             .wal
             .as_ref()
             .map(|l| Arc::clone(&l.vfs))
             .unwrap_or_else(RealFs::shared);
-        self.persist_with(dir, &vfs)
+        persist_shared(&self.shared, dir, &vfs)
     }
 
     /// [`ModelLake::persist`] through an explicit [`Vfs`] (fault-injection
     /// tests crash mid-persist here). All files land atomically
     /// (temp-file + rename), so a crash leaves either the old snapshot or
     /// the new one, never a torn mix.
+    // lint: no-span — persist_shared opens the lake.persist span
     pub(crate) fn persist_with(&self, dir: &Path, vfs: &Arc<dyn Vfs>) -> Result<()> {
-        let _span = mlake_obs::span("lake.persist");
-        // Hold the op lock so the snapshot and its last_lsn are one
-        // consistent cut of the lake.
-        let _op = self.op_lock.lock();
-        vfs.create_dir_all(dir)?;
-        self.store.persist_dir_atomic(&dir.join("blobs"), vfs)?;
-        let mut models = Vec::with_capacity(self.len());
-        for i in 0..self.len() {
-            let entry = self.entry(ModelId(i as u64))?;
-            models.push(ManifestModel {
-                name: entry.name,
-                digest: entry.digest.to_hex(),
-                card: entry.card,
-            });
-        }
-        let last_lsn = self.wal.as_ref().map_or(0, |l| l.wal.head());
-        let manifest = Manifest {
-            version: MANIFEST_VERSION,
-            name: self.config().name.clone(),
-            models,
-            datasets: self.datasets_snapshot(),
-            benchmarks: self.benchmarks_snapshot(),
-            events: self.event_log_snapshot(),
-            last_lsn,
-        };
-        let json = serde_json::to_vec_pretty(&manifest)
-            .map_err(|e| LakeError::CorruptArtifact(format!("manifest encode: {e}")))?;
-        vfs.write_atomic(&dir.join("manifest.json"), &json)?;
-        // Persisting into the attached directory makes the snapshot the
-        // new recovery base: compact the WAL prefix it covers.
-        if let Some(link) = &self.wal {
-            if link.dir == dir {
-                link.wal.compact_to(last_lsn)?;
-            }
-        }
-        Ok(())
+        persist_shared(&self.shared, dir, vfs)
     }
 
     /// Opens a persisted lake: loads the snapshot (re-ingesting every
@@ -158,7 +172,7 @@ impl ModelLake {
         // The loaded blobs become the working set (replayed ingests
         // resolve their digests against it; re-ingesting below is an
         // idempotent content-addressed no-op).
-        lake.store = store;
+        lake.shared_mut()?.store = store;
         for ds in manifest.datasets {
             lake.register_dataset(ds)?;
         }
@@ -169,7 +183,7 @@ impl ModelLake {
             let digest = Digest::from_hex(&m.digest).ok_or_else(|| {
                 LakeError::CorruptArtifact(format!("bad digest for '{}'", m.name))
             })?;
-            let bytes = lake.store.get(&digest)?;
+            let bytes = lake.shared.store.get(&digest)?;
             let model = Model::from_bytes(&bytes)
                 .map_err(|e| LakeError::CorruptArtifact(e.to_string()))?;
             lake.ingest_model(&m.name, &model, Some(m.card))?;
@@ -190,11 +204,12 @@ impl ModelLake {
             })?;
             lake.apply_op(*lsn, op)?;
         }
-        lake.wal = Some(WalLink {
+        lake.shared_mut()?.wal = Some(WalLink {
             wal,
             dir: dir.to_path_buf(),
             vfs,
         });
+        lake.spawn_compactor()?;
         Ok(lake)
     }
 }
@@ -203,6 +218,7 @@ impl ModelLake {
 mod tests {
     use super::*;
     use crate::populate::{populate_from_ground_truth, CardPolicy};
+    use crate::registry::ModelId;
     use mlake_datagen::{generate_lake, LakeSpec};
 
     fn tmp(tag: &str) -> std::path::PathBuf {

@@ -1,0 +1,123 @@
+//! Background compaction (DESIGN.md §13): under sustained ingest with a
+//! [`CompactionPolicy`], the WAL compacts *without* any explicit
+//! `persist()` call, the work is observable (`compact.bg` spans /
+//! `compact.bg.runs` counter), and recovery after the fact is exact.
+
+use mlake_core::{CompactionPolicy, LakeConfig, ModelId, ModelLake};
+use mlake_datagen::{generate_lake, LakeSpec};
+
+fn tmp(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mlake-bgcompact-{tag}-{}", std::process::id()))
+}
+
+fn aggressive_policy() -> LakeConfig {
+    LakeConfig::builder()
+        .shards(4)
+        .background_compaction(CompactionPolicy {
+            wal_bytes: 1, // every append crosses the threshold
+            wal_segments: 0,
+        })
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn sustained_ingest_compacts_without_explicit_persist() {
+    let dir = tmp("ingest");
+    let _ = std::fs::remove_dir_all(&dir);
+    let gt = generate_lake(&LakeSpec::tiny(5));
+    let runs_before = mlake_obs::registry().snapshot().counter("compact.bg.runs");
+    {
+        let lake = ModelLake::create(&dir, aggressive_policy()).unwrap();
+        for (i, gm) in gt.models.iter().enumerate() {
+            lake.ingest_model(&format!("m{i}"), &gm.model, None).unwrap();
+        }
+        // No explicit persist() anywhere: the trigger alone must have
+        // scheduled compactions. Quiesce so the last one is finished.
+        lake.quiesce();
+        if mlake_obs::enabled() {
+            let runs_after = mlake_obs::registry().snapshot().counter("compact.bg.runs");
+            assert!(
+                runs_after > runs_before,
+                "background compactor never ran ({runs_before} -> {runs_after})"
+            );
+        }
+        // The snapshot the compactor wrote covers every acked ingest, so
+        // the manifest's high-water mark is positive and the covered WAL
+        // prefix is gone.
+        let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+        assert!(
+            manifest.contains("\"last_lsn\""),
+            "compactor must write a versioned manifest"
+        );
+    }
+    // Recovery after background compaction is exact.
+    let reopened = ModelLake::open(&dir, aggressive_policy()).unwrap();
+    assert_eq!(reopened.len(), gt.models.len());
+    for (i, gm) in gt.models.iter().enumerate() {
+        assert_eq!(
+            reopened.model(format!("m{i}").as_str()).unwrap().flat_params(),
+            gm.model.flat_params(),
+            "artifact {i} must survive bit-for-bit"
+        );
+    }
+    // Sharded search still answers on the recovered indexes.
+    let hits = reopened
+        .similar(ModelId(0), mlake_fingerprint::FingerprintKind::Hybrid, 3)
+        .unwrap();
+    assert!(!hits.is_empty());
+    drop(reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn segment_count_trigger_fires() {
+    let dir = tmp("segs");
+    let _ = std::fs::remove_dir_all(&dir);
+    let config = LakeConfig::builder()
+        .background_compaction(CompactionPolicy {
+            wal_bytes: 0,
+            wal_segments: 1, // any sealed segment backlog triggers
+        })
+        .build()
+        .unwrap();
+    let gt = generate_lake(&LakeSpec::tiny(4));
+    let lake = ModelLake::create(&dir, config.clone()).unwrap();
+    for (i, gm) in gt.models.iter().enumerate() {
+        lake.ingest_model(&format!("m{i}"), &gm.model, None).unwrap();
+    }
+    lake.quiesce();
+    drop(lake);
+    let reopened = ModelLake::open(&dir, config).unwrap();
+    assert_eq!(reopened.len(), gt.models.len());
+    drop(reopened);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn policy_is_inert_on_ephemeral_lakes() {
+    // An in-memory lake with a policy configured has no WAL and spawns no
+    // compactor; everything still works and quiesce() is a no-op.
+    let lake = ModelLake::new(aggressive_policy());
+    let gt = generate_lake(&LakeSpec::tiny(3));
+    for (i, gm) in gt.models.iter().enumerate() {
+        lake.ingest_model(&format!("m{i}"), &gm.model, None).unwrap();
+    }
+    lake.quiesce();
+    assert_eq!(lake.len(), gt.models.len());
+    assert!(!lake.is_durable());
+}
+
+#[test]
+fn builder_rejects_vacuous_policy() {
+    assert!(LakeConfig::builder()
+        .background_compaction(CompactionPolicy {
+            wal_bytes: 0,
+            wal_segments: 0,
+        })
+        .build()
+        .is_err());
+    assert!(LakeConfig::builder().shards(3).build().is_err());
+    assert!(LakeConfig::builder().shards(512).build().is_err());
+    assert!(LakeConfig::builder().shards(8).build().is_ok());
+}

@@ -102,12 +102,12 @@ fn lake_state(lake: &ModelLake) -> (Vec<mlake_core::event::Event>, Vec<(String, 
     (lake.events(), models)
 }
 
-/// Runs the script against a lake created through `fs`, returning how many
-/// ops were acknowledged (`Ok`) before the injected crash. `None` when the
-/// create itself died.
-fn drive(dir: &PathBuf, fs: &Arc<FailFs>) -> Option<usize> {
+/// Runs the script against a lake created through `fs` with `config`,
+/// returning how many ops were acknowledged (`Ok`) before the injected
+/// crash. `None` when the create itself died.
+fn drive_with(dir: &PathBuf, fs: &Arc<FailFs>, config: LakeConfig) -> Option<usize> {
     let vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(fs));
-    let lake = ModelLake::create_with(dir, LakeConfig::default(), vfs).ok()?;
+    let lake = ModelLake::create_with(dir, config, vfs).ok()?;
     let mut acked = 0;
     for i in 0..N_OPS {
         if apply_op(&lake, i).is_err() {
@@ -118,11 +118,22 @@ fn drive(dir: &PathBuf, fs: &Arc<FailFs>) -> Option<usize> {
     Some(acked)
 }
 
-/// After a crash with `acked` acknowledged ops, recovery must land on the
-/// reference state for `acked` or `acked + 1` ops (the in-flight op may
-/// have become durable), and reopening again must change nothing.
-fn check_recovered(dir: &PathBuf, acked: usize, refs: &[(Vec<mlake_core::event::Event>, Vec<(String, Vec<f32>)>)], label: &str) {
-    let rec = ModelLake::open(dir, LakeConfig::default())
+fn drive(dir: &PathBuf, fs: &Arc<FailFs>) -> Option<usize> {
+    drive_with(dir, fs, LakeConfig::default())
+}
+
+/// After a crash with `acked` acknowledged ops, recovery (under `config`)
+/// must land on the reference state for `acked` or `acked + 1` ops (the
+/// in-flight op may have become durable), and reopening again must change
+/// nothing.
+fn check_recovered_with(
+    dir: &PathBuf,
+    acked: usize,
+    refs: &[(Vec<mlake_core::event::Event>, Vec<(String, Vec<f32>)>)],
+    label: &str,
+    config: &LakeConfig,
+) {
+    let rec = ModelLake::open(dir, config.clone())
         .unwrap_or_else(|e| panic!("{label}: recovery failed after {acked} acked ops: {e}"));
     let got = lake_state(&rec);
     let matched = (acked..=(acked + 1).min(N_OPS)).find(|&m| refs[m] == got);
@@ -137,9 +148,13 @@ fn check_recovered(dir: &PathBuf, acked: usize, refs: &[(Vec<mlake_core::event::
     );
     drop(rec);
     // Idempotence: a second recovery run is bit-identical.
-    let again = ModelLake::open(dir, LakeConfig::default())
+    let again = ModelLake::open(dir, config.clone())
         .unwrap_or_else(|e| panic!("{label}: second recovery failed: {e}"));
     assert_eq!(lake_state(&again), got, "{label}: recovery is not idempotent");
+}
+
+fn check_recovered(dir: &PathBuf, acked: usize, refs: &[(Vec<mlake_core::event::Event>, Vec<(String, Vec<f32>)>)], label: &str) {
+    check_recovered_with(dir, acked, refs, label, &LakeConfig::default());
 }
 
 #[test]
@@ -200,6 +215,68 @@ fn kill_at_every_fsync_never_loses_an_acked_op() {
                 }
             }
             Some(acked) => check_recovered(&dir, acked, &refs, &format!("kill-sync {kill}")),
+        }
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}
+
+/// The sharded + background-compaction configuration exercised by the
+/// scatter-gather sweep below: four sub-shards per index and a compaction
+/// policy aggressive enough that the background thread persists after
+/// essentially every append.
+fn sharded_bg_config() -> LakeConfig {
+    LakeConfig::builder()
+        .shards(4)
+        .background_compaction(mlake_core::CompactionPolicy {
+            wal_bytes: 1,
+            wal_segments: 0,
+        })
+        .build()
+        .unwrap()
+}
+
+/// Same sweep as `kill_at_every_write_never_loses_an_acked_op`, but with
+/// sharded indexes and the background compactor racing the script for the
+/// write budget. The compactor consumes FailFs writes on its own schedule,
+/// so which thread hits a given kill point is nondeterministic — some kill
+/// points may even go unreached when compaction persists less than in the
+/// counting pass — which is why this sweep does **not** assert
+/// `fs.is_dead()`. The durability contract is unchanged: every acked op
+/// recovers bit-for-bit, at most one in-flight op appears, recovery is
+/// idempotent. Reference states are reused verbatim — shard count never
+/// affects events or model bytes.
+#[test]
+fn sharded_bg_compaction_kill_at_every_write_recovers_exactly() {
+    let refs = reference_states();
+    let dir = tmp("count-sb");
+    let _ = std::fs::remove_dir_all(&dir);
+    let fs = FailFs::counting();
+    assert_eq!(drive_with(&dir, &fs, sharded_bg_config()), Some(N_OPS));
+    let total_writes = fs.writes();
+    assert!(total_writes > 5, "script issues only {total_writes} writes");
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    for kill in 1..=total_writes {
+        let dir = tmp(&format!("ksb-{kill}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        let torn = [0usize, 1, 7][(kill % 3) as usize];
+        let fs = FailFs::kill_at_write(kill, torn);
+        let acked = drive_with(&dir, &fs, sharded_bg_config());
+        match acked {
+            None => {
+                if let Ok(rec) = ModelLake::open(&dir, sharded_bg_config()) {
+                    assert_eq!(lake_state(&rec), refs[0], "sb kill {kill}: partial create");
+                }
+            }
+            Some(acked) => {
+                check_recovered_with(
+                    &dir,
+                    acked,
+                    &refs,
+                    &format!("sharded-bg kill-write {kill}"),
+                    &sharded_bg_config(),
+                );
+            }
         }
         std::fs::remove_dir_all(&dir).unwrap();
     }

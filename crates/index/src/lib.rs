@@ -13,6 +13,10 @@
 //! * [`lsh::LshIndex`] — random-hyperplane locality-sensitive hashing, the
 //!   classical sublinear alternative.
 //!
+//! [`sharded::ShardedIndex`] composes any of them into `N` digest-routed
+//! sub-shards searched scatter-gather, so search cost scales with shard
+//! size and cores rather than lake size.
+//!
 //! All indexes use cosine distance over L2-normalised vectors, matching the
 //! fingerprint metric.
 
@@ -20,11 +24,13 @@ pub mod eval;
 pub mod flat;
 pub mod hnsw;
 pub mod lsh;
+pub mod sharded;
 
 pub use eval::recall_at_k;
 pub use flat::FlatIndex;
 pub use hnsw::{HnswConfig, HnswIndex};
 pub use lsh::{LshConfig, LshIndex};
+pub use sharded::ShardedIndex;
 
 use mlake_tensor::TensorError;
 

@@ -59,8 +59,22 @@ pub struct QueryHit {
     pub score: Option<f64>,
 }
 
+/// Candidate-pool size below which the metadata filter stays serial: the
+/// pool dispatch overhead only pays for itself once per-row field lookups
+/// amortize it.
+const PAR_FILTER_MIN_POOL: usize = 32;
+
 /// Executes `query` against `target`, returning ranked hits.
-pub fn execute(query: &Query, target: &dyn QueryTarget) -> Result<Vec<QueryHit>, QueryError> {
+///
+/// The metadata-filter stage is the executor's scan: on pools of at least
+/// [`PAR_FILTER_MIN_POOL`] candidates it fans out over the shared
+/// `mlake-par` pool in fixed index-ordered blocks. Filter evaluation is a
+/// pure predicate per row, so the kept set — and therefore the result —
+/// is bit-identical to the serial scan at every thread count.
+pub fn execute(
+    query: &Query,
+    target: &(dyn QueryTarget + Sync),
+) -> Result<Vec<QueryHit>, QueryError> {
     let _exec_span = mlake_obs::span("query.exec");
     // ---- access path: narrowest clause first --------------------------
     let mut similarity: std::collections::HashMap<u64, f32> = std::collections::HashMap::new();
@@ -82,20 +96,34 @@ pub fn execute(query: &Query, target: &dyn QueryTarget) -> Result<Vec<QueryHit>,
     }
     let pool = candidates.unwrap_or_else(|| target.all_models());
 
-    // ---- filter ---------------------------------------------------------
-    let mut hits: Vec<QueryHit> = Vec::new();
-    for id in pool {
-        if let Some(expr) = &query.filter {
-            if !eval(expr, id, target) {
-                continue;
-            }
+    // ---- filter (the scan stage) ------------------------------------
+    let mut hits: Vec<QueryHit> = match &query.filter {
+        Some(expr) if pool.len() >= PAR_FILTER_MIN_POOL => {
+            let _scan_span = mlake_obs::span("query.scan.par");
+            // One verdict per pool slot, in pool order; assembling the
+            // kept rows serially afterwards preserves the exact order a
+            // serial scan would produce.
+            let keep = mlake_par::par_map(&pool, |&id| eval(expr, id, target));
+            pool.iter()
+                .zip(keep)
+                .filter_map(|(&id, kept)| kept.then_some(id))
+                .map(|id| QueryHit {
+                    id,
+                    similarity: similarity.get(&id).copied(),
+                    score: None,
+                })
+                .collect()
         }
-        hits.push(QueryHit {
-            id,
-            similarity: similarity.get(&id).copied(),
-            score: None,
-        });
-    }
+        filter => pool
+            .iter()
+            .filter(|&&id| filter.as_ref().is_none_or(|expr| eval(expr, id, target)))
+            .map(|&id| QueryHit {
+                id,
+                similarity: similarity.get(&id).copied(),
+                score: None,
+            })
+            .collect(),
+    };
 
     // ---- order ------------------------------------------------------
     if let Some(order) = &query.order_by {
@@ -429,6 +457,66 @@ mod tests {
     #[test]
     fn unknown_field_never_matches() {
         assert!(run("FIND MODELS WHERE banana = 'yellow'").is_empty());
+    }
+
+    /// A target big enough to cross [`PAR_FILTER_MIN_POOL`], with fields
+    /// derived from the id so expected results are computable.
+    struct WideLake(usize);
+
+    impl QueryTarget for WideLake {
+        fn all_models(&self) -> Vec<u64> {
+            (0..self.0 as u64).collect()
+        }
+
+        fn field(&self, id: u64, field: &str) -> Option<FieldValue> {
+            match field {
+                "name" => Some(FieldValue::Str(format!("m{id:04}"))),
+                "domain" => Some(FieldValue::Str(
+                    ["legal", "medical", "news"][(id % 3) as usize].into(),
+                )),
+                "depth" => Some(FieldValue::Num((id % 7) as f64)),
+                _ => None,
+            }
+        }
+
+        fn similar_models(
+            &self,
+            model: &str,
+            _using: &str,
+            _k: usize,
+        ) -> Result<Vec<(u64, f32)>, QueryError> {
+            Err(QueryError::UnknownEntity {
+                kind: "model",
+                name: model.into(),
+            })
+        }
+
+        fn trained_on(&self, _: &str, _: bool) -> Result<Vec<u64>, QueryError> {
+            Ok(vec![])
+        }
+
+        fn outperformers(&self, _: &str, _: &str) -> Result<Vec<u64>, QueryError> {
+            Ok(vec![])
+        }
+    }
+
+    /// The parallel scan must be bit-identical to the serial program on a
+    /// pool large enough to actually fan out.
+    #[test]
+    fn parallel_filter_matches_serial() {
+        let lake = WideLake(500);
+        for q in [
+            "FIND MODELS WHERE domain = 'legal'",
+            "FIND MODELS WHERE domain != 'news' AND depth > 2",
+            "FIND MODELS WHERE name LIKE 'm00%' OR depth = 6",
+            "FIND MODELS WHERE depth < 3 ORDER BY name DESC LIMIT 40",
+        ] {
+            let parsed = parse(q).unwrap();
+            let par = execute(&parsed, &lake).unwrap();
+            let serial = mlake_par::serial(|| execute(&parsed, &lake).unwrap());
+            assert_eq!(par, serial, "{q}: parallel vs serial scan");
+            assert!(!par.is_empty(), "{q}: scan found nothing");
+        }
     }
 
     #[test]

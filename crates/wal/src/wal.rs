@@ -53,6 +53,9 @@ pub(crate) struct Sealed {
     #[allow(dead_code)]
     pub(crate) first: Lsn,
     pub(crate) last: Lsn,
+    /// Byte length of the sealed file, so the live-size accounting the
+    /// background-compaction trigger polls never touches the filesystem.
+    pub(crate) bytes: u64,
 }
 
 /// Segment metadata the recovery reader hands back so [`Wal::open_with`]
@@ -178,6 +181,7 @@ impl Wal {
                     path: seg.path.clone(),
                     first: seg.first,
                     last,
+                    bytes: seg.len,
                 });
             } else {
                 // A full-sized segment with no valid record cannot occur
@@ -250,6 +254,22 @@ impl Wal {
     // lint: no-span — trivial accessor
     pub fn segment_count(&self) -> usize {
         self.lock_inner().sealed.len() + 1
+    }
+
+    /// Number of sealed (no longer written) segments awaiting compaction.
+    // lint: no-span — trivial accessor
+    pub fn sealed_count(&self) -> usize {
+        self.lock_inner().sealed.len()
+    }
+
+    /// Total bytes in live segments (sealed + active tail) — the log's
+    /// on-disk footprint a snapshot has not yet folded away. The
+    /// background-compaction trigger polls this after every append; it is
+    /// pure in-memory accounting, no filesystem access.
+    // lint: no-span — trivial accessor on the mutation hot path
+    pub fn live_bytes(&self) -> u64 {
+        let inner = self.lock_inner();
+        inner.sealed.iter().map(|s| s.bytes).sum::<u64>() + inner.seg_bytes
     }
 
     /// Appends one record and returns its LSN.
@@ -331,10 +351,12 @@ impl Wal {
         let new_path = self.dir.join(segment_name(next_first));
         let new_file = self.vfs.open_append(&new_path)?;
         let old_path = std::mem::replace(&mut inner.seg_path, new_path);
+        let old_bytes = inner.seg_bytes;
         inner.sealed.push(Sealed {
             path: old_path,
             first: inner.seg_first,
             last: next_first - 1,
+            bytes: old_bytes,
         });
         inner.file = new_file;
         inner.seg_first = next_first;
@@ -561,6 +583,36 @@ mod tests {
         let (wal, replay) = Wal::open_with(&dir, opts, RealFs::shared(), 6).unwrap();
         assert_eq!(replay.records.len(), 0);
         assert_eq!(wal.append(b"after").unwrap(), 7);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn live_bytes_tracks_appends_rolls_and_compaction() {
+        let dir = fresh("livebytes");
+        let opts = WalOptions {
+            segment_bytes: 64,
+            sync: SyncPolicy::Always,
+        };
+        let (wal, _) = Wal::open(&dir, opts).unwrap();
+        assert_eq!(wal.live_bytes(), 0);
+        assert_eq!(wal.sealed_count(), 0);
+        for _ in 0..6 {
+            wal.append(&[9u8; 10]).unwrap();
+        }
+        // Each record is 32 bytes; two per 64-byte segment → 2 sealed.
+        assert_eq!(wal.sealed_count(), 2);
+        let before = wal.live_bytes();
+        assert_eq!(before, 6 * 32);
+        // Reopen: accounting must survive recovery. The full tail segment
+        // is sealed on reopen (no room left), so a fresh empty tail opens.
+        drop(wal);
+        let (wal, _) = Wal::open(&dir, opts).unwrap();
+        assert_eq!(wal.live_bytes(), before);
+        assert_eq!(wal.sealed_count(), 3);
+        // Compaction drops the covered bytes; records 5..=6 stay.
+        wal.compact_to(4).unwrap();
+        assert_eq!(wal.sealed_count(), 1);
+        assert_eq!(wal.live_bytes(), 2 * 32);
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

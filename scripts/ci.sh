@@ -11,14 +11,17 @@
 # lock-order race detector, which compiles out in release), the same suite
 # re-run with observability disabled (MLAKE_OBS=off must be behaviorally
 # inert), the parallel-vs-serial equivalence suites re-run under
-# MLAKE_THREADS=1 (exercising the env override path end-to-end), the SQ8
-# recall gate in both observability modes, the WAL crash-recovery matrix
+# MLAKE_THREADS=1 (exercising the env override path end-to-end, including
+# sharded scatter-gather determinism), the SQ8 recall gate in both
+# observability modes, the WAL crash-recovery matrix
 # (kill-at-every-write/fsync sweep, again in both observability modes), a
-# performance guard covering the tiled matmul, the quantized flat scan and
-# WAL append throughput (budgets overridable via MLAKE_BENCH_GUARD_MS /
+# performance guard covering the tiled matmul, the quantized flat scan,
+# the sharded scatter-gather merge and WAL append throughput — run in both
+# observability modes, budgets overridable via MLAKE_BENCH_GUARD_MS /
 # MLAKE_BENCH_GUARD_SQ8_MS / MLAKE_BENCH_GUARD_SQ8_RATIO /
-# MLAKE_BENCH_GUARD_WAL_OPS), and clippy with warnings denied across the
-# crates the parallel and observability layers touch.
+# MLAKE_BENCH_GUARD_SHARD_OPS / MLAKE_BENCH_GUARD_WAL_OPS — and clippy
+# with warnings denied across the crates the parallel and observability
+# layers touch.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -51,6 +54,7 @@ MLAKE_OBS=off cargo test -q
 step "determinism: equivalence suites under MLAKE_THREADS=1"
 MLAKE_THREADS=1 cargo test -q -p mlake-tensor --test parallel_equivalence
 MLAKE_THREADS=1 cargo test -q -p mlake-index hnsw
+MLAKE_THREADS=1 cargo test -q -p mlake-index --test sharded_determinism
 MLAKE_THREADS=1 cargo test -q -p mlake-par
 
 step "quantized recall gate: sq8 rescore within 5% of f32 (obs on + off)"
@@ -61,8 +65,9 @@ step "crash recovery: kill-at-every-write/fsync sweep (obs on + off)"
 cargo test -q -p mlake-core --test crash_recovery --release
 MLAKE_OBS=off cargo test -q -p mlake-core --test crash_recovery --release
 
-step "bench guard: tiled matmul + sq8 flat scan + wal append within budget"
+step "bench guard: matmul + sq8 scan + sharded merge + wal append (obs on + off)"
 cargo run -q -p mlake-bench --bin bench_guard --release
+MLAKE_OBS=off cargo run -q -p mlake-bench --bin bench_guard --release
 
 step "clippy -D warnings (parallel + observability crates)"
 cargo clippy -q -p mlake-par -p mlake-tensor -p mlake-index \
