@@ -2,6 +2,57 @@
 
 use std::fmt;
 
+/// Stable, exhaustive classification of every [`LakeError`], decoupling
+/// *what went wrong* from the variant's diagnostic payload. Servers and
+/// other wire layers dispatch on this (never on error strings); the
+/// canonical HTTP mapping lives in `mlake-proto::status_for` and is
+/// documented in DESIGN.md §14:
+///
+/// | kind           | HTTP | meaning                                        |
+/// |----------------|------|------------------------------------------------|
+/// | `NotFound`     | 404  | name/id/digest did not resolve                 |
+/// | `Conflict`     | 409  | unique-name collision                          |
+/// | `InvalidInput` | 400  | caller-supplied config/query/payload rejected  |
+/// | `Corrupt`      | 500  | stored state failed integrity/decode checks    |
+/// | `Unavailable`  | 503  | transient: I/O failure, broken WAL, shed load  |
+/// | `Internal`     | 500  | lake bug — an internal invariant was violated  |
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum ErrorKind {
+    /// A referenced entity does not exist.
+    NotFound,
+    /// The operation collides with existing state (duplicate name).
+    Conflict,
+    /// The caller's input (config, query, payload) was rejected.
+    InvalidInput,
+    /// Persistent state is damaged (checksum/decode/version failures).
+    Corrupt,
+    /// The operation cannot run right now but may succeed on retry
+    /// (filesystem errors, a WAL that refuses writes until reopen).
+    Unavailable,
+    /// An internal invariant was violated — a bug in the lake itself.
+    Internal,
+}
+
+impl ErrorKind {
+    /// Stable lowercase label, used on the wire and in logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::NotFound => "not_found",
+            ErrorKind::Conflict => "conflict",
+            ErrorKind::InvalidInput => "invalid_input",
+            ErrorKind::Corrupt => "corrupt",
+            ErrorKind::Unavailable => "unavailable",
+            ErrorKind::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
 /// Errors surfaced by [`crate::ModelLake`] operations.
 #[derive(Debug)]
 pub enum LakeError {
@@ -44,6 +95,36 @@ pub enum LakeError {
     /// surfaced as an error rather than a panic so library callers can
     /// recover.
     Internal(String),
+}
+
+impl LakeError {
+    /// Classifies this error into the stable [`ErrorKind`] taxonomy.
+    ///
+    /// The match is deliberately wildcard-free (including the nested
+    /// `WalError`), so adding a variant to either enum is a compile error
+    /// here — the wire mapping can never silently lag the error type.
+    pub fn kind(&self) -> ErrorKind {
+        match self {
+            LakeError::NotFound { .. } => ErrorKind::NotFound,
+            LakeError::Duplicate { .. } => ErrorKind::Conflict,
+            LakeError::Config(_) => ErrorKind::InvalidInput,
+            LakeError::CorruptArtifact(_) => ErrorKind::Corrupt,
+            // A too-new manifest is not damage, but this build cannot
+            // serve the lake until upgraded — operationally "try another
+            // node", hence Unavailable rather than Corrupt.
+            LakeError::UnsupportedManifest { .. } => ErrorKind::Unavailable,
+            LakeError::Wal(e) => match e {
+                mlake_wal::WalError::Corrupt { .. } => ErrorKind::Corrupt,
+                mlake_wal::WalError::Io(_) | mlake_wal::WalError::Broken => {
+                    ErrorKind::Unavailable
+                }
+            },
+            LakeError::Tensor(_) => ErrorKind::InvalidInput,
+            LakeError::Query(_) => ErrorKind::InvalidInput,
+            LakeError::Io(_) => ErrorKind::Unavailable,
+            LakeError::Internal(_) => ErrorKind::Internal,
+        }
+    }
 }
 
 impl fmt::Display for LakeError {
@@ -131,5 +212,46 @@ mod tests {
         let w: LakeError = mlake_wal::WalError::Broken.into();
         assert!(w.to_string().contains("wal error"));
         assert!(std::error::Error::source(&w).is_some());
+    }
+
+    /// One constructed value per `LakeError` variant (and per nested
+    /// `WalError` variant), each checked against its documented kind.
+    /// Together with the wildcard-free match in `kind()`, this pins the
+    /// full taxonomy: a new variant fails compilation there and a
+    /// reclassified variant fails here.
+    #[test]
+    fn every_variant_has_a_stable_kind() {
+        use ErrorKind::*;
+        let io = || std::io::Error::other("disk on fire");
+        let cases: Vec<(LakeError, ErrorKind)> = vec![
+            (LakeError::NotFound { kind: "model", name: "ghost".into() }, NotFound),
+            (LakeError::Duplicate { kind: "model", name: "twin".into() }, Conflict),
+            (LakeError::Config("shards must be a power of two".into()), InvalidInput),
+            (LakeError::CorruptArtifact("digest mismatch".into()), Corrupt),
+            (LakeError::UnsupportedManifest { found: 9, supported: 2 }, Unavailable),
+            (
+                LakeError::Wal(mlake_wal::WalError::Corrupt {
+                    segment: "seg-0001.wal".into(),
+                    offset: 64,
+                    detail: "bad crc".into(),
+                }),
+                Corrupt,
+            ),
+            (LakeError::Wal(mlake_wal::WalError::Io(io())), Unavailable),
+            (LakeError::Wal(mlake_wal::WalError::Broken), Unavailable),
+            (LakeError::Tensor(mlake_tensor::TensorError::Empty("x")), InvalidInput),
+            (LakeError::Query(mlake_query::QueryError::Execution("y".into())), InvalidInput),
+            (LakeError::Io(io()), Unavailable),
+            (LakeError::Internal("generation went backwards".into()), Internal),
+        ];
+        for (err, want) in cases {
+            assert_eq!(err.kind(), want, "{err}");
+        }
+        // The wire labels are stable, lowercase, and distinct.
+        let kinds = [NotFound, Conflict, InvalidInput, Corrupt, Unavailable, Internal];
+        let labels: std::collections::HashSet<&str> =
+            kinds.iter().map(|k| k.as_str()).collect();
+        assert_eq!(labels.len(), kinds.len());
+        assert_eq!(NotFound.to_string(), "not_found");
     }
 }

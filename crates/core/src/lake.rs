@@ -33,7 +33,7 @@ use std::sync::Arc;
 /// schedules a snapshot + WAL compaction on the background compactor
 /// thread instead of the caller's. A threshold of 0 disables that trigger;
 /// at least one must be positive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct CompactionPolicy {
     /// Compact once the WAL's live on-disk footprint reaches this many
     /// bytes (0 = never trigger on size).
@@ -55,7 +55,7 @@ impl Default for CompactionPolicy {
 /// Lake configuration. Probe parameters must match the model population
 /// (feature dimension, vocabulary) — defaults align with
 /// `mlake_datagen::LakeSpec::default()`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct LakeConfig {
     /// Lake name (appears in citations).
     pub name: String,
@@ -114,6 +114,16 @@ impl LakeConfig {
         LakeConfigBuilder {
             config: LakeConfig::default(),
         }
+    }
+
+    /// Re-runs the builder's validation on an already-constructed config.
+    ///
+    /// `LakeConfig` derives `Deserialize` so it can travel over the wire
+    /// (`mlake-proto`), which bypasses the builder; deserializers must call
+    /// this before using the value so every `LakeConfig` in a running lake
+    /// is builder-validated regardless of where it came from.
+    pub fn validated(self) -> Result<LakeConfig> {
+        LakeConfigBuilder { config: self }.build()
     }
 }
 
@@ -547,16 +557,12 @@ impl ModelLake {
             .collect()
     }
 
-    /// Replaces a model's card.
-    pub fn update_card(&self, id: ModelId, card: ModelCard) -> Result<()> {
+    /// Replaces a model's card. Accepts any model identity
+    /// (id / name / digest), like every other facade entry point.
+    pub fn update_card<'a>(&self, model: impl Into<ModelRef<'a>>, card: ModelCard) -> Result<()> {
         let _span = mlake_obs::span("lake.card.update");
         let _op = self.shared.op_lock.lock();
-        if self.shared.registry.read().model(id).is_none() {
-            return Err(LakeError::NotFound {
-                kind: "model",
-                name: id.to_string(),
-            });
-        }
+        let id = self.resolve(model)?;
         self.wal_update_card(id, &card)?;
         self.apply_update_card(id, card)
     }

@@ -40,6 +40,6 @@ pub mod populate;
 pub mod registry;
 pub mod store;
 
-pub use error::LakeError;
+pub use error::{ErrorKind, LakeError};
 pub use lake::{CompactionPolicy, LakeConfig, LakeConfigBuilder, ModelLake, PreparedQuery};
 pub use registry::{ModelId, ModelRef};

@@ -327,13 +327,19 @@ pub fn generate_lake(spec: &LakeSpec) -> GroundTruth {
     // derived seed), so they train in parallel on the shared pool; results
     // are committed in family order, keeping the lake a pure function of
     // `spec.seed`.
-    let base_results: Vec<(GeneratedModel, Dataset)> = {
+    let base_results: Vec<Option<(GeneratedModel, Dataset)>> = {
         let domains = &domains;
         mlake_par::par_map_index(spec.num_base_models, 1, |f| {
             build_base_model(spec, domains, root, f)
         })
     };
-    for (f, (mut model, mut ds)) in base_results.into_iter().enumerate() {
+    // Unconstructible families (None) are skipped; `model.family` keeps the
+    // original index so names and seeds stay a pure function of `spec.seed`
+    // even when a gap opens.
+    for (f, built) in base_results.into_iter().enumerate() {
+        let Some((mut model, mut ds)) = built else {
+            continue;
+        };
         let id = DatasetId(next_dataset);
         next_dataset += 1;
         ds.id = id;
@@ -372,7 +378,12 @@ pub fn generate_lake(spec: &LakeSpec) -> GroundTruth {
     }
 
     // ---- Derivations ----------------------------------------------------
-    let total_derivations = spec.num_base_models * spec.derivations_per_base;
+    // No parents, no derivations (every base family was unconstructible).
+    let total_derivations = if gt.models.is_empty() {
+        0
+    } else {
+        spec.num_base_models * spec.derivations_per_base
+    };
     let mut derivation = 0usize;
     let mut attempts = 0usize;
     while derivation < total_derivations && attempts < total_derivations * 10 {
@@ -412,13 +423,16 @@ pub fn generate_lake(spec: &LakeSpec) -> GroundTruth {
 }
 
 /// Trains one base (foundation) model and its training dataset. Pure in
-/// `(spec, root, f)` — safe to run on any thread.
+/// `(spec, root, f)` — safe to run on any thread. `None` means the spec
+/// produced an unconstructible model (degenerate layer sizes, n-gram
+/// order outside 1..=3, corpus tokens outside the vocab); the caller
+/// skips that family rather than aborting the whole generation.
 fn build_base_model(
     spec: &LakeSpec,
     domains: &[Domain],
     root: Seed,
     f: usize,
-) -> (GeneratedModel, Dataset) {
+) -> Option<(GeneratedModel, Dataset)> {
     let domain = domains[f % domains.len()].clone();
     let family_seed = root.derive("family").derive_u64(f as u64);
     let is_lm = spec.lm_every > 0 && f % spec.lm_every == spec.lm_every - 1;
@@ -440,9 +454,13 @@ fn build_base_model(
             derived_by: None,
         };
         let order = if family_seed.derive("order").rng().bernoulli(0.5) { 2 } else { 3 };
-        let mut lm = NgramLm::new(VOCAB, order, 0.2).expect("valid ngram spec");
-        lm.add_counts(&corpus, 1.0).expect("corpus in vocab");
-        (
+        let Ok(mut lm) = NgramLm::new(VOCAB, order, 0.2) else {
+            return None;
+        };
+        if lm.add_counts(&corpus, 1.0).is_err() {
+            return None;
+        }
+        Some((
             GeneratedModel {
                 name: format!("{domain}-ngram{order}-base-f{f}"),
                 model: Model::Lm(lm),
@@ -455,7 +473,7 @@ fn build_base_model(
                 seed: family_seed.0,
             },
             ds,
-        )
+        ))
     } else {
         let data = tabular::sample_tabular(
             &domain,
@@ -483,8 +501,9 @@ fn build_base_model(
         sizes.extend_from_slice(hidden);
         sizes.push(spec.tabular.num_classes);
         let mut init_rng = family_seed.derive("init").rng();
-        let mut mlp = Mlp::new(sizes, activation, Init::HeNormal, &mut init_rng)
-            .expect("valid layer sizes");
+        let Ok(mut mlp) = Mlp::new(sizes, activation, Init::HeNormal, &mut init_rng) else {
+            return None;
+        };
         let cfg = TrainConfig {
             epochs: spec.epochs,
             seed: family_seed.derive("train").0,
@@ -498,7 +517,7 @@ fn build_base_model(
             "mlp{}",
             hidden.iter().map(usize::to_string).collect::<Vec<_>>().join("x")
         );
-        (
+        Some((
             GeneratedModel {
                 name: format!("{domain}-{arch_hint}-base-f{f}"),
                 model: Model::Mlp(mlp),
@@ -511,7 +530,7 @@ fn build_base_model(
                 seed: cfg.seed,
             },
             ds,
-        )
+        ))
     }
 }
 

@@ -49,7 +49,7 @@ struct SearchStats {
 }
 
 /// HNSW construction/search parameters.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct HnswConfig {
     /// Max neighbours per node on layers ≥ 1 (layer 0 keeps `2·m`).
     pub m: usize,

@@ -43,7 +43,7 @@ use mlake_tensor::TensorError;
 /// the exact f32 kernels. Returned distances therefore always match the
 /// [`Precision::F32`] path's semantics; quantization only costs recall when
 /// it pushes a true neighbour out of the rescore pool.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, serde::Serialize, serde::Deserialize)]
 pub enum Precision {
     /// Full-precision f32 storage and kernels (the default).
     #[default]

@@ -9,9 +9,9 @@
 //! |----------------|-------------------------------------------------------------|
 //! | `unsafe-safety`| every `unsafe` block/fn/impl carries a `// SAFETY:` comment |
 //! | `no-panic`     | no `unwrap()/expect("…")/panic!/todo!/unimplemented!` in lib |
-//! | `no-wallclock` | no `Instant`/`SystemTime` outside `mlake-obs` and `bench`   |
-//! | `facade-span`  | every `pub fn` on a facade type (`ModelLake` in core; `Wal`/`Recovery` in wal) opens an obs span |
-//! | `lock-order`   | `.lock()`/`.read()`/`.write()` in index/par/wal carries a `// lock-order: N` comment |
+//! | `no-wallclock` | no `Instant`/`SystemTime` outside `mlake-obs`, `bench` and `mlake-load` |
+//! | `facade-span`  | every `pub fn` on a facade type (`ModelLake` in core; `Wal`/`Recovery` in wal; `Api` in server) opens an obs span |
+//! | `lock-order`   | `.lock()`/`.read()`/`.write()` in index/par/wal/server carries a `// lock-order: N` comment |
 //!
 //! Test code is exempt everywhere: files under `tests/`, `benches/` or
 //! `examples/`, the `mlake-bench` crate, and the trailing `#[cfg(test)]`
@@ -162,10 +162,11 @@ fn no_panic(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
 }
 
 /// `no-wallclock`: `Instant`/`SystemTime` only inside `mlake-obs` (the
-/// process's one physical clock) and the bench crate. Everything else must
-/// stay deterministic.
+/// process's one physical clock), the bench crate, and `mlake-load`
+/// (whose whole purpose is pacing and timing live HTTP traffic).
+/// Everything else must stay deterministic.
 fn no_wallclock(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
-    if path.starts_with("crates/obs/") {
+    if path.starts_with("crates/obs/") || path.starts_with("crates/load/") {
         return;
     }
     for t in &s.tokens {
@@ -189,6 +190,8 @@ fn facade_targets(path: &str) -> &'static [&'static str] {
         &["ModelLake"]
     } else if path.starts_with("crates/wal/") {
         &["Wal", "Recovery"]
+    } else if path.starts_with("crates/server/") {
+        &["Api"]
     } else {
         &[]
     }
@@ -297,7 +300,8 @@ fn scan_impl_block(path: &str, s: &Scanned, start: usize, end: usize, out: &mut 
 fn lock_order(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
     if !(path.starts_with("crates/index/")
         || path.starts_with("crates/par/")
-        || path.starts_with("crates/wal/"))
+        || path.starts_with("crates/wal/")
+        || path.starts_with("crates/server/"))
     {
         return;
     }
@@ -418,6 +422,8 @@ mod tests {
         assert_eq!(passes(&f), vec!["no-wallclock", "no-wallclock"]);
         assert!(findings("crates/obs/src/span.rs", src).is_empty());
         assert!(findings("crates/bench/src/bin/guard.rs", src).is_empty());
+        // The load generator times live traffic; it is exempt by design.
+        assert!(findings("crates/load/src/lib.rs", src).is_empty());
         let st = "fn f() -> std::time::SystemTime { std::time::SystemTime::now() }";
         assert_eq!(passes(&findings("crates/core/src/lake.rs", st)).len(), 2);
     }
@@ -459,6 +465,15 @@ mod tests {
     }
 
     #[test]
+    fn facade_covers_server_api_type() {
+        let src = "impl Api {\n    pub fn naked(&self) -> usize { 0 }\n}";
+        let f = findings("crates/server/src/api.rs", src);
+        assert_eq!(passes(&f), vec!["facade-span"]);
+        // Api is not a facade type outside crates/server.
+        assert!(findings("crates/core/src/lake.rs", src).is_empty());
+    }
+
+    #[test]
     fn facade_skips_trait_impls_on_target_types() {
         let src = "impl Drop for Wal {\n    fn drop(&mut self) {}\n}\nimpl Wal for Compat {\n    pub fn shim(&self) -> usize { 0 }\n}";
         assert!(findings("crates/wal/src/wal.rs", src).is_empty());
@@ -479,6 +494,10 @@ mod tests {
             vec!["lock-order"]
         );
         assert!(findings("crates/obs/src/recorder.rs", src).is_empty());
+        assert_eq!(
+            passes(&findings("crates/server/src/dispatch.rs", src)),
+            vec!["lock-order"]
+        );
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! `mlake-load` CLI: drive a running `mlake-server` and print a report.
+//!
+//! ```text
+//! mlake-load --addr 127.0.0.1:7700 --lake main --clients 4 --ops 200 \
+//!            [--open-rate 500] [--write-every 5] [--model NAME]...
+//! ```
+
+use std::net::SocketAddr;
+use std::process::ExitCode;
+use std::time::Duration;
+
+struct Args {
+    addr: SocketAddr,
+    lake: String,
+    clients: usize,
+    ops: usize,
+    open_rate: Option<f64>,
+    write_every: usize,
+    models: Vec<String>,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: mlake-load --addr HOST:PORT [--lake NAME] [--clients N] [--ops N] \
+         [--open-rate REQ_PER_S] [--write-every N] [--model NAME]..."
+    );
+    ExitCode::FAILURE
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut addr: Option<SocketAddr> = None;
+    let mut lake = "main".to_string();
+    let mut clients = 4usize;
+    let mut ops = 100usize;
+    let mut open_rate = None;
+    let mut write_every = 5usize;
+    let mut models = Vec::new();
+
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut val = |flag: &str| {
+            it.next()
+                .ok_or_else(|| format!("{flag} needs a value"))
+        };
+        match flag.as_str() {
+            "--addr" => {
+                let v = val("--addr")?;
+                addr = Some(v.parse().map_err(|e| format!("bad --addr '{v}': {e}"))?);
+            }
+            "--lake" => lake = val("--lake")?,
+            "--clients" => {
+                let v = val("--clients")?;
+                clients = v.parse().map_err(|e| format!("bad --clients '{v}': {e}"))?;
+            }
+            "--ops" => {
+                let v = val("--ops")?;
+                ops = v.parse().map_err(|e| format!("bad --ops '{v}': {e}"))?;
+            }
+            "--open-rate" => {
+                let v = val("--open-rate")?;
+                open_rate = Some(v.parse().map_err(|e| format!("bad --open-rate '{v}': {e}"))?);
+            }
+            "--write-every" => {
+                let v = val("--write-every")?;
+                write_every = v.parse().map_err(|e| format!("bad --write-every '{v}': {e}"))?;
+            }
+            "--model" => models.push(val("--model")?),
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    let addr = addr.ok_or("--addr is required")?;
+    Ok(Args {
+        addr,
+        lake,
+        clients,
+        ops,
+        open_rate,
+        write_every,
+        models,
+    })
+}
+
+/// Asks the server which models exist when none were named on the CLI.
+fn discover_models(addr: SocketAddr, lake: &str) -> Result<Vec<String>, String> {
+    let mut client =
+        mlake_load::HttpClient::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let resp = client
+        .get(&format!("/v1/lakes/{lake}/models"))
+        .map_err(|e| format!("list models: {e}"))?;
+    if resp.status != 200 {
+        return Err(format!(
+            "list models: HTTP {} {}",
+            resp.status,
+            String::from_utf8_lossy(&resp.body)
+        ));
+    }
+    match mlake_proto::decode_response(&resp.body) {
+        Ok(mlake_proto::ApiResponse::Models { names }) => Ok(names),
+        Ok(other) => Err(format!("unexpected response: {other:?}")),
+        Err(e) => Err(format!("decode models: {e}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("mlake-load: {e}");
+            return usage();
+        }
+    };
+    let models = if args.models.is_empty() {
+        match discover_models(args.addr, &args.lake) {
+            Ok(names) if !names.is_empty() => names,
+            Ok(_) => {
+                eprintln!("mlake-load: lake '{}' has no models; pass --model", args.lake);
+                return ExitCode::FAILURE;
+            }
+            Err(e) => {
+                eprintln!("mlake-load: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        args.models.clone()
+    };
+
+    let workload = mlake_load::mixed_workload(&args.lake, models, args.write_every);
+    let report = match args.open_rate {
+        Some(rate) => {
+            mlake_load::run_open_loop(args.addr, args.clients, args.ops, rate, workload)
+        }
+        None => mlake_load::run_closed_loop(
+            args.addr,
+            args.clients,
+            args.ops,
+            Duration::ZERO,
+            workload,
+        ),
+    };
+    println!("{}", report.summary());
+    if report.failed > 0 || report.transport_errors > 0 {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

@@ -219,7 +219,7 @@ impl std::fmt::Debug for Histogram {
 }
 
 /// Summary of one histogram at snapshot time (all values nanoseconds).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub struct HistogramSnapshot {
     /// Metric name (also the span name when span-fed).
     pub name: String,
@@ -238,7 +238,7 @@ pub struct HistogramSnapshot {
 }
 
 /// Point-in-time view of every registered metric, names sorted.
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct MetricsSnapshot {
     /// Counter name → value.
     pub counters: Vec<(String, u64)>,

@@ -1,0 +1,166 @@
+//! Property tests pinning the wire protocol to the facade types: for any
+//! value a client can legally hold, serialize → deserialize is identity.
+//! This is what stops `mlake-proto` drifting from the library — the wire
+//! representation *is* the library type, proven round-trip-stable here.
+
+use mlake_core::{CompactionPolicy, ErrorKind, LakeConfig};
+use mlake_index::{HnswConfig, Precision};
+use mlake_proto::{
+    decode_config, decode_request, decode_response, encode_request, encode_response, status_for,
+    ApiError, ApiRequest, ApiResponse, SimilarHit, WireRef,
+};
+use mlake_query::QueryHit;
+use mlake_wal::SyncPolicy;
+use proptest::prelude::*;
+use proptest::prop_oneof;
+
+fn wire_ref() -> impl Strategy<Value = WireRef> {
+    prop_oneof![
+        any::<u64>().prop_map(WireRef::Id),
+        "[a-z][a-z0-9-]{0,20}".prop_map(WireRef::Name),
+        "[0-9a-f]{64}".prop_map(WireRef::Digest),
+    ]
+}
+
+fn precision() -> impl Strategy<Value = Precision> {
+    prop_oneof![Just(Precision::F32), Just(Precision::Sq8Rescore)]
+}
+
+fn sync_policy() -> impl Strategy<Value = SyncPolicy> {
+    prop_oneof![
+        Just(SyncPolicy::Always),
+        (1u32..256).prop_map(|every| SyncPolicy::Batch { every }),
+    ]
+}
+
+fn hnsw_config() -> impl Strategy<Value = HnswConfig> {
+    (2usize..32, 1usize..128, 1usize..128, any::<u64>(), precision(), 1usize..8).prop_map(
+        |(m, ef_construction, ef_search, seed, precision, rescore_factor)| HnswConfig {
+            m,
+            ef_construction,
+            ef_search,
+            seed,
+            precision,
+            rescore_factor,
+        },
+    )
+}
+
+/// Only builder-valid configs: the wire funnel (`decode_config`) rejects
+/// everything else by construction, so invalid configs are not part of
+/// the round-trippable domain.
+fn lake_config() -> impl Strategy<Value = LakeConfig> {
+    let base = (
+        "[a-z][a-z0-9-]{0,12}",
+        any::<u64>(),
+        1usize..256,
+        (1usize..64, 1usize..32, 0.1f32..8.0),
+        (1usize..32, 1usize..8, 2usize..64),
+    );
+    let rest = (
+        hnsw_config(),
+        0usize..512,
+        sync_policy(),
+        0u32..4,
+        proptest::option::of((1u64..1_000_000, 0usize..8)),
+    );
+    (base, rest).prop_map(
+        |((name, seed, sketch_dim, probes, lm_probes), (hnsw, query_cache, wal_sync, shard_pow, compaction))| {
+            LakeConfig {
+                name,
+                seed,
+                sketch_dim,
+                probes,
+                lm_probes,
+                hnsw,
+                query_cache,
+                wal_sync,
+                shards: 1 << shard_pow,
+                compaction: compaction.map(|(wal_bytes, wal_segments)| CompactionPolicy {
+                    // wal_bytes > 0 keeps the policy builder-valid even
+                    // when wal_segments lands on 0.
+                    wal_bytes,
+                    wal_segments,
+                }),
+            }
+        },
+    )
+}
+
+fn query_hit() -> impl Strategy<Value = QueryHit> {
+    (
+        any::<u64>(),
+        proptest::option::of(-1.0f32..1.0),
+        proptest::option::of(-100.0f64..100.0),
+    )
+        .prop_map(|(id, similarity, score)| QueryHit { id, similarity, score })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn model_ref_round_trips(r in wire_ref()) {
+        let req = ApiRequest::Resolve { model: r };
+        let back = decode_request(&encode_request(&req)).expect("decode");
+        prop_assert_eq!(req, back);
+    }
+
+    #[test]
+    fn lake_config_round_trips_through_validated_decode(config in lake_config()) {
+        let bytes = serde_json::to_vec(&config).expect("encode");
+        let back = decode_config(&bytes).expect("builder-valid config decodes");
+        prop_assert_eq!(back, config);
+    }
+
+    #[test]
+    fn precision_and_sync_policy_round_trip(p in precision(), s in sync_policy()) {
+        let p2: Precision = serde_json::from_slice(&serde_json::to_vec(&p).unwrap()).unwrap();
+        prop_assert_eq!(p2, p);
+        let s2: SyncPolicy = serde_json::from_slice(&serde_json::to_vec(&s).unwrap()).unwrap();
+        prop_assert_eq!(s2, s);
+    }
+
+    #[test]
+    fn query_results_round_trip(hits in proptest::collection::vec(query_hit(), 0..24)) {
+        let resp = ApiResponse::Hits { hits };
+        let back = decode_response(&encode_response(&resp)).expect("decode");
+        prop_assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn similar_hits_round_trip(
+        raw in proptest::collection::vec((any::<u64>(), 0.0f32..1.0), 0..16)
+    ) {
+        let hits = raw
+            .into_iter()
+            .map(|(id, similarity)| SimilarHit { id, similarity })
+            .collect();
+        let resp = ApiResponse::Similar { hits };
+        let back = decode_response(&encode_response(&resp)).expect("decode");
+        prop_assert_eq!(resp, back);
+    }
+}
+
+#[test]
+fn every_error_kind_has_a_status_and_round_trips() {
+    let kinds = [
+        ErrorKind::NotFound,
+        ErrorKind::Conflict,
+        ErrorKind::InvalidInput,
+        ErrorKind::Corrupt,
+        ErrorKind::Unavailable,
+        ErrorKind::Internal,
+    ];
+    for kind in kinds {
+        let status = status_for(kind);
+        assert!((400..600).contains(&status), "{kind}: {status}");
+        let resp = ApiResponse::Error(ApiError {
+            kind,
+            status,
+            message: format!("synthetic {kind}"),
+        });
+        let back = decode_response(&encode_response(&resp)).expect("decode");
+        assert_eq!(resp, back);
+    }
+}

@@ -49,7 +49,7 @@ pub trait QueryTarget {
 }
 
 /// One result row.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub struct QueryHit {
     /// Model id.
     pub id: u64,

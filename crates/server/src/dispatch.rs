@@ -1,0 +1,226 @@
+//! Bounded dispatch queue bridging connection threads onto the
+//! `mlake-par` pool (DESIGN.md §14).
+//!
+//! Connection threads never run lake operations themselves: they enqueue
+//! a job and block on its response channel. A single dispatcher thread
+//! drains the queue in batches and executes each batch as one
+//! `mlake_par::par_scatter` region, so request handling runs on the same
+//! work-stealing pool as every other parallel region in the workspace —
+//! one global compute budget, no second thread pool.
+//!
+//! Backpressure is the queue bound: [`Dispatcher::try_submit`] refuses
+//! instead of blocking when `capacity` jobs are already waiting, and the
+//! server turns that refusal into `503 Service Unavailable` +
+//! `Retry-After`. Because HTTP/1.1 allows one in-flight request per
+//! connection, total queued work is additionally bounded by the number
+//! of live connections.
+//!
+//! Lock ranks (DESIGN.md §10): the queue mutex is `server.queue`
+//! (rank 5) and each job's hand-off slot is `server.job` (rank 6); both
+//! sit below `par.queue` (10) because a dispatcher batch enters a pool
+//! region — which takes the pool's own locks — only after every
+//! dispatcher-side lock is released.
+
+use mlake_par::lockorder::{self, ranks};
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One queued unit of work.
+pub type Job = Box<dyn FnOnce() + Send>;
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    capacity: usize,
+    shutdown: AtomicBool,
+}
+
+/// The bounded queue plus its dispatcher thread.
+pub struct Dispatcher {
+    shared: Arc<Shared>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl Dispatcher {
+    /// Starts a dispatcher with room for `capacity` queued jobs
+    /// (minimum 1). Fails only if the dispatcher thread cannot spawn —
+    /// a dispatcher with no thread would strand every submitted job.
+    pub fn new(capacity: usize) -> std::io::Result<Dispatcher> {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity: capacity.max(1),
+            shutdown: AtomicBool::new(false),
+        });
+        let worker_shared = Arc::clone(&shared);
+        let worker = std::thread::Builder::new()
+            .name("mlake-dispatch".into())
+            .spawn(move || run_dispatcher(&worker_shared))?;
+        Ok(Dispatcher {
+            shared,
+            worker: Some(worker),
+        })
+    }
+
+    /// Enqueues `job`, or hands it back when the queue is full or the
+    /// dispatcher is shutting down — the caller sheds load (503).
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        self.handle().try_submit(job)
+    }
+
+    /// A lightweight submit-only handle for connection threads; the
+    /// dispatcher thread itself stays owned (and joined) by whoever owns
+    /// the `Dispatcher`.
+    pub fn handle(&self) -> DispatchHandle {
+        DispatchHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Stops the dispatcher: every already-accepted job still runs (an
+    /// enqueued write may already be acknowledged-in-progress; it must
+    /// not be dropped), then the thread exits.
+    pub fn shutdown(mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+/// Submit-only view of the queue; see [`Dispatcher::handle`].
+#[derive(Clone)]
+pub struct DispatchHandle {
+    shared: Arc<Shared>,
+}
+
+impl DispatchHandle {
+    /// Enqueues `job`, or hands it back when the queue is full or the
+    /// dispatcher is shutting down — the caller sheds load (503).
+    pub fn try_submit(&self, job: Job) -> Result<(), Job> {
+        if self.shared.shutdown.load(Ordering::Acquire) {
+            return Err(job);
+        }
+        let depth = {
+            // lock-order: 5 (server.queue)
+            let _ord = lockorder::acquire(ranks::SERVER_QUEUE, "server.queue");
+            let mut queue = self.shared.queue.lock();
+            if queue.len() >= self.shared.capacity {
+                drop(queue);
+                mlake_obs::registry().counter("http.queue.shed").inc();
+                return Err(job);
+            }
+            queue.push_back(job);
+            queue.len()
+        };
+        mlake_obs::registry().gauge("http.queue.depth").set(depth as i64);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+}
+
+impl Drop for Dispatcher {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::Release);
+        self.shared.available.notify_all();
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+    }
+}
+
+fn run_dispatcher(shared: &Shared) {
+    loop {
+        let batch: Vec<Job> = {
+            // lock-order: 5 (server.queue)
+            let _ord = lockorder::acquire(ranks::SERVER_QUEUE, "server.queue");
+            let mut queue = shared.queue.lock();
+            while queue.is_empty() && !shared.shutdown.load(Ordering::Acquire) {
+                shared.available.wait(&mut queue);
+            }
+            if queue.is_empty() {
+                return; // shutdown with nothing left to drain
+            }
+            queue.drain(..).collect()
+        };
+        mlake_obs::registry().gauge("http.queue.depth").set(0);
+        mlake_obs::registry()
+            .histogram_dyn("http.batch.size")
+            .record(batch.len() as u64);
+        if batch.len() == 1 {
+            // A pool region for one job is pure overhead.
+            for job in batch {
+                job();
+            }
+        } else {
+            // FnOnce jobs cross into the `Fn(&T)` pool region through a
+            // take-once slot per job.
+            let slots: Vec<Mutex<Option<Job>>> =
+                batch.into_iter().map(|j| Mutex::new(Some(j))).collect();
+            mlake_par::par_scatter(slots.len(), |i| {
+                // Uncontended take-once slot, released before the job
+                // (and any pool locks) runs.
+                let _ord = lockorder::acquire(ranks::SERVER_JOB, "server.job");
+                // lock-order: 6 (server.job)
+                let job = slots[i].lock().take();
+                drop(_ord);
+                if let Some(job) = job {
+                    job();
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::sync::mpsc;
+
+    #[test]
+    fn runs_submitted_jobs_and_sheds_past_capacity() {
+        let hits = Arc::new(AtomicUsize::new(0));
+        let d = Dispatcher::new(64).unwrap();
+        let (tx, rx) = mpsc::channel();
+        for _ in 0..32 {
+            let hits = Arc::clone(&hits);
+            let tx = tx.clone();
+            d.try_submit(Box::new(move || {
+                hits.fetch_add(1, Ordering::Relaxed);
+                tx.send(()).unwrap();
+            }))
+            .unwrap_or_else(|_| panic!("queue unexpectedly full"));
+        }
+        for _ in 0..32 {
+            rx.recv().expect("job ran");
+        }
+        assert_eq!(hits.load(Ordering::Relaxed), 32);
+        d.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_jobs() {
+        let d = Dispatcher::new(1024).unwrap();
+        let done = Arc::new(AtomicUsize::new(0));
+        for _ in 0..256 {
+            let done = Arc::clone(&done);
+            let _ = d.try_submit(Box::new(move || {
+                done.fetch_add(1, Ordering::Relaxed);
+            }));
+        }
+        d.shutdown(); // must not lose any accepted job
+        assert_eq!(done.load(Ordering::Relaxed), 256);
+    }
+
+    #[test]
+    fn submit_after_shutdown_is_refused() {
+        let d = Dispatcher::new(4).unwrap();
+        d.shared.shutdown.store(true, Ordering::Release);
+        assert!(d.try_submit(Box::new(|| {})).is_err());
+    }
+}

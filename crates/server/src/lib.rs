@@ -1,0 +1,38 @@
+//! `mlake-server`: the lake's wire (DESIGN.md §14).
+//!
+//! A from-scratch, zero-dependency HTTP/1.1 service layer over the
+//! [`mlake_core::ModelLake`] facade:
+//!
+//! * **Protocol** — `mlake-proto`'s `ApiRequest`/`ApiResponse` JSON on a
+//!   hand-rolled HTTP/1.1 subset ([`http`]): keep-alive,
+//!   `Content-Length` bodies, one in-flight request per connection.
+//! * **Execution** — connection threads only parse and write; lake work
+//!   is queued on a bounded [`dispatch::Dispatcher`] and batched onto
+//!   the shared `mlake-par` pool. A full queue sheds load with `503` +
+//!   `Retry-After` instead of building unbounded memory ([`dispatch`]).
+//! * **Tenancy** — `/v1/lakes/{lake}/...` routes through a
+//!   [`router::LakeRouter`] holding any number of lakes, in-process or
+//!   opened from disk.
+//! * **Shutdown** — [`server::Server::shutdown`] stops accepting, lets
+//!   in-flight requests finish, drains the queue, then syncs and
+//!   quiesces every lake: no acknowledged write is ever lost.
+//!
+//! ```ignore
+//! let router = Arc::new(LakeRouter::new());
+//! router.register("main", ModelLake::new(LakeConfig::default()));
+//! let server = Server::bind(router, "127.0.0.1:0", ServerConfig::default())?;
+//! println!("serving on {}", server.addr());
+//! // ... later:
+//! server.shutdown()?;
+//! ```
+
+pub mod api;
+pub mod dispatch;
+pub mod http;
+pub mod router;
+pub mod server;
+
+pub use api::Api;
+pub use dispatch::{DispatchHandle, Dispatcher};
+pub use router::LakeRouter;
+pub use server::{Server, ServerConfig};

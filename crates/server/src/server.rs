@@ -1,0 +1,471 @@
+//! The server proper: accept loop, connection threads, route table, and
+//! the graceful-shutdown sequence (DESIGN.md §14).
+//!
+//! Threading model: one OS thread per connection parses HTTP and writes
+//! responses; the lake work itself is enqueued on the bounded
+//! [`Dispatcher`] and executed on the `mlake-par` pool. A connection
+//! thread therefore blocks twice per request — once reading the socket,
+//! once waiting for its job's response channel — and never computes.
+//!
+//! Shutdown: [`Server::shutdown`] (1) sets the shutdown flag, (2) wakes
+//! the blocking `accept` with a loopback connect, (3) joins the acceptor,
+//! (4) joins every connection thread — each finishes its in-flight
+//! request first, so every acknowledged response is fully written —
+//! (5) stops the dispatcher, which drains all accepted jobs, and
+//! (6) syncs + quiesces every routed lake. An `Ok` response to a write
+//! therefore implies the write survives the shutdown (and, with
+//! `SyncPolicy::Always`, a crash).
+
+use crate::api::{not_found, protocol_error, Api};
+use crate::dispatch::{DispatchHandle, Dispatcher, Job};
+use crate::http::{HttpConn, ReadOutcome, Request, Response};
+use crate::router::LakeRouter;
+use mlake_core::ErrorKind;
+use mlake_fingerprint::FingerprintKind;
+use mlake_par::lockorder::{self, ranks};
+use mlake_proto::{decode_request, encode_response, ApiRequest, WireRef};
+use serde::{Content, Deserialize};
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Dispatch queue bound; a full queue sheds with 503 + `Retry-After`.
+    pub queue_capacity: usize,
+    /// Largest accepted request body in bytes.
+    pub max_body: usize,
+    /// Socket read timeout — the granularity at which idle keep-alive
+    /// connections notice shutdown.
+    pub read_timeout: Duration,
+    /// `Retry-After` seconds advertised on shed requests.
+    pub retry_after_s: u32,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            queue_capacity: 128,
+            max_body: 16 * 1024 * 1024,
+            read_timeout: Duration::from_millis(50),
+            retry_after_s: 1,
+        }
+    }
+}
+
+/// A running server. Dropping it without [`Server::shutdown`] aborts
+/// accept/connection threads un-gracefully; call `shutdown` for the
+/// ordered sequence.
+pub struct Server {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    dispatcher: Option<Dispatcher>,
+    router: Arc<LakeRouter>,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts serving `router`.
+    pub fn bind(router: Arc<LakeRouter>, addr: &str, config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let dispatcher = Dispatcher::new(config.queue_capacity)?;
+        let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+
+        let ctx = Arc::new(ConnCtx {
+            router: Arc::clone(&router),
+            dispatch: dispatcher.handle(),
+            shutdown: Arc::clone(&shutdown),
+            config: config.clone(),
+        });
+        let accept_conns = Arc::clone(&conns);
+        let accept_flag = Arc::clone(&shutdown);
+        let acceptor = std::thread::Builder::new()
+            .name("mlake-accept".into())
+            .spawn(move || {
+                for stream in listener.incoming() {
+                    if accept_flag.load(Ordering::Acquire) {
+                        break;
+                    }
+                    let Ok(stream) = stream else { continue };
+                    mlake_obs::registry().counter("http.conns").inc();
+                    mlake_obs::registry().gauge("http.conns.live").add(1);
+                    let ctx = Arc::clone(&ctx);
+                    let spawned = std::thread::Builder::new()
+                        .name("mlake-conn".into())
+                        .spawn(move || {
+                            serve_connection(stream, &ctx);
+                            mlake_obs::registry().gauge("http.conns.live").add(-1);
+                        });
+                    match spawned {
+                        Ok(handle) => {
+                            let _ord = lockorder::acquire(
+                                ranks::SERVER_CONNS,
+                                "server.conns",
+                            );
+                            // lock-order: 7 (server.conns)
+                            accept_conns
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .push(handle);
+                        }
+                        // Thread exhaustion: drop the stream (the client
+                        // sees a reset and retries) instead of crashing
+                        // the acceptor.
+                        Err(_) => {
+                            mlake_obs::registry().counter("http.conns.spawn_failed").inc();
+                            mlake_obs::registry().gauge("http.conns.live").add(-1);
+                        }
+                    }
+                }
+            })?;
+
+        Ok(Server {
+            addr: local,
+            shutdown,
+            acceptor: Some(acceptor),
+            conns,
+            dispatcher: Some(dispatcher),
+            router,
+        })
+    }
+
+    /// The bound address (port resolved when binding `:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown; see the module docs for the ordered sequence.
+    /// Returns the first lake sync error, after the sequence completes.
+    pub fn shutdown(mut self) -> Result<(), mlake_core::LakeError> {
+        self.shutdown.store(true, Ordering::Release);
+        // Wake the blocking accept with a throwaway loopback connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        let conns = {
+            let _ord = lockorder::acquire(ranks::SERVER_CONNS, "server.conns");
+            // lock-order: 7 (server.conns)
+            std::mem::take(&mut *self.conns.lock().unwrap_or_else(|e| e.into_inner()))
+        };
+        for conn in conns {
+            let _ = conn.join();
+        }
+        if let Some(dispatcher) = self.dispatcher.take() {
+            dispatcher.shutdown();
+        }
+        self.router.sync_all()
+    }
+}
+
+struct ConnCtx {
+    router: Arc<LakeRouter>,
+    dispatch: DispatchHandle,
+    shutdown: Arc<AtomicBool>,
+    config: ServerConfig,
+}
+
+fn serve_connection(stream: TcpStream, ctx: &ConnCtx) {
+    let _ = stream.set_read_timeout(Some(ctx.config.read_timeout));
+    let _ = stream.set_nodelay(true);
+    let mut conn = HttpConn::new(stream, ctx.config.max_body);
+    loop {
+        if ctx.shutdown.load(Ordering::Acquire) {
+            return;
+        }
+        let outcome = match conn.read_request() {
+            Ok(o) => o,
+            Err(_) => return,
+        };
+        let resp = match outcome {
+            ReadOutcome::TimedOut => continue,
+            ReadOutcome::Eof => return,
+            ReadOutcome::Malformed(msg) => Response {
+                status: 400,
+                body: protocol_error(ErrorKind::InvalidInput, 400, msg),
+                extra_headers: Vec::new(),
+                close: true,
+            },
+            ReadOutcome::TooLarge(n) => Response {
+                status: 413,
+                body: protocol_error(
+                    ErrorKind::InvalidInput,
+                    413,
+                    format!("body of {n} bytes exceeds the cap"),
+                ),
+                extra_headers: Vec::new(),
+                close: true,
+            },
+            ReadOutcome::Request(req) => {
+                let close = req.wants_close();
+                let mut resp = handle_request(req, ctx);
+                resp.close = resp.close || close;
+                resp
+            }
+        };
+        let close = resp.close;
+        if conn.write_response(&resp).is_err() || close {
+            return;
+        }
+    }
+}
+
+/// Routes one request. Protocol-level work (routing, decode) runs on the
+/// connection thread; anything touching a lake is dispatched to the pool
+/// and awaited on a response channel.
+fn handle_request(req: Request, ctx: &ConnCtx) -> Response {
+    let (lake_name, api_req) = match route(&req) {
+        Ok(Routed::Api { lake, request }) => (lake, request),
+        Ok(Routed::Health) => {
+            return Response::json(200, b"{\"ok\":true}".to_vec());
+        }
+        Ok(Routed::Lakes) => {
+            let names = ctx.router.names();
+            let body = serde_json::to_vec(&names).unwrap_or_default();
+            return Response::json(200, body);
+        }
+        Ok(Routed::Metrics) => {
+            let body = serde_json::to_vec(&mlake_obs::snapshot()).unwrap_or_default();
+            return Response::json(200, body);
+        }
+        Err(resp) => return resp,
+    };
+    let Some(lake) = ctx.router.get(&lake_name) else {
+        return Response::json(404, not_found(&format!("lake '{lake_name}'")));
+    };
+
+    let api = Api::new(lake);
+    let (tx, rx) = mpsc::channel::<(u16, Vec<u8>)>();
+    let job: Job = Box::new(move || {
+        let (status, resp) = api.handle(*api_req);
+        let _ = tx.send((status, encode_response(&resp)));
+    });
+    match ctx.dispatch.try_submit(job) {
+        Ok(()) => match rx.recv() {
+            Ok((status, body)) => Response::json(status, body),
+            // The dispatcher dropped the job without running it — only
+            // possible on teardown races; nothing was acknowledged.
+            Err(_) => Response {
+                status: 503,
+                body: protocol_error(
+                    ErrorKind::Unavailable,
+                    503,
+                    "server shutting down".into(),
+                ),
+                extra_headers: vec![("Retry-After", ctx.config.retry_after_s.to_string())],
+                close: true,
+            },
+        },
+        Err(_refused) => Response {
+            status: 503,
+            body: protocol_error(
+                ErrorKind::Unavailable,
+                503,
+                "dispatch queue full; retry".into(),
+            ),
+            extra_headers: vec![("Retry-After", ctx.config.retry_after_s.to_string())],
+            close: false,
+        },
+    }
+}
+
+enum Routed {
+    Health,
+    Lakes,
+    Metrics,
+    // Boxed: an Ingest request carries a whole model artifact, which
+    // would otherwise dominate the enum's stack size.
+    Api { lake: String, request: Box<ApiRequest> },
+}
+
+/// The route table (DESIGN.md §14). REST-shaped routes are thin sugar
+/// over the typed protocol: bodies parse into the matching [`ApiRequest`]
+/// variant, so the wire protocol has exactly one source of truth.
+fn route(req: &Request) -> Result<Routed, Response> {
+    let (path, query) = match req.path.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (req.path.as_str(), ""),
+    };
+    let segs: Vec<&str> = path.split('/').filter(|s| !s.is_empty()).collect();
+    let method = req.method.as_str();
+    match segs.as_slice() {
+        ["v1", "health"] if method == "GET" => Ok(Routed::Health),
+        ["v1", "metrics"] if method == "GET" => Ok(Routed::Metrics),
+        ["v1", "lakes"] if method == "GET" => Ok(Routed::Lakes),
+        ["v1", "lakes", lake, rest @ ..] => {
+            let request = route_lake(method, rest, query, &req.body)?;
+            Ok(Routed::Api {
+                lake: (*lake).to_string(),
+                request: Box::new(request),
+            })
+        }
+        _ => Err(Response::json(404, not_found(path))),
+    }
+}
+
+fn route_lake(
+    method: &str,
+    rest: &[&str],
+    query: &str,
+    body: &[u8],
+) -> Result<ApiRequest, Response> {
+    match (method, rest) {
+        // The typed endpoint: the body IS an ApiRequest.
+        ("POST", ["api"]) => decode_request(body).map_err(|e| bad_request(e.to_string())),
+        ("GET", ["models"]) => Ok(ApiRequest::ListModels),
+        ("POST", ["models"]) => wrap_body("Ingest", body),
+        ("GET", ["models", r]) => Ok(ApiRequest::Resolve { model: parse_ref(r) }),
+        ("GET", ["models", r, "cite"]) => Ok(ApiRequest::Cite { model: parse_ref(r) }),
+        ("GET", ["models", r, "audit"]) => Ok(ApiRequest::Audit { model: parse_ref(r) }),
+        ("GET", ["models", r, "similar"]) => {
+            let (kind, k) = parse_similar_query(query)?;
+            Ok(ApiRequest::Similar {
+                model: parse_ref(r),
+                kind,
+                k,
+            })
+        }
+        ("PUT" | "POST", ["models", r, "card"]) => {
+            let card = serde_json::from_slice(body)
+                .map_err(|e| bad_request(format!("card decode: {e}")))?;
+            Ok(ApiRequest::UpdateCard {
+                model: parse_ref(r),
+                card,
+            })
+        }
+        ("POST", ["query"]) => wrap_body("Query", body),
+        ("POST", ["explain"]) => wrap_body("Explain", body),
+        ("POST", ["sync"]) => Ok(ApiRequest::Sync),
+        ("GET", ["metrics"]) => Ok(ApiRequest::Metrics),
+        _ => Err(Response::json(
+            404,
+            not_found(&format!("{method} /v1/lakes/{{lake}}/{}", rest.join("/"))),
+        )),
+    }
+}
+
+/// Wraps a JSON body as the payload of enum variant `variant` and decodes
+/// the result as an [`ApiRequest`] — REST bodies reuse the typed
+/// protocol's field definitions instead of duplicating them.
+fn wrap_body(variant: &str, body: &[u8]) -> Result<ApiRequest, Response> {
+    let text =
+        std::str::from_utf8(body).map_err(|_| bad_request("body must be utf-8 JSON".into()))?;
+    let content =
+        serde_json::parse(text).map_err(|e| bad_request(format!("body parse: {e}")))?;
+    let wrapped = Content::Map(vec![(variant.to_string(), content)]);
+    ApiRequest::from_content(&wrapped).map_err(|e| bad_request(format!("{variant} decode: {e}")))
+}
+
+/// `{ref}` path segments: all digits → id, 64 hex chars → digest,
+/// anything else → name. Numeric or 64-hex *names* must be addressed via
+/// the typed `/api` endpoint, where `WireRef` is explicit.
+fn parse_ref(s: &str) -> WireRef {
+    if !s.is_empty() && s.bytes().all(|b| b.is_ascii_digit()) {
+        if let Ok(id) = s.parse() {
+            return WireRef::Id(id);
+        }
+    }
+    if s.len() == 64 && s.bytes().all(|b| b.is_ascii_hexdigit()) {
+        return WireRef::Digest(s.to_ascii_lowercase());
+    }
+    WireRef::Name(s.to_string())
+}
+
+fn parse_similar_query(query: &str) -> Result<(FingerprintKind, usize), Response> {
+    let mut kind = FingerprintKind::Hybrid;
+    let mut k = 10usize;
+    for pair in query.split('&').filter(|p| !p.is_empty()) {
+        match pair.split_once('=') {
+            Some(("kind", v)) => {
+                kind = match v {
+                    "intrinsic" => FingerprintKind::Intrinsic,
+                    "extrinsic" => FingerprintKind::Extrinsic,
+                    "hybrid" => FingerprintKind::Hybrid,
+                    other => {
+                        return Err(bad_request(format!(
+                            "unknown fingerprint kind '{other}' \
+                             (intrinsic|extrinsic|hybrid)"
+                        )))
+                    }
+                }
+            }
+            Some(("k", v)) => {
+                k = v
+                    .parse()
+                    .map_err(|_| bad_request(format!("bad k '{v}'")))?;
+            }
+            _ => return Err(bad_request(format!("bad query pair '{pair}'"))),
+        }
+    }
+    Ok((kind, k))
+}
+
+fn bad_request(msg: String) -> Response {
+    Response::json(400, protocol_error(ErrorKind::InvalidInput, 400, msg))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn ref_segments_parse_by_shape() {
+        assert_eq!(parse_ref("17"), WireRef::Id(17));
+        assert_eq!(parse_ref("base-legal"), WireRef::Name("base-legal".into()));
+        let hex = "AB".repeat(32);
+        assert_eq!(parse_ref(&hex), WireRef::Digest("ab".repeat(32)));
+    }
+
+    #[test]
+    fn routes_map_to_typed_requests() {
+        let r = route(&get("/v1/lakes/main/models/3/similar?kind=intrinsic&k=4")).unwrap();
+        match r {
+            Routed::Api { lake, request } => {
+                assert_eq!(lake, "main");
+                assert_eq!(
+                    *request,
+                    ApiRequest::Similar {
+                        model: WireRef::Id(3),
+                        kind: FingerprintKind::Intrinsic,
+                        k: 4
+                    }
+                );
+            }
+            _ => panic!("expected api route"),
+        }
+        assert!(matches!(route(&get("/v1/health")).unwrap(), Routed::Health));
+        assert!(route(&get("/nope")).is_err());
+    }
+
+    #[test]
+    fn rest_bodies_reuse_the_typed_protocol() {
+        let req = Request {
+            method: "POST".into(),
+            path: "/v1/lakes/main/query".into(),
+            headers: Vec::new(),
+            body: b"{\"mlql\": \"FIND MODELS\"}".to_vec(),
+        };
+        match route(&req).unwrap() {
+            Routed::Api { request, .. } => {
+                assert_eq!(*request, ApiRequest::Query { mlql: "FIND MODELS".into() });
+            }
+            _ => panic!("expected api route"),
+        }
+    }
+}

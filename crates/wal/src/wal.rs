@@ -11,7 +11,7 @@ use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 pub const DEFAULT_SEGMENT_BYTES: u64 = 4 * 1024 * 1024;
 
 /// When appended records become durable.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
 pub enum SyncPolicy {
     /// `fsync` after every append; an `Ok` from [`Wal::append`] means the
     /// record is on stable storage.

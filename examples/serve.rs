@@ -1,0 +1,53 @@
+//! Serve: stand up the HTTP service from the README "Serving" section
+//! over a freshly generated benchmark lake, then run until killed.
+//!
+//! ```text
+//! cargo run --example serve --release             # binds 127.0.0.1:8080
+//! cargo run --example serve --release -- 127.0.0.1:0   # ephemeral port
+//! ```
+//!
+//! Try it from another shell (the startup banner prints copy-pastable
+//! commands with the bound port filled in):
+//!
+//! ```text
+//! curl -s localhost:8080/v1/health
+//! curl -s localhost:8080/v1/lakes/main/models
+//! curl -s 'localhost:8080/v1/lakes/main/models/0/similar?kind=hybrid&k=5'
+//! ```
+
+use model_lakes::core::lake::{LakeConfig, ModelLake};
+use model_lakes::core::populate::{populate_from_ground_truth, CardPolicy};
+use model_lakes::datagen::{generate_lake, LakeSpec};
+use model_lakes::server::{LakeRouter, Server, ServerConfig};
+use std::sync::Arc;
+
+fn main() {
+    let addr = std::env::args().nth(1).unwrap_or_else(|| "127.0.0.1:8080".into());
+
+    // A benchmark lake with verified ground truth, same as quickstart.
+    let gt = generate_lake(&LakeSpec::tiny(42));
+    let lake = ModelLake::new(LakeConfig::builder().name("main").build().unwrap());
+    populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).unwrap();
+    let n = gt.models.len();
+
+    let router = Arc::new(LakeRouter::new());
+    let lake = router.register("main", lake);
+    let first = lake.model_names().into_iter().next();
+
+    let server = Server::bind(router, &addr, ServerConfig::default()).unwrap();
+    let at = server.addr();
+    println!("serving {n} models on http://{at}  (ctrl-c to stop)");
+    println!("  curl -s {at}/v1/health");
+    println!("  curl -s {at}/v1/lakes/main/models");
+    if let Some(name) = first {
+        println!("  curl -s '{at}/v1/lakes/main/models/{name}/similar?kind=hybrid&k=5'");
+        println!("  curl -s {at}/v1/lakes/main/models/{name}/cite");
+    }
+    println!("  curl -s -X POST {at}/v1/lakes/main/query -d '{{\"mlql\": \"FIND MODELS LIMIT 3\"}}'");
+
+    // Serve until the process is killed; connections are handled on
+    // background threads, so the main thread just parks.
+    loop {
+        std::thread::park();
+    }
+}

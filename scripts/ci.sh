@@ -15,13 +15,17 @@
 # sharded scatter-gather determinism), the SQ8 recall gate in both
 # observability modes, the WAL crash-recovery matrix
 # (kill-at-every-write/fsync sweep, again in both observability modes), a
-# performance guard covering the tiled matmul, the quantized flat scan,
-# the sharded scatter-gather merge and WAL append throughput — run in both
+# the serving stage (the end-to-end HTTP hammer — concurrent mixed load,
+# deliberate backpressure, graceful shutdown + reopen — in both
+# observability modes), a performance guard covering the tiled matmul,
+# the quantized flat scan, the sharded scatter-gather merge, WAL append
+# throughput and the HTTP closed-loop serving floor — run in both
 # observability modes, budgets overridable via MLAKE_BENCH_GUARD_MS /
 # MLAKE_BENCH_GUARD_SQ8_MS / MLAKE_BENCH_GUARD_SQ8_RATIO /
-# MLAKE_BENCH_GUARD_SHARD_OPS / MLAKE_BENCH_GUARD_WAL_OPS — and clippy
-# with warnings denied across the crates the parallel and observability
-# layers touch.
+# MLAKE_BENCH_GUARD_SHARD_OPS / MLAKE_BENCH_GUARD_WAL_OPS /
+# MLAKE_BENCH_GUARD_HTTP_OPS / MLAKE_BENCH_GUARD_HTTP_P99_MS — and clippy
+# with warnings denied across the crates the parallel, observability and
+# serving layers touch.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -65,15 +69,19 @@ step "crash recovery: kill-at-every-write/fsync sweep (obs on + off)"
 cargo test -q -p mlake-core --test crash_recovery --release
 MLAKE_OBS=off cargo test -q -p mlake-core --test crash_recovery --release
 
-step "bench guard: matmul + sq8 scan + sharded merge + wal append (obs on + off)"
+step "serve: end-to-end HTTP hammer over TCP (obs on + off)"
+cargo test -q -p mlake-server --test hammer --release
+MLAKE_OBS=off cargo test -q -p mlake-server --test hammer --release
+
+step "bench guard: matmul + sq8 scan + sharded merge + wal append + http serving (obs on + off)"
 cargo run -q -p mlake-bench --bin bench_guard --release
 MLAKE_OBS=off cargo run -q -p mlake-bench --bin bench_guard --release
 
-step "clippy -D warnings (parallel + observability crates)"
+step "clippy -D warnings (parallel + observability + serving crates)"
 cargo clippy -q -p mlake-par -p mlake-tensor -p mlake-index \
   -p mlake-fingerprint -p mlake-datagen -p mlake-bench \
   -p mlake-obs -p mlake-core -p mlake-query -p mlake-lint \
-  -p mlake-wal -- -D warnings
+  -p mlake-wal -p mlake-proto -p mlake-server -p mlake-load -- -D warnings
 
 echo
 echo "ci: all green"

@@ -7,6 +7,8 @@ pub use mlake_datagen as datagen;
 pub use mlake_fingerprint as fingerprint;
 pub use mlake_index as index;
 pub use mlake_nn as nn;
+pub use mlake_proto as proto;
 pub use mlake_query as query;
+pub use mlake_server as server;
 pub use mlake_tensor as tensor;
 pub use mlake_versioning as versioning;
