@@ -23,8 +23,8 @@ fn bench_sha256(c: &mut Criterion) {
 fn bench_artifact_codec(c: &mut Criterion) {
     let gt = generate_lake(&LakeSpec::tiny(3));
     let model = gt.models[0].model.clone();
-    let bytes = model.to_bytes();
-    c.bench_function("artifact_encode", |b| b.iter(|| black_box(&model).to_bytes()));
+    let bytes = model.to_bytes().unwrap();
+    c.bench_function("artifact_encode", |b| b.iter(|| black_box(&model).to_bytes().unwrap()));
     c.bench_function("artifact_decode", |b| {
         b.iter(|| Model::from_bytes(black_box(&bytes)).unwrap())
     });

@@ -113,8 +113,8 @@ impl ModelCard {
     }
 
     /// Serialises to pretty JSON (the hub interchange format).
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("card serialisation is infallible")
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Parses a JSON card.
@@ -182,7 +182,7 @@ mod tests {
     #[test]
     fn json_round_trip() {
         let card = full_card();
-        let json = card.to_json();
+        let json = card.to_json().unwrap();
         let back = ModelCard::from_json(&json).unwrap();
         assert_eq!(card, back);
         assert!(ModelCard::from_json("{not json").is_err());

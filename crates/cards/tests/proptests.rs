@@ -43,7 +43,7 @@ fn arb_card() -> impl Strategy<Value = ModelCard> {
 proptest! {
     #[test]
     fn card_json_round_trip(card in arb_card()) {
-        let json = card.to_json();
+        let json = card.to_json().unwrap();
         let back = ModelCard::from_json(&json).unwrap();
         prop_assert_eq!(card, back);
     }

@@ -75,6 +75,7 @@ impl Compactor {
     /// taken. Never blocks on the compaction itself.
     pub(crate) fn request(&self) {
         let (lock, cvar) = &*self.state;
+        // lock-order: 60 (compact.state)
         let mut s = lock.lock();
         if !s.pending {
             s.pending = true;
@@ -89,6 +90,7 @@ impl Compactor {
     /// synchronization only — the data path never waits on the thread.
     pub(crate) fn wait_idle(&self) {
         let (lock, cvar) = &*self.state;
+        // lock-order: 60 (compact.state)
         let mut s = lock.lock();
         while s.pending || s.running {
             cvar.wait(&mut s);
@@ -101,6 +103,7 @@ impl Compactor {
     pub(crate) fn shutdown(mut self) {
         {
             let (lock, cvar) = &*self.state;
+            // lock-order: 60 (compact.state)
             let mut s = lock.lock();
             s.shutdown = true;
             cvar.notify_all();
@@ -118,6 +121,7 @@ fn run(shared: Arc<LakeShared>, state: Arc<(Mutex<State>, Condvar)>) {
     loop {
         {
             let (lock, cvar) = &*state;
+            // lock-order: 60 (compact.state)
             let mut s = lock.lock();
             while !s.pending && !s.shutdown {
                 cvar.wait(&mut s);
@@ -146,6 +150,7 @@ fn run(shared: Arc<LakeShared>, state: Arc<(Mutex<State>, Condvar)>) {
         }
         {
             let (lock, cvar) = &*state;
+            // lock-order: 60 (compact.state)
             let mut s = lock.lock();
             s.running = false;
             cvar.notify_all();

@@ -421,7 +421,7 @@ impl ModelLake {
                 "model '{name}' contains non-finite parameters"
             )));
         }
-        let bytes = model.to_bytes();
+        let bytes = model.to_bytes()?;
         let digest = self.shared.store.put(&bytes);
         let card =
             card.unwrap_or_else(|| ModelCard::skeleton(name, model.architecture().signature()));

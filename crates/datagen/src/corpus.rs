@@ -18,13 +18,14 @@ pub fn sample_corpus(domain: &Domain, len: usize, root: Seed, draw: Seed) -> Vec
     let unigram = domain.token_weights(root, VOCAB);
     let mut rng: Pcg64 = draw.derive("corpus-draw").rng();
     let mut out = Vec::with_capacity(len);
-    let mut prev = rng
-        .weighted_index(&unigram)
-        .expect("unigram weights are positive");
+    // Domain weight vectors are strictly positive Zipf masses, so
+    // `weighted_index` cannot fail; the fallback keeps sampling total
+    // without an unreachable panic path.
+    let mut prev = rng.weighted_index(&unigram).unwrap_or(0);
     out.push(prev);
     while out.len() < len {
         let row = &affinity[prev];
-        let next = rng.weighted_index(row).expect("affinity rows are positive");
+        let next = rng.weighted_index(row).unwrap_or(0);
         out.push(next);
         prev = next;
     }

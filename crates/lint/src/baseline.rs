@@ -139,6 +139,7 @@ mod tests {
             line: 1,
             message: String::new(),
             snippet: snippet.to_string(),
+            chain: Vec::new(),
         }
     }
 

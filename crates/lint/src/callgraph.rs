@@ -1,0 +1,419 @@
+//! Conservative workspace call graph over [`crate::resolve::Workspace`].
+//!
+//! Call sites are recovered from token patterns and resolved with the
+//! heuristics below (DESIGN.md §10). Unresolvable names (std methods,
+//! macro internals) simply produce no edge.
+//!
+//! * `f(…)` — free functions named `f` in the caller's crate, then the
+//!   `use`-imported crate, then the dependency closure;
+//! * `Type::m(…)` / `Self::m(…)` — methods of that type (including
+//!   trait-impl methods); `module::f(…)` falls back to free functions in
+//!   the named or importing crate;
+//! * `self.m(…)` — methods `m` of the enclosing impl type first, the
+//!   by-name fallback otherwise;
+//! * `expr.m(…)` — **over-approximate**: every inherent method named `m`
+//!   in the caller's dependency closure. Trait-impl methods are excluded
+//!   from this fallback so manual `Clone`/`Drop`/`Display` impls do not
+//!   fan the graph out through every `.clone()` call.
+//!
+//! Lock primitives (`.lock()`, `.read()`, `.write()`, `try_*`) never
+//! create call edges — they are acquisition sites, handled by
+//! [`crate::wpa`].
+
+use crate::lexer::{Tok, TokKind};
+use crate::resolve::{ident_at, is_keyword, punct_at, FnId, Workspace};
+
+/// Method names that are lock primitives, not calls.
+const LOCK_PRIMITIVES: [&str; 6] = ["lock", "read", "write", "try_lock", "try_read", "try_write"];
+
+/// One resolved call edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CallSite {
+    /// Resolved callee.
+    pub callee: FnId,
+    /// 1-based source line of the call.
+    pub line: usize,
+    /// Token index of the callee name in the caller's file.
+    pub tok: usize,
+}
+
+/// Per-caller adjacency: `edges[caller]` lists its resolved call sites.
+pub struct CallGraph {
+    /// Outgoing call sites, indexed by [`FnId`].
+    pub edges: Vec<Vec<CallSite>>,
+}
+
+impl CallGraph {
+    /// Builds the graph for every non-test fn in the workspace.
+    pub fn build(ws: &Workspace) -> CallGraph {
+        let mut edges: Vec<Vec<CallSite>> = vec![Vec::new(); ws.fns.len()];
+        // Per-file sorted fn body ranges, to skip nested fn items when
+        // walking an outer body.
+        let mut bodies_per_file: Vec<Vec<(usize, usize, FnId)>> = vec![Vec::new(); ws.files.len()];
+        for (id, f) in ws.fns.iter().enumerate() {
+            if let Some((open, close)) = f.body {
+                bodies_per_file[f.file].push((open, close, id));
+            }
+        }
+        for b in &mut bodies_per_file {
+            b.sort_unstable();
+        }
+
+        for (id, f) in ws.fns.iter().enumerate() {
+            if f.in_test {
+                continue;
+            }
+            let Some((open, close)) = f.body else {
+                continue;
+            };
+            let file = &ws.files[f.file];
+            let toks = &file.scanned.tokens;
+            let mut i = open + 1;
+            while i < close {
+                // Skip bodies of fns nested inside this one, so their
+                // calls are attributed to the nested item.
+                if let Some(&(_, nc, _)) = bodies_per_file[f.file]
+                    .iter()
+                    .find(|&&(no, nc, nid)| no == i && nid != id && nc < close)
+                {
+                    i = nc + 1;
+                    continue;
+                }
+                if let Some(site) = call_at(ws, f, i) {
+                    for callee in site {
+                        edges[id].push(CallSite {
+                            callee,
+                            line: toks[i].line,
+                            tok: i,
+                        });
+                    }
+                }
+                i += 1;
+            }
+        }
+        CallGraph { edges }
+    }
+
+    /// Call sites whose name token falls in `(lo, hi)` of the caller's
+    /// token stream.
+    pub fn sites_in_range(&self, caller: FnId, lo: usize, hi: usize) -> Vec<CallSite> {
+        self.edges[caller]
+            .iter()
+            .copied()
+            .filter(|s| s.tok > lo && s.tok < hi)
+            .collect()
+    }
+}
+
+/// Resolves a potential call with its name token at `i`, or `None`.
+fn call_at(ws: &Workspace, caller: &crate::resolve::FnItem, i: usize) -> Option<Vec<FnId>> {
+    let file = &ws.files[caller.file];
+    let toks = &file.scanned.tokens;
+    let name = ident_at(toks, i)?;
+    // `name(` with `name` not a keyword; `name!(…)` macros fail the
+    // paren-adjacency check, `fn name(` definitions the prev-token check.
+    if !punct_at(toks, i + 1, '(')
+        || is_keyword(name)
+        || ident_at(toks, i.wrapping_sub(1)) == Some("fn")
+    {
+        return None;
+    }
+    let krate = &file.crate_name;
+
+    if punct_at(toks, i.wrapping_sub(1), '.') {
+        // Method call.
+        if LOCK_PRIMITIVES.contains(&name) {
+            return None;
+        }
+        // `…(…).m(…)`: the receiver is a call result — a guard deref, a
+        // builder, a macro expansion. Its type is unknowable here and a
+        // by-name fallback on such receivers manufactures false edges
+        // (`OpenOptions::new().append(true)` is not `Wal::append`), so
+        // these produce no edge. Workspace-relevant calls flow through
+        // named receivers in practice.
+        if punct_at(toks, i.wrapping_sub(2), ')') {
+            return None;
+        }
+        let receiver = ident_at(toks, i.wrapping_sub(2));
+        let receiver_is_plain_self =
+            receiver == Some("self") && !punct_at(toks, i.wrapping_sub(3), '.');
+        if receiver_is_plain_self {
+            if let Some(ty) = &caller.impl_type {
+                let on_type = ws.resolve_method_on(krate, ty, name);
+                if !on_type.is_empty() {
+                    return Some(on_type);
+                }
+            }
+        } else if let Some(field) = receiver {
+            if punct_at(toks, i.wrapping_sub(3), '.') {
+                // `owner.field.m(…)`: type the receiver through the
+                // declared field type. A field typed entirely by external
+                // idents (Condvar, HashMap, …) produces no edge.
+                let owner = if ident_at(toks, i.wrapping_sub(4)) == Some("self") {
+                    caller.impl_type.as_deref()
+                } else {
+                    None
+                };
+                if let Some(tidents) = ws.field_type_idents(owner, field) {
+                    let mut out = Vec::new();
+                    for ty in tidents {
+                        if ws.is_known_type(ty) {
+                            out.extend(ws.resolve_method_on(krate, ty, name));
+                        }
+                    }
+                    out.sort_unstable();
+                    out.dedup();
+                    return if out.is_empty() { None } else { Some(out) };
+                }
+            }
+        }
+        let by_name = ws.resolve_method_by_name(krate, name, count_args(toks, i + 1));
+        return if by_name.is_empty() {
+            None
+        } else {
+            Some(by_name)
+        };
+    }
+
+    if punct_at(toks, i.wrapping_sub(1), ':') && punct_at(toks, i.wrapping_sub(2), ':') {
+        // Path call `seg::name(…)`.
+        let seg = ident_at(toks, i.wrapping_sub(3))?;
+        if seg == "Self" {
+            if let Some(ty) = &caller.impl_type {
+                let on_type = ws.resolve_method_on(krate, ty, name);
+                if !on_type.is_empty() {
+                    return Some(on_type);
+                }
+            }
+            return None;
+        }
+        // Known type: method. (Checked before imports so `Wal::open`
+        // resolves as a method even when `Wal` is `use`d.)
+        if ws.is_known_type(seg) {
+            let on_type = ws.resolve_method_on(krate, seg, name);
+            if !on_type.is_empty() {
+                return Some(on_type);
+            }
+        }
+        // Imported or literal crate path: free fn in that crate.
+        if let Some(target) = file
+            .imports
+            .get(seg)
+            .cloned()
+            .or_else(|| seg.strip_prefix("mlake_").map(|r| r.replace('_', "-")))
+        {
+            let in_crate = ws.resolve_free_in(&target, name);
+            if !in_crate.is_empty() {
+                return Some(in_crate);
+            }
+        }
+        // Sibling module in the same crate (`module::f(…)`).
+        let same = ws.resolve_free_in(krate, name);
+        return if same.is_empty() { None } else { Some(same) };
+    }
+
+    // Bare call `name(…)`. Same crate wins, then `use`d crate.
+    let frees = ws.resolve_free(krate, name);
+    if !frees.is_empty() {
+        // When the name is explicitly imported, narrow to that crate.
+        if let Some(target) = file.imports.get(name) {
+            let narrowed: Vec<FnId> = frees
+                .iter()
+                .copied()
+                .filter(|&id| &ws.files[ws.fns[id].file].crate_name == target)
+                .collect();
+            if !narrowed.is_empty() {
+                return Some(narrowed);
+            }
+        }
+        return Some(frees);
+    }
+    None
+}
+
+/// Counts the arguments of the call whose open paren is at `open`.
+/// `None` when the list is unclosed or a closure pipe appears at the
+/// top level (its parameter commas would be miscounted) — the caller
+/// then matches by name alone.
+fn count_args(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 1usize;
+    let mut bracket = 0usize;
+    let mut brace = 0usize;
+    let mut segs = 0usize;
+    let mut seg_tokens = 0usize;
+    let mut j = open;
+    loop {
+        j += 1;
+        match &toks.get(j)?.kind {
+            TokKind::Punct('(') => depth += 1,
+            TokKind::Punct(')') => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            TokKind::Punct('[') => bracket += 1,
+            TokKind::Punct(']') => bracket = bracket.saturating_sub(1),
+            TokKind::Punct('{') => brace += 1,
+            TokKind::Punct('}') => brace = brace.saturating_sub(1),
+            TokKind::Punct('|') if depth == 1 && bracket == 0 && brace == 0 => return None,
+            TokKind::Punct(',') if depth == 1 && bracket == 0 && brace == 0 => {
+                if seg_tokens > 0 {
+                    segs += 1;
+                }
+                seg_tokens = 0;
+                continue;
+            }
+            _ => {}
+        }
+        seg_tokens += 1;
+    }
+    if seg_tokens > 0 {
+        segs += 1;
+    }
+    Some(segs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::scan;
+    use crate::resolve::deps_all;
+
+    fn graph(files: &[(&str, &str)]) -> (Workspace, CallGraph) {
+        let sources = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), scan(s)))
+            .collect();
+        let crates: Vec<&str> = files
+            .iter()
+            .map(|(p, _)| Box::leak(crate::resolve::crate_of_path(p).into_boxed_str()) as &str)
+            .collect();
+        let ws = Workspace::build(sources, &deps_all(&crates));
+        let cg = CallGraph::build(&ws);
+        (ws, cg)
+    }
+
+    fn fn_id(ws: &Workspace, name: &str) -> FnId {
+        ws.fns
+            .iter()
+            .position(|f| f.name == name)
+            .unwrap_or_else(|| panic!("no fn named {name}"))
+    }
+
+    fn callees(ws: &Workspace, cg: &CallGraph, name: &str) -> Vec<String> {
+        let id = fn_id(ws, name);
+        let mut out: Vec<String> = cg.edges[id]
+            .iter()
+            .map(|s| ws.fns[s.callee].qual_name())
+            .collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+
+    #[test]
+    fn direct_and_path_calls_resolve() {
+        let (ws, cg) = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn top() { helper(); util::leaf(); }\nfn helper() {}\nmod util { pub fn leaf() {} }",
+        )]);
+        assert_eq!(callees(&ws, &cg, "top"), vec!["helper", "leaf"]);
+    }
+
+    #[test]
+    fn self_method_calls_resolve_to_impl_type() {
+        let (ws, cg) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A;\nstruct B;\nimpl A {\n    fn go(&self) { self.step(); }\n    fn step(&self) {}\n}\nimpl B {\n    fn step(&self) {}\n}",
+        )]);
+        assert_eq!(callees(&ws, &cg, "go"), vec!["A::step"]);
+    }
+
+    #[test]
+    fn unknown_receiver_over_approximates_inherent_methods() {
+        let (ws, cg) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A;\nstruct B;\nfn go(x: &A) { x.step(); }\nimpl A { fn step(&self) {} }\nimpl B { fn step(&self) {} }",
+        )]);
+        assert_eq!(callees(&ws, &cg, "go"), vec!["A::step", "B::step"]);
+    }
+
+    #[test]
+    fn name_fallback_respects_arity() {
+        // `cvar.wait(&mut s)` (one argument) must not resolve to a
+        // zero-argument `Latch::wait`; a matching arity still does.
+        let (ws, cg) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct Latch;\nimpl Latch { fn wait(&self) {} }\nfn go(cvar: &C, s: &mut S) { cvar.wait(s); }\nfn ok(l: &L) { l.wait(); }",
+        )]);
+        assert!(callees(&ws, &cg, "go").is_empty());
+        assert_eq!(callees(&ws, &cg, "ok"), vec!["Latch::wait"]);
+    }
+
+    #[test]
+    fn trait_impl_methods_do_not_join_name_fallback() {
+        let (ws, cg) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A;\nimpl Clone for A { fn clone(&self) -> A { A } }\nfn go(x: &A) { x.clone(); }",
+        )]);
+        assert!(callees(&ws, &cg, "go").is_empty());
+    }
+
+    #[test]
+    fn type_path_call_resolves_trait_impl_methods() {
+        let (ws, cg) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A;\nimpl Iterator for A { fn next(&mut self) -> Option<u8> { None } }\nfn go(x: &mut A) { A::next(x); }",
+        )]);
+        assert_eq!(callees(&ws, &cg, "go"), vec!["A::next"]);
+    }
+
+    #[test]
+    fn cross_crate_calls_respect_dep_closure() {
+        let sources = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                scan("pub fn target() {}"),
+            ),
+            (
+                "crates/b/src/lib.rs".to_string(),
+                scan("pub fn target() {}"),
+            ),
+            (
+                "crates/c/src/lib.rs".to_string(),
+                scan("use mlake_a::target;\nfn go() { target(); }"),
+            ),
+        ];
+        let mut deps = std::collections::HashMap::new();
+        deps.insert("c".to_string(), vec!["a".to_string(), "b".to_string()]);
+        let ws = Workspace::build(sources, &deps);
+        let cg = CallGraph::build(&ws);
+        let id = fn_id(&ws, "go");
+        // The explicit import narrows `target` to crate a.
+        assert_eq!(cg.edges[id].len(), 1);
+        assert_eq!(
+            ws.files[ws.fns[cg.edges[id][0].callee].file].crate_name,
+            "a"
+        );
+    }
+
+    #[test]
+    fn lock_primitives_and_macros_produce_no_edges() {
+        let (ws, cg) = graph(&[(
+            "crates/a/src/lib.rs",
+            "struct A;\nimpl A { fn lock(&self) {} fn read(&self) {} }\nfn go(x: &A) { x.lock(); x.read(); println!(\"hi\"); }",
+        )]);
+        assert!(callees(&ws, &cg, "go").is_empty());
+    }
+
+    #[test]
+    fn test_fns_have_no_edges() {
+        let (ws, cg) = graph(&[(
+            "crates/a/src/lib.rs",
+            "fn prod() {}\n#[cfg(test)]\nmod tests {\n    fn t() { super::prod(); }\n}",
+        )]);
+        let id = fn_id(&ws, "t");
+        assert!(cg.edges[id].is_empty());
+    }
+}

@@ -1,0 +1,210 @@
+//! Machine-readable report rendering (the `--json` mode).
+//!
+//! The schema is stable and consumed by CI (`scripts/ci.sh` writes it as
+//! a build artifact); extend it by *adding* fields, never renaming:
+//!
+//! ```json
+//! {
+//!   "schema": "mlake-lint/1",
+//!   "findings": [
+//!     { "pass": "…", "path": "…", "line": 1, "snippet": "…",
+//!       "message": "…", "chain": ["…"], "baselined": false }
+//!   ],
+//!   "stale": [ { "pass": "…", "path": "…", "snippet": "…" } ],
+//!   "summary": { "total": 0, "new": 0, "baselined": 0, "stale": 0 }
+//! }
+//! ```
+//!
+//! `findings` lists every finding (baselined or not) sorted by
+//! (path, line, pass); `baselined` distinguishes accepted legacy debt
+//! from run-failing findings. The renderer is hand-rolled — the lint
+//! binary stays zero-dependency — and escapes per RFC 8259; the schema
+//! round-trip test parses the output with the vendored `serde_json`
+//! (dev-dependency only).
+
+use crate::baseline::Entry;
+use crate::passes::Finding;
+
+/// Schema identifier embedded in every report.
+pub const SCHEMA: &str = "mlake-lint/1";
+
+/// Escapes a string for a JSON literal (RFC 8259 §7).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn str_array(items: &[String]) -> String {
+    let inner: Vec<String> = items.iter().map(|s| format!("\"{}\"", esc(s))).collect();
+    format!("[{}]", inner.join(","))
+}
+
+/// Renders the full report. `baselined` flags findings (parallel to
+/// `findings`) that the `lint.allow` baseline covers.
+pub fn render(findings: &[Finding], baselined: &[bool], stale: &[Entry]) -> String {
+    debug_assert_eq!(findings.len(), baselined.len());
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"schema\": \"{}\",\n", esc(SCHEMA)));
+
+    out.push_str("  \"findings\": [");
+    for (i, (f, &b)) in findings.iter().zip(baselined).enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"pass\": \"{}\", \"path\": \"{}\", \"line\": {}, \"snippet\": \"{}\", \"message\": \"{}\", \"chain\": {}, \"baselined\": {}}}",
+            esc(f.pass),
+            esc(&f.path),
+            f.line,
+            esc(&f.snippet),
+            esc(&f.message),
+            str_array(&f.chain),
+            b
+        ));
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
+    out.push_str("  \"stale\": [");
+    for (i, e) in stale.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"pass\": \"{}\", \"path\": \"{}\", \"snippet\": \"{}\"}}",
+            esc(&e.pass),
+            esc(&e.path),
+            esc(&e.snippet)
+        ));
+    }
+    if !stale.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("],\n");
+
+    let baselined_n = baselined.iter().filter(|&&b| b).count();
+    out.push_str(&format!(
+        "  \"summary\": {{\"total\": {}, \"new\": {}, \"baselined\": {}, \"stale\": {}}}\n",
+        findings.len(),
+        findings.len() - baselined_n,
+        baselined_n,
+        stale.len()
+    ));
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde::Content;
+
+    fn finding(pass: &'static str, snippet: &str, chain: Vec<String>) -> Finding {
+        Finding {
+            pass,
+            path: "crates/a/src/lib.rs".to_string(),
+            line: 7,
+            message: "a \"quoted\" message\twith controls".to_string(),
+            snippet: snippet.to_string(),
+            chain,
+        }
+    }
+
+    fn get<'c>(c: &'c Content, key: &str) -> &'c Content {
+        match c {
+            Content::Map(entries) => entries
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| v)
+                .unwrap_or_else(|| panic!("missing key {key}")),
+            other => panic!("expected map for key {key}, got {other:?}"),
+        }
+    }
+
+    fn arr(c: &Content) -> &[Content] {
+        match c {
+            Content::Seq(items) => items,
+            other => panic!("expected array, got {other:?}"),
+        }
+    }
+
+    fn s(c: &Content) -> &str {
+        match c {
+            Content::Str(v) => v,
+            other => panic!("expected string, got {other:?}"),
+        }
+    }
+
+    fn num(c: &Content) -> u64 {
+        match c {
+            Content::U64(v) => *v,
+            Content::I64(v) => *v as u64,
+            other => panic!("expected number, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_round_trips_through_schema() {
+        let findings = vec![
+            finding("no-panic", "x.unwrap()", vec![]),
+            finding(
+                "transitive-panic",
+                "pub fn ingest(",
+                vec![
+                    "mlake-core::ModelLake::ingest (crates/core/src/lake.rs:10)".to_string(),
+                    "panic! at crates/nn/src/lib.rs:3".to_string(),
+                ],
+            ),
+        ];
+        let stale = vec![Entry {
+            pass: "no-panic".to_string(),
+            path: "crates/b/src/lib.rs".to_string(),
+            snippet: "old.unwrap() // \\ backslash".to_string(),
+        }];
+        let text = render(&findings, &[true, false], &stale);
+
+        let v = serde_json::parse(&text).expect("valid JSON");
+        assert_eq!(s(get(&v, "schema")), SCHEMA);
+        let fs = arr(get(&v, "findings"));
+        assert_eq!(fs.len(), 2);
+        assert_eq!(s(get(&fs[0], "pass")), "no-panic");
+        assert_eq!(num(get(&fs[0], "line")), 7);
+        assert_eq!(get(&fs[0], "baselined"), &Content::Bool(true));
+        assert_eq!(
+            s(get(&fs[0], "message")),
+            "a \"quoted\" message\twith controls"
+        );
+        assert_eq!(get(&fs[1], "baselined"), &Content::Bool(false));
+        let chain = arr(get(&fs[1], "chain"));
+        assert_eq!(chain.len(), 2);
+        assert!(s(&chain[0]).contains("ModelLake::ingest"));
+        let stale_out = arr(get(&v, "stale"));
+        assert_eq!(s(get(&stale_out[0], "snippet")), "old.unwrap() // \\ backslash");
+        let summary = get(&v, "summary");
+        assert_eq!(num(get(summary, "total")), 2);
+        assert_eq!(num(get(summary, "new")), 1);
+        assert_eq!(num(get(summary, "baselined")), 1);
+        assert_eq!(num(get(summary, "stale")), 1);
+    }
+
+    #[test]
+    fn empty_report_is_valid_json() {
+        let text = render(&[], &[], &[]);
+        let v = serde_json::parse(&text).expect("valid JSON");
+        assert!(arr(get(&v, "findings")).is_empty());
+        assert_eq!(num(get(get(&v, "summary"), "total")), 0);
+    }
+}

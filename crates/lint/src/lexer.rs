@@ -49,10 +49,12 @@ pub struct Scanned {
     pub tokens: Vec<Tok>,
     /// Comments in order.
     pub comments: Vec<Comment>,
-    /// Line of the first `#[cfg(test)]` attribute, if any. By workspace
-    /// convention the unit-test module sits at the end of the file, so
-    /// everything from this line on is treated as test code.
-    pub cfg_test_start: Option<usize>,
+    /// Line ranges (inclusive) of `#[cfg(test)]` items: each region spans
+    /// from the attribute to the closing brace of the item it annotates
+    /// (usually `mod tests { … }`). A region with no following brace block
+    /// extends to the end of the file. Regions need not be last in the
+    /// file — code after a test module is still library code.
+    pub test_regions: Vec<(usize, usize)>,
 }
 
 impl Scanned {
@@ -64,9 +66,11 @@ impl Scanned {
             .unwrap_or("")
     }
 
-    /// True when `line` falls inside the trailing `#[cfg(test)]` region.
+    /// True when `line` falls inside a `#[cfg(test)]` region.
     pub fn in_test_region(&self, line: usize) -> bool {
-        self.cfg_test_start.is_some_and(|start| line >= start)
+        self.test_regions
+            .iter()
+            .any(|&(lo, hi)| line >= lo && line <= hi)
     }
 
     /// True when any comment overlapping lines `[lo, hi]` contains `needle`.
@@ -273,19 +277,47 @@ pub fn scan(src: &str) -> Scanned {
         bump!(1);
     }
 
-    out.cfg_test_start = find_cfg_test(&out.tokens);
+    out.test_regions = find_test_regions(&out.tokens, line);
     out
 }
 
-/// Line of the first `#[cfg(test)]` attribute in the token stream.
-fn find_cfg_test(tokens: &[Tok]) -> Option<usize> {
+/// Index of the token closing the group opened at `open` (which must be
+/// `open_ch`), honouring nesting. `None` when unbalanced.
+fn matching_close(tokens: &[Tok], open: usize, open_ch: char, close_ch: char) -> Option<usize> {
+    let mut depth = 0usize;
+    for (k, t) in tokens.iter().enumerate().skip(open) {
+        match &t.kind {
+            TokKind::Punct(p) if *p == open_ch => depth += 1,
+            TokKind::Punct(p) if *p == close_ch => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Line ranges of every `#[cfg(test)]`-annotated item. Each range runs from
+/// the attribute to the close of the item's brace block (skipping any
+/// further attributes in between); items with no brace block before a `;`
+/// get just the attribute's own lines, and an unterminated item extends to
+/// `last_line` (the file's final line).
+fn find_test_regions(tokens: &[Tok], last_line: usize) -> Vec<(usize, usize)> {
     let pat: [&str; 7] = ["#", "[", "cfg", "(", "test", ")", "]"];
-    'outer: for (idx, t) in tokens.iter().enumerate() {
+    let mut regions = Vec::new();
+    let mut idx = 0usize;
+    'outer: while idx < tokens.len() {
+        let t = &tokens[idx];
         if !matches!(&t.kind, TokKind::Punct('#')) {
+            idx += 1;
             continue;
         }
         for (k, want) in pat.iter().enumerate() {
             let Some(tok) = tokens.get(idx + k) else {
+                idx += 1;
                 continue 'outer;
             };
             let matches = match &tok.kind {
@@ -294,12 +326,49 @@ fn find_cfg_test(tokens: &[Tok]) -> Option<usize> {
                 TokKind::StrLit => false,
             };
             if !matches {
+                idx += 1;
                 continue 'outer;
             }
         }
-        return Some(t.line);
+        // Matched `#[cfg(test)]` at idx; walk past any further attributes,
+        // then to the item's opening brace (or a `;` for brace-less items).
+        let start_line = t.line;
+        let mut j = idx + pat.len();
+        while punct_at(tokens, j, '#') && punct_at(tokens, j + 1, '[') {
+            match matching_close(tokens, j + 1, '[', ']') {
+                Some(close) => j = close + 1,
+                None => break,
+            }
+        }
+        let mut open = None;
+        while j < tokens.len() {
+            match &tokens[j].kind {
+                TokKind::Punct('{') => {
+                    open = Some(j);
+                    break;
+                }
+                TokKind::Punct(';') => break,
+                _ => j += 1,
+            }
+        }
+        let end_line = match open {
+            Some(o) => match matching_close(tokens, o, '{', '}') {
+                Some(close) => tokens[close].line,
+                None => last_line,
+            },
+            None => tokens.get(j).map(|t| t.line).unwrap_or(last_line),
+        };
+        regions.push((start_line, end_line.max(start_line)));
+        idx = match open {
+            Some(o) => matching_close(tokens, o, '{', '}').map(|c| c + 1).unwrap_or(tokens.len()),
+            None => j + 1,
+        };
     }
-    None
+    regions
+}
+
+fn punct_at(tokens: &[Tok], idx: usize, c: char) -> bool {
+    matches!(tokens.get(idx), Some(Tok { kind: TokKind::Punct(p), .. }) if *p == c)
 }
 
 #[cfg(test)]
@@ -356,16 +425,93 @@ mod tests {
     fn cfg_test_region_detected() {
         let src = "fn lib() {}\n#[cfg(test)]\nmod tests {\n fn t() {}\n}\n";
         let s = scan(src);
-        assert_eq!(s.cfg_test_start, Some(2));
+        assert_eq!(s.test_regions, vec![(2, 5)]);
         assert!(!s.in_test_region(1));
         assert!(s.in_test_region(2));
         assert!(s.in_test_region(4));
+        assert!(s.in_test_region(5));
     }
 
     #[test]
     fn cfg_not_test_is_not_a_test_region() {
         let s = scan("#[cfg(not(test))]\nfn lib() {}\n");
-        assert_eq!(s.cfg_test_start, None);
+        assert!(s.test_regions.is_empty());
+    }
+
+    #[test]
+    fn cfg_test_region_not_last_does_not_exempt_trailing_code() {
+        // A test module in the *middle* of a file must not swallow the
+        // library code after it — the call graph depends on this.
+        let src = "fn before() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after(x: Option<u8>) -> u8 { x.unwrap() }\n";
+        let s = scan(src);
+        assert_eq!(s.test_regions, vec![(2, 5)]);
+        assert!(!s.in_test_region(1));
+        assert!(s.in_test_region(4));
+        assert!(!s.in_test_region(6));
+    }
+
+    #[test]
+    fn multiple_cfg_test_regions_and_stacked_attributes() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod a {\n fn t() {}\n}\nfn lib() {}\n#[cfg(test)]\nmod b {}\n";
+        let s = scan(src);
+        assert_eq!(s.test_regions, vec![(1, 5), (7, 8)]);
+        assert!(!s.in_test_region(6));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_covers_only_the_item() {
+        // `#[cfg(test)] use …;` has no brace block; the region must not
+        // swallow the rest of the file.
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib(x: Option<u8>) -> u8 { 0 }\n";
+        let s = scan(src);
+        assert_eq!(s.test_regions.len(), 1);
+        assert!(!s.in_test_region(3));
+    }
+
+    #[test]
+    fn byte_strings_and_byte_chars_are_literals_not_code() {
+        let s = scan("let a = b\"unwrap()\"; let c = b'x'; let d = 1;");
+        assert!(!idents(&s).contains(&"unwrap"));
+        assert!(idents(&s).contains(&"d"));
+        // The byte-string prefix ident is consumed separately from the
+        // literal; the literal itself never leaks code tokens.
+        assert!(s.tokens.iter().any(|t| t.kind == TokKind::StrLit));
+    }
+
+    #[test]
+    fn raw_byte_strings_with_hash_fences_skip_embedded_quotes() {
+        let s = scan("let x = br##\"inner \"# quote panic!()\"##;\nlet y = 2;");
+        assert!(!idents(&s).contains(&"panic"));
+        assert!(idents(&s).contains(&"y"));
+    }
+
+    #[test]
+    fn raw_string_fence_count_must_match() {
+        // `r#"…"#` terminates only on `"#`, not on a bare quote.
+        let s = scan("let x = r#\"a \" b\"#; let tail = 3;");
+        assert!(idents(&s).contains(&"tail"));
+        assert_eq!(
+            s.tokens.iter().filter(|t| t.kind == TokKind::StrLit).count(),
+            1
+        );
+    }
+
+    #[test]
+    fn lifetime_before_char_literal_disambiguates() {
+        // `'a` is a lifetime; `'a'` is a char literal. Both in one line.
+        let s = scan("fn f<'a>(x: &'a u8) -> char { 'a' }\nfn g() -> u8 { 1 }");
+        assert!(idents(&s).contains(&"g"));
+        assert!(idents(&s).contains(&"char"));
+        // The lifetime ident never becomes a code identifier token.
+        assert!(!idents(&s).contains(&"a"));
+    }
+
+    #[test]
+    fn static_lifetime_and_loop_labels_are_consumed() {
+        let s = scan("fn f(s: &'static str) { 'outer: loop { break 'outer; } }");
+        assert!(!idents(&s).contains(&"static"));
+        assert!(!idents(&s).contains(&"outer"));
+        assert!(idents(&s).contains(&"loop"));
     }
 
     #[test]

@@ -25,12 +25,17 @@
 //! ```
 
 pub mod baseline;
+pub mod callgraph;
+pub mod json;
 pub mod lexer;
 pub mod passes;
+pub mod resolve;
+pub mod wpa;
 
 pub use baseline::{Baseline, MatchReport};
 pub use passes::{run_all, Finding};
 
+use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 
 /// Directories never scanned (build output, vendored shims, VCS).
@@ -70,26 +75,76 @@ pub fn norm_path(p: &Path) -> String {
         .join("/")
 }
 
-/// Scans one file's source text and runs every applicable pass.
+/// Scans one file's source text and runs every applicable per-file pass.
+/// Whole-program passes need the full workspace — see [`lint_files`].
 pub fn lint_source(path: &str, src: &str) -> Vec<Finding> {
     passes::run_all(path, &lexer::scan(src))
 }
 
-/// Lints every `.rs` file under `roots` (resolved against `base`).
-/// Returns findings sorted by (path, line, pass).
-pub fn lint_tree(base: &Path, roots: &[&Path]) -> std::io::Result<Vec<Finding>> {
+/// Runs the full pipeline — per-file passes on every file, then the
+/// whole-program passes ([`wpa`]) over the non-exempt subset — on
+/// in-memory sources. `direct_deps` is the crate dependency map (see
+/// [`resolve::crate_deps_from_manifests`] / [`resolve::deps_all`]); it
+/// bounds cross-crate call resolution.
+pub fn lint_files(
+    sources: Vec<(String, String)>,
+    direct_deps: &HashMap<String, Vec<String>>,
+) -> Vec<Finding> {
     let mut findings = Vec::new();
+    let mut workspace_sources = Vec::new();
+    for (path, src) in sources {
+        let scanned = lexer::scan(&src);
+        findings.extend(passes::run_all(&path, &scanned));
+        if !passes::exempt_path(&path) {
+            workspace_sources.push((path, scanned));
+        }
+    }
+    let ws = resolve::Workspace::build(workspace_sources, direct_deps);
+    let cg = callgraph::CallGraph::build(&ws);
+    findings.extend(wpa::Wpa::build(&ws, &cg).run());
+    findings.sort_by(|a, b| (&a.path, a.line, a.pass).cmp(&(&b.path, b.line, b.pass)));
+    findings
+}
+
+/// Lints every `.rs` file under `roots` (resolved against `base`) with
+/// the full pipeline, reading crate dependencies from the workspace
+/// manifests. Returns findings sorted by (path, line, pass).
+pub fn lint_tree(base: &Path, roots: &[&Path]) -> std::io::Result<Vec<Finding>> {
+    let mut sources = Vec::new();
     for root in roots {
         let abs = base.join(root);
         for rel in collect_rs_files(base, &abs)? {
             let src = std::fs::read_to_string(base.join(&rel))?;
-            findings.extend(lint_source(&norm_path(&rel), &src));
+            sources.push((norm_path(&rel), src));
         }
     }
-    findings.sort_by(|a, b| {
-        (&a.path, a.line, a.pass).cmp(&(&b.path, b.line, b.pass))
-    });
-    Ok(findings)
+    let deps = resolve::crate_deps_from_manifests(base)?;
+    Ok(lint_files(sources, &deps))
+}
+
+/// The reconstructed lock-rank table for `roots` (the `--locks` dump):
+/// rank → (names, acquisition-site count), from `// lock-order:`
+/// annotations plus guard-returning fn transfers.
+pub fn lock_table(
+    base: &Path,
+    roots: &[&Path],
+) -> std::io::Result<std::collections::BTreeMap<u32, (std::collections::BTreeSet<String>, usize)>> {
+    let mut sources = Vec::new();
+    for root in roots {
+        let abs = base.join(root);
+        for rel in collect_rs_files(base, &abs)? {
+            let path = norm_path(&rel);
+            if passes::exempt_path(&path) {
+                continue;
+            }
+            let src = std::fs::read_to_string(base.join(&rel))?;
+            sources.push((path, lexer::scan(&src)));
+        }
+    }
+    let deps = resolve::crate_deps_from_manifests(base)?;
+    let ws = resolve::Workspace::build(sources, &deps);
+    let cg = callgraph::CallGraph::build(&ws);
+    Ok(wpa::Wpa::build(&ws, &cg).rank_table())
 }
 
 #[cfg(test)]

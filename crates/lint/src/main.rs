@@ -1,15 +1,20 @@
 //! The `mlake-lint` CLI.
 //!
 //! ```text
-//! mlake-lint [--baseline <path>] [--update-baseline] [--no-baseline] <root>...
+//! mlake-lint [--baseline <path>] [--update-baseline] [--no-baseline]
+//!            [--json <path|->] [--locks] <root>...
 //! ```
 //!
 //! Scans every `.rs` file under the given roots (relative to the current
-//! directory), runs the five passes and matches findings against the
-//! `lint.allow` baseline. Exit codes: 0 = clean (modulo baseline),
+//! directory), runs the five per-file passes plus the three whole-program
+//! passes, and matches findings against the `lint.allow` baseline.
+//! `--json` additionally writes the machine-readable report (schema
+//! `mlake-lint/1`, see [`mlake_lint::json`]) to a file or stdout (`-`).
+//! `--locks` prints the lock-rank table reconstructed from `lock-order:`
+//! annotations and exits. Exit codes: 0 = clean (modulo baseline),
 //! 1 = new findings, 2 = usage/IO error.
 
-use mlake_lint::{lint_tree, Baseline};
+use mlake_lint::{json, lint_tree, lock_table, Baseline};
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
@@ -18,6 +23,8 @@ struct Options {
     baseline_path: PathBuf,
     update_baseline: bool,
     use_baseline: bool,
+    json_path: Option<PathBuf>,
+    locks: bool,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -26,6 +33,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         baseline_path: PathBuf::from("lint.allow"),
         update_baseline: false,
         use_baseline: true,
+        json_path: None,
+        locks: false,
     };
     let mut i = 0usize;
     while i < args.len() {
@@ -39,7 +48,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--update-baseline" => opts.update_baseline = true,
             "--no-baseline" => opts.use_baseline = false,
-            flag if flag.starts_with('-') => {
+            "--json" => {
+                i += 1;
+                let p = args
+                    .get(i)
+                    .ok_or_else(|| "--json requires a path (or `-` for stdout)".to_string())?;
+                opts.json_path = Some(PathBuf::from(p));
+            }
+            "--locks" => opts.locks = true,
+            flag if flag.starts_with('-') && flag != "-" => {
                 return Err(format!("unknown flag: {flag}"));
             }
             root => opts.roots.push(PathBuf::from(root)),
@@ -47,7 +64,10 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         i += 1;
     }
     if opts.roots.is_empty() {
-        return Err("usage: mlake-lint [--baseline <path>] [--update-baseline] [--no-baseline] <root>...".into());
+        return Err(
+            "usage: mlake-lint [--baseline <path>] [--update-baseline] [--no-baseline] [--json <path|->] [--locks] <root>..."
+                .into(),
+        );
     }
     Ok(opts)
 }
@@ -57,8 +77,18 @@ fn run() -> Result<bool, String> {
     let opts = parse_args(&args)?;
     let base = Path::new(".");
     let roots: Vec<&Path> = opts.roots.iter().map(PathBuf::as_path).collect();
-    let findings =
-        lint_tree(base, &roots).map_err(|e| format!("scan failed: {e}"))?;
+
+    if opts.locks {
+        let table = lock_table(base, &roots).map_err(|e| format!("scan failed: {e}"))?;
+        println!("rank  name                  acquisition sites");
+        for (rank, (names, count)) in &table {
+            let name = names.iter().cloned().collect::<Vec<_>>().join(", ");
+            println!("{rank:>4}  {name:<20}  {count}");
+        }
+        return Ok(true);
+    }
+
+    let findings = lint_tree(base, &roots).map_err(|e| format!("scan failed: {e}"))?;
 
     if opts.update_baseline {
         let text = Baseline::render(&findings);
@@ -83,8 +113,35 @@ fn run() -> Result<bool, String> {
     };
 
     let report = baseline.matches(&findings);
+
+    if let Some(json_path) = &opts.json_path {
+        // Per-finding baselined flags: a finding is baselined iff it is
+        // not in the (multiset-matched) new list.
+        let mut new_left = report.new_findings.clone();
+        let baselined: Vec<bool> = findings
+            .iter()
+            .map(|f| match new_left.iter().position(|n| n == f) {
+                Some(k) => {
+                    new_left.remove(k);
+                    false
+                }
+                None => true,
+            })
+            .collect();
+        let text = json::render(&findings, &baselined, &report.stale);
+        if json_path.as_os_str() == "-" {
+            print!("{text}");
+        } else {
+            std::fs::write(json_path, text)
+                .map_err(|e| format!("writing {}: {e}", json_path.display()))?;
+        }
+    }
+
     for f in &report.new_findings {
         println!("{}:{}: [{}] {}", f.path, f.line, f.pass, f.message);
+        for (i, hop) in f.chain.iter().enumerate() {
+            println!("    {}{hop}", if i == 0 { "chain: " } else { "  → " });
+        }
     }
     for e in &report.stale {
         eprintln!(

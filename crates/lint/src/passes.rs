@@ -32,6 +32,10 @@ pub struct Finding {
     pub message: String,
     /// Trimmed source line, the baseline matching key.
     pub snippet: String,
+    /// Whole-program call chain leading to the finding (empty for
+    /// per-file passes): rendered `crate::Type::fn (path:line)` hops
+    /// ending at the offending site.
+    pub chain: Vec<String>,
 }
 
 impl Finding {
@@ -42,6 +46,7 @@ impl Finding {
             line,
             message,
             snippet: s.snippet(line).to_string(),
+            chain: Vec::new(),
         }
     }
 }
@@ -49,18 +54,22 @@ impl Finding {
 /// Lines of leading comment tolerated between an annotation comment and the
 /// construct it annotates.
 const SAFETY_WINDOW: usize = 4;
-const ANNOTATION_WINDOW: usize = 3;
-const LOCK_WINDOW: usize = 2;
+pub(crate) const ANNOTATION_WINDOW: usize = 3;
+pub(crate) const LOCK_WINDOW: usize = 2;
 
-/// True for paths whose whole file is test/bench/example scaffolding.
+/// True for paths whose whole file is test/bench/example or binary
+/// scaffolding. `src/bin/` holds ad-hoc driver binaries (panicking on bad
+/// CLI args is their error reporting), in any crate and at the root.
 pub fn exempt_path(path: &str) -> bool {
     path.starts_with("crates/bench/")
         || path.contains("/tests/")
         || path.contains("/benches/")
         || path.contains("/examples/")
+        || path.contains("/src/bin/")
         || path.starts_with("tests/")
         || path.starts_with("benches/")
         || path.starts_with("examples/")
+        || path.starts_with("src/bin/")
 }
 
 fn ident(t: Option<&Tok>) -> Option<&str> {
@@ -183,9 +192,10 @@ fn no_wallclock(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
     }
 }
 
-/// The facade types whose public methods must open obs spans, per crate.
-/// Adding a crate here is how a new subsystem opts into the rule.
-fn facade_targets(path: &str) -> &'static [&'static str] {
+/// The facade types whose public methods must open obs spans (and, in the
+/// whole-program [`crate::wpa`] passes, must not reach panic sites), per
+/// crate. Adding a crate here is how a new subsystem opts into both rules.
+pub(crate) fn facade_targets(path: &str) -> &'static [&'static str] {
     if path.starts_with("crates/core/") {
         &["ModelLake"]
     } else if path.starts_with("crates/wal/") {
@@ -408,6 +418,11 @@ mod tests {
         assert!(findings("crates/x/benches/perf.rs", src).is_empty());
         assert!(findings("crates/bench/src/lib.rs", src).is_empty());
         assert!(findings("examples/quickstart.rs", src).is_empty());
+        // Binary scaffolding under src/bin/ is exempt in every crate and
+        // at the workspace root — but src/ library code is not.
+        assert!(findings("crates/x/src/bin/driver.rs", src).is_empty());
+        assert!(findings("src/bin/tool.rs", src).is_empty());
+        assert!(!findings("crates/x/src/binary.rs", src).is_empty());
         let in_tests =
             "fn lib() {}\n#[cfg(test)]\nmod tests {\n    fn t() { None::<u8>.unwrap(); }\n}";
         assert!(findings("crates/x/src/lib.rs", in_tests).is_empty());

@@ -112,7 +112,10 @@ fn backprop_inner(
     loss: Loss,
 ) -> crate::Result<(f32, Gradients)> {
     let cache = model.forward_cached(input)?;
-    let logits = cache.activations.last().expect("at least one layer");
+    let logits = cache
+        .activations
+        .last()
+        .ok_or(mlake_tensor::TensorError::Empty("forward cache"))?;
     let (loss_value, mut delta) = match target_soft {
         Some(soft) => (loss.value_soft(logits, soft), loss.grad_soft(logits, soft)),
         None => (loss.value(logits, target), loss.grad(logits, target)),
@@ -177,7 +180,10 @@ pub fn input_gradient(
     loss: Loss,
 ) -> crate::Result<Vec<f32>> {
     let cache = model.forward_cached(input)?;
-    let logits = cache.activations.last().expect("at least one layer");
+    let logits = cache
+        .activations
+        .last()
+        .ok_or(mlake_tensor::TensorError::Empty("forward cache"))?;
     let mut delta = loss.grad(logits, target);
     for l in (0..model.num_layers()).rev() {
         let mut prev = model.weight(l).t_matvec(&delta)?;

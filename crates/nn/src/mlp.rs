@@ -188,7 +188,7 @@ impl Mlp {
         let mut pre_activations = Vec::with_capacity(self.weights.len());
         activations.push(input.to_vec());
         for (l, (w, b)) in self.weights.iter().zip(&self.biases).enumerate() {
-            let mut z = w.matvec(activations.last().expect("non-empty"))?;
+            let mut z = w.matvec(activations.last().ok_or(TensorError::Empty("mlp activations"))?)?;
             vector::axpy(1.0, b, &mut z);
             pre_activations.push(z.clone());
             let is_output = l == self.weights.len() - 1;

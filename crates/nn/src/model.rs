@@ -105,14 +105,15 @@ impl Model {
     /// acceptable at this scale, keeps the artifact self-describing, and the
     /// binary envelope gives the content-addressed store a stable prefix to
     /// validate before parsing untrusted bytes.
-    pub fn to_bytes(&self) -> Vec<u8> {
-        let body = serde_json::to_vec(self).expect("model serialisation is infallible");
+    pub fn to_bytes(&self) -> crate::Result<Vec<u8>> {
+        let body = serde_json::to_vec(self)
+            .map_err(|_| TensorError::Numerical("model serialisation failed"))?;
         let mut out = Vec::with_capacity(body.len() + 10);
         out.extend_from_slice(b"MLKM");
         out.extend_from_slice(&ARTIFACT_VERSION.to_le_bytes());
         out.extend_from_slice(&(body.len() as u32).to_le_bytes());
         out.extend_from_slice(&body);
-        out
+        Ok(out)
     }
 
     /// Parses the lake artifact format; rejects bad magic, version or length.
@@ -203,7 +204,7 @@ mod tests {
     #[test]
     fn bytes_round_trip() {
         for m in [mlp_model(), lm_model()] {
-            let bytes = m.to_bytes();
+            let bytes = m.to_bytes().unwrap();
             let back = Model::from_bytes(&bytes).unwrap();
             assert_eq!(m, back);
         }
@@ -212,7 +213,7 @@ mod tests {
     #[test]
     fn bytes_reject_corruption() {
         let m = mlp_model();
-        let bytes = m.to_bytes();
+        let bytes = m.to_bytes().unwrap();
         // Bad magic.
         let mut bad = bytes.clone();
         bad[0] = b'X';

@@ -51,7 +51,9 @@ pub fn distill_mlp(
 ) -> crate::Result<Mlp> {
     let sizes = teacher.layer_sizes();
     let input_dim = sizes[0];
-    let output_dim = *sizes.last().expect("validated at construction");
+    let output_dim = *sizes
+        .last()
+        .ok_or(mlake_tensor::TensorError::Empty("teacher layer_sizes"))?;
     let mut layer_sizes = Vec::with_capacity(config.student_hidden.len() + 2);
     layer_sizes.push(input_dim);
     layer_sizes.extend_from_slice(&config.student_hidden);

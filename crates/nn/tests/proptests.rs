@@ -115,7 +115,7 @@ proptest! {
     #[test]
     fn artifact_codec_round_trips(m in arb_mlp()) {
         let model = Model::Mlp(m);
-        let bytes = model.to_bytes();
+        let bytes = model.to_bytes().unwrap();
         let back = Model::from_bytes(&bytes).unwrap();
         prop_assert_eq!(model, back);
     }

@@ -245,6 +245,8 @@ fn pool() -> &'static Pool {
             std::thread::Builder::new()
                 .name(format!("mlake-par-{i}"))
                 .spawn(move || pool.worker_loop(i))
+                // lint: panic-ok one-time process init; a host that cannot
+                // spawn threads cannot run parallel regions at all
                 .expect("failed to spawn mlake-par worker");
         }
         pool

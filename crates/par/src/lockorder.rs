@@ -91,6 +91,8 @@ mod imp {
                 // Drop the borrow before unwinding so the token's Drop
                 // (which re-borrows) cannot double-panic.
                 drop(held);
+                // lint: panic-ok deliberate debug-build abort: a lock-order
+                // inversion is a latent deadlock and must crash the test run
                 panic!(
                     "lock-order violation: acquiring `{site}` (rank {rank}) while \
                      holding `{held_site}` (rank {held_rank}); locks must be taken \

@@ -291,6 +291,8 @@ impl Wal {
         // Roll to a new segment when this record would overflow the
         // current one (never leaving an empty segment behind).
         if inner.seg_nonempty && inner.seg_bytes + rec.len() as u64 > self.opts.segment_bytes {
+            // lint: blocking-ok sealing must fsync under the inner lock so a
+            // sealed segment is durable before any later append can observe it
             if let Err(e) = self.roll(&mut inner, lsn) {
                 inner.broken = true;
                 return Err(e);
@@ -312,6 +314,8 @@ impl Wal {
             SyncPolicy::Batch { every } => inner.pending >= every.max(1),
         };
         if due {
+            // lint: blocking-ok group commit by design — the fsync must cover
+            // exactly the records written under this guard (DESIGN.md §6)
             if let Err(e) = Self::fsync(&mut inner) {
                 inner.broken = true;
                 return Err(e);
@@ -331,6 +335,7 @@ impl Wal {
         if inner.pending == 0 {
             return Ok(());
         }
+        // lint: blocking-ok commit barrier — callers ask for exactly this
         Self::fsync(&mut inner).inspect_err(|_| inner.broken = true)
     }
 
@@ -380,6 +385,8 @@ impl Wal {
         // whole log can shrink to a single fresh segment.
         if inner.seg_nonempty && inner.next_lsn - 1 <= upto {
             let next = inner.next_lsn;
+            // lint: blocking-ok sealing the tail fsyncs under the inner lock
+            // so the snapshot boundary is durable before segments are dropped
             if let Err(e) = self.roll(&mut inner, next) {
                 inner.broken = true;
                 return Err(e);

@@ -77,7 +77,7 @@ fn main() {
         .map(|e| ModelId(e.child as u64))
         .unwrap_or(ModelId(0));
     let card = lake.generate_card(some_derived).expect("card");
-    println!("{}\n", card.to_json());
+    println!("{}\n", card.to_json().expect("card serializes"));
 
     // --- 3. Catch the liar ----------------------------------------------
     // A malicious uploader claims their derived model descends from a

@@ -6,7 +6,11 @@
 #
 # Tier-1 (ROADMAP.md) is `cargo build --release && cargo test -q`; everything
 # after it widens coverage: the mlake-lint static-analysis gate (also run in
-# --quick mode — it is cheap and catches new debt earliest), the full
+# --quick mode — it is cheap and catches new debt earliest; the per-file
+# passes plus the whole-program lock-cycle / transitive-panic /
+# blocking-under-lock passes, writing the machine-readable report to
+# target/lint/ and proving on a seeded fixture that an inverted lock
+# acquisition fails the run), the full
 # workspace test suite, a debug-profile par/index run (exercising the
 # lock-order race detector, which compiles out in release), the same suite
 # re-run with observability disabled (MLAKE_OBS=off must be behaviorally
@@ -38,8 +42,48 @@ cargo build --release
 step "tier-1: cargo test -q"
 cargo test -q
 
-step "lint: mlake-lint over crates/ and src/ (lint.allow baseline)"
-cargo run -q -p mlake-lint --release -- crates src
+step "lint: mlake-lint over crates/ and src/ (lint.allow baseline; json artifact)"
+mkdir -p target/lint
+cargo run -q -p mlake-lint --release -- --json target/lint/report.json crates src
+
+step "lint: seeded lock-order inversion must fail the lock-cycle pass"
+fixture="$(mktemp -d)"
+trap 'rm -rf "$fixture"' EXIT
+mkdir -p "$fixture/crates/fix/src"
+cat > "$fixture/crates/fix/Cargo.toml" <<'EOF'
+[package]
+name = "mlake-fix"
+EOF
+cat > "$fixture/crates/fix/src/lib.rs" <<'EOF'
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn inverted(&self) -> u32 {
+        // lock-order: 20 (fix.b)
+        let b = self.b.lock().unwrap_or_else(|e| e.into_inner());
+        // lock-order: 10 (fix.a)
+        let a = self.a.lock().unwrap_or_else(|e| e.into_inner());
+        *a + *b
+    }
+}
+EOF
+lint_bin="$(pwd)/target/release/mlake-lint"
+if out="$(cd "$fixture" && "$lint_bin" --no-baseline crates 2>&1)"; then
+  echo "fixture with inverted lock order unexpectedly passed mlake-lint:"
+  echo "$out"
+  exit 1
+fi
+echo "$out" | grep -q 'lock-cycle' || {
+  echo "expected a lock-cycle finding on the seeded inversion, got:"
+  echo "$out"
+  exit 1
+}
+echo "seeded inversion correctly rejected"
 
 if [[ "${1:-}" == "--quick" ]]; then
   echo "quick mode: skipping workspace tests, determinism re-run, clippy"
@@ -54,6 +98,7 @@ cargo test -q -p mlake-par -p mlake-index
 
 step "observability off: tier-1 re-run under MLAKE_OBS=off"
 MLAKE_OBS=off cargo test -q
+MLAKE_OBS=off cargo run -q -p mlake-lint --release -- --json target/lint/report-obs-off.json crates src
 
 step "determinism: equivalence suites under MLAKE_THREADS=1"
 MLAKE_THREADS=1 cargo test -q -p mlake-tensor --test parallel_equivalence

@@ -144,7 +144,7 @@ fn artifact_store_round_trips_lake_models() {
     let store = InMemoryStore::new();
     let mut digests = Vec::new();
     for m in &gt.models {
-        digests.push(store.put(&m.model.to_bytes()));
+        digests.push(store.put(&m.model.to_bytes().expect("serializes")));
     }
     for (m, d) in gt.models.iter().zip(&digests) {
         let bytes = store.get(d).unwrap();
@@ -155,6 +155,6 @@ fn artifact_store_round_trips_lake_models() {
     }
     // Identical models deduplicate.
     let before = store.len();
-    store.put(&gt.models[0].model.to_bytes());
+    store.put(&gt.models[0].model.to_bytes().expect("serializes"));
     assert_eq!(store.len(), before);
 }
