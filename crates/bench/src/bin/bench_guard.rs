@@ -37,6 +37,8 @@
 //!   MLAKE_BENCH_GUARD_WAL_OPS   — WAL group-commit append floor in ops/s (default 5000)
 //!   MLAKE_BENCH_GUARD_HTTP_OPS  — HTTP closed-loop floor in requests/s (default 100)
 //!   MLAKE_BENCH_GUARD_HTTP_P99_MS — HTTP p99 latency budget in ms (default 250)
+//!   MLAKE_BENCH_GUARD_OPEN_MS   — lazy v3 open budget in ms (default 150)
+//!   MLAKE_BENCH_GUARD_OPEN_RATIO — required eager/lazy open speedup (default 5)
 //!   MLAKE_GUARD_REPS            — timed repetitions (default 10)
 
 use mlake_bench::exp::e5_index::embeddings;
@@ -55,6 +57,8 @@ const DEFAULT_SHARD_OPS: f64 = 200.0;
 const DEFAULT_WAL_OPS: f64 = 5_000.0;
 const DEFAULT_HTTP_OPS: f64 = 100.0;
 const DEFAULT_HTTP_P99_MS: f64 = 250.0;
+const DEFAULT_OPEN_MS: f64 = 150.0;
+const DEFAULT_OPEN_RATIO: f64 = 5.0;
 const DEFAULT_REPS: usize = 10;
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -301,12 +305,133 @@ fn guard_http() -> bool {
     ok
 }
 
+/// Builds a persisted v3 lake of `n` distinct small MLPs under `dir`.
+fn build_lake(dir: &std::path::Path, n: u64) -> ModelLake {
+    let _ = std::fs::remove_dir_all(dir);
+    let lake = ModelLake::create(dir, LakeConfig::default()).expect("create guard lake");
+    for i in 0..n {
+        let mut rng = Pcg64::new(0xb10c + i);
+        let model = mlake_nn::Model::Mlp(
+            mlake_nn::Mlp::new(
+                vec![8, 4, 3],
+                mlake_nn::Activation::Relu,
+                mlake_tensor::init::Init::HeNormal,
+                &mut rng,
+            )
+            .expect("mlp"),
+        );
+        lake.ingest_model(&format!("m-{i}"), &model, None).expect("ingest");
+    }
+    lake.persist(dir).expect("persist");
+    lake
+}
+
+/// Size in bytes of the highest-numbered sealed segment under `dir`.
+fn newest_seg_bytes(dir: &std::path::Path) -> u64 {
+    std::fs::read_dir(dir.join("segs"))
+        .expect("segs dir")
+        .filter_map(|e| {
+            let p = e.expect("dir entry").path();
+            p.extension().is_some_and(|x| x == "seg").then_some(p)
+        })
+        .max()
+        .map(|p| std::fs::metadata(p).expect("seg metadata").len())
+        .expect("no sealed segments")
+}
+
+/// Block-segment storage gates (DESIGN.md §15): (a) lazy v3 open beats
+/// the eager legacy path by `MLAKE_BENCH_GUARD_OPEN_RATIO` and fits the
+/// `MLAKE_BENCH_GUARD_OPEN_MS` budget; (b) the delta segment written by a
+/// persist covering one ingest has the same size no matter how big the
+/// lake is — persist cost is O(ops since last persist), not O(lake).
+fn guard_blockstore(reps: usize) -> bool {
+    let open_budget_ms: f64 = env_or("MLAKE_BENCH_GUARD_OPEN_MS", DEFAULT_OPEN_MS);
+    let ratio_floor: f64 = env_or("MLAKE_BENCH_GUARD_OPEN_RATIO", DEFAULT_OPEN_RATIO);
+    let n_large = 200u64;
+    let n_small = 20u64;
+    let pid = std::process::id();
+    let v3 = std::env::temp_dir().join(format!("mlake-guard-bs-v3-{pid}"));
+    let v2 = std::env::temp_dir().join(format!("mlake-guard-bs-v2-{pid}"));
+    let small = std::env::temp_dir().join(format!("mlake-guard-bs-small-{pid}"));
+
+    // (a) Open: lazy v3 vs the eager blob-loading, fingerprint-recomputing
+    // legacy path over the identical catalogue.
+    {
+        let lake = build_lake(&v3, n_large);
+        let _ = std::fs::remove_dir_all(&v2);
+        lake.export_v2(&v2).expect("export v2 baseline");
+    }
+    let lazy_ms = best_of_ms(reps, || {
+        ModelLake::open(&v3, LakeConfig::default()).expect("lazy open");
+    });
+    let eager_ms = best_of_ms(reps, || {
+        ModelLake::open(&v2, LakeConfig::default()).expect("eager open");
+    });
+    let ratio = eager_ms / lazy_ms.max(1e-6);
+    println!(
+        "bench_guard: blockstore open ({n_large} models), lazy best-of-{reps} = \
+         {lazy_ms:.2}ms, eager = {eager_ms:.2}ms ({ratio:.1}x, floor {ratio_floor:.1}x, \
+         budget {open_budget_ms:.0}ms)"
+    );
+    let mut ok = true;
+    if lazy_ms > open_budget_ms {
+        eprintln!(
+            "bench_guard: FAIL — lazy open took {lazy_ms:.2}ms, over the \
+             {open_budget_ms:.0}ms budget; open is reading more than superblock + segments"
+        );
+        ok = false;
+    }
+    if ratio < ratio_floor {
+        eprintln!(
+            "bench_guard: FAIL — lazy open is only {ratio:.1}x faster than eager \
+             (floor {ratio_floor:.1}x); blob paging has regressed toward eager loading"
+        );
+        ok = false;
+    }
+
+    // (b) Persist-after-one-ingest writes a delta whose size does not
+    // depend on lake size (byte-exact check, no timing flake).
+    let large_lake = ModelLake::open(&v3, LakeConfig::default()).expect("reopen large");
+    let small_lake = build_lake(&small, n_small);
+    for (lake, dir) in [(&large_lake, &v3), (&small_lake, &small)] {
+        let mut rng = Pcg64::new(0xde17a);
+        let model = mlake_nn::Model::Mlp(
+            mlake_nn::Mlp::new(
+                vec![8, 4, 3],
+                mlake_nn::Activation::Relu,
+                mlake_tensor::init::Init::HeNormal,
+                &mut rng,
+            )
+            .expect("mlp"),
+        );
+        lake.ingest_model("delta-probe", &model, None).expect("ingest delta");
+        lake.persist(dir).expect("delta persist");
+    }
+    let (large_delta, small_delta) = (newest_seg_bytes(&v3), newest_seg_bytes(&small));
+    println!(
+        "bench_guard: blockstore delta segment after 1 ingest: {large_delta}B at \
+         {n_large} models vs {small_delta}B at {n_small} models"
+    );
+    if large_delta > small_delta.saturating_mul(2) {
+        eprintln!(
+            "bench_guard: FAIL — the delta segment grows with lake size \
+             ({large_delta}B vs {small_delta}B); persist is no longer incremental"
+        );
+        ok = false;
+    }
+    let _ = std::fs::remove_dir_all(&v3);
+    let _ = std::fs::remove_dir_all(&v2);
+    let _ = std::fs::remove_dir_all(&small);
+    ok
+}
+
 fn main() {
     let reps: usize = env_or("MLAKE_GUARD_REPS", DEFAULT_REPS).max(1);
     let ok = guard_matmul(reps)
         & guard_sq8_scan(reps)
         & guard_sharded(reps)
         & guard_wal_append(reps)
+        & guard_blockstore(reps)
         & guard_http();
     if !ok {
         std::process::exit(1);

@@ -143,9 +143,20 @@ fn run(shared: Arc<LakeShared>, state: Arc<(Mutex<State>, Condvar)>) {
             }
         };
         if mlake_obs::enabled() {
-            match outcome {
+            match &outcome {
                 Ok(()) => mlake_obs::counter!("compact.bg.runs").inc(),
                 Err(_) => mlake_obs::counter!("compact.bg.errors").inc(),
+            }
+        }
+        // Opportunistic GC after a successful compaction: the superblock
+        // swap just made the previous chain (and any crash orphans)
+        // unreachable. Failure is recorded and dropped — the next pass
+        // retries from scratch (DESIGN.md §15).
+        if outcome.is_ok() {
+            if let Err(_e) = crate::gc::gc_shared(&shared) {
+                if mlake_obs::enabled() {
+                    mlake_obs::counter!("gc.bg.errors").inc();
+                }
             }
         }
         {

@@ -85,6 +85,10 @@ impl ModelLake {
         let mut lake = ModelLake::new(config);
         vfs.create_dir_all(dir)?;
         lake.persist_with(dir, &vfs)?;
+        // Evicted blobs page back in from the lake's own blob directory.
+        lake.shared
+            .store
+            .attach_backing(&dir.join("blobs"), Arc::clone(&vfs));
         let (wal, _) = Wal::open_with(
             &dir.join("wal"),
             lake.wal_options(),
@@ -168,6 +172,9 @@ impl ModelLake {
         if !link.vfs.exists(&path) {
             link.vfs.write_atomic(&path, bytes)?;
         }
+        // The bytes are safely on disk: the resident copy may now be
+        // evicted under memory pressure (DESIGN.md §15).
+        self.shared.store.mark_durable(digest);
         self.wal_append_op(&WalOp::Ingest {
             name: name.into(),
             digest: digest.to_hex(),

@@ -62,6 +62,12 @@ impl EventLog {
         EventLog::default()
     }
 
+    /// Reconstructs a log from persisted events (the segment-fold open
+    /// path); `events` must be the full history, oldest first.
+    pub fn from_events(events: Vec<Event>) -> EventLog {
+        EventLog { events }
+    }
+
     /// Appends an event, returning its sequence number.
     pub fn append(&mut self, kind: EventKind, subject: impl Into<String>) -> u64 {
         let seq = self.events.len() as u64 + 1;

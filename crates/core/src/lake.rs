@@ -11,7 +11,7 @@ use crate::error::{LakeError, Result};
 use crate::event::{EventKind, EventLog};
 use crate::hash::sha256;
 use crate::registry::{BenchmarkEntry, ModelEntry, ModelId, ModelRef, Registry};
-use crate::store::{BlobStore, InMemoryStore};
+use crate::store::{BlobStore, ResidentStore};
 use mlake_benchlab::{Benchmark, Leaderboard, Score};
 use mlake_cards::{
     audit::{run_audit, standard_questionnaire, AuditReport},
@@ -89,6 +89,14 @@ pub struct LakeConfig {
     /// keeps compaction explicit via [`ModelLake::persist`]). Ignored by
     /// ephemeral in-memory lakes, which have nothing to compact.
     pub compaction: Option<CompactionPolicy>,
+    /// Resident-set cap in bytes for the blob store's in-memory cache
+    /// (DESIGN.md §15). `0` — the default — is unbounded, the pre-v3
+    /// behavior. On a durable lake with a cap, least-recently-used blobs
+    /// whose bytes are safely on disk are evicted once the cap is
+    /// exceeded and page back in on demand; ephemeral lakes never evict
+    /// (memory is their only copy).
+    #[serde(default)]
+    pub resident_bytes: u64,
 }
 
 impl Default for LakeConfig {
@@ -104,6 +112,7 @@ impl Default for LakeConfig {
             wal_sync: mlake_wal::SyncPolicy::Always,
             shards: 1,
             compaction: None,
+            resident_bytes: 0,
         }
     }
 }
@@ -200,6 +209,13 @@ impl LakeConfigBuilder {
         self
     }
 
+    /// Caps the blob store's resident set at `bytes` (0 = unbounded).
+    /// Cold blobs page back in from disk on first touch (DESIGN.md §15).
+    pub fn resident_bytes(mut self, bytes: u64) -> Self {
+        self.config.resident_bytes = bytes;
+        self
+    }
+
     /// Validates and returns the configuration.
     pub fn build(self) -> Result<LakeConfig> {
         let c = &self.config;
@@ -256,6 +272,43 @@ impl LakeConfigBuilder {
     }
 }
 
+/// Segment bookkeeping for incremental persistence (DESIGN.md §15): the
+/// live segment chain plus high-water marks recording how much of the
+/// catalogue the chain already covers, so `persist()` writes only the
+/// delta. Guarded by its own mutex — rank **46 (core.segstate)** in the
+/// §10 hierarchy — held only for in-memory bookkeeping, never across
+/// file I/O.
+#[derive(Debug, Default)]
+pub(crate) struct SegState {
+    /// Sequence numbers of the live segments, in fold order.
+    pub(crate) live: Vec<u64>,
+    /// Next segment sequence number to allocate (`max(live) + 1`;
+    /// defaults such that the first persist writes segment 1).
+    pub(crate) next_seq: u64,
+    /// Models already covered by `live` (registry prefix length).
+    pub(crate) models: usize,
+    /// Datasets already covered by `live` (registry prefix length).
+    pub(crate) datasets: usize,
+    /// Benchmark names already covered by `live`.
+    pub(crate) benchmarks: std::collections::BTreeSet<String>,
+    /// Events already covered by `live` (log prefix length).
+    pub(crate) events: usize,
+    /// Ids whose card changed after their covering segment was written;
+    /// the next delta emits `CardOverride` blocks for them.
+    pub(crate) dirty_cards: std::collections::BTreeSet<u64>,
+    /// Fingerprints of models ingested in this process (id → fps), so
+    /// persisting them into Model blocks never recomputes probes.
+    /// Cleared once a persist folds them into a segment.
+    pub(crate) fresh_fps: HashMap<u64, [Vec<f32>; 3]>,
+}
+
+impl SegState {
+    /// `next_seq` floor: sequence numbers start at 1.
+    pub(crate) fn next_seq(&self) -> u64 {
+        self.next_seq.max(1)
+    }
+}
+
 /// State shared between the lake facade and the background compactor
 /// thread (DESIGN.md §13): exactly what a snapshot cut needs — the
 /// configuration, the blob store, the registry, the event log, the
@@ -264,18 +317,29 @@ impl LakeConfigBuilder {
 /// [`ModelLake`]: compaction never touches it.
 pub(crate) struct LakeShared {
     pub(crate) config: LakeConfig,
-    pub(crate) store: InMemoryStore,
+    pub(crate) store: ResidentStore,
     pub(crate) registry: RwLock<Registry>,
     pub(crate) events: RwLock<EventLog>,
     /// Durability link (`None` for ephemeral in-memory lakes): the WAL
     /// every mutating facade op appends to before touching state above.
     /// See `crate::durable` and DESIGN.md §12.
     pub(crate) wal: Option<crate::durable::WalLink>,
+    /// Incremental-persist bookkeeping (DESIGN.md §15).
+    pub(crate) seg: parking_lot::Mutex<SegState>,
     /// Serializes mutating facade ops so WAL append order always equals
     /// in-memory apply order (replay must reproduce state exactly).
     /// Read paths never take it. Lock order: `op_lock` is taken strictly
     /// before the compactor's state lock (DESIGN.md §10).
     pub(crate) op_lock: parking_lot::Mutex<()>,
+}
+
+/// One deferred fingerprint-index insert (lazy v3 open, DESIGN.md §15):
+/// everything [`ModelLake::finish_ingest`] would have handed the HNSW
+/// indexes, queued until the first search drains it.
+pub(crate) struct PendingInsert {
+    pub(crate) route: u64,
+    pub(crate) id: u64,
+    pub(crate) fps: [Vec<f32>; 3],
 }
 
 /// The model lake.
@@ -284,6 +348,12 @@ pub struct ModelLake {
     pub(crate) shared: Arc<LakeShared>,
     fingerprinter: Fingerprinter,
     indexes: RwLock<HashMap<FingerprintKind, ShardedIndex<HnswIndex>>>,
+    /// `Some` while index builds are deferred (lazy v3 open): queued
+    /// inserts, drained by [`ModelLake::ensure_indexes`] on first search.
+    /// `None` on the eager path — inserts go straight to the indexes.
+    /// Rank **25 (core.index.pending)**: taken strictly before the HNSW
+    /// entry/node locks (30/40) during the drain.
+    pending_index: parking_lot::Mutex<Option<Vec<PendingInsert>>>,
     graph: RwLock<Option<RecoveredGraph>>,
     score_cache: RwLock<HashMap<(u64, String), Score>>,
     /// `similar()` results keyed by (query digest, k, event generation).
@@ -321,17 +391,20 @@ impl ModelLake {
             );
         }
         let config_cache = config.query_cache;
+        let resident_cap = config.resident_bytes;
         ModelLake {
             shared: Arc::new(LakeShared {
                 config,
-                store: InMemoryStore::new(),
+                store: ResidentStore::with_cap(resident_cap),
                 registry: RwLock::new(Registry::default()),
                 events: RwLock::new(EventLog::new()),
                 wal: None,
+                seg: parking_lot::Mutex::new(SegState::default()),
                 op_lock: parking_lot::Mutex::new(()),
             }),
             fingerprinter,
             indexes: RwLock::new(indexes),
+            pending_index: parking_lot::Mutex::new(None),
             graph: RwLock::new(None),
             score_cache: RwLock::new(HashMap::new()),
             similar_cache: QueryCache::new(config_cache),
@@ -388,6 +461,14 @@ impl ModelLake {
     // lint: no-span — trivial accessor
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Bytes of blob payload currently resident in memory (the live value
+    /// behind the `store.resident.bytes` gauge). On a lazily opened lake
+    /// this starts at zero and grows as artifacts are touched.
+    // lint: no-span — trivial accessor
+    pub fn resident_bytes(&self) -> u64 {
+        self.shared.store.resident_bytes()
     }
 
     // ------------------------------------------------------------------
@@ -452,7 +533,6 @@ impl ModelLake {
         fps: [Vec<f32>; 3],
     ) -> Result<ModelId> {
         let arch = model.architecture().signature();
-        let [intrinsic, extrinsic, hybrid] = fps;
         let mut reg = self.shared.registry.write();
         let id = ModelId(reg.models.len() as u64);
         {
@@ -461,17 +541,33 @@ impl ModelLake {
             // WAL replay and snapshot reload route every model to the same
             // shard and searches stay bit-identical across restarts.
             let route = digest.route_key();
-            let mut idx = self.indexes.write();
-            for (kind, fp) in [
-                (FingerprintKind::Intrinsic, &intrinsic),
-                (FingerprintKind::Extrinsic, &extrinsic),
-                (FingerprintKind::Hybrid, &hybrid),
-            ] {
-                idx.get_mut(&kind)
-                    .ok_or_else(|| {
-                        LakeError::Internal(format!("fingerprint index {kind:?} missing"))
-                    })?
-                    .insert_by_key(route, id.0, fp)?;
+            // lock-order: 25 (core.index.pending)
+            let mut pending = self.pending_index.lock();
+            if let Some(queue) = pending.as_mut() {
+                // Deferred-build mode (lazy v3 open): queue the insert;
+                // ensure_indexes drains the queue — in this same id
+                // order, so the HNSW build stays deterministic — on
+                // first search.
+                queue.push(PendingInsert {
+                    route,
+                    id: id.0,
+                    fps: fps.clone(),
+                });
+            } else {
+                drop(pending);
+                let [intrinsic, extrinsic, hybrid] = &fps;
+                let mut idx = self.indexes.write();
+                for (kind, fp) in [
+                    (FingerprintKind::Intrinsic, intrinsic),
+                    (FingerprintKind::Extrinsic, extrinsic),
+                    (FingerprintKind::Hybrid, hybrid),
+                ] {
+                    idx.get_mut(&kind)
+                        .ok_or_else(|| {
+                            LakeError::Internal(format!("fingerprint index {kind:?} missing"))
+                        })?
+                        .insert_by_key(route, id.0, fp)?;
+                }
             }
         }
         let tags = card.task_tags.clone();
@@ -486,6 +582,12 @@ impl ModelLake {
         });
         reg.by_name.insert(name.into(), id);
         drop(reg);
+        {
+            // Stash the fingerprints for the next persist's Model block
+            // (cleared once a segment covers this model).
+            // lock-order: 46 (core.segstate)
+            self.shared.seg.lock().fresh_fps.insert(id.0, fps);
+        }
         {
             let mut ev = self.shared.events.write();
             ev.append(EventKind::ModelIngested, name);
@@ -578,6 +680,12 @@ impl ModelLake {
         let name = entry.name.clone();
         entry.card = card;
         drop(reg);
+        {
+            // The next delta segment must carry a CardOverride for this
+            // model (persist skips ids its fresh Model blocks cover).
+            // lock-order: 46 (core.segstate)
+            self.shared.seg.lock().dirty_cards.insert(id.0);
+        }
         self.shared.events.write().append(EventKind::CardUpdated, name);
         Ok(())
     }
@@ -671,6 +779,7 @@ impl ModelLake {
     ) -> Result<Vec<(ModelId, f32)>> {
         let _span = mlake_obs::span("lake.similar");
         let id = self.resolve(model)?;
+        self.ensure_indexes()?;
         // Cache key: canonical query text digested, k, and the event-log
         // head as generation — any lake mutation bumps the head, so stale
         // results are unreachable by construction (see `crate::cache`).
@@ -1000,6 +1109,60 @@ impl ModelLake {
 
     pub(crate) fn restore_event_log(&self, log: EventLog) {
         *self.shared.events.write() = log;
+    }
+
+    /// Switches the lake into deferred index-build mode (lazy v3 open):
+    /// subsequent [`ModelLake::finish_ingest`] calls queue their HNSW
+    /// inserts instead of applying them. [`ModelLake::ensure_indexes`]
+    /// drains the queue on first search.
+    pub(crate) fn defer_index_builds(&self) {
+        // lock-order: 25 (core.index.pending)
+        let mut pending = self.pending_index.lock();
+        if pending.is_none() {
+            *pending = Some(Vec::new());
+        }
+    }
+
+    /// Queues one deferred index insert (the segment-fold open path,
+    /// which carries persisted fingerprints instead of recomputing).
+    /// Implies deferred mode.
+    pub(crate) fn queue_index_insert(&self, route: u64, id: u64, fps: [Vec<f32>; 3]) {
+        // lock-order: 25 (core.index.pending)
+        let mut pending = self.pending_index.lock();
+        pending
+            .get_or_insert_with(Vec::new)
+            .push(PendingInsert { route, id, fps });
+    }
+
+    /// Drains deferred fingerprint-index inserts, if any (DESIGN.md §15).
+    /// A lazily opened lake pays the HNSW build here — on the first
+    /// search — instead of inside `open()`; drain order equals id order,
+    /// so the built graph is identical to an eager build.
+    // lint: no-span — the drain opens lake.index.build itself; the no-op
+    // fast path is one uncontended lock probe on every search
+    pub(crate) fn ensure_indexes(&self) -> Result<()> {
+        // lock-order: 25 (core.index.pending)
+        let mut pending = self.pending_index.lock();
+        let Some(queue) = pending.take() else {
+            return Ok(());
+        };
+        let _span = mlake_obs::span("lake.index.build");
+        let mut idx = self.indexes.write();
+        for ins in queue {
+            let [intrinsic, extrinsic, hybrid] = &ins.fps;
+            for (kind, fp) in [
+                (FingerprintKind::Intrinsic, intrinsic),
+                (FingerprintKind::Extrinsic, extrinsic),
+                (FingerprintKind::Hybrid, hybrid),
+            ] {
+                idx.get_mut(&kind)
+                    .ok_or_else(|| {
+                        LakeError::Internal(format!("fingerprint index {kind:?} missing"))
+                    })?
+                    .insert_by_key(ins.route, ins.id, fp)?;
+            }
+        }
+        Ok(())
     }
 
     /// Blocks until any scheduled background compaction has finished.

@@ -27,9 +27,11 @@
 //! # let _ = hits;
 //! ```
 
+mod blockstore;
 mod cache;
 mod compact;
 mod durable;
+mod gc;
 
 pub mod error;
 pub mod event;
@@ -41,5 +43,6 @@ pub mod registry;
 pub mod store;
 
 pub use error::{ErrorKind, LakeError};
+pub use gc::GcReport;
 pub use lake::{CompactionPolicy, LakeConfig, LakeConfigBuilder, ModelLake, PreparedQuery};
 pub use registry::{ModelId, ModelRef};

@@ -1,123 +1,375 @@
-//! Lake persistence: snapshots + the write-ahead log (DESIGN.md §12).
+//! Lake persistence: block segments + superblock + the write-ahead log
+//! (DESIGN.md §12, §15).
 //!
 //! ```text
 //! <dir>/
 //!   blobs/<sha256-hex>.blob    content-addressed model artifacts
-//!   manifest.json              snapshot: registry, datasets, benchmarks,
-//!                              event log, and the WAL LSN it covers
+//!   segs/<seq>.seg             immutable, checksummed block segments
+//!   manifest.json              superblock (v3): the live segment chain
+//!                              and the WAL LSN the chain covers
 //!   wal/<lsn>.wal              write-ahead log segments (mlake-wal)
 //! ```
 //!
-//! [`ModelLake::persist`] is "compact now": it writes a fresh snapshot
-//! (every file lands via temp-file + rename, so a crash mid-persist can
-//! never leave a half-written manifest or blob) and then drops the WAL
-//! segments the snapshot covers. [`ModelLake::open`] is the inverse:
-//! snapshot-load, then WAL replay of everything past the snapshot's
-//! `last_lsn`.
+//! [`ModelLake::persist`] on a durable lake writes only the **delta**
+//! since the last persist — one new segment holding the models, card
+//! overrides, dataset/benchmark registrations and events the live chain
+//! does not yet cover — then atomically swaps in a new superblock naming
+//! the extended chain. Persist cost is O(ops since last persist), not
+//! O(lake). Once the chain grows past a threshold the persist folds
+//! everything into a single segment instead (a major compaction), so
+//! folding stays bounded. Every file lands via temp-file + rename; a
+//! crash mid-persist leaves either the old superblock or the new one,
+//! never a torn mix (at worst an unreachable segment for GC).
 //!
-//! Fingerprint indexes and the version-graph cache are *not* persisted:
-//! they are derived state, rebuilt deterministically from the artifacts at
-//! [`ModelLake::open`] (the same self-healing choice content-addressed
-//! stores make — derived state can never be out of sync with the data).
+//! [`ModelLake::open`] on a v3 lake reads the superblock and folds the
+//! segment chain — pure metadata, no model blobs. Artifact bytes page in
+//! lazily through the store's residency layer on first touch, and the
+//! HNSW index build (fed from the fingerprints persisted in the Model
+//! blocks) is deferred to the first search. WAL replay past the
+//! superblock's `last_lsn` is unchanged. Legacy v1/v2 whole-manifest
+//! snapshots still open through the original eager path and are
+//! upgraded to v3 by their next persist.
 
+use crate::blockstore::{self, Block, ModelBlock};
 use crate::durable::{WalLink, WalOp};
 use crate::error::{LakeError, Result};
 use crate::event::EventLog;
 use crate::hash::Digest;
 use crate::lake::{LakeConfig, LakeShared, ModelLake};
-
-use crate::store::BlobStore;
+use crate::registry::{BenchmarkEntry, ModelEntry, ModelId};
+use crate::store::{BlobStore, ResidentStore};
 use mlake_benchlab::Benchmark;
 use mlake_cards::ModelCard;
 use mlake_nn::Model;
 use mlake_wal::{RealFs, Vfs, Wal};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use std::path::Path;
 use std::sync::Arc;
 
-/// On-disk manifest format (versioned).
+/// Current manifest format version. v3 turned the manifest into a
+/// superblock over immutable block segments (DESIGN.md §15); v2 added
+/// `last_lsn` (the WAL high-water mark); v1 predates the WAL. All three
+/// still open.
+pub const MANIFEST_VERSION: u32 = 3;
+
+/// Once the live chain would grow past this many segments, persist folds
+/// the whole catalogue into a single segment instead of appending a
+/// delta, bounding open-time fold work.
+const MAX_LIVE_SEGMENTS: usize = 8;
+
+/// The v3 superblock: all `manifest.json` holds is the live segment
+/// chain and the WAL position it covers. State lives in the segments.
 #[derive(Debug, Serialize, Deserialize)]
-struct Manifest {
-    /// Format version for forward compatibility.
+struct SuperBlock {
+    /// Format version.
     version: u32,
     /// Lake name.
     name: String,
-    /// Models in id order.
-    models: Vec<ManifestModel>,
-    /// Registered datasets.
+    /// Live segment sequence numbers, in fold order.
+    segments: Vec<u64>,
+    /// Highest WAL LSN folded into the chain; replay starts after it.
+    #[serde(default)]
+    last_lsn: u64,
+}
+
+/// Just enough of any manifest version to dispatch on.
+#[derive(Debug, Deserialize)]
+struct VersionProbe {
+    #[serde(default)]
+    version: u32,
+}
+
+/// The v1/v2 whole-state manifest, kept for the legacy open path and the
+/// pinned-fixture writer ([`ModelLake::export_v2`]).
+#[derive(Debug, Serialize, Deserialize)]
+struct LegacyManifest {
+    version: u32,
+    name: String,
+    models: Vec<LegacyManifestModel>,
     datasets: Vec<mlake_datagen::Dataset>,
-    /// Registered benchmarks with their domain labels.
     benchmarks: Vec<(Benchmark, Option<String>)>,
-    /// The full event log.
     events: EventLog,
-    /// Highest WAL LSN folded into this snapshot; replay starts after it.
-    /// Absent in v1 manifests (which predate the WAL), hence 0.
     #[serde(default)]
     last_lsn: u64,
 }
 
 #[derive(Debug, Serialize, Deserialize)]
-struct ManifestModel {
+struct LegacyManifestModel {
     name: String,
     digest: String,
     card: ModelCard,
 }
 
-/// Current manifest format version. v2 added `last_lsn` (the WAL
-/// high-water mark); v1 manifests still open, with replay starting at 0.
-pub const MANIFEST_VERSION: u32 = 2;
-
 /// The snapshot + compaction body shared by the explicit
 /// [`ModelLake::persist`] path and the background compactor
 /// (`crate::compact`): one consistent cut of the shared state under the
-/// `op_lock`, written atomically, then the covered WAL prefix dropped.
-/// Operating on [`LakeShared`] rather than the facade is what lets the
-/// compactor thread run it without borrowing the lake.
+/// `op_lock`. Persisting into the lake's own directory is incremental
+/// (delta segment + superblock swap + WAL compaction); persisting
+/// anywhere else — including an ephemeral lake's first persist — is a
+/// full export of blobs and catalogue.
 pub(crate) fn persist_shared(shared: &LakeShared, dir: &Path, vfs: &Arc<dyn Vfs>) -> Result<()> {
     let _span = mlake_obs::span("lake.persist");
-    // Hold the op lock so the snapshot and its last_lsn are one
-    // consistent cut of the lake.
+    // Hold the op lock so the cut and its last_lsn are one consistent
+    // view of the lake.
     let _op = shared.op_lock.lock();
-    vfs.create_dir_all(dir)?;
-    shared.store.persist_dir_atomic(&dir.join("blobs"), vfs)?;
-    let models: Vec<ManifestModel> = {
-        let reg = shared.registry.read();
-        reg.models
-            .iter()
-            .map(|entry| ManifestModel {
-                name: entry.name.clone(),
-                digest: entry.digest.to_hex(),
-                card: entry.card.clone(),
-            })
-            .collect()
+    match shared.wal.as_ref() {
+        Some(link) if link.dir == dir => persist_incremental(shared, link, dir, vfs),
+        _ => export_full(shared, dir, vfs),
+    }
+}
+
+/// Builds the [`Block::Model`] for a registry entry from stashed or
+/// folded fingerprints.
+fn model_block(
+    entry: &ModelEntry,
+    fresh_fps: &HashMap<u64, [Vec<f32>; 3]>,
+    folded_fps: &HashMap<String, [Vec<u32>; 3]>,
+) -> Result<ModelBlock> {
+    let digest = entry.digest.to_hex();
+    let fps = match fresh_fps.get(&entry.id.0) {
+        Some(fps) => blockstore::fp_bits(fps),
+        None => folded_fps
+            .get(&digest)
+            .cloned()
+            .ok_or_else(|| {
+                LakeError::Internal(format!(
+                    "no fingerprints available to persist model '{}'",
+                    entry.name
+                ))
+            })?,
     };
-    let last_lsn = shared.wal.as_ref().map_or(0, |l| l.wal.head());
-    let manifest = Manifest {
-        version: MANIFEST_VERSION,
-        name: shared.config.name.clone(),
-        models,
-        datasets: shared.datasets_snapshot(),
-        benchmarks: shared.benchmarks_snapshot(),
-        events: shared.event_log_snapshot(),
-        last_lsn,
-    };
-    let json = serde_json::to_vec_pretty(&manifest)
-        .map_err(|e| LakeError::CorruptArtifact(format!("manifest encode: {e}")))?;
-    vfs.write_atomic(&dir.join("manifest.json"), &json)?;
-    // Persisting into the attached directory makes the snapshot the
-    // new recovery base: compact the WAL prefix it covers.
+    Ok(ModelBlock {
+        name: entry.name.clone(),
+        digest,
+        arch: entry.arch.clone(),
+        params: entry.params,
+        card: entry.card.clone(),
+        fps,
+    })
+}
+
+/// Fingerprint bit-patterns by digest from the lake's own live chain
+/// (for models whose in-process stash was already cleared).
+fn folded_fps_from_chain(shared: &LakeShared, live: &[u64]) -> Result<HashMap<String, [Vec<u32>; 3]>> {
+    let mut out = HashMap::new();
     if let Some(link) = &shared.wal {
-        if link.dir == dir {
-            link.wal.compact_to(last_lsn)?;
+        for &seq in live {
+            for block in blockstore::read_segment(&link.dir, &link.vfs, seq)? {
+                if let Block::Model(m) = block {
+                    out.insert(m.digest, m.fps);
+                }
+            }
         }
     }
+    Ok(out)
+}
+
+/// Incremental persist into the attached directory (caller holds the
+/// `op_lock`): delta segment → superblock swap → WAL compaction.
+fn persist_incremental(
+    shared: &LakeShared,
+    link: &crate::durable::WalLink,
+    dir: &Path,
+    vfs: &Arc<dyn Vfs>,
+) -> Result<()> {
+    vfs.create_dir_all(dir)?;
+    // Snapshot the persist marks. The op lock excludes every mutator, so
+    // the marks stay consistent with the registry/event reads below.
+    let (live, seq, models_mark, datasets_mark, bench_mark, events_mark, dirty, fresh_fps) = {
+        // lock-order: 46 (core.segstate)
+        let seg = shared.seg.lock();
+        (
+            seg.live.clone(),
+            seg.next_seq(),
+            seg.models,
+            seg.datasets,
+            seg.benchmarks.clone(),
+            seg.events,
+            seg.dirty_cards.clone(),
+            seg.fresh_fps.clone(),
+        )
+    };
+    let major = live.len() + 1 > MAX_LIVE_SEGMENTS;
+    let empty_fps = HashMap::new();
+    let folded_fps = if major {
+        // A major fold rewrites every model: recover fingerprints for the
+        // ones whose stash was cleared from the chain being replaced.
+        folded_fps_from_chain(shared, &live)?
+    } else {
+        empty_fps
+    };
+
+    let mut blocks = Vec::new();
+    let (total_models, total_datasets, all_bench_names) = {
+        let reg = shared.registry.read();
+        if major {
+            for entry in &reg.models {
+                blocks.push(Block::Model(model_block(entry, &fresh_fps, &folded_fps)?));
+            }
+            for ds in &reg.datasets {
+                blocks.push(Block::Dataset {
+                    dataset: ds.clone(),
+                });
+            }
+            for (benchmark, domain) in shared.benchmarks_snapshot() {
+                blocks.push(Block::Benchmark { benchmark, domain });
+            }
+        } else {
+            for entry in &reg.models[models_mark..] {
+                blocks.push(Block::Model(model_block(entry, &fresh_fps, &folded_fps)?));
+            }
+            // Cards replaced on already-persisted models; fresh Model
+            // blocks above carry their current card already.
+            for &id in dirty.iter().filter(|&&id| (id as usize) < models_mark) {
+                let entry = reg.model(ModelId(id)).ok_or_else(|| {
+                    LakeError::Internal(format!("dirty card for unknown model id {id}"))
+                })?;
+                blocks.push(Block::CardOverride {
+                    id,
+                    card: entry.card.clone(),
+                });
+            }
+            for ds in &reg.datasets[datasets_mark..] {
+                blocks.push(Block::Dataset {
+                    dataset: ds.clone(),
+                });
+            }
+            for (benchmark, domain) in shared
+                .benchmarks_snapshot()
+                .into_iter()
+                .filter(|(b, _)| !bench_mark.contains(&b.name))
+            {
+                blocks.push(Block::Benchmark { benchmark, domain });
+            }
+        }
+        (
+            reg.models.len(),
+            reg.datasets.len(),
+            reg.benchmarks.keys().cloned().collect(),
+        )
+    };
+    let events = shared.events.read().events().to_vec();
+    let total_events = events.len();
+    let event_tail = if major { 0 } else { events_mark };
+    if total_events > event_tail {
+        blocks.push(Block::Events {
+            events: events[event_tail..].to_vec(),
+        });
+    }
+
+    // Segment first, superblock second: a crash between the two leaves
+    // the old superblock pointing at the old chain and one unreachable
+    // segment for GC. Never a torn state.
+    let live_after = if blocks.is_empty() {
+        live
+    } else {
+        blockstore::write_segment(dir, vfs, seq, &blocks)?;
+        if major {
+            vec![seq]
+        } else {
+            let mut v = live;
+            v.push(seq);
+            v
+        }
+    };
+    let last_lsn = link.wal.head();
+    let superblock = SuperBlock {
+        version: MANIFEST_VERSION,
+        name: shared.config.name.clone(),
+        segments: live_after.clone(),
+        last_lsn,
+    };
+    let json = serde_json::to_vec_pretty(&superblock)
+        .map_err(|e| LakeError::CorruptArtifact(format!("superblock encode: {e}")))?;
+    vfs.write_atomic(&dir.join("manifest.json"), &json)?;
+
+    // The swap landed: advance the marks to the persisted cut.
+    {
+        // lock-order: 46 (core.segstate)
+        let mut seg = shared.seg.lock();
+        seg.live = live_after;
+        seg.next_seq = seq + 1;
+        seg.models = total_models;
+        seg.datasets = total_datasets;
+        seg.benchmarks = all_bench_names;
+        seg.events = total_events;
+        seg.dirty_cards.clear();
+        seg.fresh_fps.clear();
+    }
+    // The chain is the new recovery base: drop the covered WAL prefix.
+    link.wal.compact_to(last_lsn)?;
+    Ok(())
+}
+
+/// Full export into a foreign directory (or an ephemeral lake's first
+/// persist): every blob, one full segment, a fresh superblock. Does not
+/// touch the lake's own persist marks.
+fn export_full(shared: &LakeShared, dir: &Path, vfs: &Arc<dyn Vfs>) -> Result<()> {
+    vfs.create_dir_all(dir)?;
+    let blob_dir = dir.join("blobs");
+    vfs.create_dir_all(&blob_dir)?;
+    let (models, datasets, benchmarks) = {
+        let reg = shared.registry.read();
+        (
+            reg.models.clone(),
+            shared.datasets_snapshot(),
+            shared.benchmarks_snapshot(),
+        )
+    };
+    let events = shared.events.read().events().to_vec();
+    let (live, fresh_fps) = {
+        // lock-order: 46 (core.segstate)
+        let seg = shared.seg.lock();
+        (seg.live.clone(), seg.fresh_fps.clone())
+    };
+    let folded_fps = folded_fps_from_chain(shared, &live)?;
+    // Blob export: the store faults evicted blobs back in from the
+    // lake's own backing as needed.
+    for entry in &models {
+        let path = ResidentStore::blob_path(&blob_dir, &entry.digest);
+        if !vfs.exists(&path) {
+            let bytes = shared.store.get(&entry.digest)?;
+            vfs.write_atomic(&path, &bytes)?;
+        }
+    }
+    let mut blocks = Vec::new();
+    for entry in &models {
+        blocks.push(Block::Model(model_block(entry, &fresh_fps, &folded_fps)?));
+    }
+    for dataset in datasets {
+        blocks.push(Block::Dataset { dataset });
+    }
+    for (benchmark, domain) in benchmarks {
+        blocks.push(Block::Benchmark { benchmark, domain });
+    }
+    if !events.is_empty() {
+        blocks.push(Block::Events { events });
+    }
+    let segments = if blocks.is_empty() {
+        Vec::new()
+    } else {
+        blockstore::write_segment(dir, vfs, 1, &blocks)?;
+        vec![1]
+    };
+    let superblock = SuperBlock {
+        version: MANIFEST_VERSION,
+        name: shared.config.name.clone(),
+        segments,
+        last_lsn: shared.wal.as_ref().map_or(0, |l| l.wal.head()),
+    };
+    let json = serde_json::to_vec_pretty(&superblock)
+        .map_err(|e| LakeError::CorruptArtifact(format!("superblock encode: {e}")))?;
+    vfs.write_atomic(&dir.join("manifest.json"), &json)?;
     Ok(())
 }
 
 impl ModelLake {
     /// Persists the lake into `dir` (created if absent). On a durable lake
-    /// persisting into its own directory this is a compaction: the WAL
-    /// segments the new snapshot covers are deleted afterwards.
+    /// persisting into its own directory this is incremental: one delta
+    /// segment (if anything changed), a superblock swap, and WAL
+    /// compaction — cost O(ops since last persist). Persisting anywhere
+    /// else exports the full lake.
     // lint: no-span — persist_shared opens the lake.persist span
     pub fn persist(&self, dir: &Path) -> Result<()> {
         let vfs = self
@@ -131,18 +383,20 @@ impl ModelLake {
 
     /// [`ModelLake::persist`] through an explicit [`Vfs`] (fault-injection
     /// tests crash mid-persist here). All files land atomically
-    /// (temp-file + rename), so a crash leaves either the old snapshot or
-    /// the new one, never a torn mix.
+    /// (temp-file + rename), so a crash leaves either the old superblock
+    /// or the new one, never a torn mix.
     // lint: no-span — persist_shared opens the lake.persist span
     pub(crate) fn persist_with(&self, dir: &Path, vfs: &Arc<dyn Vfs>) -> Result<()> {
         persist_shared(&self.shared, dir, vfs)
     }
 
-    /// Opens a persisted lake: loads the snapshot (re-ingesting every
-    /// artifact so fingerprints and indexes rebuild; scores and the
-    /// version graph recompute lazily), then replays the write-ahead log
-    /// past the snapshot's `last_lsn`. The returned lake is durable:
-    /// further mutations append to the same WAL.
+    /// Opens a persisted lake. A v3 lake loads the superblock and folds
+    /// the segment chain — metadata only; model blobs page in lazily on
+    /// first touch and the fingerprint indexes (restored from persisted
+    /// fingerprints, never recomputed) build on first search. Legacy
+    /// v1/v2 manifests load eagerly as before. Then the write-ahead log
+    /// replays past the manifest's `last_lsn`. The returned lake is
+    /// durable: further mutations append to the same WAL.
     ///
     /// `config` must use the same probe/sketch parameters the lake was
     /// created with for fingerprints to match; the lake name is restored
@@ -156,15 +410,125 @@ impl ModelLake {
     pub fn open_with(dir: &Path, config: LakeConfig, vfs: Arc<dyn Vfs>) -> Result<ModelLake> {
         let _span = mlake_obs::span("lake.open");
         let manifest_bytes = vfs.read(&dir.join("manifest.json"))?;
-        let manifest: Manifest = serde_json::from_slice(&manifest_bytes)
+        let probe: VersionProbe = serde_json::from_slice(&manifest_bytes)
             .map_err(|e| LakeError::CorruptArtifact(format!("manifest decode: {e}")))?;
-        if manifest.version == 0 || manifest.version > MANIFEST_VERSION {
+        if probe.version == 0 || probe.version > MANIFEST_VERSION {
             return Err(LakeError::UnsupportedManifest {
-                found: manifest.version,
+                found: probe.version,
                 supported: MANIFEST_VERSION,
             });
         }
-        let store = crate::store::InMemoryStore::load_dir(&dir.join("blobs"))?;
+        let (mut lake, last_lsn) = if probe.version == MANIFEST_VERSION {
+            Self::open_v3(dir, config, &vfs, &manifest_bytes)?
+        } else {
+            Self::open_legacy(dir, config, &vfs, &manifest_bytes)?
+        };
+        // Replay everything the manifest does not cover, in LSN order.
+        let (wal, replay) = Wal::open_with(
+            &dir.join("wal"),
+            lake.wal_options(),
+            Arc::clone(&vfs),
+            last_lsn,
+        )?;
+        for (lsn, payload) in &replay.records {
+            let op: WalOp = serde_json::from_slice(payload).map_err(|e| {
+                LakeError::CorruptArtifact(format!("wal record {lsn}: {e}"))
+            })?;
+            lake.apply_op(*lsn, op)?;
+        }
+        lake.shared_mut()?.wal = Some(WalLink {
+            wal,
+            dir: dir.to_path_buf(),
+            vfs,
+        });
+        lake.spawn_compactor()?;
+        Ok(lake)
+    }
+
+    /// The v3 open path: superblock + segment fold, no blob reads, no
+    /// fingerprint recomputation, index build deferred to first search.
+    fn open_v3(
+        dir: &Path,
+        config: LakeConfig,
+        vfs: &Arc<dyn Vfs>,
+        manifest_bytes: &[u8],
+    ) -> Result<(ModelLake, u64)> {
+        let sb: SuperBlock = serde_json::from_slice(manifest_bytes)
+            .map_err(|e| LakeError::CorruptArtifact(format!("superblock decode: {e}")))?;
+        let folded = blockstore::fold_segments(dir, vfs, &sb.segments)?;
+        let lake = ModelLake::new(LakeConfig {
+            name: sb.name,
+            ..config
+        });
+        // Non-resident blobs fault in from the lake's own blob directory.
+        lake.shared
+            .store
+            .attach_backing(&dir.join("blobs"), Arc::clone(vfs));
+        // Queue the HNSW inserts instead of building now: the persisted
+        // fingerprints flow straight into the queue, and the first search
+        // drains it in this same id order (bit-identical to eager).
+        lake.defer_index_builds();
+        let n_models = folded.models.len();
+        let n_datasets = folded.datasets.len();
+        {
+            let mut reg = lake.shared.registry.write();
+            for (i, m) in folded.models.into_iter().enumerate() {
+                let digest = Digest::from_hex(&m.digest).ok_or_else(|| {
+                    LakeError::CorruptArtifact(format!("bad digest for '{}'", m.name))
+                })?;
+                let id = ModelId(i as u64);
+                lake.queue_index_insert(
+                    digest.route_key(),
+                    id.0,
+                    blockstore::fp_floats(&m.fps),
+                );
+                reg.by_name.insert(m.name.clone(), id);
+                reg.models.push(ModelEntry {
+                    id,
+                    name: m.name,
+                    arch: m.arch,
+                    digest,
+                    params: m.params,
+                    tags: m.card.task_tags.clone(),
+                    card: m.card,
+                });
+            }
+            reg.datasets = folded.datasets;
+            for (benchmark, domain) in folded.benchmarks {
+                reg.benchmarks
+                    .insert(benchmark.name.clone(), BenchmarkEntry { benchmark, domain });
+            }
+        }
+        let n_events = folded.events.len();
+        lake.restore_event_log(EventLog::from_events(folded.events));
+        {
+            // Mark everything the chain covers as persisted; WAL-replayed
+            // ops past this point count as fresh again.
+            // lock-order: 46 (core.segstate)
+            let mut seg = lake.shared.seg.lock();
+            seg.next_seq = sb.segments.iter().copied().max().unwrap_or(0) + 1;
+            seg.live = sb.segments;
+            seg.models = n_models;
+            seg.datasets = n_datasets;
+            seg.benchmarks = lake.shared.registry.read().benchmarks.keys().cloned().collect();
+            seg.events = n_events;
+        }
+        Ok((lake, sb.last_lsn))
+    }
+
+    /// The legacy v1/v2 open path: eager blob load, re-ingesting every
+    /// artifact so fingerprints and indexes rebuild. The next persist
+    /// writes the whole catalogue as segment 1 and upgrades the manifest
+    /// to v3.
+    fn open_legacy(
+        dir: &Path,
+        config: LakeConfig,
+        vfs: &Arc<dyn Vfs>,
+        manifest_bytes: &[u8],
+    ) -> Result<(ModelLake, u64)> {
+        let manifest: LegacyManifest = serde_json::from_slice(manifest_bytes)
+            .map_err(|e| LakeError::CorruptArtifact(format!("manifest decode: {e}")))?;
+        let store = ResidentStore::load_dir(&dir.join("blobs"), config.resident_bytes)?;
         let mut lake = ModelLake::new(LakeConfig {
             name: manifest.name,
             ..config
@@ -173,6 +537,9 @@ impl ModelLake {
         // resolve their digests against it; re-ingesting below is an
         // idempotent content-addressed no-op).
         lake.shared_mut()?.store = store;
+        lake.shared
+            .store
+            .attach_backing(&dir.join("blobs"), Arc::clone(vfs));
         for ds in manifest.datasets {
             lake.register_dataset(ds)?;
         }
@@ -191,26 +558,54 @@ impl ModelLake {
         // Restore the original event history *after* re-ingestion so the
         // graph timestamps (citation keys) survive the round trip.
         lake.restore_event_log(manifest.events);
-        // Replay everything the snapshot does not cover, in LSN order.
-        let (wal, replay) = Wal::open_with(
-            &dir.join("wal"),
-            lake.wal_options(),
-            Arc::clone(&vfs),
-            manifest.last_lsn,
-        )?;
-        for (lsn, payload) in &replay.records {
-            let op: WalOp = serde_json::from_slice(payload).map_err(|e| {
-                LakeError::CorruptArtifact(format!("wal record {lsn}: {e}"))
-            })?;
-            lake.apply_op(*lsn, op)?;
-        }
-        lake.shared_mut()?.wal = Some(WalLink {
-            wal,
-            dir: dir.to_path_buf(),
-            vfs,
-        });
-        lake.spawn_compactor()?;
-        Ok(lake)
+        // Persist marks stay at zero: no segments cover anything yet, so
+        // the first persist writes the full catalogue (as one delta).
+        Ok((lake, manifest.last_lsn))
+    }
+
+    /// Writes `dir` as a legacy v2 whole-manifest snapshot. Fixture
+    /// generation only (`tests/fixtures/v2-lake`) — the live format is
+    /// the v3 superblock; this writer exists so the pinned back-compat
+    /// fixture can be regenerated from current code.
+    #[doc(hidden)]
+    // lint: no-span — test-fixture writer, not a production path
+    pub fn export_v2(&self, dir: &Path) -> Result<()> {
+        let vfs = RealFs::shared();
+        let shared = &self.shared;
+        let _op = shared.op_lock.lock();
+        vfs.create_dir_all(dir)?;
+        let blob_dir = dir.join("blobs");
+        vfs.create_dir_all(&blob_dir)?;
+        let models: Vec<LegacyManifestModel> = {
+            let reg = shared.registry.read();
+            for entry in &reg.models {
+                let path = ResidentStore::blob_path(&blob_dir, &entry.digest);
+                if !vfs.exists(&path) {
+                    vfs.write_atomic(&path, &shared.store.get(&entry.digest)?)?;
+                }
+            }
+            reg.models
+                .iter()
+                .map(|entry| LegacyManifestModel {
+                    name: entry.name.clone(),
+                    digest: entry.digest.to_hex(),
+                    card: entry.card.clone(),
+                })
+                .collect()
+        };
+        let manifest = LegacyManifest {
+            version: 2,
+            name: shared.config.name.clone(),
+            models,
+            datasets: shared.datasets_snapshot(),
+            benchmarks: shared.benchmarks_snapshot(),
+            events: shared.event_log_snapshot(),
+            last_lsn: shared.wal.as_ref().map_or(0, |l| l.wal.head()),
+        };
+        let json = serde_json::to_vec_pretty(&manifest)
+            .map_err(|e| LakeError::CorruptArtifact(format!("manifest encode: {e}")))?;
+        vfs.write_atomic(&dir.join("manifest.json"), &json)?;
+        Ok(())
     }
 }
 
@@ -289,7 +684,7 @@ mod tests {
         // panic and not a generic corruption report.
         std::fs::write(
             dir.join("manifest.json"),
-            br#"{"version":99,"name":"x","models":[],"datasets":[],"benchmarks":[],"events":{"events":[]}}"#,
+            br#"{"version":99,"name":"x","segments":[]}"#,
         )
         .unwrap();
         std::fs::create_dir_all(dir.join("blobs")).unwrap();
@@ -304,7 +699,7 @@ mod tests {
     }
 
     #[test]
-    fn persisted_manifest_records_wal_high_water_mark() {
+    fn persisted_superblock_records_wal_high_water_mark() {
         let dir = tmp("lsn");
         let _ = std::fs::remove_dir_all(&dir);
         let lake = ModelLake::create(&dir, LakeConfig::default()).unwrap();
@@ -312,17 +707,55 @@ mod tests {
         let gt = generate_lake(&LakeSpec::tiny(2));
         populate_from_ground_truth(&lake, &gt, CardPolicy::Honest).unwrap();
         lake.persist(&dir).unwrap();
-        let manifest: Manifest =
+        let sb: SuperBlock =
             serde_json::from_slice(&std::fs::read(dir.join("manifest.json")).unwrap()).unwrap();
-        assert_eq!(manifest.version, MANIFEST_VERSION);
-        assert!(
-            manifest.last_lsn > 0,
-            "durable mutations must advance last_lsn"
-        );
+        assert_eq!(sb.version, MANIFEST_VERSION);
+        assert!(sb.last_lsn > 0, "durable mutations must advance last_lsn");
+        assert!(!sb.segments.is_empty(), "the delta landed as a segment");
         // Compaction happened: reopening replays nothing, state intact.
         let reopened = ModelLake::open(&dir, LakeConfig::default()).unwrap();
         assert_eq!(reopened.len(), lake.len());
         assert_eq!(reopened.events(), lake.events());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn repeated_persists_append_deltas_and_major_fold_bounds_the_chain() {
+        let dir = tmp("delta");
+        let _ = std::fs::remove_dir_all(&dir);
+        let lake = ModelLake::create(&dir, LakeConfig::default()).unwrap();
+        // tiny() yields ~a dozen models — enough ingest+persist cycles to
+        // push the chain past MAX_LIVE_SEGMENTS and trigger a major fold.
+        let gt = generate_lake(&LakeSpec::tiny(9));
+        assert!(gt.models.len() > MAX_LIVE_SEGMENTS + 1);
+        let mut chain_lens = Vec::new();
+        for (i, gm) in gt.models.iter().enumerate() {
+            lake.ingest_model(&gm.name, &gm.model, None).unwrap();
+            lake.persist(&dir).unwrap();
+            let sb: SuperBlock =
+                serde_json::from_slice(&std::fs::read(dir.join("manifest.json")).unwrap())
+                    .unwrap();
+            chain_lens.push(sb.segments.len());
+            assert!(
+                sb.segments.len() <= MAX_LIVE_SEGMENTS,
+                "persist {i}: chain {:?} exceeds the fold bound",
+                sb.segments
+            );
+        }
+        // The chain grew by one per persist until a major fold reset it.
+        assert!(chain_lens.windows(2).any(|w| w[1] > w[0]), "deltas appended");
+        assert!(chain_lens.windows(2).any(|w| w[1] < w[0]), "a major fold ran");
+        // An idle persist adds no segment.
+        let before: SuperBlock =
+            serde_json::from_slice(&std::fs::read(dir.join("manifest.json")).unwrap()).unwrap();
+        lake.persist(&dir).unwrap();
+        let after: SuperBlock =
+            serde_json::from_slice(&std::fs::read(dir.join("manifest.json")).unwrap()).unwrap();
+        assert_eq!(before.segments, after.segments, "no-op persist writes no segment");
+        // Reopening folds the chain back to the same catalogue.
+        drop(lake);
+        let reopened = ModelLake::open(&dir, LakeConfig::default()).unwrap();
+        assert_eq!(reopened.len(), gt.models.len());
         std::fs::remove_dir_all(&dir).unwrap();
     }
 }

@@ -282,6 +282,102 @@ fn sharded_bg_compaction_kill_at_every_write_recovers_exactly() {
     }
 }
 
+/// Recursively copies a lake directory (template → scratch) so each GC
+/// sweep iteration starts from the identical garbage-bearing state.
+fn copy_tree(from: &std::path::Path, to: &std::path::Path) {
+    std::fs::create_dir_all(to).unwrap();
+    for entry in std::fs::read_dir(from).unwrap() {
+        let entry = entry.unwrap();
+        let target = to.join(entry.file_name());
+        if entry.file_type().unwrap().is_dir() {
+            copy_tree(&entry.path(), &target);
+        } else {
+            std::fs::copy(entry.path(), &target).unwrap();
+        }
+    }
+}
+
+/// Builds a lake whose directory carries every kind of garbage GC
+/// collects: dead segments (a major fold replaced the first chain), an
+/// orphan blob, and stranded temp files. Returns the expected state.
+fn build_garbage_template(dir: &PathBuf) -> (Vec<mlake_core::event::Event>, Vec<(String, Vec<f32>)>) {
+    let _ = std::fs::remove_dir_all(dir);
+    let lake = ModelLake::create(dir, LakeConfig::default()).unwrap();
+    // One persist per ingest grows the segment chain past the fold
+    // threshold; the fold strands the replaced chain on disk for GC.
+    for i in 0..10u64 {
+        lake.ingest_model(&format!("g-{i}"), &model(20 + i), None).unwrap();
+        lake.persist(dir).unwrap();
+    }
+    let state = lake_state(&lake);
+    drop(lake);
+    let orphan = "cd".repeat(32);
+    std::fs::write(dir.join("blobs").join(format!("{orphan}.blob")), b"stray").unwrap();
+    std::fs::write(dir.join("blobs").join("stranded.tmp"), b"tmp").unwrap();
+    std::fs::write(dir.join("segs").join("stranded.tmp"), b"tmp").unwrap();
+    state
+}
+
+/// GC deletion order: killing the process at *every* `remove_file` in a
+/// collection pass must leave the lake fully recoverable — GC deletes
+/// only files the live superblock can no longer reach, so no prefix of
+/// its deletions can lose state. After a completed GC the reopened lake
+/// is bit-identical (events, names, parameters).
+#[test]
+fn gc_crash_at_every_remove_preserves_full_state() {
+    let template = tmp("gc-template");
+    let reference = build_garbage_template(&template);
+
+    // Counting pass: how many files does one full GC remove?
+    let dir = tmp("gc-count");
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_tree(&template, &dir);
+    let fs = FailFs::counting();
+    let report = {
+        let vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(&fs));
+        let lake = ModelLake::open_with(&dir, LakeConfig::default(), vfs).unwrap();
+        lake.gc().unwrap()
+    };
+    let total_removes = fs.removes();
+    assert!(report.orphan_blobs >= 1, "orphan blob not collected: {report:?}");
+    assert!(report.dead_segments >= 1, "folded-away segments not collected: {report:?}");
+    assert!(report.temp_files >= 2, "stranded temp files not collected: {report:?}");
+    assert!(total_removes >= 4, "GC removed only {total_removes} files");
+    // A completed GC is invisible to readers: bit-identical reopen.
+    let clean = ModelLake::open(&dir, LakeConfig::default()).unwrap();
+    assert_eq!(lake_state(&clean), reference, "post-GC reopen drifted");
+    drop(clean);
+    std::fs::remove_dir_all(&dir).unwrap();
+
+    // Sweep: crash at every single deletion in the GC pass.
+    for kill in 1..=total_removes {
+        let dir = tmp(&format!("gc-k{kill}"));
+        let _ = std::fs::remove_dir_all(&dir);
+        copy_tree(&template, &dir);
+        let fs = FailFs::kill_at_remove(kill);
+        {
+            let vfs: Arc<dyn Vfs> = Arc::new(Arc::clone(&fs));
+            let lake = ModelLake::open_with(&dir, LakeConfig::default(), vfs).unwrap();
+            assert!(
+                lake.gc().is_err(),
+                "gc kill {kill}: collection survived the injected crash"
+            );
+        }
+        assert!(fs.is_dead(), "gc kill point {kill} never reached");
+        // Recovery sees the live superblock untouched; a second GC pass
+        // finishes the interrupted collection.
+        let rec = ModelLake::open(&dir, LakeConfig::default())
+            .unwrap_or_else(|e| panic!("gc kill {kill}: recovery failed: {e}"));
+        assert_eq!(lake_state(&rec), reference, "gc kill {kill}: state drifted");
+        rec.gc().unwrap_or_else(|e| panic!("gc kill {kill}: retry failed: {e}"));
+        drop(rec);
+        let again = ModelLake::open(&dir, LakeConfig::default()).unwrap();
+        assert_eq!(lake_state(&again), reference, "gc kill {kill}: post-retry drifted");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+    std::fs::remove_dir_all(&template).unwrap();
+}
+
 /// `persist()` is temp-file + rename all the way down: a crash at any
 /// write or fsync during persist must leave the previous snapshot + WAL
 /// fully recoverable — never a torn manifest, never lost ops.

@@ -18,6 +18,10 @@ fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v1-lake")
 }
 
+fn v2_fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/v2-lake")
+}
+
 fn tmp(tag: &str) -> PathBuf {
     std::env::temp_dir().join(format!("mlake-compat-{tag}-{}", std::process::id()))
 }
@@ -27,19 +31,19 @@ fn model(seed: u64) -> Model {
     Model::Mlp(Mlp::new(vec![8, 4, 3], Activation::Relu, Init::HeNormal, &mut rng).unwrap())
 }
 
-/// Copies the read-only fixture into a scratch dir (opening a lake
+/// Copies a read-only fixture into a scratch dir (opening a lake
 /// attaches a WAL, i.e. writes into the directory).
-fn copy_fixture(to: &Path) {
+fn copy_fixture_from(from: &Path, to: &Path) {
     std::fs::create_dir_all(to.join("blobs")).unwrap();
-    std::fs::copy(
-        fixture_dir().join("manifest.json"),
-        to.join("manifest.json"),
-    )
-    .unwrap();
-    for entry in std::fs::read_dir(fixture_dir().join("blobs")).unwrap() {
+    std::fs::copy(from.join("manifest.json"), to.join("manifest.json")).unwrap();
+    for entry in std::fs::read_dir(from.join("blobs")).unwrap() {
         let path = entry.unwrap().path();
         std::fs::copy(&path, to.join("blobs").join(path.file_name().unwrap())).unwrap();
     }
+}
+
+fn copy_fixture(to: &Path) {
+    copy_fixture_from(&fixture_dir(), to);
 }
 
 #[test]
@@ -65,14 +69,54 @@ fn v1_fixture_opens_and_upgrades_on_persist() {
         model(1).flat_params()
     );
     // The v1 lake is live: it takes new durable mutations, and persisting
-    // rewrites the manifest at the current version.
-    lake.ingest_model("v2-native", &model(3), None).unwrap();
+    // upgrades the manifest to the current superblock format.
+    lake.ingest_model("v3-native", &model(3), None).unwrap();
     lake.persist(&dir).unwrap();
     let upgraded = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
-    assert!(upgraded.contains("\"version\": 2"));
+    assert!(upgraded.contains("\"version\": 3"));
+    assert!(upgraded.contains("segments"));
     assert!(upgraded.contains("last_lsn"));
+    assert!(dir.join("segs").exists(), "the upgrade wrote a segment chain");
     let reopened = ModelLake::open(&dir, LakeConfig::default()).unwrap();
     assert_eq!(reopened.len(), 3);
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn v2_fixture_opens_and_upgrades_on_persist() {
+    let fixture = std::fs::read_to_string(v2_fixture_dir().join("manifest.json")).unwrap();
+    assert!(
+        fixture.contains("\"version\": 2"),
+        "fixture must stay at manifest v2 — regenerate_v2_fixture changed?"
+    );
+    assert!(fixture.contains("last_lsn"), "v2 records the WAL high-water mark");
+
+    let dir = tmp("v2");
+    let _ = std::fs::remove_dir_all(&dir);
+    copy_fixture_from(&v2_fixture_dir(), &dir);
+    let lake = ModelLake::open(&dir, LakeConfig::default()).unwrap();
+    assert_eq!(lake.len(), 2);
+    assert!(lake.is_durable());
+    // Artifacts decode bit-for-bit from the frozen v2 blobs.
+    assert_eq!(
+        lake.model("v2-alpha").unwrap().flat_params(),
+        model(11).flat_params()
+    );
+    assert_eq!(
+        lake.model("v2-beta").unwrap().flat_params(),
+        model(12).flat_params()
+    );
+    // Persisting upgrades to the v3 superblock; the lake reopens lazily.
+    lake.persist(&dir).unwrap();
+    let upgraded = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(upgraded.contains("\"version\": 3"));
+    drop(lake);
+    let reopened = ModelLake::open(&dir, LakeConfig::default()).unwrap();
+    assert_eq!(reopened.len(), 2);
+    assert_eq!(
+        reopened.model("v2-alpha").unwrap().flat_params(),
+        model(11).flat_params()
+    );
     std::fs::remove_dir_all(&dir).unwrap();
 }
 
@@ -109,7 +153,7 @@ fn regenerate_v1_fixture() {
     let lake = ModelLake::new(LakeConfig::default());
     lake.ingest_model("v1-alpha", &model(1), None).unwrap();
     lake.ingest_model("v1-beta", &model(2), None).unwrap();
-    lake.persist(&dir).unwrap();
+    lake.export_v2(&dir).unwrap();
     // Downgrade the manifest to the v1 shape: version 1, no last_lsn.
     let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
     let v1: String = manifest
@@ -123,6 +167,22 @@ fn regenerate_v1_fixture() {
     let v1 = fix_trailing_comma(&v1);
     std::fs::write(dir.join("manifest.json"), v1).unwrap();
     let _ = std::fs::remove_dir_all(dir.join("wal"));
+}
+
+/// Regenerates the checked-in v2 fixture: a full-manifest snapshot in the
+/// pre-segment format (`"version": 2`, `last_lsn`, no `segs/`). Pinned so
+/// the eager v2 open path keeps working forever.
+#[test]
+#[ignore = "rewrites tests/fixtures/v2-lake; run manually"]
+fn regenerate_v2_fixture() {
+    let dir = v2_fixture_dir();
+    let _ = std::fs::remove_dir_all(&dir);
+    let lake = ModelLake::new(LakeConfig::default());
+    lake.ingest_model("v2-alpha", &model(11), None).unwrap();
+    lake.ingest_model("v2-beta", &model(12), None).unwrap();
+    lake.export_v2(&dir).unwrap();
+    let _ = std::fs::remove_dir_all(dir.join("wal"));
+    let _ = std::fs::remove_dir_all(dir.join("segs"));
 }
 
 /// Removes a comma left dangling before a closing brace/bracket after a

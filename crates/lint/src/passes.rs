@@ -311,7 +311,8 @@ fn lock_order(path: &str, s: &Scanned, out: &mut Vec<Finding>) {
     if !(path.starts_with("crates/index/")
         || path.starts_with("crates/par/")
         || path.starts_with("crates/wal/")
-        || path.starts_with("crates/server/"))
+        || path.starts_with("crates/server/")
+        || path.starts_with("crates/core/src/store"))
     {
         return;
     }

@@ -61,10 +61,26 @@ pub mod ranks {
     pub const PAR_QUEUE: u32 = 10;
     /// Per-region latch mutex (`Latch::lock`).
     pub const PAR_LATCH: u32 = 20;
+    /// `mlake-core` index staging queue (`ModelLake::pending_index`):
+    /// deferred insert batches drained into the HNSW indexes on first
+    /// search. Ranked below `HNSW_ENTRY` because the drain inserts into
+    /// the indexes while holding it. (`mlake-par` is a dev-dependency of
+    /// `mlake-core`, so the rank appears there as `// lock-order: 25`
+    /// comment annotations rather than runtime tracker calls.)
+    pub const CORE_INDEX_PENDING: u32 = 25;
     /// HNSW entry-point mutex (`insert_batch_parallel`'s `entry`).
     pub const HNSW_ENTRY: u32 = 30;
     /// HNSW per-node neighbour-list `RwLock`s (read or write).
     pub const HNSW_NODE: u32 = 40;
+    /// `mlake-core` blob residency table (`ResidentStore::resident`): the
+    /// LRU map of paged-in blobs. A leaf among the core locks — faulting
+    /// a blob in reads the filesystem *outside* this lock and never takes
+    /// another lock while holding it.
+    pub const STORE_RESIDENT: u32 = 45;
+    /// `mlake-core` segment-chain state (`LakeShared::seg`): live segment
+    /// seqs, persist high-water marks, dirty-card and fresh-fingerprint
+    /// stashes. Taken under the op lock by persist/GC; leaf otherwise.
+    pub const CORE_SEGSTATE: u32 = 46;
     /// WAL writer state mutex (`Wal::inner` in `mlake-wal`). Ranked above
     /// the index locks: a facade mutation may append to the WAL while the
     /// caller holds no index lock, but replay and compaction never take

@@ -31,7 +31,7 @@ use mlake_cards::{Citation, ModelCard};
 // build typed requests without depending on the card crate directly.
 pub use mlake_cards::ModelCard as WireModelCard;
 use mlake_core::hash::Digest;
-use mlake_core::{ErrorKind, LakeConfig, LakeError, ModelId, ModelRef};
+use mlake_core::{ErrorKind, GcReport, LakeConfig, LakeError, ModelId, ModelRef};
 use mlake_fingerprint::FingerprintKind;
 use mlake_nn::Model;
 use mlake_obs::MetricsSnapshot;
@@ -159,6 +159,8 @@ pub enum ApiRequest {
     ListModels,
     /// `ModelLake::sync`: flush group-commit-buffered WAL records.
     Sync,
+    /// `ModelLake::gc`: collect unreachable blobs and segments.
+    Gc,
     /// `mlake_obs::snapshot`: point-in-time metrics.
     Metrics,
 }
@@ -177,6 +179,7 @@ impl ApiRequest {
             ApiRequest::UpdateCard { .. } => "update_card",
             ApiRequest::ListModels => "list_models",
             ApiRequest::Sync => "sync",
+            ApiRequest::Gc => "gc",
             ApiRequest::Metrics => "metrics",
         }
     }
@@ -186,7 +189,10 @@ impl ApiRequest {
     pub fn is_write(&self) -> bool {
         matches!(
             self,
-            ApiRequest::Ingest { .. } | ApiRequest::UpdateCard { .. } | ApiRequest::Sync
+            ApiRequest::Ingest { .. }
+                | ApiRequest::UpdateCard { .. }
+                | ApiRequest::Sync
+                | ApiRequest::Gc
         )
     }
 }
@@ -253,6 +259,11 @@ pub enum ApiResponse {
     },
     /// WAL flushed to stable storage.
     Synced,
+    /// Garbage collection finished; what it reclaimed.
+    GcDone {
+        /// Orphan/dead file counts and bytes reclaimed.
+        report: GcReport,
+    },
     /// Metrics snapshot (empty when `MLAKE_OBS=off`).
     Metrics {
         /// The snapshot.
@@ -366,6 +377,7 @@ mod tests {
             ApiRequest::Cite { model: WireRef::Digest("ab".repeat(32)) },
             ApiRequest::ListModels,
             ApiRequest::Sync,
+            ApiRequest::Gc,
             ApiRequest::Metrics,
         ];
         for req in reqs {

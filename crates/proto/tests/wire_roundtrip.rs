@@ -63,9 +63,13 @@ fn lake_config() -> impl Strategy<Value = LakeConfig> {
         sync_policy(),
         0u32..4,
         proptest::option::of((1u64..1_000_000, 0usize..8)),
+        0u64..1_000_000_000,
     );
     (base, rest).prop_map(
-        |((name, seed, sketch_dim, probes, lm_probes), (hnsw, query_cache, wal_sync, shard_pow, compaction))| {
+        |(
+            (name, seed, sketch_dim, probes, lm_probes),
+            (hnsw, query_cache, wal_sync, shard_pow, compaction, resident_bytes),
+        )| {
             LakeConfig {
                 name,
                 seed,
@@ -76,6 +80,7 @@ fn lake_config() -> impl Strategy<Value = LakeConfig> {
                 query_cache,
                 wal_sync,
                 shards: 1 << shard_pow,
+                resident_bytes,
                 compaction: compaction.map(|(wal_bytes, wal_segments)| CompactionPolicy {
                     // wal_bytes > 0 keeps the policy builder-valid even
                     // when wal_segments lands on 0.

@@ -105,6 +105,10 @@ impl Api {
                 self.lake.sync()?;
                 Ok(ApiResponse::Synced)
             }
+            ApiRequest::Gc => {
+                let report = self.lake.gc()?;
+                Ok(ApiResponse::GcDone { report })
+            }
             ApiRequest::Metrics => Ok(ApiResponse::Metrics {
                 snapshot: mlake_obs::snapshot(),
             }),
@@ -126,6 +130,7 @@ pub fn span_name(req: &ApiRequest) -> &'static str {
         ApiRequest::UpdateCard { .. } => "http.update_card",
         ApiRequest::ListModels => "http.list_models",
         ApiRequest::Sync => "http.sync",
+        ApiRequest::Gc => "http.gc",
         ApiRequest::Metrics => "http.metrics",
     }
 }

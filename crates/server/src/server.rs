@@ -343,6 +343,7 @@ fn route_lake(
         ("POST", ["query"]) => wrap_body("Query", body),
         ("POST", ["explain"]) => wrap_body("Explain", body),
         ("POST", ["sync"]) => Ok(ApiRequest::Sync),
+        ("POST", ["gc"]) => Ok(ApiRequest::Gc),
         ("GET", ["metrics"]) => Ok(ApiRequest::Metrics),
         _ => Err(Response::json(
             404,

@@ -37,6 +37,9 @@ enum KillPoint {
     /// Crash at the 1-based Nth `sync`, after the data already reached
     /// the file (written but never acknowledged durable).
     Sync { nth: u64 },
+    /// Crash at the 1-based Nth `remove_file`, before it deletes anything
+    /// (simulating a crash mid-GC: some files already gone, this one not).
+    Remove { nth: u64 },
 }
 
 /// A [`Vfs`] that injects one deterministic crash, after which every
@@ -45,6 +48,7 @@ pub struct FailFs {
     inner: RealFs,
     writes: AtomicU64,
     syncs: AtomicU64,
+    removes: AtomicU64,
     kill: KillPoint,
     dead: AtomicBool,
 }
@@ -62,6 +66,7 @@ impl FailFs {
             inner: RealFs,
             writes: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
             kill: KillPoint::None,
             dead: AtomicBool::new(false),
         })
@@ -74,6 +79,7 @@ impl FailFs {
             inner: RealFs,
             writes: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
             kill: KillPoint::Write { nth, torn_bytes },
             dead: AtomicBool::new(false),
         })
@@ -86,7 +92,22 @@ impl FailFs {
             inner: RealFs,
             writes: AtomicU64::new(0),
             syncs: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
             kill: KillPoint::Sync { nth },
+            dead: AtomicBool::new(false),
+        })
+    }
+
+    /// Crashes at the `nth` (1-based) `remove_file`, before that file is
+    /// deleted. Earlier removals already happened — the exact window a
+    /// crash mid-GC leaves behind.
+    pub fn kill_at_remove(nth: u64) -> Arc<FailFs> {
+        Arc::new(FailFs {
+            inner: RealFs,
+            writes: AtomicU64::new(0),
+            syncs: AtomicU64::new(0),
+            removes: AtomicU64::new(0),
+            kill: KillPoint::Remove { nth },
             dead: AtomicBool::new(false),
         })
     }
@@ -99,6 +120,11 @@ impl FailFs {
     /// Number of `sync` calls observed so far.
     pub fn syncs(&self) -> u64 {
         self.syncs.load(Ordering::SeqCst)
+    }
+
+    /// Number of `remove_file` calls observed so far.
+    pub fn removes(&self) -> u64 {
+        self.removes.load(Ordering::SeqCst)
     }
 
     /// Whether the injected crash has fired.
@@ -210,6 +236,13 @@ impl Vfs for Arc<FailFs> {
 
     fn remove_file(&self, path: &Path) -> io::Result<()> {
         self.check_alive()?;
+        let n = self.removes.fetch_add(1, Ordering::SeqCst) + 1;
+        if let KillPoint::Remove { nth } = self.kill {
+            if n == nth {
+                self.dead.store(true, Ordering::SeqCst);
+                return Err(crashed());
+            }
+        }
         self.inner.remove_file(path)
     }
 

@@ -21,13 +21,19 @@
 # (kill-at-every-write/fsync sweep, again in both observability modes), a
 # the serving stage (the end-to-end HTTP hammer — concurrent mixed load,
 # deliberate backpressure, graceful shutdown + reopen — in both
-# observability modes), a performance guard covering the tiled matmul,
+# observability modes; the sweep now also kills at every remove_file of a
+# GC pass), the blockstore suite (lazy residency, orphan-blob GC, manifest
+# v1/v2 back-compat — in both observability modes), a performance guard
+# covering the tiled matmul,
 # the quantized flat scan, the sharded scatter-gather merge, WAL append
-# throughput and the HTTP closed-loop serving floor — run in both
+# throughput, the lazy-vs-eager open ratio with its absolute budget, the
+# size-independent delta-persist check and the HTTP closed-loop serving
+# floor — run in both
 # observability modes, budgets overridable via MLAKE_BENCH_GUARD_MS /
 # MLAKE_BENCH_GUARD_SQ8_MS / MLAKE_BENCH_GUARD_SQ8_RATIO /
 # MLAKE_BENCH_GUARD_SHARD_OPS / MLAKE_BENCH_GUARD_WAL_OPS /
-# MLAKE_BENCH_GUARD_HTTP_OPS / MLAKE_BENCH_GUARD_HTTP_P99_MS — and clippy
+# MLAKE_BENCH_GUARD_HTTP_OPS / MLAKE_BENCH_GUARD_HTTP_P99_MS /
+# MLAKE_BENCH_GUARD_OPEN_MS / MLAKE_BENCH_GUARD_OPEN_RATIO — and clippy
 # with warnings denied across the crates the parallel, observability and
 # serving layers touch.
 
@@ -110,15 +116,19 @@ step "quantized recall gate: sq8 rescore within 5% of f32 (obs on + off)"
 cargo test -q -p mlake-index --test quantized --release
 MLAKE_OBS=off cargo test -q -p mlake-index --test quantized --release
 
-step "crash recovery: kill-at-every-write/fsync sweep (obs on + off)"
+step "crash recovery: kill-at-every-write/fsync/remove sweep (obs on + off)"
 cargo test -q -p mlake-core --test crash_recovery --release
 MLAKE_OBS=off cargo test -q -p mlake-core --test crash_recovery --release
+
+step "blockstore: lazy residency + refcounting GC (obs on + off)"
+cargo test -q -p mlake-core --test residency --test manifest_compat --release
+MLAKE_OBS=off cargo test -q -p mlake-core --test residency --test manifest_compat --release
 
 step "serve: end-to-end HTTP hammer over TCP (obs on + off)"
 cargo test -q -p mlake-server --test hammer --release
 MLAKE_OBS=off cargo test -q -p mlake-server --test hammer --release
 
-step "bench guard: matmul + sq8 scan + sharded merge + wal append + http serving (obs on + off)"
+step "bench guard: matmul + sq8 + sharded + wal + blockstore open/persist + http (obs on + off)"
 cargo run -q -p mlake-bench --bin bench_guard --release
 MLAKE_OBS=off cargo run -q -p mlake-bench --bin bench_guard --release
 

@@ -8,7 +8,7 @@ use model_lakes::attribution::loo::loo_scores;
 use model_lakes::attribution::influence::influence_scores;
 use model_lakes::attribution::softmax::{SoftmaxConfig, SoftmaxRegression};
 use model_lakes::core::hash::sha256;
-use model_lakes::core::store::{BlobStore, InMemoryStore};
+use model_lakes::core::store::{BlobStore, ResidentStore};
 use model_lakes::datagen::{generate_lake, tabular, Domain, LakeSpec};
 use model_lakes::fingerprint::cka::linear_cka;
 use model_lakes::fingerprint::weightspace::{majority_baseline, PropertyClassifier, WeightSpaceConfig};
@@ -141,7 +141,7 @@ fn fingerprints_round_trip_through_hnsw() {
 #[test]
 fn artifact_store_round_trips_lake_models() {
     let gt = generate_lake(&LakeSpec::tiny(41));
-    let store = InMemoryStore::new();
+    let store = ResidentStore::new();
     let mut digests = Vec::new();
     for m in &gt.models {
         digests.push(store.put(&m.model.to_bytes().expect("serializes")));
