@@ -25,6 +25,15 @@
 //!    percentiles read from the obs histograms (client-side timing, so
 //!    the gate holds in both observability modes).
 //!
+//! 6. **Blockstore open / delta size** (ISSUE PR 9) — lazy v3 open beats
+//!    the eager legacy path and delta segments stay O(ops since last
+//!    persist), not O(lake).
+//! 7. **Text & hybrid retrieval** (ISSUE PR 10) — populates an honest
+//!    lake from datagen ground truth, times a family-vocabulary BM25
+//!    query batch against `MLAKE_BENCH_GUARD_TEXT_MS`, and fails unless
+//!    hybrid recall@10 is at least the better of text-only and
+//!    vector-only — the §16 fusion acceptance bar.
+//!
 //! ```text
 //! cargo run -p mlake-bench --bin bench_guard --release
 //! ```
@@ -39,6 +48,7 @@
 //!   MLAKE_BENCH_GUARD_HTTP_P99_MS — HTTP p99 latency budget in ms (default 250)
 //!   MLAKE_BENCH_GUARD_OPEN_MS   — lazy v3 open budget in ms (default 150)
 //!   MLAKE_BENCH_GUARD_OPEN_RATIO — required eager/lazy open speedup (default 5)
+//!   MLAKE_BENCH_GUARD_TEXT_MS   — BM25 query-batch budget in ms (default 50)
 //!   MLAKE_GUARD_REPS            — timed repetitions (default 10)
 
 use mlake_bench::exp::e5_index::embeddings;
@@ -59,6 +69,7 @@ const DEFAULT_HTTP_OPS: f64 = 100.0;
 const DEFAULT_HTTP_P99_MS: f64 = 250.0;
 const DEFAULT_OPEN_MS: f64 = 150.0;
 const DEFAULT_OPEN_RATIO: f64 = 5.0;
+const DEFAULT_TEXT_MS: f64 = 50.0;
 const DEFAULT_REPS: usize = 10;
 
 fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
@@ -305,6 +316,72 @@ fn guard_http() -> bool {
     ok
 }
 
+/// Text & hybrid retrieval gates (DESIGN.md §16): (a) RRF fusion never
+/// loses to the better single channel on family-vocabulary recall@10
+/// (reuses the E11 experiment at quick size, so the gate and the
+/// experiment can't drift apart); (b) a 32-query BM25 batch over a
+/// populated honest lake fits the `MLAKE_BENCH_GUARD_TEXT_MS` budget.
+fn guard_text(reps: usize) -> bool {
+    let budget_ms: f64 = env_or("MLAKE_BENCH_GUARD_TEXT_MS", DEFAULT_TEXT_MS);
+
+    // (a) Fusion quality.
+    let tables = mlake_bench::exp::e11_textsearch::run(true);
+    let rows = &tables[0].rows;
+    let recall = |r: usize| rows[r][1].parse::<f32>().unwrap_or(0.0);
+    let (text, vector, hybrid) = (recall(0), recall(1), recall(2));
+    println!(
+        "bench_guard: retrieval recall@10: text {text:.3}, vector {vector:.3}, \
+         hybrid {hybrid:.3} (floor: max of the single channels)"
+    );
+    let mut ok = true;
+    if hybrid < text.max(vector) {
+        eprintln!(
+            "bench_guard: FAIL — hybrid recall@10 {hybrid:.3} is below \
+             max(text {text:.3}, vector {vector:.3}); RRF fusion has regressed"
+        );
+        ok = false;
+    }
+
+    // (b) BM25 batch latency over an honest lake.
+    let gt = mlake_datagen::generate_lake(&mlake_datagen::LakeSpec::tiny(17));
+    let lake = ModelLake::new(LakeConfig::builder().name("guard-text").build().expect("config"));
+    mlake_core::populate::populate_from_ground_truth(
+        &lake,
+        &gt,
+        mlake_core::populate::CardPolicy::Honest,
+    )
+    .expect("populate");
+    let n = gt.models.len();
+    let queries: Vec<String> = (0..32)
+        .map(|i| gt.family_vocab(gt.models[i % n].family).join(" "))
+        .collect();
+    // Results are cached per (query, k, generation), which would let every
+    // rep after the first time a hash lookup instead of BM25. Appending a
+    // fresh nonsense token each rep defeats the cache without changing
+    // the scores — unknown terms contribute nothing to BM25.
+    let mut nonce = 0u64;
+    let best_ms = best_of_ms(reps, || {
+        nonce += 1;
+        for q in &queries {
+            std::hint::black_box(
+                lake.text_search(&format!("{q} zz{nonce}"), 10).expect("text search"),
+            );
+        }
+    });
+    println!(
+        "bench_guard: bm25 batch 32 queries over {n} models, k=10, best-of-{reps} = \
+         {best_ms:.2}ms (budget {budget_ms:.2}ms)"
+    );
+    if best_ms > budget_ms {
+        eprintln!(
+            "bench_guard: FAIL — BM25 query batch {best_ms:.2}ms exceeds the \
+             {budget_ms:.2}ms budget; the text search path has regressed"
+        );
+        ok = false;
+    }
+    ok
+}
+
 /// Builds a persisted v3 lake of `n` distinct small MLPs under `dir`.
 fn build_lake(dir: &std::path::Path, n: u64) -> ModelLake {
     let _ = std::fs::remove_dir_all(dir);
@@ -432,7 +509,8 @@ fn main() {
         & guard_sharded(reps)
         & guard_wal_append(reps)
         & guard_blockstore(reps)
-        & guard_http();
+        & guard_http()
+        & guard_text(reps);
     if !ok {
         std::process::exit(1);
     }

@@ -1,0 +1,188 @@
+//! E11 — Full-text & hybrid retrieval (DESIGN.md §16). Every model's
+//! family vocabulary (the controlled pseudo-words `mlake-datagen` seeds
+//! into honest cards) is used as a text query; recall@10 against the
+//! family ground truth is graded for BM25 text-only, fingerprint
+//! vector-only, and RRF hybrid retrieval.
+//!
+//! The lake is deliberately **part-documented**: every third model is
+//! ingested with a skeleton card (the undocumented-lake condition of
+//! §4 "Documenting Models"), so the text channel cannot see a third of
+//! each family and the vector channel cannot read the curator's words.
+//! That is the regime the paper argues model lakes live in — and where
+//! fusion has to earn its keep: the acceptance bar is hybrid recall@10
+//! at least the better single channel. On a fully documented lake the
+//! controlled vocabulary makes BM25 perfect by construction and any
+//! fusion could only tie it, which would measure nothing.
+
+use crate::table::{f3, Table};
+use mlake_core::lake::{LakeConfig, ModelLake};
+use mlake_core::populate::honest_card;
+use mlake_core::ModelId;
+use mlake_datagen::{generate_lake, GroundTruth, LakeSpec};
+use mlake_fingerprint::FingerprintKind;
+
+const K: usize = 10;
+/// Every `UNDOCUMENTED_EVERY`-th model is ingested card-less.
+const UNDOCUMENTED_EVERY: usize = 3;
+
+/// Recall@k with the denominator capped at k: a family larger than k+1
+/// cannot fit in the top-k, and that capacity limit is not a retrieval
+/// failure.
+fn recall_at_k(ranked: &[usize], relevant: &[usize], k: usize) -> f32 {
+    if relevant.is_empty() {
+        return 0.0;
+    }
+    let hits = ranked
+        .iter()
+        .take(k)
+        .filter(|m| relevant.contains(m))
+        .count();
+    hits as f32 / relevant.len().min(k) as f32
+}
+
+struct Channel {
+    name: &'static str,
+    recall: f32,
+}
+
+fn grade(gt: &GroundTruth, rankings: &[Vec<usize>]) -> f32 {
+    let mut total = 0.0f32;
+    let mut counted = 0usize;
+    for (q, ranked) in rankings.iter().enumerate() {
+        let relevant: Vec<usize> = gt
+            .family_members(gt.models[q].family)
+            .into_iter()
+            .filter(|&m| m != q)
+            .collect();
+        if relevant.is_empty() {
+            continue;
+        }
+        counted += 1;
+        total += recall_at_k(ranked, &relevant, K);
+    }
+    total / counted.max(1) as f32
+}
+
+/// Populates `lake` from `gt` with every third card withheld.
+fn populate_part_documented(lake: &ModelLake, gt: &GroundTruth) {
+    for (i, m) in gt.models.iter().enumerate() {
+        let card = if i % UNDOCUMENTED_EVERY == 0 {
+            None
+        } else {
+            Some(honest_card(gt, i))
+        };
+        lake.ingest_model(&m.name, &m.model, card).expect("ingest");
+    }
+}
+
+/// Runs the three retrieval channels over every model-as-anchor query:
+/// the query text is the anchor's family vocabulary (the words a curator
+/// searching for that family would type), the anchor seeds the vector
+/// channel, and the relevant set is the rest of the family.
+fn channels(lake: &ModelLake, gt: &GroundTruth) -> Vec<Channel> {
+    let n = gt.models.len();
+    let kind = FingerprintKind::Hybrid;
+
+    let mut text = Vec::with_capacity(n);
+    let mut vector = Vec::with_capacity(n);
+    let mut hybrid = Vec::with_capacity(n);
+    for q in 0..n {
+        let query = gt.family_vocab(gt.models[q].family).join(" ");
+        // Anchor excluded from the text list so all three channels rank
+        // the same candidate universe.
+        text.push(
+            lake.text_search(&query, K + 1)
+                .expect("text search")
+                .into_iter()
+                .filter(|(id, _)| id.0 as usize != q)
+                .take(K)
+                .map(|(id, _)| id.0 as usize)
+                .collect::<Vec<_>>(),
+        );
+        vector.push(
+            lake.similar(ModelId(q as u64), kind, K)
+                .expect("vector search")
+                .into_iter()
+                .map(|(id, _)| id.0 as usize)
+                .collect::<Vec<_>>(),
+        );
+        hybrid.push(
+            lake.hybrid_search(&query, ModelId(q as u64), kind, K)
+                .expect("hybrid search")
+                .into_iter()
+                .map(|(id, _)| id.0 as usize)
+                .collect::<Vec<_>>(),
+        );
+    }
+    vec![
+        Channel { name: "text-only (BM25)", recall: grade(gt, &text) },
+        Channel { name: "vector-only (hybrid fingerprint)", recall: grade(gt, &vector) },
+        Channel { name: "hybrid (RRF fusion)", recall: grade(gt, &hybrid) },
+    ]
+}
+
+/// Runs E11.
+pub fn run(quick: bool) -> Vec<Table> {
+    let spec = if quick {
+        LakeSpec::tiny(11)
+    } else {
+        LakeSpec::builder()
+            .seed(11)
+            .num_base_models(10)
+            .derivations_per_base(5)
+            .build()
+            .expect("valid spec")
+    };
+    let gt = generate_lake(&spec);
+    let lake =
+        ModelLake::new(LakeConfig::builder().name("e11-lake").build().expect("valid config"));
+    populate_part_documented(&lake, &gt);
+    let n = gt.models.len();
+
+    let mut t = Table::new(
+        format!(
+            "E11: family-vocabulary retrieval over {n} models, \
+             1 in {UNDOCUMENTED_EVERY} undocumented (recall@{K})"
+        ),
+        &["channel", format!("recall@{K}").as_str()],
+    );
+    for ch in channels(&lake, &gt) {
+        t.row(vec![ch.name.into(), f3(ch.recall)]);
+    }
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e11_hybrid_beats_both_single_channels() {
+        let tables = run(true);
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), 3);
+        let recall = |r: usize| t.rows[r][1].parse::<f32>().unwrap();
+        let (text, vector, hybrid) = (recall(0), recall(1), recall(2));
+        // The §16 acceptance bar: fusing the channels never loses to the
+        // better one alone.
+        assert!(
+            hybrid >= text.max(vector),
+            "hybrid {hybrid} < max(text {text}, vector {vector})"
+        );
+        // The part-documented design actually bites: text is blind to
+        // the undocumented third, so it can't be perfect...
+        assert!(text < 1.0, "text recall {text} — undocumented cards leaked into BM25?");
+        // ...but the vocabulary still retrieves the documented members.
+        assert!(text > 0.3, "vocab text recall too low: {text}");
+    }
+
+    #[test]
+    fn recall_helper() {
+        assert_eq!(recall_at_k(&[1, 2, 3], &[2, 9], 3), 0.5);
+        assert_eq!(recall_at_k(&[1], &[], 3), 0.0);
+        assert_eq!(recall_at_k(&[7, 8], &[7, 8], 10), 1.0);
+        // Denominator caps at k: 12 relevant can't fit in a top-3.
+        let rel: Vec<usize> = (0..12).collect();
+        assert_eq!(recall_at_k(&[0, 1, 2], &rel, 3), 1.0);
+    }
+}

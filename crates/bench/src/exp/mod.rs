@@ -10,11 +10,12 @@ pub mod e7_doccards;
 pub mod e8_audit;
 pub mod e9_membership;
 pub mod e10_query;
+pub mod e11_textsearch;
 pub mod f1_viewpoints;
 
 use crate::table::Table;
 
-/// Runs an experiment by id ("e1".."e10", "f1"), returning its tables.
+/// Runs an experiment by id ("e1".."e11", "f1"), returning its tables.
 /// `quick` shrinks workloads for tests/CI.
 pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
     match id {
@@ -28,12 +29,13 @@ pub fn run(id: &str, quick: bool) -> Option<Vec<Table>> {
         "e8" => Some(e8_audit::run(quick)),
         "e9" => Some(e9_membership::run(quick)),
         "e10" => Some(e10_query::run(quick)),
+        "e11" => Some(e11_textsearch::run(quick)),
         "f1" => Some(f1_viewpoints::run(quick)),
         _ => None,
     }
 }
 
 /// All experiment ids in order.
-pub const ALL: [&str; 11] = [
-    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "f1",
+pub const ALL: [&str; 12] = [
+    "e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8", "e9", "e10", "e11", "f1",
 ];

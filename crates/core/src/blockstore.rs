@@ -68,6 +68,18 @@ pub(crate) enum Block {
         /// Events, oldest first.
         events: Vec<Event>,
     },
+    /// The full-text inverted index as of this segment (DESIGN.md §16).
+    /// A whole-index snapshot — O(lake) — so only full exports write it;
+    /// delta segments never do (persist must stay O(ops since last
+    /// persist)). Folding keeps it only while no later `Model` /
+    /// `CardOverride` block supersedes it: any later doc change, or a
+    /// chain persisted before this kind existed, folds to `None` and the
+    /// open path rebuilds from the folded cards instead (still metadata
+    /// only — no blob reads).
+    TextIndex {
+        /// The serialized index.
+        index: mlake_text::TextIndex,
+    },
 }
 
 /// The model payload of a [`Block::Model`].
@@ -206,6 +218,10 @@ pub(crate) struct Folded {
     pub benchmarks: Vec<(Benchmark, Option<String>)>,
     /// The full event log as of the last persisted segment.
     pub events: Vec<Event>,
+    /// The text index snapshot, if one exists and no later model/card
+    /// block superseded it (`None` also on chains persisted before the
+    /// block kind existed — open rebuilds from the folded cards).
+    pub text: Option<mlake_text::TextIndex>,
 }
 
 /// Folds a live segment chain, applying blocks in sequence order.
@@ -218,7 +234,12 @@ pub(crate) fn fold_segments(
     for &seq in seqs {
         for block in read_segment(dir, vfs, seq)? {
             match block {
-                Block::Model(m) => folded.models.push(m),
+                Block::Model(m) => {
+                    folded.models.push(m);
+                    // Any doc change after a text snapshot makes the
+                    // snapshot stale; drop it so open rebuilds instead.
+                    folded.text = None;
+                }
                 Block::CardOverride { id, card } => {
                     let m = folded.models.get_mut(id as usize).ok_or_else(|| {
                         LakeError::CorruptArtifact(format!(
@@ -226,12 +247,14 @@ pub(crate) fn fold_segments(
                         ))
                     })?;
                     m.card = card;
+                    folded.text = None;
                 }
                 Block::Dataset { dataset } => folded.datasets.push(dataset),
                 Block::Benchmark { benchmark, domain } => {
                     folded.benchmarks.push((benchmark, domain));
                 }
                 Block::Events { events } => folded.events.extend(events),
+                Block::TextIndex { index } => folded.text = Some(index),
             }
         }
     }

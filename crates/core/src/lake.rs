@@ -324,6 +324,13 @@ pub(crate) struct LakeShared {
     /// every mutating facade op appends to before touching state above.
     /// See `crate::durable` and DESIGN.md §12.
     pub(crate) wal: Option<crate::durable::WalLink>,
+    /// Full-text inverted index over card sections and model metadata
+    /// (DESIGN.md §16). Lives on the shared state — unlike the other
+    /// derived indexes — because persist snapshots it into a
+    /// `Block::TextIndex`, and the background compactor only sees
+    /// [`LakeShared`]. Rank **27 (core.text)**: leaf — never held across
+    /// another ranked acquisition.
+    pub(crate) text: RwLock<mlake_text::TextIndex>,
     /// Incremental-persist bookkeeping (DESIGN.md §15).
     pub(crate) seg: parking_lot::Mutex<SegState>,
     /// Serializes mutating facade ops so WAL append order always equals
@@ -331,6 +338,59 @@ pub(crate) struct LakeShared {
     /// Read paths never take it. Lock order: `op_lock` is taken strictly
     /// before the compactor's state lock (DESIGN.md §10).
     pub(crate) op_lock: parking_lot::Mutex<()>,
+}
+
+/// How far past `k` each branch of [`ModelLake::hybrid_search`] fetches
+/// before reciprocal-rank fusion: deeper pools let RRF reward mid-list
+/// agreement between the text and vector rankings.
+pub(crate) const HYBRID_POOL_FACTOR: usize = 3;
+
+/// The fielded text document of one model (DESIGN.md §16): every card
+/// section plus the identity metadata, each under its own [`TextField`]
+/// so BM25 can weight a name hit above a notes hit. Pure function of
+/// `(name, arch, card)` — ingest, card update, WAL replay and open-time
+/// rebuild all produce the identical document, which is what keeps text
+/// search bit-identical across restarts.
+pub(crate) fn text_document(
+    name: &str,
+    arch: &str,
+    card: &ModelCard,
+) -> Vec<(mlake_text::Field, String)> {
+    use mlake_text::Field;
+    let mut doc = vec![
+        (Field::Name, name.to_string()),
+        (Field::Arch, arch.to_string()),
+        (Field::Tags, card.task_tags.join(" ")),
+        (Field::Domains, card.domains.join(" ")),
+        (Field::Notes, card.notes.clone()),
+    ];
+    if let Some(alg) = &card.training_algorithm {
+        doc.push((Field::Algorithm, alg.clone()));
+    }
+    let lineage: Vec<&str> = [
+        card.lineage.base_model.as_deref(),
+        card.lineage.transform.as_deref(),
+        card.lineage.second_parent.as_deref(),
+    ]
+    .into_iter()
+    .flatten()
+    .collect();
+    if !lineage.is_empty() {
+        doc.push((Field::Lineage, lineage.join(" ")));
+    }
+    if !card.training_data.is_empty() {
+        let names: Vec<&str> = card
+            .training_data
+            .iter()
+            .map(|t| t.dataset_name.as_str())
+            .collect();
+        doc.push((Field::Datasets, names.join(" ")));
+    }
+    if !card.metrics.is_empty() {
+        let names: Vec<&str> = card.metrics.iter().map(|m| m.benchmark.as_str()).collect();
+        doc.push((Field::Benchmarks, names.join(" ")));
+    }
+    doc
 }
 
 /// One deferred fingerprint-index insert (lazy v3 open, DESIGN.md §15):
@@ -360,6 +420,8 @@ pub struct ModelLake {
     similar_cache: QueryCache<Vec<(ModelId, f32)>>,
     /// MLQL execution results keyed the same way (k = 0).
     mlql_cache: QueryCache<Vec<QueryHit>>,
+    /// `text_search` / `hybrid_search` results keyed the same way.
+    text_cache: QueryCache<Vec<(ModelId, f32)>>,
     /// Background compaction thread, when the lake is durable and the
     /// config carries a [`CompactionPolicy`]. Spawned last during
     /// create/open; joined on drop.
@@ -398,6 +460,9 @@ impl ModelLake {
                 store: ResidentStore::with_cap(resident_cap),
                 registry: RwLock::new(Registry::default()),
                 events: RwLock::new(EventLog::new()),
+                text: RwLock::new(mlake_text::TextIndex::new(
+                    mlake_text::Bm25Params::default(),
+                )),
                 wal: None,
                 seg: parking_lot::Mutex::new(SegState::default()),
                 op_lock: parking_lot::Mutex::new(()),
@@ -409,6 +474,7 @@ impl ModelLake {
             score_cache: RwLock::new(HashMap::new()),
             similar_cache: QueryCache::new(config_cache),
             mlql_cache: QueryCache::new(config_cache),
+            text_cache: QueryCache::new(config_cache),
             compactor: None,
         }
     }
@@ -570,6 +636,7 @@ impl ModelLake {
                 }
             }
         }
+        let text_doc = text_document(name, &arch, &card);
         let tags = card.task_tags.clone();
         reg.models.push(ModelEntry {
             id,
@@ -582,6 +649,10 @@ impl ModelLake {
         });
         reg.by_name.insert(name.into(), id);
         drop(reg);
+        {
+            // lock-order: 27 (core.text)
+            self.shared.text.write().insert(id.0, &text_doc);
+        }
         {
             // Stash the fingerprints for the next persist's Model block
             // (cleared once a segment covers this model).
@@ -679,7 +750,12 @@ impl ModelLake {
         entry.tags = card.task_tags.clone();
         let name = entry.name.clone();
         entry.card = card;
+        let text_doc = text_document(&name, &entry.arch, &entry.card);
         drop(reg);
+        {
+            // lock-order: 27 (core.text)
+            self.shared.text.write().insert(id.0, &text_doc);
+        }
         {
             // The next delta segment must carry a CardOverride for this
             // model (persist skips ids its fresh Model blocks cover).
@@ -815,6 +891,85 @@ impl ModelLake {
             .map(|h| (ModelId(h.id), 1.0 - h.distance))
             .collect();
         self.similar_cache.put(key, out.clone());
+        Ok(out)
+    }
+
+    /// Full-text search over card sections and model metadata
+    /// (DESIGN.md §16): the `k` models ranked by Okapi BM25 against
+    /// `query`. Results are deterministic — bit-identical across thread
+    /// counts, restarts and WAL replay — and invalidate on any lake
+    /// mutation via the generation-keyed cache.
+    pub fn text_search(&self, query: &str, k: usize) -> Result<Vec<(ModelId, f32)>> {
+        let _span = mlake_obs::span("lake.text");
+        let key = CacheKey {
+            digest: sha256(format!("text|{query}").as_bytes()),
+            k: k as u64,
+            generation: self.shared.events.read().head(),
+        };
+        if let Some(hits) = self.text_cache.get(&key) {
+            return Ok(hits);
+        }
+        let out: Vec<(ModelId, f32)> = {
+            // lock-order: 27 (core.text)
+            self.shared.text.read().search(query, k)
+        }
+        .into_iter()
+        .map(|(doc, score)| (ModelId(doc), score))
+        .collect();
+        self.text_cache.put(key, out.clone());
+        Ok(out)
+    }
+
+    /// Hybrid retrieval (DESIGN.md §16): reciprocal-rank fusion of the
+    /// BM25 text ranking for `query` with the `kind`-fingerprint vector
+    /// ranking around `model`. Each branch over-fetches
+    /// [`HYBRID_POOL_FACTOR`]`·k` candidates so fusion has mid-list
+    /// agreement to reward; the anchor model itself is excluded from
+    /// both lists. Scores are RRF mass, not BM25 or cosine values.
+    pub fn hybrid_search<'a>(
+        &self,
+        query: &str,
+        model: impl Into<ModelRef<'a>>,
+        kind: FingerprintKind,
+        k: usize,
+    ) -> Result<Vec<(ModelId, f32)>> {
+        let _span = mlake_obs::span("lake.hybrid");
+        let id = self.resolve(model)?;
+        let key = CacheKey {
+            digest: sha256(
+                format!(
+                    "hybrid|{kind:?}|{}|shards={}|{query}",
+                    id.0, self.shared.config.shards
+                )
+                .as_bytes(),
+            ),
+            k: k as u64,
+            generation: self.shared.events.read().head(),
+        };
+        if let Some(hits) = self.text_cache.get(&key) {
+            return Ok(hits);
+        }
+        let pool = k.max(1) * HYBRID_POOL_FACTOR;
+        let text_ranks: Vec<u64> = {
+            // lock-order: 27 (core.text)
+            self.shared.text.read().search(query, pool + 1)
+        }
+        .into_iter()
+        .map(|(doc, _)| doc)
+        .filter(|doc| *doc != id.0)
+        .take(pool)
+        .collect();
+        let vec_ranks: Vec<u64> = self
+            .similar(id, kind, pool)?
+            .into_iter()
+            .map(|(m, _)| m.0)
+            .collect();
+        let out: Vec<(ModelId, f32)> =
+            mlake_text::rrf_fuse(&[text_ranks, vec_ranks], mlake_text::RRF_C, k)
+                .into_iter()
+                .map(|(doc, score)| (ModelId(doc), score))
+                .collect();
+        self.text_cache.put(key, out.clone());
         Ok(out)
     }
 
@@ -1111,6 +1266,33 @@ impl ModelLake {
         *self.shared.events.write() = log;
     }
 
+    /// Installs a persisted text-index snapshot (segment-fold open path,
+    /// DESIGN.md §16). No card is re-tokenized, so lazy open stays lazy.
+    pub(crate) fn restore_text_index(&self, index: mlake_text::TextIndex) {
+        // lock-order: 27 (core.text)
+        *self.shared.text.write() = index;
+    }
+
+    /// Rebuilds the text index from every registry entry's card — the
+    /// open fallback for chains persisted before `Block::TextIndex`
+    /// existed. Insertion order is id order, exactly what incremental
+    /// ingestion produced, so the rebuilt index (and every search over
+    /// it) is bit-identical to the live lake's.
+    pub(crate) fn rebuild_text_index(&self) {
+        let mut text = mlake_text::TextIndex::new(mlake_text::Bm25Params::default());
+        {
+            let reg = self.shared.registry.read();
+            for entry in &reg.models {
+                text.insert(
+                    entry.id.0,
+                    &text_document(&entry.name, &entry.arch, &entry.card),
+                );
+            }
+        }
+        // lock-order: 27 (core.text)
+        *self.shared.text.write() = text;
+    }
+
     /// Switches the lake into deferred index-build mode (lazy v3 open):
     /// subsequent [`ModelLake::finish_ingest`] calls queue their HNSW
     /// inserts instead of applying them. [`ModelLake::ensure_indexes`]
@@ -1209,6 +1391,11 @@ impl LakeShared {
 
     pub(crate) fn event_log_snapshot(&self) -> EventLog {
         self.events.read().clone()
+    }
+
+    pub(crate) fn text_index_snapshot(&self) -> mlake_text::TextIndex {
+        // lock-order: 27 (core.text)
+        self.text.read().clone()
     }
 }
 
@@ -1349,6 +1536,12 @@ impl QueryTarget for ModelLake {
             }
         };
         self.similar(id, kind, k)
+            .map(|v| v.into_iter().map(|(m, s)| (m.0, s)).collect())
+            .map_err(|e| QueryError::Execution(e.to_string()))
+    }
+
+    fn text_search(&self, query: &str, k: usize) -> std::result::Result<Vec<(u64, f32)>, QueryError> {
+        ModelLake::text_search(self, query, k)
             .map(|v| v.into_iter().map(|(m, s)| (m.0, s)).collect())
             .map_err(|e| QueryError::Execution(e.to_string()))
     }

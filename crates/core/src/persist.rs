@@ -257,6 +257,12 @@ fn persist_incremental(
             events: events[event_tail..].to_vec(),
         });
     }
+    // Deliberately NO `Block::TextIndex` here: a whole-index snapshot is
+    // O(lake) and would break the invariant that a delta segment costs
+    // O(ops since last persist) (bench_guard's delta-size gate). The text
+    // state a delta carries is exactly its Model/CardOverride blocks, and
+    // folding those invalidates any older snapshot, so open re-derives
+    // the affected docs from the folded cards — no blob reads.
 
     // Segment first, superblock second: a crash between the two leaves
     // the old superblock pointing at the old chain and one unreachable
@@ -345,6 +351,14 @@ fn export_full(shared: &LakeShared, dir: &Path, vfs: &Arc<dyn Vfs>) -> Result<()
     }
     if !events.is_empty() {
         blocks.push(Block::Events { events });
+    }
+    // A full export is O(lake) by definition, so the whole-index snapshot
+    // rides along here (and only here): a chain that is exactly one full
+    // segment reopens its text index without re-tokenizing a single card.
+    if !blocks.is_empty() {
+        blocks.push(Block::TextIndex {
+            index: shared.text_index_snapshot(),
+        });
     }
     let segments = if blocks.is_empty() {
         Vec::new()
@@ -501,6 +515,13 @@ impl ModelLake {
         }
         let n_events = folded.events.len();
         lake.restore_event_log(EventLog::from_events(folded.events));
+        // Install the persisted text index when the chain carries one;
+        // older chains (pre-§16) fold to `None` and rebuild from the
+        // cards just loaded — still no blob reads, so open stays lazy.
+        match folded.text {
+            Some(index) => lake.restore_text_index(index),
+            None => lake.rebuild_text_index(),
+        }
         {
             // Mark everything the chain covers as persisted; WAL-replayed
             // ops past this point count as fresh again.

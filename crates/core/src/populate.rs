@@ -52,7 +52,16 @@ pub fn honest_card(gt: &GroundTruth, i: usize) -> ModelCard {
             .and_then(|e| e.second_parent)
             .map(|p| gt.models[p].name.clone()),
     };
-    card.notes = format!("family {} depth {}", m.family, m.depth);
+    // Seed the free text with the family's controlled vocabulary
+    // (DESIGN.md §16): a text search for these pseudo-words has
+    // `gt.family_members(m.family)` as its exact relevant set, which is
+    // what the retrieval experiment scores recall against.
+    card.notes = format!(
+        "family {} depth {} {}",
+        m.family,
+        m.depth,
+        gt.family_vocab(m.family).join(" ")
+    );
     card
 }
 

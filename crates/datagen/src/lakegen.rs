@@ -270,6 +270,18 @@ impl GroundTruth {
         }
     }
 
+    /// Controlled text vocabulary of base family `f` (DESIGN.md §16):
+    /// [`FAMILY_VOCAB_WORDS`] deterministic pseudo-words shared by every
+    /// member of the family and by no other family. Seeding a card's
+    /// free text with them gives full-text search a verifiable ground
+    /// truth — the relevant set of a vocab query is exactly
+    /// [`GroundTruth::family_members`]. Drawn from a fresh rng keyed on
+    /// `(seed, f)`, never the generation stream, so asking for vocab
+    /// can never perturb the generated lake.
+    pub fn family_vocab(&self, f: usize) -> Vec<String> {
+        family_vocab(self.seed, f)
+    }
+
     /// Dataset lookup by id.
     pub fn dataset(&self, id: DatasetId) -> Option<&Dataset> {
         self.datasets.iter().find(|d| d.id == id)
@@ -302,6 +314,38 @@ impl GroundTruth {
             })
             .collect()
     }
+}
+
+/// Words in each family's controlled vocabulary
+/// ([`GroundTruth::family_vocab`]).
+pub const FAMILY_VOCAB_WORDS: usize = 4;
+
+/// Standalone form of [`GroundTruth::family_vocab`] for callers that
+/// know the seed but have not generated the lake. Every word begins
+/// with a fixed-width code unique to the family (two base-12 "digits",
+/// so vocabularies of distinct families under 144 never share a word),
+/// followed by rng-chosen syllables for variety within the family.
+pub fn family_vocab(seed: u64, family: usize) -> Vec<String> {
+    const CODES: [&str; 12] = [
+        "ba", "de", "gi", "ro", "mu", "la", "pe", "ti", "no", "ku", "sa", "ve",
+    ];
+    const SYLLABLES: [&str; 12] = [
+        "ka", "lor", "mi", "zu", "ther", "ban", "qui", "vex", "dro", "pal", "sin", "oct",
+    ];
+    let code = format!("{}{}", CODES[(family / 12) % 12], CODES[family % 12]);
+    let mut rng: Pcg64 = Seed::new(seed)
+        .derive("family-vocab")
+        .derive_u64(family as u64)
+        .rng();
+    (0..FAMILY_VOCAB_WORDS)
+        .map(|_| {
+            let mut word = code.clone();
+            for _ in 0..2 {
+                word.push_str(SYLLABLES[rng.index(SYLLABLES.len())]);
+            }
+            word
+        })
+        .collect()
 }
 
 /// Generates the benchmark lake. Deterministic in `spec.seed`.

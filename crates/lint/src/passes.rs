@@ -202,6 +202,8 @@ pub(crate) fn facade_targets(path: &str) -> &'static [&'static str] {
         &["Wal", "Recovery"]
     } else if path.starts_with("crates/server/") {
         &["Api"]
+    } else if path.starts_with("crates/text/") {
+        &["TextIndex"]
     } else {
         &[]
     }

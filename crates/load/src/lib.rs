@@ -272,8 +272,9 @@ fn client_loop(
 }
 
 /// A standard mixed read/write workload against lake `lake`: reads
-/// (list, resolve-by-name via typed endpoint, MLQL query, similar) and
-/// card-update writes, deterministic in (client, iter).
+/// (list, resolve-by-name via typed endpoint, MLQL query, BM25 text
+/// search, similar) and card-update writes, deterministic in
+/// (client, iter).
 ///
 /// `model_names` must be non-empty; ops reference those models.
 pub fn mixed_workload(lake: &str, model_names: Vec<String>, write_every: usize) -> Workload {
@@ -291,12 +292,20 @@ pub fn mixed_workload(lake: &str, model_names: Vec<String>, write_every: usize) 
             });
             return Op::post(format!("/v1/lakes/{lake}/api"), req, true);
         }
-        match iter % 4 {
+        match iter % 5 {
             0 => Op::get(format!("/v1/lakes/{lake}/models")),
             1 => Op::get(format!("/v1/lakes/{lake}/models/{model}")),
             2 => Op::post(
                 format!("/v1/lakes/{lake}/query"),
                 b"{\"mlql\": \"FIND MODELS\"}".to_vec(),
+                false,
+            ),
+            3 => Op::post(
+                format!("/v1/lakes/{lake}/search"),
+                // Query terms drawn from card text every populated lake
+                // carries ("family N ..." notes); an empty result is
+                // still a served 200, so the op works on any lake.
+                b"{\"query\": \"family classification\", \"k\": 5}".to_vec(),
                 false,
             ),
             _ => Op::get(format!("/v1/lakes/{lake}/models/{model}/similar?kind=hybrid&k=3")),

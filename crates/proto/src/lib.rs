@@ -122,6 +122,25 @@ pub enum ApiRequest {
         /// Result count.
         k: usize,
     },
+    /// `ModelLake::text_search`: BM25 full-text search over card text.
+    TextSearch {
+        /// Free-text query.
+        query: String,
+        /// Result count.
+        k: usize,
+    },
+    /// `ModelLake::hybrid_search`: reciprocal-rank fusion of the BM25
+    /// text ranking with the vector ranking around an anchor model.
+    HybridSearch {
+        /// Free-text query.
+        query: String,
+        /// Anchor model for the vector branch.
+        model: WireRef,
+        /// Fingerprint viewpoint of the vector branch.
+        kind: FingerprintKind,
+        /// Result count.
+        k: usize,
+    },
     /// `ModelLake::prepare(..).run()`: execute an MLQL query.
     Query {
         /// MLQL text.
@@ -171,6 +190,8 @@ impl ApiRequest {
         match self {
             ApiRequest::Ingest { .. } => "ingest",
             ApiRequest::Similar { .. } => "similar",
+            ApiRequest::TextSearch { .. } => "text_search",
+            ApiRequest::HybridSearch { .. } => "hybrid_search",
             ApiRequest::Query { .. } => "query",
             ApiRequest::Explain { .. } => "explain",
             ApiRequest::Resolve { .. } => "resolve",
@@ -206,6 +227,17 @@ pub struct SimilarHit {
     pub similarity: f32,
 }
 
+/// One relevance-ranked hit on the wire (text or hybrid search). The
+/// score is a BM25 value for text search and RRF mass for hybrid —
+/// comparable within one response, not across searches.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct ScoredHit {
+    /// Model id.
+    pub id: u64,
+    /// Relevance score, descending within the response.
+    pub score: f32,
+}
+
 /// Success payloads, one variant per [`ApiRequest`] variant.
 #[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum ApiResponse {
@@ -218,6 +250,11 @@ pub enum ApiResponse {
     Similar {
         /// Hits.
         hits: Vec<SimilarHit>,
+    },
+    /// Text / hybrid search results, best first.
+    Scored {
+        /// Hits, score descending.
+        hits: Vec<ScoredHit>,
     },
     /// MLQL result rows.
     Hits {
@@ -372,7 +409,15 @@ mod tests {
                 kind: FingerprintKind::Hybrid,
                 k: 5,
             },
+            ApiRequest::TextSearch { query: "sentiment finance".into(), k: 10 },
+            ApiRequest::HybridSearch {
+                query: "legal tabular".into(),
+                model: WireRef::Name("legal-base".into()),
+                kind: FingerprintKind::Intrinsic,
+                k: 5,
+            },
             ApiRequest::Query { mlql: "FIND MODELS WHERE domain = 'legal'".into() },
+            ApiRequest::Query { mlql: "FIND MODELS MATCHES 'rnn news' TOP 4".into() },
             ApiRequest::Resolve { model: WireRef::Id(3) },
             ApiRequest::Cite { model: WireRef::Digest("ab".repeat(32)) },
             ApiRequest::ListModels,

@@ -7,7 +7,7 @@ use mlake_core::{CompactionPolicy, ErrorKind, LakeConfig};
 use mlake_index::{HnswConfig, Precision};
 use mlake_proto::{
     decode_config, decode_request, decode_response, encode_request, encode_response, status_for,
-    ApiError, ApiRequest, ApiResponse, SimilarHit, WireRef,
+    ApiError, ApiRequest, ApiResponse, ScoredHit, SimilarHit, WireRef,
 };
 use mlake_query::QueryHit;
 use mlake_wal::SyncPolicy;
@@ -96,9 +96,15 @@ fn query_hit() -> impl Strategy<Value = QueryHit> {
     (
         any::<u64>(),
         proptest::option::of(-1.0f32..1.0),
+        proptest::option::of(0.0f32..50.0),
         proptest::option::of(-100.0f64..100.0),
     )
-        .prop_map(|(id, similarity, score)| QueryHit { id, similarity, score })
+        .prop_map(|(id, similarity, text_score, score)| QueryHit {
+            id,
+            similarity,
+            text_score,
+            score,
+        })
 }
 
 proptest! {
@@ -142,6 +148,19 @@ proptest! {
             .map(|(id, similarity)| SimilarHit { id, similarity })
             .collect();
         let resp = ApiResponse::Similar { hits };
+        let back = decode_response(&encode_response(&resp)).expect("decode");
+        prop_assert_eq!(resp, back);
+    }
+
+    #[test]
+    fn scored_hits_round_trip(
+        raw in proptest::collection::vec((any::<u64>(), 0.0f32..50.0), 0..16)
+    ) {
+        let hits = raw
+            .into_iter()
+            .map(|(id, score)| ScoredHit { id, score })
+            .collect();
+        let resp = ApiResponse::Scored { hits };
         let back = decode_response(&encode_response(&resp)).expect("decode");
         prop_assert_eq!(resp, back);
     }

@@ -82,6 +82,15 @@ pub struct SimilarClause {
     pub k: usize,
 }
 
+/// `MATCHES '…' [TOP n]` — full-text (BM25) predicate over card text.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MatchClause {
+    /// Free-text query, tokenized by the target's text index.
+    pub query: String,
+    /// Candidate pool size requested from the text index.
+    pub k: usize,
+}
+
 /// `TRAINED ON DATASET '…' [INCLUDING VERSIONS]`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainedOnClause {
@@ -111,6 +120,9 @@ pub struct Query {
     pub filter: Option<Expr>,
     /// SIMILAR TO clause.
     pub similar: Option<SimilarClause>,
+    /// MATCHES clause (absent in pre-§16 serialized queries).
+    #[serde(default)]
+    pub matches: Option<MatchClause>,
     /// TRAINED ON clause.
     pub trained_on: Option<TrainedOnClause>,
     /// OUTPERFORM clause.

@@ -40,6 +40,10 @@ pub trait QueryTarget {
         k: usize,
     ) -> Result<Vec<(u64, f32)>, QueryError>;
 
+    /// Up to `k` models ranked by full-text relevance (BM25) against
+    /// `query`, best first, score descending.
+    fn text_search(&self, query: &str, k: usize) -> Result<Vec<(u64, f32)>, QueryError>;
+
     /// Models trained on `dataset` (optionally including derived versions).
     fn trained_on(&self, dataset: &str, include_versions: bool)
         -> Result<Vec<u64>, QueryError>;
@@ -55,6 +59,10 @@ pub struct QueryHit {
     pub id: u64,
     /// Similarity (when a SIMILAR TO clause ran).
     pub similarity: Option<f32>,
+    /// BM25 relevance (when a MATCHES clause ran; absent in pre-§16
+    /// serialized hits).
+    #[serde(default)]
+    pub text_score: Option<f32>,
     /// Ranking score (when ORDER BY score(...) ran).
     pub score: Option<f64>,
 }
@@ -86,6 +94,15 @@ pub fn execute(
         }
         candidates = Some(ranked.into_iter().map(|(id, _)| id).collect());
     }
+    let mut text_score: std::collections::HashMap<u64, f32> = std::collections::HashMap::new();
+    if let Some(m) = &query.matches {
+        let ranked = target.text_search(&m.query, m.k)?;
+        for &(id, s) in &ranked {
+            text_score.insert(id, s);
+        }
+        let ids: Vec<u64> = ranked.into_iter().map(|(id, _)| id).collect();
+        candidates = Some(intersect(candidates, ids));
+    }
     if let Some(t) = &query.trained_on {
         let ids = target.trained_on(&t.dataset, t.include_versions)?;
         candidates = Some(intersect(candidates, ids));
@@ -110,6 +127,7 @@ pub fn execute(
                 .map(|id| QueryHit {
                     id,
                     similarity: similarity.get(&id).copied(),
+                    text_score: text_score.get(&id).copied(),
                     score: None,
                 })
                 .collect()
@@ -120,6 +138,7 @@ pub fn execute(
             .map(|&id| QueryHit {
                 id,
                 similarity: similarity.get(&id).copied(),
+                text_score: text_score.get(&id).copied(),
                 score: None,
             })
             .collect(),
@@ -182,6 +201,13 @@ pub fn execute(
                 .unwrap_or(f32::NEG_INFINITY)
                 .total_cmp(&a.similarity.unwrap_or(f32::NEG_INFINITY))
         });
+    } else if query.matches.is_some() {
+        // Implicit relevance ranking when only MATCHES narrows the pool.
+        hits.sort_by(|a, b| {
+            b.text_score
+                .unwrap_or(f32::NEG_INFINITY)
+                .total_cmp(&a.text_score.unwrap_or(f32::NEG_INFINITY))
+        });
     }
 
     if let Some(limit) = query.limit {
@@ -199,6 +225,12 @@ pub fn explain(query: &Query) -> Vec<String> {
         steps.push(format!(
             "ANN-INDEX SCAN: top-{} of fingerprint('{}') around model '{}'",
             sim.k, sim.using, sim.model
+        ));
+    }
+    if let Some(m) = &query.matches {
+        steps.push(format!(
+            "TEXT-INDEX SCAN (BM25): top-{} for '{}'",
+            m.k, m.query
         ));
     }
     if let Some(t) = &query.trained_on {
@@ -342,6 +374,18 @@ mod tests {
             Ok(vec![(1, 0.95), (2, 0.3)].into_iter().take(k).collect())
         }
 
+        fn text_search(&self, query: &str, k: usize) -> Result<Vec<(u64, f32)>, QueryError> {
+            // Toy relevance: a name matching any query token scores by
+            // how early the model sits in the catalogue.
+            Ok(NAMES
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| query.split_whitespace().any(|t| n.contains(t)))
+                .map(|(i, _)| (i as u64, 1.0 / (i as f32 + 1.0)))
+                .take(k)
+                .collect())
+        }
+
         fn trained_on(
             &self,
             dataset: &str,
@@ -404,6 +448,26 @@ mod tests {
             run("FIND MODELS SIMILAR TO MODEL 'legal-base' LIMIT 1"),
             vec![1]
         );
+    }
+
+    #[test]
+    fn matches_ranks_and_intersects() {
+        // 'legal' matches ids 0 and 1; id 0 scores higher.
+        let hits = execute(&parse("FIND MODELS MATCHES 'legal'").unwrap(), &ToyLake).unwrap();
+        assert_eq!(
+            hits.iter().map(|h| h.id).collect::<Vec<_>>(),
+            vec![0, 1]
+        );
+        assert_eq!(hits[0].text_score, Some(1.0));
+        assert_eq!(hits[1].text_score, Some(0.5));
+        // Composes with WHERE (depth > 0 keeps only id 1)...
+        assert_eq!(run("FIND MODELS MATCHES 'legal' WHERE depth > 0"), vec![1]);
+        // ...and intersects with SIMILAR (similar {1,2} ∩ text {0,1}).
+        assert_eq!(
+            run("FIND MODELS SIMILAR TO MODEL 'legal-base' MATCHES 'legal'"),
+            vec![1]
+        );
+        assert!(run("FIND MODELS MATCHES 'zebra'").is_empty());
     }
 
     #[test]
@@ -491,6 +555,10 @@ mod tests {
             })
         }
 
+        fn text_search(&self, _: &str, _: usize) -> Result<Vec<(u64, f32)>, QueryError> {
+            Ok(vec![])
+        }
+
         fn trained_on(&self, _: &str, _: bool) -> Result<Vec<u64>, QueryError> {
             Ok(vec![])
         }
@@ -532,5 +600,8 @@ mod tests {
         assert!(plan.iter().any(|s| s.contains("LIMIT 3")));
         let scan = explain(&parse("FIND MODELS").unwrap());
         assert_eq!(scan, vec!["FULL CATALOG SCAN".to_string()]);
+        let plan = explain(&parse("FIND MODELS MATCHES 'rnn finance' TOP 3").unwrap());
+        assert!(plan[0].contains("TEXT-INDEX SCAN (BM25)"));
+        assert!(plan[0].contains("top-3"));
     }
 }

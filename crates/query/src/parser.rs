@@ -7,6 +7,7 @@
 //! query      := (FIND | COUNT) MODELS clause* EOF
 //! clause     := WHERE expr
 //!             | SIMILAR TO MODEL str [USING word] [TOP number]
+//!             | MATCHES str [TOP number]
 //!             | TRAINED ON DATASET str [INCLUDING VERSIONS]
 //!             | OUTPERFORM MODEL str ON BENCHMARK str
 //!             | ORDER BY orderkey [ASC|DESC]
@@ -79,6 +80,19 @@ pub fn parse(input: &str) -> Result<Query, QueryError> {
                     k = p.expect_number()? as usize;
                 }
                 query.similar = Some(SimilarClause { model, using, k });
+            }
+            "MATCHES" => {
+                p.advance();
+                if query.matches.is_some() {
+                    return Err(p.dup("MATCHES"));
+                }
+                let text = p.expect_str()?;
+                let mut k = 10usize;
+                if p.peek_word().as_deref() == Some("TOP") {
+                    p.advance();
+                    k = p.expect_number()? as usize;
+                }
+                query.matches = Some(MatchClause { query: text, k });
             }
             "TRAINED" => {
                 p.advance();
@@ -156,7 +170,8 @@ pub fn parse(input: &str) -> Result<Query, QueryError> {
             }
             other => {
                 return Err(QueryError::Parse {
-                    expected: "WHERE / SIMILAR / TRAINED / OUTPERFORM / ORDER / LIMIT".into(),
+                    expected: "WHERE / SIMILAR / MATCHES / TRAINED / OUTPERFORM / ORDER / LIMIT"
+                        .into(),
                     found: other.into(),
                 })
             }
@@ -448,6 +463,20 @@ mod tests {
         assert!(q.filter.is_some());
         assert!(!parse("FIND MODELS").unwrap().count_only);
         assert!(parse("TALLY MODELS").is_err());
+    }
+
+    #[test]
+    fn matches_clause() {
+        let q = parse("FIND MODELS MATCHES 'sentiment finance' TOP 7").unwrap();
+        let m = q.matches.unwrap();
+        assert_eq!(m.query, "sentiment finance");
+        assert_eq!(m.k, 7);
+        // Default pool size, composition with other clauses, dup check.
+        let q = parse("FIND MODELS MATCHES 'legal' WHERE depth > 1").unwrap();
+        assert_eq!(q.matches.unwrap().k, 10);
+        assert!(q.filter.is_some());
+        assert!(parse("FIND MODELS MATCHES 'a' MATCHES 'b'").is_err());
+        assert!(parse("FIND MODELS MATCHES 5").is_err());
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! this for `Api` just as it does for `ModelLake`.
 
 use mlake_core::{LakeError, ModelLake};
-use mlake_proto::{ApiError, ApiRequest, ApiResponse, SimilarHit, status_for};
+use mlake_proto::{ApiError, ApiRequest, ApiResponse, ScoredHit, SimilarHit, status_for};
 use std::sync::Arc;
 
 /// Handler facade over one lake.
@@ -59,6 +59,26 @@ impl Api {
                     .map(|(id, similarity)| SimilarHit { id: id.0, similarity })
                     .collect();
                 Ok(ApiResponse::Similar { hits })
+            }
+            ApiRequest::TextSearch { query, k } => {
+                let hits = self
+                    .lake
+                    .text_search(&query, k)?
+                    .into_iter()
+                    .map(|(id, score)| ScoredHit { id: id.0, score })
+                    .collect();
+                Ok(ApiResponse::Scored { hits })
+            }
+            ApiRequest::HybridSearch { query, model, kind, k } => {
+                let mut scratch = None;
+                let mref = model.as_model_ref(&mut scratch)?;
+                let hits = self
+                    .lake
+                    .hybrid_search(&query, mref, kind, k)?
+                    .into_iter()
+                    .map(|(id, score)| ScoredHit { id: id.0, score })
+                    .collect();
+                Ok(ApiResponse::Scored { hits })
             }
             ApiRequest::Query { mlql } => {
                 let hits = self.lake.prepare(&mlql)?.run()?;
@@ -122,6 +142,8 @@ pub fn span_name(req: &ApiRequest) -> &'static str {
     match req {
         ApiRequest::Ingest { .. } => "http.ingest",
         ApiRequest::Similar { .. } => "http.similar",
+        ApiRequest::TextSearch { .. } => "http.text_search",
+        ApiRequest::HybridSearch { .. } => "http.hybrid_search",
         ApiRequest::Query { .. } => "http.query",
         ApiRequest::Explain { .. } => "http.explain",
         ApiRequest::Resolve { .. } => "http.resolve",

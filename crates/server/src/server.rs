@@ -340,6 +340,10 @@ fn route_lake(
                 card,
             })
         }
+        // REST sugar for retrieval: the body carries the TextSearch /
+        // HybridSearch fields (`{"query": "...", "k": 10, ...}`).
+        ("POST", ["search"]) => wrap_body("TextSearch", body),
+        ("POST", ["search", "hybrid"]) => wrap_body("HybridSearch", body),
         ("POST", ["query"]) => wrap_body("Query", body),
         ("POST", ["explain"]) => wrap_body("Explain", body),
         ("POST", ["sync"]) => Ok(ApiRequest::Sync),
@@ -466,6 +470,42 @@ mod tests {
             Routed::Api { request, .. } => {
                 assert_eq!(*request, ApiRequest::Query { mlql: "FIND MODELS".into() });
             }
+            _ => panic!("expected api route"),
+        }
+    }
+
+    #[test]
+    fn search_routes_wrap_bodies() {
+        // The exact body shapes the README's search quickstart documents.
+        let post = |path: &str, body: &[u8]| Request {
+            method: "POST".into(),
+            path: path.into(),
+            headers: Vec::new(),
+            body: body.to_vec(),
+        };
+        let req = post("/v1/lakes/main/search", b"{\"query\": \"legal summarization\", \"k\": 10}");
+        match route(&req).unwrap() {
+            Routed::Api { request, .. } => assert_eq!(
+                *request,
+                ApiRequest::TextSearch { query: "legal summarization".into(), k: 10 }
+            ),
+            _ => panic!("expected api route"),
+        }
+        let req = post(
+            "/v1/lakes/main/search/hybrid",
+            b"{\"query\": \"legal summarization\", \"model\": {\"Id\": 3}, \
+               \"kind\": \"Hybrid\", \"k\": 10}",
+        );
+        match route(&req).unwrap() {
+            Routed::Api { request, .. } => assert_eq!(
+                *request,
+                ApiRequest::HybridSearch {
+                    query: "legal summarization".into(),
+                    model: WireRef::Id(3),
+                    kind: FingerprintKind::Hybrid,
+                    k: 10
+                }
+            ),
             _ => panic!("expected api route"),
         }
     }

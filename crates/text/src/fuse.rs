@@ -1,0 +1,55 @@
+//! Reciprocal-rank fusion (Cormack, Clarke & Buettcher 2009).
+//!
+//! RRF combines ranked lists without comparing their raw scores — exactly
+//! what hybrid retrieval needs, since a BM25 score and a cosine
+//! similarity live on unrelated scales. Each list contributes
+//! `1 / (C + rank)` for every item it ranks (rank is 1-based); items
+//! missing from a list contribute nothing for it.
+
+/// The standard RRF dampening constant. Large enough that a single
+/// first-place vote cannot drown broad mid-list agreement.
+pub const RRF_C: f32 = 60.0;
+
+/// Fuses `rankings` (each best-first) into one best-first list of at most
+/// `k` items. Ties break on ascending doc id, so fusion of deterministic
+/// inputs is deterministic.
+pub fn rrf_fuse(rankings: &[Vec<u64>], c: f32, k: usize) -> Vec<(u64, f32)> {
+    let mut scores: std::collections::BTreeMap<u64, f32> = std::collections::BTreeMap::new();
+    for list in rankings {
+        for (rank, doc) in list.iter().enumerate() {
+            *scores.entry(*doc).or_insert(0.0) += 1.0 / (c + (rank + 1) as f32);
+        }
+    }
+    let mut fused: Vec<(u64, f32)> = scores.into_iter().collect();
+    fused.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    fused.truncate(k);
+    fused
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agreement_beats_single_list_rank() {
+        // Doc 5 is mid-list in both rankings; docs 1 and 9 top one each.
+        let fused = rrf_fuse(&[vec![1, 5, 2], vec![9, 5, 3]], RRF_C, 10);
+        assert_eq!(fused[0].0, 5);
+    }
+
+    #[test]
+    fn single_list_is_order_preserving() {
+        let fused = rrf_fuse(&[vec![4, 2, 8]], RRF_C, 10);
+        let ids: Vec<u64> = fused.iter().map(|(d, _)| *d).collect();
+        assert_eq!(ids, vec![4, 2, 8]);
+    }
+
+    #[test]
+    fn ties_break_on_doc_id_and_k_truncates() {
+        let fused = rrf_fuse(&[vec![7], vec![3]], RRF_C, 10);
+        assert_eq!(fused[0].0, 3);
+        assert_eq!(fused[1].0, 7);
+        assert_eq!(rrf_fuse(&[vec![1, 2, 3]], RRF_C, 2).len(), 2);
+        assert!(rrf_fuse(&[], RRF_C, 5).is_empty());
+    }
+}

@@ -1,0 +1,28 @@
+//! # mlake-text
+//!
+//! Full-text search over model documentation (DESIGN.md §16). The paper's
+//! own benchmark tag is `PalBM25`, and two related systems (ModelTables,
+//! Diversed Model Discovery) find models through their *documentation* —
+//! this crate supplies the text half of that story with zero external
+//! dependencies:
+//!
+//! * [`Tokenizer`] — lowercase, alphanumeric word-split, unicode-safe,
+//!   with a configurable stopword list and a term-length cap;
+//! * [`TextIndex`] — an inverted index with per-term postings
+//!   `(doc id, term frequency, field)` over card sections + model
+//!   metadata, scored with Okapi BM25 ([`Bm25Params`]);
+//! * [`rrf_fuse`] — reciprocal-rank fusion of any number of ranked lists
+//!   (BM25 + vector ranks in `mlake-core::ModelLake::hybrid_search`).
+//!
+//! Everything is deterministic: postings live in `BTreeMap`s, query terms
+//! are visited in sorted order, and ties break on ascending doc id — the
+//! same query on the same index returns bit-identical results at every
+//! thread count, before and after a serde round-trip.
+
+mod fuse;
+mod index;
+mod tokenizer;
+
+pub use fuse::{rrf_fuse, RRF_C};
+pub use index::{Bm25Params, Field, Posting, TextIndex};
+pub use tokenizer::{default_stopwords, Tokenizer, MAX_TERM_CHARS};

@@ -1,0 +1,156 @@
+//! Unicode-safe word tokenizer.
+//!
+//! Terms are maximal runs of alphanumeric characters (per
+//! [`char::is_alphanumeric`], so CJK ideographs, accented letters and
+//! digits all count), lowercased via the full unicode mapping. Everything
+//! else — punctuation, whitespace, emoji — separates terms. Stopwords are
+//! dropped after lowercasing; terms longer than the configured cap are
+//! truncated (not dropped) so pathological inputs still index under a
+//! stable prefix.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+
+/// Default cap on term length, in characters. Long enough for every real
+/// identifier in a card; short enough that a megabyte of base64 in a
+/// notes field cannot bloat the dictionary.
+pub const MAX_TERM_CHARS: usize = 32;
+
+/// The default stopword list: high-frequency English glue that appears in
+/// generated card prose and carries no retrieval signal.
+pub fn default_stopwords() -> BTreeSet<String> {
+    [
+        "a", "an", "and", "as", "at", "by", "for", "from", "in", "is", "it", "of", "on", "or",
+        "the", "to", "with",
+    ]
+    .iter()
+    .map(|s| (*s).to_string())
+    .collect()
+}
+
+/// Configurable tokenizer shared by indexing and query parsing (both
+/// sides must agree or a query could never match a document).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tokenizer {
+    /// Lowercased terms to drop.
+    stopwords: BTreeSet<String>,
+    /// Maximum term length in characters; longer terms are truncated.
+    max_term_chars: usize,
+}
+
+impl Default for Tokenizer {
+    fn default() -> Tokenizer {
+        Tokenizer {
+            stopwords: default_stopwords(),
+            max_term_chars: MAX_TERM_CHARS,
+        }
+    }
+}
+
+impl Tokenizer {
+    /// A tokenizer with a custom stopword list and term-length cap
+    /// (`max_term_chars` of 0 means "no cap").
+    pub fn new(stopwords: BTreeSet<String>, max_term_chars: usize) -> Tokenizer {
+        Tokenizer {
+            stopwords,
+            max_term_chars,
+        }
+    }
+
+    /// Splits `text` into lowercase terms, dropping stopwords and
+    /// truncating overlong terms. Order and multiplicity are preserved —
+    /// the index needs term frequencies.
+    pub fn tokenize(&self, text: &str) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut term = String::new();
+        let mut chars = 0usize;
+        for c in text.chars() {
+            if c.is_alphanumeric() {
+                if self.max_term_chars == 0 || chars < self.max_term_chars {
+                    term.extend(c.to_lowercase());
+                }
+                chars += 1;
+            } else if !term.is_empty() {
+                self.flush(&mut term, &mut out);
+                chars = 0;
+            }
+        }
+        if !term.is_empty() {
+            self.flush(&mut term, &mut out);
+        }
+        out
+    }
+
+    fn flush(&self, term: &mut String, out: &mut Vec<String>) {
+        if !self.stopwords.contains(term.as_str()) {
+            out.push(std::mem::take(term));
+        } else {
+            term.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(text: &str) -> Vec<String> {
+        Tokenizer::default().tokenize(text)
+    }
+
+    #[test]
+    fn basic_split_and_lowercase() {
+        assert_eq!(toks("Legal-MLP16 base, f0!"), vec!["legal", "mlp16", "base", "f0"]);
+    }
+
+    #[test]
+    fn stopwords_dropped() {
+        assert_eq!(toks("the model of a lake"), vec!["model", "lake"]);
+    }
+
+    #[test]
+    fn empty_and_punctuation_only_inputs() {
+        assert!(toks("").is_empty());
+        assert!(toks("  \t\n ").is_empty());
+        assert!(toks("!!! --- ... ???").is_empty());
+    }
+
+    #[test]
+    fn unicode_terms_survive() {
+        assert_eq!(toks("Modèle Überläufer 模型"), vec!["modèle", "überläufer", "模型"]);
+        // Emoji are separators, not term characters.
+        assert_eq!(toks("fast🚀model"), vec!["fast", "model"]);
+    }
+
+    #[test]
+    fn very_long_terms_truncate_to_stable_prefix() {
+        let long = "x".repeat(10_000);
+        let t = toks(&long);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t[0].chars().count(), MAX_TERM_CHARS);
+        // The same overlong term always truncates identically.
+        assert_eq!(toks(&long), toks(&"x".repeat(9_999)));
+    }
+
+    #[test]
+    fn uncapped_tokenizer_keeps_full_terms() {
+        let t = Tokenizer::new(BTreeSet::new(), 0);
+        let long = "y".repeat(100);
+        assert_eq!(t.tokenize(&long)[0].chars().count(), 100);
+        // Empty stopword list keeps glue words.
+        assert_eq!(t.tokenize("the model"), vec!["the", "model"]);
+    }
+
+    #[test]
+    fn multiplicity_preserved() {
+        assert_eq!(toks("legal legal legal"), vec!["legal"; 3]);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = Tokenizer::default();
+        let json = serde_json::to_string(&t).expect("encode");
+        let back: Tokenizer = serde_json::from_str(&json).expect("decode");
+        assert_eq!(t, back);
+    }
+}

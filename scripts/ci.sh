@@ -27,15 +27,19 @@
 # covering the tiled matmul,
 # the quantized flat scan, the sharded scatter-gather merge, WAL append
 # throughput, the lazy-vs-eager open ratio with its absolute budget, the
-# size-independent delta-persist check and the HTTP closed-loop serving
-# floor — run in both
+# size-independent delta-persist check, the HTTP closed-loop serving
+# floor and the text/hybrid retrieval gate (BM25 batch budget + the
+# hybrid-recall fusion bar) — run in both
 # observability modes, budgets overridable via MLAKE_BENCH_GUARD_MS /
 # MLAKE_BENCH_GUARD_SQ8_MS / MLAKE_BENCH_GUARD_SQ8_RATIO /
 # MLAKE_BENCH_GUARD_SHARD_OPS / MLAKE_BENCH_GUARD_WAL_OPS /
 # MLAKE_BENCH_GUARD_HTTP_OPS / MLAKE_BENCH_GUARD_HTTP_P99_MS /
-# MLAKE_BENCH_GUARD_OPEN_MS / MLAKE_BENCH_GUARD_OPEN_RATIO — and clippy
+# MLAKE_BENCH_GUARD_OPEN_MS / MLAKE_BENCH_GUARD_OPEN_RATIO /
+# MLAKE_BENCH_GUARD_TEXT_MS — and clippy
 # with warnings denied across the crates the parallel, observability and
-# serving layers touch.
+# serving layers touch. The text stage runs the mlake-text unit suite and
+# the core text_search integration suite (persist/replay determinism,
+# citation-contract regression) in both observability modes.
 
 set -euo pipefail
 cd "$(dirname "$0")/.."
@@ -128,7 +132,13 @@ step "serve: end-to-end HTTP hammer over TCP (obs on + off)"
 cargo test -q -p mlake-server --test hammer --release
 MLAKE_OBS=off cargo test -q -p mlake-server --test hammer --release
 
-step "bench guard: matmul + sq8 + sharded + wal + blockstore open/persist + http (obs on + off)"
+step "text: BM25 / hybrid retrieval suites (obs on + off)"
+cargo test -q -p mlake-text --release
+MLAKE_OBS=off cargo test -q -p mlake-text --release
+cargo test -q -p mlake-core --test text_search --release
+MLAKE_OBS=off cargo test -q -p mlake-core --test text_search --release
+
+step "bench guard: matmul + sq8 + sharded + wal + blockstore open/persist + http + text (obs on + off)"
 cargo run -q -p mlake-bench --bin bench_guard --release
 MLAKE_OBS=off cargo run -q -p mlake-bench --bin bench_guard --release
 
@@ -136,7 +146,8 @@ step "clippy -D warnings (parallel + observability + serving crates)"
 cargo clippy -q -p mlake-par -p mlake-tensor -p mlake-index \
   -p mlake-fingerprint -p mlake-datagen -p mlake-bench \
   -p mlake-obs -p mlake-core -p mlake-query -p mlake-lint \
-  -p mlake-wal -p mlake-proto -p mlake-server -p mlake-load -- -D warnings
+  -p mlake-wal -p mlake-proto -p mlake-server -p mlake-load \
+  -p mlake-text -- -D warnings
 
 echo
 echo "ci: all green"
